@@ -1,0 +1,97 @@
+// Ablation: Fourier–Motzkin core costs — satisfiability, projection, and
+// containment on dependence-test-shaped systems of growing dimension.
+#include <benchmark/benchmark.h>
+
+#include "polyhedra/section.h"
+
+using namespace suifx::poly;
+
+namespace {
+
+/// A cross-iteration dependence probe over `dims` array dimensions:
+/// d_k == i + k, d_k == i' + k + stride, bounds on i and i', i < i'.
+LinSystem dependence_system(int dims, long stride) {
+  constexpr SymId kI = 200;
+  constexpr SymId kIp = 201;
+  LinSystem sys;
+  sys.add_range(kI, LinearExpr::constant(1), LinearExpr::constant(100));
+  sys.add_range(kIp, LinearExpr::constant(1), LinearExpr::constant(100));
+  LinearExpr lt = LinearExpr::var(kIp);
+  lt -= LinearExpr::var(kI);
+  lt += LinearExpr::constant(-1);
+  sys.add_ge(lt);
+  for (int k = 0; k < dims; ++k) {
+    LinearExpr e1 = LinearExpr::var(dim_sym(k));
+    e1 -= LinearExpr::var(kI);
+    e1 += LinearExpr::constant(-k);
+    sys.add_eq(e1);
+    LinearExpr e2 = LinearExpr::var(dim_sym(k));
+    e2 -= LinearExpr::var(kIp);
+    e2 += LinearExpr::constant(-k - stride);
+    sys.add_eq(e2);
+  }
+  return sys;
+}
+
+}  // namespace
+
+static void BM_FmEmptiness(benchmark::State& state) {
+  LinSystem sys = dependence_system(static_cast<int>(state.range(0)), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.is_empty());
+  }
+}
+BENCHMARK(BM_FmEmptiness)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_FmEmptinessInfeasible(benchmark::State& state) {
+  // Stride 1000 separates the accesses: provably empty.
+  LinSystem sys = dependence_system(static_cast<int>(state.range(0)), 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.is_empty());
+  }
+}
+BENCHMARK(BM_FmEmptinessInfeasible)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_FmProjection(benchmark::State& state) {
+  LinSystem sys = dependence_system(static_cast<int>(state.range(0)), 0);
+  for (auto _ : state) {
+    LinSystem p = sys.project_out(200);
+    benchmark::DoNotOptimize(&p);
+  }
+}
+BENCHMARK(BM_FmProjection)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_Containment(benchmark::State& state) {
+  LinSystem small;
+  LinSystem big;
+  for (int k = 0; k < state.range(0); ++k) {
+    small.add_range(dim_sym(k), LinearExpr::constant(2), LinearExpr::constant(50));
+    big.add_range(dim_sym(k), LinearExpr::constant(1), LinearExpr::constant(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(big.contains(small));
+  }
+}
+BENCHMARK(BM_Containment)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_SectionSubtract(benchmark::State& state) {
+  SectionList e;
+  SectionList m;
+  for (int k = 0; k < 4; ++k) {
+    LinSystem a;
+    a.add_range(dim_sym(0), LinearExpr::constant(k * 30 + 1),
+                LinearExpr::constant(k * 30 + 40));
+    e.add(a);
+    LinSystem b;
+    b.add_range(dim_sym(0), LinearExpr::constant(k * 30 + 5),
+                LinearExpr::constant(k * 30 + 20));
+    m.add(b);
+  }
+  for (auto _ : state) {
+    SectionList r = e.subtract(m);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_SectionSubtract);
+
+BENCHMARK_MAIN();

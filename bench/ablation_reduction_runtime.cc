@@ -1,0 +1,76 @@
+// Ablation: the §6.3 parallel-reduction runtime on real threads — private
+// copies with staggered finalization vs per-element lock stripes, and the
+// effect of region minimization on init/finalize volume.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "runtime/parloop.h"
+#include "runtime/reduction.h"
+
+using namespace suifx::runtime;
+
+namespace {
+constexpr long kArray = 2000;
+constexpr long kTouched = 200;  // the bdna FAX(1:NATOMS) shape
+constexpr long kUpdates = 20000;
+}  // namespace
+
+static void BM_ArrayReductionPrivateCopies(benchmark::State& state) {
+  ParallelRuntime rt(static_cast<int>(state.range(0)));
+  std::vector<double> shared(kArray, 0.0);
+  for (auto _ : state) {
+    ArrayReduction red(RedOp::Sum, shared.data(), kArray, rt.nproc());
+    rt.parallel_do(0, kUpdates - 1, 1, [&](long u, int proc) {
+      red.update(proc, u % kTouched, 1.0);
+    }, /*est_cost_per_iter=*/100.0);
+    red.finalize();
+    benchmark::DoNotOptimize(shared[0]);
+  }
+  state.counters["init_elems"] =
+      static_cast<double>(kArray);  // whole-array private copies
+}
+BENCHMARK(BM_ArrayReductionPrivateCopies)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_ArrayReductionElementLocks(benchmark::State& state) {
+  ParallelRuntime rt(static_cast<int>(state.range(0)));
+  std::vector<double> shared(kArray, 0.0);
+  ArrayReduction::Options opts;
+  opts.element_locks = true;
+  for (auto _ : state) {
+    ArrayReduction red(RedOp::Sum, shared.data(), kArray, rt.nproc(), opts);
+    rt.parallel_do(0, kUpdates - 1, 1, [&](long u, int proc) {
+      red.update(proc, u % kTouched, 1.0);
+    }, /*est_cost_per_iter=*/100.0);
+    red.finalize();
+    benchmark::DoNotOptimize(shared[0]);
+  }
+}
+BENCHMARK(BM_ArrayReductionElementLocks)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_ScalarReduction(benchmark::State& state) {
+  ParallelRuntime rt(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double global = 0.0;
+    ScalarReduction red(RedOp::Sum, rt.nproc());
+    rt.parallel_do(0, kUpdates - 1, 1, [&](long u, int proc) {
+      red.local(proc) += static_cast<double>(u % 7);
+    }, /*est_cost_per_iter=*/100.0);
+    red.finalize(&global);
+    benchmark::DoNotOptimize(global);
+  }
+}
+BENCHMARK(BM_ScalarReduction)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_ParallelDoOverhead(benchmark::State& state) {
+  ParallelRuntime rt(static_cast<int>(state.range(0)));
+  std::vector<double> data(4096, 1.0);
+  for (auto _ : state) {
+    rt.parallel_do(0, 4095, 1, [&](long i, int) { data[static_cast<size_t>(i)] *= 1.0001; },
+                   /*est_cost_per_iter=*/100.0);
+    benchmark::DoNotOptimize(data[0]);
+  }
+}
+BENCHMARK(BM_ParallelDoOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace suifx::bench {
+
+int Study::apply_user_input() {
+  int accepted = 0;
+  for (const benchsuite::UserAssertion& ua : program->user_input) {
+    ir::Stmt* loop = wb->loop(ua.loop);
+    const ir::Variable* var =
+        ua.var.empty() ? nullptr : wb->var(ua.var);
+    if (loop == nullptr) {
+      std::fprintf(stderr, "warning: %s: unknown loop %s\n", program->name.c_str(),
+                   ua.loop.c_str());
+      continue;
+    }
+    std::string warn;
+    bool ok = false;
+    switch (ua.kind) {
+      case benchsuite::UserAssertion::Kind::Privatize:
+        ok = var != nullptr && guru->assert_privatizable(loop, var, &warn);
+        break;
+      case benchsuite::UserAssertion::Kind::Independent:
+        ok = var != nullptr && guru->assert_independent(loop, var, &warn);
+        break;
+      case benchsuite::UserAssertion::Kind::Parallel:
+        ok = guru->assert_parallel(loop, &warn);
+        break;
+    }
+    if (ok) {
+      ++accepted;
+    } else {
+      std::fprintf(stderr, "warning: %s: assertion on %s rejected: %s\n",
+                   program->name.c_str(), ua.loop.c_str(), warn.c_str());
+    }
+  }
+  return accepted;
+}
+
+std::unique_ptr<Study> make_study(const benchsuite::BenchProgram& bp,
+                                  std::optional<analysis::LivenessMode> liveness,
+                                  bool enable_reductions) {
+  auto st = std::make_unique<Study>();
+  st->program = &bp;
+  Diag diag;
+  st->wb = explorer::Workbench::from_source(bp.source, diag, liveness,
+                                            enable_reductions);
+  if (st->wb == nullptr) {
+    std::fprintf(stderr, "fatal: cannot parse %s:\n%s\n", bp.name.c_str(),
+                 diag.str().c_str());
+    std::abort();
+  }
+  explorer::GuruConfig cfg;
+  cfg.inputs = bp.inputs;
+  st->guru = std::make_unique<explorer::Guru>(*st->wb, cfg);
+  return st;
+}
+
+std::string cell(const std::string& s, int w) {
+  std::string out = s;
+  if (static_cast<int>(out.size()) > w) out = out.substr(0, static_cast<size_t>(w));
+  while (static_cast<int>(out.size()) < w) out += ' ';
+  return out + " ";
+}
+
+std::string cell(double v, int w, int prec) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(prec);
+  os << v;
+  return cell(os.str(), w);
+}
+
+std::string cell(long v, int w) { return cell(std::to_string(v), w); }
+
+void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace suifx::bench

@@ -1,0 +1,38 @@
+// Shared harness for the table/figure reproduction binaries: builds the
+// Explorer stack for a suite program, applies the thesis user's assertions,
+// and renders aligned table rows.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "explorer/guru.h"
+
+namespace suifx::bench {
+
+/// One fully-analyzed program: workbench + guru over its reference input.
+struct Study {
+  const benchsuite::BenchProgram* program = nullptr;
+  std::unique_ptr<explorer::Workbench> wb;
+  std::unique_ptr<explorer::Guru> guru;
+
+  /// Apply the thesis user's recorded assertions (re-analyzes). Returns the
+  /// number accepted.
+  int apply_user_input();
+};
+
+/// Build the stack; aborts with a message on parse failure.
+std::unique_ptr<Study> make_study(
+    const benchsuite::BenchProgram& bp,
+    std::optional<analysis::LivenessMode> liveness = analysis::LivenessMode::Full,
+    bool enable_reductions = true);
+
+/// Formatting helpers: fixed-width cells.
+std::string cell(const std::string& s, int w);
+std::string cell(double v, int w, int prec = 2);
+std::string cell(long v, int w);
+void rule(int width);
+
+}  // namespace suifx::bench

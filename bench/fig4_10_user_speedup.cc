@@ -1,0 +1,40 @@
+// Fig 4-10: results of parallelization with and without user intervention —
+// coverage, granularity, and simulated speedups on 4 and 8 processors.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "simulator/machine.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+int main() {
+  std::printf("Fig 4-10: parallelization with and without user input\n");
+  std::printf("(simulated Digital AlphaServer 8400)\n\n");
+  std::printf("%s%s%s%s%s%s\n", cell("program", 8).c_str(), cell("config", 10).c_str(),
+              cell("coverage", 9).c_str(), cell("gran ms", 9).c_str(),
+              cell("speedup@4", 10).c_str(), cell("speedup@8", 10).c_str());
+  rule(60);
+
+  for (const benchsuite::BenchProgram* bp : benchsuite::explorer_suite()) {
+    auto st = make_study(*bp);
+    auto print_row = [&](const char* config) {
+      auto r4 = st->guru->simulate(4, sim::MachineConfig::alpha_server_8400());
+      auto r8 = st->guru->simulate(8, sim::MachineConfig::alpha_server_8400());
+      std::printf("%s%s%s%s%s%s\n", cell(bp->name, 8).c_str(), cell(config, 10).c_str(),
+                  cell(st->guru->coverage() * 100, 8, 0).c_str(),
+                  cell(st->guru->granularity_ms(), 9, 3).c_str(),
+                  cell(r4.speedup, 10).c_str(), cell(r8.speedup, 10).c_str());
+    };
+    print_row("auto");
+    st->apply_user_input();
+    print_row("user");
+  }
+
+  std::printf(
+      "\nPaper: mdg 1.0->6.0, arc3d 1.6->4.9, hydro 2.7->4.3, flo88 1.0->5.5\n"
+      "(8 procs). Shape: a handful of assertions turns flat speedups into\n"
+      "substantial ones, with coverage rising to ~98%% and granularity by\n"
+      "orders of magnitude.\n");
+  return 0;
+}

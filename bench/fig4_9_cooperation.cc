@@ -1,0 +1,104 @@
+// Fig 4-9: cooperation between the Explorer and the programmer — for the
+// user-parallelized loops, how many variables the compiler handled
+// automatically (parallel arrays, privatizable arrays/scalars, reduction
+// arrays/scalars) versus how many needed user input.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+struct Counts {
+  int par_arrays = 0;
+  int priv_arrays = 0;
+  int priv_scalars = 0;
+  int red_arrays = 0;
+  int red_scalars = 0;
+  int user_priv_arrays = 0;
+  int user_priv_scalars = 0;
+};
+
+int main() {
+  std::printf("Fig 4-9: user-assisted parallelization — variables analyzed\n"
+              "automatically vs. supplied by user input, over the loops the\n"
+              "user parallelized\n\n");
+  std::printf("%s", cell("category", 26).c_str());
+  for (const benchsuite::BenchProgram* bp : benchsuite::explorer_suite()) {
+    std::printf("%s", cell(bp->name, 8).c_str());
+  }
+  std::printf("%s\n", cell("total", 8).c_str());
+  rule(26 + 5 * 9);
+
+  std::vector<Counts> all;
+  for (const benchsuite::BenchProgram* bp : benchsuite::explorer_suite()) {
+    auto st = make_study(*bp);
+    // The variables the user asserted.
+    std::set<std::pair<std::string, std::string>> user_asserted;
+    for (const benchsuite::UserAssertion& ua : bp->user_input) {
+      user_asserted.insert({ua.loop, ua.var});
+    }
+    st->apply_user_input();
+
+    Counts c;
+    for (const benchsuite::UserAssertion& ua : bp->user_input) {
+      ir::Stmt* loop = st->wb->loop(ua.loop);
+      if (loop == nullptr) continue;
+      const parallelizer::LoopPlan* lp = st->guru->plan().find(loop);
+      if (lp == nullptr) continue;
+      std::set<const ir::Variable*> asserted;
+      for (const benchsuite::UserAssertion& ua2 : bp->user_input) {
+        if (ua2.loop != ua.loop) continue;
+        const ir::Variable* v = st->wb->var(ua2.var);
+        if (v != nullptr) asserted.insert(st->wb->alias().canonical(v));
+      }
+      for (const auto& [v, verdict] : lp->verdict.vars) {
+        bool user = asserted.count(v) != 0;
+        switch (verdict.cls) {
+          case analysis::VarClass::Parallel:
+            if (v->is_array() && !user) ++c.par_arrays;
+            break;
+          case analysis::VarClass::Privatizable:
+            if (user) {
+              (v->is_array() ? c.user_priv_arrays : c.user_priv_scalars)++;
+            } else {
+              (v->is_array() ? c.priv_arrays : c.priv_scalars)++;
+            }
+            break;
+          case analysis::VarClass::Reduction:
+            (v->is_array() ? c.red_arrays : c.red_scalars)++;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    all.push_back(c);
+  }
+
+  auto row = [&](const char* name, auto get) {
+    std::printf("%s", cell(name, 26).c_str());
+    int total = 0;
+    for (const Counts& c : all) {
+      int v = get(c);
+      total += v;
+      std::printf("%s", cell(static_cast<long>(v), 8).c_str());
+    }
+    std::printf("%s\n", cell(static_cast<long>(total), 8).c_str());
+  };
+  std::printf("automatic:\n");
+  row("  parallel arrays", [](const Counts& c) { return c.par_arrays; });
+  row("  privatizable arrays", [](const Counts& c) { return c.priv_arrays; });
+  row("  privatizable scalars", [](const Counts& c) { return c.priv_scalars; });
+  row("  reduction arrays", [](const Counts& c) { return c.red_arrays; });
+  row("  reduction scalars", [](const Counts& c) { return c.red_scalars; });
+  std::printf("user input:\n");
+  row("  privatizable arrays", [](const Counts& c) { return c.user_priv_arrays; });
+  row("  privatizable scalars", [](const Counts& c) { return c.user_priv_scalars; });
+
+  std::printf("\nPaper totals over 17 loops: automatic 363 variables (159 parallel\n"
+              "arrays, 69+131 privatizable, 3+1 reductions) vs. 63 supplied by the\n"
+              "user. Shape: the compiler handles the large majority of the\n"
+              "variables even in the loops that need help.\n");
+  return 0;
+}

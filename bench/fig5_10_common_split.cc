@@ -1,0 +1,67 @@
+// Fig 5-10: common-block live-range splitting (§5.5) — splittable overlay
+// pairs found per liveness variant, and the simulated 4-processor speedup
+// before and after splitting (the split dissolves the artificial
+// decomposition conflict between the vz and vz1 views of hydro2d's varh).
+#include <cstdio>
+
+#include "analysis/commonsplit.h"
+#include "bench_util.h"
+#include "simulator/machine.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+int main() {
+  std::printf("Fig 5-10: common block splits and resulting 4-processor speedup\n\n");
+  std::printf("%s%s%s%s%s%s\n", cell("program", 9).c_str(),
+              cell("splits(FI)", 11).c_str(), cell("splits(1bit)", 13).c_str(),
+              cell("splits(full)", 13).c_str(), cell("sp before", 10).c_str(),
+              cell("sp after", 10).c_str());
+  rule(70);
+
+  for (const benchsuite::BenchProgram* bp : benchsuite::liveness_suite()) {
+    int splits[3] = {0, 0, 0};
+    int mi = 0;
+    for (analysis::LivenessMode mode :
+         {analysis::LivenessMode::FlowInsensitive, analysis::LivenessMode::OneBit,
+          analysis::LivenessMode::Full}) {
+      Diag diag;
+      auto prog = frontend::parse_program(bp->source, diag);
+      if (prog == nullptr) std::abort();
+      for (const analysis::CommonSplit& cs :
+           analysis::find_common_splits(*prog, mode)) {
+        if (cs.splittable) ++splits[mi];
+      }
+      ++mi;
+    }
+
+    // Speedup before/after: conflicting-decomposition reshuffle penalties
+    // computed with unified vs. split overlays.
+    auto st = make_study(*bp);
+    st->apply_user_input();
+    sim::SmpSimulator simulator(st->wb->program(), st->wb->dataflow(),
+                                st->wb->regions());
+    auto chosen = simulator.outermost_parallel(st->guru->plan());
+    auto run = [&](bool split) {
+      sim::SimOptions opts;
+      opts.machine = sim::MachineConfig::alpha_server_8400();
+      opts.nproc = 4;
+      opts.reshuffle_elems = sim::analyze_decomposition_conflicts(
+          st->wb->program(), st->wb->dataflow(), st->guru->plan(), chosen, split);
+      return simulator.simulate(st->guru->plan(), st->guru->profiler(), opts).speedup;
+    };
+    double before = run(false);
+    double after = splits[2] > 0 ? run(true) : before;
+
+    std::printf("%s%s%s%s%s%s\n", cell(bp->name, 9).c_str(),
+                cell(static_cast<long>(splits[0]), 11).c_str(),
+                cell(static_cast<long>(splits[1]), 13).c_str(),
+                cell(static_cast<long>(splits[2]), 13).c_str(),
+                cell(before, 10).c_str(), cell(after, 10).c_str());
+  }
+  std::printf("\nPaper: hydro2d 5 splits, 2.6 -> 2.8; arc3d and wave5 1 split each\n"
+              "with no speedup change. Shape: only the full (kill-capable)\n"
+              "liveness proves the disjoint live ranges, and only hydro2d's\n"
+              "speedup moves.\n");
+  return 0;
+}

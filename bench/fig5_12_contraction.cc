@@ -1,0 +1,61 @@
+// Fig 5-12: flo88 speedup scaling without and with array contraction on a
+// simulated 32-processor SGI Origin. The uncontracted temporaries carry
+// producer/consumer traffic between the fused loops that does not shrink
+// with processor count (the comm floor); contraction removes it and
+// restores scalability.
+#include <cstdio>
+
+#include "analysis/contraction.h"
+#include "bench_util.h"
+#include "simulator/machine.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+int main() {
+  const benchsuite::BenchProgram& bp = benchsuite::flo88_fused();
+  auto st = make_study(bp);
+
+  // Contraction candidates inside psmoo's parallel (fused) j loop.
+  ir::Stmt* jloop = st->wb->loop("psmoo/50");
+  std::vector<analysis::ContractedArray> contractions;
+  if (jloop != nullptr && st->wb->liveness() != nullptr) {
+    contractions = analysis::find_contractions(jloop, st->wb->dataflow(),
+                                               st->wb->regions(),
+                                               *st->wb->liveness());
+  }
+  std::printf("Fig 5-12: flo88 (fused psmoo) speedups without/with array\n"
+              "contraction, simulated SGI Origin\n\n");
+  std::printf("contracted arrays found: %zu\n", contractions.size());
+  for (const analysis::ContractedArray& ca : contractions) {
+    std::printf("  %s: %ld -> %ld elements (%d dim(s) collapsed)\n",
+                ca.var->name.c_str(), ca.original_elems, ca.contracted_elems,
+                ca.collapsed_dims);
+  }
+  std::printf("\n%s%s%s\n", cell("procs", 6).c_str(), cell("no contraction", 15).c_str(),
+              cell("with contraction", 17).c_str());
+  rule(40);
+
+  sim::SmpSimulator simulator(st->wb->program(), st->wb->dataflow(),
+                              st->wb->regions());
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    sim::SimOptions base;
+    base.machine = sim::MachineConfig::sgi_origin();
+    base.nproc = p;
+    // Producer/consumer traffic for the temporaries between the fused loops
+    // (calibrated to the Origin's remote-access cost).
+    base.comm_elem_cost = 1.3;
+    auto r_base =
+        simulator.simulate(st->guru->plan(), st->guru->profiler(), base);
+
+    sim::SimOptions con = base;
+    if (jloop != nullptr) con.contractions[jloop] = contractions;
+    auto r_con = simulator.simulate(st->guru->plan(), st->guru->profiler(), con);
+
+    std::printf("%s%s%s\n", cell(static_cast<long>(p), 6).c_str(),
+                cell(r_base.speedup, 15).c_str(), cell(r_con.speedup, 17).c_str());
+  }
+  std::printf("\nPaper: 6.3 vs 19.6 at 32 processors. Shape: the uncontracted\n"
+              "version saturates early; the contracted one keeps scaling.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig 5-7: numbers of loops, modified array variables in loops, and the
+// percentage of modified variables found dead at loop exits by each
+// liveness variant (flow-insensitive / 1-bit / full).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+struct DeadStats {
+  int loops = 0;
+  int modified = 0;
+  int dead = 0;
+};
+
+DeadStats measure(const benchsuite::BenchProgram& bp, analysis::LivenessMode mode) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp.source, diag, mode);
+  DeadStats st;
+  const analysis::ArrayLiveness* live = wb->liveness();
+  for (const auto& p : wb->program().procedures()) {
+    for (ir::Stmt* loop : p.loops()) {
+      ++st.loops;
+      const graph::Region* r = wb->regions().loop_region(loop);
+      for (const ir::Variable* v : live->modified_vars(r)) {
+        if (!v->is_array()) continue;
+        ++st.modified;
+        if (live->dead_at_exit(r, v)) ++st.dead;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 5-7: modified array variables dead at loop exits, per variant\n\n");
+  std::printf("%s%s%s%s%s%s\n", cell("program", 9).c_str(), cell("#loops", 7).c_str(),
+              cell("#mod", 6).c_str(), cell("%dead FI", 9).c_str(),
+              cell("%dead 1bit", 11).c_str(), cell("%dead full", 11).c_str());
+  rule(56);
+  for (const benchsuite::BenchProgram* bp : benchsuite::liveness_suite()) {
+    DeadStats fi = measure(*bp, analysis::LivenessMode::FlowInsensitive);
+    DeadStats ob = measure(*bp, analysis::LivenessMode::OneBit);
+    DeadStats fu = measure(*bp, analysis::LivenessMode::Full);
+    auto pct = [](const DeadStats& s) {
+      return s.modified > 0 ? 100.0 * s.dead / s.modified : 0.0;
+    };
+    std::printf("%s%s%s%s%s%s\n", cell(bp->name, 9).c_str(),
+                cell(static_cast<long>(fu.loops), 7).c_str(),
+                cell(static_cast<long>(fu.modified), 6).c_str(),
+                cell(pct(fi), 9, 0).c_str(), cell(pct(ob), 11, 0).c_str(),
+                cell(pct(fu), 11, 0).c_str());
+  }
+  std::printf("\nPaper: hydro 47/70/72%%, flo88 18/39/46%%, arc3d 17/37/43%%,\n"
+              "wave5 3/22/32%%, hydro2d 1/5/18%%. Shape: full >= 1-bit >= FI, with\n"
+              "the flow-insensitive variant missing most dead variables.\n");
+  return 0;
+}

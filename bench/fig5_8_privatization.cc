@@ -1,0 +1,75 @@
+// Fig 5-8: application of array liveness to privatization finalization —
+// dead private arrays found, additional loops parallelized over the
+// no-liveness baseline, and the resulting simulated 4-processor speedup,
+// per liveness variant.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "simulator/machine.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+struct Row {
+  int dead_priv = 0;
+  int extra_loops = 0;
+  double speedup = 1.0;
+};
+
+Row measure(const benchsuite::BenchProgram& bp,
+            std::optional<analysis::LivenessMode> mode, int base_parallel) {
+  auto st = make_study(bp, mode);
+  Row r;
+  const parallelizer::ParallelPlan& plan = st->guru->plan();
+  for (const auto& [loop, lp] : plan.loops) {
+    for (const parallelizer::PrivateVar& pv : lp.privatized) {
+      if (pv.var->is_array() && pv.finalize == parallelizer::Finalize::None &&
+          lp.parallelizable) {
+        ++r.dead_priv;
+      }
+    }
+  }
+  r.extra_loops = plan.num_parallel() - base_parallel;
+  r.speedup =
+      st->guru->simulate(4, sim::MachineConfig::alpha_server_8400()).speedup;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 5-8: privatization finalization via liveness (simulated\n"
+              "4-processor AlphaServer; loop counts relative to the base\n"
+              "compiler without array liveness)\n\n");
+  std::printf("%s%s", cell("program", 9).c_str(), cell("base sp", 8).c_str());
+  for (const char* v : {"FI", "1bit", "full"}) {
+    std::printf("| %s%s%s", cell(std::string("dead(") + v + ")", 10).c_str(),
+                cell("+loops", 7).c_str(), cell("speedup", 8).c_str());
+  }
+  std::printf("\n");
+  rule(100);
+
+  for (const benchsuite::BenchProgram* bp : benchsuite::liveness_suite()) {
+    auto base = make_study(*bp, std::nullopt);
+    int base_parallel = base->guru->plan().num_parallel();
+    double base_sp =
+        base->guru->simulate(4, sim::MachineConfig::alpha_server_8400()).speedup;
+    std::printf("%s%s", cell(bp->name, 9).c_str(), cell(base_sp, 8).c_str());
+    for (analysis::LivenessMode mode :
+         {analysis::LivenessMode::FlowInsensitive, analysis::LivenessMode::OneBit,
+          analysis::LivenessMode::Full}) {
+      Row r = measure(*bp, mode, base_parallel);
+      std::printf("| %s%s%s", cell(static_cast<long>(r.dead_priv), 10).c_str(),
+                  cell(static_cast<long>(r.extra_loops), 7).c_str(),
+                  cell(r.speedup, 8).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper: hydro 2.4 -> 3.1/3.3/3.3 with 25/31/31 dead arrays and\n"
+              "5/8/8 extra loops; wave5's new loops are too small to profit\n"
+              "(speedup stays 1.0); hydro2d gains nothing. Shape: the full\n"
+              "variant finds the most dead arrays and the best speedups.\n");
+  return 0;
+}

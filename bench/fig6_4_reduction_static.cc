@@ -1,0 +1,31 @@
+// Fig 6-4: impact of reductions — static measurements: parallelizable loops
+// and parallelism coverage with and without reduction recognition.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+int main() {
+  std::printf("Fig 6-4: impact of reduction recognition (static)\n\n");
+  std::printf("%s%s%s%s%s\n", cell("program", 9).c_str(),
+              cell("par loops w/o", 14).c_str(), cell("par loops w/", 13).c_str(),
+              cell("coverage w/o", 13).c_str(), cell("coverage w/", 12).c_str());
+  rule(64);
+  for (const benchsuite::BenchProgram* bp : benchsuite::reduction_suite()) {
+    auto without = make_study(*bp, analysis::LivenessMode::Full,
+                              /*enable_reductions=*/false);
+    auto with = make_study(*bp, analysis::LivenessMode::Full,
+                           /*enable_reductions=*/true);
+    std::printf("%s%s%s%s%s\n", cell(bp->name, 9).c_str(),
+                cell(static_cast<long>(without->guru->plan().num_parallel()), 14).c_str(),
+                cell(static_cast<long>(with->guru->plan().num_parallel()), 13).c_str(),
+                cell(without->guru->coverage() * 100, 12, 0).c_str(),
+                cell(with->guru->coverage() * 100, 12, 0).c_str());
+  }
+  std::printf("\nPaper shape: reduction recognition makes a tremendous difference\n"
+              "in the amount of computation that can be parallelized — several\n"
+              "programs go from near-zero coverage to near-total.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Chapter 5 walkthrough: array liveness enabling privatization finalization
+// on hydro's aif3 pattern (Fig 5-1), the hydro2d common-block split
+// (Fig 5-9), and array contraction on the fused flo88 psmoo (Fig 5-11).
+#include <cstdio>
+
+#include "analysis/commonsplit.h"
+#include "analysis/contraction.h"
+#include "benchsuite/suite.h"
+#include "explorer/guru.h"
+#include "simulator/machine.h"
+
+using namespace suifx;
+
+int main() {
+  // --- privatization finalization via liveness (hydro) --------------------
+  {
+    const benchsuite::BenchProgram& bp = benchsuite::hydro();
+    std::printf("=== hydro: liveness-enabled privatization (Fig 5-1) ===\n\n");
+    for (auto mode : {std::optional<analysis::LivenessMode>{},
+                      std::optional<analysis::LivenessMode>{
+                          analysis::LivenessMode::Full}}) {
+      Diag diag;
+      auto wb = explorer::Workbench::from_source(bp.source, diag, mode);
+      auto plan = wb->plan();
+      ir::Stmt* loop = wb->loop("vsweep/85");
+      const parallelizer::LoopPlan* lp = plan.find(loop);
+      std::printf("%-18s vsweep/85: %s%s%s\n",
+                  mode ? "with liveness:" : "without liveness:",
+                  lp->parallelizable ? "PARALLEL" : "sequential",
+                  lp->parallelizable ? "" : " — ",
+                  lp->parallelizable ? "" : lp->reason.c_str());
+      for (const auto& pv : lp->privatized) {
+        std::printf("    private %s (finalize: %s)\n", pv.var->name.c_str(),
+                    pv.finalize == parallelizer::Finalize::None
+                        ? "none — dead at exit"
+                        : "last iteration");
+      }
+    }
+  }
+
+  // --- common block splitting (hydro2d) ------------------------------------
+  {
+    std::printf("\n=== hydro2d: common-block live-range splitting (Fig 5-9) ===\n\n");
+    for (auto mode : {analysis::LivenessMode::OneBit, analysis::LivenessMode::Full}) {
+      Diag diag;
+      auto prog = frontend::parse_program(benchsuite::hydro2d().source, diag);
+      int n = 0;
+      for (const analysis::CommonSplit& cs :
+           analysis::find_common_splits(*prog, mode)) {
+        if (!cs.splittable) continue;
+        ++n;
+        std::printf("  [%s] split %s: %s / %s live ranges are disjoint\n",
+                    analysis::to_string(mode), cs.block->name.c_str(),
+                    cs.a->qualified_name().c_str(), cs.b->qualified_name().c_str());
+      }
+      if (n == 0) {
+        std::printf("  [%s] no splits provable\n", analysis::to_string(mode));
+      }
+    }
+  }
+
+  // --- array contraction (fused flo88) -------------------------------------
+  {
+    std::printf("\n=== flo88 (fused): array contraction (Fig 5-11) ===\n\n");
+    Diag diag;
+    auto wb = explorer::Workbench::from_source(benchsuite::flo88_fused().source, diag);
+    ir::Stmt* jloop = wb->loop("psmoo/50");
+    auto contractions = analysis::find_contractions(
+        jloop, wb->dataflow(), wb->regions(), *wb->liveness());
+    for (const analysis::ContractedArray& ca : contractions) {
+      std::printf("  contract %s: %ld -> %ld elements (%d dimension(s) collapse)\n",
+                  ca.var->name.c_str(), ca.original_elems, ca.contracted_elems,
+                  ca.collapsed_dims);
+    }
+    std::printf("\n  Each temporary shrinks to one column: smaller footprint,\n"
+                "  no producer/consumer traffic between the fused loops.\n");
+  }
+  return 0;
+}

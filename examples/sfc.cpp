@@ -1,0 +1,159 @@
+// sfc — the SF compiler driver: parse an .sf file, run the interprocedural
+// parallelizer, and inspect/execute the result from the command line.
+//
+//   sfc FILE.sf [options]
+//     --plan                 print per-loop verdicts and transforms (default)
+//     --codeview             print the bird's-eye Codeview (§2.7)
+//     --targets              print the Parallelization Guru's worklist (§2.6)
+//     --slice LOOP VAR       print the dependence slice for VAR in LOOP,
+//                            code-region- and array-restricted (§3.6)
+//     --simulate P           simulated speedup on P processors (AlphaServer)
+//     --run                  interpret the program and print its output
+//     --liveness MODE        full | 1bit | fi | off        (default: full)
+//     --no-reductions        disable reduction recognition (§6 baseline)
+//     --dot                  print the call graph in Graphviz format
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "explorer/codeview.h"
+#include "explorer/guru.h"
+#include "simulator/machine.h"
+#include "slicing/slicer.h"
+
+using namespace suifx;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sfc FILE.sf [--plan] [--codeview] [--targets]\n"
+               "           [--slice LOOP VAR] [--simulate P] [--run]\n"
+               "           [--liveness full|1bit|fi|off] [--no-reductions] [--dot]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "sfc: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string src = ss.str();
+
+  bool want_plan = false, want_codeview = false, want_targets = false;
+  bool want_run = false, want_dot = false, reductions = true;
+  int simulate_p = 0;
+  std::string slice_loop, slice_var;
+  std::optional<analysis::LivenessMode> liveness = analysis::LivenessMode::Full;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--plan") want_plan = true;
+    else if (a == "--codeview") want_codeview = true;
+    else if (a == "--targets") want_targets = true;
+    else if (a == "--run") want_run = true;
+    else if (a == "--dot") want_dot = true;
+    else if (a == "--no-reductions") reductions = false;
+    else if (a == "--simulate" && i + 1 < argc) simulate_p = std::atoi(argv[++i]);
+    else if (a == "--slice" && i + 2 < argc) {
+      slice_loop = argv[++i];
+      slice_var = argv[++i];
+    } else if (a == "--liveness" && i + 1 < argc) {
+      std::string m = argv[++i];
+      if (m == "full") liveness = analysis::LivenessMode::Full;
+      else if (m == "1bit") liveness = analysis::LivenessMode::OneBit;
+      else if (m == "fi") liveness = analysis::LivenessMode::FlowInsensitive;
+      else if (m == "off") liveness = std::nullopt;
+      else return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (!want_plan && !want_codeview && !want_targets && !want_run && !want_dot &&
+      simulate_p == 0 && slice_loop.empty()) {
+    want_plan = true;
+  }
+
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag, liveness, reductions);
+  if (wb == nullptr) {
+    std::fprintf(stderr, "%s", diag.str().c_str());
+    return 1;
+  }
+  for (const Diagnostic& d : diag.all()) {
+    std::fprintf(stderr, "%s\n", d.str().c_str());
+  }
+
+  explorer::Guru guru(*wb);
+
+  if (want_plan) {
+    std::printf("%s: %d lines, %zu procedures, %zu loops planned\n",
+                wb->program().name().c_str(), wb->program().num_lines(),
+                wb->program().procedures().size(), guru.plan().loops.size());
+    for (const auto& [loop, lp] : guru.plan().loops) {
+      std::printf("  %-16s %s", loop->loop_name().c_str(),
+                  lp.parallelizable ? "PARALLEL  " : "sequential");
+      for (const auto& rv : lp.reductions) {
+        std::printf(" red(%s %s)", ir::to_string(rv.op), rv.var->name.c_str());
+      }
+      for (const auto& pv : lp.privatized) {
+        std::printf(" priv(%s%s)", pv.var->name.c_str(),
+                    pv.finalize == parallelizer::Finalize::None ? ",dead" : "");
+      }
+      if (!lp.parallelizable) std::printf("  [%s]", lp.reason.c_str());
+      std::printf("\n");
+    }
+    std::printf("coverage %.0f%%  granularity %.3f ms\n", guru.coverage() * 100,
+                guru.granularity_ms());
+  }
+  if (want_targets) {
+    std::printf("Guru targets (important sequential loops):\n");
+    for (const explorer::LoopReport* t : guru.targets()) {
+      std::printf("  %-16s cov %.1f%%  gran %.3f ms  static deps %d  dyn dep %s\n",
+                  t->loop->loop_name().c_str(), t->coverage * 100, t->granularity_ms,
+                  t->num_static_deps, t->dynamic_dep ? "OBSERVED" : "none");
+    }
+  }
+  if (want_codeview) {
+    std::printf("%s", explorer::codeview(*wb, guru.plan(), guru.profiler()).c_str());
+  }
+  if (!slice_loop.empty()) {
+    ir::Stmt* loop = wb->loop(slice_loop);
+    const ir::Variable* var = wb->var(slice_var);
+    if (loop == nullptr || var == nullptr) {
+      std::fprintf(stderr, "sfc: unknown loop '%s' or variable '%s'\n",
+                   slice_loop.c_str(), slice_var.c_str());
+      return 1;
+    }
+    slicing::Slicer slicer(wb->issa());
+    slicing::SliceOptions opts;
+    opts.region_loop = loop;
+    opts.array_restrict = true;
+    slicing::SliceResult slice = slicer.dependence_slice(loop, var, opts);
+    std::printf("%s", explorer::annotated_source(*wb, slice).c_str());
+  }
+  if (simulate_p > 0) {
+    auto r = guru.simulate(simulate_p, sim::MachineConfig::alpha_server_8400());
+    std::printf("simulated %d-processor speedup: %.2f  (seq %.0f units, par %.0f)\n",
+                simulate_p, r.speedup, r.seq_time, r.par_time);
+  }
+  if (want_dot) {
+    std::printf("%s", wb->callgraph().to_dot().c_str());
+  }
+  if (want_run) {
+    dynamic::Interpreter interp(wb->program());
+    dynamic::RunResult r = interp.run();
+    if (!r.ok) {
+      std::fprintf(stderr, "runtime error: %s\n", r.error.c_str());
+      return 1;
+    }
+    for (double v : r.printed) std::printf("%.6f\n", v);
+  }
+  return 0;
+}

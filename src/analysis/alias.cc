@@ -1,0 +1,105 @@
+#include "analysis/alias.h"
+
+#include <algorithm>
+
+namespace suifx::analysis {
+
+long AliasAnalysis::footprint_elems(const ir::Variable* v) const {
+  long n = 1;
+  for (const ir::Dim& d : v->dims) {
+    long lo = 0, hi = 0;
+    if (!ir::eval_const_with_params(d.lower, &lo) ||
+        !ir::eval_const_with_params(d.upper, &hi)) {
+      return -1;  // unknown extent
+    }
+    n *= std::max<long>(0, hi - lo + 1);
+  }
+  return n;
+}
+
+AliasAnalysis::AliasAnalysis(const ir::Program& prog, bool unify_overlays)
+    : prog_(prog) {
+  // Group common members per block.
+  std::map<const ir::CommonBlock*, std::vector<const ir::Variable*>> by_block;
+  for (const ir::Variable& v : prog.variables()) {
+    if (v.kind == ir::VarKind::CommonMember) by_block[v.common].push_back(&v);
+  }
+  for (auto& [blk, members] : by_block) {
+    // Detect partial overlaps: members at different offsets whose extents
+    // intersect, or members at the same offset with different footprints.
+    bool blob = false;
+    for (size_t i = 0; i < members.size() && !blob; ++i) {
+      for (size_t j = i + 1; j < members.size() && !blob; ++j) {
+        const ir::Variable* a = members[i];
+        const ir::Variable* b = members[j];
+        long fa = footprint_elems(a);
+        long fb = footprint_elems(b);
+        if (a->common_offset == b->common_offset) {
+          if (fa < 0 || fb < 0 || fa != fb || a->rank() != b->rank()) blob = true;
+          continue;
+        }
+        if (fa < 0 || fb < 0) {
+          blob = true;
+          continue;
+        }
+        long a_lo = a->common_offset, a_hi = a->common_offset + fa;
+        long b_lo = b->common_offset, b_hi = b->common_offset + fb;
+        if (a_lo < b_hi && b_lo < a_hi) blob = true;  // partial overlap
+      }
+    }
+    // Canonical member per offset: the first declared. In no-unify mode
+    // (the §5.5 split hypothesis) distinct-NAMED overlays stay separate, but
+    // same-named views declared by different procedures remain one logical
+    // variable (tistep's vz and vps's vz are the same view).
+    std::map<long, const ir::Variable*> rep_at;
+    std::map<std::pair<long, std::string>, const ir::Variable*> rep_named;
+    for (const ir::Variable* m : members) {
+      auto [it, inserted] = rep_at.insert({m->common_offset, m});
+      auto [nit, ninserted] =
+          rep_named.insert({{m->common_offset, m->name}, m});
+      canon_[m] = blob ? members.front() : (unify_overlays ? it->second : nit->second);
+      blob_[m] = blob;
+    }
+    if (blob) {
+      for (const ir::Variable* m : members) canon_[m] = members.front();
+    }
+  }
+}
+
+const ir::Variable* AliasAnalysis::canonical(const ir::Variable* v) const {
+  auto it = canon_.find(v);
+  return it != canon_.end() ? it->second : v;
+}
+
+bool AliasAnalysis::may_alias(const ir::Variable* a, const ir::Variable* b) const {
+  if (a == b) return true;
+  if (a->kind == ir::VarKind::CommonMember && b->kind == ir::VarKind::CommonMember &&
+      a->common == b->common) {
+    if (canonical(a) == canonical(b)) return true;
+    if (is_blob(a) || is_blob(b)) return true;
+    // Distinct offsets with disjoint footprints: no alias.
+    long fa = footprint_elems(a);
+    long fb = footprint_elems(b);
+    if (fa < 0 || fb < 0) return true;
+    long a_lo = a->common_offset, a_hi = a->common_offset + fa;
+    long b_lo = b->common_offset, b_hi = b->common_offset + fb;
+    return a_lo < b_hi && b_lo < a_hi;
+  }
+  return false;
+}
+
+bool AliasAnalysis::is_blob(const ir::Variable* v) const {
+  auto it = blob_.find(v);
+  return it != blob_.end() && it->second;
+}
+
+std::vector<const ir::Variable*> AliasAnalysis::class_members(
+    const ir::Variable* canon) const {
+  std::vector<const ir::Variable*> out;
+  for (const ir::Variable& v : prog_.variables()) {
+    if (canonical(&v) == canon) out.push_back(&v);
+  }
+  return out;
+}
+
+}  // namespace suifx::analysis

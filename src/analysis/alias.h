@@ -1,0 +1,49 @@
+// Storage canonicalization and alias classes for SF, the Fortran-flavored
+// adaptation of §3.4.1/§3.4.2: aliasing arises only from COMMON-block
+// overlays (parameter passing is modeled copy-in/copy-out per the Fortran
+// standard, exactly as the thesis does). Overlay members that view the same
+// block at the same offset with the same footprint unify into one class with
+// a canonical representative (strong updates stay strong); members with
+// partially-overlapping footprints collapse the whole block into a single
+// conservative "blob" class (every access is a weak whole-blob access) — the
+// Steensgaard-style coarsening.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::analysis {
+
+class AliasAnalysis {
+ public:
+  /// `unify_overlays=false` keeps same-offset overlay members distinct — the
+  /// hypothesis mode used by the common-block splitting check (§5.5), which
+  /// asks "if these views had separate storage, would the program notice?".
+  explicit AliasAnalysis(const ir::Program& prog, bool unify_overlays = true);
+
+  /// The canonical representative of `v`'s storage class. Identity for
+  /// non-common variables.
+  const ir::Variable* canonical(const ir::Variable* v) const;
+
+  /// May the two variables denote overlapping storage?
+  bool may_alias(const ir::Variable* a, const ir::Variable* b) const;
+
+  /// True when `v` belongs to a conservative whole-block class (distinct
+  /// overlay shapes at overlapping offsets): element-precise reasoning about
+  /// it is disabled.
+  bool is_blob(const ir::Variable* v) const;
+
+  /// All variables whose canonical representative is `canon`.
+  std::vector<const ir::Variable*> class_members(const ir::Variable* canon) const;
+
+ private:
+  long footprint_elems(const ir::Variable* v) const;
+
+  const ir::Program& prog_;
+  std::map<const ir::Variable*, const ir::Variable*> canon_;
+  std::map<const ir::Variable*, bool> blob_;
+};
+
+}  // namespace suifx::analysis

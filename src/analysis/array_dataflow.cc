@@ -1,0 +1,778 @@
+#include "analysis/array_dataflow.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace suifx::analysis {
+
+using poly::ArraySummary;
+using poly::LinearExpr;
+using poly::LinSystem;
+using poly::SectionList;
+using poly::SymId;
+
+// ---------------------------------------------------------------------------
+// AccessInfo algebra
+// ---------------------------------------------------------------------------
+
+const VarAccess* AccessInfo::find(const ir::Variable* v) const {
+  auto it = vars.find(v);
+  return it != vars.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+/// Move all reduction regions of `va` into its ordinary sections: the
+/// updates read (exposed) and write the region.
+void demote_all_reductions(VarAccess* va) {
+  for (const auto& [op, list] : va->red) {
+    va->sec.R.unite(list);
+    va->sec.E.unite(list);
+    va->sec.W.unite(list);
+  }
+  va->red.clear();
+}
+
+poly::SectionList ordinary_sections(const VarAccess& va) {
+  poly::SectionList all = va.sec.R;
+  all.unite(va.sec.E);
+  all.unite(va.sec.W);
+  all.unite(va.sec.M);
+  return all;
+}
+
+/// §6.2.2.3: when two summaries of the same variable are combined, reduction
+/// regions survive only if they do not overlap the other summary's ordinary
+/// accesses and carry the identical operator. Any conflict demotes every
+/// reduction region of the variable on both sides (conservative).
+void demote_conflicting_reductions(VarAccess* a, VarAccess* b) {
+  if (a->red.empty() && b->red.empty()) return;
+  poly::SectionList a_ord = ordinary_sections(*a);
+  poly::SectionList b_ord = ordinary_sections(*b);
+  bool conflict = false;
+  for (const auto& [op, list] : a->red) {
+    if (!list.disjoint_from(b_ord)) conflict = true;
+    for (const auto& [op2, list2] : b->red) {
+      if (op2 != op && !list.disjoint_from(list2)) conflict = true;
+    }
+  }
+  for (const auto& [op, list] : b->red) {
+    if (!list.disjoint_from(a_ord)) conflict = true;
+  }
+  if (conflict) {
+    demote_all_reductions(a);
+    demote_all_reductions(b);
+  }
+}
+
+}  // namespace
+
+AccessInfo AccessInfo::meet(const AccessInfo& a, const AccessInfo& b) {
+  AccessInfo out;
+  std::set<const ir::Variable*> keys;
+  for (const auto& [v, x] : a.vars) keys.insert(v);
+  for (const auto& [v, x] : b.vars) keys.insert(v);
+  for (const ir::Variable* v : keys) {
+    static const VarAccess kEmpty;
+    VarAccess va = a.find(v) != nullptr ? *a.find(v) : kEmpty;
+    VarAccess vb = b.find(v) != nullptr ? *b.find(v) : kEmpty;
+    demote_conflicting_reductions(&va, &vb);
+    VarAccess m;
+    m.sec = ArraySummary::meet(va.sec, vb.sec);
+    m.red = va.red;
+    for (const auto& [op, list] : vb.red) m.red[op].unite(list);
+    out.vars[v] = std::move(m);
+  }
+  return out;
+}
+
+AccessInfo AccessInfo::compose(const AccessInfo& node, const AccessInfo& after) {
+  AccessInfo out;
+  std::set<const ir::Variable*> keys;
+  for (const auto& [v, x] : node.vars) keys.insert(v);
+  for (const auto& [v, x] : after.vars) keys.insert(v);
+  for (const ir::Variable* v : keys) {
+    static const VarAccess kEmpty;
+    VarAccess vn = node.find(v) != nullptr ? *node.find(v) : kEmpty;
+    VarAccess va = after.find(v) != nullptr ? *after.find(v) : kEmpty;
+    demote_conflicting_reductions(&vn, &va);
+    VarAccess c;
+    c.sec = ArraySummary::compose(vn.sec, va.sec);
+    c.red = vn.red;
+    for (const auto& [op, list] : va.red) c.red[op].unite(list);
+    out.vars[v] = std::move(c);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural expression equality
+// ---------------------------------------------------------------------------
+
+bool expr_equal(const ir::Expr* a, const ir::Expr* b) {
+  if (a == b) return true;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ir::ExprKind::IntConst:
+      return a->ival == b->ival;
+    case ir::ExprKind::RealConst:
+      return a->rval == b->rval;
+    case ir::ExprKind::VarRef:
+      return a->var == b->var;
+    case ir::ExprKind::ArrayRef:
+      if (a->var != b->var || a->idx.size() != b->idx.size()) return false;
+      for (size_t i = 0; i < a->idx.size(); ++i) {
+        if (!expr_equal(a->idx[i], b->idx[i])) return false;
+      }
+      return true;
+    case ir::ExprKind::Binary:
+      return a->bop == b->bop && expr_equal(a->a, b->a) && expr_equal(a->b, b->b);
+    case ir::ExprKind::Unary:
+      return a->uop == b->uop && expr_equal(a->a, b->a);
+  }
+  return false;
+}
+
+namespace {
+
+bool refers_to(const ir::Expr* e, const ir::Variable* v, const AliasAnalysis& alias) {
+  bool found = false;
+  ir::for_each_expr(e, [&](const ir::Expr* n) {
+    if ((n->is_var_ref() || n->is_array_ref()) && alias.may_alias(n->var, v)) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+ArrayDataflow::ArrayDataflow(const ir::Program& prog, const AliasAnalysis& alias,
+                             const ModRef& modref, const graph::CallGraph& cg,
+                             const graph::RegionTree& regions, const Symbolic& symbolic)
+    : prog_(prog), alias_(alias), modref_(modref), cg_(cg), regions_(regions),
+      symbolic_(symbolic) {
+  for (ir::Procedure* p : cg.bottom_up()) {
+    AccessInfo info = summarize_body(p->body);
+    region_info_[regions.of_proc(p)] = info;
+    call_summary_[p] = localize(p, info);
+    bool io = false;
+    p->for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Print) io = true;
+      if (s->kind == ir::StmtKind::Call) io = io || proc_io_.at(s->callee);
+    });
+    proc_io_[p] = io;
+  }
+}
+
+bool ArrayDataflow::proc_has_io(const ir::Procedure* p) const {
+  auto it = proc_io_.find(p);
+  if (it != proc_io_.end()) return it->second;
+  bool io = false;
+  p->for_each([&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Print) io = true;
+    if (s->kind == ir::StmtKind::Call) io = io || proc_has_io(s->callee);
+  });
+  return io;
+}
+
+bool ArrayDataflow::loop_has_io(const ir::Stmt* loop) const {
+  bool io = false;
+  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Print) io = true;
+    if (s->kind == ir::StmtKind::Call) io = io || proc_has_io(s->callee);
+  });
+  return io;
+}
+
+bool ArrayDataflow::loop_has_call(const ir::Stmt* loop) const {
+  bool call = false;
+  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Call) call = true;
+  });
+  return call;
+}
+
+const AccessInfo& ArrayDataflow::region_info(const graph::Region* r) const {
+  return region_info_.at(r);
+}
+
+const AccessInfo& ArrayDataflow::body_info(const ir::Stmt* loop) const {
+  return body_info_.at(loop);
+}
+
+const AccessInfo& ArrayDataflow::call_summary(const ir::Procedure* p) const {
+  return call_summary_.at(p);
+}
+
+const AccessInfo& ArrayDataflow::node_info(const ir::Stmt* s) const {
+  static const AccessInfo kEmpty;
+  auto it = node_info_.find(s);
+  // Statements consumed by a containing pattern (e.g. the assignment inside
+  // a recognized MIN/MAX reduction If) have no standalone summary: their
+  // effect is carried by the enclosing node.
+  return it != node_info_.end() ? it->second : kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// Statement-level summaries
+// ---------------------------------------------------------------------------
+
+void ArrayDataflow::record_read(AccessInfo* out, const ir::Expr* ref, const ir::Stmt* s) {
+  const ir::Variable* v = alias_.canonical(ref->var);
+  if (v->kind == ir::VarKind::SymParam) return;  // compile-time symbols
+  VarAccess& va = out->at(v);
+  LinSystem sec;
+  if (ref->is_array_ref() && !alias_.is_blob(ref->var)) {
+    sec = poly::subscripts_to_section(ref->var, ref->idx, symbolic_.resolver_at(s),
+                                      nullptr);
+  } else if (v->is_array()) {
+    sec = poly::whole_array_section(v, poly::params_only);
+  }
+  va.sec.R.add(sec);
+  va.sec.E.add(sec);
+}
+
+void ArrayDataflow::record_write(AccessInfo* out, const ir::Expr* ref, const ir::Stmt* s,
+                                 bool must) {
+  const ir::Variable* v = alias_.canonical(ref->var);
+  VarAccess& va = out->at(v);
+  bool exact = true;
+  LinSystem sec;
+  if (ref->is_array_ref() && !alias_.is_blob(ref->var)) {
+    sec = poly::subscripts_to_section(ref->var, ref->idx, symbolic_.resolver_at(s),
+                                      &exact);
+  } else if (v->is_array()) {
+    sec = poly::whole_array_section(v, poly::params_only);
+    exact = false;
+  }
+  if (alias_.is_blob(ref->var)) exact = false;
+  if (must && exact) {
+    va.sec.M.add(sec);
+  } else {
+    va.sec.W.add(sec);
+  }
+}
+
+bool ArrayDataflow::match_reduction_assign(const ir::Stmt* s, AccessInfo* out) {
+  // Pattern: X = X op e  (or X = e op X for commutative op; X = X - e as an
+  // additive reduction), where X is a scalar or array ref and e is free of
+  // X's storage.
+  const ir::Expr* lhs = s->lhs;
+  const ir::Expr* rhs = s->rhs;
+  if (rhs->kind != ir::ExprKind::Binary) return false;
+  ir::BinOp op = rhs->bop;
+  bool sub_form = op == ir::BinOp::Sub;
+  if (!ir::is_reduction_op(op) && !sub_form) return false;
+  const ir::Expr* self = nullptr;
+  const ir::Expr* other = nullptr;
+  if (expr_equal(rhs->a, lhs)) {
+    self = rhs->a;
+    other = rhs->b;
+  } else if (!sub_form && expr_equal(rhs->b, lhs)) {
+    self = rhs->b;
+    other = rhs->a;
+  } else {
+    return false;
+  }
+  (void)self;
+  if (refers_to(other, lhs->var, alias_)) return false;
+  // Subscripts must not read the reduction variable either.
+  for (const ir::Expr* ix : lhs->idx) {
+    if (refers_to(ix, lhs->var, alias_)) return false;
+  }
+  if (sub_form) op = ir::BinOp::Add;
+
+  const ir::Variable* v = alias_.canonical(lhs->var);
+  VarAccess& va = out->at(v);
+  LinSystem sec;
+  if (lhs->is_array_ref() && !alias_.is_blob(lhs->var)) {
+    sec = poly::subscripts_to_section(lhs->var, lhs->idx, symbolic_.resolver_at(s),
+                                      nullptr);
+  } else if (v->is_array()) {
+    sec = poly::whole_array_section(v, poly::params_only);
+  }
+  va.red[op].add(sec);
+  // Reads performed by the subscripts and the free operand are ordinary.
+  for (const ir::Expr* ix : lhs->idx) {
+    ir::for_each_expr(ix, [&](const ir::Expr* n) {
+      if (n->is_var_ref() || n->is_array_ref()) record_read(out, n, s);
+    });
+  }
+  ir::for_each_expr(other, [&](const ir::Expr* n) {
+    if (n->is_var_ref() || n->is_array_ref()) record_read(out, n, s);
+  });
+  return true;
+}
+
+bool ArrayDataflow::match_reduction_minmax_if(const ir::Stmt* s, AccessInfo* out) {
+  // Pattern (§6.2.2.1): if (e REL X) { X = e; }  — a MIN/MAX reduction on X.
+  if (!s->else_body.empty() || s->then_body.size() != 1) return false;
+  const ir::Stmt* upd = s->then_body[0];
+  if (upd->kind != ir::StmtKind::Assign) return false;
+  const ir::Expr* cond = s->cond;
+  if (cond->kind != ir::ExprKind::Binary || !ir::is_comparison(cond->bop)) return false;
+  const ir::Expr* x = upd->lhs;
+  const ir::Expr* e = upd->rhs;
+  ir::BinOp op;
+  if (expr_equal(cond->a, e) && expr_equal(cond->b, x)) {
+    // e REL x
+    if (cond->bop == ir::BinOp::Lt || cond->bop == ir::BinOp::Le) op = ir::BinOp::Min;
+    else if (cond->bop == ir::BinOp::Gt || cond->bop == ir::BinOp::Ge) op = ir::BinOp::Max;
+    else return false;
+  } else if (expr_equal(cond->a, x) && expr_equal(cond->b, e)) {
+    // x REL e
+    if (cond->bop == ir::BinOp::Gt || cond->bop == ir::BinOp::Ge) op = ir::BinOp::Min;
+    else if (cond->bop == ir::BinOp::Lt || cond->bop == ir::BinOp::Le) op = ir::BinOp::Max;
+    else return false;
+  } else {
+    return false;
+  }
+  if (refers_to(e, x->var, alias_)) return false;
+  for (const ir::Expr* ix : x->idx) {
+    if (refers_to(ix, x->var, alias_)) return false;
+  }
+
+  const ir::Variable* v = alias_.canonical(x->var);
+  VarAccess& va = out->at(v);
+  LinSystem sec;
+  if (x->is_array_ref() && !alias_.is_blob(x->var)) {
+    sec = poly::subscripts_to_section(x->var, x->idx, symbolic_.resolver_at(upd), nullptr);
+  } else if (v->is_array()) {
+    sec = poly::whole_array_section(v, poly::params_only);
+  }
+  va.red[op].add(sec);
+  for (const ir::Expr* ix : x->idx) {
+    ir::for_each_expr(ix, [&](const ir::Expr* n) {
+      if (n->is_var_ref() || n->is_array_ref()) record_read(out, n, s);
+    });
+  }
+  ir::for_each_expr(e, [&](const ir::Expr* n) {
+    if (n->is_var_ref() || n->is_array_ref()) record_read(out, n, s);
+  });
+  return true;
+}
+
+AccessInfo ArrayDataflow::summarize_stmt(const ir::Stmt* s) {
+  AccessInfo result = summarize_stmt_impl(s);
+  node_info_[s] = result;
+  return result;
+}
+
+AccessInfo ArrayDataflow::summarize_stmt_impl(const ir::Stmt* s) {
+  AccessInfo out;
+  switch (s->kind) {
+    case ir::StmtKind::Assign: {
+      if (match_reduction_assign(s, &out)) return out;
+      ir::for_each_expr(s->rhs, [&](const ir::Expr* n) {
+        if (n->is_var_ref() || n->is_array_ref()) record_read(&out, n, s);
+      });
+      for (const ir::Expr* ix : s->lhs->idx) {
+        ir::for_each_expr(ix, [&](const ir::Expr* n) {
+          if (n->is_var_ref() || n->is_array_ref()) record_read(&out, n, s);
+        });
+      }
+      record_write(&out, s->lhs, s, /*must=*/true);
+      return out;
+    }
+    case ir::StmtKind::If: {
+      if (match_reduction_minmax_if(s, &out)) return out;
+      AccessInfo cond;
+      ir::for_each_expr(s->cond, [&](const ir::Expr* n) {
+        if (n->is_var_ref() || n->is_array_ref()) record_read(&cond, n, s);
+      });
+      AccessInfo tb = summarize_body(s->then_body);
+      AccessInfo eb = summarize_body(s->else_body);
+      return AccessInfo::compose(cond, AccessInfo::meet(tb, eb));
+    }
+    case ir::StmtKind::Do: {
+      AccessInfo body = summarize_body(s->body);
+      body_info_[s] = body;
+      AccessInfo closed = close_loop(s, std::move(body));
+      // Bound expressions are read once at entry; the index is written.
+      AccessInfo pre;
+      for (const ir::Expr* e : {s->lb, s->ub, s->step}) {
+        ir::for_each_expr(e, [&](const ir::Expr* n) {
+          if (n->is_var_ref() || n->is_array_ref()) record_read(&pre, n, s);
+        });
+      }
+      pre.at(s->ivar).sec.M.add(LinSystem::universe());
+      AccessInfo node = AccessInfo::compose(pre, closed);
+      region_info_[regions_.loop_region(s)] = node;
+      return node;
+    }
+    case ir::StmtKind::Call: {
+      AccessInfo args;
+      const ProcEffects& fx = modref_.of(s->callee);
+      for (size_t i = 0; i < s->args.size(); ++i) {
+        const ir::Expr* a = s->args[i];
+        if (a->is_array_ref()) {
+          for (const ir::Expr* ix : a->idx) {
+            ir::for_each_expr(ix, [&](const ir::Expr* n) {
+              if (n->is_var_ref() || n->is_array_ref()) record_read(&args, n, s);
+            });
+          }
+        } else if (a->is_var_ref()) {
+          // Scalar copy-in reads the actual's value when the callee uses it.
+          if (!a->var->is_array() && fx.formal_ref[i]) record_read(&args, a, s);
+        } else {
+          ir::for_each_expr(a, [&](const ir::Expr* n) {
+            if (n->is_var_ref() || n->is_array_ref()) record_read(&args, n, s);
+          });
+        }
+      }
+      return AccessInfo::compose(args, map_call(s));
+    }
+    case ir::StmtKind::Print: {
+      ir::for_each_expr(s->value, [&](const ir::Expr* n) {
+        if (n->is_var_ref() || n->is_array_ref()) record_read(&out, n, s);
+      });
+      return out;
+    }
+    case ir::StmtKind::Nop:
+      return out;
+  }
+  return out;
+}
+
+AccessInfo ArrayDataflow::summarize_body(const std::vector<ir::Stmt*>& body) {
+  AccessInfo after;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    after = AccessInfo::compose(summarize_stmt(*it), after);
+  }
+  return after;
+}
+
+// ---------------------------------------------------------------------------
+// Loop closure (Fig 5-2 tail + §5.2.2.3)
+// ---------------------------------------------------------------------------
+
+poly::SymId ArrayDataflow::loop_index_sym(const ir::Stmt* loop) const {
+  // The iteration symbol is the body's generation of the index variable.
+  LinearExpr v = symbolic_.value_before(
+      loop->body.empty() ? loop : loop->body.front(), loop->ivar);
+  if (v.terms.size() == 1 && v.terms[0].second == 1 && v.c == 0) {
+    return v.terms[0].first;
+  }
+  return poly::scalar_sym(loop->ivar, 0);
+}
+
+poly::LinSystem ArrayDataflow::loop_bounds(const ir::Stmt* loop) const {
+  LinSystem sys;
+  auto resolve = symbolic_.resolver_at_loop_entry(loop);
+  auto lb = poly::to_affine(loop->lb, resolve);
+  auto ub = poly::to_affine(loop->ub, resolve);
+  long step = 0;
+  bool known_step = ir::eval_const_with_params(loop->step, &step);
+  SymId isym = loop_index_sym(loop);
+  // For a positive step the range is [lb, ub]; for a negative step it is
+  // [ub, lb]; unknown step (cannot happen past the verifier) is unbounded.
+  if (!known_step || step > 0) {
+    if (lb) {
+      LinearExpr e = LinearExpr::var(isym);
+      e -= *lb;
+      sys.add_ge(std::move(e));
+    }
+    if (ub && known_step) {
+      LinearExpr e = *ub;
+      e -= LinearExpr::var(isym);
+      sys.add_ge(std::move(e));
+    }
+  } else {
+    if (lb) {
+      LinearExpr e = *lb;
+      e -= LinearExpr::var(isym);
+      sys.add_ge(std::move(e));
+    }
+    if (ub) {
+      LinearExpr e = LinearExpr::var(isym);
+      e -= *ub;
+      sys.add_ge(std::move(e));
+    }
+  }
+  return sys;
+}
+
+AccessInfo ArrayDataflow::close_loop(const ir::Stmt* loop, AccessInfo body) {
+  LinSystem bounds = loop_bounds(loop);
+  auto variant = [&](SymId s) { return symbolic_.is_variant_sym(loop, s); };
+  auto ivar_only_variants = [&](const LinSystem& sys) {
+    for (SymId s : sys.symbols()) {
+      if (variant(s) && poly::sym_var_id(s) != loop->ivar->id) return false;
+    }
+    return true;
+  };
+  bool has_call = loop_has_call(loop);
+
+  AccessInfo out;
+  for (auto& [v, va] : body.vars) {
+    VarAccess closed;
+    auto close_list = [&](const SectionList& list) {
+      SectionList bounded;
+      for (const LinSystem& p : list.systems()) {
+        bounded.add(LinSystem::intersect(p, bounds));
+      }
+      return bounded.project_out_if(variant);
+    };
+    closed.sec.R = close_list(va.sec.R);
+    closed.sec.W = close_list(va.sec.W);
+    for (const auto& [op, list] : va.red) {
+      SectionList c = close_list(list);
+      if (!c.empty()) closed.red[op] = std::move(c);
+    }
+    // Must-writes survive closure only when their only iteration-variant
+    // symbols are the loop index itself (full-trip DO: every iteration runs).
+    SectionList m_keep, m_demote;
+    for (const LinSystem& p : va.sec.M.systems()) {
+      LinSystem b = LinSystem::intersect(p, bounds);
+      if (ivar_only_variants(b)) {
+        m_keep.add(b);
+      } else {
+        m_demote.add(b);
+      }
+    }
+    closed.sec.M = m_keep.project_out_if(variant);
+    closed.sec.W.unite(m_demote.project_out_if(variant));
+
+    // Upwards-exposed reads: baseline closure, then the §5.2.2.3 sharpening
+    // for call-free recurrences: when all writes are must-writes and there is
+    // no cross-iteration anti-dependence (a read of a location later written
+    // by another iteration), every write precedes any read of the same
+    // location, so the whole-loop must-write kills the exposed section.
+    SectionList e_closed = close_list(va.sec.E);
+    bool sharpen = !has_call && va.sec.W.empty() && !va.sec.M.empty();
+    if (sharpen) {
+      // Anti-dependence probe: R at iteration i vs M at iteration i' != i.
+      std::map<SymId, SymId> prime;
+      for (const LinSystem& p : va.sec.M.systems()) {
+        for (SymId s : p.symbols()) {
+          if (variant(s)) prime[s] = poly::prime_of(s);
+        }
+      }
+      LinSystem bounds2 = bounds.rename(prime);
+      SymId isym = poly::scalar_sym(loop->ivar, 0);
+      for (SymId s : bounds.symbols()) {
+        if (poly::sym_var_id(s) == loop->ivar->id && variant(s)) isym = s;
+      }
+      // A location read before it is written within the SAME iteration is a
+      // loop-independent anti-dependence: the exposed-read set then overlaps
+      // the must-write set at equal iteration symbols.
+      bool anti = !SectionList::intersect(va.sec.E, va.sec.M).empty();
+      for (const LinSystem& r : va.sec.R.systems()) {
+        for (const LinSystem& m : va.sec.M.systems()) {
+          std::map<SymId, SymId> pm;
+          for (SymId s : m.symbols()) {
+            if (variant(s)) pm[s] = poly::prime_of(s);
+          }
+          LinSystem probe = LinSystem::intersect(LinSystem::intersect(r, bounds),
+                                                 LinSystem::intersect(m.rename(pm), bounds2));
+          // Anti-dependence: a read at iteration i of a location written by a
+          // LATER iteration i' > i (flow dependences — writes in earlier
+          // iterations — do not invalidate the write-precedes-read argument).
+          LinearExpr diff = LinearExpr::var(poly::prime_of(isym));
+          diff -= LinearExpr::var(isym);
+          diff += LinearExpr::constant(-1);
+          probe.add_ge(std::move(diff));  // i' - i >= 1
+          if (!probe.is_empty()) anti = true;
+        }
+      }
+      if (!anti) {
+        e_closed = e_closed.subtract(closed.sec.M);
+      }
+    }
+    closed.sec.E = e_closed;
+    if (closed.any()) out.vars[v] = std::move(closed);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Procedure summary localization & call-site mapping
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_proc_local(const ir::Variable* v, const ir::Procedure* p) {
+  return v->kind == ir::VarKind::Local && v->owner == p;
+}
+
+bool is_formal_of(const ir::Variable* v, const ir::Procedure* p) {
+  return v->kind == ir::VarKind::Formal && v->owner == p;
+}
+
+}  // namespace
+
+AccessInfo ArrayDataflow::localize(const ir::Procedure* p, const AccessInfo& info) const {
+  // Allowed symbols after localization: dims, SymParams, generation-0 symbols
+  // of the procedure's integer scalar formals.
+  auto foreign = [&](SymId s) {
+    if (poly::is_dim_sym(s)) return false;
+    int vid = poly::sym_var_id(s);
+    const ir::Variable* v = &prog_.variables()[static_cast<size_t>(vid)];
+    if (v->kind == ir::VarKind::SymParam) return false;
+    if (is_formal_of(v, p) && v->is_scalar() && v->elem == ir::ScalarType::Int &&
+        s == poly::scalar_sym(v, 0)) {
+      return false;
+    }
+    return true;
+  };
+  AccessInfo out;
+  for (const auto& [v, va] : info.vars) {
+    if (is_proc_local(v, p)) continue;  // invisible to callers
+    VarAccess lv;
+    lv.sec.R = va.sec.R.project_out_if(foreign);
+    lv.sec.E = va.sec.E.project_out_if(foreign);
+    lv.sec.W = va.sec.W.project_out_if(foreign);
+    // Must-writes keep only parts free of foreign symbols (projection would
+    // weaken them into may-writes).
+    for (const LinSystem& m : va.sec.M.systems()) {
+      bool clean = true;
+      for (SymId s : m.symbols()) clean = clean && !foreign(s);
+      if (clean) {
+        lv.sec.M.add(m);
+      } else {
+        lv.sec.W.add(m.project_out_if(foreign));
+      }
+    }
+    for (const auto& [op, list] : va.red) {
+      SectionList l = list.project_out_if(foreign);
+      if (!l.empty()) lv.red[op] = std::move(l);
+    }
+    if (lv.any()) out.vars[v] = std::move(lv);
+  }
+  return out;
+}
+
+AccessInfo ArrayDataflow::map_call(const ir::Stmt* call) const {
+  const ir::Procedure* callee = call->callee;
+  const AccessInfo& cs = call_summary_.at(callee);
+  auto caller_resolver = symbolic_.resolver_at(call);
+
+  // Build the symbol substitutions for the callee's scalar formals.
+  struct Subst {
+    SymId sym;
+    std::optional<LinearExpr> value;  // nullopt: project away
+  };
+  std::vector<Subst> substs;
+  for (size_t i = 0; i < callee->formals.size(); ++i) {
+    const ir::Variable* f = callee->formals[i];
+    if (!f->is_scalar() || f->elem != ir::ScalarType::Int) continue;
+    substs.push_back({poly::scalar_sym(f, 0),
+                      poly::to_affine(call->args[i], caller_resolver)});
+  }
+  auto translate = [&](const SectionList& list, bool must, SectionList* may_spill) {
+    SectionList out;
+    for (LinSystem sys : list.systems()) {
+      bool weakened = false;
+      for (const Subst& s : substs) {
+        if (!sys.involves(s.sym)) continue;
+        if (s.value) {
+          sys = sys.substitute(s.sym, *s.value);
+        } else {
+          sys = sys.project_out(s.sym);
+          weakened = true;
+        }
+      }
+      if (must && weakened && may_spill != nullptr) {
+        may_spill->add(std::move(sys));
+      } else {
+        out.add(std::move(sys));
+      }
+    }
+    return out;
+  };
+
+  AccessInfo result;
+  for (const auto& [v, va] : cs.vars) {
+    // Decide the caller-side variable and the dimension transform.
+    const ir::Variable* target = nullptr;
+    bool conservative = false;
+    std::optional<LinearExpr> dim0_shift;  // actual = formal + shift
+    if (is_formal_of(v, callee)) {
+      size_t pos = 0;
+      for (; pos < callee->formals.size(); ++pos) {
+        if (callee->formals[pos] == v) break;
+      }
+      const ir::Expr* a = call->args[pos];
+      if (a->is_var_ref()) {
+        target = alias_.canonical(a->var);
+        if (v->is_array() && (v->rank() != a->var->rank())) conservative = true;
+      } else if (a->is_array_ref()) {
+        target = alias_.canonical(a->var);
+        long flow = 0;
+        bool formal_lb1 =
+            v->rank() == 1 &&
+            ir::eval_const_with_params(v->dims[0].lower, &flow) && flow == 1;
+        if (v->rank() == 1 && a->var->rank() == 1 && formal_lb1 &&
+            !alias_.is_blob(a->var)) {
+          auto off = poly::to_affine(a->idx[0], caller_resolver);
+          if (off) {
+            LinearExpr shift = *off;
+            shift += LinearExpr::constant(-1);  // actual = formal + (off - 1)
+            dim0_shift = shift;
+          } else {
+            conservative = true;
+          }
+        } else {
+          conservative = true;
+        }
+      } else {
+        // Non-lvalue actual for a scalar formal: effects stay in the callee.
+        continue;
+      }
+    } else {
+      target = v;  // global / common canonical
+    }
+    if (alias_.is_blob(target)) conservative = true;
+
+    VarAccess& tv = result.at(target);
+    if (conservative) {
+      LinSystem whole = target->is_array()
+                            ? poly::whole_array_section(target, poly::params_only)
+                            : LinSystem::universe();
+      if (!va.sec.R.empty()) tv.sec.R.add(whole);
+      if (!va.sec.E.empty()) tv.sec.E.add(whole);
+      if (!va.sec.W.empty() || !va.sec.M.empty()) tv.sec.W.add(whole);
+      if (!va.red.empty()) tv.sec.W.add(whole), tv.sec.R.add(whole), tv.sec.E.add(whole);
+      continue;
+    }
+
+    auto shift_dims = [&](SectionList list) {
+      if (!dim0_shift) return list;
+      // dim0_actual = dim0_formal + shift: rename d0 to a scratch symbol,
+      // relate, and project the scratch away. The scratch column lies beyond
+      // every real variable's symbol range.
+      SymId scratch =
+          poly::kMaxRank + 2 * poly::kMaxGens * (prog_.num_vars() + 4);
+      SectionList out;
+      for (const LinSystem& sys : list.systems()) {
+        LinSystem renamed = sys.rename({{poly::dim_sym(0), scratch}});
+        LinearExpr rel = LinearExpr::var(poly::dim_sym(0));
+        rel -= LinearExpr::var(scratch);
+        rel -= *dim0_shift;
+        renamed.add_eq(std::move(rel));  // d0 - scratch - shift == 0
+        out.add(renamed.project_out(scratch));
+      }
+      return out;
+    };
+
+    tv.sec.R.unite(shift_dims(translate(va.sec.R, false, nullptr)));
+    tv.sec.E.unite(shift_dims(translate(va.sec.E, false, nullptr)));
+    tv.sec.W.unite(shift_dims(translate(va.sec.W, false, nullptr)));
+    SectionList spill;
+    SectionList m = translate(va.sec.M, true, &spill);
+    tv.sec.M.unite(shift_dims(std::move(m)));
+    tv.sec.W.unite(shift_dims(std::move(spill)));
+    for (const auto& [op, list] : va.red) {
+      SectionList l = shift_dims(translate(list, false, nullptr));
+      if (!l.empty()) tv.red[op].unite(l);
+    }
+  }
+  return result;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,118 @@
+// Bottom-up interprocedural array data-flow analysis (Fig 5-2, §6.2.2.2):
+// for every region (loop body, loop, procedure) and every variable, the
+// four-tuple <R, E, W, M> of may-read / exposed-read / may-write /
+// must-write sections, plus the reduction regions of §6.2 (commutative
+// updates per operator) recognized inline with the data-flow computation as
+// the thesis describes ("a simple extension of array data-flow analysis").
+//
+// Scalars are rank-0 arrays: their sections are parameter-free systems, so
+// the entire algebra (meet, compose, kill) is shared with arrays.
+//
+// Loop summaries are closed with the closure operator (project the loop
+// index and all iteration-variant symbols; §5.2.2.1), including the
+// §5.2.2.3 sharpening of upwards-exposed reads for call-free recurrences.
+// Procedure summaries are localized to formal-entry symbols + SymParams and
+// mapped through call sites with array reshaping/offset translation.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "analysis/modref.h"
+#include "analysis/symbolic.h"
+#include "graph/regions.h"
+#include "polyhedra/section.h"
+
+namespace suifx::analysis {
+
+/// Access information for one variable within a region.
+struct VarAccess {
+  poly::ArraySummary sec;                         // non-reduction accesses
+  std::map<ir::BinOp, poly::SectionList> red;     // reduction regions per op
+
+  bool any() const { return !sec.all_empty() || !red.empty(); }
+};
+
+/// Per-region access summary over canonical variables.
+struct AccessInfo {
+  std::map<const ir::Variable*, VarAccess> vars;
+
+  VarAccess& at(const ir::Variable* v) { return vars[v]; }
+  const VarAccess* find(const ir::Variable* v) const;
+
+  static AccessInfo meet(const AccessInfo& a, const AccessInfo& b);
+  /// `node` executes before `after`.
+  static AccessInfo compose(const AccessInfo& node, const AccessInfo& after);
+};
+
+class ArrayDataflow {
+ public:
+  ArrayDataflow(const ir::Program& prog, const AliasAnalysis& alias,
+                const ModRef& modref, const graph::CallGraph& cg,
+                const graph::RegionTree& regions, const Symbolic& symbolic);
+
+  /// Closed summary of a region (loop summaries after closure; procedure
+  /// summaries before localization — local arrays included).
+  const AccessInfo& region_info(const graph::Region* r) const;
+
+  /// Loop-body summary with this loop's iteration symbols still live —
+  /// the input to dependence/privatization/reduction testing.
+  const AccessInfo& body_info(const ir::Stmt* loop) const;
+
+  /// Procedure summary localized for call-site mapping.
+  const AccessInfo& call_summary(const ir::Procedure* p) const;
+
+  /// Summary of one statement as a node in its enclosing region (loops
+  /// closed, calls mapped) — the transfer functions the top-down liveness
+  /// phase (Fig 5-3) re-composes.
+  const AccessInfo& node_info(const ir::Stmt* s) const;
+
+  /// The symbolic column standing for `loop`'s iteration number.
+  poly::SymId loop_index_sym(const ir::Stmt* loop) const;
+
+  /// The callee summary of `call` translated into the caller's space.
+  AccessInfo map_call(const ir::Stmt* call) const;
+
+  /// Affine bound constraints (lb <= isym <= ub) for `loop`, empty when the
+  /// bounds are not affine at loop entry.
+  poly::LinSystem loop_bounds(const ir::Stmt* loop) const;
+
+  /// Does the loop (or any nested statement, including callees) perform I/O?
+  bool loop_has_io(const ir::Stmt* loop) const;
+  bool loop_has_call(const ir::Stmt* loop) const;
+
+  const Symbolic& symbolic() const { return symbolic_; }
+  const AliasAnalysis& alias() const { return alias_; }
+
+ private:
+  AccessInfo summarize_body(const std::vector<ir::Stmt*>& body);
+  AccessInfo summarize_stmt(const ir::Stmt* s);
+  AccessInfo summarize_stmt_impl(const ir::Stmt* s);
+  AccessInfo close_loop(const ir::Stmt* loop, AccessInfo body);
+  AccessInfo localize(const ir::Procedure* p, const AccessInfo& info) const;
+  void record_read(AccessInfo* out, const ir::Expr* ref, const ir::Stmt* s);
+  void record_write(AccessInfo* out, const ir::Expr* ref, const ir::Stmt* s,
+                    bool must);
+  /// Try to match a commutative update at `s`; fills `out` and returns true.
+  bool match_reduction_assign(const ir::Stmt* s, AccessInfo* out);
+  bool match_reduction_minmax_if(const ir::Stmt* s, AccessInfo* out);
+  bool proc_has_io(const ir::Procedure* p) const;
+
+  const ir::Program& prog_;
+  const AliasAnalysis& alias_;
+  const ModRef& modref_;
+  const graph::CallGraph& cg_;
+  const graph::RegionTree& regions_;
+  const Symbolic& symbolic_;
+
+  std::map<const graph::Region*, AccessInfo> region_info_;
+  std::map<const ir::Stmt*, AccessInfo> body_info_;
+  std::map<const ir::Stmt*, AccessInfo> node_info_;
+  std::map<const ir::Procedure*, AccessInfo> call_summary_;
+  std::map<const ir::Procedure*, bool> proc_io_;
+};
+
+/// Structural expression equality (same shape, same variables/constants).
+bool expr_equal(const ir::Expr* a, const ir::Expr* b);
+
+}  // namespace suifx::analysis

@@ -1,0 +1,48 @@
+#include "analysis/commonsplit.h"
+
+namespace suifx::analysis {
+
+std::vector<CommonSplit> find_common_splits(ir::Program& prog, LivenessMode mode) {
+  // Hypothesis infrastructure: overlay members keep separate identities.
+  AliasAnalysis alias(prog, /*unify_overlays=*/false);
+  graph::CallGraph cg(prog);
+  graph::RegionTree regions(prog);
+  ModRef modref(prog, alias, cg);
+  Symbolic symbolic(prog, alias, modref, cg);
+  ArrayDataflow df(prog, alias, modref, cg, regions, symbolic);
+  ArrayLiveness live(prog, df, cg, regions, alias, mode);
+
+  std::vector<CommonSplit> out;
+  // Same-offset, same-footprint overlay pairs (declared in different procs).
+  std::map<std::pair<const ir::CommonBlock*, long>, std::vector<const ir::Variable*>>
+      groups;
+  for (const ir::Variable& v : prog.variables()) {
+    if (v.kind != ir::VarKind::CommonMember || alias.is_blob(&v)) continue;
+    if (alias.canonical(&v) != &v) continue;  // one entry per logical view
+    groups[{v.common, v.common_offset}].push_back(&v);
+  }
+  for (const auto& [key, members] : groups) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        CommonSplit cs;
+        cs.block = key.first;
+        cs.a = members[i];
+        cs.b = members[j];
+        cs.splittable = true;
+        // The pair may be split when no region exit has both views live.
+        for (const auto& r : regions.all()) {
+          if (r->kind == graph::RegionKind::Loop) continue;  // bodies suffice
+          if (live.live_after(r.get(), cs.a) && live.live_after(r.get(), cs.b)) {
+            cs.splittable = false;
+            cs.conflict = r.get();
+            break;
+          }
+        }
+        out.push_back(cs);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,27 @@
+// Common-block live-range splitting (§5.5): two overlay variables of the
+// same COMMON block (same offset and footprint) may be given independent
+// storage/layout when their live ranges never overlap — detectable only
+// with kill-capable liveness. The analysis re-runs the array data-flow with
+// overlay unification disabled (each member keeps its identity) and checks
+// that no region exit has both members live.
+#pragma once
+
+#include "analysis/liveness.h"
+
+namespace suifx::analysis {
+
+struct CommonSplit {
+  const ir::CommonBlock* block = nullptr;
+  const ir::Variable* a = nullptr;
+  const ir::Variable* b = nullptr;
+  bool splittable = false;
+  /// First region where both were found live (diagnostics; null if none).
+  const graph::Region* conflict = nullptr;
+};
+
+/// Evaluate every same-offset overlay pair of every common block under the
+/// given liveness precision. Infrastructure objects are rebuilt internally
+/// in "no-unification" mode, so pass the plain program.
+std::vector<CommonSplit> find_common_splits(ir::Program& prog, LivenessMode mode);
+
+}  // namespace suifx::analysis

@@ -1,0 +1,77 @@
+#include "analysis/contraction.h"
+
+namespace suifx::analysis {
+
+long declared_footprint(const ir::Variable* v) {
+  long n = 1;
+  for (const ir::Dim& d : v->dims) {
+    long lo = 0, hi = 0;
+    if (!ir::eval_const_with_params(d.lower, &lo) ||
+        !ir::eval_const_with_params(d.upper, &hi)) {
+      return 0;
+    }
+    n *= std::max<long>(0, hi - lo + 1);
+  }
+  return n;
+}
+
+std::vector<ContractedArray> find_contractions(const ir::Stmt* loop,
+                                               const ArrayDataflow& df,
+                                               const graph::RegionTree& regions,
+                                               const ArrayLiveness& live) {
+  std::vector<ContractedArray> out;
+  if (live.mode() != LivenessMode::Full) return out;
+  DependenceAnalysis dep(df);
+  LoopVerdict verdict = dep.analyze(loop);
+  const graph::Region* lr = regions.loop_region(loop);
+  poly::SymId isym = df.loop_index_sym(loop);
+
+  for (const auto& [v, vv] : verdict.vars) {
+    if (!v->is_array()) continue;
+    // Written every iteration, values produced and consumed within the
+    // iteration (no exposed reads, no cross-iteration flow), and dead at
+    // loop exit. Both the privatizable case and the already-independent
+    // (disjoint-writes) case qualify.
+    bool private_like =
+        (vv.cls == VarClass::Privatizable && !vv.needs_copy_in) ||
+        (vv.cls == VarClass::Parallel && vv.exposed.empty());
+    if (!private_like) continue;
+    if (!live.dead_at_exit(lr, v)) continue;
+
+    ContractedArray ca;
+    ca.var = v;
+    ca.original_elems = declared_footprint(v);
+    // Dimensions pinned to the loop index collapse away.
+    std::vector<bool> tied(static_cast<size_t>(v->rank()), false);
+    const VarAccess* body = df.body_info(loop).find(v);
+    if (body != nullptr) {
+      for (int k = 0; k < v->rank(); ++k) {
+        for (const poly::LinSystem& p : body->sec.M.systems()) {
+          for (const poly::Constraint& c : p.constraints()) {
+            if (c.is_eq && c.expr.involves(poly::dim_sym(k)) &&
+                c.expr.involves(isym)) {
+              tied[static_cast<size_t>(k)] = true;
+            }
+          }
+        }
+      }
+    }
+    long per_iter = ca.original_elems;
+    for (int k = 0; k < v->rank(); ++k) {
+      if (!tied[static_cast<size_t>(k)]) continue;
+      ++ca.collapsed_dims;
+      long lo = 0, hi = 0;
+      if (per_iter > 0 &&
+          ir::eval_const_with_params(v->dims[static_cast<size_t>(k)].lower, &lo) &&
+          ir::eval_const_with_params(v->dims[static_cast<size_t>(k)].upper, &hi) &&
+          hi >= lo) {
+        per_iter /= (hi - lo + 1);
+      }
+    }
+    ca.contracted_elems = per_iter;
+    if (ca.collapsed_dims > 0) out.push_back(ca);
+  }
+  return out;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,35 @@
+// Array contraction legality (§5.6): an array may be contracted within a
+// loop — replaced by a scalar or an array of lower dimensionality — when it
+// has no upwards-exposed reads in the loop, carries no cross-iteration
+// dependence (it is privatizable with no copy-in), and is not live at the
+// loop's exit. The contracted footprint is the data written in a single
+// iteration.
+#pragma once
+
+#include "analysis/depend.h"
+#include "analysis/liveness.h"
+
+namespace suifx::analysis {
+
+struct ContractedArray {
+  const ir::Variable* var = nullptr;
+  long original_elems = 0;
+  long contracted_elems = 0;  // per-iteration footprint
+  /// Dimensions whose subscript is tied to the contracting loop's index
+  /// collapse away (rank reduction).
+  int collapsed_dims = 0;
+};
+
+/// Arrays contractible within `loop` given the dependence and liveness
+/// analyses (full liveness required: without it the exit-liveness condition
+/// cannot be established and the list is empty).
+std::vector<ContractedArray> find_contractions(const ir::Stmt* loop,
+                                               const ArrayDataflow& df,
+                                               const graph::RegionTree& regions,
+                                               const ArrayLiveness& live);
+
+/// Declared footprint in elements (0 when bounds are not compile-time
+/// evaluable over parameters).
+long declared_footprint(const ir::Variable* v);
+
+}  // namespace suifx::analysis

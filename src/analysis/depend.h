@@ -1,0 +1,76 @@
+// Loop-level dependence testing, privatization, and reduction validation
+// (§2.4, §6.2.2.4): decides for each variable accessed in a loop whether its
+// accesses carry a cross-iteration dependence, whether privatization or
+// reduction transformation eliminates it, and classifies the variable the
+// way Fig 4-9 reports (parallel / privatizable / reduction × array/scalar).
+//
+// Mechanism: the loop-body summary (iteration symbols live) is paired with a
+// primed copy of itself — every iteration-variant symbol renamed to its
+// primed twin — plus the loop bounds for both copies and i < i' (both strict
+// orders are probed). Scalars participate with rank-0 (universe) sections.
+#pragma once
+
+#include "analysis/array_dataflow.h"
+
+namespace suifx::analysis {
+
+enum class VarClass : uint8_t {
+  ReadOnly,       // never written in the loop: no constraint
+  Parallel,       // written, but no cross-iteration conflict
+  Privatizable,   // conflict removed by giving each processor a copy
+  Reduction,      // all conflicting accesses are commutative updates
+  LoopIndex,      // the loop's own index
+  Dependent,      // an unresolved loop-carried dependence
+};
+
+const char* to_string(VarClass c);
+
+struct VarVerdict {
+  VarClass cls = VarClass::ReadOnly;
+  ir::BinOp red_op = ir::BinOp::Add;   // valid when cls == Reduction
+  poly::SectionList red_region;        // closed reduction region (Reduction)
+  /// Privatizable details:
+  bool needs_copy_in = false;   // exposed reads from before the loop
+  /// True when every iteration must-writes exactly the same region, so the
+  /// last iteration can finalize (the pre-liveness SUIF rule, §5.4).
+  bool same_region_every_iter = false;
+  /// Exposed-read section of one iteration (diagnostics / Explorer display).
+  poly::SectionList exposed;
+};
+
+struct LoopVerdict {
+  std::map<const ir::Variable*, VarVerdict> vars;
+  bool parallel = false;        // every variable resolved
+  int num_dependences = 0;      // variables left Dependent (Guru metric)
+  bool has_io = false;
+  std::vector<const ir::Variable*> dependent_vars() const;
+};
+
+class DependenceAnalysis {
+ public:
+  /// `enable_reductions=false` demotes every recognized commutative-update
+  /// region to ordinary accesses — the Chapter 6 "without reduction
+  /// analysis" baseline.
+  explicit DependenceAnalysis(const ArrayDataflow& df, bool enable_reductions = true)
+      : df_(df), enable_reductions_(enable_reductions) {}
+
+  /// Analyze one loop. `assume_private`/`assume_parallel` carry user
+  /// assertions from the Explorer (§2.8): variables asserted privatizable or
+  /// independent are excluded from dependence testing.
+  LoopVerdict analyze(const ir::Stmt* loop,
+                      const std::set<const ir::Variable*>& assume_private = {},
+                      const std::set<const ir::Variable*>& assume_parallel = {}) const;
+
+  /// Does `list`@i intersect `other`@i' for some i != i' within bounds?
+  bool cross_iteration_overlap(const ir::Stmt* loop, const poly::SectionList& a,
+                               const poly::SectionList& b) const;
+
+ private:
+  std::map<poly::SymId, poly::SymId> prime_map(const ir::Stmt* loop,
+                                               const AccessInfo& body) const;
+
+  const ArrayDataflow& df_;
+  bool enable_reductions_ = true;
+};
+
+}  // namespace suifx::analysis

@@ -1,0 +1,400 @@
+#include "analysis/liveness.h"
+
+namespace suifx::analysis {
+
+using poly::LinSystem;
+using poly::SectionList;
+using poly::SymId;
+
+const char* to_string(LivenessMode m) {
+  switch (m) {
+    case LivenessMode::Full: return "full";
+    case LivenessMode::OneBit: return "1-bit";
+    case LivenessMode::FlowInsensitive: return "flow-insensitive";
+  }
+  return "?";
+}
+
+ArrayLiveness::ArrayLiveness(const ir::Program& prog, const ArrayDataflow& df,
+                             const graph::CallGraph& cg,
+                             const graph::RegionTree& regions,
+                             const AliasAnalysis& alias, LivenessMode mode)
+    : prog_(prog), df_(df), cg_(cg), regions_(regions), alias_(alias), mode_(mode) {
+  switch (mode) {
+    case LivenessMode::Full:
+      run_full();
+      break;
+    case LivenessMode::OneBit:
+      run_onebit();
+      break;
+    case LivenessMode::FlowInsensitive:
+      run_flow_insensitive();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full (flow- and context-sensitive) top-down phase, Fig 5-3
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Fig 5-3 loop-body rule: execution of the body may be followed by further
+/// iterations (the loop's own closed summary) and then the code after the
+/// loop; only the after-loop must-writes are guaranteed to follow every
+/// iteration.
+AccessInfo loop_body_continuation(const AccessInfo& after_loop,
+                                  const AccessInfo& loop_summary) {
+  AccessInfo out;
+  std::set<const ir::Variable*> keys;
+  for (const auto& [v, x] : after_loop.vars) keys.insert(v);
+  for (const auto& [v, x] : loop_summary.vars) keys.insert(v);
+  for (const ir::Variable* v : keys) {
+    static const VarAccess kEmpty;
+    const VarAccess* a = after_loop.find(v) != nullptr ? after_loop.find(v) : &kEmpty;
+    const VarAccess* l = loop_summary.find(v) != nullptr ? loop_summary.find(v) : &kEmpty;
+    VarAccess c;
+    c.sec.R = a->sec.R;
+    c.sec.R.unite(l->sec.R);
+    c.sec.E = a->sec.E;
+    c.sec.E.unite(l->sec.E);
+    c.sec.W = a->sec.W;
+    c.sec.W.unite(l->sec.W);
+    c.sec.M = a->sec.M;  // M1 only
+    c.red = a->red;
+    for (const auto& [op, list] : l->red) c.red[op].unite(list);
+    if (c.any()) out.vars[v] = std::move(c);
+  }
+  return out;
+}
+
+bool involves_only_params(const LinSystem& sys, const ir::Program& prog) {
+  for (SymId s : sys.symbols()) {
+    if (poly::is_dim_sym(s)) continue;
+    int vid = poly::sym_var_id(s);
+    if (vid < 0 || vid >= prog.num_vars()) return false;
+    if (prog.variables()[static_cast<size_t>(vid)].kind != ir::VarKind::SymParam) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void ArrayLiveness::walk_body_full(const std::vector<ir::Stmt*>& body,
+                                   const AccessInfo& cont,
+                                   const graph::Region* region) {
+  AccessInfo after = cont;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    ir::Stmt* s = *it;
+    switch (s->kind) {
+      case ir::StmtKind::Do: {
+        const graph::Region* lr = regions_.loop_region(s);
+        after_[lr] = after;
+        AccessInfo body_cont =
+            loop_body_continuation(after, df_.region_info(lr));
+        after_[regions_.body_region(s)] = body_cont;
+        walk_body_full(s->body, body_cont, regions_.body_region(s));
+        break;
+      }
+      case ir::StmtKind::If:
+        walk_body_full(s->then_body, after, region);
+        walk_body_full(s->else_body, after, region);
+        break;
+      case ir::StmtKind::Call:
+        after_call_[s] = after;
+        break;
+      default:
+        break;
+    }
+    after = AccessInfo::compose(df_.node_info(s), after);
+  }
+}
+
+AccessInfo ArrayLiveness::map_to_callee(const ir::Stmt* call,
+                                        const AccessInfo& after) const {
+  const ir::Procedure* callee = call->callee;
+  AccessInfo out;
+
+  // Localize to symbols meaningful in the callee: SymParams only (caller
+  // scalars mean nothing there). May-sets project; must-sets drop weakened
+  // parts (fewer kills is the conservative direction).
+  auto localize_may = [&](const SectionList& list) {
+    SectionList out_list;
+    for (const LinSystem& sys : list.systems()) {
+      out_list.add(sys.project_out_if([&](SymId sid) {
+        if (poly::is_dim_sym(sid)) return false;
+        int vid = poly::sym_var_id(sid);
+        return vid < 0 || vid >= prog_.num_vars() ||
+               prog_.variables()[static_cast<size_t>(vid)].kind != ir::VarKind::SymParam;
+      }));
+    }
+    return out_list;
+  };
+  auto localize_must = [&](const SectionList& list) {
+    SectionList out_list;
+    for (const LinSystem& sys : list.systems()) {
+      if (involves_only_params(sys, prog_)) out_list.add(sys);
+    }
+    return out_list;
+  };
+
+  for (const auto& [v, va] : after.vars) {
+    if (v->kind == ir::VarKind::Global || v->kind == ir::VarKind::CommonMember) {
+      VarAccess c;
+      c.sec.R = localize_may(va.sec.R);
+      c.sec.E = localize_may(va.sec.E);
+      c.sec.W = localize_may(va.sec.W);
+      c.sec.M = localize_must(va.sec.M);
+      if (c.any()) out.vars[v] = std::move(c);
+    }
+  }
+  // Map accesses to actual variables onto the formals they are bound to.
+  for (size_t i = 0; i < callee->formals.size(); ++i) {
+    const ir::Variable* f = callee->formals[i];
+    const ir::Expr* a = call->args[i];
+    if (!a->is_var_ref() && !a->is_array_ref()) continue;
+    const VarAccess* va = after.find(alias_.canonical(a->var));
+    if (va == nullptr) continue;
+    VarAccess c;
+    if (f->is_scalar()) {
+      // Copy-out: the actual's liveness makes the formal's final value live.
+      c.sec.R = localize_may(va->sec.R);
+      c.sec.E = localize_may(va->sec.E);
+      c.sec.M = localize_must(va->sec.M);
+    } else if (a->is_var_ref() && f->rank() == a->var->rank()) {
+      c.sec.R = localize_may(va->sec.R);
+      c.sec.E = localize_may(va->sec.E);
+      c.sec.W = localize_may(va->sec.W);
+      c.sec.M = localize_must(va->sec.M);
+    } else {
+      // Element-base or reshaped binding: conservative whole-formal liveness
+      // when anything of the actual is exposed; no kills.
+      if (!va->sec.E.empty()) {
+        c.sec.E.add(poly::whole_array_section(f, poly::params_only));
+        c.sec.R.add(poly::whole_array_section(f, poly::params_only));
+      }
+    }
+    if (c.any()) {
+      VarAccess& slot = out.vars[f];
+      slot.sec = poly::ArraySummary::meet(slot.sec, c.sec);
+    }
+  }
+  return out;
+}
+
+void ArrayLiveness::run_full() {
+  for (ir::Procedure* p : cg_.top_down()) {
+    AccessInfo cont;
+    const auto& sites = cg_.callsites_of(p);
+    if (p != prog_.main() && !sites.empty()) {
+      bool first = true;
+      for (const ir::Stmt* c : sites) {
+        auto it = after_call_.find(c);
+        AccessInfo mapped =
+            it != after_call_.end() ? map_to_callee(c, it->second) : AccessInfo{};
+        if (first) {
+          cont = std::move(mapped);
+          first = false;
+        } else {
+          cont = AccessInfo::meet(cont, mapped);
+        }
+      }
+    }
+    after_[regions_.of_proc(p)] = cont;
+    walk_body_full(p->body, cont, regions_.of_proc(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1-bit and flow-insensitive variants (§5.2.3)
+// ---------------------------------------------------------------------------
+
+std::set<const ir::Variable*> ArrayLiveness::exposed_vars(const AccessInfo& info) const {
+  std::set<const ir::Variable*> out;
+  for (const auto& [v, va] : info.vars) {
+    if (!va.sec.E.empty()) out.insert(v);
+  }
+  return out;
+}
+
+std::set<const ir::Variable*> ArrayLiveness::map_vars_to_callee(
+    const ir::Stmt* call, const std::set<const ir::Variable*>& vars) const {
+  std::set<const ir::Variable*> out;
+  for (const ir::Variable* v : vars) {
+    if (v->kind == ir::VarKind::Global || v->kind == ir::VarKind::CommonMember) {
+      out.insert(v);
+    }
+  }
+  for (size_t i = 0; i < call->callee->formals.size(); ++i) {
+    const ir::Expr* a = call->args[i];
+    if ((a->is_var_ref() || a->is_array_ref()) &&
+        vars.count(alias_.canonical(a->var)) != 0) {
+      out.insert(call->callee->formals[i]);
+    }
+  }
+  return out;
+}
+
+void ArrayLiveness::walk_body_bits(const std::vector<ir::Stmt*>& body,
+                                   std::set<const ir::Variable*> after,
+                                   const graph::Region* region) {
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    ir::Stmt* s = *it;
+    switch (s->kind) {
+      case ir::StmtKind::Do: {
+        const graph::Region* lr = regions_.loop_region(s);
+        after_bits_[lr] = after;
+        std::set<const ir::Variable*> body_after = after;
+        for (const ir::Variable* v : exposed_vars(df_.region_info(lr))) {
+          body_after.insert(v);
+        }
+        after_bits_[regions_.body_region(s)] = body_after;
+        walk_body_bits(s->body, body_after, regions_.body_region(s));
+        break;
+      }
+      case ir::StmtKind::If:
+        walk_body_bits(s->then_body, after, region);
+        walk_body_bits(s->else_body, after, region);
+        break;
+      case ir::StmtKind::Call:
+        after_call_bits_[s] = after;
+        break;
+      default:
+        break;
+    }
+    // No kill operator in the 1-bit transfer function (§5.2.3.1).
+    for (const ir::Variable* v : exposed_vars(df_.node_info(s))) after.insert(v);
+  }
+}
+
+void ArrayLiveness::run_onebit() {
+  for (ir::Procedure* p : cg_.top_down()) {
+    std::set<const ir::Variable*> cont;
+    if (p != prog_.main()) {
+      for (const ir::Stmt* c : cg_.callsites_of(p)) {
+        auto it = after_call_bits_.find(c);
+        if (it == after_call_bits_.end()) continue;
+        for (const ir::Variable* v : map_vars_to_callee(c, it->second)) cont.insert(v);
+      }
+    }
+    after_bits_[regions_.of_proc(p)] = cont;
+    walk_body_bits(p->body, cont, regions_.of_proc(p));
+  }
+}
+
+std::set<const ir::Variable*> ArrayLiveness::sibling_exposure(
+    const graph::Region* r) const {
+  // Everything exposed by any top-level statement of the region's body —
+  // control flow among siblings is ignored (§5.2.3.2), so a variable exposed
+  // anywhere in the region is treated as live after every subregion.
+  std::set<const ir::Variable*> out;
+  const graph::Region* stmts_owner =
+      r->kind == graph::RegionKind::Loop ? r->children.front() : r;
+  for (const ir::Stmt* s : stmts_owner->stmts()) {
+    for (const ir::Variable* v : exposed_vars(df_.node_info(s))) out.insert(v);
+  }
+  return out;
+}
+
+void ArrayLiveness::run_flow_insensitive() {
+  // live(r) = live(parent) ∪ exposed(any sibling of r, including itself).
+  auto region_of_stmt = [&](const ir::Stmt* s) -> const graph::Region* {
+    const ir::Stmt* encl = s->enclosing_loop();
+    return encl != nullptr ? regions_.body_region(encl) : regions_.of_proc(s->proc);
+  };
+  for (ir::Procedure* p : cg_.top_down()) {
+    std::set<const ir::Variable*> cont;
+    if (p != prog_.main()) {
+      for (const ir::Stmt* c : cg_.callsites_of(p)) {
+        const graph::Region* r = region_of_stmt(c);
+        std::set<const ir::Variable*> live_here;
+        auto it = after_bits_.find(r);
+        if (it != after_bits_.end()) live_here = it->second;
+        for (const ir::Variable* v : sibling_exposure(r)) live_here.insert(v);
+        for (const ir::Variable* v : map_vars_to_callee(c, live_here)) cont.insert(v);
+      }
+    }
+    after_bits_[regions_.of_proc(p)] = cont;
+    std::function<void(const graph::Region*)> walk = [&](const graph::Region* r) {
+      std::set<const ir::Variable*> live = after_bits_[r];
+      for (const ir::Variable* v : sibling_exposure(r)) live.insert(v);
+      for (graph::Region* c : r->children) {
+        if (c->kind == graph::RegionKind::Loop) {
+          after_bits_[c] = live;
+          // The loop body additionally sees the loop's own exposure (later
+          // iterations).
+          std::set<const ir::Variable*> body_live = live;
+          for (const ir::Variable* v : exposed_vars(df_.region_info(c))) {
+            body_live.insert(v);
+          }
+          after_bits_[c->children.front()] = body_live;
+          walk(c->children.front());
+        }
+      }
+    };
+    walk(regions_.of_proc(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+bool ArrayLiveness::live_after(const graph::Region* r, const ir::Variable* v) const {
+  if (mode_ == LivenessMode::Full) {
+    auto it = after_.find(r);
+    if (it == after_.end()) return false;
+    const VarAccess* va = it->second.find(v);
+    return va != nullptr && !va->sec.E.empty();
+  }
+  auto it = after_bits_.find(r);
+  return it != after_bits_.end() && it->second.count(v) != 0;
+}
+
+poly::SectionList ArrayLiveness::live_sections_after(const graph::Region* r,
+                                                     const ir::Variable* v) const {
+  if (mode_ != LivenessMode::Full) {
+    if (live_after(r, v)) {
+      return SectionList::single(
+          v->is_array() ? poly::whole_array_section(v, poly::params_only)
+                        : LinSystem::universe());
+    }
+    return {};
+  }
+  auto it = after_.find(r);
+  if (it == after_.end()) return {};
+  const VarAccess* va = it->second.find(v);
+  return va != nullptr ? va->sec.E : SectionList{};
+}
+
+poly::SectionList ArrayLiveness::written_live_after(const graph::Region* r,
+                                                    const ir::Variable* v) const {
+  const VarAccess* w = df_.region_info(r).find(v);
+  if (w == nullptr) return {};
+  SectionList written = w->sec.W;
+  written.unite(w->sec.M);
+  for (const auto& [op, list] : w->red) written.unite(list);
+  return SectionList::intersect(live_sections_after(r, v), written);
+}
+
+bool ArrayLiveness::dead_at_exit(const graph::Region* r, const ir::Variable* v) const {
+  const VarAccess* w = df_.region_info(r).find(v);
+  if (w == nullptr) return false;
+  bool writes = !w->sec.W.empty() || !w->sec.M.empty() || !w->red.empty();
+  if (!writes) return false;
+  if (mode_ != LivenessMode::Full) return !live_after(r, v);
+  return written_live_after(r, v).empty();
+}
+
+std::vector<const ir::Variable*> ArrayLiveness::modified_vars(
+    const graph::Region* r) const {
+  std::vector<const ir::Variable*> out;
+  for (const auto& [v, va] : df_.region_info(r).vars) {
+    if (!va.sec.W.empty() || !va.sec.M.empty() || !va.red.empty()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,87 @@
+// Interprocedural array liveness analysis (Chapter 5): the top-down phase
+// of Fig 5-3 over the bottom-up summaries of Fig 5-2, in three precision
+// variants (§5.2.3):
+//   Full            — context- and flow-sensitive, array sections, kills.
+//   OneBit          — one exposed-bit per variable for loop/call summaries
+//                     in the top-down phase; no kill operator.
+//   FlowInsensitive — a variable is live after a region if it is live after
+//                     the parent or exposed in any sibling (incl. itself).
+//
+// Primary query: the array sections (or bit) of a variable live at the end
+// of a region, and L_r = E ∩ (W ∪ M) — sections written in the region that
+// are live afterwards (empty => the variable is dead at region exit, the
+// metric of Fig 5-7 and the enabler of privatization finalization, common
+// block splitting, and array contraction).
+#pragma once
+
+#include "analysis/array_dataflow.h"
+
+namespace suifx::analysis {
+
+enum class LivenessMode { Full, OneBit, FlowInsensitive };
+
+const char* to_string(LivenessMode m);
+
+class ArrayLiveness {
+ public:
+  ArrayLiveness(const ir::Program& prog, const ArrayDataflow& df,
+                const graph::CallGraph& cg, const graph::RegionTree& regions,
+                const AliasAnalysis& alias, LivenessMode mode);
+
+  LivenessMode mode() const { return mode_; }
+
+  /// May `v`'s value be used after the end of region `r`? (Full mode also
+  /// answers per-section via live_sections_after.)
+  bool live_after(const graph::Region* r, const ir::Variable* v) const;
+
+  /// Full mode: the exposed-use sections after the end of `r`.
+  poly::SectionList live_sections_after(const graph::Region* r,
+                                        const ir::Variable* v) const;
+
+  /// L_r of Fig 5-3: sections of `v` written inside `r` that are live after
+  /// `r`. Empty iff `v` is dead at `r`'s exit with respect to its writes.
+  poly::SectionList written_live_after(const graph::Region* r,
+                                       const ir::Variable* v) const;
+
+  /// Fig 5-7 metric: `v` modified in `r` but none of the written data is
+  /// used afterwards.
+  bool dead_at_exit(const graph::Region* r, const ir::Variable* v) const;
+
+  /// Variables modified within region `r` (from the bottom-up summaries).
+  std::vector<const ir::Variable*> modified_vars(const graph::Region* r) const;
+
+ private:
+  void run_full();
+  void run_onebit();
+  void run_flow_insensitive();
+
+  // Full mode: S_{r0,r} per region / per call node, as an AccessInfo.
+  void walk_body_full(const std::vector<ir::Stmt*>& body, const AccessInfo& cont,
+                      const graph::Region* region);
+  AccessInfo map_to_callee(const ir::Stmt* call, const AccessInfo& after) const;
+
+  // Bit modes: live variable sets per region.
+  void walk_body_bits(const std::vector<ir::Stmt*>& body,
+                      std::set<const ir::Variable*> after,
+                      const graph::Region* region);
+  std::set<const ir::Variable*> exposed_vars(const AccessInfo& info) const;
+  std::set<const ir::Variable*> sibling_exposure(const graph::Region* r) const;
+  std::set<const ir::Variable*> map_vars_to_callee(
+      const ir::Stmt* call, const std::set<const ir::Variable*>& vars) const;
+
+  const ir::Program& prog_;
+  const ArrayDataflow& df_;
+  const graph::CallGraph& cg_;
+  const graph::RegionTree& regions_;
+  const AliasAnalysis& alias_;
+  LivenessMode mode_;
+
+  // Full: exposed-after summary per region.
+  std::map<const graph::Region*, AccessInfo> after_;
+  std::map<const ir::Stmt*, AccessInfo> after_call_;
+  // Bit modes: live-after variable sets.
+  std::map<const graph::Region*, std::set<const ir::Variable*>> after_bits_;
+  std::map<const ir::Stmt*, std::set<const ir::Variable*>> after_call_bits_;
+};
+
+}  // namespace suifx::analysis

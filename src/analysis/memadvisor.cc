@@ -1,0 +1,96 @@
+#include "analysis/memadvisor.h"
+
+namespace suifx::analysis {
+
+const char* to_string(MemAdviceKind k) {
+  switch (k) {
+    case MemAdviceKind::ArrayTranspose: return "array-transpose";
+    case MemAdviceKind::LoopInterchange: return "loop-interchange";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dimensions of `v` whose write subscripts are tied to `isym` within the
+/// loop-body summary.
+std::set<int> tied_dims(const VarAccess& va, const ir::Variable* v,
+                        poly::SymId isym, bool include_reads = false) {
+  std::set<int> out;
+  poly::SectionList writes = va.sec.M;
+  writes.unite(va.sec.W);
+  if (include_reads) writes.unite(va.sec.R);
+  for (const poly::LinSystem& sys : writes.systems()) {
+    for (const poly::Constraint& c : sys.constraints()) {
+      if (!c.is_eq || !c.expr.involves(isym)) continue;
+      for (int k = 0; k < v->rank(); ++k) {
+        if (c.expr.involves(poly::dim_sym(k))) out.insert(k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MemAdvice> advise_memory_opts(
+    const ir::Program& prog, const ArrayDataflow& df,
+    const std::vector<const ir::Stmt*>& parallel_loops) {
+  (void)prog;
+  std::vector<MemAdvice> out;
+
+  // 1. Conflicting decompositions -> transpose advice.
+  std::map<const ir::Variable*, std::map<int, std::vector<const ir::Stmt*>>> dist;
+  for (const ir::Stmt* loop : parallel_loops) {
+    poly::SymId isym = df.loop_index_sym(loop);
+    for (const auto& [v, va] : df.body_info(loop).vars) {
+      if (!v->is_array()) continue;
+      for (int k : tied_dims(va, v, isym)) dist[v][k].push_back(loop);
+    }
+  }
+  for (const auto& [v, by_dim] : dist) {
+    if (by_dim.size() < 2) continue;
+    MemAdvice a;
+    a.kind = MemAdviceKind::ArrayTranspose;
+    a.array = v;
+    for (const auto& [dim, loops] : by_dim) {
+      for (const ir::Stmt* l : loops) a.conflict_loops.push_back(l);
+    }
+    a.rationale = "parallel loops distribute '" + v->name +
+                  "' along different dimensions; transposing one live range "
+                  "removes the data reshuffle (Fig 4-6)";
+    out.push_back(std::move(a));
+  }
+
+  // 2. Mis-strided inner loops -> interchange advice. Column-major layout:
+  // the innermost loop should walk dimension 0.
+  prog.for_each_stmt([&](const ir::Stmt* s) {
+    if (s->kind != ir::StmtKind::Do) return;
+    // Innermost: no nested Do.
+    bool innermost = true;
+    ir::for_each_stmt(const_cast<ir::Stmt*>(s)->body, [&](ir::Stmt* n) {
+      if (n->kind == ir::StmtKind::Do) innermost = false;
+    });
+    if (!innermost || s->enclosing_loop() == nullptr) return;
+    poly::SymId isym = df.loop_index_sym(s);
+    const AccessInfo& body = df.body_info(s);
+    int strided = 0, contiguous = 0;
+    for (const auto& [v, va] : body.vars) {
+      if (!v->is_array() || v->rank() < 2) continue;
+      std::set<int> dims = tied_dims(va, v, isym, /*include_reads=*/true);
+      for (int k : dims) (k == 0 ? contiguous : strided)++;
+    }
+    if (strided > 0 && contiguous == 0) {
+      MemAdvice a;
+      a.kind = MemAdviceKind::LoopInterchange;
+      a.loop = s;
+      a.rationale = "innermost loop " + s->loop_name() +
+                    " strides along a non-contiguous array dimension; "
+                    "interchange with its parent improves spatial locality";
+      out.push_back(std::move(a));
+    }
+  });
+  return out;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,35 @@
+// Memory-performance advisor — the thesis's §7.5.1 future-work direction,
+// covering the optimizations its authors applied by hand in §4.2.4/§4.5:
+//  * array transposes, recommended when parallel loops distribute the same
+//    array along different dimensions (the hydro duac conflict of Fig 4-6);
+//  * loop interchanges, recommended when an innermost loop strides along a
+//    non-contiguous (non-first, column-major) array dimension.
+// The advice feeds the SMP simulator: applying a transpose removes the
+// reshuffle penalty; applying an interchange removes the strided-access
+// slowdown.
+#pragma once
+
+#include "analysis/array_dataflow.h"
+#include "parallelizer/parallelizer.h"
+
+namespace suifx::analysis {
+
+enum class MemAdviceKind : uint8_t { ArrayTranspose, LoopInterchange };
+
+struct MemAdvice {
+  MemAdviceKind kind = MemAdviceKind::ArrayTranspose;
+  const ir::Variable* array = nullptr;  // ArrayTranspose
+  const ir::Stmt* loop = nullptr;       // LoopInterchange: the mis-strided nest
+  std::vector<const ir::Stmt*> conflict_loops;  // loops with clashing layouts
+  std::string rationale;
+};
+
+/// Analyze the chosen parallel loops for layout conflicts and mis-strided
+/// inner loops.
+std::vector<MemAdvice> advise_memory_opts(
+    const ir::Program& prog, const ArrayDataflow& df,
+    const std::vector<const ir::Stmt*>& parallel_loops);
+
+const char* to_string(MemAdviceKind k);
+
+}  // namespace suifx::analysis

@@ -1,0 +1,83 @@
+#include "analysis/modref.h"
+
+namespace suifx::analysis {
+
+namespace {
+
+bool is_global_storage(const ir::Variable* v) {
+  return v->kind == ir::VarKind::Global || v->kind == ir::VarKind::CommonMember;
+}
+
+int formal_index(const ir::Procedure* p, const ir::Variable* v) {
+  for (size_t i = 0; i < p->formals.size(); ++i) {
+    if (p->formals[i] == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const ir::Variable* ModRef::actual_var(const ir::Stmt* call, size_t formal_ix) {
+  const ir::Expr* a = call->args[formal_ix];
+  if (a->is_var_ref() || a->is_array_ref()) return a->var;
+  return nullptr;
+}
+
+ModRef::ModRef(const ir::Program& prog, const AliasAnalysis& alias,
+               const graph::CallGraph& cg) {
+  (void)prog;
+  for (ir::Procedure* p : cg.bottom_up()) {
+    ProcEffects fx;
+    fx.formal_mod.assign(p->formals.size(), false);
+    fx.formal_ref.assign(p->formals.size(), false);
+
+    auto record = [&](const ir::Variable* v, bool is_write) {
+      if (is_global_storage(v)) {
+        const ir::Variable* c = alias.canonical(v);
+        (is_write ? fx.mod : fx.ref).insert(c);
+        return;
+      }
+      int fi = formal_index(p, v);
+      if (fi >= 0) {
+        (is_write ? fx.formal_mod : fx.formal_ref)[static_cast<size_t>(fi)] = true;
+      }
+    };
+
+    p->for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) {
+        // Map the callee's (already computed) effects into this procedure.
+        const ProcEffects& ce = effects_.at(s->callee);
+        for (const ir::Variable* g : ce.mod) fx.mod.insert(g);
+        for (const ir::Variable* g : ce.ref) fx.ref.insert(g);
+        for (size_t i = 0; i < s->args.size(); ++i) {
+          const ir::Variable* av = actual_var(s, i);
+          if (av == nullptr) continue;  // non-lvalue actual: copy-in only
+          if (ce.formal_mod[i]) record(av, /*is_write=*/true);
+          if (ce.formal_ref[i]) record(av, /*is_write=*/false);
+        }
+        // Subscripts of actuals and non-lvalue actual expressions are plain
+        // reads inside this procedure.
+        for (const ir::Expr* a : s->args) {
+          if (a->is_array_ref()) {
+            for (const ir::Expr* ix : a->idx) {
+              ir::for_each_expr(ix, [&](const ir::Expr* n) {
+                if (n->is_var_ref() || n->is_array_ref()) record(n->var, false);
+              });
+            }
+          } else if (!a->is_var_ref()) {
+            ir::for_each_expr(a, [&](const ir::Expr* n) {
+              if (n->is_var_ref() || n->is_array_ref()) record(n->var, false);
+            });
+          }
+        }
+        return;
+      }
+      for (const ir::Access& acc : ir::direct_accesses(s)) {
+        record(acc.var, acc.is_write);
+      }
+    });
+    effects_[p] = std::move(fx);
+  }
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,40 @@
+// Interprocedural MOD/REF analysis: for each procedure, which canonical
+// global/common variables it (or any callee) may modify or reference, plus
+// per-formal MOD/REF flags. Computed bottom-up over the acyclic call graph —
+// the "first step" of interprocedural SSA construction in §3.4.3 ("find, for
+// each procedure, all the variables that are modified or referenced by the
+// procedure and its callees; handle them as if they were parameters").
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "analysis/alias.h"
+#include "graph/callgraph.h"
+#include "ir/ir.h"
+
+namespace suifx::analysis {
+
+struct ProcEffects {
+  std::set<const ir::Variable*> mod;  // canonical globals/commons modified
+  std::set<const ir::Variable*> ref;  // canonical globals/commons referenced
+  std::vector<bool> formal_mod;       // indexed by formal position
+  std::vector<bool> formal_ref;
+};
+
+class ModRef {
+ public:
+  ModRef(const ir::Program& prog, const AliasAnalysis& alias,
+         const graph::CallGraph& cg);
+
+  const ProcEffects& of(const ir::Procedure* p) const { return effects_.at(p); }
+
+  /// The caller-side variable an out-flowing formal binds to at `call`
+  /// (null when the actual is not an lvalue).
+  static const ir::Variable* actual_var(const ir::Stmt* call, size_t formal_ix);
+
+ private:
+  std::map<const ir::Procedure*, ProcEffects> effects_;
+};
+
+}  // namespace suifx::analysis

@@ -1,0 +1,237 @@
+#include "analysis/symbolic.h"
+
+namespace suifx::analysis {
+
+using poly::LinearExpr;
+
+Symbolic::Symbolic(const ir::Program& prog, const AliasAnalysis& alias,
+                   const ModRef& modref, const graph::CallGraph& cg)
+    : prog_(prog), alias_(alias), modref_(modref) {
+  // Pre-collect per-loop modified sets (needed while walking).
+  for (const ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Do) collect_modified(s);
+    });
+  }
+  // Walk every procedure independently: formals and globals start opaque at
+  // generation 0 (their entry values — the symbols procedure summaries are
+  // expressed over).
+  for (ir::Procedure* p : cg.bottom_up()) {
+    Env env;
+    walk_body(p->body, &env);
+  }
+}
+
+void Symbolic::collect_modified(const ir::Stmt* loop) {
+  std::set<const ir::Variable*>& out = modified_in_[loop];
+  out.insert(loop->ivar);
+  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Assign) {
+      if (s->lhs->is_var_ref()) out.insert(s->lhs->var);
+      return;
+    }
+    if (s->kind == ir::StmtKind::Do) {
+      out.insert(s->ivar);
+      return;
+    }
+    if (s->kind == ir::StmtKind::Call) {
+      const ProcEffects& fx = modref_.of(s->callee);
+      for (const ir::Variable* g : fx.mod) {
+        if (g->is_scalar()) out.insert(g);
+      }
+      for (size_t i = 0; i < s->args.size(); ++i) {
+        if (!fx.formal_mod[i]) continue;
+        const ir::Variable* av = ModRef::actual_var(s, i);
+        if (av != nullptr && av->is_scalar() && s->args[i]->is_var_ref()) {
+          out.insert(av);
+        }
+      }
+    }
+  });
+  // Close over aliases: a modified common member invalidates its overlays.
+  std::set<const ir::Variable*> extra;
+  for (const ir::Variable* v : out) {
+    if (v->kind != ir::VarKind::CommonMember) continue;
+    for (const ir::Variable* m : alias_.class_members(alias_.canonical(v))) {
+      extra.insert(m);
+    }
+  }
+  out.insert(extra.begin(), extra.end());
+}
+
+LinearExpr Symbolic::env_value(const Env& env, const ir::Variable* v) const {
+  auto it = env.known.find(v);
+  if (it != env.known.end()) return it->second;
+  auto g = env.gen.find(v);
+  return LinearExpr::var(poly::scalar_sym(v, g != env.gen.end() ? g->second : 0));
+}
+
+poly::ScalarResolver Symbolic::env_resolver(const Env& env) const {
+  return [this, &env](const ir::Variable* v) -> std::optional<LinearExpr> {
+    if (v->is_array() || v->elem != ir::ScalarType::Int) return std::nullopt;
+    if (v->kind == ir::VarKind::SymParam) return LinearExpr::var(poly::scalar_sym(v));
+    if (overflowed_.count(v) != 0) return std::nullopt;
+    return env_value(env, v);
+  };
+}
+
+int Symbolic::fresh_gen(const ir::Variable* v) {
+  int g = ++next_gen_[v];
+  if (g >= poly::kMaxGens) {
+    // Saturated: distinct values would share a symbol, so mark the variable
+    // permanently non-affine instead (sound fallback).
+    g = poly::kMaxGens - 1;
+    overflowed_.insert(v);
+  }
+  return g;
+}
+
+void Symbolic::bump(Env* env, const ir::Variable* v) {
+  env->gen[v] = fresh_gen(v);
+  env->known.erase(v);
+}
+
+void Symbolic::bump_aliases(Env* env, const ir::Variable* canon) {
+  for (const ir::Variable* m : alias_.class_members(canon)) {
+    if (m->is_scalar()) bump(env, m);
+  }
+}
+
+void Symbolic::walk_body(const std::vector<ir::Stmt*>& body, Env* env) {
+  for (ir::Stmt* s : body) {
+    env_at_[s] = *env;  // snapshot before the statement
+    switch (s->kind) {
+      case ir::StmtKind::Assign: {
+        if (!s->lhs->is_var_ref()) break;  // array element: no scalar change
+        const ir::Variable* v = s->lhs->var;
+        if (v->elem != ir::ScalarType::Int) break;
+        auto val = poly::to_affine(s->rhs, env_resolver(*env));
+        if (val) {
+          env->known[v] = *val;
+        } else {
+          bump(env, v);
+        }
+        if (v->kind == ir::VarKind::CommonMember) {
+          // Writing through one overlay invalidates sibling overlays.
+          for (const ir::Variable* m : alias_.class_members(alias_.canonical(v))) {
+            if (m != v && m->is_scalar()) bump(env, m);
+          }
+        }
+        break;
+      }
+      case ir::StmtKind::If: {
+        Env then_env = *env;
+        Env else_env = *env;
+        walk_body(s->then_body, &then_env);
+        walk_body(s->else_body, &else_env);
+        // Merge: a variable keeps its value only when both paths agree on
+        // it (same affine expression, or same untouched generation); any
+        // disagreement yields a fresh opaque generation.
+        Env merged;
+        std::set<const ir::Variable*> touched;
+        for (const auto& [v, x] : then_env.known) touched.insert(v);
+        for (const auto& [v, x] : then_env.gen) touched.insert(v);
+        for (const auto& [v, x] : else_env.known) touched.insert(v);
+        for (const auto& [v, x] : else_env.gen) touched.insert(v);
+        for (const ir::Variable* v : touched) {
+          LinearExpr tv = env_value(then_env, v);
+          LinearExpr ev = env_value(else_env, v);
+          if (tv.terms == ev.terms && tv.c == ev.c) {
+            auto kt = then_env.known.find(v);
+            if (kt != then_env.known.end()) {
+              merged.known[v] = kt->second;
+            }
+            auto gt = then_env.gen.find(v);
+            if (gt != then_env.gen.end()) merged.gen[v] = gt->second;
+          } else {
+            merged.gen[v] = fresh_gen(v);
+          }
+        }
+        *env = std::move(merged);
+        break;
+      }
+      case ir::StmtKind::Do: {
+        env_loop_entry_[s] = *env;  // bounds evaluate here
+        // Entering the body: anything the body may modify loses its value.
+        for (const ir::Variable* v : modified_in_.at(s)) {
+          if (v->is_scalar()) bump(env, v);
+        }
+        env->known[s->ivar] = LinearExpr::var(
+            poly::scalar_sym(s->ivar, env->gen.count(s->ivar) != 0 ? env->gen[s->ivar] : 0));
+        walk_body(s->body, env);
+        // After the loop: modified values are again unknown.
+        for (const ir::Variable* v : modified_in_.at(s)) {
+          if (v->is_scalar()) bump(env, v);
+        }
+        break;
+      }
+      case ir::StmtKind::Call: {
+        const ProcEffects& fx = modref_.of(s->callee);
+        for (const ir::Variable* g : fx.mod) {
+          if (g->is_scalar()) {
+            bump_aliases(env, g);
+            bump(env, g);
+          } else if (g->kind == ir::VarKind::CommonMember) {
+            bump_aliases(env, g);
+          }
+        }
+        for (size_t i = 0; i < s->args.size(); ++i) {
+          if (!fx.formal_mod[i]) continue;
+          const ir::Variable* av = ModRef::actual_var(s, i);
+          if (av != nullptr && av->is_scalar() && s->args[i]->is_var_ref()) {
+            bump(env, av);
+          }
+        }
+        break;
+      }
+      case ir::StmtKind::Print:
+      case ir::StmtKind::Nop:
+        break;
+    }
+  }
+}
+
+LinearExpr Symbolic::value_before(const ir::Stmt* s, const ir::Variable* v) const {
+  auto it = env_at_.find(s);
+  if (it == env_at_.end()) return LinearExpr::var(poly::scalar_sym(v, 0));
+  return env_value(it->second, v);
+}
+
+poly::ScalarResolver Symbolic::resolver_at(const ir::Stmt* s) const {
+  auto it = env_at_.find(s);
+  if (it == env_at_.end()) {
+    return [](const ir::Variable* v) -> std::optional<LinearExpr> {
+      if (v->is_array() || v->elem != ir::ScalarType::Int) return std::nullopt;
+      return LinearExpr::var(poly::scalar_sym(v, 0));
+    };
+  }
+  return env_resolver(it->second);
+}
+
+poly::ScalarResolver Symbolic::resolver_at_loop_entry(const ir::Stmt* loop) const {
+  auto it = env_loop_entry_.find(loop);
+  if (it == env_loop_entry_.end()) return resolver_at(loop);
+  return env_resolver(it->second);
+}
+
+const std::set<const ir::Variable*>& Symbolic::modified_in(const ir::Stmt* loop) const {
+  return modified_in_.at(loop);
+}
+
+bool Symbolic::is_variant_sym(const ir::Stmt* loop, poly::SymId sym) const {
+  if (poly::is_dim_sym(sym)) return false;
+  int vid = poly::sym_var_id(sym);
+  for (const ir::Variable* v : modified_in_.at(loop)) {
+    if (v->id == vid) return true;
+  }
+  return false;
+}
+
+std::optional<long> Symbolic::constant_before(const ir::Stmt* s,
+                                              const ir::Variable* v) const {
+  LinearExpr e = value_before(s, v);
+  if (e.is_constant()) return e.c;
+  return std::nullopt;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,73 @@
+// Interprocedural-aware symbolic analysis on scalar integer variables
+// (§2.4): constant propagation, affine relations between scalars, and
+// loop-index tracking, expressed as affine values over per-generation
+// symbolic columns. A variable whose definition cannot be modeled affinely
+// (array load, conditional merge, call side effect) is "opaque": it resolves
+// to a fresh generation symbol, so equalities are never fabricated.
+//
+// Generation discipline is what makes cross-iteration reasoning sound:
+// scalars modified inside a loop body get fresh generations at loop entry,
+// so no pre-loop value leaks into the body, and the dependence analysis can
+// identify exactly which symbols need primed second-iteration copies.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "analysis/alias.h"
+#include "analysis/modref.h"
+#include "graph/callgraph.h"
+#include "polyhedra/affine.h"
+
+namespace suifx::analysis {
+
+class Symbolic {
+ public:
+  Symbolic(const ir::Program& prog, const AliasAnalysis& alias, const ModRef& modref,
+           const graph::CallGraph& cg);
+
+  /// Affine value of integer scalar `v` immediately before `s` executes
+  /// (over generation symbols and SymParams). Opaque values resolve to their
+  /// current generation symbol.
+  poly::LinearExpr value_before(const ir::Stmt* s, const ir::Variable* v) const;
+
+  /// Resolver for subscript conversion at statement `s`.
+  poly::ScalarResolver resolver_at(const ir::Stmt* s) const;
+
+  /// Resolver for expressions evaluated once at entry of `loop` (its bounds).
+  poly::ScalarResolver resolver_at_loop_entry(const ir::Stmt* loop) const;
+
+  /// Variables (including the index) whose value may differ from iteration
+  /// to iteration of `loop` — every generation symbol of such a variable
+  /// needs a primed copy in a two-iteration dependence system.
+  const std::set<const ir::Variable*>& modified_in(const ir::Stmt* loop) const;
+  bool is_variant_sym(const ir::Stmt* loop, poly::SymId sym) const;
+
+  /// Convenience: constant value of `v` before `s`, when known.
+  std::optional<long> constant_before(const ir::Stmt* s, const ir::Variable* v) const;
+
+ private:
+  struct Env {
+    std::map<const ir::Variable*, poly::LinearExpr> known;  // affine values
+    std::map<const ir::Variable*, int> gen;                 // current generation
+  };
+
+  int fresh_gen(const ir::Variable* v);
+  poly::LinearExpr env_value(const Env& env, const ir::Variable* v) const;
+  poly::ScalarResolver env_resolver(const Env& env) const;
+  void bump(Env* env, const ir::Variable* v);
+  void bump_aliases(Env* env, const ir::Variable* canon);
+  void walk_body(const std::vector<ir::Stmt*>& body, Env* env);
+  void collect_modified(const ir::Stmt* loop);
+
+  const ir::Program& prog_;
+  const AliasAnalysis& alias_;
+  const ModRef& modref_;
+  std::map<const ir::Stmt*, Env> env_at_;          // before each statement
+  std::map<const ir::Stmt*, Env> env_loop_entry_;  // bounds-evaluation env
+  std::map<const ir::Stmt*, std::set<const ir::Variable*>> modified_in_;
+  std::map<const ir::Variable*, int> next_gen_;
+  std::set<const ir::Variable*> overflowed_;  // generation-saturated: non-affine
+};
+
+}  // namespace suifx::analysis

@@ -1,0 +1,251 @@
+// hydro2d and wave5 recreations (Chapter 5 liveness study).
+#include "benchsuite/suite.h"
+
+namespace suifx::benchsuite {
+
+// ---------------------------------------------------------------------------
+// hydro2d: astrophysical Navier-Stokes (SPEC92). The varh COMMON block is
+// viewed as vz by tistep/vps and as vz1 by trans2/fct (Fig 5-9). The live
+// ranges are disjoint — trans2 writes vz1 which fct consumes, then vps
+// overwrites vz before tistep's read in the next time step — but only the
+// kill-capable full liveness can prove it and split the block, dissolving
+// the artificial decomposition conflict (vz1 is distributed by row, vz by
+// column).
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kHydro2dSource = R"(
+program hydro2d;
+param MP = 30;
+param NP = 30;
+param ISTEP = 3;
+global real ro[32, 32];
+global real gz[32, 32];
+global real sc2[32, 32];
+
+proc tistep() {
+  common varh real vz[32, 32];
+  real acc;
+  acc = 0.0;
+  do j = 1, NP label 10 {
+    do i = 1, MP label 11 {
+      acc = acc + vz[i, j] * 0.001;
+    }
+  }
+  do j = 1, NP label 20 {
+    do i = 1, MP label 21 {
+      ro[i, j] = ro[i, j] + acc * 0.01;
+    }
+  }
+}
+
+proc trans2() {
+  common varh real vz1[32, 32];
+  do j = 1, NP label 30 {
+    do i = 1, MP label 31 {
+      vz1[i, j] = ro[i, j] * gz[i, j] + 0.1;
+    }
+  }
+}
+
+proc fct() {
+  common varh real vz1[32, 32];
+  do j = 1, NP label 40 {
+    do i = 1, MP label 41 {
+      gz[i, j] = gz[i, j] * 0.99 + vz1[i, j] * 0.02;
+    }
+  }
+}
+
+// Write-overwrite-read chain for the liveness study.
+proc hscratch() {
+  do j = 1, NP label 60 {
+    do i = 1, MP label 61 {
+      sc2[i, j] = ro[i, j] * 0.5;
+    }
+  }
+  do j = 1, NP label 70 {
+    do i = 1, MP label 71 {
+      sc2[i, j] = gz[i, j] * 0.25;
+    }
+  }
+  do j = 1, NP label 80 {
+    do i = 1, MP label 81 {
+      ro[i, j] = ro[i, j] + sc2[i, j] * 0.001;
+    }
+  }
+}
+
+proc advnce() {
+  call trans2();
+  call fct();
+}
+
+proc vps() {
+  common varh real vz[32, 32];
+  do i = 1, MP label 50 {
+    do j = 1, NP label 51 {
+      vz[i, j] = gz[i, j] + ro[i, j] * 0.5;
+    }
+  }
+}
+
+proc check() {
+  call vps();
+}
+
+proc main() {
+  do j = 1, NP label 1 {
+    do i = 1, MP label 2 {
+      ro[i, j] = 1.0 + real(i + j) * 0.001;
+      gz[i, j] = 0.3;
+    }
+  }
+  call vps();
+  do icnt = 1, ISTEP label 100 {
+    call tistep();
+    call hscratch();
+    call advnce();
+    call check();
+    print ro[4, 4] + gz[6, 6];
+  }
+}
+)";
+}  // namespace
+
+const BenchProgram& hydro2d() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "hydro2d";
+    p.description = "astrophysical Navier-Stokes program (SPEC92)";
+    p.source = kHydro2dSource;
+    p.paper_lines = 4461;
+    p.data_set = "SPEC ref";
+    return p;
+  }();
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// wave5: Maxwell's equations / particle push (SPEC95). Many small loops
+// writing short-lived scratch arrays: array liveness finds plenty of dead
+// arrays and legalizes privatization, but the loops are too fine-grained for
+// parallel execution to profit — the run-time system suppresses them and the
+// speedup stays flat (§5.4's wave5 row).
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kWave5Source = R"(
+program wave5;
+param NB = 8;
+param NM = 400;
+param NSTEPS = 4;
+global int lo_of[8] input;
+global int hi_of[8] input;
+global real field[8, 20];
+global real charge[8, 20];
+global real emesh[400];
+
+// The dominant field solve: a genuine first-order recurrence along the
+// mesh keeps it sequential (wave5's overall speedup stays flat).
+proc solve() {
+  do step2 = 1, 6 label 5 {
+    do m = 2, NM label 6 {
+      emesh[m] = emesh[m - 1] * 0.5 + emesh[m] * 0.5 + 0.001;
+    }
+  }
+}
+
+proc fill(real q[n], int n, real v) {
+  do j = 1, n label 5 {
+    q[j] = v;
+  }
+}
+
+proc push1() {
+  real scr[20];
+  int l1;
+  int l2;
+  do b = 1, NB label 10 {
+    l1 = lo_of[b];
+    l2 = hi_of[b];
+    call fill(scr[2], l2 - 1, 0.25);
+    do i = 2, l2 label 11 {
+      field[b, i] = field[b, i] + scr[i] * 0.1;
+    }
+  }
+  print scr[1];
+}
+
+proc push2() {
+  real scr[20];
+  int l1;
+  int l2;
+  do b = 1, NB label 20 {
+    l1 = lo_of[b];
+    l2 = hi_of[b];
+    call fill(scr[2], l2 - 1, 0.5);
+    do i = 2, l2 label 21 {
+      charge[b, i] = charge[b, i] + scr[i] * 0.05;
+    }
+  }
+  print scr[1];
+}
+
+proc push3() {
+  real scr[20];
+  int l1;
+  int l2;
+  do b = 1, NB label 30 {
+    l1 = lo_of[b];
+    l2 = hi_of[b];
+    call fill(scr[2], l2 - 1, 0.75);
+    do i = 2, l2 label 31 {
+      field[b, i] = field[b, i] * 0.999 + scr[i] * charge[b, i] * 0.01;
+    }
+  }
+  print scr[1];
+}
+
+proc main() {
+  do b = 1, NB label 1 {
+    do i = 1, 20 label 2 {
+      field[b, i] = 0.1;
+      charge[b, i] = 0.2;
+    }
+  }
+  do m = 1, NM label 3 {
+    emesh[m] = real(m) * 0.001;
+  }
+  do step = 1, NSTEPS label 100 {
+    call solve();
+    call push1();
+    call push2();
+    call push3();
+    print field[3, 3] + emesh[9];
+  }
+}
+)";
+}  // namespace
+
+const BenchProgram& wave5() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "wave5";
+    p.description = "Maxwell's equations / particle push (SPEC95)";
+    p.source = kWave5Source;
+    std::vector<double> lo, hi;
+    for (int i = 0; i < 8; ++i) {
+      lo.push_back(2 + (i * 3) % 4);
+      hi.push_back(8 + (i * 5) % 5);
+    }
+    p.inputs.arrays["lo_of"] = lo;
+    p.inputs.arrays["hi_of"] = hi;
+    p.paper_lines = 7764;
+    p.data_set = "SPEC ref";
+    return p;
+  }();
+  return prog;
+}
+
+}  // namespace suifx::benchsuite

@@ -1,0 +1,475 @@
+// hydro and flo88 recreations (Chapters 4 and 5 studies).
+#include "benchsuite/suite.h"
+
+namespace suifx::benchsuite {
+
+// ---------------------------------------------------------------------------
+// hydro: 2-D Lagrangian hydrodynamics (Los Alamos). Three ingredient
+// patterns, exactly as the thesis describes:
+//  * dkrc-style loops (Fig 4-5): ranges k1..k2 come from index arrays and a
+//    conditionally-defined k1p1 — statically unresolvable, user-privatized.
+//  * aif3-style loops (Fig 5-1): a callee must-writes a loop-variant range
+//    that covers every read, so privatization is legal but finalization is
+//    impossible without array liveness — liveness alone parallelizes them.
+//  * duac is written distributed by column in vsetuv and by row in vqterm —
+//    the conflicting decompositions of Fig 4-6 (data reshuffle penalty).
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kHydroSource = R"(
+program hydro;
+param KN = 38;
+param LN = 38;
+param NSTEPS = 3;
+global int k_lower[40] input;
+global int k_upper[40] input;
+global real duac[40, 40];
+global real rho[40, 40];
+global real pres[40, 40];
+global real ener[40, 40];
+global real aif3[40];
+global real bif3[40];
+global real scr2d[40, 40];
+
+proc init1(real q[n], int n) {
+  do j = 1, n label 5 {
+    q[j] = 0.2;
+  }
+}
+
+// --- straightforwardly parallel physics sweeps (auto-parallelized) --------
+proc vtstep() {
+  do l = 1, LN label 10 {
+    do k = 1, KN label 20 {
+      pres[k, l] = rho[k, l] * ener[k, l] * 0.4;
+    }
+  }
+}
+
+proc veos() {
+  do l = 1, LN label 30 {
+    do k = 1, KN label 40 {
+      ener[k, l] = ener[k, l] + pres[k, l] * 0.01 + sqrt(abs(rho[k, l])) * 0.001;
+    }
+  }
+}
+
+// --- Fig 5-1: liveness-enabled privatization of aif3/bif3 -----------------
+proc vsweep() {
+  int k2;
+  do l = 2, LN label 85 {
+    k2 = k_upper[l];
+    call init1(aif3[2], k2 - 1);
+    do k = 2, k2 label 60 {
+      rho[k, l] = rho[k, l] + aif3[k] * 0.05;
+    }
+  }
+}
+
+proc vgath() {
+  int k2;
+  do l = 2, LN label 95 {
+    k2 = k_upper[l];
+    call init1(bif3[2], k2 - 1);
+    do k = 2, k2 label 70 {
+      ener[k, l] = ener[k, l] + bif3[k] * 0.02;
+    }
+  }
+}
+
+// A write-overwrite-read chain: the values scr2d carries out of loop 300
+// are killed by loop 310's full rewrite before loop 320 reads — only the
+// kill-capable full liveness sees that loop 300's writes are dead.
+proc vscratch() {
+  do l = 1, LN label 300 {
+    do k = 1, KN label 301 {
+      scr2d[k, l] = rho[k, l] * 0.5;
+    }
+  }
+  do l = 1, LN label 310 {
+    do k = 1, KN label 311 {
+      scr2d[k, l] = ener[k, l] * 0.25;
+    }
+  }
+  do l = 1, LN label 320 {
+    do k = 1, KN label 321 {
+      pres[k, l] = pres[k, l] + scr2d[k, l] * 0.01;
+    }
+  }
+}
+
+// --- Fig 4-5: dkrc pattern, user-privatized --------------------------------
+proc vsetuv() {
+  real dkrc[42];
+  int k1;
+  int k2;
+  int k1p1;
+  do l = 2, LN label 85 {
+    k1 = k_lower[l];
+    k2 = k_upper[l];
+    k1p1 = k1;
+    if (k1 == 1) { k1p1 = k1 + 1; }
+    do k = k1p1, k2 + 1 label 60 {
+      dkrc[k] = pres[k, l] * 0.3 + 0.01;
+    }
+    do k = k1, k2 label 80 {
+      duac[k, l] = dkrc[k] + dkrc[k + 1];
+    }
+  }
+}
+
+proc vsetgc() {
+  real work[42];
+  int k1;
+  int k2;
+  int k1p1;
+  do l = 2, LN label 200 {
+    k1 = k_lower[l];
+    k2 = k_upper[l];
+    k1p1 = k1;
+    if (k1 == 1) { k1p1 = k1 + 1; }
+    do k = k1p1, k2 + 1 label 210 {
+      work[k] = rho[k, l] + ener[k, l] * 0.1;
+    }
+    do k = k1, k2 label 220 {
+      rho[k, l] = rho[k, l] + (work[k] + work[k + 1]) * 0.005;
+    }
+  }
+}
+
+// --- Fig 4-6: row-wise sweep conflicting with vsetuv's column-wise one -----
+proc vqterm() {
+  real drl[42];
+  int l1;
+  int l2;
+  int l1p1;
+  do k = 2, KN label 85 {
+    l1 = k_lower[k];
+    l2 = k_upper[k];
+    l1p1 = l1;
+    if (l1 == 1) { l1p1 = l1 + 1; }
+    do l = l1p1, l2 + 1 label 90 {
+      drl[l] = duac[k, l] * 0.5;
+    }
+    do l = l1, l2 label 100 {
+      duac[k, l] = duac[k, l] + (drl[l] + drl[l + 1]) * 0.02;
+    }
+  }
+}
+
+proc main() {
+  do l = 1, LN label 1 {
+    do k = 1, KN label 2 {
+      rho[k, l] = 1.0 + real(k + l) * 0.003;
+      ener[k, l] = 0.5;
+      duac[k, l] = 0.0;
+    }
+  }
+  do step = 1, NSTEPS label 999 {
+    print aif3[1] + bif3[1];
+    call vtstep();
+    call veos();
+    call vscratch();
+    call vsweep();
+    call vgath();
+    call vsetuv();
+    call vsetgc();
+    call vqterm();
+    print ener[5, 5] + duac[7, 7];
+  }
+}
+)";
+}  // namespace
+
+const BenchProgram& hydro() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "hydro";
+    p.description = "2-D Lagrangian hydrodynamics (Los Alamos)";
+    p.source = kHydroSource;
+    // Range arrays: k_lower/k_upper in [2, KN-2] with lower <= upper.
+    std::vector<double> lo, hi;
+    for (int i = 0; i < 40; ++i) {
+      int a = 2 + (i * 7) % 8;
+      int b = 30 + (i * 5) % 6;
+      lo.push_back(a);
+      hi.push_back(b);
+    }
+    p.inputs.arrays["k_lower"] = lo;
+    p.inputs.arrays["k_upper"] = hi;
+    p.user_input = {
+        {"vsetuv/85", "vsetuv.dkrc", UserAssertion::Kind::Privatize},
+        {"vsetgc/200", "vsetgc.work", UserAssertion::Kind::Privatize},
+        {"vqterm/85", "vqterm.drl", UserAssertion::Kind::Privatize},
+    };
+    p.paper_lines = 12942;
+    p.data_set = "450x450";
+    return p;
+  }();
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// flo88: transonic wing-body analysis (Stanford CITS). Vector-legacy style:
+// many small loops communicating through temporary arrays. The psmoo
+// recurrence (Fig 5-4) has no exposed reads, but the sweep extents come from
+// input scalars whose relation (ie == il + 1) the compiler cannot know —
+// exactly the §4.4.1 flo88 story: the user privatizes the temporaries.
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kFlo88Source = R"(
+program flo88;
+param IL = 30;
+param JL = 30;
+param KL = 12;
+param NCYC = 2;
+global int ie input;
+global int je input;
+global real w[32, 32, 14];
+global real res[32, 32, 14];
+global real radi[32, 32];
+global real scr2[32, 32];
+
+// A write-overwrite-read chain for the liveness study (see hydro.vscratch).
+proc fscratch() {
+  do j = 2, JL label 200 {
+    do i = 2, IL label 201 {
+      scr2[i, j] = radi[i, j] * 2.0;
+    }
+  }
+  do j = 2, JL label 210 {
+    do i = 2, IL label 211 {
+      scr2[i, j] = radi[i, j] + 0.5;
+    }
+  }
+  do j = 2, JL label 220 {
+    do i = 2, IL label 221 {
+      radi[i, j] = radi[i, j] * 0.999 + scr2[i, j] * 0.0001;
+    }
+  }
+}
+
+// Three smoothing passes, each funneling through a private work array whose
+// accessed extent depends on the input scalars ie/je (ie == il + 1 holds at
+// run time but is invisible to the compiler).
+proc psmoo() {
+  real d[32, 32];
+  real d2[32, 32];
+  real d3[32];
+  real t;
+  do k = 2, KL label 50 {
+    do j = 2, JL label 10 {
+      d[1, j] = 0.0;
+    }
+    do i = 2, IL label 20 {
+      do j = 2, JL label 21 {
+        t = d[i - 1, j] * 0.25;
+        d[i, j] = (res[i, j, k] + t) * 0.5;
+      }
+    }
+    do i = 2, ie - 1 label 30 {
+      do j = 2, je - 1 label 31 {
+        res[i, j, k] = d[i, j];
+      }
+    }
+  }
+  do k = 2, KL label 100 {
+    do j = 2, JL label 110 {
+      do i = 2, IL label 111 {
+        d2[i, j] = res[i, j, k] + res[i, j - 1, k];
+      }
+    }
+    do j = 2, je - 1 label 120 {
+      do i = 2, ie - 1 label 121 {
+        res[i, j, k] = d2[i, j] * 0.5;
+      }
+    }
+  }
+  do k = 2, KL label 150 {
+    do i = 2, IL label 160 {
+      d3[i] = res[i, 2, k] * 0.1;
+    }
+    do i = 2, ie - 1 label 170 {
+      res[i, 2, k] = res[i, 2, k] + d3[i];
+    }
+  }
+}
+
+proc eflux() {
+  real fe[32];
+  do k = 2, KL label 50 {
+    do j = 2, JL label 60 {
+      do i = 2, IL label 61 {
+        fe[i] = (w[i, j, k] - w[i - 1, j, k]) * 0.3;
+      }
+      do i = 2, ie - 1 label 62 {
+        res[i, j, k] = res[i, j, k] + fe[i];
+      }
+    }
+  }
+}
+
+proc dflux() {
+  real fs[32];
+  real gs[32];
+  real hs[32];
+  do k = 2, KL label 30 {
+    do j = 2, JL label 40 {
+      do i = 2, IL label 41 {
+        fs[i] = w[i, j, k] - w[i - 1, j, k];
+      }
+      do i = 2, ie - 1 label 42 {
+        res[i, j, k] = res[i, j, k] + (fs[i + 1] - fs[i]) * 0.5;
+      }
+    }
+  }
+  do k = 2, KL label 50 {
+    do i = 2, IL label 51 {
+      do j = 2, JL label 52 {
+        gs[j] = w[i, j, k] - w[i, j - 1, k];
+      }
+      do j = 2, je - 1 label 53 {
+        res[i, j, k] = res[i, j, k] + (gs[j + 1] - gs[j]) * 0.5;
+      }
+    }
+  }
+  do j = 2, JL label 70 {
+    do i = 2, IL label 71 {
+      do k = 2, KL label 72 {
+        hs[k] = w[i, j, k] - w[i, j, k - 1];
+      }
+      do k = 2, KL - 1 label 73 {
+        res[i, j, k] = res[i, j, k] + (hs[k + 1] - hs[k]) * 0.3;
+      }
+    }
+  }
+}
+
+proc addw() {
+  do k = 2, KL label 70 {
+    do j = 2, JL label 80 {
+      do i = 2, IL label 81 {
+        w[i, j, k] = w[i, j, k] + res[i, j, k] * radi[i, j] * 0.1
+                   + w[i, j, k - 1] * 0.001;
+        res[i, j, k] = 0.0;
+      }
+    }
+  }
+}
+
+proc main() {
+  do k = 1, KL + 2 label 1 {
+    do j = 1, JL + 2 label 2 {
+      do i = 1, IL + 2 label 3 {
+        w[i, j, k] = real(i + j + k) * 0.01;
+        res[i, j, k] = 0.0;
+      }
+    }
+  }
+  do j = 1, JL + 2 label 4 {
+    do i = 1, IL + 2 label 5 {
+      radi[i, j] = 1.0 / (1.0 + real(i + j) * 0.02);
+    }
+  }
+  do cyc = 1, NCYC label 999 {
+    call fscratch();
+    call eflux();
+    call dflux();
+    call psmoo();
+    call addw();
+    print w[5, 5, 5];
+  }
+}
+)";
+
+// Fig 5-11(b): psmoo after affine partitioning — the j sweep is outermost,
+// all producers/consumers of column j execute together, and d/t become
+// contraction candidates (d collapses its j dimension; t is already scalar).
+const char* kFlo88FusedSource = R"(
+program flo88fused;
+param IL = 32;
+param JL = 32;
+param NSWEEP = 12;
+param NCYC = 2;
+global real res[34, 34];
+
+proc psmoo() {
+  real d[34, 34];
+  real e[34, 34];
+  real f[34, 34];
+  real g[34, 34];
+  do k = 2, NSWEEP label 40 {
+    do j = 2, JL label 50 {
+      d[1, j] = 0.0;
+      do i = 2, IL label 30 {
+        d[i, j] = (res[i, j] + d[i - 1, j]) * 0.25;
+      }
+      do i = 2, IL label 31 {
+        e[i, j] = d[i, j] + res[i, j] * 0.5;
+      }
+      do i = 2, IL label 32 {
+        f[i, j] = e[i, j] * 0.9 + d[i, j] * 0.1;
+      }
+      do i = 2, IL label 33 {
+        g[i, j] = f[i, j] + e[i, j] * 0.01;
+      }
+      do i = 2, IL label 34 {
+        res[i, j] = g[i, j];
+      }
+    }
+  }
+}
+
+proc main() {
+  do j = 1, JL + 2 label 1 {
+    do i = 1, IL + 2 label 2 {
+      res[i, j] = real(i + j) * 0.01;
+    }
+  }
+  do cyc = 1, NCYC label 999 {
+    call psmoo();
+    print res[5, 5];
+  }
+}
+)";
+}  // namespace
+
+const BenchProgram& flo88() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "flo88";
+    p.description = "wing-body transonic flow analysis (Stanford CITS)";
+    p.source = kFlo88Source;
+    p.inputs.scalars["ie"] = 31;  // ie == IL + 1, known only to the user
+    p.inputs.scalars["je"] = 31;
+    p.user_input = {
+        {"psmoo/50", "psmoo.d", UserAssertion::Kind::Privatize},
+        {"psmoo/100", "psmoo.d2", UserAssertion::Kind::Privatize},
+        {"psmoo/150", "psmoo.d3", UserAssertion::Kind::Privatize},
+        {"eflux/50", "eflux.fe", UserAssertion::Kind::Privatize},
+        {"dflux/30", "dflux.fs", UserAssertion::Kind::Privatize},
+        {"dflux/50", "dflux.gs", UserAssertion::Kind::Privatize},
+        {"dflux/70", "dflux.hs", UserAssertion::Kind::Privatize},
+    };
+    p.paper_lines = 7438;
+    p.data_set = "256x32x48";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& flo88_fused() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "flo88-fused";
+    p.description = "flo88 psmoo after affine partitioning (Fig 5-11b)";
+    p.source = kFlo88FusedSource;
+    p.paper_lines = 7438;
+    p.data_set = "256x32x48";
+    return p;
+  }();
+  return prog;
+}
+
+}  // namespace suifx::benchsuite

@@ -1,0 +1,271 @@
+// mdg and arc3d recreations (Chapter 4 study).
+#include "benchsuite/suite.h"
+
+namespace suifx::benchsuite {
+
+// ---------------------------------------------------------------------------
+// mdg: molecular dynamics of water molecules (Perfect Club). The heart is
+// interf/1000 — a triangular pair loop whose RL working array is written
+// under one condition and read under a stronger one (Fig 4-3): statically
+// unresolvable, dynamically clean, privatizable only with the user's
+// assertion. Forces accumulate through array reductions; the virial and
+// potential energy through scalar reductions.
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kMdgSource = R"(
+program mdg;
+param NMOL = 56;
+param NSTEPS = 3;
+global real xm[168];
+global real vel[168];
+global real fx[56];
+global real fy[56];
+global real fz[56];
+global real cut2 input;
+global real vir;
+global real epot;
+
+proc initia() {
+  do i = 1, NMOL label 100 {
+    xm[i] = real(i) * 0.37;
+    xm[NMOL + i] = real(i) * 0.11;
+    xm[2 * NMOL + i] = real(i) * 0.53;
+  }
+  do i = 1, 3 * NMOL label 110 {
+    vel[i] = 0.0;
+  }
+  do i = 1, NMOL label 120 {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+  }
+}
+
+// Computes the nine pair distances into r_out[1:9] (must-write).
+proc dist(real xi, real xj, real r_out[9]) {
+  do k = 1, 9 label 10 {
+    r_out[k] = abs(xi - xj) * 0.1 + real(k) * 0.01;
+  }
+}
+
+proc intraf() {
+  // Intra-molecular springs: independent per molecule.
+  do i = 1, NMOL label 200 {
+    fx[i] = fx[i] + (xm[i] - xm[NMOL + i]) * 0.002;
+    fy[i] = fy[i] + (xm[NMOL + i] - xm[2 * NMOL + i]) * 0.002;
+    fz[i] = fz[i] + (xm[2 * NMOL + i] - xm[i]) * 0.002;
+  }
+}
+
+proc interf() {
+  real rs[9];
+  real rl[14];
+  int kc;
+  do i = 1, NMOL label 1000 {
+    do j = 1, NMOL label 1100 {
+      if (j != i) {
+      call dist(xm[i], xm[j], rs[1]);
+      kc = 0;
+      do k = 1, 9 label 1110 {
+        if (rs[k] > cut2) { kc = kc + 1; }
+      }
+      if (kc != 9) {
+        do k = 2, 5 label 1130 {
+          if (rs[k + 4] <= cut2) {
+            rl[k + 4] = rs[k] * 2.0 - rs[k + 4];
+          }
+        }
+        if (kc == 0) {
+          do k = 11, 14 label 1140 {
+            vir = vir + rl[k - 5] * 0.25;
+          }
+        }
+        fx[i] = fx[i] + rs[1] * 0.5;
+        fy[i] = fy[i] + rs[2] * 0.5;
+        fz[i] = fz[i] + rs[3] * 0.5;
+        epot = epot + (rs[1] + rs[5] - rs[9]) * 0.5;
+      }
+      }
+    }
+  }
+}
+
+proc update() {
+  do i = 1, NMOL label 300 {
+    vel[i] = vel[i] + fx[i] * 0.01;
+    vel[NMOL + i] = vel[NMOL + i] + fy[i] * 0.01;
+    vel[2 * NMOL + i] = vel[2 * NMOL + i] + fz[i] * 0.01;
+    xm[i] = xm[i] + vel[i] * 0.01;
+    xm[NMOL + i] = xm[NMOL + i] + vel[NMOL + i] * 0.01;
+    xm[2 * NMOL + i] = xm[2 * NMOL + i] + vel[2 * NMOL + i] * 0.01;
+  }
+}
+
+proc kineti() {
+  real sum;
+  sum = 0.0;
+  do i = 1, 3 * NMOL label 400 {
+    sum = sum + vel[i] * vel[i];
+  }
+  epot = epot + sum * 0.5;
+}
+
+proc main() {
+  call initia();
+  do step = 1, NSTEPS label 999 {
+    vir = 0.0;
+    epot = 0.0;
+    call intraf();
+    call interf();
+    call update();
+    call kineti();
+    print epot + vir;
+  }
+}
+)";
+}  // namespace
+
+const BenchProgram& mdg() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "mdg";
+    p.description = "molecular dynamics model (Perfect Club)";
+    p.source = kMdgSource;
+    p.inputs.scalars["cut2"] = 0.35;
+    p.user_input = {{"interf/1000", "interf.rl", UserAssertion::Kind::Privatize}};
+    p.paper_lines = 1238;
+    p.data_set = "1029x1029";
+    return p;
+  }();
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// arc3d: 3-D Euler solver (NASA Ames). The stepf3d loops initialize a scalar
+// under a case-style conditional chain that covers the whole iteration space
+// (§4.4.1): statically the scalar looks upward-exposed, so the loops need
+// the user's privatization assertions for SN-like scalars.
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kArc3dSource = R"(
+program arc3d;
+param LM = 40;
+param JM = 40;
+param NSTEPS = 2;
+global real q[40, 40];
+global real work[5, 40];
+global real resid[40, 40];
+global real coef[40] input;
+global int jmx input;
+global real scr3[40, 40];
+
+proc initia() {
+  do l = 1, LM label 10 {
+    do j = 1, JM label 20 {
+      q[l, j] = real(l) * 0.01 + real(j) * 0.003;
+      resid[l, j] = 0.0;
+    }
+  }
+}
+
+proc filter3d() {
+  // Wave-front smoothing: a genuine carried dependence on the sweep
+  // direction keeps the outer loop sequential (the one important loop of
+  // arc3d that stays sequential, Fig 4-7's "remaining" row); the inner
+  // sweep parallelizes but is fine-grained.
+  do l = 3, LM - 2 label 701 {
+    do j = 1, 6 label 100 {
+      resid[l, j] = q[l - 2, j] - 4.0 * q[l - 1, j] + 6.0 * q[l, j]
+                  - 4.0 * q[l + 1, j] + q[l + 2, j] + resid[l - 1, j] * 0.1;
+    }
+  }
+}
+
+proc stepf3d() {
+  real sn;
+  real tmp[40];
+  do l = 2, LM label 701 {
+    do n = 3, 5 label 300 {
+      if (n == 3) { sn = coef[l] * 0.1; }
+      if (n == 4) { sn = coef[l] * 0.2; }
+      if (n == 5) { sn = coef[l] * 0.3; }
+      work[n, l] = sn * 2.0;
+      do j = 1, JM label 301 {
+        resid[l, j] = resid[l, j] + sn * q[l, j] * 0.001;
+      }
+    }
+  }
+  do l = 2, LM label 702 {
+    do n = 3, 5 label 310 {
+      if (n == 3) { sn = coef[l] + 1.0; }
+      if (n == 4) { sn = coef[l] + 2.0; }
+      if (n == 5) { sn = coef[l] + 3.0; }
+      work[n, l] = work[n, l] + sn;
+      do j = 1, JM label 311 {
+        q[l, j] = q[l, j] + sn * 0.0001 + sqrt(abs(resid[l, j])) * 0.001;
+      }
+    }
+  }
+  do l = 2, LM label 801 {
+    do j = 1, jmx label 320 {
+      tmp[j] = resid[l, j] * 0.5;
+    }
+    do j = 1, JM label 330 {
+      q[l, j] = q[l, j] + tmp[j] + work[4, l] * 0.001;
+    }
+  }
+}
+
+// Write-overwrite-read chain for the liveness study.
+proc ascratch() {
+  do l = 1, LM label 900 {
+    do j = 1, JM label 901 {
+      scr3[l, j] = q[l, j] * 0.5;
+    }
+  }
+  do l = 1, LM label 910 {
+    do j = 1, JM label 911 {
+      scr3[l, j] = resid[l, j] * 0.25;
+    }
+  }
+  do l = 1, LM label 920 {
+    do j = 1, JM label 921 {
+      q[l, j] = q[l, j] + scr3[l, j] * 0.001;
+    }
+  }
+}
+
+proc main() {
+  call initia();
+  do step = 1, NSTEPS label 999 {
+    call filter3d();
+    call stepf3d();
+    call ascratch();
+    print q[3, 3];
+  }
+}
+)";
+}  // namespace
+
+const BenchProgram& arc3d() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "arc3d";
+    p.description = "3-D Euler equations solver (NASA Ames)";
+    p.source = kArc3dSource;
+    p.inputs.scalars["jmx"] = 40;  // jmx == JM, known only to the user
+    p.user_input = {
+        {"stepf3d/701", "stepf3d.sn", UserAssertion::Kind::Privatize},
+        {"stepf3d/702", "stepf3d.sn", UserAssertion::Kind::Privatize},
+        {"stepf3d/801", "stepf3d.tmp", UserAssertion::Kind::Privatize},
+    };
+    p.paper_lines = 4053;
+    p.data_set = "64x64x64";
+    return p;
+  }();
+  return prog;
+}
+
+}  // namespace suifx::benchsuite

@@ -1,0 +1,271 @@
+// Chapter 6 reduction kernels: SPEC92 / NAS / Perfect Club flavored programs
+// exercising every reduction class of §6.1 — scalar, regular array region,
+// sparse (index-array) and interprocedural — plus the region-minimization
+// case of §6.3.3.
+#include "benchsuite/suite.h"
+
+namespace suifx::benchsuite {
+
+namespace {
+
+// NAS EP ("embar"): pseudo-random pair acceptance with a histogram indexed
+// by a computed (non-affine) bin — a sparse reduction — plus scalar sums.
+const char* kEmbarSource = R"(
+program embar;
+param NPAIR = 4000;
+global real xs[4000] input;
+global real ys[4000] input;
+global real q[10];
+global real sx;
+global real sy;
+
+proc main() {
+  real t;
+  int bin;
+  sx = 0.0;
+  sy = 0.0;
+  do i = 1, NPAIR label 10 {
+    t = xs[i] * xs[i] + ys[i] * ys[i];
+    if (t <= 1.0) {
+      sx = sx + xs[i];
+      sy = sy + ys[i];
+      bin = 1 + int(t * 9.0);
+      q[bin] = q[bin] + 1.0;
+    }
+  }
+  print sx + sy;
+  do b = 1, 10 label 20 {
+    print q[b];
+  }
+}
+)";
+
+// Perfect Club bdna: commutative updates through an index array (§6.4.2) and
+// a dense force reduction touching only FAX(1:NATOMS) of a 2000-element
+// array — the §6.3.3 region-minimization example.
+const char* kBdnaSource = R"(
+program bdna;
+param L = 3000;
+param NSP = 6;
+param NATOMS = 200;
+global int ind[3000] input;
+global real foxp[3000] input;
+global real fox[600];
+global real fax[2000];
+global real wk[3000] input;
+
+proc main() {
+  do j = 1, L label 10 {
+    fox[ind[j]] = fox[ind[j]] + foxp[j];
+  }
+  do i = 1, NSP label 20 {
+    do ia = 1, NATOMS label 21 {
+      fax[ia] = fax[ia] + wk[ia + i] * 0.01;
+    }
+  }
+  print fox[5] + fax[7];
+}
+)";
+
+// Perfect Club dyfesm: the reduction statement lives in a callee — an
+// interprocedural reduction (§6.2.2.4).
+const char* kDyfesmSource = R"(
+program dyfesm;
+param NELT = 2500;
+param NDOF = 16;
+global real force[16];
+global real strain[2500] input;
+
+proc addfrc(int j, real x) {
+  force[j] = force[j] + x;
+}
+
+proc main() {
+  do e = 1, NELT label 10 {
+    call addfrc(1 + e % NDOF, strain[e] * 0.5);
+  }
+  do j = 1, NDOF label 20 {
+    print force[j];
+  }
+}
+)";
+
+// SPEC su2cor: regular array-region reduction B(J) += A(I,J) under a coarse
+// outer loop (§6.1.2).
+const char* kSu2corSource = R"(
+program su2cor;
+param NI = 400;
+param NJ = 12;
+global real a[400, 12] input;
+global real b[12];
+
+proc main() {
+  do i = 1, NI label 10 {
+    do j = 1, NJ label 20 {
+      b[j] = b[j] + a[i, j];
+    }
+  }
+  do j = 1, NJ label 30 {
+    print b[j];
+  }
+}
+)";
+
+// SPEC tomcatv: MAX reductions over residuals via guarded assignment.
+const char* kTomcatvSource = R"(
+program tomcatv;
+param N = 60;
+param NSTEP = 3;
+global real rx[62, 62];
+global real ry[62, 62];
+
+proc main() {
+  real rxm;
+  real rym;
+  do j = 1, N label 1 {
+    do i = 1, N label 2 {
+      rx[i, j] = abs(real(i - j)) * 0.01;
+      ry[i, j] = abs(real(i + j - N)) * 0.02;
+    }
+  }
+  do step = 1, NSTEP label 100 {
+    rxm = 0.0;
+    rym = 0.0;
+    do j = 2, N - 1 label 10 {
+      do i = 2, N - 1 label 11 {
+        if (rx[i, j] > rxm) { rxm = rx[i, j]; }
+        if (ry[i, j] > rym) { rym = ry[i, j]; }
+      }
+    }
+    do j = 2, N - 1 label 20 {
+      do i = 2, N - 1 label 21 {
+        rx[i, j] = rx[i, j] * 0.98;
+        ry[i, j] = ry[i, j] * 0.97;
+      }
+    }
+    print rxm + rym;
+  }
+}
+)";
+
+// SPEC ora: ray tracing through optical surfaces — scalar sum and product
+// reductions in one coarse loop.
+const char* kOraSource = R"(
+program ora;
+param NRAY = 6000;
+global real angle[6000] input;
+
+proc main() {
+  real suma;
+  real prod;
+  suma = 0.0;
+  prod = 1.0;
+  do r = 1, NRAY label 10 {
+    suma = suma + sqrt(abs(angle[r]) + 0.5);
+    prod = prod * (1.0 + angle[r] * 0.0001);
+  }
+  print suma;
+  print prod;
+}
+)";
+
+}  // namespace
+
+const BenchProgram& kernel_embar() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "embar";
+    p.description = "NAS EP: histogram + scalar sums";
+    p.source = kEmbarSource;
+    p.paper_lines = 265;
+    p.data_set = "2^24 pairs";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_bdna() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "bdna";
+    p.description = "Perfect: nucleic-acid simulation, indirect reductions";
+    p.source = kBdnaSource;
+    std::vector<double> ind;
+    for (int j = 0; j < 3000; ++j) ind.push_back(1 + (j * 37) % 600);
+    p.inputs.arrays["ind"] = ind;
+    p.paper_lines = 3980;
+    p.data_set = "Perfect ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_dyfesm() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "dyfesm";
+    p.description = "Perfect: finite-element dynamics, interprocedural reduction";
+    p.source = kDyfesmSource;
+    p.paper_lines = 7608;
+    p.data_set = "Perfect ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_su2cor() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "su2cor";
+    p.description = "SPEC: quark-gluon correlation, array-region reductions";
+    p.source = kSu2corSource;
+    p.paper_lines = 2514;
+    p.data_set = "SPEC ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_tomcatv() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "tomcatv";
+    p.description = "SPEC: mesh generation, MAX reductions";
+    p.source = kTomcatvSource;
+    p.paper_lines = 195;
+    p.data_set = "SPEC ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_ora() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "ora";
+    p.description = "SPEC: optical ray tracing, scalar sum/product reductions";
+    p.source = kOraSource;
+    p.paper_lines = 535;
+    p.data_set = "SPEC ref";
+    return p;
+  }();
+  return prog;
+}
+
+std::vector<const BenchProgram*> explorer_suite() {
+  return {&mdg(), &arc3d(), &hydro(), &flo88()};
+}
+
+std::vector<const BenchProgram*> liveness_suite() {
+  return {&hydro(), &flo88(), &arc3d(), &wave5(), &hydro2d()};
+}
+
+std::vector<const BenchProgram*> reduction_suite() {
+  // The twelve reduction-impacted programs (Fig 6-5's count).
+  return {&mdg(),           &kernel_embar(),   &kernel_bdna(),
+          &kernel_dyfesm(), &kernel_su2cor(),  &kernel_tomcatv(),
+          &kernel_ora(),    &kernel_arc2d(),   &kernel_adm(),
+          &kernel_qcd(),    &kernel_trfd(),    &kernel_mg3d()};
+}
+
+}  // namespace suifx::benchsuite

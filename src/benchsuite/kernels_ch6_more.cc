@@ -1,0 +1,196 @@
+// Five more Chapter 6 reduction kernels, bringing the suite to the twelve
+// reduction-impacted programs of Fig 6-5 (SPEC92 / NAS / Perfect flavors).
+#include "benchsuite/suite.h"
+
+namespace suifx::benchsuite {
+
+namespace {
+
+// SPEC arc2d: implicit-solver residual update — array-region reductions per
+// column plus a MAX residual.
+const char* kArc2dSource = R"(
+program arc2d;
+param NI = 120;
+param NJ = 40;
+global real q[122, 42] input;
+global real colsum[42];
+global real resmax;
+
+proc main() {
+  resmax = 0.0;
+  do i = 2, NI label 10 {
+    do j = 2, NJ label 20 {
+      colsum[j] = colsum[j] + q[i, j] * 0.5;
+      if (q[i, j] > resmax) { resmax = q[i, j]; }
+    }
+  }
+  do j = 2, NJ label 30 {
+    print colsum[j];
+  }
+  print resmax;
+}
+)";
+
+// Perfect adm: pseudospectral air pollution — column physics in a callee
+// accumulating into global budgets (interprocedural sum reductions).
+const char* kAdmSource = R"(
+program adm;
+param NCOL = 900;
+param NLEV = 12;
+global real conc[900, 12] input;
+global real budget[12];
+global real mass;
+
+proc column(int c) {
+  do l = 1, NLEV label 5 {
+    budget[l] = budget[l] + conc[c, l] * 0.01;
+    mass = mass + conc[c, l] * 0.001;
+  }
+}
+
+proc main() {
+  do c = 1, NCOL label 10 {
+    call column(c);
+  }
+  do l = 1, NLEV label 20 {
+    print budget[l];
+  }
+  print mass;
+}
+)";
+
+// Perfect qcd: lattice gauge theory — plaquette PRODUCT reductions alongside
+// an action sum.
+const char* kQcdSource = R"(
+program qcd;
+param NSITE = 3000;
+global real link[3000] input;
+global real action;
+global real wilson;
+
+proc main() {
+  action = 0.0;
+  wilson = 1.0;
+  do s = 1, NSITE label 10 {
+    action = action + link[s] * link[s];
+    wilson = wilson * (1.0 + link[s] * 0.0001);
+  }
+  print action;
+  print wilson;
+}
+)";
+
+// Perfect trfd: two-electron integral transformation — a triangular loop
+// accumulating into a packed lower-triangular region.
+const char* kTrfdSource = R"(
+program trfd;
+param NORB = 70;
+global real x[70, 70] input;
+global real v[2485];
+
+proc main() {
+  int ij;
+  do i = 1, NORB label 10 {
+    do j = 1, i label 20 {
+      ij = i * (i - 1) / 2 + j;
+      v[ij] = v[ij] + x[i, j] * x[j, i];
+    }
+  }
+  print v[1] + v[2485];
+}
+)";
+
+// Perfect mg3d: seismic migration — trace stacking: sums through an
+// input-dependent time shift (sparse additive updates).
+const char* kMg3dSource = R"(
+program mg3d;
+param NTRACE = 400;
+param NT = 60;
+global int shift[400] input;
+global real trace[400, 60] input;
+global real image[200];
+
+proc main() {
+  do t = 1, NTRACE label 10 {
+    do s = 1, NT label 20 {
+      image[1 + (shift[t] + s) % 200] = image[1 + (shift[t] + s) % 200]
+                                      + trace[t, s] * 0.1;
+    }
+  }
+  do p = 1, 200 label 30 {
+    print image[p];
+  }
+}
+)";
+
+}  // namespace
+
+const BenchProgram& kernel_arc2d() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "arc2d";
+    p.description = "SPEC: implicit 2-D Euler solver, region + max reductions";
+    p.source = kArc2dSource;
+    p.paper_lines = 3965;
+    p.data_set = "SPEC ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_adm() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "adm";
+    p.description = "Perfect: air pollution model, interprocedural sums";
+    p.source = kAdmSource;
+    p.paper_lines = 6105;
+    p.data_set = "Perfect ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_qcd() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "qcd";
+    p.description = "Perfect: lattice gauge theory, product reductions";
+    p.source = kQcdSource;
+    p.paper_lines = 2327;
+    p.data_set = "Perfect ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_trfd() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "trfd";
+    p.description = "Perfect: integral transformation, triangular region sums";
+    p.source = kTrfdSource;
+    p.paper_lines = 485;
+    p.data_set = "Perfect ref";
+    return p;
+  }();
+  return prog;
+}
+
+const BenchProgram& kernel_mg3d() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "mg3d";
+    p.description = "Perfect: seismic migration, shifted trace stacking";
+    p.source = kMg3dSource;
+    std::vector<double> shift;
+    for (int t = 0; t < 400; ++t) shift.push_back((t * 29) % 140);
+    p.inputs.arrays["shift"] = shift;
+    p.paper_lines = 2812;
+    p.data_set = "Perfect ref";
+    return p;
+  }();
+  return prog;
+}
+
+}  // namespace suifx::benchsuite

@@ -1,0 +1,67 @@
+// The benchmark suite: SF recreations of the applications the thesis
+// evaluates. Each program reproduces the analysis challenges the thesis
+// describes for its namesake (see DESIGN.md's substitution table): the
+// guarded-privatization RL pattern of mdg's interf/1000 (Fig 4-3), hydro's
+// loop-variant ranges and conflicting decompositions (Fig 4-5/4-6), arc3d's
+// guarded scalar initialization (§4.4.1), flo88's vector-legacy temporaries
+// (Fig 5-4/5-11), hydro2d's common-block overlays (Fig 5-9), wave5's small
+// dead arrays, and the Chapter 6 reduction kernels (SPEC/NAS/Perfect-style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynamic/interp.h"
+
+namespace suifx::benchsuite {
+
+struct UserAssertion {
+  std::string loop;  // "proc/label"
+  std::string var;   // "proc.name" or global name
+  enum class Kind : uint8_t { Privatize, Independent, Parallel } kind;
+};
+
+struct BenchProgram {
+  std::string name;
+  std::string description;
+  const char* source = nullptr;  // SF text
+  dynamic::Inputs inputs;
+  /// The assertions the thesis's programmer supplied (§4.1.4, §4.2.4).
+  std::vector<UserAssertion> user_input;
+  /// Thesis-reported source size, for the program-information tables.
+  int paper_lines = 0;
+  /// Thesis-reported data-set description.
+  std::string data_set;
+};
+
+const BenchProgram& mdg();
+const BenchProgram& hydro();
+const BenchProgram& arc3d();
+const BenchProgram& flo88();
+/// flo88's psmoo kernel after affine partitioning (Fig 5-11(b)): the form on
+/// which array contraction applies — the Fig 5-12 study input.
+const BenchProgram& flo88_fused();
+const BenchProgram& hydro2d();
+const BenchProgram& wave5();
+
+/// Chapter 6 reduction kernels (SPEC92 / NAS / Perfect Club flavored).
+const BenchProgram& kernel_embar();     // NAS EP: histogram + sums
+const BenchProgram& kernel_bdna();      // Perfect: indirect array reductions
+const BenchProgram& kernel_dyfesm();    // Perfect: interprocedural reduction
+const BenchProgram& kernel_su2cor();    // SPEC: array-region reductions
+const BenchProgram& kernel_tomcatv();   // SPEC: max-reductions on residuals
+const BenchProgram& kernel_ora();       // SPEC: scalar sum/product reductions
+const BenchProgram& kernel_arc2d();     // SPEC: region + max reductions
+const BenchProgram& kernel_adm();       // Perfect: interprocedural sums
+const BenchProgram& kernel_qcd();       // Perfect: product reductions
+const BenchProgram& kernel_trfd();      // Perfect: triangular region sums
+const BenchProgram& kernel_mg3d();      // Perfect: shifted trace stacking
+
+/// The Chapter 4 Explorer study programs (Fig 4-1).
+std::vector<const BenchProgram*> explorer_suite();
+/// The Chapter 5 liveness study programs (Fig 5-5).
+std::vector<const BenchProgram*> liveness_suite();
+/// The Chapter 6 reduction-impact programs (Figs 6-2..6-7).
+std::vector<const BenchProgram*> reduction_suite();
+
+}  // namespace suifx::benchsuite

@@ -1,0 +1,73 @@
+#include "dynamic/dyndep.h"
+
+namespace suifx::dynamic {
+
+void DynDepAnalyzer::on_loop_enter(const ir::Stmt* loop) {
+  ActiveFrame f;
+  f.loop = loop;
+  f.monitored = opts_.monitor.empty() || opts_.monitor.count(loop) != 0;
+  active_.push_back(std::move(f));
+}
+
+void DynDepAnalyzer::on_loop_iter(const ir::Stmt* loop, long iv) {
+  (void)iv;
+  ActiveFrame& f = active_.back();
+  if (f.loop != loop) return;
+  ++f.iter_seq;
+  f.sampled = opts_.stride <= 1 || (f.iter_seq % opts_.stride) == 0;
+}
+
+void DynDepAnalyzer::on_loop_exit(const ir::Stmt* loop) {
+  ActiveFrame f = std::move(active_.back());
+  active_.pop_back();
+  if (!f.monitored) return;
+  DynDepResult& r = results_[loop];
+  r.monitored_iterations += static_cast<uint64_t>(f.iter_seq + 1);
+  for (const ir::Variable* v : f.read_from_prev_iter) {
+    r.dep_vars.insert(v);
+    r.any_carried = true;
+  }
+  for (const ir::Variable* v : f.wrote) {
+    if (f.read_from_prev_iter.count(v) == 0) r.priv_candidates.insert(v);
+  }
+}
+
+void DynDepAnalyzer::on_read(const ir::Stmt* s, const Addr& a) {
+  (void)s;
+  for (ActiveFrame& f : active_) {
+    if (!f.monitored || !f.sampled) continue;
+    auto it = f.last_write.find(key(a));
+    if (it == f.last_write.end()) continue;  // value from before the loop
+    if (it->second.first != f.iter_seq) {
+      // Flow dependence carried across iterations — unless the compiler
+      // already knows how to transform this variable.
+      auto ig = opts_.ignore.find(f.loop);
+      if (ig != opts_.ignore.end() &&
+          (ig->second.count(a.var) != 0 || ig->second.count(it->second.second) != 0)) {
+        continue;
+      }
+      f.read_from_prev_iter.insert(a.var);
+    }
+  }
+}
+
+void DynDepAnalyzer::on_write(const ir::Stmt* s, const Addr& a) {
+  (void)s;
+  for (ActiveFrame& f : active_) {
+    if (!f.monitored || !f.sampled) continue;
+    f.last_write[key(a)] = {f.iter_seq, a.var};
+    f.wrote.insert(a.var);
+  }
+}
+
+const DynDepResult& DynDepAnalyzer::result(const ir::Stmt* loop) const {
+  static const DynDepResult kEmpty;
+  auto it = results_.find(loop);
+  return it != results_.end() ? it->second : kEmpty;
+}
+
+bool DynDepAnalyzer::observed_carried(const ir::Stmt* loop) const {
+  return result(loop).any_carried;
+}
+
+}  // namespace suifx::dynamic

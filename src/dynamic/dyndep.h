@@ -1,0 +1,74 @@
+// The Dynamic Dependence Analyzer (§2.5.2): instruments reads and writes,
+// keeps the most recent write per memory location for every monitored loop,
+// and reports loop-carried flow dependences observed on the user-supplied
+// input. Anti- and output dependences are ignored (they vanish under
+// privatization); variables the compiler identified as inductions or
+// reductions can be excluded; iteration sampling ("skip batches of
+// iterations because the result is only a hint", §2.5.2) is supported via
+// `stride`.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "dynamic/interp.h"
+
+namespace suifx::dynamic {
+
+struct DynDepResult {
+  bool any_carried = false;
+  /// Variables with an observed cross-iteration flow dependence.
+  std::set<const ir::Variable*> dep_vars;
+  /// Variables observed written-before-read in the same iteration only —
+  /// dynamic evidence for privatizability.
+  std::set<const ir::Variable*> priv_candidates;
+  uint64_t monitored_iterations = 0;
+};
+
+class DynDepAnalyzer : public ExecHooks {
+ public:
+  struct Options {
+    /// Loops to monitor; empty means every loop.
+    std::set<const ir::Stmt*> monitor;
+    /// Per loop: variables to ignore (compiler-identified inductions and
+    /// reductions — their dependences are transformable).
+    std::map<const ir::Stmt*, std::set<const ir::Variable*>> ignore;
+    /// Sample every `stride`-th iteration (1 = every iteration).
+    int stride = 1;
+  };
+
+  DynDepAnalyzer() = default;
+  explicit DynDepAnalyzer(Options opts) : opts_(std::move(opts)) {}
+
+  void on_loop_enter(const ir::Stmt* loop) override;
+  void on_loop_iter(const ir::Stmt* loop, long iv) override;
+  void on_loop_exit(const ir::Stmt* loop) override;
+  void on_read(const ir::Stmt* s, const Addr& a) override;
+  void on_write(const ir::Stmt* s, const Addr& a) override;
+
+  const DynDepResult& result(const ir::Stmt* loop) const;
+  bool observed_carried(const ir::Stmt* loop) const;
+
+ private:
+  struct ActiveFrame {
+    const ir::Stmt* loop = nullptr;
+    bool monitored = false;
+    bool sampled = true;
+    long iter_seq = -1;
+    // addr key -> (iteration, writing variable)
+    std::unordered_map<uint64_t, std::pair<long, const ir::Variable*>> last_write;
+    std::set<const ir::Variable*> read_from_prev_iter;
+    std::set<const ir::Variable*> wrote;
+  };
+
+  static uint64_t key(const Addr& a) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a.storage)) << 40) ^
+           static_cast<uint64_t>(a.offset);
+  }
+
+  Options opts_;
+  std::vector<ActiveFrame> active_;
+  std::map<const ir::Stmt*, DynDepResult> results_;
+};
+
+}  // namespace suifx::dynamic

@@ -1,0 +1,549 @@
+#include "dynamic/interp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace suifx::dynamic {
+
+namespace {
+
+/// Deterministic 64-bit mix (splitmix64 finalizer).
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t name_hash(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  return h;
+}
+
+struct AbortExec {};
+
+}  // namespace
+
+Interpreter::Interpreter(const ir::Program& prog) : prog_(prog) {}
+
+bool Interpreter::formal_modified(const ir::Procedure* callee, size_t ix) {
+  auto it = formal_mod_.find(callee);
+  if (it == formal_mod_.end()) {
+    std::vector<bool> mods(callee->formals.size(), false);
+    callee->for_each([&](ir::Stmt* s) {
+      auto mark = [&](const ir::Variable* v) {
+        for (size_t i = 0; i < callee->formals.size(); ++i) {
+          if (callee->formals[i] == v) mods[i] = true;
+        }
+      };
+      if (s->kind == ir::StmtKind::Assign) {
+        mark(s->lhs->var);
+      } else if (s->kind == ir::StmtKind::Do) {
+        mark(s->ivar);
+      } else if (s->kind == ir::StmtKind::Call) {
+        for (size_t i = 0; i < s->args.size(); ++i) {
+          const ir::Expr* a = s->args[i];
+          if ((a->is_var_ref() || a->is_array_ref()) &&
+              formal_modified(s->callee, i)) {
+            mark(a->var);
+          }
+        }
+      }
+    });
+    it = formal_mod_.insert({callee, std::move(mods)}).first;
+  }
+  return ix < it->second.size() && it->second[ix];
+}
+
+long Interpreter::param_value(const ir::Variable* p) const {
+  auto it = inputs_.params.find(p->name);
+  return it != inputs_.params.end() ? it->second : p->param_default;
+}
+
+double Interpreter::default_fill(const ir::Variable* v, long index) const {
+  uint64_t h = mix(name_hash(v->name) ^ mix(inputs_.seed + static_cast<uint64_t>(index)));
+  if (v->elem == ir::ScalarType::Int) {
+    // Small positive integers: safe as subscript components for typical SF
+    // programs that bound them further themselves.
+    return static_cast<double>(1 + static_cast<long>(h % 8));
+  }
+  return static_cast<double>(h % 1000000ULL) / 1000000.0;
+}
+
+uint64_t Interpreter::expr_cost(const ir::Expr* e) const {
+  uint64_t n = 0;
+  ir::for_each_expr(e, [&](const ir::Expr*) { ++n; });
+  return n;
+}
+
+void Interpreter::fail(const ir::Stmt* s, const std::string& msg) {
+  if (!aborted_) {
+    result_.error = "line " + std::to_string(s != nullptr ? s->line : 0) + ": " + msg;
+    aborted_ = true;
+  }
+  throw AbortExec{};
+}
+
+// ---------------------------------------------------------------------------
+// Storage & bindings
+// ---------------------------------------------------------------------------
+
+Interpreter::ArrayBinding Interpreter::make_binding(const ir::Variable* v, Frame& f,
+                                                    int storage, long base) {
+  ArrayBinding b;
+  b.storage = storage;
+  b.base = base;
+  for (const ir::Dim& d : v->dims) {
+    long lo = eval_int(d.lower, f);
+    long hi = eval_int(d.upper, f);
+    b.lower.push_back(lo);
+    b.extent.push_back(std::max<long>(0, hi - lo + 1));
+  }
+  return b;
+}
+
+double* Interpreter::scalar_slot(const ir::Variable* v, Frame& f) {
+  if (v->kind == ir::VarKind::Formal) return &f.scalars[v];
+  return nullptr;  // storage-backed (local/global/common)
+}
+
+Addr Interpreter::scalar_addr(const ir::Variable* v, Frame& f) {
+  Addr a;
+  a.var = v;
+  switch (v->kind) {
+    case ir::VarKind::Local: {
+      auto it = f.scalar_addrs.find(v);
+      if (it == f.scalar_addrs.end()) {
+        // Auto-declared (loop index discovered mid-body): allocate lazily.
+        storages_.push_back({});
+        storages_.back().data.assign(1, 0.0);
+        Addr na;
+        na.storage = static_cast<int>(storages_.size()) - 1;
+        na.offset = 0;
+        na.var = v;
+        it = f.scalar_addrs.insert({v, na}).first;
+      }
+      return it->second;
+    }
+    case ir::VarKind::CommonMember:
+      a.storage = common_storage_.at(v->common);
+      a.offset = v->common_offset;
+      return a;
+    case ir::VarKind::Global:
+      a.storage = global_storage_.at(v);
+      a.offset = 0;
+      return a;
+    default:
+      fail(nullptr, "no storage for scalar '" + v->name + "'");
+      return a;
+  }
+}
+
+double Interpreter::load(const Addr& a) const {
+  return storages_[static_cast<size_t>(a.storage)].data[static_cast<size_t>(a.offset)];
+}
+
+void Interpreter::store(const Addr& a, double v) {
+  storages_[static_cast<size_t>(a.storage)].data[static_cast<size_t>(a.offset)] = v;
+}
+
+Addr Interpreter::locate(const ir::Expr* ref, Frame& f) {
+  const ir::Variable* v = ref->var;
+  const ArrayBinding* b = nullptr;
+  if (v->kind == ir::VarKind::Global) {
+    auto it = global_bindings_.find(v);
+    if (it == global_bindings_.end()) fail(nullptr, "unbound array '" + v->name + "'");
+    b = &it->second;
+  } else {
+    auto it = f.arrays.find(v);
+    if (it == f.arrays.end()) fail(nullptr, "unbound array '" + v->name + "'");
+    b = &it->second;
+  }
+  // Column-major (Fortran) flattening with bounds checks.
+  long flat = 0;
+  long stride = 1;
+  for (size_t k = 0; k < ref->idx.size(); ++k) {
+    long ix = eval_int(ref->idx[k], f);
+    long rel = ix - b->lower[k];
+    if (rel < 0 || rel >= b->extent[k]) {
+      fail(nullptr, "subscript " + std::to_string(ix) + " out of bounds for '" +
+                        v->name + "' dim " + std::to_string(k + 1));
+    }
+    flat += rel * stride;
+    stride *= b->extent[k];
+  }
+  Addr a;
+  a.storage = b->storage;
+  a.offset = b->base + flat;
+  a.var = v;
+  if (a.offset < 0 ||
+      a.offset >= static_cast<long>(storages_[static_cast<size_t>(a.storage)].data.size())) {
+    fail(nullptr, "address out of storage for '" + v->name + "'");
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+long Interpreter::eval_int(const ir::Expr* e, Frame& f) {
+  double v = eval(e, f);
+  return static_cast<long>(std::llround(v));
+}
+
+double Interpreter::eval(const ir::Expr* e, Frame& f) {
+  switch (e->kind) {
+    case ir::ExprKind::IntConst:
+      return static_cast<double>(e->ival);
+    case ir::ExprKind::RealConst:
+      return e->rval;
+    case ir::ExprKind::VarRef: {
+      const ir::Variable* v = e->var;
+      if (v->kind == ir::VarKind::SymParam) return static_cast<double>(param_value(v));
+      if (v->is_array()) fail(nullptr, "whole-array read of '" + v->name + "'");
+      if (double* slot = scalar_slot(v, f)) return *slot;
+      Addr a = scalar_addr(v, f);
+      for (ExecHooks* h : hooks_) h->on_read(nullptr, a);
+      return load(a);
+    }
+    case ir::ExprKind::ArrayRef: {
+      Addr a = locate(e, f);
+      for (ExecHooks* h : hooks_) h->on_read(nullptr, a);
+      return load(a);
+    }
+    case ir::ExprKind::Binary: {
+      double x = eval(e->a, f);
+      // Short-circuit booleans.
+      if (e->bop == ir::BinOp::And) return (x != 0.0 && eval(e->b, f) != 0.0) ? 1.0 : 0.0;
+      if (e->bop == ir::BinOp::Or) return (x != 0.0 || eval(e->b, f) != 0.0) ? 1.0 : 0.0;
+      double y = eval(e->b, f);
+      switch (e->bop) {
+        case ir::BinOp::Add: return x + y;
+        case ir::BinOp::Sub: return x - y;
+        case ir::BinOp::Mul: return x * y;
+        case ir::BinOp::Div:
+          if (e->type == ir::ScalarType::Int) {
+            long yi = static_cast<long>(std::llround(y));
+            if (yi == 0) fail(nullptr, "integer division by zero");
+            return static_cast<double>(static_cast<long>(std::llround(x)) / yi);
+          }
+          return x / y;
+        case ir::BinOp::Mod: {
+          long yi = static_cast<long>(std::llround(y));
+          if (yi == 0) fail(nullptr, "mod by zero");
+          return static_cast<double>(static_cast<long>(std::llround(x)) % yi);
+        }
+        case ir::BinOp::Min: return std::min(x, y);
+        case ir::BinOp::Max: return std::max(x, y);
+        case ir::BinOp::Lt: return x < y ? 1.0 : 0.0;
+        case ir::BinOp::Le: return x <= y ? 1.0 : 0.0;
+        case ir::BinOp::Gt: return x > y ? 1.0 : 0.0;
+        case ir::BinOp::Ge: return x >= y ? 1.0 : 0.0;
+        case ir::BinOp::Eq: return x == y ? 1.0 : 0.0;
+        case ir::BinOp::Ne: return x != y ? 1.0 : 0.0;
+        default: return 0.0;
+      }
+    }
+    case ir::ExprKind::Unary: {
+      double x = eval(e->a, f);
+      switch (e->uop) {
+        case ir::UnOp::Neg: return -x;
+        case ir::UnOp::Not: return x == 0.0 ? 1.0 : 0.0;
+        case ir::UnOp::Sqrt: return std::sqrt(x);
+        case ir::UnOp::Exp: return std::exp(x);
+        case ir::UnOp::Log: return std::log(x);
+        case ir::UnOp::Abs: return std::fabs(x);
+        case ir::UnOp::IntCast: return static_cast<double>(static_cast<long>(x));
+        case ir::UnOp::RealCast: return x;
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Interpreter::exec_stmt(const ir::Stmt* s, Frame& f) {
+  if (fuel_ == 0) fail(s, "execution budget exhausted");
+  uint64_t cost = 1;
+  switch (s->kind) {
+    case ir::StmtKind::Assign: {
+      cost += expr_cost(s->rhs) + expr_cost(s->lhs);
+      double v = eval(s->rhs, f);
+      if (s->lhs->is_array_ref()) {
+        Addr a = locate(s->lhs, f);
+        for (ExecHooks* h : hooks_) h->on_write(s, a);
+        if (s->lhs->type == ir::ScalarType::Int) v = std::llround(v);
+        store(a, v);
+      } else {
+        const ir::Variable* lv = s->lhs->var;
+        if (s->lhs->type == ir::ScalarType::Int) v = std::llround(v);
+        if (double* slot = scalar_slot(lv, f)) {
+          *slot = v;
+        } else {
+          Addr a = scalar_addr(lv, f);
+          for (ExecHooks* h : hooks_) h->on_write(s, a);
+          store(a, v);
+        }
+      }
+      break;
+    }
+    case ir::StmtKind::If:
+      cost += expr_cost(s->cond);
+      if (eval(s->cond, f) != 0.0) {
+        for (ExecHooks* h : hooks_) h->on_cost(s, cost);
+        fuel_ = fuel_ > cost ? fuel_ - cost : 0;
+        result_.total_cost += cost;
+        exec_body(s->then_body, f);
+        return;
+      }
+      for (ExecHooks* h : hooks_) h->on_cost(s, cost);
+      fuel_ = fuel_ > cost ? fuel_ - cost : 0;
+      result_.total_cost += cost;
+      exec_body(s->else_body, f);
+      return;
+    case ir::StmtKind::Do: {
+      cost += expr_cost(s->lb) + expr_cost(s->ub);
+      long lb = eval_int(s->lb, f);
+      long ub = eval_int(s->ub, f);
+      long step = eval_int(s->step, f);
+      for (ExecHooks* h : hooks_) h->on_cost(s, cost);
+      fuel_ = fuel_ > cost ? fuel_ - cost : 0;
+      result_.total_cost += cost;
+      for (ExecHooks* h : hooks_) h->on_loop_enter(s);
+      double* islot = scalar_slot(s->ivar, f);
+      Addr iaddr;
+      if (islot == nullptr) iaddr = scalar_addr(s->ivar, f);
+      long trip = step > 0 ? (ub - lb + step) / step : (lb - ub - step) / (-step);
+      trip = std::max<long>(0, trip);
+      bool reversed = reversed_.count(s) != 0;
+      for (long k = 0; k < trip; ++k) {
+        long iv = reversed ? lb + (trip - 1 - k) * step : lb + k * step;
+        for (ExecHooks* h : hooks_) h->on_loop_iter(s, iv);
+        if (islot != nullptr) {
+          *islot = static_cast<double>(iv);
+        } else {
+          for (ExecHooks* h : hooks_) h->on_write(s, iaddr);
+          store(iaddr, static_cast<double>(iv));
+        }
+        exec_body(s->body, f);
+      }
+      for (ExecHooks* h : hooks_) h->on_loop_exit(s);
+      return;
+    }
+    case ir::StmtKind::Call:
+      exec_call(s, f);
+      break;
+    case ir::StmtKind::Print:
+      cost += expr_cost(s->value);
+      result_.printed.push_back(eval(s->value, f));
+      break;
+    case ir::StmtKind::Nop:
+      break;
+  }
+  for (ExecHooks* h : hooks_) h->on_cost(s, cost);
+  fuel_ = fuel_ > cost ? fuel_ - cost : 0;
+  result_.total_cost += cost;
+}
+
+void Interpreter::exec_body(const std::vector<ir::Stmt*>& body, Frame& f) {
+  for (const ir::Stmt* s : body) exec_stmt(s, f);
+}
+
+void Interpreter::bind_local_arrays(Frame& f) {
+  for (const ir::Variable* v : f.proc->locals) {
+    if (v->kind == ir::VarKind::Local && v->is_array()) {
+      storages_.push_back({});
+      int sid = static_cast<int>(storages_.size()) - 1;
+      ArrayBinding b = make_binding(v, f, sid, 0);
+      long n = 1;
+      for (long e : b.extent) n *= std::max<long>(1, e);
+      storages_.back().data.assign(static_cast<size_t>(n), 0.0);
+      if (v->is_input) {
+        for (long i = 0; i < n; ++i) {
+          storages_.back().data[static_cast<size_t>(i)] = default_fill(v, i);
+        }
+      }
+      f.arrays[v] = b;
+    } else if (v->kind == ir::VarKind::CommonMember && v->is_array()) {
+      f.arrays[v] = make_binding(v, f, common_storage_.at(v->common), v->common_offset);
+    } else if (v->kind == ir::VarKind::Local && v->is_scalar()) {
+      storages_.push_back({});
+      double init = 0.0;
+      if (v->is_input) {
+        auto it = inputs_.scalars.find(v->name);
+        init = it != inputs_.scalars.end() ? it->second : default_fill(v, 0);
+      }
+      storages_.back().data.assign(1, init);
+      Addr a;
+      a.storage = static_cast<int>(storages_.size()) - 1;
+      a.offset = 0;
+      a.var = v;
+      f.scalar_addrs[v] = a;
+    }
+  }
+}
+
+void Interpreter::exec_call(const ir::Stmt* s, Frame& caller) {
+  const ir::Procedure* callee = s->callee;
+  Frame f;
+  f.proc = callee;
+  f.storage_base = storages_.size();
+  // Bind formals.
+  std::vector<std::pair<const ir::Variable*, const ir::Expr*>> copy_out;
+  for (size_t i = 0; i < s->args.size(); ++i) {
+    const ir::Variable* formal = callee->formals[i];
+    const ir::Expr* a = s->args[i];
+    if (formal->is_array()) {
+      // Resolve the actual's binding (whole array or element base).
+      const ArrayBinding* ab = nullptr;
+      const ir::Variable* av = a->var;
+      if (av->kind == ir::VarKind::Global) {
+        ab = &global_bindings_.at(av);
+      } else {
+        ab = &caller.arrays.at(av);
+      }
+      long base = ab->base;
+      if (a->is_array_ref()) {
+        long flat = 0;
+        long stride = 1;
+        for (size_t k = 0; k < a->idx.size(); ++k) {
+          long ix = eval_int(a->idx[k], caller);
+          flat += (ix - ab->lower[k]) * stride;
+          stride *= ab->extent[k];
+        }
+        base += flat;
+      }
+      // Formal dims may reference other formals: bind scalars first when the
+      // dims need them — we bind scalars below, so evaluate dims lazily by
+      // deferring make_binding until all scalars are set.
+      f.arrays[formal] = ArrayBinding{ab->storage, base, {}, {}};
+    } else {
+      double v = eval(a, caller);
+      if (formal->elem == ir::ScalarType::Int) v = std::llround(v);
+      f.scalars[formal] = v;
+      if ((a->is_var_ref() || a->is_array_ref()) && formal_modified(callee, i)) {
+        copy_out.push_back({formal, a});
+      }
+    }
+  }
+  // Now that scalar formals exist, evaluate array-formal dims.
+  for (size_t i = 0; i < s->args.size(); ++i) {
+    const ir::Variable* formal = callee->formals[i];
+    if (!formal->is_array()) continue;
+    ArrayBinding& b = f.arrays[formal];
+    ArrayBinding full = make_binding(formal, f, b.storage, b.base);
+    b = full;
+  }
+  bind_local_arrays(f);
+  exec_body(callee->body, f);
+  // Copy-out scalar formals bound to lvalues.
+  for (const auto& [formal, actual] : copy_out) {
+    double v = f.scalars[formal];
+    if (actual->is_array_ref()) {
+      Addr addr = locate(actual, caller);
+      for (ExecHooks* h : hooks_) h->on_write(s, addr);
+      store(addr, v);
+    } else {
+      const ir::Variable* av = actual->var;
+      if (double* slot = scalar_slot(av, caller)) {
+        *slot = v;
+      } else {
+        Addr addr = scalar_addr(av, caller);
+        for (ExecHooks* h : hooks_) h->on_write(s, addr);
+        store(addr, v);
+      }
+    }
+  }
+  // Frame-local storages die with the activation (stack discipline); ids are
+  // reused by later activations, which is harmless for the hint-grade
+  // dynamic dependence analysis.
+  storages_.resize(f.storage_base);
+}
+
+RunResult Interpreter::run(uint64_t max_cost) {
+  result_ = {};
+  storages_.clear();
+  global_storage_.clear();
+  common_storage_.clear();
+  global_bindings_.clear();
+  aborted_ = false;
+  fuel_ = max_cost;
+
+  if (prog_.main() == nullptr) {
+    result_.error = "no main procedure";
+    return result_;
+  }
+
+  // Allocate commons.
+  for (const ir::CommonBlock& blk : prog_.commons()) {
+    storages_.push_back({});
+    storages_.back().data.assign(static_cast<size_t>(std::max<long>(1, blk.size_elems)),
+                                 0.0);
+    common_storage_[&blk] = static_cast<int>(storages_.size()) - 1;
+  }
+  // Allocate globals.
+  Frame ghost;  // dims of globals only reference params/constants
+  ghost.proc = prog_.main();
+  for (const ir::Variable* g : prog_.globals()) {
+    storages_.push_back({});
+    int sid = static_cast<int>(storages_.size()) - 1;
+    ArrayBinding b;
+    long n = 1;
+    if (g->is_array()) {
+      b = make_binding(g, ghost, sid, 0);
+      for (long e : b.extent) n *= std::max<long>(1, e);
+    } else {
+      b.storage = sid;
+    }
+    storages_.back().data.assign(static_cast<size_t>(n), 0.0);
+    global_storage_[g] = sid;
+    global_bindings_[g] = b;
+    // Fill inputs.
+    auto arr_it = inputs_.arrays.find(g->name);
+    if (arr_it != inputs_.arrays.end()) {
+      for (size_t i = 0; i < arr_it->second.size() && i < storages_.back().data.size();
+           ++i) {
+        storages_.back().data[i] = arr_it->second[i];
+      }
+    } else if (g->is_input) {
+      auto sc_it = inputs_.scalars.find(g->name);
+      if (g->is_scalar() && sc_it != inputs_.scalars.end()) {
+        storages_.back().data[0] = sc_it->second;
+      } else {
+        for (size_t i = 0; i < storages_.back().data.size(); ++i) {
+          storages_.back().data[i] = default_fill(g, static_cast<long>(i));
+        }
+      }
+    }
+  }
+  // Common member input fills (by overlay name).
+  for (const ir::Variable& v : prog_.variables()) {
+    if (v.kind != ir::VarKind::CommonMember) continue;
+    auto arr_it = inputs_.arrays.find(v.name);
+    if (arr_it == inputs_.arrays.end()) continue;
+    Storage& st = storages_[static_cast<size_t>(common_storage_.at(v.common))];
+    for (size_t i = 0; i < arr_it->second.size(); ++i) {
+      size_t off = static_cast<size_t>(v.common_offset) + i;
+      if (off < st.data.size()) st.data[off] = arr_it->second[i];
+    }
+  }
+
+  Frame f;
+  f.proc = prog_.main();
+  try {
+    bind_local_arrays(f);
+    exec_body(prog_.main()->body, f);
+    result_.ok = true;
+  } catch (const AbortExec&) {
+    result_.ok = false;
+  }
+  return result_;
+}
+
+}  // namespace suifx::dynamic

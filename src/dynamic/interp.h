@@ -1,0 +1,148 @@
+// Tree-walking interpreter for SF programs with instrumentation hooks — the
+// execution substrate of the thesis's Execution Analyzers (§2.5): the Loop
+// Profile Analyzer and the Dynamic Dependence Analyzer attach as hooks, and
+// the SMP simulator consumes the recorded per-loop costs.
+//
+// Semantics: Fortran-style. DO bounds/step evaluate once at entry; scalars
+// pass copy-in/copy-out; arrays pass by reference (optionally at an element
+// base, Fortran `a(k1)` style); COMMON blocks are process-lifetime storage
+// shared across overlay views; locals are per-activation. All data is stored
+// as double (exact for the integer ranges SF programs use). Array accesses
+// are bounds-checked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::dynamic {
+
+/// A runtime memory location: a storage buffer id plus a flat element offset.
+struct Addr {
+  int storage = -1;
+  long offset = 0;
+  const ir::Variable* var = nullptr;  // the variable the access went through
+
+  bool operator<(const Addr& o) const {
+    return storage != o.storage ? storage < o.storage : offset < o.offset;
+  }
+  bool operator==(const Addr& o) const {
+    return storage == o.storage && offset == o.offset;
+  }
+};
+
+/// Instrumentation interface. All methods have empty defaults so hooks
+/// override only what they need.
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+  virtual void on_loop_enter(const ir::Stmt* loop) { (void)loop; }
+  /// Called before each iteration body with the induction value.
+  virtual void on_loop_iter(const ir::Stmt* loop, long iv) { (void)loop, (void)iv; }
+  virtual void on_loop_exit(const ir::Stmt* loop) { (void)loop; }
+  virtual void on_read(const ir::Stmt* s, const Addr& a) { (void)s, (void)a; }
+  virtual void on_write(const ir::Stmt* s, const Addr& a) { (void)s, (void)a; }
+  /// Called once per executed statement with its evaluation cost in units.
+  virtual void on_cost(const ir::Stmt* s, uint64_t units) { (void)s, (void)units; }
+};
+
+/// Inputs for `input`-flagged variables and SymParam overrides. Variables
+/// without explicit data get a deterministic seeded fill.
+struct Inputs {
+  std::map<std::string, long> params;                 // SymParam overrides
+  std::map<std::string, std::vector<double>> arrays;  // by variable name
+  std::map<std::string, double> scalars;
+  uint64_t seed = 42;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> printed;
+  uint64_t total_cost = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Program& prog);
+
+  void set_inputs(Inputs inputs) { inputs_ = std::move(inputs); }
+  void add_hook(ExecHooks* hook) { hooks_.push_back(hook); }
+
+  /// Execute the listed loops' iterations in reverse order (plan
+  /// validation: a correct parallelization plan is order-insensitive).
+  void set_reversed_loops(std::set<const ir::Stmt*> loops) {
+    reversed_ = std::move(loops);
+  }
+
+  /// Execute main() to completion (or until `max_cost` units).
+  RunResult run(uint64_t max_cost = 2'000'000'000ULL);
+
+  /// SymParam value in effect (override or default).
+  long param_value(const ir::Variable* p) const;
+
+ private:
+  struct Storage {
+    std::vector<double> data;
+  };
+  struct ArrayBinding {
+    int storage = -1;
+    long base = 0;                 // element offset of the bound base
+    std::vector<long> lower;       // per-dim lower bounds (declared)
+    std::vector<long> extent;      // per-dim extents
+  };
+  struct Frame {
+    const ir::Procedure* proc = nullptr;
+    /// Formal scalars: activation-private copies (copy-in/copy-out), not
+    /// visible to the memory hooks.
+    std::map<const ir::Variable*, double> scalars;
+    /// Local scalars: storage-backed so the Dynamic Dependence Analyzer sees
+    /// their reads and writes.
+    std::map<const ir::Variable*, Addr> scalar_addrs;
+    std::map<const ir::Variable*, ArrayBinding> arrays;
+    size_t storage_base = 0;  // storages_ size at frame entry (stack discipline)
+  };
+
+  double eval(const ir::Expr* e, Frame& f);
+  long eval_int(const ir::Expr* e, Frame& f);
+  Addr locate(const ir::Expr* ref, Frame& f);
+  void exec_body(const std::vector<ir::Stmt*>& body, Frame& f);
+  void exec_stmt(const ir::Stmt* s, Frame& f);
+  void exec_call(const ir::Stmt* s, Frame& f);
+  void bind_local_arrays(Frame& f);
+  ArrayBinding make_binding(const ir::Variable* v, Frame& f, int storage, long base);
+  double load(const Addr& a) const;
+  void store(const Addr& a, double v);
+  double* scalar_slot(const ir::Variable* v, Frame& f);
+  /// Address of a storage-backed scalar (local/global/common); fails for
+  /// formals (which are frame-private).
+  Addr scalar_addr(const ir::Variable* v, Frame& f);
+  void fail(const ir::Stmt* s, const std::string& msg);
+  uint64_t expr_cost(const ir::Expr* e) const;
+  double default_fill(const ir::Variable* v, long index) const;
+  /// True when `callee` (or its callees through by-reference passing) may
+  /// assign the formal at `ix` — copy-out happens only then (Fortran
+  /// intent(out) behavior, matching the static ModRef analysis).
+  bool formal_modified(const ir::Procedure* callee, size_t ix);
+
+  const ir::Program& prog_;
+  Inputs inputs_;
+  std::set<const ir::Stmt*> reversed_;
+  std::vector<ExecHooks*> hooks_;
+  std::vector<Storage> storages_;
+  std::map<const ir::Variable*, int> global_storage_;      // globals
+  std::map<const ir::CommonBlock*, int> common_storage_;   // commons
+  std::map<const ir::Variable*, ArrayBinding> global_bindings_;
+  RunResult result_;
+  std::map<const ir::Procedure*, std::vector<bool>> formal_mod_;
+  uint64_t fuel_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace suifx::dynamic

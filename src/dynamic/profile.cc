@@ -1,0 +1,76 @@
+#include "dynamic/profile.h"
+
+#include <algorithm>
+
+namespace suifx::dynamic {
+
+void LoopProfiler::on_loop_enter(const ir::Stmt* loop) {
+  ActiveLoop a;
+  a.loop = loop;
+  active_.push_back(std::move(a));
+}
+
+void LoopProfiler::on_loop_iter(const ir::Stmt* loop, long iv) {
+  (void)iv;
+  ActiveLoop& a = active_.back();
+  if (a.loop != loop) return;  // defensive; hooks are well-nested
+  if (a.iterating) {
+    a.iter_costs.push_back(a.current);
+  }
+  a.current = 0;
+  a.iterating = true;
+}
+
+void LoopProfiler::on_loop_exit(const ir::Stmt* loop) {
+  ActiveLoop a = std::move(active_.back());
+  active_.pop_back();
+  if (a.iterating) a.iter_costs.push_back(a.current);
+
+  LoopStats& st = stats_[loop];
+  ++st.invocations;
+  st.iterations += a.iter_costs.size();
+  uint64_t total = 0;
+  for (uint64_t c : a.iter_costs) total += c;
+  st.total_cost += total;
+  // Block-scheduled heaviest chunk per processor count.
+  size_t n = a.iter_costs.size();
+  for (size_t pi = 0; pi < kProfiledProcs.size(); ++pi) {
+    int p = kProfiledProcs[pi];
+    uint64_t max_chunk = 0;
+    for (int proc = 0; proc < p; ++proc) {
+      size_t lo = n * static_cast<size_t>(proc) / static_cast<size_t>(p);
+      size_t hi = n * static_cast<size_t>(proc + 1) / static_cast<size_t>(p);
+      uint64_t chunk = 0;
+      for (size_t k = lo; k < hi; ++k) chunk += a.iter_costs[k];
+      max_chunk = std::max(max_chunk, chunk);
+    }
+    st.max_chunk_cost[pi] += max_chunk;
+  }
+  // The loop's cost is also part of every still-active enclosing loop's
+  // current iteration (already accumulated through on_cost), nothing to do.
+}
+
+void LoopProfiler::on_cost(const ir::Stmt* s, uint64_t units) {
+  (void)s;
+  program_cost_ += units;
+  for (ActiveLoop& a : active_) a.current += units;
+}
+
+const LoopStats* LoopProfiler::find(const ir::Stmt* loop) const {
+  auto it = stats_.find(loop);
+  return it != stats_.end() ? &it->second : nullptr;
+}
+
+double LoopProfiler::coverage(const ir::Stmt* loop) const {
+  const LoopStats* st = find(loop);
+  if (st == nullptr || program_cost_ == 0) return 0.0;
+  return static_cast<double>(st->total_cost) / static_cast<double>(program_cost_);
+}
+
+double LoopProfiler::granularity_ms(const ir::Stmt* loop) const {
+  const LoopStats* st = find(loop);
+  if (st == nullptr) return 0.0;
+  return st->avg_invocation_cost() * kMsPerUnit;
+}
+
+}  // namespace suifx::dynamic

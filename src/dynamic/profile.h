@@ -1,0 +1,67 @@
+// The Loop Profile Analyzer (§2.5.1): runs the program sequentially and
+// determines, for each loop, its total execution cost and average cost per
+// invocation — the coverage and granularity inputs of the Parallelization
+// Guru (§2.6). Additionally records, for a fixed set of processor counts,
+// the block-scheduled maximum-chunk cost of every invocation, which lets the
+// SMP simulator reproduce load imbalance exactly without storing every
+// iteration cost.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "dynamic/interp.h"
+
+namespace suifx::dynamic {
+
+/// Processor counts for which block-schedule imbalance is precomputed.
+inline constexpr std::array<int, 7> kProfiledProcs = {1, 2, 4, 8, 16, 32, 64};
+
+struct LoopStats {
+  uint64_t invocations = 0;
+  uint64_t iterations = 0;
+  uint64_t total_cost = 0;  // all units spent inside the loop (nested incl.)
+  /// Per processor count p: sum over invocations of the heaviest block-
+  /// scheduled chunk — the simulated parallel execution cost of the loop.
+  std::array<uint64_t, kProfiledProcs.size()> max_chunk_cost{};
+
+  double avg_invocation_cost() const {
+    return invocations == 0 ? 0.0
+                            : static_cast<double>(total_cost) /
+                                  static_cast<double>(invocations);
+  }
+};
+
+class LoopProfiler : public ExecHooks {
+ public:
+  void on_loop_enter(const ir::Stmt* loop) override;
+  void on_loop_iter(const ir::Stmt* loop, long iv) override;
+  void on_loop_exit(const ir::Stmt* loop) override;
+  void on_cost(const ir::Stmt* s, uint64_t units) override;
+
+  const std::map<const ir::Stmt*, LoopStats>& stats() const { return stats_; }
+  const LoopStats* find(const ir::Stmt* loop) const;
+  uint64_t program_cost() const { return program_cost_; }
+
+  /// Fraction of total execution cost spent inside `loop` (0..1).
+  double coverage(const ir::Stmt* loop) const;
+
+  /// The thesis reports granularity in milliseconds; we convert cost units
+  /// with a fixed calibration constant (units are ~one IR operation).
+  static constexpr double kMsPerUnit = 20e-6;  // 20ns per unit
+  double granularity_ms(const ir::Stmt* loop) const;
+
+ private:
+  struct ActiveLoop {
+    const ir::Stmt* loop = nullptr;
+    std::vector<uint64_t> iter_costs;
+    uint64_t current = 0;
+    bool iterating = false;
+  };
+
+  std::vector<ActiveLoop> active_;
+  std::map<const ir::Stmt*, LoopStats> stats_;
+  uint64_t program_cost_ = 0;
+};
+
+}  // namespace suifx::dynamic

@@ -1,0 +1,52 @@
+#include "dynamic/validate.h"
+
+#include <cmath>
+
+namespace suifx::dynamic {
+
+ValidationResult validate_plan(const ir::Program& prog,
+                               const std::vector<const ir::Stmt*>& parallel_loops,
+                               const Inputs& inputs, double rel_tolerance) {
+  ValidationResult out;
+  {
+    Interpreter interp(prog);
+    interp.set_inputs(inputs);
+    RunResult r = interp.run();
+    if (!r.ok) {
+      out.detail = "forward run failed: " + r.error;
+      return out;
+    }
+    out.forward = std::move(r.printed);
+  }
+  {
+    Interpreter interp(prog);
+    interp.set_inputs(inputs);
+    interp.set_reversed_loops(
+        {parallel_loops.begin(), parallel_loops.end()});
+    RunResult r = interp.run();
+    if (!r.ok) {
+      out.detail = "reordered run failed: " + r.error;
+      return out;
+    }
+    out.reordered = std::move(r.printed);
+  }
+  if (out.forward.size() != out.reordered.size()) {
+    out.detail = "output counts differ";
+    return out;
+  }
+  for (size_t i = 0; i < out.forward.size(); ++i) {
+    double a = out.forward[i];
+    double b = out.reordered[i];
+    double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    if (std::fabs(a - b) > rel_tolerance * scale) {
+      out.detail = "output " + std::to_string(i) + " differs: " +
+                   std::to_string(a) + " vs " + std::to_string(b) +
+                   " — the plan is order-sensitive";
+      return out;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace suifx::dynamic

@@ -1,0 +1,30 @@
+// Dynamic validation of a parallelization plan: execute the program twice —
+// once normally and once with every chosen outermost-parallel loop's
+// iterations in REVERSE order — and compare the printed outputs. A loop
+// whose plan (privatization legality, reduction commutativity, claimed
+// independence) is wrong will generally produce different results under a
+// different iteration order; this is the Explorer-style safety net behind
+// user assertions, run before anything ships to the parallel runtime.
+// Reductions reorder floating-point operations, so comparison uses a
+// relative tolerance.
+#pragma once
+
+#include "dynamic/interp.h"
+#include "parallelizer/parallelizer.h"
+
+namespace suifx::dynamic {
+
+struct ValidationResult {
+  bool ok = false;
+  std::string detail;
+  std::vector<double> forward;
+  std::vector<double> reordered;
+};
+
+/// Validate `plan` on `prog` with `inputs`: reorder the given loops
+/// (normally SmpSimulator::outermost_parallel(plan)) and compare outputs.
+ValidationResult validate_plan(const ir::Program& prog,
+                               const std::vector<const ir::Stmt*>& parallel_loops,
+                               const Inputs& inputs, double rel_tolerance = 1e-9);
+
+}  // namespace suifx::dynamic

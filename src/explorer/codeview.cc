@@ -1,0 +1,89 @@
+#include "explorer/codeview.h"
+
+#include <sstream>
+
+#include "ir/printer.h"
+
+namespace suifx::explorer {
+
+std::string codeview(const Workbench& wb, const parallelizer::ParallelPlan& plan,
+                     const dynamic::LoopProfiler& prof, const ir::Stmt* focus,
+                     const CodeviewFilter& filter) {
+  ir::Program& prog = wb.program();
+  int nlines = prog.num_lines() + 1;
+  std::string rows(static_cast<size_t>(nlines), '.');
+
+  auto paint = [&](const ir::Stmt* loop, char c) {
+    rows[static_cast<size_t>(loop->line) % rows.size()] = c;
+    ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+      if (s->line > 0 && s->line < nlines) {
+        rows[static_cast<size_t>(s->line)] = c;
+      }
+    });
+  };
+
+  // Outer loops first so inner loops repaint their own lines.
+  std::vector<const ir::Stmt*> loops;
+  prog.for_each_stmt([&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Do) loops.push_back(s);
+  });
+  std::sort(loops.begin(), loops.end(), [](const ir::Stmt* a, const ir::Stmt* b) {
+    return a->loop_depth() < b->loop_depth();
+  });
+  for (const ir::Stmt* loop : loops) {
+    if (prof.coverage(loop) < filter.min_coverage) continue;
+    if (prof.granularity_ms(loop) < filter.min_granularity_ms) continue;
+    if (loop->loop_depth() > filter.max_depth) continue;
+    paint(loop, plan.is_parallel(loop) ? 'o' : '#');
+  }
+  if (focus != nullptr) paint(focus, '*');
+
+  std::ostringstream os;
+  os << "codeview " << prog.name() << " (" << prog.num_lines() << " lines; "
+     << "o=parallel #=sequential .=filtered *=focus)\n";
+  constexpr int kWidth = 64;
+  for (int base = 1; base < nlines; base += kWidth) {
+    os.width(5);
+    os << base;
+    os << " |";
+    for (int l = base; l < std::min(nlines, base + kWidth); ++l) {
+      os << rows[static_cast<size_t>(l)];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string annotated_source(const Workbench& wb, const slicing::SliceResult& slice,
+                             const ir::Stmt* query) {
+  std::set<int> slice_lines = slice.lines();
+  std::set<int> terminal_lines;
+  for (const ir::Stmt* s : slice.terminals) terminal_lines.insert(s->line);
+
+  std::string src = ir::to_string(wb.program());
+  std::ostringstream os;
+  // The printer's output lines do not track synthetic statement lines
+  // one-to-one (declarations shift them), so annotate by statement instead:
+  // walk the program and emit each procedure with markers.
+  for (const ir::Procedure& p : wb.program().procedures()) {
+    os << "proc " << p.name << ":\n";
+    p.for_each([&](ir::Stmt* s) {
+      char mark = ' ';
+      if (slice.stmts.count(s) != 0) mark = '>';
+      if (slice.terminals.count(s) != 0) mark = '?';
+      if (s == query) mark = '*';
+      std::string text = ir::to_string(s);
+      // First line of the statement's rendering only.
+      auto nl = text.find('\n');
+      if (nl != std::string::npos) text = text.substr(0, nl);
+      os << "  " << mark << " ";
+      os.width(4);
+      os << s->line << "  ";
+      for (int d = 0; d < s->loop_depth(); ++d) os << "  ";
+      os << text << "\n";
+    });
+  }
+  return os.str();
+}
+
+}  // namespace suifx::explorer

@@ -1,0 +1,33 @@
+// Text visualization (§2.7): the Rivet substitutes. The Codeview gives the
+// bird's-eye per-line view (filtered loops gray '.', sequential loops '#',
+// parallel loops 'o', a focus bar '*'); the source viewer renders SF source
+// with slice/terminal annotations; the call graph exports to Graphviz (the
+// hyperbolic-browser substitute lives in graph::CallGraph::to_dot()).
+#pragma once
+
+#include "dynamic/profile.h"
+#include "explorer/workbench.h"
+#include "slicing/slicer.h"
+
+namespace suifx::explorer {
+
+struct CodeviewFilter {
+  /// Hide loops below these thresholds (the §2.7 sliders).
+  double min_coverage = 0.0;
+  double min_granularity_ms = 0.0;
+  int max_depth = 1 << 20;
+};
+
+/// One row per synthetic source line:
+///   'o' inside an (unfiltered) parallel loop, '#' inside an unfiltered
+///   sequential loop, '.' filtered/other code, '*' the focus loop's lines.
+std::string codeview(const Workbench& wb, const parallelizer::ParallelPlan& plan,
+                     const dynamic::LoopProfiler& prof, const ir::Stmt* focus = nullptr,
+                     const CodeviewFilter& filter = {});
+
+/// Annotated source viewer: the full program listing with '>' on slice
+/// lines, '?' on pruned terminal lines, and '*' on the queried statement.
+std::string annotated_source(const Workbench& wb, const slicing::SliceResult& slice,
+                             const ir::Stmt* query = nullptr);
+
+}  // namespace suifx::explorer

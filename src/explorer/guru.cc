@@ -1,0 +1,237 @@
+#include "explorer/guru.h"
+
+#include <algorithm>
+
+namespace suifx::explorer {
+
+namespace {
+
+/// Loops dynamically nested under one of `chosen` (lexically or through
+/// procedure calls made inside them).
+std::set<const ir::Stmt*> nested_under(ir::Program& prog,
+                                       const std::vector<const ir::Stmt*>& chosen) {
+  std::set<const ir::Procedure*> ctx;
+  std::function<void(const ir::Procedure*)> mark = [&](const ir::Procedure* p) {
+    if (!ctx.insert(p).second) return;
+    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) mark(s->callee);
+    });
+  };
+  std::set<const ir::Stmt*> chosen_set(chosen.begin(), chosen.end());
+  for (const ir::Stmt* c : chosen) {
+    ir::for_each_stmt(const_cast<ir::Stmt*>(c)->body, [&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) mark(s->callee);
+    });
+  }
+  std::set<const ir::Stmt*> out;
+  prog.for_each_stmt([&](ir::Stmt* s) {
+    if (s->kind != ir::StmtKind::Do) return;
+    if (ctx.count(s->proc) != 0) {
+      out.insert(s);
+      return;
+    }
+    for (const ir::Stmt* p = s->parent; p != nullptr; p = p->parent) {
+      if (chosen_set.count(p) != 0) {
+        out.insert(s);
+        return;
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+Guru::Guru(Workbench& wb, GuruConfig cfg) : wb_(wb), cfg_(std::move(cfg)) {
+  analyze();
+}
+
+void Guru::analyze() {
+  plan_ = wb_.plan(asserts_);
+
+  // Execution Analyzers: one instrumented sequential run (§2.3.1).
+  dynamic::DynDepAnalyzer::Options dd_opts;
+  for (const auto& [loop, lp] : plan_.loops) {
+    std::set<const ir::Variable*> ignore;
+    for (const auto& [v, vv] : lp.verdict.vars) {
+      if (vv.cls == analysis::VarClass::Reduction ||
+          vv.cls == analysis::VarClass::LoopIndex) {
+        ignore.insert(v);
+      }
+    }
+    if (!ignore.empty()) dd_opts.ignore[loop] = std::move(ignore);
+  }
+  profiler_ = dynamic::LoopProfiler();
+  dyndep_ = std::make_unique<dynamic::DynDepAnalyzer>(dd_opts);
+  dynamic::Interpreter interp(wb_.program());
+  interp.set_inputs(cfg_.inputs);
+  interp.add_hook(&profiler_);
+  interp.add_hook(dyndep_.get());
+  interp.run(cfg_.max_cost);
+
+  // Chosen outermost parallel loops under the current plan.
+  sim::SmpSimulator simulator(wb_.program(), wb_.dataflow(), wb_.regions());
+  std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(plan_);
+  std::set<const ir::Stmt*> chosen_set(chosen.begin(), chosen.end());
+  std::set<const ir::Stmt*> nested = nested_under(wb_.program(), chosen);
+
+  reports_.clear();
+  for (const auto& [loop, lp] : plan_.loops) {
+    LoopReport r;
+    r.loop = loop;
+    const dynamic::LoopStats* st = profiler_.find(loop);
+    r.executed = st != nullptr && st->invocations > 0;
+    r.has_calls = wb_.dataflow().loop_has_call(loop);
+    r.coverage = profiler_.coverage(loop);
+    r.granularity_ms = profiler_.granularity_ms(loop);
+    r.invocations = st != nullptr ? st->invocations : 0;
+    r.auto_parallel = lp.parallelizable && !lp.used_assertion;
+    r.runs_parallel = chosen_set.count(loop) != 0;
+    r.num_static_deps = lp.verdict.num_dependences;
+    r.dep_vars = lp.verdict.dependent_vars();
+    r.dynamic_dep = dyndep_->observed_carried(loop);
+    r.blocked_reason = lp.reason;
+    r.user_parallelized =
+        lp.parallelizable && lp.used_assertion && user_parallelized_.count(loop) != 0;
+    r.important = r.executed && !lp.parallelizable && !lp.verdict.has_io &&
+                  nested.count(loop) == 0 &&
+                  r.coverage >= cfg_.coverage_cutoff &&
+                  r.granularity_ms >= cfg_.granularity_cutoff_ms;
+    if (first_analysis_ && r.important) initial_important_.insert(loop);
+    reports_.push_back(std::move(r));
+  }
+  first_analysis_ = false;
+  std::sort(reports_.begin(), reports_.end(), [&](const LoopReport& a, const LoopReport& b) {
+    return a.coverage > b.coverage;
+  });
+}
+
+std::vector<const LoopReport*> Guru::targets() const {
+  std::vector<const LoopReport*> out;
+  for (const LoopReport& r : reports_) {
+    if (r.important) out.push_back(&r);
+  }
+  return out;
+}
+
+bool Guru::assert_privatizable(const ir::Stmt* loop, const ir::Variable* var,
+                               std::string* warning) {
+  const ir::Variable* canon = wb_.alias().canonical(var);
+  const dynamic::DynDepResult& dyn = dyndep_->result(loop);
+  if (dyn.dep_vars.count(canon) != 0) {
+    if (warning != nullptr) {
+      *warning = "assertion contradicted: a cross-iteration flow dependence on '" +
+                 var->name + "' was observed for the supplied input set";
+    }
+    return false;
+  }
+  if ((canon->kind == ir::VarKind::Global || canon->kind == ir::VarKind::CommonMember) &&
+      wb_.dataflow().loop_has_call(loop) && warning != nullptr) {
+    // §2.8: the privatization is propagated to every procedure called in the
+    // loop that accesses the same array (canonical storage covers them all).
+    *warning = "note: '" + var->name +
+               "' is shared storage; the privatization is applied across all "
+               "procedures called in the loop";
+  }
+  user_parallelized_.insert(loop);
+  asserts_.privatize[loop].insert(canon);
+  analyze();
+  return true;
+}
+
+bool Guru::assert_independent(const ir::Stmt* loop, const ir::Variable* var,
+                              std::string* warning) {
+  const ir::Variable* canon = wb_.alias().canonical(var);
+  const dynamic::DynDepResult& dyn = dyndep_->result(loop);
+  if (dyn.dep_vars.count(canon) != 0) {
+    if (warning != nullptr) {
+      *warning = "assertion contradicted: a true dependence on '" + var->name +
+                 "' was observed for the supplied input set";
+    }
+    return false;
+  }
+  user_parallelized_.insert(loop);
+  asserts_.independent[loop].insert(canon);
+  analyze();
+  return true;
+}
+
+bool Guru::assert_parallel(const ir::Stmt* loop, std::string* warning) {
+  if (dyndep_->observed_carried(loop)) {
+    if (warning != nullptr) {
+      *warning = "assertion contradicted: the Dynamic Dependence Analyzer observed a "
+                 "loop-carried dependence in " +
+                 loop->loop_name();
+    }
+    return false;
+  }
+  user_parallelized_.insert(loop);
+  asserts_.force_parallel.insert(loop);
+  analyze();
+  return true;
+}
+
+sim::SimResult Guru::simulate(int nproc, const sim::MachineConfig& machine) const {
+  sim::SmpSimulator simulator(wb_.program(), wb_.dataflow(), wb_.regions());
+  sim::SimOptions opts;
+  opts.machine = machine;
+  opts.nproc = nproc;
+  opts.reshuffle_elems = sim::analyze_decomposition_conflicts(
+      wb_.program(), wb_.dataflow(), plan_, simulator.outermost_parallel(plan_),
+      /*split_commons=*/false);
+  return simulator.simulate(plan_, profiler_, opts);
+}
+
+double Guru::coverage() const {
+  sim::SmpSimulator simulator(wb_.program(), wb_.dataflow(), wb_.regions());
+  double in_par = 0;
+  for (const ir::Stmt* loop : simulator.outermost_parallel(plan_)) {
+    const dynamic::LoopStats* st = profiler_.find(loop);
+    if (st != nullptr) in_par += static_cast<double>(st->total_cost);
+  }
+  uint64_t total = profiler_.program_cost();
+  return total > 0 ? in_par / static_cast<double>(total) : 0.0;
+}
+
+double Guru::granularity_ms() const {
+  sim::SmpSimulator simulator(wb_.program(), wb_.dataflow(), wb_.regions());
+  double cost = 0, inv = 0;
+  for (const ir::Stmt* loop : simulator.outermost_parallel(plan_)) {
+    const dynamic::LoopStats* st = profiler_.find(loop);
+    if (st != nullptr) {
+      cost += static_cast<double>(st->total_cost);
+      inv += static_cast<double>(st->invocations);
+    }
+  }
+  return inv > 0 ? cost / inv * dynamic::LoopProfiler::kMsPerUnit : 0.0;
+}
+
+InterventionStats Guru::intervention_stats() const {
+  InterventionStats st;
+  sim::SmpSimulator simulator(wb_.program(), wb_.dataflow(), wb_.regions());
+  std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(plan_);
+  std::set<const ir::Stmt*> nested = nested_under(wb_.program(), chosen);
+  for (const LoopReport& r : reports_) {
+    if (!r.executed) continue;
+    auto bump = [&](int& inter, int& intra) { (r.has_calls ? inter : intra)++; };
+    bump(st.executed_inter, st.executed_intra);
+    const parallelizer::LoopPlan* lp = plan_.find(r.loop);
+    bool auto_par = lp->parallelizable && !lp->used_assertion;
+    if (!auto_par && !r.user_parallelized) {
+      bump(st.sequential_inter, st.sequential_intra);
+    } else if (r.user_parallelized) {
+      bump(st.sequential_inter, st.sequential_intra);  // was sequential before
+    }
+    bool was_important = initial_important_.count(r.loop) != 0;
+    if (was_important) {
+      bump(st.important_inter, st.important_intra);
+      if (!r.dynamic_dep) bump(st.important_no_dyndep_inter, st.important_no_dyndep_intra);
+    }
+    if (r.user_parallelized) bump(st.user_parallelized_inter, st.user_parallelized_intra);
+    bool remaining = was_important && !lp->parallelizable && nested.count(r.loop) == 0;
+    if (remaining) bump(st.remaining_important_inter, st.remaining_important_intra);
+  }
+  return st;
+}
+
+}  // namespace suifx::explorer

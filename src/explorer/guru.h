@@ -1,0 +1,103 @@
+// The Parallelization Guru (§2.6): integrates the static plan with the
+// Execution Analyzers' profile and dynamic-dependence data, ranks the
+// important sequential loops (coverage and granularity cutoffs, §4.3.2),
+// checks user assertions against the dynamic evidence (§2.8), and
+// re-parallelizes as assertions accumulate.
+#pragma once
+
+#include "dynamic/dyndep.h"
+#include "dynamic/profile.h"
+#include "explorer/workbench.h"
+#include "simulator/smp.h"
+
+namespace suifx::explorer {
+
+struct GuruConfig {
+  /// "The important loops are those whose coverage is larger than 2% and
+  /// granularity is larger than 0.05 milliseconds" (§4.3.2).
+  double coverage_cutoff = 0.02;
+  double granularity_cutoff_ms = 0.05;
+  dynamic::Inputs inputs;
+  uint64_t max_cost = 2'000'000'000ULL;
+};
+
+struct LoopReport {
+  const ir::Stmt* loop = nullptr;
+  bool executed = false;
+  bool has_calls = false;
+  double coverage = 0;
+  double granularity_ms = 0;
+  uint64_t invocations = 0;
+  bool auto_parallel = false;        // parallelized by the compiler
+  bool runs_parallel = false;        // chosen outermost parallel loop
+  bool important = false;            // sequential + cutoffs + not nested + no IO
+  bool dynamic_dep = false;          // Dynamic Dependence Analyzer observed one
+  int num_static_deps = 0;
+  std::vector<const ir::Variable*> dep_vars;
+  bool user_parallelized = false;
+  std::string blocked_reason;
+};
+
+/// Aggregate counters matching Fig 4-7's rows.
+struct InterventionStats {
+  int executed_inter = 0, executed_intra = 0;
+  int sequential_inter = 0, sequential_intra = 0;
+  int important_inter = 0, important_intra = 0;
+  int important_no_dyndep_inter = 0, important_no_dyndep_intra = 0;
+  int user_parallelized_inter = 0, user_parallelized_intra = 0;
+  int remaining_important_inter = 0, remaining_important_intra = 0;
+};
+
+class Guru {
+ public:
+  Guru(Workbench& wb, GuruConfig cfg = {});
+
+  /// Run the compiler + Execution Analyzers; call again after assertions.
+  void analyze();
+
+  /// Every executed loop's report.
+  const std::vector<LoopReport>& loops() const { return reports_; }
+  /// The worklist presented to the programmer: important sequential loops
+  /// sorted by decreasing execution time (§2.6).
+  std::vector<const LoopReport*> targets() const;
+
+  /// §2.8 Assertion Checker. Returns false and sets *warning when the
+  /// available dynamic information contradicts the assertion; a privatization
+  /// assertion on a commonly-accessed array is propagated automatically.
+  bool assert_privatizable(const ir::Stmt* loop, const ir::Variable* var,
+                           std::string* warning = nullptr);
+  bool assert_independent(const ir::Stmt* loop, const ir::Variable* var,
+                          std::string* warning = nullptr);
+  bool assert_parallel(const ir::Stmt* loop, std::string* warning = nullptr);
+
+  const parallelizer::Assertions& assertions() const { return asserts_; }
+  const parallelizer::ParallelPlan& plan() const { return plan_; }
+  const dynamic::LoopProfiler& profiler() const { return profiler_; }
+  const dynamic::DynDepAnalyzer& dyndep() const { return *dyndep_; }
+
+  /// Simulated whole-program speedup under the current plan.
+  sim::SimResult simulate(int nproc, const sim::MachineConfig& machine) const;
+
+  /// Coverage/granularity of the current plan's parallel regions on the
+  /// recorded profile.
+  double coverage() const;
+  double granularity_ms() const;
+
+  InterventionStats intervention_stats() const;
+
+ private:
+  Workbench& wb_;
+  GuruConfig cfg_;
+  parallelizer::Assertions asserts_;
+  parallelizer::ParallelPlan plan_;
+  dynamic::LoopProfiler profiler_;
+  std::unique_ptr<dynamic::DynDepAnalyzer> dyndep_;
+  std::vector<LoopReport> reports_;
+  std::set<const ir::Stmt*> user_parallelized_;
+  /// Importance as judged on the automatic plan (the Fig 4-7 basis): the
+  /// worklist the programmer started from.
+  std::set<const ir::Stmt*> initial_important_;
+  bool first_analysis_ = true;
+};
+
+}  // namespace suifx::explorer

@@ -1,0 +1,58 @@
+#include "explorer/workbench.h"
+
+namespace suifx::explorer {
+
+std::unique_ptr<Workbench> Workbench::from_source(
+    std::string_view src, Diag& diag,
+    std::optional<analysis::LivenessMode> liveness_mode, bool enable_reductions) {
+  auto prog = frontend::parse_program(src, diag);
+  if (prog == nullptr) return nullptr;
+  auto wb = std::make_unique<Workbench>();
+  wb->prog_ = std::move(prog);
+  wb->alias_ = std::make_unique<analysis::AliasAnalysis>(*wb->prog_);
+  wb->cg_ = std::make_unique<graph::CallGraph>(*wb->prog_);
+  wb->regions_ = std::make_unique<graph::RegionTree>(*wb->prog_);
+  wb->modref_ = std::make_unique<analysis::ModRef>(*wb->prog_, *wb->alias_, *wb->cg_);
+  wb->symbolic_ = std::make_unique<analysis::Symbolic>(*wb->prog_, *wb->alias_,
+                                                       *wb->modref_, *wb->cg_);
+  wb->df_ = std::make_unique<analysis::ArrayDataflow>(
+      *wb->prog_, *wb->alias_, *wb->modref_, *wb->cg_, *wb->regions_, *wb->symbolic_);
+  if (liveness_mode.has_value()) {
+    wb->live_ = std::make_unique<analysis::ArrayLiveness>(
+        *wb->prog_, *wb->df_, *wb->cg_, *wb->regions_, *wb->alias_, *liveness_mode);
+  }
+  wb->par_ = std::make_unique<parallelizer::Parallelizer>(
+      *wb->df_, *wb->regions_, wb->live_.get(), enable_reductions);
+  wb->issa_ = std::make_unique<ssa::Issa>(*wb->prog_, *wb->alias_, *wb->modref_);
+  return wb;
+}
+
+ir::Stmt* Workbench::loop(const std::string& name) const {
+  ir::Stmt* found = nullptr;
+  for (auto& p : prog_->procedures()) {
+    p.for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Do && s->loop_name() == name) found = s;
+    });
+  }
+  return found;
+}
+
+const ir::Variable* Workbench::var(const std::string& name) const {
+  auto dot = name.find('.');
+  if (dot != std::string::npos) {
+    ir::Procedure* p = prog_->find_procedure(name.substr(0, dot));
+    if (p != nullptr) {
+      if (ir::Variable* v = p->find_var(name.substr(dot + 1))) return v;
+    }
+    return nullptr;
+  }
+  for (const ir::Variable* g : prog_->globals()) {
+    if (g->name == name) return g;
+  }
+  for (const auto& p : prog_->procedures()) {
+    if (ir::Variable* v = p.find_var(name)) return v;
+  }
+  return nullptr;
+}
+
+}  // namespace suifx::explorer

@@ -1,0 +1,65 @@
+// The Workbench bundles the whole static-analysis stack for one program —
+// the "compiler" half of the SUIF Explorer (Fig 2-2). Everything downstream
+// (Guru, benches, examples) builds on it.
+#pragma once
+
+#include <memory>
+
+#include "analysis/depend.h"
+#include "analysis/liveness.h"
+#include "frontend/parser.h"
+#include "graph/callgraph.h"
+#include "graph/regions.h"
+#include "parallelizer/parallelizer.h"
+#include "ssa/ssa.h"
+
+namespace suifx::explorer {
+
+class Workbench {
+ public:
+  /// Parse SF source and run the full interprocedural stack; null on parse
+  /// error (details in `diag`). `liveness_mode` selects the Chapter 5
+  /// precision variant; pass nullopt to skip array liveness (the base
+  /// compiler configuration).
+  static std::unique_ptr<Workbench> from_source(
+      std::string_view src, Diag& diag,
+      std::optional<analysis::LivenessMode> liveness_mode =
+          analysis::LivenessMode::Full,
+      bool enable_reductions = true);
+
+  ir::Program& program() const { return *prog_; }
+  const analysis::AliasAnalysis& alias() const { return *alias_; }
+  graph::CallGraph& callgraph() const { return *cg_; }
+  const graph::RegionTree& regions() const { return *regions_; }
+  const analysis::ModRef& modref() const { return *modref_; }
+  const analysis::Symbolic& symbolic() const { return *symbolic_; }
+  const analysis::ArrayDataflow& dataflow() const { return *df_; }
+  const analysis::ArrayLiveness* liveness() const { return live_.get(); }
+  const parallelizer::Parallelizer& parallelizer() const { return *par_; }
+  ssa::Issa& issa() const { return *issa_; }
+
+  /// Plan with the given assertions (empty = fully automatic).
+  parallelizer::ParallelPlan plan(
+      const parallelizer::Assertions& asserts = {}) const {
+    return par_->plan(*prog_, asserts);
+  }
+
+  /// Find a loop by "proc/label" name (null if absent).
+  ir::Stmt* loop(const std::string& name) const;
+  /// Find a variable ("proc.name" or a global name).
+  const ir::Variable* var(const std::string& name) const;
+
+ private:
+  std::unique_ptr<ir::Program> prog_;
+  std::unique_ptr<analysis::AliasAnalysis> alias_;
+  std::unique_ptr<graph::CallGraph> cg_;
+  std::unique_ptr<graph::RegionTree> regions_;
+  std::unique_ptr<analysis::ModRef> modref_;
+  std::unique_ptr<analysis::Symbolic> symbolic_;
+  std::unique_ptr<analysis::ArrayDataflow> df_;
+  std::unique_ptr<analysis::ArrayLiveness> live_;
+  std::unique_ptr<parallelizer::Parallelizer> par_;
+  std::unique_ptr<ssa::Issa> issa_;
+};
+
+}  // namespace suifx::explorer

@@ -1,0 +1,232 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace suifx::frontend {
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>>& keywords() {
+  static const std::map<std::string, Tok, std::less<>> kw = {
+      {"program", Tok::KwProgram}, {"param", Tok::KwParam},
+      {"global", Tok::KwGlobal},   {"input", Tok::KwInput},
+      {"proc", Tok::KwProc},       {"common", Tok::KwCommon},
+      {"int", Tok::KwInt},         {"real", Tok::KwReal},
+      {"bool", Tok::KwBool},       {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"do", Tok::KwDo},
+      {"label", Tok::KwLabel},     {"call", Tok::KwCall},
+      {"print", Tok::KwPrint},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, Diag& diag) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+
+  auto loc = [&]() { return SourceLoc{line, col}; };
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+  auto push = [&](Tok k, SourceLoc l, std::string text = "") {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.loc = l;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    SourceLoc l = loc();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        word.push_back(peek());
+        advance();
+      }
+      auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, l, word);
+      } else {
+        push(Tok::Ident, l, word);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      bool is_real = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num.push_back(peek());
+        advance();
+      }
+      if (peek() == '.' && peek(1) != '.') {
+        is_real = true;
+        num.push_back(peek());
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(peek());
+          advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        char sign = peek(1);
+        if (std::isdigit(static_cast<unsigned char>(sign)) ||
+            ((sign == '+' || sign == '-') &&
+             std::isdigit(static_cast<unsigned char>(peek(2))))) {
+          is_real = true;
+          num.push_back(peek());
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            num.push_back(peek());
+            advance();
+          }
+          while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            num.push_back(peek());
+            advance();
+          }
+        }
+      }
+      Token t;
+      t.loc = l;
+      t.text = num;
+      if (is_real) {
+        t.kind = Tok::RealLit;
+        t.rval = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = Tok::IntLit;
+        t.ival = std::strtol(num.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation and operators.
+    switch (c) {
+      case '(': push(Tok::LParen, l); advance(); break;
+      case ')': push(Tok::RParen, l); advance(); break;
+      case '{': push(Tok::LBrace, l); advance(); break;
+      case '}': push(Tok::RBrace, l); advance(); break;
+      case '[': push(Tok::LBracket, l); advance(); break;
+      case ']': push(Tok::RBracket, l); advance(); break;
+      case ',': push(Tok::Comma, l); advance(); break;
+      case ';': push(Tok::Semi, l); advance(); break;
+      case ':': push(Tok::Colon, l); advance(); break;
+      case '@': push(Tok::At, l); advance(); break;
+      case '+': push(Tok::Plus, l); advance(); break;
+      case '-': push(Tok::Minus, l); advance(); break;
+      case '*': push(Tok::Star, l); advance(); break;
+      case '/': push(Tok::Slash, l); advance(); break;
+      case '%': push(Tok::Percent, l); advance(); break;
+      case '<':
+        if (peek(1) == '=') { push(Tok::Le, l); advance(2); }
+        else { push(Tok::Lt, l); advance(); }
+        break;
+      case '>':
+        if (peek(1) == '=') { push(Tok::Ge, l); advance(2); }
+        else { push(Tok::Gt, l); advance(); }
+        break;
+      case '=':
+        if (peek(1) == '=') { push(Tok::EqEq, l); advance(2); }
+        else { push(Tok::Assign, l); advance(); }
+        break;
+      case '!':
+        if (peek(1) == '=') { push(Tok::Ne, l); advance(2); }
+        else { push(Tok::Bang, l); advance(); }
+        break;
+      case '&':
+        if (peek(1) == '&') { push(Tok::AndAnd, l); advance(2); }
+        else { diag.error(l, "stray '&'"); advance(); }
+        break;
+      case '|':
+        if (peek(1) == '|') { push(Tok::OrOr, l); advance(2); }
+        else { diag.error(l, "stray '|'"); advance(); }
+        break;
+      default:
+        diag.error(l, std::string("unexpected character '") + c + "'");
+        advance();
+        break;
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.loc = loc();
+  out.push_back(std::move(end));
+  return out;
+}
+
+const char* to_string(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::At: return "'@'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::KwProgram: return "'program'";
+    case Tok::KwParam: return "'param'";
+    case Tok::KwGlobal: return "'global'";
+    case Tok::KwInput: return "'input'";
+    case Tok::KwProc: return "'proc'";
+    case Tok::KwCommon: return "'common'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwLabel: return "'label'";
+    case Tok::KwCall: return "'call'";
+    case Tok::KwPrint: return "'print'";
+  }
+  return "?";
+}
+
+}  // namespace suifx::frontend

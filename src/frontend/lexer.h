@@ -1,0 +1,38 @@
+// Lexer for the SF mini-language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace suifx::frontend {
+
+enum class Tok : uint8_t {
+  End, Ident, IntLit, RealLit,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Colon, At, Assign,
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne, AndAnd, OrOr, Bang,
+  // keywords
+  KwProgram, KwParam, KwGlobal, KwInput, KwProc, KwCommon,
+  KwInt, KwReal, KwBool, KwIf, KwElse, KwDo, KwLabel, KwCall, KwPrint,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   // identifier spelling or literal spelling
+  long ival = 0;      // IntLit
+  double rval = 0.0;  // RealLit
+  SourceLoc loc;
+};
+
+/// Tokenize `src`; lexical errors go to `diag`. Always ends with a Tok::End.
+std::vector<Token> lex(std::string_view src, Diag& diag);
+
+const char* to_string(Tok t);
+
+}  // namespace suifx::frontend

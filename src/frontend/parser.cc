@@ -1,0 +1,497 @@
+#include "frontend/parser.h"
+
+#include <map>
+
+#include "frontend/lexer.h"
+#include "ir/verify.h"
+
+namespace suifx::frontend {
+
+namespace ir = suifx::ir;
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, Diag& diag)
+      : toks_(std::move(toks)), diag_(diag) {}
+
+  std::unique_ptr<ir::Program> run() {
+    expect(Tok::KwProgram, "program header");
+    std::string name = expect_ident("program name");
+    expect(Tok::Semi, "';' after program name");
+    prog_ = std::make_unique<ir::Program>(name);
+    prescan_procs();
+    while (!at(Tok::End) && !fatal_) {
+      if (at(Tok::KwParam)) {
+        parse_param();
+      } else if (at(Tok::KwGlobal)) {
+        parse_global();
+      } else if (at(Tok::KwProc)) {
+        parse_proc();
+      } else {
+        error("expected 'param', 'global', or 'proc'");
+        break;
+      }
+    }
+    if (diag_.has_errors()) return nullptr;
+    ir::Procedure* main = prog_->find_procedure("main");
+    if (main == nullptr && !prog_->procedures().empty()) {
+      main = &prog_->procedures().front();
+    }
+    prog_->set_main(main);
+    prog_->finalize();
+    if (!ir::verify(*prog_, diag_)) return nullptr;
+    return std::move(prog_);
+  }
+
+ private:
+  // --- token helpers --------------------------------------------------------
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t k = 1) const {
+    size_t p = pos_ + k;
+    return p < toks_.size() ? toks_[p] : toks_.back();
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  void error(const std::string& msg) {
+    diag_.error(cur().loc, msg + " (got " + to_string(cur().kind) + ")");
+    fatal_ = true;
+  }
+  bool expect(Tok k, const std::string& what) {
+    if (at(k)) {
+      take();
+      return true;
+    }
+    error("expected " + what);
+    return false;
+  }
+  std::string expect_ident(const std::string& what) {
+    if (at(Tok::Ident)) return take().text;
+    error("expected " + what);
+    return "?";
+  }
+  bool accept(Tok k) {
+    if (at(k)) {
+      take();
+      return true;
+    }
+    return false;
+  }
+
+  // --- declarations ---------------------------------------------------------
+  void prescan_procs() {
+    for (size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].kind == Tok::KwProc && toks_[i + 1].kind == Tok::Ident) {
+        if (prog_->find_procedure(toks_[i + 1].text) != nullptr) {
+          diag_.error(toks_[i + 1].loc, "duplicate procedure '" + toks_[i + 1].text + "'");
+        } else {
+          prog_->new_procedure(toks_[i + 1].text);
+        }
+      }
+    }
+  }
+
+  bool at_type() const {
+    return at(Tok::KwInt) || at(Tok::KwReal) || at(Tok::KwBool);
+  }
+
+  ir::ScalarType parse_type() {
+    if (accept(Tok::KwInt)) return ir::ScalarType::Int;
+    if (accept(Tok::KwReal)) return ir::ScalarType::Real;
+    if (accept(Tok::KwBool)) return ir::ScalarType::Bool;
+    error("expected a type");
+    return ir::ScalarType::Real;
+  }
+
+  std::vector<ir::Dim> parse_dims(ir::Procedure* scope) {
+    std::vector<ir::Dim> dims;
+    if (!accept(Tok::LBracket)) return dims;
+    do {
+      const ir::Expr* a = parse_expr(scope);
+      ir::Dim d;
+      if (accept(Tok::Colon)) {
+        d.lower = a;
+        d.upper = parse_expr(scope);
+      } else {
+        d.lower = prog_->int_const(1);
+        d.upper = a;
+      }
+      dims.push_back(d);
+    } while (accept(Tok::Comma));
+    expect(Tok::RBracket, "']' after dimensions");
+    return dims;
+  }
+
+  void parse_param() {
+    take();  // param
+    std::string n = expect_ident("parameter name");
+    expect(Tok::Assign, "'=' in param");
+    long v = 0;
+    bool neg = accept(Tok::Minus);
+    if (at(Tok::IntLit)) {
+      v = take().ival;
+    } else {
+      error("expected integer default for param");
+    }
+    if (neg) v = -v;
+    expect(Tok::Semi, "';' after param");
+    prog_->new_sym_param(n, v);
+  }
+
+  void parse_global() {
+    take();  // global
+    ir::ScalarType t = parse_type();
+    std::string n = expect_ident("global name");
+    std::vector<ir::Dim> dims = parse_dims(nullptr);
+    ir::Variable* v = prog_->new_global(n, t, std::move(dims));
+    v->is_input = accept(Tok::KwInput);
+    expect(Tok::Semi, "';' after global");
+  }
+
+  void parse_proc() {
+    take();  // proc
+    std::string n = expect_ident("procedure name");
+    ir::Procedure* p = prog_->find_procedure(n);
+    expect(Tok::LParen, "'(' after procedure name");
+    // Two passes over the formal list so adjustable array dims may reference
+    // any other formal regardless of order (Fortran style): pass 1 registers
+    // the formals (skipping bracketed dims), pass 2 re-parses the dims.
+    size_t list_start = pos_;
+    if (!at(Tok::RParen)) {
+      do {
+        ir::ScalarType t = parse_type();
+        std::string fn = expect_ident("formal name");
+        prog_->new_formal(p, fn, t);
+        if (at(Tok::LBracket)) {
+          int depth = 0;
+          do {
+            if (at(Tok::LBracket)) ++depth;
+            if (at(Tok::RBracket)) --depth;
+            take();
+          } while (depth > 0 && !at(Tok::End));
+        }
+      } while (accept(Tok::Comma));
+    }
+    if (!fatal_) {
+      pos_ = list_start;
+      size_t formal_ix = 0;
+      if (!at(Tok::RParen)) {
+        do {
+          parse_type();
+          expect_ident("formal name");
+          p->formals[formal_ix++]->dims = parse_dims(p);
+        } while (accept(Tok::Comma));
+      }
+    }
+    expect(Tok::RParen, "')' after formals");
+    expect(Tok::LBrace, "'{' opening procedure body");
+    // Declarations first.
+    while ((at_type() || at(Tok::KwCommon)) && !fatal_) parse_local_decl(p);
+    // Then statements.
+    p->body = parse_stmt_list(p);
+    expect(Tok::RBrace, "'}' closing procedure body");
+  }
+
+  void parse_local_decl(ir::Procedure* p) {
+    if (accept(Tok::KwCommon)) {
+      std::string blk_name = expect_ident("common block name");
+      ir::CommonBlock* blk = prog_->new_common(blk_name);
+      long offset = 0;
+      if (accept(Tok::At)) {
+        if (at(Tok::IntLit)) {
+          offset = take().ival;
+        } else {
+          error("expected integer offset after '@'");
+        }
+      }
+      ir::ScalarType t = parse_type();
+      std::string n = expect_ident("common member name");
+      std::vector<ir::Dim> dims = parse_dims(p);
+      ir::Variable* v = prog_->new_common_member(p, blk, n, t, std::move(dims), offset);
+      v->is_input = accept(Tok::KwInput);
+      expect(Tok::Semi, "';' after common declaration");
+      return;
+    }
+    ir::ScalarType t = parse_type();
+    std::string n = expect_ident("local name");
+    std::vector<ir::Dim> dims = parse_dims(p);
+    ir::Variable* v = prog_->new_local(p, n, t, std::move(dims));
+    v->is_input = accept(Tok::KwInput);
+    expect(Tok::Semi, "';' after declaration");
+  }
+
+  // --- name resolution ------------------------------------------------------
+  ir::Variable* lookup(ir::Procedure* scope, const std::string& n) {
+    if (scope != nullptr) {
+      if (ir::Variable* v = scope->find_var(n)) return v;
+    }
+    for (ir::Variable* g : prog_->globals()) {
+      if (g->name == n) return g;
+    }
+    for (ir::Variable* s : prog_->sym_params()) {
+      if (s->name == n) return s;
+    }
+    return nullptr;
+  }
+
+  // --- statements -----------------------------------------------------------
+  std::vector<ir::Stmt*> parse_stmt_list(ir::Procedure* p) {
+    std::vector<ir::Stmt*> out;
+    while (!at(Tok::RBrace) && !at(Tok::End) && !fatal_) {
+      if (ir::Stmt* s = parse_stmt(p)) out.push_back(s);
+    }
+    return out;
+  }
+
+  std::vector<ir::Stmt*> parse_block(ir::Procedure* p) {
+    expect(Tok::LBrace, "'{'");
+    std::vector<ir::Stmt*> out = parse_stmt_list(p);
+    expect(Tok::RBrace, "'}'");
+    return out;
+  }
+
+  ir::Stmt* parse_stmt(ir::Procedure* p) {
+    SourceLoc loc = cur().loc;
+    if (accept(Tok::Semi)) return nullptr;
+    if (at(Tok::KwIf)) return parse_if(p, loc);
+    if (at(Tok::KwDo)) return parse_do(p, loc);
+    if (at(Tok::KwCall)) return parse_call(p, loc);
+    if (at(Tok::KwPrint)) {
+      take();
+      const ir::Expr* v = parse_expr(p);
+      expect(Tok::Semi, "';' after print");
+      return prog_->print(v, loc);
+    }
+    // Assignment.
+    const ir::Expr* lhs = parse_primary(p);
+    if (lhs == nullptr || !lhs->is_lvalue()) {
+      error("expected a statement");
+      return nullptr;
+    }
+    expect(Tok::Assign, "'=' in assignment");
+    const ir::Expr* rhs = parse_expr(p);
+    expect(Tok::Semi, "';' after assignment");
+    return prog_->assign(lhs, rhs, loc);
+  }
+
+  ir::Stmt* parse_if(ir::Procedure* p, SourceLoc loc) {
+    take();  // if
+    expect(Tok::LParen, "'(' after if");
+    const ir::Expr* cond = parse_expr(p);
+    expect(Tok::RParen, "')' after condition");
+    std::vector<ir::Stmt*> then_body = parse_block(p);
+    std::vector<ir::Stmt*> else_body;
+    if (accept(Tok::KwElse)) else_body = parse_block(p);
+    return prog_->if_(cond, std::move(then_body), std::move(else_body), loc);
+  }
+
+  ir::Stmt* parse_do(ir::Procedure* p, SourceLoc loc) {
+    take();  // do
+    std::string iname = expect_ident("loop index");
+    ir::Variable* ivar = lookup(p, iname);
+    if (ivar == nullptr) {
+      ivar = prog_->new_local(p, iname, ir::ScalarType::Int);
+    }
+    expect(Tok::Assign, "'=' in do");
+    const ir::Expr* lb = parse_expr(p);
+    expect(Tok::Comma, "',' between loop bounds");
+    const ir::Expr* ub = parse_expr(p);
+    const ir::Expr* step = nullptr;
+    if (accept(Tok::Comma)) step = parse_expr(p);
+    std::string label;
+    if (accept(Tok::KwLabel)) {
+      if (at(Tok::IntLit)) {
+        label = take().text;
+      } else if (at(Tok::Ident)) {
+        label = take().text;
+      } else {
+        error("expected a label after 'label'");
+      }
+    }
+    std::vector<ir::Stmt*> body = parse_block(p);
+    return prog_->do_(ivar, lb, ub, std::move(body), std::move(label), step, loc);
+  }
+
+  ir::Stmt* parse_call(ir::Procedure* p, SourceLoc loc) {
+    take();  // call
+    std::string cn = expect_ident("callee name");
+    ir::Procedure* callee = prog_->find_procedure(cn);
+    if (callee == nullptr) {
+      error("unknown procedure '" + cn + "'");
+      return nullptr;
+    }
+    expect(Tok::LParen, "'(' after callee");
+    std::vector<const ir::Expr*> args;
+    if (!at(Tok::RParen)) {
+      do {
+        args.push_back(parse_expr(p));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "')' after arguments");
+    expect(Tok::Semi, "';' after call");
+    return prog_->call(callee, std::move(args), loc);
+  }
+
+  // --- expressions (precedence climbing) ------------------------------------
+  const ir::Expr* parse_expr(ir::Procedure* p) { return parse_or(p); }
+
+  const ir::Expr* parse_or(ir::Procedure* p) {
+    const ir::Expr* e = parse_and(p);
+    while (at(Tok::OrOr)) {
+      take();
+      e = prog_->binary(ir::BinOp::Or, e, parse_and(p));
+    }
+    return e;
+  }
+
+  const ir::Expr* parse_and(ir::Procedure* p) {
+    const ir::Expr* e = parse_cmp(p);
+    while (at(Tok::AndAnd)) {
+      take();
+      e = prog_->binary(ir::BinOp::And, e, parse_cmp(p));
+    }
+    return e;
+  }
+
+  const ir::Expr* parse_cmp(ir::Procedure* p) {
+    const ir::Expr* e = parse_add(p);
+    for (;;) {
+      ir::BinOp op;
+      if (at(Tok::Lt)) op = ir::BinOp::Lt;
+      else if (at(Tok::Le)) op = ir::BinOp::Le;
+      else if (at(Tok::Gt)) op = ir::BinOp::Gt;
+      else if (at(Tok::Ge)) op = ir::BinOp::Ge;
+      else if (at(Tok::EqEq)) op = ir::BinOp::Eq;
+      else if (at(Tok::Ne)) op = ir::BinOp::Ne;
+      else break;
+      take();
+      e = prog_->binary(op, e, parse_add(p));
+    }
+    return e;
+  }
+
+  const ir::Expr* parse_add(ir::Procedure* p) {
+    const ir::Expr* e = parse_mul(p);
+    for (;;) {
+      if (at(Tok::Plus)) {
+        take();
+        e = prog_->binary(ir::BinOp::Add, e, parse_mul(p));
+      } else if (at(Tok::Minus)) {
+        take();
+        e = prog_->binary(ir::BinOp::Sub, e, parse_mul(p));
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  const ir::Expr* parse_mul(ir::Procedure* p) {
+    const ir::Expr* e = parse_unary(p);
+    for (;;) {
+      if (at(Tok::Star)) {
+        take();
+        e = prog_->binary(ir::BinOp::Mul, e, parse_unary(p));
+      } else if (at(Tok::Slash)) {
+        take();
+        e = prog_->binary(ir::BinOp::Div, e, parse_unary(p));
+      } else if (at(Tok::Percent)) {
+        take();
+        e = prog_->binary(ir::BinOp::Mod, e, parse_unary(p));
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  const ir::Expr* parse_unary(ir::Procedure* p) {
+    if (accept(Tok::Minus)) return prog_->unary(ir::UnOp::Neg, parse_unary(p));
+    if (accept(Tok::Bang)) return prog_->unary(ir::UnOp::Not, parse_unary(p));
+    return parse_primary(p);
+  }
+
+  const ir::Expr* intrinsic(ir::Procedure* p, const std::string& name) {
+    // One- and two-argument intrinsic functions.
+    static const std::map<std::string, ir::UnOp> un = {
+        {"sqrt", ir::UnOp::Sqrt}, {"abs", ir::UnOp::Abs},
+        {"exp", ir::UnOp::Exp},   {"log", ir::UnOp::Log},
+    };
+    static const std::map<std::string, ir::BinOp> bin = {
+        {"min", ir::BinOp::Min}, {"max", ir::BinOp::Max},
+    };
+    expect(Tok::LParen, "'(' after intrinsic");
+    const ir::Expr* a = parse_expr(p);
+    auto bi = bin.find(name);
+    if (bi != bin.end()) {
+      expect(Tok::Comma, "',' in two-arg intrinsic");
+      const ir::Expr* b = parse_expr(p);
+      expect(Tok::RParen, "')'");
+      return prog_->binary(bi->second, a, b);
+    }
+    expect(Tok::RParen, "')'");
+    auto ui = un.find(name);
+    if (ui != un.end()) return prog_->unary(ui->second, a);
+    return a;
+  }
+
+  const ir::Expr* parse_primary(ir::Procedure* p) {
+    if (at(Tok::IntLit)) return prog_->int_const(take().ival);
+    if (at(Tok::RealLit)) return prog_->real_const(take().rval);
+    if (accept(Tok::LParen)) {
+      const ir::Expr* e = parse_expr(p);
+      expect(Tok::RParen, "')'");
+      return e;
+    }
+    if (at(Tok::KwInt) || at(Tok::KwReal)) {
+      // int(expr) / real(expr) casts.
+      bool to_int = at(Tok::KwInt);
+      take();
+      expect(Tok::LParen, "'(' after cast");
+      const ir::Expr* e = parse_expr(p);
+      expect(Tok::RParen, "')' after cast");
+      return prog_->unary(to_int ? ir::UnOp::IntCast : ir::UnOp::RealCast, e);
+    }
+    if (at(Tok::Ident)) {
+      std::string n = take().text;
+      if (at(Tok::LParen) &&
+          (n == "min" || n == "max" || n == "sqrt" || n == "abs" || n == "exp" ||
+           n == "log")) {
+        return intrinsic(p, n);
+      }
+      ir::Variable* v = lookup(p, n);
+      if (v == nullptr) {
+        error("unknown variable '" + n + "'");
+        return prog_->int_const(0);
+      }
+      if (accept(Tok::LBracket)) {
+        std::vector<const ir::Expr*> idx;
+        do {
+          idx.push_back(parse_expr(p));
+        } while (accept(Tok::Comma));
+        expect(Tok::RBracket, "']' after subscripts");
+        return prog_->array_ref(v, std::move(idx));
+      }
+      return prog_->var_ref(v);
+    }
+    error("expected an expression");
+    return prog_->int_const(0);
+  }
+
+  std::vector<Token> toks_;
+  Diag& diag_;
+  size_t pos_ = 0;
+  std::unique_ptr<ir::Program> prog_;
+  bool fatal_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Program> parse_program(std::string_view src, Diag& diag) {
+  std::vector<Token> toks = lex(src, diag);
+  if (diag.has_errors()) return nullptr;
+  return Parser(std::move(toks), diag).run();
+}
+
+}  // namespace suifx::frontend

@@ -1,0 +1,35 @@
+// Recursive-descent parser for SF producing finalized, verified IR.
+//
+// Grammar (comments are // to end-of-line):
+//   program  := "program" IDENT ";" { param | global | proc }
+//   param    := "param" IDENT "=" INT ";"
+//   global   := "global" type IDENT [dims] ["input"] ";"
+//   proc     := "proc" IDENT "(" [formal {"," formal}] ")" "{" {decl} {stmt} "}"
+//   formal   := type IDENT [dims]
+//   decl     := type IDENT [dims] ["input"] ";"
+//             | "common" IDENT ["@" INT] type IDENT [dims] ["input"] ";"
+//   dims     := "[" dim {"," dim} "]"           // bare expr means 1:expr
+//   dim      := expr [":" expr]
+//   stmt     := lval "=" expr ";"
+//             | "if" "(" expr ")" block ["else" block]
+//             | "do" IDENT "=" expr "," expr ["," expr] ["label" INT] block
+//             | "call" IDENT "(" [expr {"," expr}] ")" ";"
+//             | "print" expr ";" | ";"
+// Intrinsics: min(a,b), max(a,b), sqrt, abs, exp, log, int, real.
+// Loop indices are auto-declared as int locals when not declared.
+// The procedure named "main" (or the first procedure) is the entry point.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/ir.h"
+#include "support/diag.h"
+
+namespace suifx::frontend {
+
+/// Parse, finalize, and verify an SF program. Returns null on error (details
+/// in `diag`).
+std::unique_ptr<ir::Program> parse_program(std::string_view src, Diag& diag);
+
+}  // namespace suifx::frontend

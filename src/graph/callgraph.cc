@@ -1,0 +1,79 @@
+#include "graph/callgraph.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace suifx::graph {
+
+CallGraph::CallGraph(ir::Program& prog) : prog_(prog) {
+  for (ir::Procedure& p : prog.procedures()) {
+    calls_in_[&p] = {};
+    callsites_of_[&p] = {};
+  }
+  for (ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) {
+        calls_in_[&p].push_back(s);
+        callsites_of_[s->callee].push_back(s);
+      }
+    });
+  }
+  // Post-order DFS from every root gives callees-before-callers.
+  std::set<const ir::Procedure*> done;
+  std::function<void(ir::Procedure*)> dfs = [&](ir::Procedure* p) {
+    if (!done.insert(p).second) return;
+    for (ir::Stmt* c : calls_in_[p]) dfs(c->callee);
+    bottom_up_.push_back(p);
+  };
+  for (ir::Procedure& p : prog.procedures()) dfs(&p);
+
+  // Reachability from main.
+  std::set<const ir::Procedure*> reach;
+  std::function<void(ir::Procedure*)> mark = [&](ir::Procedure* p) {
+    if (!reach.insert(p).second) return;
+    for (ir::Stmt* c : calls_in_[p]) mark(c->callee);
+  };
+  if (prog.main() != nullptr) mark(prog.main());
+  for (ir::Procedure* p : bottom_up_) {
+    if (reach.count(p) > 0) reachable_.push_back(p);
+  }
+}
+
+const std::vector<ir::Stmt*>& CallGraph::callsites_of(const ir::Procedure* p) const {
+  return callsites_of_.at(p);
+}
+
+const std::vector<ir::Stmt*>& CallGraph::calls_in(const ir::Procedure* p) const {
+  return calls_in_.at(p);
+}
+
+bool CallGraph::is_reachable(const ir::Procedure* p) const {
+  for (const ir::Procedure* q : reachable_) {
+    if (q == p) return true;
+  }
+  return false;
+}
+
+std::string CallGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph callgraph {\n  rankdir=LR;\n";
+  for (const ir::Procedure& p : prog_.procedures()) {
+    os << "  \"" << p.name << "\"";
+    if (&p == prog_.main()) os << " [shape=doubleoctagon]";
+    os << ";\n";
+  }
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const auto& [proc, calls] : calls_in_) {
+    for (const ir::Stmt* c : calls) {
+      edges.insert({proc->name, c->callee->name});
+    }
+  }
+  for (const auto& [from, to] : edges) {
+    os << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace suifx::graph

@@ -1,0 +1,46 @@
+// Whole-program call graph with the traversal orders the region-based
+// interprocedural analyses need (bottom-up for summaries, top-down for
+// context propagation). SF forbids recursion (verified), so both orders are
+// plain topological sorts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::graph {
+
+class CallGraph {
+ public:
+  explicit CallGraph(ir::Program& prog);
+
+  /// Callees before callers (leaf procedures first).
+  const std::vector<ir::Procedure*>& bottom_up() const { return bottom_up_; }
+  /// Callers before callees (main first).
+  std::vector<ir::Procedure*> top_down() const {
+    return {bottom_up_.rbegin(), bottom_up_.rend()};
+  }
+
+  /// All call statements whose callee is `p`.
+  const std::vector<ir::Stmt*>& callsites_of(const ir::Procedure* p) const;
+  /// All call statements appearing inside `p`.
+  const std::vector<ir::Stmt*>& calls_in(const ir::Procedure* p) const;
+
+  /// Procedures reachable from main (including main).
+  const std::vector<ir::Procedure*>& reachable() const { return reachable_; }
+  bool is_reachable(const ir::Procedure* p) const;
+
+  /// Graphviz rendering (the hyperbolic-browser substitute, §2.7).
+  std::string to_dot() const;
+
+ private:
+  ir::Program& prog_;
+  std::vector<ir::Procedure*> bottom_up_;
+  std::vector<ir::Procedure*> reachable_;
+  std::map<const ir::Procedure*, std::vector<ir::Stmt*>> callsites_of_;
+  std::map<const ir::Procedure*, std::vector<ir::Stmt*>> calls_in_;
+};
+
+}  // namespace suifx::graph

@@ -1,0 +1,204 @@
+#include "graph/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+namespace suifx::graph {
+
+CfgNode* Cfg::new_node(CfgNodeKind k, ir::Stmt* ctrl) {
+  nodes_.push_back(std::make_unique<CfgNode>());
+  CfgNode* n = nodes_.back().get();
+  n->id = static_cast<int>(nodes_.size()) - 1;
+  n->kind = k;
+  n->ctrl = ctrl;
+  return n;
+}
+
+void Cfg::link(CfgNode* from, CfgNode* to) {
+  from->succs.push_back(to);
+  to->preds.push_back(from);
+}
+
+Cfg::Cfg(ir::Procedure& proc) : proc_(proc) {
+  entry_ = new_node(CfgNodeKind::Entry);
+  exit_ = new_node(CfgNodeKind::Exit);
+  CfgNode* last = lower_body(proc.body, entry_);
+  link(last, exit_);
+}
+
+CfgNode* Cfg::lower_body(const std::vector<ir::Stmt*>& body, CfgNode* cur) {
+  auto ensure_plain = [&]() {
+    if (cur->kind != CfgNodeKind::Plain || !cur->succs.empty()) {
+      CfgNode* n = new_node(CfgNodeKind::Plain);
+      link(cur, n);
+      cur = n;
+    }
+    return cur;
+  };
+  for (ir::Stmt* s : body) {
+    switch (s->kind) {
+      case ir::StmtKind::Assign:
+      case ir::StmtKind::Call:
+      case ir::StmtKind::Print:
+      case ir::StmtKind::Nop:
+        ensure_plain()->stmts.push_back(s);
+        break;
+      case ir::StmtKind::If: {
+        CfgNode* br = new_node(CfgNodeKind::Branch, s);
+        link(cur, br);
+        CfgNode* join = new_node(CfgNodeKind::Join, s);
+        CfgNode* then_entry = new_node(CfgNodeKind::Plain);
+        link(br, then_entry);
+        CfgNode* then_last = lower_body(s->then_body, then_entry);
+        link(then_last, join);
+        if (s->else_body.empty()) {
+          link(br, join);
+        } else {
+          CfgNode* else_entry = new_node(CfgNodeKind::Plain);
+          link(br, else_entry);
+          CfgNode* else_last = lower_body(s->else_body, else_entry);
+          link(else_last, join);
+        }
+        cur = join;
+        break;
+      }
+      case ir::StmtKind::Do: {
+        CfgNode* pre = new_node(CfgNodeKind::LoopPre, s);
+        link(cur, pre);
+        CfgNode* head = new_node(CfgNodeKind::LoopHead, s);
+        link(pre, head);
+        CfgNode* body_entry = new_node(CfgNodeKind::Plain);
+        link(head, body_entry);
+        CfgNode* body_last = lower_body(s->body, body_entry);
+        CfgNode* latch = new_node(CfgNodeKind::LoopLatch, s);
+        link(body_last, latch);
+        link(latch, head);
+        CfgNode* after = new_node(CfgNodeKind::Plain);
+        link(head, after);
+        cur = after;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<CfgNode*> Cfg::rpo() const {
+  std::vector<CfgNode*> post;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::function<void(CfgNode*)> dfs = [&](CfgNode* n) {
+    if (seen[static_cast<size_t>(n->id)] != 0) return;
+    seen[static_cast<size_t>(n->id)] = 1;
+    for (CfgNode* s : n->succs) dfs(s);
+    post.push_back(n);
+  };
+  dfs(entry_);
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+// ---------------------------------------------------------------------------
+// Dominators
+// ---------------------------------------------------------------------------
+
+DomInfo::DomInfo(const Cfg& cfg, bool reverse) : cfg_(cfg), reverse_(reverse) {
+  size_t n = cfg.nodes().size();
+  idom_.assign(n, nullptr);
+  df_.assign(n, {});
+  order_.assign(n, -1);
+
+  CfgNode* root = reverse ? cfg.exit() : cfg.entry();
+  auto preds_of = [&](CfgNode* x) -> const std::vector<CfgNode*>& {
+    return reverse ? x->succs : x->preds;
+  };
+
+  // RPO over the (possibly reversed) graph.
+  std::vector<CfgNode*> post;
+  std::vector<char> seen(n, 0);
+  std::function<void(CfgNode*)> dfs = [&](CfgNode* x) {
+    if (seen[static_cast<size_t>(x->id)] != 0) return;
+    seen[static_cast<size_t>(x->id)] = 1;
+    const auto& succs = reverse ? x->preds : x->succs;
+    for (CfgNode* s : succs) dfs(s);
+    post.push_back(x);
+  };
+  dfs(root);
+  std::vector<CfgNode*> rpo(post.rbegin(), post.rend());
+  for (size_t i = 0; i < rpo.size(); ++i) order_[static_cast<size_t>(rpo[i]->id)] = static_cast<int>(i);
+
+  auto intersect = [&](CfgNode* a, CfgNode* b) {
+    while (a != b) {
+      while (order_[static_cast<size_t>(a->id)] > order_[static_cast<size_t>(b->id)]) {
+        a = idom_[static_cast<size_t>(a->id)];
+      }
+      while (order_[static_cast<size_t>(b->id)] > order_[static_cast<size_t>(a->id)]) {
+        b = idom_[static_cast<size_t>(b->id)];
+      }
+    }
+    return a;
+  };
+
+  idom_[static_cast<size_t>(root->id)] = root;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CfgNode* x : rpo) {
+      if (x == root) continue;
+      CfgNode* new_idom = nullptr;
+      for (CfgNode* p : preds_of(x)) {
+        if (order_[static_cast<size_t>(p->id)] < 0) continue;  // unreachable
+        if (idom_[static_cast<size_t>(p->id)] == nullptr) continue;
+        new_idom = new_idom == nullptr ? p : intersect(p, new_idom);
+      }
+      if (new_idom != nullptr && idom_[static_cast<size_t>(x->id)] != new_idom) {
+        idom_[static_cast<size_t>(x->id)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom_[static_cast<size_t>(root->id)] = nullptr;  // root has no idom
+
+  // Dominance frontiers (Cytron et al.).
+  for (CfgNode* x : rpo) {
+    const auto& ps = preds_of(x);
+    if (ps.size() < 2) continue;
+    for (CfgNode* p : ps) {
+      if (order_[static_cast<size_t>(p->id)] < 0) continue;
+      CfgNode* runner = p;
+      while (runner != nullptr && runner != idom_[static_cast<size_t>(x->id)]) {
+        auto& f = df_[static_cast<size_t>(runner->id)];
+        if (std::find(f.begin(), f.end(), x) == f.end()) f.push_back(x);
+        runner = idom_[static_cast<size_t>(runner->id)];
+      }
+    }
+  }
+}
+
+bool DomInfo::dominates(const CfgNode* a, const CfgNode* b) const {
+  const CfgNode* x = b;
+  while (x != nullptr) {
+    if (x == a) return true;
+    x = idom_[static_cast<size_t>(x->id)];
+  }
+  return false;
+}
+
+std::vector<CfgNode*> DomInfo::iterated_frontier(const std::vector<CfgNode*>& defs) const {
+  std::set<CfgNode*> result;
+  std::vector<CfgNode*> work = defs;
+  std::set<CfgNode*> in_work(defs.begin(), defs.end());
+  while (!work.empty()) {
+    CfgNode* x = work.back();
+    work.pop_back();
+    for (CfgNode* y : df_[static_cast<size_t>(x->id)]) {
+      if (result.insert(y).second) {
+        if (in_work.insert(y).second) work.push_back(y);
+      }
+    }
+  }
+  return {result.begin(), result.end()};
+}
+
+}  // namespace suifx::graph

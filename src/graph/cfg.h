@@ -1,0 +1,80 @@
+// Per-procedure control-flow graph over basic blocks, built from the
+// structured IR. Used by SSA construction (iterated dominance frontiers,
+// §3.4.3) and by control-dependence computation for control slices.
+//
+// DO-loop lowering (semantics shared with the interpreter): bounds and step
+// are evaluated once at loop entry (Fortran trip-count rule):
+//   Pre(i = lb; trip bounds)  ->  Head(i <= ub?)  -> body ... -> Latch(i += step) -> Head
+//                                 Head -> after-loop
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::graph {
+
+enum class CfgNodeKind : uint8_t { Entry, Exit, Plain, Branch, LoopPre, LoopHead, LoopLatch, Join };
+
+struct CfgNode {
+  int id = 0;
+  CfgNodeKind kind = CfgNodeKind::Plain;
+  /// Simple statements executed in order (Plain nodes).
+  std::vector<ir::Stmt*> stmts;
+  /// The controlling statement: the If for Branch, the Do for Loop* nodes.
+  ir::Stmt* ctrl = nullptr;
+  std::vector<CfgNode*> succs;
+  std::vector<CfgNode*> preds;
+};
+
+class Cfg {
+ public:
+  explicit Cfg(ir::Procedure& proc);
+
+  CfgNode* entry() const { return entry_; }
+  CfgNode* exit() const { return exit_; }
+  const std::vector<std::unique_ptr<CfgNode>>& nodes() const { return nodes_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  ir::Procedure& proc() const { return proc_; }
+
+  /// Reverse post-order from entry (forward dataflow order).
+  std::vector<CfgNode*> rpo() const;
+
+ private:
+  CfgNode* new_node(CfgNodeKind k, ir::Stmt* ctrl = nullptr);
+  static void link(CfgNode* from, CfgNode* to);
+  /// Lower a statement sequence; returns the last open node.
+  CfgNode* lower_body(const std::vector<ir::Stmt*>& body, CfgNode* cur);
+
+  ir::Procedure& proc_;
+  std::vector<std::unique_ptr<CfgNode>> nodes_;
+  CfgNode* entry_ = nullptr;
+  CfgNode* exit_ = nullptr;
+};
+
+/// Dominator tree + dominance frontiers via the Cooper–Harvey–Kennedy
+/// iterative algorithm. Pass `reverse=true` for postdominators (computed on
+/// the reversed CFG rooted at exit).
+class DomInfo {
+ public:
+  DomInfo(const Cfg& cfg, bool reverse = false);
+
+  /// Immediate dominator (or postdominator), null for the root.
+  CfgNode* idom(const CfgNode* n) const { return idom_[static_cast<size_t>(n->id)]; }
+  bool dominates(const CfgNode* a, const CfgNode* b) const;
+  const std::vector<CfgNode*>& frontier(const CfgNode* n) const {
+    return df_[static_cast<size_t>(n->id)];
+  }
+  /// Iterated dominance frontier of a set of nodes (phi placement, §3.4.3).
+  std::vector<CfgNode*> iterated_frontier(const std::vector<CfgNode*>& defs) const;
+
+ private:
+  const Cfg& cfg_;
+  bool reverse_;
+  std::vector<CfgNode*> idom_;
+  std::vector<std::vector<CfgNode*>> df_;
+  std::vector<int> order_;  // RPO index per node id for intersect()
+};
+
+}  // namespace suifx::graph

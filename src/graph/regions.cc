@@ -1,0 +1,85 @@
+#include "graph/regions.h"
+
+#include <cassert>
+
+namespace suifx::graph {
+
+const std::vector<ir::Stmt*>& Region::stmts() const {
+  switch (kind) {
+    case RegionKind::Procedure:
+      return proc->body;
+    case RegionKind::LoopBody:
+      return loop->body;
+    case RegionKind::Loop:
+      // The Loop region's only content is its LoopBody child; callers that
+      // need statements should descend. Returning the body keeps convenience
+      // traversals simple.
+      return loop->body;
+  }
+  return proc->body;
+}
+
+std::string Region::name() const {
+  switch (kind) {
+    case RegionKind::Procedure:
+      return proc->name;
+    case RegionKind::Loop:
+      return loop->loop_name();
+    case RegionKind::LoopBody:
+      return loop->loop_name() + "/body";
+  }
+  return "?";
+}
+
+RegionTree::RegionTree(ir::Program& prog) {
+  for (ir::Procedure& p : prog.procedures()) {
+    Region* pr = build(&p, nullptr, nullptr, RegionKind::Procedure);
+    proc_region_[&p] = pr;
+    scan_body(p.body, pr);
+  }
+  // Innermost-first postorder per procedure.
+  for (const auto& r : regions_) {
+    if (r->kind != RegionKind::Procedure) continue;
+    std::function<void(Region*)> walk = [&](Region* n) {
+      for (Region* c : n->children) walk(c);
+      postorder_.push_back(n);
+    };
+    walk(r.get());
+  }
+}
+
+Region* RegionTree::build(ir::Procedure* p, ir::Stmt* loop, Region* parent,
+                          RegionKind k) {
+  regions_.push_back(std::make_unique<Region>());
+  Region* r = regions_.back().get();
+  r->id = static_cast<int>(regions_.size()) - 1;
+  r->kind = k;
+  r->proc = p;
+  r->loop = loop;
+  r->parent = parent;
+  if (parent != nullptr) parent->children.push_back(r);
+  return r;
+}
+
+void RegionTree::scan_body(const std::vector<ir::Stmt*>& body, Region* r) {
+  for (ir::Stmt* s : body) {
+    switch (s->kind) {
+      case ir::StmtKind::Do: {
+        Region* lr = build(r->proc, s, r, RegionKind::Loop);
+        Region* br = build(r->proc, s, lr, RegionKind::LoopBody);
+        loop_region_[s] = lr;
+        body_region_[s] = br;
+        scan_body(s->body, br);
+        break;
+      }
+      case ir::StmtKind::If:
+        scan_body(s->then_body, r);
+        scan_body(s->else_body, r);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace suifx::graph

@@ -1,0 +1,58 @@
+// The hierarchical region graph of §5.2: every procedure, loop, and loop
+// body is a region; edges connect a region to its subregions. SF is fully
+// structured, so the graph is a forest per procedure glued into a DAG by the
+// call graph.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::graph {
+
+enum class RegionKind { Procedure, Loop, LoopBody };
+
+struct Region {
+  int id = 0;
+  RegionKind kind = RegionKind::Procedure;
+  ir::Procedure* proc = nullptr;
+  ir::Stmt* loop = nullptr;  // the Do statement for Loop and LoopBody regions
+  Region* parent = nullptr;  // lexically enclosing region within the procedure
+  std::vector<Region*> children;
+
+  /// The statement sequence this region directly governs: the procedure body
+  /// for Procedure regions, the loop body for LoopBody regions; a Loop region
+  /// has exactly one LoopBody child and no direct statements.
+  const std::vector<ir::Stmt*>& stmts() const;
+
+  bool is_loop() const { return kind == RegionKind::Loop; }
+  std::string name() const;
+};
+
+class RegionTree {
+ public:
+  explicit RegionTree(ir::Program& prog);
+
+  Region* of_proc(const ir::Procedure* p) const { return proc_region_.at(p); }
+  Region* loop_region(const ir::Stmt* loop) const { return loop_region_.at(loop); }
+  Region* body_region(const ir::Stmt* loop) const { return body_region_.at(loop); }
+
+  /// All regions, innermost-first within each procedure (the bottom-up order
+  /// of Fig 5-2); procedures appear in IR order.
+  const std::vector<Region*>& postorder() const { return postorder_; }
+  const std::vector<std::unique_ptr<Region>>& all() const { return regions_; }
+
+ private:
+  Region* build(ir::Procedure* p, ir::Stmt* loop, Region* parent, RegionKind k);
+  void scan_body(const std::vector<ir::Stmt*>& body, Region* r);
+
+  std::vector<std::unique_ptr<Region>> regions_;
+  std::map<const ir::Procedure*, Region*> proc_region_;
+  std::map<const ir::Stmt*, Region*> loop_region_;
+  std::map<const ir::Stmt*, Region*> body_region_;
+  std::vector<Region*> postorder_;
+};
+
+}  // namespace suifx::graph

@@ -1,0 +1,521 @@
+#include "ir/ir.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace suifx::ir {
+
+const char* to_string(ScalarType t) {
+  switch (t) {
+    case ScalarType::Int: return "int";
+    case ScalarType::Real: return "real";
+    case ScalarType::Bool: return "bool";
+  }
+  return "?";
+}
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+const char* to_string(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::Not: return "!";
+    case UnOp::Sqrt: return "sqrt";
+    case UnOp::Exp: return "exp";
+    case UnOp::Log: return "log";
+    case UnOp::Abs: return "abs";
+    case UnOp::IntCast: return "int";
+    case UnOp::RealCast: return "real";
+  }
+  return "?";
+}
+
+bool is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_reduction_op(BinOp op) {
+  switch (op) {
+    case BinOp::Add:
+    case BinOp::Mul:
+    case BinOp::Min:
+    case BinOp::Max:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void for_each_expr(const Expr* e, const std::function<void(const Expr*)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  if (e->a != nullptr) for_each_expr(e->a, fn);
+  if (e->b != nullptr) for_each_expr(e->b, fn);
+  for (const Expr* i : e->idx) for_each_expr(i, fn);
+}
+
+std::string Variable::qualified_name() const {
+  if (owner != nullptr) return owner->name + "." + name;
+  return name;
+}
+
+std::string Stmt::loop_name() const {
+  assert(kind == StmtKind::Do);
+  std::string base = proc != nullptr ? proc->name : "?";
+  if (!label.empty()) return base + "/" + label;
+  return base + "/L" + std::to_string(line);
+}
+
+const Stmt* Stmt::enclosing_loop() const {
+  for (const Stmt* p = parent; p != nullptr; p = p->parent) {
+    if (p->kind == StmtKind::Do) return p;
+  }
+  return nullptr;
+}
+
+int Stmt::loop_depth() const {
+  int d = 0;
+  for (const Stmt* p = parent; p != nullptr; p = p->parent) {
+    if (p->kind == StmtKind::Do) ++d;
+  }
+  return d;
+}
+
+void for_each_stmt(Stmt* s, const std::function<void(Stmt*)>& fn) {
+  fn(s);
+  for (Stmt* c : s->then_body) for_each_stmt(c, fn);
+  for (Stmt* c : s->else_body) for_each_stmt(c, fn);
+  for (Stmt* c : s->body) for_each_stmt(c, fn);
+}
+
+void for_each_stmt(const std::vector<Stmt*>& body, const std::function<void(Stmt*)>& fn) {
+  for (Stmt* s : body) for_each_stmt(s, fn);
+}
+
+void Procedure::for_each(const std::function<void(Stmt*)>& fn) const {
+  for (Stmt* s : body) for_each_stmt(s, fn);
+}
+
+std::vector<Stmt*> Procedure::loops() const {
+  std::vector<Stmt*> out;
+  for_each([&](Stmt* s) {
+    if (s->kind == StmtKind::Do) out.push_back(s);
+  });
+  return out;
+}
+
+Variable* Procedure::find_var(const std::string& n) const {
+  for (Variable* v : formals) {
+    if (v->name == n) return v;
+  }
+  for (Variable* v : locals) {
+    if (v->name == n) return v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Program factories
+// ---------------------------------------------------------------------------
+
+Variable* Program::new_global(const std::string& n, ScalarType t, std::vector<Dim> dims) {
+  vars_.push_back({});
+  Variable* v = &vars_.back();
+  v->id = static_cast<int>(vars_.size()) - 1;
+  v->name = n;
+  v->elem = t;
+  v->dims = std::move(dims);
+  v->kind = VarKind::Global;
+  globals_.push_back(v);
+  return v;
+}
+
+Variable* Program::new_sym_param(const std::string& n, long default_value) {
+  vars_.push_back({});
+  Variable* v = &vars_.back();
+  v->id = static_cast<int>(vars_.size()) - 1;
+  v->name = n;
+  v->elem = ScalarType::Int;
+  v->kind = VarKind::SymParam;
+  v->param_default = default_value;
+  sym_params_.push_back(v);
+  return v;
+}
+
+Variable* Program::new_local(Procedure* p, const std::string& n, ScalarType t,
+                             std::vector<Dim> dims) {
+  vars_.push_back({});
+  Variable* v = &vars_.back();
+  v->id = static_cast<int>(vars_.size()) - 1;
+  v->name = n;
+  v->elem = t;
+  v->dims = std::move(dims);
+  v->kind = VarKind::Local;
+  v->owner = p;
+  p->locals.push_back(v);
+  return v;
+}
+
+Variable* Program::new_formal(Procedure* p, const std::string& n, ScalarType t,
+                              std::vector<Dim> dims) {
+  vars_.push_back({});
+  Variable* v = &vars_.back();
+  v->id = static_cast<int>(vars_.size()) - 1;
+  v->name = n;
+  v->elem = t;
+  v->dims = std::move(dims);
+  v->kind = VarKind::Formal;
+  v->owner = p;
+  p->formals.push_back(v);
+  return v;
+}
+
+Variable* Program::new_common_member(Procedure* p, CommonBlock* blk, const std::string& n,
+                                     ScalarType t, std::vector<Dim> dims, long offset) {
+  vars_.push_back({});
+  Variable* v = &vars_.back();
+  v->id = static_cast<int>(vars_.size()) - 1;
+  v->name = n;
+  v->elem = t;
+  v->dims = std::move(dims);
+  v->kind = VarKind::CommonMember;
+  v->owner = p;
+  v->common = blk;
+  v->common_offset = offset;
+  if (p != nullptr) p->locals.push_back(v);
+  return v;
+}
+
+CommonBlock* Program::new_common(const std::string& n) {
+  for (CommonBlock& b : commons_) {
+    if (b.name == n) return &b;
+  }
+  commons_.push_back({});
+  CommonBlock* b = &commons_.back();
+  b->id = static_cast<int>(commons_.size()) - 1;
+  b->name = n;
+  return b;
+}
+
+Expr* Program::alloc_expr(ExprKind k, ScalarType t) {
+  exprs_.push_back({});
+  Expr* e = &exprs_.back();
+  e->id = static_cast<int>(exprs_.size()) - 1;
+  e->kind = k;
+  e->type = t;
+  return e;
+}
+
+const Expr* Program::int_const(long v) {
+  Expr* e = alloc_expr(ExprKind::IntConst, ScalarType::Int);
+  e->ival = v;
+  return e;
+}
+
+const Expr* Program::real_const(double v) {
+  Expr* e = alloc_expr(ExprKind::RealConst, ScalarType::Real);
+  e->rval = v;
+  return e;
+}
+
+const Expr* Program::bool_const(bool v) {
+  Expr* e = alloc_expr(ExprKind::IntConst, ScalarType::Bool);
+  e->ival = v ? 1 : 0;
+  return e;
+}
+
+const Expr* Program::var_ref(const Variable* v) {
+  Expr* e = alloc_expr(ExprKind::VarRef, v->elem);
+  e->var = v;
+  return e;
+}
+
+const Expr* Program::array_ref(const Variable* v, std::vector<const Expr*> idx) {
+  Expr* e = alloc_expr(ExprKind::ArrayRef, v->elem);
+  e->var = v;
+  e->idx = std::move(idx);
+  return e;
+}
+
+const Expr* Program::binary(BinOp op, const Expr* a, const Expr* b) {
+  ScalarType t;
+  if (is_comparison(op) || op == BinOp::And || op == BinOp::Or) {
+    t = ScalarType::Bool;
+  } else if (a->type == ScalarType::Real || b->type == ScalarType::Real) {
+    t = ScalarType::Real;
+  } else {
+    t = ScalarType::Int;
+  }
+  Expr* e = alloc_expr(ExprKind::Binary, t);
+  e->bop = op;
+  e->a = a;
+  e->b = b;
+  return e;
+}
+
+const Expr* Program::unary(UnOp op, const Expr* a) {
+  ScalarType t = a->type;
+  if (op == UnOp::Not) t = ScalarType::Bool;
+  if (op == UnOp::IntCast) t = ScalarType::Int;
+  if (op == UnOp::RealCast || op == UnOp::Sqrt || op == UnOp::Exp || op == UnOp::Log) {
+    t = ScalarType::Real;
+  }
+  Expr* e = alloc_expr(ExprKind::Unary, t);
+  e->uop = op;
+  e->a = a;
+  return e;
+}
+
+Stmt* Program::alloc_stmt(StmtKind k, SourceLoc loc) {
+  stmts_.push_back({});
+  Stmt* s = &stmts_.back();
+  s->id = static_cast<int>(stmts_.size()) - 1;
+  s->kind = k;
+  s->loc = loc;
+  return s;
+}
+
+Stmt* Program::assign(const Expr* lhs, const Expr* rhs, SourceLoc loc) {
+  assert(lhs->is_lvalue());
+  Stmt* s = alloc_stmt(StmtKind::Assign, loc);
+  s->lhs = lhs;
+  s->rhs = rhs;
+  return s;
+}
+
+Stmt* Program::if_(const Expr* cond, std::vector<Stmt*> then_body,
+                   std::vector<Stmt*> else_body, SourceLoc loc) {
+  Stmt* s = alloc_stmt(StmtKind::If, loc);
+  s->cond = cond;
+  s->then_body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+Stmt* Program::do_(const Variable* ivar, const Expr* lb, const Expr* ub,
+                   std::vector<Stmt*> body, std::string label, const Expr* step,
+                   SourceLoc loc) {
+  Stmt* s = alloc_stmt(StmtKind::Do, loc);
+  s->ivar = ivar;
+  s->lb = lb;
+  s->ub = ub;
+  s->step = step != nullptr ? step : int_const(1);
+  s->body = std::move(body);
+  s->label = std::move(label);
+  return s;
+}
+
+Stmt* Program::call(Procedure* callee, std::vector<const Expr*> args, SourceLoc loc) {
+  Stmt* s = alloc_stmt(StmtKind::Call, loc);
+  s->callee = callee;
+  s->args = std::move(args);
+  return s;
+}
+
+Stmt* Program::print(const Expr* v, SourceLoc loc) {
+  Stmt* s = alloc_stmt(StmtKind::Print, loc);
+  s->value = v;
+  return s;
+}
+
+Procedure* Program::new_procedure(const std::string& n) {
+  procs_.push_back({});
+  Procedure* p = &procs_.back();
+  p->id = static_cast<int>(procs_.size()) - 1;
+  p->name = n;
+  p->program = this;
+  return p;
+}
+
+Procedure* Program::find_procedure(const std::string& n) const {
+  for (const Procedure& p : procs_) {
+    if (p.name == n) return const_cast<Procedure*>(&p);
+  }
+  return nullptr;
+}
+
+void Program::number_body(std::vector<Stmt*>& body, Stmt* parent, Procedure* proc) {
+  for (Stmt* s : body) {
+    s->line = next_line_++;
+    s->parent = parent;
+    s->proc = proc;
+    number_body(s->then_body, s, proc);
+    if (!s->else_body.empty()) {
+      ++next_line_;  // the "else" line
+      number_body(s->else_body, s, proc);
+    }
+    number_body(s->body, s, proc);
+    if (s->kind == StmtKind::If || s->kind == StmtKind::Do) {
+      ++next_line_;  // the closing line
+    }
+  }
+}
+
+long Program::dim_extent_upper_bound(const Dim& d) {
+  long lo = 0, hi = 0;
+  if (!eval_const_with_params(d.lower, &lo) || !eval_const_with_params(d.upper, &hi)) {
+    return 0;
+  }
+  return std::max<long>(0, hi - lo + 1);
+}
+
+void Program::finalize() {
+  assert(!finalized_);
+  for (Procedure& p : procs_) {
+    ++next_line_;  // the "proc" header line
+    number_body(p.body, nullptr, &p);
+    ++next_line_;  // the "end" line
+  }
+  // Common block sizes: the largest overlay footprint in elements.
+  for (Variable& v : vars_) {
+    if (v.kind != VarKind::CommonMember) continue;
+    long n = 1;
+    for (const Dim& d : v.dims) n *= std::max<long>(1, dim_extent_upper_bound(d));
+    v.common->size_elems = std::max(v.common->size_elems, v.common_offset + n);
+  }
+  finalized_ = true;
+}
+
+void Program::for_each_stmt(const std::function<void(Stmt*)>& fn) {
+  for (Procedure& p : procs_) p.for_each(fn);
+}
+
+void Program::for_each_stmt(const std::function<void(const Stmt*)>& fn) const {
+  for (const Procedure& p : procs_) {
+    p.for_each([&](Stmt* s) { fn(s); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Access collection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect_reads(const Expr* e, const Stmt* s, std::vector<Access>* out) {
+  for_each_expr(e, [&](const Expr* n) {
+    if (n->is_var_ref() || n->is_array_ref()) {
+      out->push_back({n, n->var, /*is_write=*/false, s});
+    }
+  });
+}
+
+}  // namespace
+
+std::vector<Access> direct_accesses(const Stmt* s) {
+  std::vector<Access> out;
+  switch (s->kind) {
+    case StmtKind::Assign:
+      collect_reads(s->rhs, s, &out);
+      // Subscripts of the LHS are reads; the LHS location itself is a write.
+      for (const Expr* i : s->lhs->idx) collect_reads(i, s, &out);
+      out.push_back({s->lhs, s->lhs->var, /*is_write=*/true, s});
+      break;
+    case StmtKind::If:
+      collect_reads(s->cond, s, &out);
+      break;
+    case StmtKind::Do:
+      collect_reads(s->lb, s, &out);
+      collect_reads(s->ub, s, &out);
+      collect_reads(s->step, s, &out);
+      break;
+    case StmtKind::Call:
+      for (const Expr* a : s->args) {
+        if (a->is_var_ref() && a->var->is_array()) {
+          // Whole array by reference: may read and may write.
+          out.push_back({a, a->var, false, s});
+          out.push_back({a, a->var, true, s});
+        } else if (a->is_array_ref()) {
+          // Array element base (Fortran `a(k)` actual): subscripts are reads,
+          // the tail of the array may be read and written via the formal.
+          for (const Expr* i : a->idx) collect_reads(i, s, &out);
+          out.push_back({a, a->var, false, s});
+          out.push_back({a, a->var, true, s});
+        } else if (a->is_var_ref()) {
+          // Scalar copy-in/copy-out.
+          out.push_back({a, a->var, false, s});
+          out.push_back({a, a->var, true, s});
+        } else {
+          collect_reads(a, s, &out);
+        }
+      }
+      break;
+    case StmtKind::Print:
+      collect_reads(s->value, s, &out);
+      break;
+    case StmtKind::Nop:
+      break;
+  }
+  return out;
+}
+
+bool eval_const_with_params(const Expr* e, long* out) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::IntConst:
+      *out = e->ival;
+      return true;
+    case ExprKind::VarRef:
+      if (e->var->kind == VarKind::SymParam) {
+        *out = e->var->param_default;
+        return true;
+      }
+      return false;
+    case ExprKind::Binary: {
+      long a = 0, b = 0;
+      if (!eval_const_with_params(e->a, &a) || !eval_const_with_params(e->b, &b)) {
+        return false;
+      }
+      switch (e->bop) {
+        case BinOp::Add: *out = a + b; return true;
+        case BinOp::Sub: *out = a - b; return true;
+        case BinOp::Mul: *out = a * b; return true;
+        case BinOp::Div: if (b == 0) return false; *out = a / b; return true;
+        case BinOp::Min: *out = std::min(a, b); return true;
+        case BinOp::Max: *out = std::max(a, b); return true;
+        default: return false;
+      }
+    }
+    case ExprKind::Unary:
+      if (e->uop == UnOp::Neg) {
+        long a = 0;
+        if (!eval_const_with_params(e->a, &a)) return false;
+        *out = -a;
+        return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace suifx::ir

@@ -1,0 +1,310 @@
+// Core intermediate representation for the SF mini-language (a Fortran-77-like
+// subset sufficient for everything the SUIF Explorer thesis analyzes: DO
+// loops, structured IFs, CALLs with by-reference arrays, COMMON blocks with
+// per-procedure overlays, symbolic input parameters, and index arrays).
+//
+// Ownership: a Program owns every Expr, Stmt, Variable, Procedure, and
+// CommonBlock in stable-address arenas (std::deque). Raw pointers elsewhere
+// are non-owning observers, per the project's RAII convention.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace suifx::ir {
+
+class Program;
+struct Procedure;
+struct CommonBlock;
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+enum class ScalarType : uint8_t { Int, Real, Bool };
+
+const char* to_string(ScalarType t);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t { IntConst, RealConst, VarRef, ArrayRef, Binary, Unary };
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Mod, Min, Max,
+  Lt, Le, Gt, Ge, Eq, Ne, And, Or
+};
+
+enum class UnOp : uint8_t { Neg, Not, Sqrt, Exp, Log, Abs, IntCast, RealCast };
+
+const char* to_string(BinOp op);
+const char* to_string(UnOp op);
+bool is_comparison(BinOp op);
+/// Commutative-and-associative ops eligible for reduction recognition (§6.2).
+bool is_reduction_op(BinOp op);
+
+struct Variable;
+
+/// Immutable expression tree node. Allocated by Program factories.
+struct Expr {
+  int id = 0;
+  ExprKind kind;
+  ScalarType type;
+
+  long ival = 0;              // IntConst
+  double rval = 0.0;          // RealConst
+  const Variable* var = nullptr;  // VarRef / ArrayRef
+  BinOp bop = BinOp::Add;     // Binary
+  UnOp uop = UnOp::Neg;       // Unary
+  const Expr* a = nullptr;    // Binary lhs / Unary operand
+  const Expr* b = nullptr;    // Binary rhs
+  std::vector<const Expr*> idx;  // ArrayRef subscripts (1-based Fortran style)
+
+  bool is_const_int() const { return kind == ExprKind::IntConst; }
+  bool is_var_ref() const { return kind == ExprKind::VarRef; }
+  bool is_array_ref() const { return kind == ExprKind::ArrayRef; }
+  bool is_lvalue() const { return is_var_ref() || is_array_ref(); }
+};
+
+/// Visit every node of an expression tree (pre-order).
+void for_each_expr(const Expr* e, const std::function<void(const Expr*)>& fn);
+
+// ---------------------------------------------------------------------------
+// Variables
+// ---------------------------------------------------------------------------
+
+enum class VarKind : uint8_t {
+  Local,         // procedure-local scalar or array
+  Formal,        // formal parameter (scalars copy-in/copy-out, arrays by ref)
+  Global,        // whole-program variable
+  CommonMember,  // an overlay member of a COMMON block (per-procedure view)
+  SymParam,      // symbolic integer input parameter (e.g. problem size N)
+};
+
+/// One dimension of an array: inclusive bounds, each an affine expression
+/// over integer constants and SymParams (checked by the verifier).
+struct Dim {
+  const Expr* lower = nullptr;
+  const Expr* upper = nullptr;
+};
+
+struct Variable {
+  int id = 0;
+  std::string name;
+  ScalarType elem = ScalarType::Real;
+  std::vector<Dim> dims;  // empty => scalar
+  VarKind kind = VarKind::Local;
+  Procedure* owner = nullptr;        // null for Global/SymParam
+  CommonBlock* common = nullptr;     // CommonMember only
+  long common_offset = 0;            // element offset within the block
+  bool is_input = false;             // runtime-initialized from program inputs
+  long param_default = 0;            // SymParam default value
+
+  bool is_array() const { return !dims.empty(); }
+  bool is_scalar() const { return dims.empty(); }
+  int rank() const { return static_cast<int>(dims.size()); }
+  /// Fully qualified for messages: "proc.name" or "name".
+  std::string qualified_name() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t { Assign, If, Do, Call, Print, Nop };
+
+struct Stmt {
+  int id = 0;
+  int line = 0;  // synthetic source line, assigned by Program::finalize()
+  StmtKind kind = StmtKind::Nop;
+  SourceLoc loc;
+
+  // Assign
+  const Expr* lhs = nullptr;  // VarRef or ArrayRef
+  const Expr* rhs = nullptr;
+
+  // If
+  const Expr* cond = nullptr;
+  std::vector<Stmt*> then_body;
+  std::vector<Stmt*> else_body;
+
+  // Do: `do ivar = lb, ub, step { body }` — step a positive or negative
+  // integer constant; iteration includes ub when reachable (Fortran DO).
+  const Variable* ivar = nullptr;
+  const Expr* lb = nullptr;
+  const Expr* ub = nullptr;
+  const Expr* step = nullptr;
+  std::vector<Stmt*> body;
+  std::string label;  // Fortran-style numeric label for "proc/label" names
+
+  // Call
+  Procedure* callee = nullptr;
+  std::vector<const Expr*> args;
+
+  // Print
+  const Expr* value = nullptr;
+
+  Stmt* parent = nullptr;        // enclosing If or Do (null at proc top level)
+  Procedure* proc = nullptr;     // owning procedure
+
+  bool is_loop() const { return kind == StmtKind::Do; }
+  /// "proc/label" (or "proc/L<line>" when unlabeled) — matches thesis naming.
+  std::string loop_name() const;
+  /// Innermost enclosing Do, or null.
+  const Stmt* enclosing_loop() const;
+  /// Number of Do statements strictly enclosing this one.
+  int loop_depth() const;
+};
+
+/// Visit a statement and all statements nested under it (pre-order).
+void for_each_stmt(Stmt* s, const std::function<void(Stmt*)>& fn);
+void for_each_stmt(const std::vector<Stmt*>& body, const std::function<void(Stmt*)>& fn);
+
+// ---------------------------------------------------------------------------
+// Procedures, commons, program
+// ---------------------------------------------------------------------------
+
+struct Procedure {
+  int id = 0;
+  std::string name;
+  std::vector<Variable*> formals;
+  std::vector<Variable*> locals;       // includes CommonMember overlay views
+  std::vector<Stmt*> body;
+  Program* program = nullptr;
+
+  /// Visit all statements in this procedure (pre-order).
+  void for_each(const std::function<void(Stmt*)>& fn) const;
+  /// All Do statements, outermost-first.
+  std::vector<Stmt*> loops() const;
+  Variable* find_var(const std::string& n) const;
+};
+
+struct CommonBlock {
+  int id = 0;
+  std::string name;
+  /// Size in elements of the largest overlay; set by Program::finalize().
+  long size_elems = 0;
+};
+
+/// A whole SF program: arena owner of all IR nodes plus factory methods.
+class Program {
+ public:
+  explicit Program(std::string name) : name_(std::move(name)) {}
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- variable factories -------------------------------------------------
+  Variable* new_global(const std::string& n, ScalarType t, std::vector<Dim> dims = {});
+  Variable* new_sym_param(const std::string& n, long default_value);
+  Variable* new_local(Procedure* p, const std::string& n, ScalarType t,
+                      std::vector<Dim> dims = {});
+  Variable* new_formal(Procedure* p, const std::string& n, ScalarType t,
+                       std::vector<Dim> dims = {});
+  Variable* new_common_member(Procedure* p, CommonBlock* blk, const std::string& n,
+                              ScalarType t, std::vector<Dim> dims, long offset = 0);
+  CommonBlock* new_common(const std::string& n);
+
+  // --- expression factories (all return interior-owned nodes) -------------
+  const Expr* int_const(long v);
+  const Expr* real_const(double v);
+  const Expr* bool_const(bool v);
+  const Expr* var_ref(const Variable* v);
+  const Expr* array_ref(const Variable* v, std::vector<const Expr*> idx);
+  const Expr* binary(BinOp op, const Expr* a, const Expr* b);
+  const Expr* unary(UnOp op, const Expr* a);
+  // Convenience arithmetic.
+  const Expr* add(const Expr* a, const Expr* b) { return binary(BinOp::Add, a, b); }
+  const Expr* sub(const Expr* a, const Expr* b) { return binary(BinOp::Sub, a, b); }
+  const Expr* mul(const Expr* a, const Expr* b) { return binary(BinOp::Mul, a, b); }
+
+  // --- statement factories -------------------------------------------------
+  Stmt* assign(const Expr* lhs, const Expr* rhs, SourceLoc loc = {});
+  Stmt* if_(const Expr* cond, std::vector<Stmt*> then_body,
+            std::vector<Stmt*> else_body = {}, SourceLoc loc = {});
+  Stmt* do_(const Variable* ivar, const Expr* lb, const Expr* ub,
+            std::vector<Stmt*> body, std::string label = "",
+            const Expr* step = nullptr, SourceLoc loc = {});
+  Stmt* call(Procedure* callee, std::vector<const Expr*> args, SourceLoc loc = {});
+  Stmt* print(const Expr* v, SourceLoc loc = {});
+
+  // --- procedures ----------------------------------------------------------
+  Procedure* new_procedure(const std::string& n);
+  Procedure* find_procedure(const std::string& n) const;
+  void set_main(Procedure* p) { main_ = p; }
+  Procedure* main() const { return main_; }
+
+  const std::deque<Procedure>& procedures() const { return procs_; }
+  std::deque<Procedure>& procedures() { return procs_; }
+  const std::deque<Variable>& variables() const { return vars_; }
+  const std::deque<CommonBlock>& commons() const { return commons_; }
+  std::deque<CommonBlock>& commons() { return commons_; }
+  const std::vector<Variable*>& globals() const { return globals_; }
+  const std::vector<Variable*>& sym_params() const { return sym_params_; }
+
+  const Stmt* stmt_by_id(int id) const { return &stmts_[static_cast<size_t>(id)]; }
+  Stmt* stmt_by_id(int id) { return &stmts_[static_cast<size_t>(id)]; }
+  int num_stmts() const { return static_cast<int>(stmts_.size()); }
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+
+  /// Assign synthetic line numbers and parent/proc links; compute common
+  /// block sizes. Must be called once after construction, before analysis.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Total synthetic source lines (the thesis's "No. of lines" metric).
+  int num_lines() const { return next_line_ - 1; }
+
+  /// Visit every statement of every procedure.
+  void for_each_stmt(const std::function<void(Stmt*)>& fn);
+  void for_each_stmt(const std::function<void(const Stmt*)>& fn) const;
+
+ private:
+  Expr* alloc_expr(ExprKind k, ScalarType t);
+  Stmt* alloc_stmt(StmtKind k, SourceLoc loc);
+  void number_body(std::vector<Stmt*>& body, Stmt* parent, Procedure* proc);
+  static long dim_extent_upper_bound(const Dim& d);
+
+  std::string name_;
+  std::deque<Expr> exprs_;
+  std::deque<Stmt> stmts_;
+  std::deque<Variable> vars_;
+  std::deque<Procedure> procs_;
+  std::deque<CommonBlock> commons_;
+  std::vector<Variable*> globals_;
+  std::vector<Variable*> sym_params_;
+  Procedure* main_ = nullptr;
+  int next_line_ = 1;
+  bool finalized_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Access collection helpers (used by nearly every analysis)
+// ---------------------------------------------------------------------------
+
+/// One scalar-or-array access appearing in a statement.
+struct Access {
+  const Expr* ref = nullptr;   // the VarRef/ArrayRef node
+  const Variable* var = nullptr;
+  bool is_write = false;
+  const Stmt* stmt = nullptr;
+};
+
+/// Collect the accesses a single (non-compound) statement performs directly:
+/// Assign reads its RHS + LHS subscripts and writes its LHS; If reads its
+/// condition; Do reads bounds and writes its index; Call reads scalar args
+/// and (conservatively) both reads and writes array/lvalue-scalar args.
+std::vector<Access> direct_accesses(const Stmt* s);
+
+/// Evaluate an expression over SymParam default values; returns false when the
+/// expression is not a compile-time-affine integer expression.
+bool eval_const_with_params(const Expr* e, long* out);
+
+}  // namespace suifx::ir

@@ -1,0 +1,205 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace suifx::ir {
+
+namespace {
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::Or: return 1;
+    case BinOp::And: return 2;
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt:
+    case BinOp::Ge: case BinOp::Eq: case BinOp::Ne: return 3;
+    case BinOp::Add: case BinOp::Sub: return 4;
+    case BinOp::Mul: case BinOp::Div: case BinOp::Mod: return 5;
+    case BinOp::Min: case BinOp::Max: return 6;  // rendered as calls
+  }
+  return 0;
+}
+
+void print_expr(const Expr* e, std::ostringstream& os, int parent_prec) {
+  switch (e->kind) {
+    case ExprKind::IntConst:
+      os << e->ival;
+      break;
+    case ExprKind::RealConst: {
+      std::ostringstream t;
+      t << e->rval;
+      std::string s = t.str();
+      os << s;
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+        os << ".0";
+      }
+      break;
+    }
+    case ExprKind::VarRef:
+      os << e->var->name;
+      break;
+    case ExprKind::ArrayRef:
+      os << e->var->name << "[";
+      for (size_t i = 0; i < e->idx.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr(e->idx[i], os, 0);
+      }
+      os << "]";
+      break;
+    case ExprKind::Binary: {
+      if (e->bop == BinOp::Min || e->bop == BinOp::Max) {
+        os << to_string(e->bop) << "(";
+        print_expr(e->a, os, 0);
+        os << ", ";
+        print_expr(e->b, os, 0);
+        os << ")";
+        break;
+      }
+      int prec = precedence(e->bop);
+      bool paren = prec < parent_prec;
+      if (paren) os << "(";
+      print_expr(e->a, os, prec);
+      os << " " << to_string(e->bop) << " ";
+      print_expr(e->b, os, prec + 1);
+      if (paren) os << ")";
+      break;
+    }
+    case ExprKind::Unary:
+      if (e->uop == UnOp::Neg || e->uop == UnOp::Not) {
+        os << to_string(e->uop) << "(";
+        print_expr(e->a, os, 0);
+        os << ")";
+      } else {
+        os << to_string(e->uop) << "(";
+        print_expr(e->a, os, 0);
+        os << ")";
+      }
+      break;
+  }
+}
+
+std::string dims_str(const Variable* v) {
+  if (!v->is_array()) return "";
+  std::string out = "[";
+  for (size_t i = 0; i < v->dims.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Dim& d = v->dims[i];
+    long lo = 0;
+    bool lo_is_one = ir::eval_const_with_params(d.lower, &lo) && lo == 1;
+    if (!lo_is_one) {
+      out += to_string(d.lower) + ":";
+    }
+    out += to_string(d.upper);
+  }
+  out += "]";
+  return out;
+}
+
+void print_var_decl(const Variable* v, std::ostringstream& os, int indent) {
+  os << std::string(static_cast<size_t>(indent) * 2, ' ');
+  if (v->kind == VarKind::CommonMember) {
+    os << "common " << v->common->name << " ";
+    if (v->common_offset != 0) os << "@" << v->common_offset << " ";
+  }
+  os << to_string(v->elem) << " " << v->name << dims_str(v);
+  if (v->is_input) os << " input";
+  os << ";\n";
+}
+
+void print_body(const std::vector<Stmt*>& body, std::ostringstream& os, int indent);
+
+void print_stmt(const Stmt* s, std::ostringstream& os, int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s->kind) {
+    case StmtKind::Assign:
+      os << pad << to_string(s->lhs) << " = " << to_string(s->rhs) << ";\n";
+      break;
+    case StmtKind::If:
+      os << pad << "if (" << to_string(s->cond) << ") {\n";
+      print_body(s->then_body, os, indent + 1);
+      if (!s->else_body.empty()) {
+        os << pad << "} else {\n";
+        print_body(s->else_body, os, indent + 1);
+      }
+      os << pad << "}\n";
+      break;
+    case StmtKind::Do: {
+      os << pad << "do " << s->ivar->name << " = " << to_string(s->lb) << ", "
+         << to_string(s->ub);
+      long step = 0;
+      if (!(eval_const_with_params(s->step, &step) && step == 1)) {
+        os << ", " << to_string(s->step);
+      }
+      if (!s->label.empty()) os << " label " << s->label;
+      os << " {\n";
+      print_body(s->body, os, indent + 1);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::Call:
+      os << pad << "call " << s->callee->name << "(";
+      for (size_t i = 0; i < s->args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << to_string(s->args[i]);
+      }
+      os << ");\n";
+      break;
+    case StmtKind::Print:
+      os << pad << "print " << to_string(s->value) << ";\n";
+      break;
+    case StmtKind::Nop:
+      os << pad << ";\n";
+      break;
+  }
+}
+
+void print_body(const std::vector<Stmt*>& body, std::ostringstream& os, int indent) {
+  for (const Stmt* s : body) print_stmt(s, os, indent);
+}
+
+}  // namespace
+
+std::string to_string(const Expr* e) {
+  std::ostringstream os;
+  print_expr(e, os, 0);
+  return os.str();
+}
+
+std::string to_string(const Stmt* s, int indent) {
+  std::ostringstream os;
+  print_stmt(s, os, indent);
+  return os.str();
+}
+
+std::string to_string(const Procedure& p) {
+  std::ostringstream os;
+  os << "proc " << p.name << "(";
+  for (size_t i = 0; i < p.formals.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Variable* f = p.formals[i];
+    os << to_string(f->elem) << " " << f->name << dims_str(f);
+  }
+  os << ") {\n";
+  for (const Variable* v : p.locals) print_var_decl(v, os, 1);
+  print_body(p.body, os, 1);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Program& prog) {
+  std::ostringstream os;
+  os << "program " << prog.name() << ";\n";
+  for (const Variable* v : prog.sym_params()) {
+    os << "param " << v->name << " = " << v->param_default << ";\n";
+  }
+  for (const Variable* v : prog.globals()) {
+    os << "global ";
+    print_var_decl(v, os, 0);
+  }
+  for (const auto& p : prog.procedures()) {
+    os << "\n" << to_string(p);
+  }
+  return os.str();
+}
+
+}  // namespace suifx::ir

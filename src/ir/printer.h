@@ -1,0 +1,24 @@
+// Pretty-printer: renders IR back to SF surface syntax. Round-trips through
+// the frontend parser (tested), and is the base layer for the Explorer's
+// annotated source viewer.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace suifx::ir {
+
+/// Render a single expression.
+std::string to_string(const Expr* e);
+
+/// Render a single statement (and its nested bodies) at `indent` levels.
+std::string to_string(const Stmt* s, int indent = 0);
+
+/// Render a whole procedure.
+std::string to_string(const Procedure& p);
+
+/// Render the whole program as SF source.
+std::string to_string(const Program& prog);
+
+}  // namespace suifx::ir

@@ -1,0 +1,191 @@
+#include "ir/verify.h"
+
+#include <map>
+#include <set>
+
+#include "ir/printer.h"
+
+namespace suifx::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  Verifier(const Program& prog, Diag& diag) : prog_(prog), diag_(diag) {}
+
+  bool run() {
+    if (!prog_.finalized()) {
+      diag_.error({}, "program '" + prog_.name() + "' is not finalized");
+      return false;
+    }
+    for (const Procedure& p : prog_.procedures()) check_procedure(p);
+    check_call_graph_acyclic();
+    return !diag_.has_errors();
+  }
+
+ private:
+  void err(const Stmt* s, const std::string& msg) {
+    diag_.error({s != nullptr ? s->line : 0, 0}, msg);
+  }
+
+  bool dim_bounds_affine(const Variable* v) {
+    for (const Dim& d : v->dims) {
+      long unused = 0;
+      if (!eval_const_with_params(d.lower, &unused) ||
+          !eval_const_with_params(d.upper, &unused)) {
+        // Formal array dims may reference other scalar formals (Fortran
+        // adjustable arrays); allow any expression there.
+        if (v->kind == VarKind::Formal) continue;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void check_ref(const Expr* e, const Stmt* s) {
+    for_each_expr(e, [&](const Expr* n) {
+      if (n->kind == ExprKind::ArrayRef) {
+        if (!n->var->is_array()) {
+          err(s, "subscripted scalar '" + n->var->name + "'");
+        } else if (static_cast<int>(n->idx.size()) != n->var->rank()) {
+          err(s, "rank mismatch on '" + n->var->name + "': " +
+                     std::to_string(n->idx.size()) + " subscripts for rank " +
+                     std::to_string(n->var->rank()));
+        }
+        for (const Expr* i : n->idx) {
+          if (i->type == ScalarType::Real) {
+            err(s, "real-typed subscript on '" + n->var->name + "'");
+          }
+        }
+      } else if (n->kind == ExprKind::VarRef) {
+        if (n->var->is_array()) {
+          // Whole-array references are legal only as call actuals; assignment
+          // statements must subscript. The statement walker enforces context.
+        }
+      }
+    });
+  }
+
+  void check_call(const Stmt* s) {
+    const Procedure* callee = s->callee;
+    if (callee == nullptr) {
+      err(s, "call with null callee");
+      return;
+    }
+    if (s->args.size() != callee->formals.size()) {
+      err(s, "call to '" + callee->name + "' passes " + std::to_string(s->args.size()) +
+                 " args for " + std::to_string(callee->formals.size()) + " formals");
+      return;
+    }
+    for (size_t i = 0; i < s->args.size(); ++i) {
+      const Expr* a = s->args[i];
+      const Variable* f = callee->formals[i];
+      if (f->is_array()) {
+        bool whole = a->is_var_ref() && a->var->is_array();
+        bool elem_base = a->is_array_ref();
+        if (!whole && !elem_base) {
+          err(s, "arg " + std::to_string(i + 1) + " of '" + callee->name +
+                     "' must be an array (or array-element base)");
+        } else if (a->var->elem != f->elem) {
+          err(s, "element-type mismatch on arg " + std::to_string(i + 1) + " of '" +
+                     callee->name + "'");
+        }
+      } else {
+        if (a->is_var_ref() && a->var->is_array()) {
+          err(s, "whole array passed to scalar formal of '" + callee->name + "'");
+        }
+      }
+      check_ref(a, s);
+    }
+  }
+
+  void check_stmt(const Stmt* s) {
+    switch (s->kind) {
+      case StmtKind::Assign:
+        if (!s->lhs->is_lvalue()) {
+          err(s, "assignment target is not an lvalue");
+        } else if (s->lhs->is_var_ref() && s->lhs->var->is_array()) {
+          err(s, "whole-array assignment to '" + s->lhs->var->name + "'");
+        } else if (s->lhs->var->kind == VarKind::SymParam) {
+          err(s, "assignment to symbolic parameter '" + s->lhs->var->name + "'");
+        }
+        check_ref(s->lhs, s);
+        check_ref(s->rhs, s);
+        if (s->lhs->type == ScalarType::Int && s->rhs->type == ScalarType::Real) {
+          err(s, "implicit real->int assignment to '" + s->lhs->var->name +
+                     "' (use int())");
+        }
+        break;
+      case StmtKind::If:
+        if (s->cond->type != ScalarType::Bool) {
+          err(s, "if-condition is not boolean: " + to_string(s->cond));
+        }
+        check_ref(s->cond, s);
+        break;
+      case StmtKind::Do: {
+        if (s->ivar->elem != ScalarType::Int || s->ivar->is_array()) {
+          err(s, "loop index '" + s->ivar->name + "' must be an int scalar");
+        }
+        long step = 0;
+        if (!eval_const_with_params(s->step, &step) || step == 0) {
+          err(s, "loop step must be a non-zero integer constant");
+        }
+        check_ref(s->lb, s);
+        check_ref(s->ub, s);
+        break;
+      }
+      case StmtKind::Call:
+        check_call(s);
+        break;
+      case StmtKind::Print:
+        check_ref(s->value, s);
+        break;
+      case StmtKind::Nop:
+        break;
+    }
+  }
+
+  void check_procedure(const Procedure& p) {
+    for (const Variable* v : p.locals) {
+      if (!dim_bounds_affine(v)) {
+        diag_.error({}, "array '" + v->qualified_name() +
+                            "' has non-affine bounds over parameters");
+      }
+    }
+    p.for_each([&](Stmt* s) { check_stmt(s); });
+  }
+
+  void check_call_graph_acyclic() {
+    // Colors: 0 unvisited, 1 on stack, 2 done.
+    std::map<const Procedure*, int> color;
+    bool cyclic = false;
+    std::function<void(const Procedure*)> dfs = [&](const Procedure* p) {
+      color[p] = 1;
+      p->for_each([&](Stmt* s) {
+        if (s->kind != StmtKind::Call || cyclic) return;
+        const Procedure* q = s->callee;
+        if (color[q] == 1) {
+          diag_.error({s->line, 0}, "recursive call cycle through '" + q->name + "'");
+          cyclic = true;
+        } else if (color[q] == 0) {
+          dfs(q);
+        }
+      });
+      color[p] = 2;
+    };
+    for (const Procedure& p : prog_.procedures()) {
+      if (color[&p] == 0) dfs(&p);
+    }
+  }
+
+  const Program& prog_;
+  Diag& diag_;
+};
+
+}  // namespace
+
+bool verify(const Program& prog, Diag& diag) {
+  return Verifier(prog, diag).run();
+}
+
+}  // namespace suifx::ir

@@ -1,0 +1,18 @@
+// Structural and type verifier for finalized programs. Run after the
+// frontend (and after programmatic construction) so every downstream
+// analysis can assume a well-formed program.
+#pragma once
+
+#include "ir/ir.h"
+#include "support/diag.h"
+
+namespace suifx::ir {
+
+/// Verify `prog`; reports problems into `diag`. Returns true when clean.
+/// Checks: finalization, lvalue shapes, subscript ranks, loop-index typing,
+/// call-site/formal compatibility, dim bounds affine over SymParams, and
+/// acyclicity of the call graph (recursion is outside SF, as in the thesis's
+/// region-based analyses).
+bool verify(const Program& prog, Diag& diag);
+
+}  // namespace suifx::ir

@@ -1,0 +1,96 @@
+#include "parallelizer/parallelizer.h"
+
+namespace suifx::parallelizer {
+
+int ParallelPlan::num_parallel() const {
+  int n = 0;
+  for (const auto& [loop, plan] : loops) n += plan.parallelizable ? 1 : 0;
+  return n;
+}
+
+LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts) const {
+  LoopPlan out;
+  out.loop = loop;
+
+  std::set<const ir::Variable*> assume_priv;
+  std::set<const ir::Variable*> assume_indep;
+  auto pi = asserts.privatize.find(loop);
+  if (pi != asserts.privatize.end()) assume_priv = pi->second;
+  auto ii = asserts.independent.find(loop);
+  if (ii != asserts.independent.end()) assume_indep = ii->second;
+  bool forced = asserts.force_parallel.count(loop) != 0;
+  out.used_assertion = forced || !assume_priv.empty() || !assume_indep.empty();
+
+  out.verdict = dep_.analyze(loop, assume_priv, assume_indep);
+
+  if (out.verdict.has_io) {
+    out.reason = "contains I/O";
+    return out;
+  }
+
+  bool ok = true;
+  for (const auto& [v, verdict] : out.verdict.vars) {
+    switch (verdict.cls) {
+      case analysis::VarClass::Dependent:
+        if (forced) break;  // the user vouches for the whole loop
+        ok = false;
+        if (!out.reason.empty()) out.reason += ", ";
+        out.reason += "dependence on " + v->name;
+        break;
+      case analysis::VarClass::Privatizable: {
+        PrivateVar pv;
+        pv.var = v;
+        pv.copy_in = verdict.needs_copy_in;
+        // Finalization: prefer the liveness result (no write-back needed when
+        // the written data is dead at loop exit, §5.4); otherwise fall back
+        // to the same-region rule; otherwise privatization is illegal.
+        bool dead = live_ != nullptr &&
+                    live_->dead_at_exit(regions_.loop_region(loop), v);
+        if (dead) {
+          pv.finalize = Finalize::None;
+          out.used_liveness = true;
+        } else if (verdict.same_region_every_iter) {
+          pv.finalize = Finalize::LastIteration;
+        } else if (assume_priv.count(v) != 0 || forced) {
+          // The user asserted privatizability; treat the final value as not
+          // needed (the Assertion Checker warned if dynamic data disagrees).
+          pv.finalize = Finalize::None;
+        } else {
+          ok = false;
+          if (!out.reason.empty()) out.reason += ", ";
+          out.reason += "cannot finalize private " + v->name;
+          break;
+        }
+        out.privatized.push_back(pv);
+        break;
+      }
+      case analysis::VarClass::Reduction: {
+        ReductionVar rv;
+        rv.var = v;
+        rv.op = verdict.red_op;
+        rv.region = verdict.red_region;
+        out.reductions.push_back(rv);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  out.parallelizable = ok;
+  if (ok) out.reason.clear();
+  return out;
+}
+
+ParallelPlan Parallelizer::plan(const ir::Program& prog, const Assertions& asserts) const {
+  ParallelPlan out;
+  for (const ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Do) {
+        out.loops[s] = plan_loop(s, asserts);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace suifx::parallelizer

@@ -1,0 +1,97 @@
+// The parallelization driver (§2.4): runs the dependence/privatization/
+// reduction analyses over every loop, applies user assertions from the
+// Explorer, decides which loops are parallelizable and which transforms
+// (privatization with copy-in/finalization, parallel reductions) each needs.
+// Execution layers (interpreter, runtime, simulator) parallelize the
+// outermost parallelizable loop dynamically, as SUIF's runtime does.
+#pragma once
+
+#include "analysis/depend.h"
+#include "analysis/liveness.h"
+
+namespace suifx::parallelizer {
+
+namespace analysis = suifx::analysis;
+
+/// User assertions collected by the Explorer (§2.8).
+struct Assertions {
+  /// Per loop: variables the user asserts privatizable.
+  std::map<const ir::Stmt*, std::set<const ir::Variable*>> privatize;
+  /// Per loop: variables the user asserts independent (no carried dep).
+  std::map<const ir::Stmt*, std::set<const ir::Variable*>> independent;
+  /// Loops the user asserts fully parallelizable.
+  std::set<const ir::Stmt*> force_parallel;
+
+  bool empty() const {
+    return privatize.empty() && independent.empty() && force_parallel.empty();
+  }
+};
+
+/// How a privatized variable's final value reaches the original storage.
+enum class Finalize : uint8_t {
+  None,           // dead at loop exit (liveness) — no write-back
+  LastIteration,  // every iteration writes the same region (§5.4 base rule)
+};
+
+struct PrivateVar {
+  const ir::Variable* var = nullptr;
+  bool copy_in = false;
+  Finalize finalize = Finalize::LastIteration;
+};
+
+struct ReductionVar {
+  const ir::Variable* var = nullptr;
+  ir::BinOp op = ir::BinOp::Add;
+  poly::SectionList region;  // closed reduction region (minimization, §6.3.3)
+};
+
+struct LoopPlan {
+  const ir::Stmt* loop = nullptr;
+  analysis::LoopVerdict verdict;
+  bool parallelizable = false;
+  /// Why a non-parallel loop failed (Explorer display).
+  std::string reason;
+  std::vector<PrivateVar> privatized;
+  std::vector<ReductionVar> reductions;
+  bool used_liveness = false;   // liveness enabled a privatization
+  bool used_assertion = false;  // user input was required
+};
+
+struct ParallelPlan {
+  std::map<const ir::Stmt*, LoopPlan> loops;
+
+  const LoopPlan* find(const ir::Stmt* loop) const {
+    auto it = loops.find(loop);
+    return it != loops.end() ? &it->second : nullptr;
+  }
+  bool is_parallel(const ir::Stmt* loop) const {
+    const LoopPlan* p = find(loop);
+    return p != nullptr && p->parallelizable;
+  }
+  int num_parallel() const;
+};
+
+class Parallelizer {
+ public:
+  /// `live` may be null: the base compiler without array liveness (the
+  /// Chapter 5 ablation baseline). `enable_reductions=false` is the
+  /// Chapter 6 no-reduction baseline.
+  Parallelizer(const analysis::ArrayDataflow& df, const graph::RegionTree& regions,
+               const analysis::ArrayLiveness* live = nullptr,
+               bool enable_reductions = true)
+      : df_(df), regions_(regions), live_(live), dep_(df, enable_reductions) {}
+
+  /// Plan every loop of the program reachable from main.
+  ParallelPlan plan(const ir::Program& prog, const Assertions& asserts = {}) const;
+
+  /// Plan a single loop.
+  LoopPlan plan_loop(const ir::Stmt* loop, const Assertions& asserts = {}) const;
+
+ private:
+  const analysis::ArrayDataflow& df_;
+  const graph::RegionTree& regions_;
+  const analysis::ArrayLiveness* live_;
+  analysis::DependenceAnalysis dep_;
+};
+
+}  // namespace suifx::parallelizer

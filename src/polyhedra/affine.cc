@@ -1,0 +1,123 @@
+#include "polyhedra/affine.h"
+
+namespace suifx::poly {
+
+std::optional<LinearExpr> to_affine(const ir::Expr* e, const ScalarResolver& resolve) {
+  using ir::ExprKind;
+  switch (e->kind) {
+    case ExprKind::IntConst:
+      return LinearExpr::constant(e->ival);
+    case ExprKind::VarRef:
+      if (e->var->is_array()) return std::nullopt;
+      if (e->var->elem != ir::ScalarType::Int) return std::nullopt;
+      if (e->var->kind == ir::VarKind::SymParam) {
+        return LinearExpr::var(scalar_sym(e->var));
+      }
+      return resolve(e->var);
+    case ExprKind::Binary: {
+      auto a = to_affine(e->a, resolve);
+      if (!a) return std::nullopt;
+      auto b = to_affine(e->b, resolve);
+      if (!b) return std::nullopt;
+      switch (e->bop) {
+        case ir::BinOp::Add:
+          *a += *b;
+          return a;
+        case ir::BinOp::Sub:
+          *a -= *b;
+          return a;
+        case ir::BinOp::Mul:
+          if (b->is_constant()) {
+            *a *= b->c;
+            return a;
+          }
+          if (a->is_constant()) {
+            *b *= a->c;
+            return b;
+          }
+          return std::nullopt;
+        case ir::BinOp::Div:
+          // Exact division by a constant that divides all coefficients.
+          if (b->is_constant() && b->c != 0) {
+            long d = b->c;
+            for (const auto& [s, v] : a->terms) {
+              if (v % d != 0) return std::nullopt;
+            }
+            if (a->c % d != 0) return std::nullopt;
+            for (auto& [s, v] : a->terms) v /= d;
+            a->c /= d;
+            return a;
+          }
+          return std::nullopt;
+        default:
+          return std::nullopt;
+      }
+    }
+    case ExprKind::Unary:
+      if (e->uop == ir::UnOp::Neg) {
+        auto a = to_affine(e->a, resolve);
+        if (!a) return std::nullopt;
+        *a *= -1;
+        return a;
+      }
+      if (e->uop == ir::UnOp::IntCast) return to_affine(e->a, resolve);
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<LinearExpr> params_only(const ir::Variable* v) {
+  if (v->kind == ir::VarKind::SymParam) return LinearExpr::var(scalar_sym(v));
+  return std::nullopt;
+}
+
+namespace {
+
+/// Add declared bounds for dimension k of `var` when they are affine.
+void add_dim_bounds(LinSystem* sys, const ir::Variable* var, int k,
+                    const ScalarResolver& resolve) {
+  const ir::Dim& d = var->dims[static_cast<size_t>(k)];
+  auto lo = to_affine(d.lower, resolve);
+  auto hi = to_affine(d.upper, resolve);
+  if (lo) {
+    LinearExpr e = LinearExpr::var(dim_sym(k));
+    e -= *lo;
+    sys->add_ge(std::move(e));
+  }
+  if (hi) {
+    LinearExpr e = *hi;
+    e -= LinearExpr::var(dim_sym(k));
+    sys->add_ge(std::move(e));
+  }
+}
+
+}  // namespace
+
+LinSystem subscripts_to_section(const ir::Variable* var,
+                                const std::vector<const ir::Expr*>& idx,
+                                const ScalarResolver& resolve, bool* exact) {
+  LinSystem sys;
+  bool all_exact = true;
+  for (int k = 0; k < static_cast<int>(idx.size()); ++k) {
+    auto a = to_affine(idx[static_cast<size_t>(k)], resolve);
+    if (a) {
+      LinearExpr e = LinearExpr::var(dim_sym(k));
+      e -= *a;
+      sys.add_eq(std::move(e));
+    } else {
+      all_exact = false;
+      add_dim_bounds(&sys, var, k, resolve);
+    }
+  }
+  if (exact != nullptr) *exact = all_exact;
+  return sys;
+}
+
+LinSystem whole_array_section(const ir::Variable* var, const ScalarResolver& resolve) {
+  LinSystem sys;
+  for (int k = 0; k < var->rank(); ++k) add_dim_bounds(&sys, var, k, resolve);
+  return sys;
+}
+
+}  // namespace suifx::poly

@@ -1,0 +1,44 @@
+// Translation from IR expressions to affine LinearExprs over symbolic
+// columns. The resolver decides how scalar variables are modeled: loop
+// indices map to their own symbol, loop-invariant scalars either map to a
+// symbol or to a known affine value supplied by the symbolic analysis (§2.4).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ir/ir.h"
+#include "polyhedra/linsystem.h"
+
+namespace suifx::poly {
+
+/// Maps a scalar variable reference to an affine expression, or nullopt when
+/// the variable may not be modeled affinely in the current context.
+using ScalarResolver =
+    std::function<std::optional<LinearExpr>(const ir::Variable*)>;
+
+/// Convert `e` to an affine expression. Integer constants, SymParams, and
+/// resolver-approved scalars are affine; +, -, and multiplication by a
+/// constant are folded. Returns nullopt for anything else (the caller then
+/// falls back to a conservative whole-dimension section).
+std::optional<LinearExpr> to_affine(const ir::Expr* e, const ScalarResolver& resolve);
+
+/// The default resolver: SymParams become their scalar symbol; every other
+/// scalar is rejected.
+std::optional<LinearExpr> params_only(const ir::Variable* v);
+
+/// Build the constraint system for one subscript list of `var`: for each
+/// affine subscript k, dim_sym(k) == affine(idx_k); non-affine subscripts
+/// contribute the declared dimension bounds instead (whole dimension).
+/// Declared bounds are also added for affine dims when they are themselves
+/// affine, keeping sections within the array box. Returns the section system
+/// and reports via `exact` whether every subscript was affine.
+LinSystem subscripts_to_section(const ir::Variable* var,
+                                const std::vector<const ir::Expr*>& idx,
+                                const ScalarResolver& resolve, bool* exact);
+
+/// The whole-array section: every dimension spans its declared bounds
+/// (bounds that are not affine over params are left unconstrained).
+LinSystem whole_array_section(const ir::Variable* var, const ScalarResolver& resolve);
+
+}  // namespace suifx::poly

@@ -1,0 +1,477 @@
+#include "polyhedra/linsystem.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace suifx::poly {
+
+namespace {
+
+/// Max derived constraints before Fourier–Motzkin bails out conservatively.
+constexpr size_t kFmLimit = 768;
+
+bool mul_overflows(long a, long b) {
+  __int128 p = static_cast<__int128>(a) * b;
+  return p > INT64_MAX / 4 || p < INT64_MIN / 4;
+}
+
+long floor_div(long a, long b) {  // b > 0
+  long q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+}  // namespace
+
+SymId scalar_sym(const ir::Variable* v, int gen) {
+  return kMaxRank + 2 * (v->id * kMaxGens + gen);
+}
+SymId primed_sym(const ir::Variable* v, int gen) { return scalar_sym(v, gen) + 1; }
+
+int sym_var_id(SymId s) { return (s - kMaxRank) / 2 / kMaxGens; }
+
+std::string sym_name(SymId s, const ir::Program* prog) {
+  if (is_dim_sym(s)) return "d" + std::to_string(s);
+  int vid = sym_var_id(s);
+  int gen = ((s - kMaxRank) / 2) % kMaxGens;
+  bool primed = is_primed_sym(s);
+  std::string base = "v" + std::to_string(vid);
+  if (prog != nullptr && vid < prog->num_vars()) {
+    base = prog->variables()[static_cast<size_t>(vid)].name;
+  }
+  if (gen != 0) base += "#" + std::to_string(gen);
+  return primed ? base + "'" : base;
+}
+
+// ---------------------------------------------------------------------------
+// LinearExpr
+// ---------------------------------------------------------------------------
+
+LinearExpr LinearExpr::constant(long v) {
+  LinearExpr e;
+  e.c = v;
+  return e;
+}
+
+LinearExpr LinearExpr::var(SymId s, long coef) {
+  LinearExpr e;
+  if (coef != 0) e.terms.push_back({s, coef});
+  return e;
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& o) {
+  std::vector<std::pair<SymId, long>> merged;
+  merged.reserve(terms.size() + o.terms.size());
+  size_t i = 0, j = 0;
+  while (i < terms.size() || j < o.terms.size()) {
+    if (j >= o.terms.size() || (i < terms.size() && terms[i].first < o.terms[j].first)) {
+      merged.push_back(terms[i++]);
+    } else if (i >= terms.size() || o.terms[j].first < terms[i].first) {
+      merged.push_back(o.terms[j++]);
+    } else {
+      long s = terms[i].second + o.terms[j].second;
+      if (s != 0) merged.push_back({terms[i].first, s});
+      ++i;
+      ++j;
+    }
+  }
+  terms = std::move(merged);
+  c += o.c;
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& o) {
+  LinearExpr neg = o;
+  neg *= -1;
+  return *this += neg;
+}
+
+LinearExpr& LinearExpr::operator*=(long k) {
+  if (k == 0) {
+    terms.clear();
+    c = 0;
+    return *this;
+  }
+  for (auto& [s, v] : terms) v *= k;
+  c *= k;
+  return *this;
+}
+
+bool LinearExpr::involves(SymId s) const {
+  for (const auto& [id, v] : terms) {
+    if (id == s) return v != 0;
+  }
+  return false;
+}
+
+std::string LinearExpr::str(const ir::Program* prog) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [s, v] : terms) {
+    if (v >= 0 && !first) os << "+";
+    if (v == -1) os << "-";
+    else if (v != 1) os << v << "*";
+    os << sym_name(s, prog);
+    first = false;
+  }
+  if (c != 0 || first) {
+    if (c >= 0 && !first) os << "+";
+    os << c;
+  }
+  return os.str();
+}
+
+namespace {
+
+long coef_of(const LinearExpr& e, SymId s) {
+  for (const auto& [id, v] : e.terms) {
+    if (id == s) return v;
+  }
+  return 0;
+}
+
+/// Remove the term for `s` from `e`.
+LinearExpr drop_term(const LinearExpr& e, SymId s) {
+  LinearExpr out;
+  out.c = e.c;
+  for (const auto& t : e.terms) {
+    if (t.first != s) out.terms.push_back(t);
+  }
+  return out;
+}
+
+/// a*x + b*y with overflow check; returns nullopt on overflow.
+std::optional<LinearExpr> combine(long a, const LinearExpr& x, long b, const LinearExpr& y) {
+  for (const auto& [s, v] : x.terms) {
+    if (mul_overflows(a, v)) return std::nullopt;
+  }
+  for (const auto& [s, v] : y.terms) {
+    if (mul_overflows(b, v)) return std::nullopt;
+  }
+  if (mul_overflows(a, x.c) || mul_overflows(b, y.c)) return std::nullopt;
+  LinearExpr xa = x;
+  xa *= a;
+  LinearExpr yb = y;
+  yb *= b;
+  xa += yb;
+  return xa;
+}
+
+enum class Norm { Keep, TriviallyTrue, Contradiction };
+
+/// Normalize: divide by the gcd of the coefficients; for inequalities, floor
+/// the constant (integer tightening). Detects ground contradictions.
+Norm normalize(Constraint& con) {
+  long g = 0;
+  for (const auto& [s, v] : con.expr.terms) g = std::gcd(g, std::abs(v));
+  if (g == 0) {
+    // Ground constraint.
+    if (con.is_eq) return con.expr.c == 0 ? Norm::TriviallyTrue : Norm::Contradiction;
+    return con.expr.c >= 0 ? Norm::TriviallyTrue : Norm::Contradiction;
+  }
+  if (g > 1) {
+    for (auto& [s, v] : con.expr.terms) v /= g;
+    if (con.is_eq) {
+      if (con.expr.c % g != 0) return Norm::Contradiction;  // no integer solution
+      con.expr.c /= g;
+    } else {
+      con.expr.c = floor_div(con.expr.c, g);
+    }
+  }
+  return Norm::Keep;
+}
+
+std::string constraint_key(const Constraint& con) {
+  std::string k = con.is_eq ? "E" : "G";
+  for (const auto& [s, v] : con.expr.terms) {
+    k += std::to_string(s) + ":" + std::to_string(v) + ",";
+  }
+  k += "#" + std::to_string(con.expr.c);
+  return k;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LinSystem
+// ---------------------------------------------------------------------------
+
+LinSystem LinSystem::bottom() {
+  LinSystem s;
+  s.add_ge(LinearExpr::constant(-1));
+  return s;
+}
+
+void LinSystem::add(Constraint c) {
+  switch (normalize(c)) {
+    case Norm::TriviallyTrue:
+      return;
+    case Norm::Contradiction:
+      cons_.clear();
+      cons_.push_back({LinearExpr::constant(-1), false});
+      return;
+    case Norm::Keep:
+      cons_.push_back(std::move(c));
+      return;
+  }
+}
+
+void LinSystem::add_eq(LinearExpr e) { add({std::move(e), true}); }
+void LinSystem::add_ge(LinearExpr e) { add({std::move(e), false}); }
+
+void LinSystem::add_range(SymId s, const LinearExpr& lo, const LinearExpr& hi) {
+  LinearExpr a = LinearExpr::var(s);
+  a -= lo;
+  add_ge(std::move(a));  // s - lo >= 0
+  LinearExpr b = hi;
+  b -= LinearExpr::var(s);
+  add_ge(std::move(b));  // hi - s >= 0
+}
+
+std::vector<SymId> LinSystem::symbols() const {
+  std::vector<SymId> out;
+  for (const Constraint& con : cons_) {
+    for (const auto& [s, v] : con.expr.terms) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool LinSystem::involves(SymId s) const {
+  for (const Constraint& con : cons_) {
+    if (con.expr.involves(s)) return true;
+  }
+  return false;
+}
+
+LinSystem LinSystem::intersect(const LinSystem& a, const LinSystem& b) {
+  LinSystem out = a;
+  for (const Constraint& con : b.cons_) out.add(con);
+  return out;
+}
+
+namespace {
+
+/// Eliminate `s` from `cons` (FM / Gaussian on equalities). Returns nullopt
+/// when the derived system exceeds the work limit or overflows — callers
+/// treat that as "unknown", the conservative direction.
+std::optional<std::vector<Constraint>> eliminate(std::vector<Constraint> cons, SymId s) {
+  // Prefer Gaussian elimination through an equality containing s.
+  int eq_idx = -1;
+  for (size_t i = 0; i < cons.size(); ++i) {
+    if (cons[i].is_eq && cons[i].expr.involves(s)) {
+      eq_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  std::vector<Constraint> out;
+  if (eq_idx >= 0) {
+    Constraint eq = cons[static_cast<size_t>(eq_idx)];
+    long a = coef_of(eq.expr, s);
+    if (a < 0) {
+      eq.expr *= -1;  // equalities may be negated freely
+      a = -a;
+    }
+    for (size_t i = 0; i < cons.size(); ++i) {
+      if (static_cast<int>(i) == eq_idx) continue;
+      const Constraint& c2 = cons[i];
+      long b = coef_of(c2.expr, s);
+      if (b == 0) {
+        out.push_back(c2);
+        continue;
+      }
+      long g = std::gcd(a, std::abs(b));
+      // (a/g)*c2 - (b/g)*eq keeps the multiplier on c2 positive, preserving
+      // inequality direction.
+      auto combined = combine(a / g, c2.expr, -b / g, eq.expr);
+      if (!combined) return std::nullopt;
+      Constraint nc{std::move(*combined), c2.is_eq};
+      switch (normalize(nc)) {
+        case Norm::TriviallyTrue: break;
+        case Norm::Contradiction:
+          return std::vector<Constraint>{{LinearExpr::constant(-1), false}};
+        case Norm::Keep: out.push_back(std::move(nc)); break;
+      }
+    }
+    return out;
+  }
+  // Pure FM over inequalities (no equality mentions s here).
+  std::vector<const Constraint*> pos, neg;
+  for (const Constraint& con : cons) {
+    long a = coef_of(con.expr, s);
+    if (a > 0) pos.push_back(&con);
+    else if (a < 0) neg.push_back(&con);
+    else out.push_back(con);
+  }
+  if (pos.size() * neg.size() + out.size() > kFmLimit) return std::nullopt;
+  for (const Constraint* p : pos) {
+    long a = coef_of(p->expr, s);
+    for (const Constraint* n : neg) {
+      long bp = -coef_of(n->expr, s);  // > 0
+      long g = std::gcd(a, bp);
+      auto combined = combine(bp / g, p->expr, a / g, n->expr);
+      if (!combined) return std::nullopt;
+      Constraint nc{std::move(*combined), false};
+      switch (normalize(nc)) {
+        case Norm::TriviallyTrue: break;
+        case Norm::Contradiction:
+          return std::vector<Constraint>{{LinearExpr::constant(-1), false}};
+        case Norm::Keep: out.push_back(std::move(nc)); break;
+      }
+    }
+  }
+  // Deduplicate to curb growth.
+  std::sort(out.begin(), out.end(), [](const Constraint& x, const Constraint& y) {
+    return constraint_key(x) < constraint_key(y);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Constraint& x, const Constraint& y) {
+                          return constraint_key(x) == constraint_key(y);
+                        }),
+            out.end());
+  return out;
+}
+
+bool ground_contradiction(const std::vector<Constraint>& cons) {
+  for (const Constraint& con : cons) {
+    if (!con.expr.terms.empty()) continue;
+    if (con.is_eq ? con.expr.c != 0 : con.expr.c < 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LinSystem::is_empty() const {
+  std::vector<Constraint> work = cons_;
+  if (ground_contradiction(work)) return true;
+  for (;;) {
+    // Collect remaining symbols.
+    std::vector<SymId> syms;
+    for (const Constraint& con : work) {
+      for (const auto& [s, v] : con.expr.terms) syms.push_back(s);
+    }
+    std::sort(syms.begin(), syms.end());
+    syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
+    if (syms.empty()) return ground_contradiction(work);
+    // Pick the symbol minimizing FM fan-out.
+    SymId best = syms[0];
+    size_t best_cost = SIZE_MAX;
+    for (SymId s : syms) {
+      size_t p = 0, n = 0;
+      bool has_eq = false;
+      for (const Constraint& con : work) {
+        long a = coef_of(con.expr, s);
+        if (a == 0) continue;
+        if (con.is_eq) has_eq = true;
+        else if (a > 0) ++p;
+        else ++n;
+      }
+      size_t cost = has_eq ? 0 : p * n;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = s;
+      }
+    }
+    auto next = eliminate(std::move(work), best);
+    if (!next) return false;  // bail out: may be non-empty
+    work = std::move(*next);
+    if (ground_contradiction(work)) return true;
+    if (work.size() > kFmLimit) return false;
+  }
+}
+
+LinSystem LinSystem::project_out(SymId s) const {
+  if (!involves(s)) return *this;
+  auto next = eliminate(cons_, s);
+  LinSystem out;
+  if (!next) {
+    // Bail out: drop every constraint touching s. The result is a superset
+    // of the exact projection (conservative for access summaries).
+    for (const Constraint& con : cons_) {
+      if (!con.expr.involves(s)) out.add(con);
+    }
+    return out;
+  }
+  for (Constraint& con : *next) out.add(std::move(con));
+  return out;
+}
+
+LinSystem LinSystem::project_out_if(const std::function<bool(SymId)>& pred) const {
+  LinSystem out = *this;
+  for (SymId s : symbols()) {
+    if (pred(s)) out = out.project_out(s);
+  }
+  return out;
+}
+
+bool LinSystem::contains(const LinSystem& other) const {
+  for (const Constraint& con : cons_) {
+    // Refute: does any point of `other` violate `con`?
+    if (con.is_eq) {
+      for (long dir : {+1L, -1L}) {
+        LinSystem probe = other;
+        LinearExpr e = con.expr;
+        e *= dir;
+        e.c -= 1;
+        probe.add_ge(std::move(e));  // dir*expr >= 1
+        if (!probe.is_empty()) return false;
+      }
+    } else {
+      LinSystem probe = other;
+      LinearExpr e = con.expr;
+      e *= -1;
+      e.c -= 1;
+      probe.add_ge(std::move(e));  // expr <= -1
+      if (!probe.is_empty()) return false;
+    }
+  }
+  return true;
+}
+
+LinSystem LinSystem::substitute(SymId s, const LinearExpr& e) const {
+  LinSystem out;
+  for (const Constraint& con : cons_) {
+    long a = coef_of(con.expr, s);
+    if (a == 0) {
+      out.add(con);
+      continue;
+    }
+    LinearExpr ne = drop_term(con.expr, s);
+    LinearExpr scaled = e;
+    scaled *= a;
+    ne += scaled;
+    out.add({std::move(ne), con.is_eq});
+  }
+  return out;
+}
+
+LinSystem LinSystem::rename(const std::map<SymId, SymId>& m) const {
+  LinSystem out;
+  for (const Constraint& con : cons_) {
+    LinearExpr ne;
+    ne.c = con.expr.c;
+    for (const auto& [s, v] : con.expr.terms) {
+      auto it = m.find(s);
+      ne += LinearExpr::var(it != m.end() ? it->second : s, v);
+    }
+    out.add({std::move(ne), con.is_eq});
+  }
+  return out;
+}
+
+std::string LinSystem::str(const ir::Program* prog) const {
+  if (cons_.empty()) return "{true}";
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < cons_.size(); ++i) {
+    if (i > 0) os << " && ";
+    os << cons_[i].expr.str(prog) << (cons_[i].is_eq ? " == 0" : " >= 0");
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace suifx::poly

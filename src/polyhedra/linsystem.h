@@ -1,0 +1,119 @@
+// Systems of integer linear inequalities — the array-section representation
+// of §5.2.1/§2.4: "array regions are represented as sets of systems of linear
+// inequalities, and general mathematical algorithms are used to precisely
+// capture the data accesses".
+//
+// A LinSystem is a conjunction of constraints over a sparse set of symbolic
+// columns (SymIds). Satisfiability and projection use Fourier–Motzkin
+// elimination over rationals with exact integer tightening; all conservative
+// bail-outs err toward "may be non-empty" / "not contained", which is the
+// safe direction for dependence and liveness clients.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::poly {
+
+/// Global symbolic-column identifiers. Columns 0..kMaxRank-1 are reserved for
+/// array dimension indices. A scalar program variable gets one symbol per
+/// "generation" (the symbolic analysis bumps the generation at opaque
+/// redefinitions), and each generation has a "primed" twin used as the
+/// second-iteration copy in cross-iteration dependence systems.
+using SymId = int;
+inline constexpr int kMaxRank = 8;
+inline constexpr int kMaxGens = 64;
+
+inline SymId dim_sym(int k) { return k; }
+inline bool is_dim_sym(SymId s) { return s < kMaxRank; }
+SymId scalar_sym(const ir::Variable* v, int gen = 0);
+SymId primed_sym(const ir::Variable* v, int gen = 0);
+inline bool is_primed_sym(SymId s) { return s >= kMaxRank && ((s - kMaxRank) & 1) != 0; }
+inline SymId prime_of(SymId s) { return s + 1; }
+/// The variable id owning a scalar symbol (any generation).
+int sym_var_id(SymId s);
+/// Human-readable name for diagnostics.
+std::string sym_name(SymId s, const ir::Program* prog);
+
+/// An affine expression  sum(coef_i * sym_i) + c  over symbolic columns.
+struct LinearExpr {
+  std::vector<std::pair<SymId, long>> terms;  // sorted by SymId, coef != 0
+  long c = 0;
+
+  static LinearExpr constant(long v);
+  static LinearExpr var(SymId s, long coef = 1);
+  LinearExpr& operator+=(const LinearExpr& o);
+  LinearExpr& operator-=(const LinearExpr& o);
+  LinearExpr& operator*=(long k);
+  bool is_constant() const { return terms.empty(); }
+  bool involves(SymId s) const;
+  std::string str(const ir::Program* prog = nullptr) const;
+};
+
+/// One linear constraint: expr == 0 (is_eq) or expr >= 0.
+struct Constraint {
+  LinearExpr expr;
+  bool is_eq = false;
+};
+
+/// A conjunction of linear constraints (a convex polyhedron of integer
+/// points). The empty constraint list is the universe.
+class LinSystem {
+ public:
+  LinSystem() = default;
+
+  static LinSystem universe() { return {}; }
+  /// A system containing a single trivially false constraint.
+  static LinSystem bottom();
+
+  void add_eq(LinearExpr e);       // e == 0
+  void add_ge(LinearExpr e);       // e >= 0
+  /// lo <= sym <= hi with affine bounds.
+  void add_range(SymId s, const LinearExpr& lo, const LinearExpr& hi);
+
+  const std::vector<Constraint>& constraints() const { return cons_; }
+  int size() const { return static_cast<int>(cons_.size()); }
+  bool trivially_true() const { return cons_.empty(); }
+
+  /// All SymIds mentioned with nonzero coefficient.
+  std::vector<SymId> symbols() const;
+  bool involves(SymId s) const;
+
+  /// Rational Fourier–Motzkin satisfiability: returns true only when the
+  /// system is provably integer-empty (rational emptiness implies integer
+  /// emptiness); explosion bails out to false (may be non-empty).
+  bool is_empty() const;
+
+  /// Conjunction of the two systems.
+  static LinSystem intersect(const LinSystem& a, const LinSystem& b);
+
+  /// Existentially project a symbol away (FM elimination; exact on the
+  /// rational relaxation, conservative over integers — the projection is a
+  /// superset of the true shadow, the safe direction for access summaries).
+  LinSystem project_out(SymId s) const;
+  LinSystem project_out_if(const std::function<bool(SymId)>& pred) const;
+
+  /// Does every integer point of `other` satisfy this system? Sound: only
+  /// answers true when provable. (Containment of convex systems via
+  /// constraint-wise refutation.)
+  bool contains(const LinSystem& other) const;
+
+  /// Replace `s` by an affine expression not involving `s`.
+  LinSystem substitute(SymId s, const LinearExpr& e) const;
+  /// Rename symbols (ids absent from the map are unchanged).
+  LinSystem rename(const std::map<SymId, SymId>& m) const;
+
+  std::string str(const ir::Program* prog = nullptr) const;
+
+ private:
+  void add(Constraint c);
+  std::vector<Constraint> cons_;
+};
+
+}  // namespace suifx::poly

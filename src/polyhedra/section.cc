@@ -1,0 +1,246 @@
+#include "polyhedra/section.h"
+
+#include <sstream>
+
+namespace suifx::poly {
+
+namespace {
+/// Part budget per section list; beyond this, parts are merged by weakening.
+constexpr int kMaxParts = 10;
+}  // namespace
+
+SectionList SectionList::single(LinSystem s) {
+  SectionList out;
+  out.add(std::move(s));
+  return out;
+}
+
+bool SectionList::empty() const {
+  for (const LinSystem& p : parts_) {
+    if (!p.is_empty()) return false;
+  }
+  return true;
+}
+
+LinSystem SectionList::weaken_union(const LinSystem& a, const LinSystem& b) {
+  // A convex superset of a ∪ b: the constraints of `a` that also hold over
+  // all of `b`. (The "conservative and avoids expensive calculations"
+  // intersection-style operator of §5.2.1.)
+  LinSystem out;
+  for (const Constraint& con : a.constraints()) {
+    LinSystem test;
+    if (con.is_eq) {
+      test.add_eq(con.expr);
+    } else {
+      test.add_ge(con.expr);
+    }
+    if (test.contains(b)) {
+      if (con.is_eq) out.add_eq(con.expr);
+      else out.add_ge(con.expr);
+    }
+  }
+  return out;
+}
+
+void SectionList::add(LinSystem s) {
+  if (s.is_empty()) return;
+  for (const LinSystem& p : parts_) {
+    if (p.contains(s)) return;  // already covered
+  }
+  if (static_cast<int>(parts_.size()) >= kMaxParts) {
+    // Merge into the last part by weakening (still a superset of the union).
+    LinSystem merged = weaken_union(parts_.back(), s);
+    parts_.back() = std::move(merged);
+    return;
+  }
+  parts_.push_back(std::move(s));
+}
+
+void SectionList::unite(const SectionList& o) {
+  for (const LinSystem& p : o.parts_) add(p);
+}
+
+SectionList SectionList::intersect(const SectionList& a, const SectionList& b) {
+  SectionList out;
+  for (const LinSystem& pa : a.parts_) {
+    for (const LinSystem& pb : b.parts_) {
+      LinSystem i = LinSystem::intersect(pa, pb);
+      if (!i.is_empty()) out.add(std::move(i));
+    }
+  }
+  return out;
+}
+
+bool SectionList::disjoint_from(const SectionList& o) const {
+  for (const LinSystem& pa : parts_) {
+    for (const LinSystem& pb : o.parts_) {
+      if (!LinSystem::intersect(pa, pb).is_empty()) return false;
+    }
+  }
+  return true;
+}
+
+SectionList SectionList::minus_contained(const SectionList& must) const {
+  SectionList out;
+  for (const LinSystem& p : parts_) {
+    bool killed = false;
+    for (const LinSystem& m : must.systems()) {
+      if (m.contains(p)) {
+        killed = true;
+        break;
+      }
+    }
+    if (!killed) out.add(p);
+  }
+  return out;
+}
+
+SectionList SectionList::subtract(const SectionList& other) const {
+  std::vector<LinSystem> work = parts_;
+  for (const LinSystem& b : other.systems()) {
+    std::vector<LinSystem> next;
+    for (const LinSystem& a : work) {
+      if (b.contains(a)) continue;  // fully removed
+      if (LinSystem::intersect(a, b).is_empty()) {
+        next.push_back(a);  // untouched
+        continue;
+      }
+      // a ∧ ¬b: one piece per violated constraint of b.
+      for (const Constraint& con : b.constraints()) {
+        if (con.is_eq) {
+          for (long dir : {+1L, -1L}) {
+            LinSystem piece = a;
+            LinearExpr e = con.expr;
+            e *= dir;
+            e.c -= 1;
+            piece.add_ge(std::move(e));  // dir*expr >= 1
+            if (!piece.is_empty()) next.push_back(std::move(piece));
+          }
+        } else {
+          LinSystem piece = a;
+          LinearExpr e = con.expr;
+          e *= -1;
+          e.c -= 1;
+          piece.add_ge(std::move(e));  // expr <= -1
+          if (!piece.is_empty()) next.push_back(std::move(piece));
+        }
+      }
+    }
+    work = std::move(next);
+  }
+  SectionList out;
+  for (LinSystem& sys : work) out.add(std::move(sys));
+  return out;
+}
+
+bool SectionList::covers(const LinSystem& sys) const {
+  for (const LinSystem& p : parts_) {
+    if (p.contains(sys)) return true;
+  }
+  return false;
+}
+
+bool SectionList::covers_all(const SectionList& o) const {
+  for (const LinSystem& p : o.parts_) {
+    if (!covers(p)) return false;
+  }
+  return true;
+}
+
+SectionList SectionList::project_out(SymId s) const {
+  SectionList out;
+  for (const LinSystem& p : parts_) out.add(p.project_out(s));
+  return out;
+}
+
+SectionList SectionList::project_out_if(const std::function<bool(SymId)>& pred) const {
+  SectionList out;
+  for (const LinSystem& p : parts_) out.add(p.project_out_if(pred));
+  return out;
+}
+
+SectionList SectionList::substitute(SymId s, const LinearExpr& e) const {
+  SectionList out;
+  for (const LinSystem& p : parts_) out.add(p.substitute(s, e));
+  return out;
+}
+
+SectionList SectionList::rename(const std::map<SymId, SymId>& m) const {
+  SectionList out;
+  for (const LinSystem& p : parts_) out.add(p.rename(m));
+  return out;
+}
+
+std::string SectionList::str(const ir::Program* prog) const {
+  if (parts_.empty()) return "{}";
+  std::ostringstream os;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) os << " U ";
+    os << parts_[i].str(prog);
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ArraySummary
+// ---------------------------------------------------------------------------
+
+ArraySummary ArraySummary::meet(const ArraySummary& a, const ArraySummary& b) {
+  ArraySummary out;
+  out.R = a.R;
+  out.R.unite(b.R);
+  out.E = a.E;
+  out.E.unite(b.E);
+  out.W = a.W;
+  out.W.unite(b.W);
+  // Must-writes only survive when written on both paths. Also fold each
+  // side's must-writes into the other's may-writes so no write is lost.
+  out.M = SectionList::intersect(a.M, b.M);
+  out.W.unite(a.M.minus_contained(out.M));
+  out.W.unite(b.M.minus_contained(out.M));
+  return out;
+}
+
+ArraySummary ArraySummary::compose(const ArraySummary& node, const ArraySummary& after) {
+  ArraySummary out;
+  out.R = node.R;
+  out.R.unite(after.R);
+  out.E = node.E;
+  out.E.unite(after.E.minus_contained(node.M));
+  out.W = node.W;
+  out.W.unite(after.W);
+  out.M = node.M;
+  out.M.unite(after.M);
+  return out;
+}
+
+ArraySummary ArraySummary::project_out_if(const std::function<bool(SymId)>& pred) const {
+  ArraySummary out;
+  out.R = R.project_out_if(pred);
+  out.E = E.project_out_if(pred);
+  out.W = W.project_out_if(pred);
+  // Projecting the loop index out of M unions the per-iteration must-writes.
+  // Under SF's full-trip DO semantics every iteration executes, so each such
+  // element really is written: the union is a valid must-write of the whole
+  // loop (the closure operator of Fig 5-2).
+  out.M = M.project_out_if(pred);
+  return out;
+}
+
+ArraySummary ArraySummary::rename(const std::map<SymId, SymId>& m) const {
+  ArraySummary out;
+  out.R = R.rename(m);
+  out.E = E.rename(m);
+  out.W = W.rename(m);
+  out.M = M.rename(m);
+  return out;
+}
+
+std::string ArraySummary::str(const ir::Program* prog) const {
+  std::ostringstream os;
+  os << "R=" << R.str(prog) << " E=" << E.str(prog) << " W=" << W.str(prog)
+     << " M=" << M.str(prog);
+  return os.str();
+}
+
+}  // namespace suifx::poly

@@ -1,0 +1,90 @@
+// Array sections as finite unions of convex linear-inequality systems, plus
+// the containment-based conservative set algebra used by the array data-flow
+// analyses (§5.2.1). All approximation directions are documented at each
+// operation; clients rely on: may-sets grow conservatively, must-sets shrink
+// conservatively.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "polyhedra/linsystem.h"
+
+namespace suifx::poly {
+
+class SectionList {
+ public:
+  SectionList() = default;
+
+  static SectionList single(LinSystem s);
+
+  bool empty() const;  // definitely no integer points
+  int parts() const { return static_cast<int>(parts_.size()); }
+  const std::vector<LinSystem>& systems() const { return parts_; }
+
+  /// Add one convex part (skips parts already covered; merges by weakening
+  /// when the part budget is exhausted — result only ever grows).
+  void add(LinSystem s);
+  void unite(const SectionList& o);
+
+  static SectionList intersect(const SectionList& a, const SectionList& b);
+
+  /// True when provably no common integer point with `o` (sound: a false
+  /// return means "may overlap").
+  bool disjoint_from(const SectionList& o) const;
+
+  /// The thesis-style conservative subtraction: drop parts fully contained in
+  /// some part of `must`; the result is a superset of the exact difference.
+  SectionList minus_contained(const SectionList& must) const;
+
+  /// Exact convex-decomposition subtraction: A ∧ ¬B expanded constraint-wise
+  /// (each part of `other` with k constraints splits a part into ≤ k+1
+  /// pieces). Part-budget overflow degrades to a superset — still sound for
+  /// exposed-read sets. Used by the §5.2.2.3 sharpening.
+  SectionList subtract(const SectionList& other) const;
+
+  /// Is `sys` provably covered by a single part? (Union-covering is not
+  /// attempted — sound, may answer false.)
+  bool covers(const LinSystem& sys) const;
+  /// Every part of `o` covered by some part of this.
+  bool covers_all(const SectionList& o) const;
+
+  SectionList project_out(SymId s) const;
+  SectionList project_out_if(const std::function<bool(SymId)>& pred) const;
+  SectionList substitute(SymId s, const LinearExpr& e) const;
+  SectionList rename(const std::map<SymId, SymId>& m) const;
+
+  /// Keep only parts whose system still involves a dimension symbol or is
+  /// the universe; used after projections to tidy summaries.
+  std::string str(const ir::Program* prog = nullptr) const;
+
+ private:
+  static LinSystem weaken_union(const LinSystem& a, const LinSystem& b);
+  std::vector<LinSystem> parts_;
+};
+
+/// Per-array access summary: the four-tuple <R, E, W, M> of §5.2.1 —
+/// may-read, upwards-exposed read, may-write, must-write sections. The
+/// systems constrain dim_sym(k) columns plus symbolic scalars/params.
+struct ArraySummary {
+  SectionList R;  // all sections that may have been read
+  SectionList E;  // upwards-exposed read sections
+  SectionList W;  // may-write sections (disjoint from M by convention)
+  SectionList M;  // must-write sections
+
+  /// Meet at control-flow joins:  <R1∪R2, E1∪E2, W1∪W2, M1∩M2>.
+  static ArraySummary meet(const ArraySummary& a, const ArraySummary& b);
+
+  /// Sequential composition: `node` executes before `after` (backward
+  /// traversal transfer function of Fig 5-2):
+  ///   <Rn∪R, En∪(E−Mn), Wn∪W, Mn∪M>.
+  static ArraySummary compose(const ArraySummary& node, const ArraySummary& after);
+
+  ArraySummary project_out_if(const std::function<bool(SymId)>& pred) const;
+  ArraySummary rename(const std::map<SymId, SymId>& m) const;
+
+  bool all_empty() const { return R.empty() && E.empty() && W.empty() && M.empty(); }
+  std::string str(const ir::Program* prog = nullptr) const;
+};
+
+}  // namespace suifx::poly

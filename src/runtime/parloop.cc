@@ -1,0 +1,106 @@
+#include "runtime/parloop.h"
+
+#include <algorithm>
+
+namespace suifx::runtime {
+
+std::vector<IterRange> block_schedule(long trip_count, int nproc) {
+  std::vector<IterRange> out;
+  out.reserve(static_cast<size_t>(nproc));
+  for (int p = 0; p < nproc; ++p) {
+    IterRange r;
+    r.begin = trip_count * p / nproc;
+    r.end = trip_count * (p + 1) / nproc;
+    out.push_back(r);
+  }
+  return out;
+}
+
+ThreadPool::ThreadPool(int nthreads) {
+  for (int i = 1; i < nthreads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(int id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = fn_;
+    }
+    (*fn)(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    remaining_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  cv_.notify_all();
+  fn(0);  // the calling thread is processor 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+ParallelRuntime::ParallelRuntime(int nproc) : pool_(std::max(1, nproc)) {}
+
+int ParallelRuntime::nproc() const { return pool_.size(); }
+
+void ParallelRuntime::parallel_chunks(
+    long trip_count, const std::function<void(int proc, IterRange r)>& fn) {
+  if (in_parallel_ || trip_count <= 0) {
+    // Nested parallelism is suppressed: run everything on this processor.
+    ++regions_serialized_;
+    fn(0, {0, trip_count});
+    return;
+  }
+  ++regions_spawned_;
+  in_parallel_ = true;
+  std::vector<IterRange> chunks = block_schedule(trip_count, pool_.size());
+  pool_.run([&](int proc) { fn(proc, chunks[static_cast<size_t>(proc)]); });
+  in_parallel_ = false;
+}
+
+void ParallelRuntime::parallel_do(long lb, long ub, long step,
+                                  const std::function<void(long, int)>& body,
+                                  double est_cost_per_iter) {
+  if (step == 0) return;
+  long trip = step > 0 ? (ub - lb + step) / step : (lb - ub - step) / (-step);
+  trip = std::max<long>(0, trip);
+  if (in_parallel_ ||
+      static_cast<double>(trip) * est_cost_per_iter < serial_threshold_) {
+    ++regions_serialized_;
+    for (long k = 0; k < trip; ++k) body(lb + k * step, 0);
+    return;
+  }
+  parallel_chunks(trip, [&](int proc, IterRange r) {
+    for (long k = r.begin; k < r.end; ++k) body(lb + k * step, proc);
+  });
+}
+
+}  // namespace suifx::runtime

@@ -1,0 +1,93 @@
+// SPMD parallel-loop runtime — the library SUIF's generated C code calls
+// (§4.5, §6.3): block-scheduled parallel DO loops over a persistent worker
+// pool, suppression of nested parallelism, and a run-time serial fallback
+// for loops too fine-grained to profit ("the run-time system estimates the
+// amount of computation ... and runs the loop sequentially if it is
+// considered too fine-grained", §4.5).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace suifx::runtime {
+
+/// Iteration range [begin, end) with stride 1 assigned to one worker.
+struct IterRange {
+  long begin = 0;
+  long end = 0;
+};
+
+/// Block distribution: iterations [lb, ub] step `step` split across `nproc`
+/// processors the way SUIF divides them ("evenly divided between the
+/// processors at the time the parallel loop is spawned").
+std::vector<IterRange> block_schedule(long trip_count, int nproc);
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(proc_id) on every processor (the calling thread acts as
+  /// processor 0) and wait for completion.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(int)>* fn = nullptr;
+    uint64_t epoch = 0;
+  };
+  void worker_main(int id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;
+  uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+/// The loop executor. Not reentrant from inside a parallel region: nested
+/// parallel loops run serially on the calling worker (SUIF's policy).
+class ParallelRuntime {
+ public:
+  explicit ParallelRuntime(int nproc);
+
+  int nproc() const;
+
+  /// Execute body(i) for i in [lb, ub] step `step`. Runs serially when
+  /// trip_count * est_cost_per_iter < serial_threshold, or when called from
+  /// inside an active parallel region.
+  void parallel_do(long lb, long ub, long step,
+                   const std::function<void(long i, int proc)>& body,
+                   double est_cost_per_iter = 1e9);
+
+  /// Lower-level: run fn(proc, range) per processor for a trip count.
+  void parallel_chunks(long trip_count,
+                       const std::function<void(int proc, IterRange r)>& fn);
+
+  bool in_parallel() const { return in_parallel_; }
+  void set_serial_threshold(double units) { serial_threshold_ = units; }
+
+  /// Number of parallel regions actually spawned (tests / stats).
+  uint64_t regions_spawned() const { return regions_spawned_; }
+  uint64_t regions_serialized() const { return regions_serialized_; }
+
+ private:
+  ThreadPool pool_;
+  std::atomic<bool> in_parallel_{false};
+  double serial_threshold_ = 64.0;
+  std::atomic<uint64_t> regions_spawned_{0};
+  std::atomic<uint64_t> regions_serialized_{0};
+};
+
+}  // namespace suifx::runtime

@@ -1,0 +1,30 @@
+#include "runtime/privatize.h"
+
+#include <algorithm>
+
+namespace suifx::runtime {
+
+PrivateArray::PrivateArray(double* shared, long size, int nproc, bool copy_in,
+                           FinalizePolicy policy)
+    : shared_(shared), size_(size), copy_in_(copy_in), policy_(policy),
+      priv_(static_cast<size_t>(nproc)) {}
+
+double* PrivateArray::local(int proc) {
+  std::vector<double>& p = priv_[static_cast<size_t>(proc)];
+  if (p.empty()) {
+    if (copy_in_) {
+      p.assign(shared_, shared_ + size_);
+    } else {
+      p.assign(static_cast<size_t>(size_), 0.0);
+    }
+  }
+  return p.data();
+}
+
+void PrivateArray::finalize(int last_iteration_proc) {
+  if (policy_ != FinalizePolicy::LastIteration) return;
+  std::vector<double>& p = priv_[static_cast<size_t>(last_iteration_proc)];
+  if (!p.empty()) std::copy(p.begin(), p.end(), shared_);
+}
+
+}  // namespace suifx::runtime

@@ -1,0 +1,35 @@
+// Privatization runtime: per-processor private copies of a shared array with
+// optional copy-in of upward-exposed values and two finalization policies —
+// none (array liveness proved the values dead at loop exit, §5.4) or
+// last-iteration write-back (every iteration writes the same region; the
+// processor executing the last iteration owns the final values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace suifx::runtime {
+
+enum class FinalizePolicy : uint8_t { None, LastIteration };
+
+class PrivateArray {
+ public:
+  PrivateArray(double* shared, long size, int nproc, bool copy_in,
+               FinalizePolicy policy);
+
+  /// The private buffer of `proc` (copy-in applied on first touch).
+  double* local(int proc);
+
+  /// Tell the runtime which processor executed the last iteration; under
+  /// FinalizePolicy::LastIteration its buffer is copied back.
+  void finalize(int last_iteration_proc);
+
+ private:
+  double* shared_;
+  long size_;
+  bool copy_in_;
+  FinalizePolicy policy_;
+  std::vector<std::vector<double>> priv_;
+};
+
+}  // namespace suifx::runtime

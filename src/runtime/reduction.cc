@@ -1,0 +1,113 @@
+#include "runtime/reduction.h"
+
+#include <algorithm>
+
+namespace suifx::runtime {
+
+double identity_of(RedOp op) {
+  switch (op) {
+    case RedOp::Sum: return 0.0;
+    case RedOp::Product: return 1.0;
+    case RedOp::Min: return std::numeric_limits<double>::infinity();
+    case RedOp::Max: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double apply_op(RedOp op, double a, double b) {
+  switch (op) {
+    case RedOp::Sum: return a + b;
+    case RedOp::Product: return a * b;
+    case RedOp::Min: return std::min(a, b);
+    case RedOp::Max: return std::max(a, b);
+  }
+  return a;
+}
+
+ScalarReduction::ScalarReduction(RedOp op, int nproc) : op_(op) {
+  partial_.resize(static_cast<size_t>(nproc));
+  for (Slot& s : partial_) s.v = identity_of(op);
+}
+
+void ScalarReduction::finalize(double* global) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& s : partial_) {
+    if (s.v != identity_of(op_)) *global = apply_op(op_, *global, s.v);
+    s.v = identity_of(op_);
+  }
+}
+
+ArrayReduction::ArrayReduction(RedOp op, double* shared, long size, int nproc,
+                               Options opts)
+    : op_(op),
+      shared_(shared),
+      size_(size),
+      opts_(opts),
+      priv_(static_cast<size_t>(nproc)),
+      section_mu_(static_cast<size_t>(std::max(1, opts.lock_sections))),
+      stripe_mu_(static_cast<size_t>(std::max(1, opts.lock_stripes))) {}
+
+ArrayReduction::ArrayReduction(RedOp op, double* shared, long size, int nproc)
+    : ArrayReduction(op, shared, size, nproc, Options()) {}
+
+void ArrayReduction::update(int proc, long index, double value) {
+  if (opts_.element_locks) {
+    // §6.3.5: no private copy; serialize the individual commutative update.
+    std::mutex& mu =
+        stripe_mu_[static_cast<size_t>(index) % stripe_mu_.size()];
+    std::lock_guard<std::mutex> lock(mu);
+    shared_[index] = apply_op(op_, shared_[index], value);
+    return;
+  }
+  Private& p = priv_[static_cast<size_t>(proc)];
+  if (!p.allocated) {
+    p.data.assign(static_cast<size_t>(size_), identity_of(op_));
+    p.allocated = true;
+    init_count_ += static_cast<uint64_t>(size_);
+  }
+  p.data[static_cast<size_t>(index)] =
+      apply_op(op_, p.data[static_cast<size_t>(index)], value);
+  p.lo = std::min(p.lo, index);
+  p.hi = std::max(p.hi, index);
+}
+
+long ArrayReduction::touched_span(int proc) const {
+  const Private& p = priv_[static_cast<size_t>(proc)];
+  return p.hi >= p.lo ? p.hi - p.lo + 1 : 0;
+}
+
+void ArrayReduction::finalize() {
+  if (opts_.element_locks) return;
+  int nproc = static_cast<int>(priv_.size());
+  int nsect = static_cast<int>(section_mu_.size());
+  // Staggered section order per processor (§6.3.4). On this single executor
+  // thread we emulate the per-processor traversal order; under a real pool
+  // each processor would call its own stagger — the section locks make both
+  // correct.
+  for (int proc = 0; proc < nproc; ++proc) {
+    Private& p = priv_[static_cast<size_t>(proc)];
+    if (!p.allocated || p.hi < p.lo) continue;
+    for (int k = 0; k < nsect; ++k) {
+      int sect = (proc + k) % nsect;
+      long s_lo = size_ * sect / nsect;
+      long s_hi = size_ * (sect + 1) / nsect;
+      long lo = std::max(p.lo, s_lo);
+      long hi = std::min(p.hi + 1, s_hi);
+      if (lo >= hi) continue;
+      std::lock_guard<std::mutex> lock(section_mu_[static_cast<size_t>(sect)]);
+      for (long i = lo; i < hi; ++i) {
+        double v = p.data[static_cast<size_t>(i)];
+        if (v != identity_of(op_)) {
+          shared_[i] = apply_op(op_, shared_[i], v);
+          ++final_count_;
+        }
+      }
+    }
+    p.data.clear();
+    p.allocated = false;
+    p.lo = std::numeric_limits<long>::max();
+    p.hi = -1;
+  }
+}
+
+}  // namespace suifx::runtime

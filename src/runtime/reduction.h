@@ -1,0 +1,91 @@
+// Parallel reduction runtime (§6.3): scalar reductions via per-processor
+// partials with a locked global accumulation; array reductions via private
+// copies with
+//   - region minimization: each private copy tracks the touched offset range
+//     so initialization/finalization cost is proportional to the used region
+//     (§6.3.3),
+//   - staggered multi-lock finalization: the array is partitioned into
+//     sections with one lock each and processor p finalizes sections
+//     p, p+1, ..., wrapping, to avoid convoying (§6.3.4),
+//   - an element-lock mode that updates the shared array directly under a
+//     lock stripe, eliminating init/finalize at the cost of contention
+//     (§6.3.5).
+#pragma once
+
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "runtime/parloop.h"
+
+namespace suifx::runtime {
+
+enum class RedOp : uint8_t { Sum, Product, Min, Max };
+
+double identity_of(RedOp op);
+double apply_op(RedOp op, double a, double b);
+
+/// Scalar reduction: one private slot per processor (§6.3.1).
+class ScalarReduction {
+ public:
+  ScalarReduction(RedOp op, int nproc);
+
+  double& local(int proc) { return partial_[static_cast<size_t>(proc)].v; }
+  /// Accumulate all non-identity partials into *global under the lock.
+  void finalize(double* global);
+  RedOp op() const { return op_; }
+
+ private:
+  struct alignas(64) Slot {
+    double v;
+  };
+  RedOp op_;
+  std::vector<Slot> partial_;
+  std::mutex mu_;
+};
+
+/// Array reduction over a shared buffer of `size` doubles.
+class ArrayReduction {
+ public:
+  struct Options {
+    bool element_locks = false;  // §6.3.5 mode
+    int lock_sections = 8;       // §6.3.4 staggered finalization sections
+    int lock_stripes = 64;       // element-lock stripe count
+  };
+
+  ArrayReduction(RedOp op, double* shared, long size, int nproc, Options opts);
+  ArrayReduction(RedOp op, double* shared, long size, int nproc);
+
+  /// Private-copy mode: the processor's accumulation target for element `i`.
+  /// Lazily initializes the private copy and tracks the touched range.
+  void update(int proc, long index, double value);
+
+  /// Element-lock mode path is chosen automatically by `update` when
+  /// configured; finalize() merges private copies (no-op for element locks).
+  void finalize();
+
+  /// Runtime statistics for the overhead study (§6.3.2).
+  long touched_span(int proc) const;
+  uint64_t elements_initialized() const { return init_count_; }
+  uint64_t elements_finalized() const { return final_count_; }
+
+ private:
+  struct Private {
+    std::vector<double> data;
+    long lo = std::numeric_limits<long>::max();
+    long hi = -1;
+    bool allocated = false;
+  };
+
+  RedOp op_;
+  double* shared_;
+  long size_;
+  Options opts_;
+  std::vector<Private> priv_;
+  std::vector<std::mutex> section_mu_;
+  std::vector<std::mutex> stripe_mu_;
+  uint64_t init_count_ = 0;
+  uint64_t final_count_ = 0;
+};
+
+}  // namespace suifx::runtime

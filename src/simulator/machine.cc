@@ -1,0 +1,54 @@
+#include "simulator/machine.h"
+
+#include <sstream>
+
+namespace suifx::sim {
+
+MachineConfig MachineConfig::alpha_server_8400() {
+  MachineConfig m;
+  m.name = "Digital AlphaServer 8400 (8x 21164, 300MHz, bus)";
+  m.max_procs = 8;
+  m.spawn_overhead = 500.0;
+  m.red_elem_cost = 1.0;
+  m.lock_cost = 50.0;
+  m.cache_elems = 48'000;  // 96KB L2 + 4MB board cache, cost-model scale
+  m.mem_penalty = 1.6;
+  m.reshuffle_elem_cost = 0.35;
+  return m;
+}
+
+MachineConfig MachineConfig::sgi_challenge() {
+  MachineConfig m;
+  m.name = "SGI Challenge (4x R4400, 150MHz, bus)";
+  m.max_procs = 4;
+  m.spawn_overhead = 420.0;
+  m.red_elem_cost = 1.1;
+  m.lock_cost = 60.0;
+  m.cache_elems = 32'000;  // 1MB secondary cache, cost-model scale
+  m.mem_penalty = 1.8;
+  m.reshuffle_elem_cost = 0.4;
+  return m;
+}
+
+MachineConfig MachineConfig::sgi_origin() {
+  MachineConfig m;
+  m.name = "SGI Origin 2000 (32x R10000, 195MHz, hypercube)";
+  m.max_procs = 32;
+  m.spawn_overhead = 900.0;  // distributed barrier
+  m.red_elem_cost = 1.2;
+  m.lock_cost = 80.0;
+  m.cache_elems = 120'000;  // 4MB L2, cost-model scale
+  m.mem_penalty = 2.2;      // remote-memory NUMA penalty
+  m.reshuffle_elem_cost = 0.6;
+  return m;
+}
+
+std::string MachineConfig::summary() const {
+  std::ostringstream os;
+  os << name << ": procs<=" << max_procs << " spawn=" << spawn_overhead
+     << "u lock=" << lock_cost << "u cache=" << cache_elems
+     << "elems mem-penalty=" << mem_penalty;
+  return os.str();
+}
+
+}  // namespace suifx::sim

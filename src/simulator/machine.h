@@ -1,0 +1,41 @@
+// Machine models for the SMP performance simulator, parameterized after the
+// systems the thesis measured on (Fig 6-1 and §4.0): the container in which
+// this reproduction runs has a single core, so speedups are produced by a
+// deterministic model calibrated from interpreter-measured workloads —
+// see DESIGN.md's substitution table.
+#pragma once
+
+#include <string>
+
+namespace suifx::sim {
+
+struct MachineConfig {
+  std::string name;
+  int max_procs = 8;
+  /// Cost units charged per parallel-loop spawn + join (synchronization).
+  double spawn_overhead = 400.0;
+  /// Units per element of reduction private-copy initialization/finalization.
+  double red_elem_cost = 1.0;
+  /// Units per lock acquire/release.
+  double lock_cost = 40.0;
+  /// Per-processor cache capacity in "elements" (cost-model granule).
+  double cache_elems = 48'000;
+  /// Extra cost multiplier applied to a loop whose per-processor footprint
+  /// misses the cache entirely (scaled linearly in between).
+  double mem_penalty = 1.6;
+  /// Units per element for cross-processor data reshuffling (conflicting
+  /// decompositions, §4.2.4).
+  double reshuffle_elem_cost = 0.35;
+
+  /// 8-processor 300 MHz bus-based Digital AlphaServer 8400 (§4.0).
+  static MachineConfig alpha_server_8400();
+  /// 4-processor bus-based SGI Challenge (Fig 6-1).
+  static MachineConfig sgi_challenge();
+  /// 32-processor hypercube-interconnect SGI Origin (Fig 6-1): larger
+  /// caches, costlier synchronization, NUMA-flavored memory penalty.
+  static MachineConfig sgi_origin();
+
+  std::string summary() const;
+};
+
+}  // namespace suifx::sim

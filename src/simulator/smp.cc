@@ -1,0 +1,306 @@
+#include "simulator/smp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+namespace suifx::sim {
+
+namespace {
+
+/// Index into dynamic::kProfiledProcs for a processor count.
+int proc_index(int nproc) {
+  for (size_t i = 0; i < dynamic::kProfiledProcs.size(); ++i) {
+    if (dynamic::kProfiledProcs[i] == nproc) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Constant element count of the box spanned by a reduction region,
+/// evaluating SymParams at their defaults; `fallback` when unbounded.
+long region_box_elems(const poly::SectionList& region, const ir::Variable* var,
+                      long fallback) {
+  if (var->is_scalar()) return 1;
+  long best = 0;
+  for (const poly::LinSystem& sys : region.systems()) {
+    long elems = 1;
+    bool ok = true;
+    for (int k = 0; k < var->rank() && ok; ++k) {
+      long lo = LONG_MIN, hi = LONG_MAX;
+      for (const poly::Constraint& c : sys.constraints()) {
+        // Constraints of the form a*dk + (params/consts) {==,>=} 0.
+        long a = 0;
+        bool other_syms = false;
+        long rest = c.expr.c;
+        for (const auto& [s, v] : c.expr.terms) {
+          if (s == poly::dim_sym(k)) {
+            a = v;
+          } else if (poly::is_dim_sym(s)) {
+            other_syms = true;
+          } else {
+            int vid = poly::sym_var_id(s);
+            // SymParam columns evaluate at their defaults.
+            other_syms = true;
+            (void)vid;
+          }
+        }
+        if (a == 0 || other_syms) continue;
+        if (c.is_eq) {
+          if (rest % a == 0) lo = hi = -rest / a;
+        } else if (a > 0) {
+          // a*dk + rest >= 0  =>  dk >= ceil(-rest/a)
+          long b = -rest;
+          long q = b / a + ((b % a != 0 && b > 0) ? 1 : 0);
+          lo = std::max(lo, q);
+        } else {
+          long b = rest;
+          long q = b / (-a) - ((b % (-a) != 0 && b < 0) ? 1 : 0);
+          hi = std::min(hi, q);
+        }
+      }
+      if (lo == LONG_MIN || hi == LONG_MAX || hi < lo) {
+        ok = false;
+      } else {
+        elems *= hi - lo + 1;
+      }
+    }
+    if (ok) best = std::max(best, elems);
+  }
+  return best > 0 ? best : fallback;
+}
+
+}  // namespace
+
+std::vector<const ir::Stmt*> SmpSimulator::outermost_parallel(
+    const parallelizer::ParallelPlan& plan) const {
+  std::vector<const ir::Stmt*> chosen;
+  std::set<const ir::Procedure*> parallel_ctx;  // procs invoked from parallel loops
+
+  std::function<void(const ir::Procedure*)> mark_ctx = [&](const ir::Procedure* p) {
+    if (!parallel_ctx.insert(p).second) return;
+    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) mark_ctx(s->callee);
+    });
+  };
+
+  // Procedures in caller-before-callee order, outer loops before inner.
+  graph::CallGraph cg(const_cast<ir::Program&>(prog_));
+  for (ir::Procedure* p : cg.top_down()) {
+    std::function<void(const std::vector<ir::Stmt*>&, bool)> walk =
+        [&](const std::vector<ir::Stmt*>& body, bool suppressed) {
+          for (ir::Stmt* s : body) {
+            bool sup = suppressed;
+            if (s->kind == ir::StmtKind::Do) {
+              bool par = !sup && parallel_ctx.count(p) == 0 && plan.is_parallel(s);
+              if (par) {
+                chosen.push_back(s);
+                // Everything dynamically nested runs serially.
+                ir::for_each_stmt(s->body, [&](ir::Stmt* n) {
+                  if (n->kind == ir::StmtKind::Call) mark_ctx(n->callee);
+                });
+                sup = true;
+              }
+            }
+            walk(s->then_body, sup);
+            walk(s->else_body, sup);
+            walk(s->body, sup);
+          }
+        };
+    walk(p->body, false);
+  }
+  return chosen;
+}
+
+double SmpSimulator::loop_footprint_elems(const ir::Stmt* loop,
+                                          const SimOptions& opts) const {
+  const analysis::AccessInfo& info = df_.region_info(regions_.loop_region(loop));
+  double total = 0;
+  auto contracted_it = opts.contractions.find(loop);
+  for (const auto& [v, va] : info.vars) {
+    if (!v->is_array()) continue;
+    long fp = analysis::declared_footprint(v);
+    if (contracted_it != opts.contractions.end()) {
+      for (const analysis::ContractedArray& ca : contracted_it->second) {
+        if (ca.var == v) fp = ca.contracted_elems;
+      }
+    }
+    total += static_cast<double>(fp);
+  }
+  return total;
+}
+
+double SmpSimulator::reduction_overhead(const parallelizer::LoopPlan& lp,
+                                        const SimOptions& opts,
+                                        uint64_t iterations,
+                                        uint64_t invocations) const {
+  const MachineConfig& m = opts.machine;
+  double per_invocation = 0;
+  double iters_per_inv =
+      invocations > 0 ? static_cast<double>(iterations) / static_cast<double>(invocations)
+                      : 0;
+  for (const parallelizer::ReductionVar& rv : lp.reductions) {
+    long whole = rv.var->is_array() ? analysis::declared_footprint(rv.var) : 1;
+    long elems = opts.minimize_reduction_region
+                     ? region_box_elems(rv.region, rv.var, whole)
+                     : whole;
+    if (opts.element_lock_reductions) {
+      // §6.3.5: no init/finalize; every dynamic update pays a lock.
+      per_invocation += iters_per_inv * m.lock_cost;
+      continue;
+    }
+    // Initialization happens in parallel (each processor fills its copy):
+    // elapsed cost is one pass. Finalization is serialized across processors
+    // unless staggered section locks overlap it (§6.3.4).
+    double init = static_cast<double>(elems) * m.red_elem_cost;
+    double fin = static_cast<double>(elems) * m.red_elem_cost;
+    if (opts.staggered_finalization) {
+      fin += 8 * m.lock_cost;  // section lock traffic
+    } else {
+      fin *= static_cast<double>(opts.nproc);  // one processor at a time
+      fin += m.lock_cost;
+    }
+    per_invocation += init + fin;
+  }
+  for (const parallelizer::PrivateVar& pv : lp.privatized) {
+    long fp = pv.var->is_array() ? analysis::declared_footprint(pv.var) : 1;
+    if (pv.copy_in) per_invocation += static_cast<double>(fp);  // parallel copy
+    if (pv.finalize == parallelizer::Finalize::LastIteration) {
+      per_invocation += static_cast<double>(fp);  // one processor writes back
+    }
+  }
+  return per_invocation;
+}
+
+SimResult SmpSimulator::simulate(const parallelizer::ParallelPlan& plan,
+                                 const dynamic::LoopProfiler& prof,
+                                 const SimOptions& opts) const {
+  SimResult out;
+  const MachineConfig& m = opts.machine;
+  int nproc = std::min(opts.nproc, m.max_procs);
+  int pi = proc_index(nproc);
+
+  double seq = static_cast<double>(prof.program_cost());
+  double par = seq;
+  double parallel_region_cost = 0;
+  double parallel_invocations = 0;
+
+  auto mem_factor = [&](double footprint, int procs) {
+    if (footprint <= 0) return 1.0;
+    double per_proc = footprint / static_cast<double>(procs);
+    if (per_proc <= m.cache_elems) return 1.0;
+    return 1.0 + m.mem_penalty * (1.0 - m.cache_elems / per_proc);
+  };
+
+  for (const ir::Stmt* loop : outermost_parallel(plan)) {
+    const dynamic::LoopStats* st = prof.find(loop);
+    if (st == nullptr || st->invocations == 0) continue;
+    const parallelizer::LoopPlan* lp = plan.find(loop);
+
+    double cost = static_cast<double>(st->total_cost);
+    double footprint = loop_footprint_elems(loop, opts);
+    double mf1 = mem_factor(footprint, 1);
+    double mfp = mem_factor(footprint, nproc);
+
+    double chunk = pi >= 0 ? static_cast<double>(st->max_chunk_cost[static_cast<size_t>(pi)])
+                           : cost / nproc;
+    auto sp = opts.stride_penalty.find(loop);
+    if (sp != opts.stride_penalty.end()) chunk *= sp->second;
+    double overhead =
+        m.spawn_overhead + reduction_overhead(*lp, opts, st->iterations, st->invocations);
+    auto rs = opts.reshuffle_elems.find(loop);
+    if (rs != opts.reshuffle_elems.end()) {
+      overhead += rs->second * m.reshuffle_elem_cost / static_cast<double>(nproc);
+    }
+
+    if (opts.comm_elem_cost > 0) {
+      overhead += footprint * opts.comm_elem_cost;
+    }
+    double par_cost =
+        chunk * mfp + static_cast<double>(st->invocations) * overhead;
+    double seq_cost_adjusted = cost * mf1;
+    // SUIF's run-time system suppresses parallel execution when the loop is
+    // too fine-grained to profit (§4.5): take the cheaper execution.
+    bool ran_parallel = par_cost < seq_cost_adjusted;
+    if (!ran_parallel) par_cost = seq_cost_adjusted;
+
+    // Sequential side keeps the (memory-modeled) serial execution.
+    seq += seq_cost_adjusted - cost;
+    par += seq_cost_adjusted - cost;  // baseline shift applies to both
+    par += par_cost - seq_cost_adjusted;
+
+    if (ran_parallel) {
+      parallel_region_cost += seq_cost_adjusted;
+      parallel_invocations += static_cast<double>(st->invocations);
+    }
+
+    LoopSim ls;
+    ls.loop = loop;
+    ls.ran_parallel = ran_parallel;
+    ls.seq_cost = seq_cost_adjusted;
+    ls.par_cost = par_cost;
+    ls.overhead = static_cast<double>(st->invocations) * overhead;
+    ls.mem_factor = mfp;
+    out.loops.push_back(ls);
+  }
+
+  out.seq_time = seq;
+  out.par_time = std::max(par, seq / static_cast<double>(nproc));
+  out.speedup = out.par_time > 0 ? out.seq_time / out.par_time : 1.0;
+  out.coverage = seq > 0 ? parallel_region_cost / seq : 0.0;
+  out.granularity_ms = parallel_invocations > 0
+                           ? parallel_region_cost / parallel_invocations *
+                                 dynamic::LoopProfiler::kMsPerUnit
+                           : 0.0;
+  return out;
+}
+
+std::map<const ir::Stmt*, double> analyze_decomposition_conflicts(
+    ir::Program& prog, const analysis::ArrayDataflow& df,
+    const parallelizer::ParallelPlan& plan,
+    const std::vector<const ir::Stmt*>& parallel_loops, bool split_commons) {
+  (void)plan;
+  // Rebuild the dataflow in the requested aliasing mode so common overlays
+  // are either unified (conflicts possible) or split (conflicts dissolve).
+  analysis::AliasAnalysis alias(prog, /*unify_overlays=*/!split_commons);
+  graph::CallGraph cg(prog);
+  graph::RegionTree regions(prog);
+  analysis::ModRef modref(prog, alias, cg);
+  analysis::Symbolic symbolic(prog, alias, modref, cg);
+  analysis::ArrayDataflow local_df(prog, alias, modref, cg, regions, symbolic);
+  (void)df;
+
+  // Distribution dimension per (loop, array): the dim whose write subscript
+  // is tied to the loop index.
+  std::map<const ir::Variable*, std::set<int>> dims_of;
+  std::map<const ir::Variable*, std::vector<const ir::Stmt*>> loops_of;
+  for (const ir::Stmt* loop : parallel_loops) {
+    poly::SymId isym = local_df.loop_index_sym(loop);
+    const analysis::AccessInfo& body = local_df.body_info(loop);
+    for (const auto& [v, va] : body.vars) {
+      if (!v->is_array()) continue;
+      poly::SectionList writes = va.sec.M;
+      writes.unite(va.sec.W);
+      for (const poly::LinSystem& sys : writes.systems()) {
+        for (const poly::Constraint& c : sys.constraints()) {
+          if (!c.is_eq || !c.expr.involves(isym)) continue;
+          for (int k = 0; k < v->rank(); ++k) {
+            if (c.expr.involves(poly::dim_sym(k))) {
+              dims_of[v].insert(k);
+              loops_of[v].push_back(loop);
+            }
+          }
+        }
+      }
+    }
+  }
+  std::map<const ir::Stmt*, double> out;
+  for (const auto& [v, dims] : dims_of) {
+    if (dims.size() < 2) continue;
+    double fp = static_cast<double>(analysis::declared_footprint(v));
+    for (const ir::Stmt* loop : loops_of[v]) out[loop] += fp;
+  }
+  return out;
+}
+
+}  // namespace suifx::sim

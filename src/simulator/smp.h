@@ -1,0 +1,107 @@
+// Deterministic SMP execution model. Inputs: the parallelization plan, the
+// Loop Profile Analyzer's measurements (including exact block-schedule
+// imbalance per processor count), and the machine model. Output: simulated
+// sequential/parallel times and speedup, with per-loop breakdowns.
+//
+//   T_par = (T_seq − Σ_{L∈outermost-parallel} cost(L))
+//         + Σ_L [ max-chunk(L, P)·mem(L, P) + invocations(L)·overhead(L) ]
+//
+// where overhead(L) covers spawn/join, privatization copy-in/finalization,
+// and reduction initialization + finalization (serialized or staggered), and
+// mem(L, P) is the cache-footprint multiplier; conflicting array
+// decompositions between parallel loops add reshuffle cost (§4.2.4, §5.5).
+#pragma once
+
+#include "analysis/contraction.h"
+#include "dynamic/profile.h"
+#include "parallelizer/parallelizer.h"
+#include "simulator/machine.h"
+
+namespace suifx::sim {
+
+struct SimOptions {
+  MachineConfig machine = MachineConfig::alpha_server_8400();
+  int nproc = 4;
+  /// §6.3.4: staggered multi-lock finalization (vs serialized) for array
+  /// reductions.
+  bool staggered_finalization = true;
+  /// §6.3.5: per-update element locks instead of private copies.
+  bool element_lock_reductions = false;
+  /// §6.3.3: finalize/initialize only the touched region (measured span)
+  /// instead of the whole array.
+  bool minimize_reduction_region = true;
+  /// Arrays treated as contracted (removed from loop footprints and shrunk
+  /// to their per-iteration size) per loop.
+  std::map<const ir::Stmt*, std::vector<analysis::ContractedArray>> contractions;
+  /// Extra per-invocation reshuffle elements per loop (conflicting
+  /// decompositions); produced by analyze_decomposition_conflicts().
+  std::map<const ir::Stmt*, double> reshuffle_elems;
+  /// Inter-loop communication floor: cost units per element of the loop's
+  /// (non-contracted) array footprint charged once per invocation regardless
+  /// of processor count — producer/consumer traffic between loops that
+  /// caps scalability (the effect array contraction removes, Fig 5-12).
+  /// 0 disables the floor (default: only the contraction study enables it).
+  double comm_elem_cost = 0.0;
+  /// Per-loop chunk-cost multiplier for poor spatial locality (mis-strided
+  /// innermost loops); the memory advisor's interchange removes it.
+  std::map<const ir::Stmt*, double> stride_penalty;
+};
+
+struct LoopSim {
+  const ir::Stmt* loop = nullptr;
+  bool ran_parallel = false;
+  double seq_cost = 0;
+  double par_cost = 0;
+  double overhead = 0;
+  double mem_factor = 1.0;
+};
+
+struct SimResult {
+  double seq_time = 0;       // cost units
+  double par_time = 0;
+  double speedup = 1.0;
+  double coverage = 0;       // fraction of time in parallel regions
+  double granularity_ms = 0; // avg parallel-region invocation, milliseconds
+  std::vector<LoopSim> loops;
+};
+
+class SmpSimulator {
+ public:
+  SmpSimulator(const ir::Program& prog, const analysis::ArrayDataflow& df,
+               const graph::RegionTree& regions)
+      : prog_(prog), df_(df), regions_(regions) {}
+
+  SimResult simulate(const parallelizer::ParallelPlan& plan,
+                     const dynamic::LoopProfiler& prof,
+                     const SimOptions& opts) const;
+
+  /// Loops that execute in parallel: parallelizable and not dynamically
+  /// nested (lexically or through calls) inside another such loop.
+  std::vector<const ir::Stmt*> outermost_parallel(
+      const parallelizer::ParallelPlan& plan) const;
+
+  /// Total declared footprint (elements) of arrays accessed in a loop.
+  double loop_footprint_elems(const ir::Stmt* loop,
+                              const SimOptions& opts) const;
+
+ private:
+  double reduction_overhead(const parallelizer::LoopPlan& lp,
+                            const SimOptions& opts, uint64_t iterations,
+                            uint64_t invocations) const;
+
+  const ir::Program& prog_;
+  const analysis::ArrayDataflow& df_;
+  const graph::RegionTree& regions_;
+};
+
+/// Detect arrays distributed along different dimensions by different
+/// parallel loops (conflicting decompositions): returns the per-loop
+/// reshuffle element counts. `split_commons=true` treats splittable common
+/// overlays as distinct arrays (the §5.5 optimization), removing their
+/// artificial conflicts.
+std::map<const ir::Stmt*, double> analyze_decomposition_conflicts(
+    ir::Program& prog, const analysis::ArrayDataflow& df,
+    const parallelizer::ParallelPlan& plan,
+    const std::vector<const ir::Stmt*>& parallel_loops, bool split_commons);
+
+}  // namespace suifx::sim

@@ -1,0 +1,561 @@
+#include "slicing/slicer.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace suifx::slicing {
+
+using ssa::Binding;
+using ssa::DefKind;
+using ssa::SsaDef;
+using ssa::SsaFunc;
+
+int SliceResult::size_within(const ir::Stmt* loop) const {
+  // Procedures (transitively) invoked from inside the loop execute within
+  // it; statements of other procedures are outside.
+  std::set<const ir::Procedure*> called;
+  std::function<void(const ir::Procedure*)> mark = [&](const ir::Procedure* p) {
+    if (!called.insert(p).second) return;
+    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) mark(s->callee);
+    });
+  };
+  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Call) mark(s->callee);
+  });
+  int n = 0;
+  for (const ir::Stmt* s : stmts) {
+    if (s->proc != loop->proc) {
+      if (called.count(s->proc) != 0) ++n;
+      continue;
+    }
+    for (const ir::Stmt* p = s; p != nullptr; p = p->parent) {
+      if (p == loop) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+std::set<int> SliceResult::lines() const {
+  std::set<int> out;
+  for (const ir::Stmt* s : stmts) out.insert(s->line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Direct engine
+// ---------------------------------------------------------------------------
+
+struct Slicer::DirectEngine {
+  ssa::Issa& issa;
+  SliceOptions opts;
+  SliceResult out;
+  std::vector<const ir::Stmt*> ctx;  // innermost callsite last
+  std::set<std::pair<const SsaDef*, std::vector<const ir::Stmt*>>> visited;
+
+  DirectEngine(ssa::Issa& i, SliceOptions o) : issa(i), opts(std::move(o)) {
+    ctx = opts.context;
+  }
+
+  bool inside_region(const ir::Stmt* s) const {
+    if (opts.region_loop == nullptr || s == nullptr) return true;
+    if (s == opts.region_loop) return true;
+    if (s->proc != opts.region_loop->proc) return true;  // callee code
+    for (const ir::Stmt* p = s->parent; p != nullptr; p = p->parent) {
+      if (p == opts.region_loop) return true;
+    }
+    return false;
+  }
+
+  void add_stmt(const ir::Stmt* s) {
+    if (s != nullptr) out.stmts.insert(s);
+  }
+
+  /// Record the statements defining a pruned array value as terminal nodes
+  /// (§3.6): walk through phis/weak chains but never into their uses.
+  std::set<const SsaDef*> terminal_seen;
+  void mark_array_terminal(const SsaDef* d) {
+    if (d == nullptr || !terminal_seen.insert(d).second) return;
+    if (d->kind != DefKind::Phi && d->kind != DefKind::Entry && d->stmt != nullptr) {
+      out.terminals.insert(d->stmt);
+      return;
+    }
+    for (const SsaDef* a : d->phi_args) mark_array_terminal(a);
+    if (d->weak_prev != nullptr) mark_array_terminal(d->weak_prev);
+  }
+
+  void visit_expr_uses(const ir::Stmt* s, const ir::Expr* e) {
+    const SsaFunc& f = issa.func(s->proc);
+    ir::for_each_expr(e, [&](const ir::Expr* n) {
+      if (!n->is_var_ref() && !n->is_array_ref()) return;
+      SsaDef* d = f.use_def(s, n);
+      if (d == nullptr) return;
+      if (opts.array_restrict && n->is_array_ref()) {
+        mark_array_terminal(d);
+        return;
+      }
+      visit_def(d);
+    });
+  }
+
+  void visit_stmt_uses(const ir::Stmt* s) {
+    const SsaFunc& f = issa.func(s->proc);
+    for (const auto& [ref, d] : f.uses_of(s)) {
+      if (opts.array_restrict && ref->is_array_ref()) {
+        mark_array_terminal(d);
+        continue;
+      }
+      visit_def(d);
+    }
+  }
+
+  void visit_control(const ir::Stmt* s) {
+    if (opts.kind == SliceKind::Data) return;
+    for (const ir::Stmt* p = s->parent; p != nullptr; p = p->parent) {
+      if (p->kind != ir::StmtKind::If && p->kind != ir::StmtKind::Do) continue;
+      if (!inside_region(p)) {
+        out.terminals.insert(p);
+        continue;
+      }
+      add_stmt(p);
+      visit_stmt_uses(p);
+    }
+  }
+
+  void expand_entry_through(const ir::Stmt* call, const ir::Variable* channel) {
+    // Bind the callee channel to the caller side at `call`.
+    for (const Binding& b : issa.bindings(call)) {
+      if (b.callee_var != channel) continue;
+      add_stmt(call);
+      visit_control(call);
+      if (b.actual != nullptr) {
+        visit_expr_uses(call, b.actual);
+      } else if (b.caller_var != nullptr) {
+        const SsaFunc& cf = issa.func(call->proc);
+        if (SsaDef* d = cf.call_in(call, b.caller_var)) visit_def(d);
+      }
+      return;
+    }
+  }
+
+  void visit_def(const SsaDef* d) {
+    if (d == nullptr) return;
+    if (!visited.insert({d, ctx}).second) return;
+    if (d->stmt != nullptr && !inside_region(d->stmt)) {
+      out.terminals.insert(d->stmt);
+      return;
+    }
+    switch (d->kind) {
+      case DefKind::Entry: {
+        // Pure locals have no inflow: their entry def is an undefined
+        // initial value.
+        if (d->var->kind == ir::VarKind::Local) return;
+        const ir::Procedure* owner = d->proc;
+        if (owner == issa.program().main()) return;  // program inputs
+        if (!ctx.empty()) {
+          // Context-sensitive: bind through the return edge being traversed
+          // (§3.4.3) — but only if that call site actually targets `owner`;
+          // a mismatched context means this entry came from a deeper query
+          // and falls back to the all-callers union below.
+          const ir::Stmt* call = ctx.back();
+          if (call->callee == owner) {
+            ctx.pop_back();
+            expand_entry_through(call, d->var);
+            ctx.push_back(call);
+            return;
+          }
+        }
+        // Unconstrained: union over every call site of the owning procedure.
+        for (const ir::Procedure& p : issa.program().procedures()) {
+          p.for_each([&](ir::Stmt* s) {
+            if (s->kind == ir::StmtKind::Call && s->callee == owner) {
+              expand_entry_through(s, d->var);
+            }
+          });
+        }
+        return;
+      }
+      case DefKind::Phi:
+        for (SsaDef* a : d->phi_args) visit_def(a);
+        return;
+      case DefKind::Stmt:
+        add_stmt(d->stmt);
+        visit_stmt_uses(d->stmt);
+        if (d->weak_prev != nullptr) {
+          if (opts.array_restrict && d->var->is_array()) {
+            mark_array_terminal(d->weak_prev);
+          } else {
+            visit_def(d->weak_prev);
+          }
+        }
+        visit_control(d->stmt);
+        return;
+      case DefKind::LoopInit:
+        add_stmt(d->stmt);
+        visit_stmt_uses(d->stmt);  // bounds
+        visit_control(d->stmt);
+        return;
+      case DefKind::LoopNext:
+        add_stmt(d->stmt);
+        visit_stmt_uses(d->stmt);
+        visit_def(d->weak_prev);
+        visit_control(d->stmt);
+        return;
+      case DefKind::CallOut: {
+        const ir::Stmt* call = d->stmt;
+        add_stmt(call);
+        visit_control(call);
+        // Resolve to the callee's exit value of the bound channel.
+        for (const Binding& b : issa.bindings(call)) {
+          if (b.caller_var != d->var || !b.flows_out) continue;
+          const SsaFunc& callee = issa.func(call->callee);
+          SsaDef* exit = callee.exit_def(
+              b.actual != nullptr ? b.callee_var : issa.alias().canonical(b.callee_var));
+          ctx.push_back(call);
+          visit_def(exit);
+          ctx.pop_back();
+        }
+        if (d->weak_prev != nullptr) {
+          if (opts.array_restrict && d->var->is_array()) {
+            mark_array_terminal(d->weak_prev);
+          } else {
+            visit_def(d->weak_prev);
+          }
+        }
+        return;
+      }
+    }
+  }
+};
+
+SliceResult Slicer::slice(const ir::Stmt* s, const ir::Expr* ref,
+                          const SliceOptions& opts) const {
+  DirectEngine e(issa_, opts);
+  e.add_stmt(s);
+  const SsaFunc& f = issa_.func(s->proc);
+  if (opts.array_restrict && ref->is_array_ref()) {
+    // Still follow the subscripts; prune the content chain.
+    for (const ir::Expr* ix : ref->idx) e.visit_expr_uses(s, ix);
+    if (SsaDef* d = f.use_def(s, ref)) e.mark_array_terminal(d);
+  } else {
+    if (SsaDef* d = f.use_def(s, ref)) e.visit_def(d);
+    for (const ir::Expr* ix : ref->idx) e.visit_expr_uses(s, ix);
+  }
+  if (opts.kind != SliceKind::Data) e.visit_control(s);
+  return std::move(e.out);
+}
+
+SliceResult Slicer::control_slice(const ir::Stmt* s, const SliceOptions& opts) const {
+  SliceOptions o = opts;
+  o.kind = SliceKind::Program;
+  DirectEngine e(issa_, o);
+  e.add_stmt(s);
+  e.visit_control(s);
+  return std::move(e.out);
+}
+
+SliceResult Slicer::dependence_slice(const ir::Stmt* loop, const ir::Variable* var,
+                                     const SliceOptions& opts) const {
+  SliceResult combined;
+  const analysis::AliasAnalysis& alias = issa_.alias();
+  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    std::vector<const ir::Expr*> refs;
+    for (const ir::Access& a : ir::direct_accesses(s)) {
+      if (alias.canonical(a.var) == alias.canonical(var)) refs.push_back(a.ref);
+    }
+    for (const ir::Expr* r : refs) {
+      // Slice the subscripts (the locations accessed) and the control
+      // conditions (when they are accessed) — the §3.2.2 procedure.
+      for (const ir::Expr* ix : r->idx) {
+        ir::for_each_expr(ix, [&](const ir::Expr* n) {
+          if (n->is_var_ref() || n->is_array_ref()) {
+            SliceResult sub = slice(s, n, opts);
+            combined.stmts.insert(sub.stmts.begin(), sub.stmts.end());
+            combined.terminals.insert(sub.terminals.begin(), sub.terminals.end());
+          }
+        });
+      }
+      SliceResult ctl = control_slice(s, opts);
+      combined.stmts.insert(ctl.stmts.begin(), ctl.stmts.end());
+      combined.terminals.insert(ctl.terminals.begin(), ctl.terminals.end());
+      combined.stmts.insert(s);
+    }
+  });
+  return combined;
+}
+
+// ---------------------------------------------------------------------------
+// Summary engine (§3.5.2–§3.5.4)
+// ---------------------------------------------------------------------------
+
+struct Slicer::SummaryEngine {
+  ssa::Issa& issa;
+  SliceKind kind;
+
+  /// An upwards-exposed channel: (procedure boundary, canonical variable).
+  using Channel = std::pair<const ir::Procedure*, const ir::Variable*>;
+
+  /// Hierarchical slice node: own statements + child subsets (§3.5.4).
+  struct Node {
+    std::vector<const ir::Stmt*> own;
+    std::vector<Channel> own_channels;  // upwards-exposed at this node
+    std::set<Channel> bound;            // channels consumed by a call expansion
+    std::vector<Node*> children;
+  };
+
+  std::deque<Node> arena;
+  std::map<std::pair<const SsaDef*, int>, Node*> def_nodes;   // (def, kind)
+  std::map<std::tuple<const SsaDef*, const ir::Stmt*, int>, Node*> call_nodes;
+  std::map<std::pair<const ir::Stmt*, int>, Node*> ctrl_nodes;
+
+  explicit SummaryEngine(ssa::Issa& i, SliceKind k) : issa(i), kind(k) {}
+
+  Node* fresh() {
+    arena.push_back({});
+    return &arena.back();
+  }
+
+  Node* control_node(const ir::Stmt* s) {
+    auto key = std::make_pair(s, static_cast<int>(kind));
+    auto it = ctrl_nodes.find(key);
+    if (it != ctrl_nodes.end()) return it->second;
+    Node* n = fresh();
+    ctrl_nodes[key] = n;
+    if (kind == SliceKind::Program) {
+      for (const ir::Stmt* p = s->parent; p != nullptr; p = p->parent) {
+        if (p->kind != ir::StmtKind::If && p->kind != ir::StmtKind::Do) continue;
+        n->own.push_back(p);
+        const SsaFunc& f = issa.func(p->proc);
+        for (const auto& [ref, d] : f.uses_of(p)) n->children.push_back(def_node(d));
+      }
+    }
+    return n;
+  }
+
+  /// Expand a callee channel through one call site: the GetActual of EQ 1.
+  Node* actual_node(const ir::Stmt* call, const ir::Variable* channel) {
+    Node* n = fresh();
+    n->own.push_back(call);
+    n->children.push_back(control_node(call));
+    for (const Binding& b : issa.bindings(call)) {
+      if (b.callee_var != channel) continue;
+      if (b.actual != nullptr) {
+        const SsaFunc& cf = issa.func(call->proc);
+        ir::for_each_expr(b.actual, [&](const ir::Expr* e) {
+          if (!e->is_var_ref() && !e->is_array_ref()) return;
+          if (SsaDef* d = cf.use_def(call, e)) n->children.push_back(def_node(d));
+        });
+      } else if (b.caller_var != nullptr) {
+        const SsaFunc& cf = issa.func(call->proc);
+        if (SsaDef* d = cf.call_in(call, b.caller_var)) n->children.push_back(def_node(d));
+      }
+      break;
+    }
+    return n;
+  }
+
+  Node* def_node(const SsaDef* d) {
+    auto key = std::make_pair(d, static_cast<int>(kind));
+    auto it = def_nodes.find(key);
+    if (it != def_nodes.end()) return it->second;
+    Node* n = fresh();
+    def_nodes[key] = n;  // memoize before recursing (cycles become edges)
+    switch (d->kind) {
+      case DefKind::Entry:
+        if (d->var->kind != ir::VarKind::Local && d->proc != issa.program().main()) {
+          n->own_channels.push_back({d->proc, d->var});
+        }
+        break;
+      case DefKind::Phi:
+        for (SsaDef* a : d->phi_args) n->children.push_back(def_node(a));
+        break;
+      case DefKind::Stmt:
+      case DefKind::LoopInit:
+      case DefKind::LoopNext: {
+        n->own.push_back(d->stmt);
+        const SsaFunc& f = issa.func(d->stmt->proc);
+        for (const auto& [ref, ud] : f.uses_of(d->stmt)) {
+          n->children.push_back(def_node(ud));
+        }
+        if (d->weak_prev != nullptr) n->children.push_back(def_node(d->weak_prev));
+        n->children.push_back(control_node(d->stmt));
+        break;
+      }
+      case DefKind::CallOut: {
+        const ir::Stmt* call = d->stmt;
+        n->own.push_back(call);
+        n->children.push_back(control_node(call));
+        for (const Binding& b : issa.bindings(call)) {
+          if (b.caller_var != d->var || !b.flows_out) continue;
+          const SsaFunc& callee = issa.func(call->callee);
+          SsaDef* exit = callee.exit_def(
+              b.actual != nullptr ? b.callee_var
+                                  : issa.alias().canonical(b.callee_var));
+          if (exit != nullptr) {
+            n->children.push_back(call_expansion(exit, call));
+          }
+        }
+        if (d->weak_prev != nullptr) n->children.push_back(def_node(d->weak_prev));
+        break;
+      }
+    }
+    return n;
+  }
+
+  /// The slice of a callee definition seen from one call site: its call
+  /// subslice plus the slices of the actuals bound to its exposed channels —
+  /// memoized per (definition, site): the slice-summary reuse of §3.5.2.
+  Node* call_expansion(const SsaDef* exit, const ir::Stmt* call) {
+    auto key = std::make_tuple(exit, call, static_cast<int>(kind));
+    auto it = call_nodes.find(key);
+    if (it != call_nodes.end()) return it->second;
+    Node* n = fresh();
+    call_nodes[key] = n;
+    Node* callee = def_node(exit);
+    n->children.push_back(callee);
+    // The callee's own exposed channels F expand through this call site and
+    // are bound here (they do not propagate further up).
+    for (const Channel& ch : exposed_channels(callee)) {
+      if (ch.first != call->callee) continue;  // deeper channel: leave it
+      n->children.push_back(actual_node(call, ch.second));
+      n->bound.insert(ch);
+    }
+    return n;
+  }
+
+  // --- exposed-channel fixpoint & flattening --------------------------------
+  // F(n) = (own(n) ∪ ⋃_children F(c)) − bound(n); bound sets are constant so
+  // the iteration is monotone and terminates.
+  std::map<Node*, std::set<Channel>> channel_fix;
+
+  std::set<Channel> exposed_channels(Node* root) {
+    // Collect the reachable subgraph, then iterate to fixpoint. The
+    // channel_fix values persist across queries, so repeated fixpoints over
+    // already-stable regions converge in one pass.
+    std::vector<Node*> nodes;
+    std::set<Node*> seen;
+    std::function<void(Node*)> collect = [&](Node* n) {
+      if (!seen.insert(n).second) return;
+      nodes.push_back(n);
+      for (Node* c : n->children) collect(c);
+    };
+    collect(root);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Node* n : nodes) {
+        std::set<Channel>& f = channel_fix[n];
+        size_t before = f.size();
+        f.insert(n->own_channels.begin(), n->own_channels.end());
+        for (Node* c : n->children) {
+          const std::set<Channel>& cf = channel_fix[c];
+          f.insert(cf.begin(), cf.end());
+        }
+        for (const Channel& b : n->bound) f.erase(b);
+        if (f.size() != before) changed = true;
+      }
+    }
+    return channel_fix[root];
+  }
+
+  // Per-node flattened statement sets, cached across queries. A node inside
+  // a cycle (loop-phi recurrence) is only cached once the whole strongly
+  // connected component has been fully explored from outside it.
+  std::map<Node*, std::set<const ir::Stmt*>> flat_cache;
+
+  const std::set<const ir::Stmt*>& flatten_node(Node* n) {
+    auto hit = flat_cache.find(n);
+    if (hit != flat_cache.end()) return hit->second;
+    // Collect the reachable subgraph (it may be cyclic), then aggregate.
+    std::vector<Node*> nodes;
+    std::set<Node*> seen;
+    std::function<void(Node*)> collect = [&](Node* x) {
+      if (flat_cache.count(x) != 0) return;  // already summarized
+      if (!seen.insert(x).second) return;
+      nodes.push_back(x);
+      for (Node* c : x->children) collect(c);
+    };
+    collect(n);
+    // Every node in the fresh subgraph flattens to the union over its own
+    // reachable set; share work by computing once for `n` and caching the
+    // same closure for all members of its SCCs is overkill — cache `n` only
+    // plus any child whose subtree was independently closed.
+    std::set<const ir::Stmt*> acc;
+    std::set<Node*> visited;
+    std::function<void(Node*)> dfs = [&](Node* x) {
+      auto c = flat_cache.find(x);
+      if (c != flat_cache.end()) {
+        acc.insert(c->second.begin(), c->second.end());
+        return;
+      }
+      if (!visited.insert(x).second) return;
+      acc.insert(x->own.begin(), x->own.end());
+      for (Node* ch : x->children) dfs(ch);
+    };
+    dfs(n);
+    return flat_cache.emplace(n, std::move(acc)).first->second;
+  }
+
+  void flatten(Node* root, SliceResult* out) {
+    // The root is a per-query node; flatten its children through the cache.
+    out->stmts.insert(root->own.begin(), root->own.end());
+    for (Node* c : root->children) {
+      const std::set<const ir::Stmt*>& f = flatten_node(c);
+      out->stmts.insert(f.begin(), f.end());
+    }
+  }
+};
+
+Slicer::Slicer(ssa::Issa& issa) : issa_(issa) {}
+Slicer::~Slicer() = default;
+
+Slicer::SummaryEngine& Slicer::engine(SliceKind kind) const {
+  auto& slot = engines_[static_cast<size_t>(kind)];
+  if (slot == nullptr) slot = std::make_unique<SummaryEngine>(issa_, kind);
+  return *slot;
+}
+
+SliceResult Slicer::slice_summarized(const ir::Stmt* s, const ir::Expr* ref,
+                                     SliceKind kind) const {
+  SummaryEngine& eng = engine(kind);
+  SliceResult out;
+  out.stmts.insert(s);
+  const SsaFunc& f = issa_.func(s->proc);
+
+  SummaryEngine::Node* root = eng.fresh();
+  if (SsaDef* d = f.use_def(s, ref)) root->children.push_back(eng.def_node(d));
+  for (const ir::Expr* ix : ref->idx) {
+    ir::for_each_expr(ix, [&](const ir::Expr* e) {
+      if (!e->is_var_ref() && !e->is_array_ref()) return;
+      if (SsaDef* d = f.use_def(s, e)) root->children.push_back(eng.def_node(d));
+    });
+  }
+  if (kind == SliceKind::Program) root->children.push_back(eng.control_node(s));
+
+  // Expand the still-exposed channels through every call site of the
+  // procedure whose boundary exposes them (unconstrained context: the union
+  // of EQ 1 over Cr), until no channel remains expandable.
+  std::set<std::pair<SummaryEngine::Channel, const ir::Stmt*>> expanded;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const SummaryEngine::Channel& ch : eng.exposed_channels(root)) {
+      for (const ir::Procedure& p : issa_.program().procedures()) {
+        p.for_each([&](ir::Stmt* c) {
+          if (c->kind != ir::StmtKind::Call || c->callee != ch.first) return;
+          if (!expanded.insert({ch, c}).second) return;
+          root->children.push_back(eng.actual_node(c, ch.second));
+          changed = true;
+        });
+      }
+    }
+  }
+  eng.flatten(root, &out);
+  return out;
+}
+
+}  // namespace suifx::slicing

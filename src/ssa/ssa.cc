@@ -1,0 +1,299 @@
+#include "ssa/ssa.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace suifx::ssa {
+
+using graph::CfgNode;
+using graph::CfgNodeKind;
+
+std::vector<Binding> call_bindings(const ir::Stmt* call, const analysis::ModRef& modref,
+                                   const analysis::AliasAnalysis& alias) {
+  std::vector<Binding> out;
+  const analysis::ProcEffects& fx = modref.of(call->callee);
+  for (size_t i = 0; i < call->args.size(); ++i) {
+    Binding b;
+    b.callee_var = call->callee->formals[i];
+    b.actual = call->args[i];
+    if (b.actual->is_var_ref() || b.actual->is_array_ref()) {
+      b.caller_var = alias.canonical(b.actual->var);
+    }
+    b.flows_in = fx.formal_ref[i];
+    b.flows_out = fx.formal_mod[i] && b.caller_var != nullptr;
+    out.push_back(b);
+  }
+  std::set<const ir::Variable*> globals;
+  for (const ir::Variable* g : fx.mod) globals.insert(g);
+  for (const ir::Variable* g : fx.ref) globals.insert(g);
+  for (const ir::Variable* g : globals) {
+    Binding b;
+    b.callee_var = g;
+    b.caller_var = g;
+    b.flows_in = fx.ref.count(g) != 0;
+    b.flows_out = fx.mod.count(g) != 0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SsaFunc construction
+// ---------------------------------------------------------------------------
+
+struct SsaFunc::Build {
+  SsaFunc& f;
+  std::set<const ir::Variable*> vars;
+  std::map<const CfgNode*, std::vector<SsaDef*>> phis;
+  std::map<const ir::Variable*, std::vector<SsaDef*>> stack;
+  std::map<const CfgNode*, std::vector<CfgNode*>> dom_children;
+
+  explicit Build(SsaFunc& func) : f(func) {}
+
+  const ir::Variable* canon(const ir::Variable* v) const {
+    return f.alias_.canonical(v);
+  }
+
+  SsaDef* new_def(DefKind k, const ir::Variable* v, const ir::Stmt* s,
+                  const CfgNode* b) {
+    f.defs_.push_back({});
+    SsaDef* d = &f.defs_.back();
+    d->id = static_cast<int>(f.defs_.size()) - 1;
+    d->kind = k;
+    d->var = v;
+    d->stmt = s;
+    d->proc = &f.proc_;
+    d->block = b;
+    return d;
+  }
+
+  SsaDef* top(const ir::Variable* v) {
+    auto& st = stack[v];
+    return st.empty() ? nullptr : st.back();
+  }
+
+  void collect_vars() {
+    auto add = [&](const ir::Variable* v) {
+      if (v->kind == ir::VarKind::SymParam) return;
+      vars.insert(canon(v));
+    };
+    f.proc_.for_each([&](ir::Stmt* s) {
+      for (const ir::Access& a : ir::direct_accesses(s)) add(a.var);
+      if (s->kind == ir::StmtKind::Do) add(s->ivar);
+      if (s->kind == ir::StmtKind::Call) {
+        for (const Binding& b : call_bindings(s, f.modref_, f.alias_)) {
+          if (b.caller_var != nullptr) add(b.caller_var);
+        }
+      }
+    });
+    for (const ir::Variable* v : f.proc_.formals) add(v);
+  }
+
+  /// Variables defined by the contents of a CFG node (for phi placement).
+  std::vector<const ir::Variable*> defined_vars(const CfgNode* n) {
+    std::vector<const ir::Variable*> out;
+    switch (n->kind) {
+      case CfgNodeKind::Entry:
+        out.assign(vars.begin(), vars.end());
+        break;
+      case CfgNodeKind::Plain:
+        for (const ir::Stmt* s : n->stmts) {
+          if (s->kind == ir::StmtKind::Assign) {
+            out.push_back(canon(s->lhs->var));
+          } else if (s->kind == ir::StmtKind::Call) {
+            for (const Binding& b : call_bindings(s, f.modref_, f.alias_)) {
+              if (b.flows_out && b.caller_var != nullptr) out.push_back(b.caller_var);
+            }
+          }
+        }
+        break;
+      case CfgNodeKind::LoopPre:
+      case CfgNodeKind::LoopLatch:
+        out.push_back(canon(n->ctrl->ivar));
+        break;
+      default:
+        break;
+    }
+    return out;
+  }
+
+  void place_phis(const graph::DomInfo& dom, const graph::Cfg& cfg) {
+    std::map<const ir::Variable*, std::vector<CfgNode*>> def_blocks;
+    for (const auto& n : cfg.nodes()) {
+      for (const ir::Variable* v : defined_vars(n.get())) {
+        def_blocks[v].push_back(n.get());
+      }
+    }
+    for (const auto& [v, blocks] : def_blocks) {
+      for (CfgNode* site : dom.iterated_frontier(blocks)) {
+        if (site->preds.size() < 2) continue;
+        SsaDef* phi = new_def(DefKind::Phi, v, site->ctrl, site);
+        phi->phi_args.assign(site->preds.size(), nullptr);
+        phis[site].push_back(phi);
+      }
+    }
+  }
+
+  void record_use(const ir::Stmt* s, const ir::Expr* ref) {
+    const ir::Variable* v = canon(ref->var);
+    if (ref->var->kind == ir::VarKind::SymParam) return;
+    SsaDef* d = top(v);
+    if (d == nullptr) return;
+    f.use_def_[{s->id, ref}] = d;
+  }
+
+  void record_stmt_uses(const ir::Stmt* s) {
+    for (const ir::Access& a : ir::direct_accesses(s)) {
+      if (!a.is_write) record_use(s, a.ref);
+    }
+  }
+
+  void process_plain_stmt(const ir::Stmt* s, const CfgNode* b) {
+    record_stmt_uses(s);
+    if (s->kind == ir::StmtKind::Assign) {
+      const ir::Variable* v = canon(s->lhs->var);
+      bool weak = s->lhs->is_array_ref() || f.alias_.is_blob(s->lhs->var) ||
+                  v != s->lhs->var;  // overlay siblings see a weak update
+      SsaDef* d = new_def(DefKind::Stmt, v, s, b);
+      if (weak) d->weak_prev = top(v);
+      stack[v].push_back(d);
+    } else if (s->kind == ir::StmtKind::Call) {
+      for (const Binding& bind : call_bindings(s, f.modref_, f.alias_)) {
+        if (bind.flows_in && bind.caller_var != nullptr) {
+          if (SsaDef* d = top(bind.caller_var)) {
+            f.call_in_[{s, bind.caller_var}] = d;
+          }
+        }
+      }
+      for (const Binding& bind : call_bindings(s, f.modref_, f.alias_)) {
+        if (!bind.flows_out || bind.caller_var == nullptr) continue;
+        SsaDef* d = new_def(DefKind::CallOut, bind.caller_var, s, b);
+        d->weak_prev = top(bind.caller_var);  // callee may write partially
+        stack[bind.caller_var].push_back(d);
+      }
+    }
+  }
+
+  void rename(CfgNode* b, const graph::Cfg& cfg) {
+    std::map<const ir::Variable*, size_t> saved;
+    for (const ir::Variable* v : vars) saved[v] = stack[v].size();
+
+    for (SsaDef* phi : phis[b]) stack[phi->var].push_back(phi);
+
+    switch (b->kind) {
+      case CfgNodeKind::Entry:
+        for (const ir::Variable* v : vars) {
+          SsaDef* d = new_def(DefKind::Entry, v, nullptr, b);
+          stack[v].push_back(d);
+          f.entry_[v] = d;
+        }
+        break;
+      case CfgNodeKind::Plain:
+        for (const ir::Stmt* s : b->stmts) process_plain_stmt(s, b);
+        break;
+      case CfgNodeKind::Branch:
+        record_stmt_uses(b->ctrl);  // condition reads
+        break;
+      case CfgNodeKind::LoopPre: {
+        record_stmt_uses(b->ctrl);  // bound reads
+        const ir::Variable* v = canon(b->ctrl->ivar);
+        stack[v].push_back(new_def(DefKind::LoopInit, v, b->ctrl, b));
+        break;
+      }
+      case CfgNodeKind::LoopLatch: {
+        const ir::Variable* v = canon(b->ctrl->ivar);
+        SsaDef* d = new_def(DefKind::LoopNext, v, b->ctrl, b);
+        d->weak_prev = top(v);
+        stack[v].push_back(d);
+        break;
+      }
+      case CfgNodeKind::Exit:
+        for (const ir::Variable* v : vars) f.exit_[v] = top(v);
+        break;
+      default:
+        break;
+    }
+
+    // Fill successor phi operands.
+    for (CfgNode* succ : b->succs) {
+      size_t pred_ix = 0;
+      for (; pred_ix < succ->preds.size(); ++pred_ix) {
+        if (succ->preds[pred_ix] == b) break;
+      }
+      for (SsaDef* phi : phis[succ]) {
+        phi->phi_args[pred_ix] = top(phi->var);
+      }
+    }
+
+    for (CfgNode* child : dom_children[b]) rename(child, cfg);
+
+    for (const ir::Variable* v : vars) stack[v].resize(saved[v]);
+  }
+
+  void run() {
+    collect_vars();
+    place_phis(*f.dom_, *f.cfg_);
+    // Dominator-tree children.
+    for (const auto& n : f.cfg_->nodes()) {
+      CfgNode* idom = f.dom_->idom(n.get());
+      if (idom != nullptr) dom_children[idom].push_back(n.get());
+    }
+    rename(f.cfg_->entry(), *f.cfg_);
+    // Phi operands on unreachable edges stay null; drop them.
+    for (SsaDef& d : f.defs_) {
+      if (d.kind == DefKind::Phi) {
+        d.phi_args.erase(std::remove(d.phi_args.begin(), d.phi_args.end(), nullptr),
+                         d.phi_args.end());
+      }
+    }
+  }
+};
+
+SsaFunc::SsaFunc(ir::Procedure& proc, const analysis::AliasAnalysis& alias,
+                 const analysis::ModRef& modref)
+    : proc_(proc), alias_(alias), modref_(modref) {
+  cfg_ = std::make_unique<graph::Cfg>(proc);
+  dom_ = std::make_unique<graph::DomInfo>(*cfg_);
+  Build(*this).run();
+}
+
+SsaDef* SsaFunc::use_def(const ir::Stmt* s, const ir::Expr* ref) const {
+  auto it = use_def_.find({s->id, ref});
+  return it != use_def_.end() ? it->second : nullptr;
+}
+
+std::vector<std::pair<const ir::Expr*, SsaDef*>> SsaFunc::uses_of(
+    const ir::Stmt* s) const {
+  std::vector<std::pair<const ir::Expr*, SsaDef*>> out;
+  auto lo = use_def_.lower_bound({s->id, nullptr});
+  for (auto it = lo; it != use_def_.end() && it->first.first == s->id; ++it) {
+    out.push_back({it->first.second, it->second});
+  }
+  return out;
+}
+
+SsaDef* SsaFunc::entry_def(const ir::Variable* canon) const {
+  auto it = entry_.find(canon);
+  return it != entry_.end() ? it->second : nullptr;
+}
+
+SsaDef* SsaFunc::exit_def(const ir::Variable* canon) const {
+  auto it = exit_.find(canon);
+  return it != exit_.end() ? it->second : nullptr;
+}
+
+SsaDef* SsaFunc::call_in(const ir::Stmt* call, const ir::Variable* canon) const {
+  auto it = call_in_.find({call, canon});
+  return it != call_in_.end() ? it->second : nullptr;
+}
+
+Issa::Issa(ir::Program& prog, const analysis::AliasAnalysis& alias,
+           const analysis::ModRef& modref)
+    : prog_(prog), alias_(alias), modref_(modref) {
+  for (ir::Procedure& p : prog.procedures()) {
+    funcs_[&p] = std::make_unique<SsaFunc>(p, alias, modref);
+  }
+}
+
+}  // namespace suifx::ssa

@@ -1,0 +1,118 @@
+// Interprocedural SSA (§3.4): per-procedure minimal SSA built with iterated
+// dominance frontiers over the CFG, glued into a program-wide graph by
+// explicit parameter-binding semantics — every procedure treats the global
+// and COMMON variables it (or a callee) touches as extra parameters
+// (ModRef), formals follow Fortran copy-in/copy-out, and each call site
+// produces CallOut definitions for out-flowing channels whose values resolve
+// to the callee's exit definitions.
+//
+// Array variables are versioned like scalars with weak updates: an element
+// store defines the array while using its previous definition (§3.4.2), and
+// COMMON overlays are unified through their alias-canonical representative.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "analysis/alias.h"
+#include "analysis/modref.h"
+#include "graph/cfg.h"
+
+namespace suifx::ssa {
+
+namespace analysis = suifx::analysis;
+
+enum class DefKind : uint8_t {
+  Entry,     // channel value at procedure entry (formal/global "parameter")
+  Phi,       // control-flow merge
+  Stmt,      // an Assign statement
+  LoopInit,  // DO index initialization (uses the bounds)
+  LoopNext,  // DO index increment (uses the previous index value)
+  CallOut,   // value of an out-flowing channel after a call site
+};
+
+struct SsaDef {
+  int id = 0;
+  DefKind kind = DefKind::Entry;
+  const ir::Variable* var = nullptr;  // canonical variable defined
+  const ir::Stmt* stmt = nullptr;     // Assign / Do / Call statement (or null)
+  const ir::Procedure* proc = nullptr;  // owning procedure
+  const graph::CfgNode* block = nullptr;
+  std::vector<SsaDef*> phi_args;      // Phi operands (per predecessor)
+  SsaDef* weak_prev = nullptr;        // previous value (array weak update,
+                                      // LoopNext's prior index)
+};
+
+/// One formal/global channel binding at a call site.
+struct Binding {
+  const ir::Variable* callee_var = nullptr;  // formal, or canonical global
+  const ir::Variable* caller_var = nullptr;  // lvalue actual (null otherwise)
+  const ir::Expr* actual = nullptr;          // actual expression (formals)
+  bool flows_in = false;
+  bool flows_out = false;
+};
+
+std::vector<Binding> call_bindings(const ir::Stmt* call, const analysis::ModRef& modref,
+                                   const analysis::AliasAnalysis& alias);
+
+/// SSA form of one procedure.
+class SsaFunc {
+ public:
+  SsaFunc(ir::Procedure& proc, const analysis::AliasAnalysis& alias,
+          const analysis::ModRef& modref);
+  SsaFunc(const SsaFunc&) = delete;
+  SsaFunc& operator=(const SsaFunc&) = delete;
+
+  /// The definition reaching a read reference `ref` occurring in `s`
+  /// (keyed by statement + expression node; null if not a tracked use).
+  SsaDef* use_def(const ir::Stmt* s, const ir::Expr* ref) const;
+
+  /// All (expr -> def) uses recorded for statement `s` (RHS reads,
+  /// subscripts, condition reads, bound reads, call argument reads).
+  std::vector<std::pair<const ir::Expr*, SsaDef*>> uses_of(const ir::Stmt* s) const;
+
+  SsaDef* entry_def(const ir::Variable* canon) const;
+  SsaDef* exit_def(const ir::Variable* canon) const;
+  /// Reaching def of a caller-side channel variable just before `call`.
+  SsaDef* call_in(const ir::Stmt* call, const ir::Variable* canon) const;
+
+  const std::deque<SsaDef>& defs() const { return defs_; }
+  ir::Procedure& proc() const { return proc_; }
+  const graph::Cfg& cfg() const { return *cfg_; }
+
+ private:
+  struct Build;
+  ir::Procedure& proc_;
+  const analysis::AliasAnalysis& alias_;
+  const analysis::ModRef& modref_;
+  std::unique_ptr<graph::Cfg> cfg_;
+  std::unique_ptr<graph::DomInfo> dom_;
+  std::deque<SsaDef> defs_;
+  std::map<std::pair<int, const ir::Expr*>, SsaDef*> use_def_;
+  std::map<const ir::Variable*, SsaDef*> entry_;
+  std::map<const ir::Variable*, SsaDef*> exit_;
+  std::map<std::pair<const ir::Stmt*, const ir::Variable*>, SsaDef*> call_in_;
+};
+
+/// Program-wide ISSA: one SsaFunc per procedure plus the call-site glue.
+class Issa {
+ public:
+  Issa(ir::Program& prog, const analysis::AliasAnalysis& alias,
+       const analysis::ModRef& modref);
+
+  const SsaFunc& func(const ir::Procedure* p) const { return *funcs_.at(p); }
+  std::vector<Binding> bindings(const ir::Stmt* call) const {
+    return call_bindings(call, modref_, alias_);
+  }
+  const analysis::AliasAnalysis& alias() const { return alias_; }
+  const analysis::ModRef& modref() const { return modref_; }
+  ir::Program& program() const { return prog_; }
+
+ private:
+  ir::Program& prog_;
+  const analysis::AliasAnalysis& alias_;
+  const analysis::ModRef& modref_;
+  std::map<const ir::Procedure*, std::unique_ptr<SsaFunc>> funcs_;
+};
+
+}  // namespace suifx::ssa

@@ -1,0 +1,44 @@
+#include "support/diag.h"
+
+namespace suifx {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+std::string Diagnostic::str() const {
+  const char* sev = severity == Severity::Error     ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  return loc.str() + ": " + sev + ": " + message;
+}
+
+void Diag::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  ++error_count_;
+}
+
+void Diag::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void Diag::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+std::string Diag::str() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void Diag::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace suifx

@@ -1,0 +1,52 @@
+// Diagnostics engine: collects errors/warnings with source locations.
+// Every front-end and verifier failure flows through a Diag instance so
+// callers can decide whether to abort, print, or test against messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace suifx {
+
+/// A position in an SF source file (1-based line/column, 0 = unknown).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  bool valid() const { return line > 0; }
+  std::string str() const;
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  Severity severity;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation.
+class Diag {
+ public:
+  void error(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void note(SourceLoc loc, std::string msg);
+
+  bool has_errors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics rendered one per line (for tests and CLI output).
+  std::string str() const;
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+}  // namespace suifx

@@ -1,0 +1,726 @@
+// Tests for the interprocedural analyses against the code patterns the
+// thesis builds its arguments on: mdg's guarded privatization (Fig 4-3),
+// hydro's loop-variant ranges (Fig 4-5), flo88's recurrences (Fig 5-4),
+// reduction recognition of §6.1, and liveness precision of §5.3.
+#include <gtest/gtest.h>
+
+#include "analysis/alias.h"
+#include "analysis/array_dataflow.h"
+#include "analysis/depend.h"
+#include "analysis/liveness.h"
+#include "frontend/parser.h"
+
+namespace suifx::analysis {
+namespace {
+
+struct Compiled {
+  std::unique_ptr<ir::Program> prog;
+  std::unique_ptr<AliasAnalysis> alias;
+  std::unique_ptr<graph::CallGraph> cg;
+  std::unique_ptr<graph::RegionTree> regions;
+  std::unique_ptr<ModRef> modref;
+  std::unique_ptr<Symbolic> symbolic;
+  std::unique_ptr<ArrayDataflow> df;
+  std::unique_ptr<DependenceAnalysis> dep;
+
+  ir::Stmt* loop(const std::string& name) const {
+    ir::Stmt* found = nullptr;
+    for (auto& p : prog->procedures()) {
+      p.for_each([&](ir::Stmt* s) {
+        if (s->kind == ir::StmtKind::Do && s->loop_name() == name) found = s;
+      });
+    }
+    EXPECT_NE(found, nullptr) << "no loop named " << name;
+    return found;
+  }
+  const ir::Variable* var(const std::string& proc, const std::string& name) const {
+    ir::Procedure* p = prog->find_procedure(proc);
+    EXPECT_NE(p, nullptr);
+    ir::Variable* v = p->find_var(name);
+    if (v == nullptr) {
+      for (ir::Variable* g : prog->globals()) {
+        if (g->name == name) return g;
+      }
+    }
+    EXPECT_NE(v, nullptr) << proc << "." << name;
+    return v;
+  }
+  VarClass cls(const std::string& loop_name, const ir::Variable* v) const {
+    LoopVerdict verdict = dep->analyze(loop(loop_name));
+    auto it = verdict.vars.find(alias->canonical(v));
+    if (it == verdict.vars.end()) return VarClass::ReadOnly;
+    return it->second.cls;
+  }
+};
+
+Compiled compile(const char* src) {
+  Compiled c;
+  Diag diag;
+  c.prog = frontend::parse_program(src, diag);
+  EXPECT_NE(c.prog, nullptr) << diag.str();
+  if (c.prog == nullptr) return c;
+  c.alias = std::make_unique<AliasAnalysis>(*c.prog);
+  c.cg = std::make_unique<graph::CallGraph>(*c.prog);
+  c.regions = std::make_unique<graph::RegionTree>(*c.prog);
+  c.modref = std::make_unique<ModRef>(*c.prog, *c.alias, *c.cg);
+  c.symbolic = std::make_unique<Symbolic>(*c.prog, *c.alias, *c.modref, *c.cg);
+  c.df = std::make_unique<ArrayDataflow>(*c.prog, *c.alias, *c.modref, *c.cg,
+                                         *c.regions, *c.symbolic);
+  c.dep = std::make_unique<DependenceAnalysis>(*c.df);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Dependence & privatization
+// ---------------------------------------------------------------------------
+
+TEST(Depend, IndependentLoopIsParallel) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+global real b[100];
+proc main() {
+  do i = 1, 100 label 10 {
+    a[i] = b[i] + 1.0;
+  }
+}
+)");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_TRUE(v.parallel);
+  EXPECT_EQ(c.cls("main/10", c.var("main", "a")), VarClass::Parallel);
+  EXPECT_EQ(c.cls("main/10", c.var("main", "b")), VarClass::ReadOnly);
+}
+
+TEST(Depend, RecurrenceIsDependent) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+proc main() {
+  do i = 2, 100 label 10 {
+    a[i] = a[i - 1] + 1.0;
+  }
+}
+)");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_FALSE(v.parallel);
+  EXPECT_EQ(v.num_dependences, 1);
+  EXPECT_EQ(c.cls("main/10", c.var("main", "a")), VarClass::Dependent);
+}
+
+TEST(Depend, StridedWritesAreIndependent) {
+  auto c = compile(R"(
+program p;
+global real a[200];
+proc main() {
+  do i = 1, 100 label 10 {
+    a[2 * i] = a[2 * i + 1];
+  }
+}
+)");
+  // Writes hit even elements, reads odd ones: no conflict.
+  EXPECT_TRUE(c.dep->analyze(c.loop("main/10")).parallel);
+}
+
+TEST(Depend, PrivatizableWorkArray) {
+  auto c = compile(R"(
+program p;
+global real a[100, 50];
+proc main() {
+  real t[50];
+  do i = 1, 100 label 10 {
+    do j = 1, 50 label 20 {
+      t[j] = real(i + j);
+    }
+    do j = 1, 50 label 30 {
+      a[i, j] = t[j] * 2.0;
+    }
+  }
+}
+)");
+  const ir::Variable* t = c.var("main", "t");
+  EXPECT_EQ(c.cls("main/10", t), VarClass::Privatizable);
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  const VarVerdict& tv = v.vars.at(t);
+  EXPECT_FALSE(tv.needs_copy_in);
+  EXPECT_TRUE(tv.same_region_every_iter);
+  EXPECT_TRUE(v.parallel);
+}
+
+TEST(Depend, MdgGuardedWriteBlocksStaticPrivatization) {
+  // The Fig 4-3 pattern: RL[6:9] written under one condition, read under a
+  // stronger one. Statically the exposed read survives -> Dependent; the
+  // user assertion resolves it.
+  auto c = compile(R"(
+program mdgish;
+global real rs[9];
+global real cut2;
+global real out[1000];
+proc main() {
+  real rl[14];
+  int kc;
+  do i = 1, 1000 label 1000 {
+    kc = 0;
+    do k = 1, 9 label 1110 {
+      if (rs[k] > cut2) { kc = kc + 1; }
+    }
+    if (kc != 9) {
+      do k = 2, 5 label 1130 {
+        if (rs[k + 4] <= cut2) {
+          rl[k + 4] = rs[k] * 2.0;
+        }
+      }
+      if (kc == 0) {
+        do k = 11, 14 label 1140 {
+          out[i] = out[i] + rl[k - 5];
+        }
+      }
+    }
+  }
+}
+)");
+  const ir::Variable* rl = c.var("main", "rl");
+  EXPECT_EQ(c.cls("main/1000", rl), VarClass::Dependent);
+  // With the user's privatization assertion the loop parallelizes.
+  LoopVerdict v = c.dep->analyze(c.loop("main/1000"), {rl});
+  EXPECT_EQ(v.vars.at(rl).cls, VarClass::Privatizable);
+  EXPECT_TRUE(v.parallel);
+}
+
+TEST(Depend, VsetuvLoopVariantRangeBlocksParallelization) {
+  // Fig 4-5: ranges k1..k2 come from index arrays, so iterations may overlap
+  // as far as the compiler can prove.
+  auto c = compile(R"(
+program hydroish;
+global int k_lower[60] input;
+global int k_upper[60] input;
+global real duac[200, 60];
+proc main() {
+  real dkrc[200];
+  int k1;
+  int k2;
+  int k1p1;
+  do l = 2, 50 label 85 {
+    k1 = k_lower[l];
+    k2 = k_upper[l];
+    k1p1 = k1;
+    if (k1 == 1) { k1p1 = k1 + 1; }
+    do k = k1p1, k2 + 1 label 60 {
+      dkrc[k] = real(k) * 0.5;
+    }
+    do k = k1, k2 label 80 {
+      duac[k, l] = dkrc[k] + dkrc[k + 1];
+    }
+  }
+}
+)");
+  const ir::Variable* dkrc = c.var("main", "dkrc");
+  EXPECT_EQ(c.cls("main/85", dkrc), VarClass::Dependent);
+  // Inner loop 80 only reads dkrc and writes disjoint columns of duac.
+  EXPECT_TRUE(c.dep->analyze(c.loop("main/80")).parallel);
+}
+
+TEST(Depend, InnerLoopIndexIsPrivatizableScalar) {
+  auto c = compile(R"(
+program p;
+global real a[100, 50];
+proc main() {
+  do i = 1, 100 label 10 {
+    do j = 1, 50 label 20 {
+      a[i, j] = 1.0;
+    }
+  }
+}
+)");
+  const ir::Variable* j = c.var("main", "j");
+  VarClass cls = c.cls("main/10", j);
+  EXPECT_TRUE(cls == VarClass::Privatizable || cls == VarClass::Parallel)
+      << to_string(cls);
+  EXPECT_TRUE(c.dep->analyze(c.loop("main/10")).parallel);
+}
+
+TEST(Depend, IoSuppressesParallelization) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+proc main() {
+  do i = 1, 100 label 10 {
+    a[i] = 1.0;
+    print a[i];
+  }
+}
+)");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_TRUE(v.has_io);
+  EXPECT_FALSE(v.parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (§6.1, §6.2)
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, ScalarSum) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, 100 label 10 {
+    s = s + a[i];
+  }
+  print s;
+}
+)");
+  const ir::Variable* s = c.var("main", "s");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_EQ(v.vars.at(s).cls, VarClass::Reduction);
+  EXPECT_EQ(v.vars.at(s).red_op, ir::BinOp::Add);
+  EXPECT_TRUE(v.parallel);
+}
+
+TEST(Reduction, ArrayElementAndRegion) {
+  // §6.1.2: B(J) = B(J) + A(I,J) under an outer I loop.
+  auto c = compile(R"(
+program p;
+global real a[100, 3];
+global real b[3];
+proc main() {
+  do i = 1, 100 label 10 {
+    do j = 1, 3 label 20 {
+      b[j] = b[j] + a[i, j];
+    }
+  }
+}
+)");
+  const ir::Variable* b = c.var("main", "b");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_EQ(v.vars.at(b).cls, VarClass::Reduction);
+  EXPECT_TRUE(v.parallel);
+}
+
+TEST(Reduction, SparseHistogram) {
+  // §6.1.3: commutative updates through an index array parallelize even
+  // though the compiler cannot predict the written locations.
+  auto c = compile(R"(
+program p;
+global int ind[1000] input;
+global real hist[64];
+proc main() {
+  do i = 1, 1000 label 10 {
+    hist[ind[i]] = hist[ind[i]] + 1.0;
+  }
+}
+)");
+  const ir::Variable* hist = c.var("main", "hist");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_EQ(v.vars.at(hist).cls, VarClass::Reduction);
+  EXPECT_TRUE(v.parallel);
+}
+
+TEST(Reduction, MinViaGuardedAssign) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+proc main() {
+  real tmin;
+  tmin = 1.0e30;
+  do i = 1, 100 label 10 {
+    if (a[i] < tmin) { tmin = a[i]; }
+  }
+  print tmin;
+}
+)");
+  const ir::Variable* tmin = c.var("main", "tmin");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_EQ(v.vars.at(tmin).cls, VarClass::Reduction);
+  EXPECT_EQ(v.vars.at(tmin).red_op, ir::BinOp::Min);
+  EXPECT_TRUE(v.parallel);
+}
+
+TEST(Reduction, MixedAccessDemotesReduction) {
+  // Reading the accumulator normally inside the loop invalidates it.
+  auto c = compile(R"(
+program p;
+global real a[100];
+global real trace[100];
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, 100 label 10 {
+    s = s + a[i];
+    trace[i] = s;
+  }
+}
+)");
+  const ir::Variable* s = c.var("main", "s");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_EQ(v.vars.at(s).cls, VarClass::Dependent);
+  EXPECT_FALSE(v.parallel);
+}
+
+TEST(Reduction, InterproceduralSpansCall) {
+  // §6.4.3-style: the commutative update lives in a callee.
+  auto c = compile(R"(
+program p;
+global real fsum[8];
+global real w[1000];
+proc accum(int j, real x) {
+  fsum[j] = fsum[j] + x;
+}
+proc main() {
+  do i = 1, 1000 label 10 {
+    call accum(1 + i % 8, w[i]);
+  }
+}
+)");
+  const ir::Variable* fsum = c.var("main", "fsum");
+  LoopVerdict v = c.dep->analyze(c.loop("main/10"));
+  EXPECT_EQ(v.vars.at(fsum).cls, VarClass::Reduction);
+  EXPECT_TRUE(v.parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Exposed-read sharpening (§5.2.2.3) and interprocedural privatization
+// ---------------------------------------------------------------------------
+
+TEST(ArrayDataflow, PsmooRecurrenceHasNoExposedReads) {
+  // Fig 5-4: d(1,j) written, then d(i,j) = f(d(i-1,j)): all reads covered by
+  // earlier writes in the same k-iteration -> d privatizable in loop 50.
+  auto c = compile(R"(
+program flo88ish;
+global real out[40, 40, 40];
+proc main() {
+  real d[40, 40];
+  real t;
+  do k = 2, 39 label 50 {
+    do j = 2, 39 label 20 {
+      d[1, j] = 0.0;
+    }
+    do i = 2, 39 label 30 {
+      do j = 2, 39 label 31 {
+        t = d[i - 1, j] * 0.25;
+        d[i, j] = t;
+      }
+    }
+    do i = 2, 39 label 40 {
+      do j = 2, 39 label 41 {
+        out[i, j, k] = d[i, j];
+      }
+    }
+  }
+}
+)");
+  const ir::Variable* d = c.var("main", "d");
+  EXPECT_EQ(c.cls("main/50", d), VarClass::Privatizable);
+  EXPECT_TRUE(c.dep->analyze(c.loop("main/50")).parallel);
+}
+
+TEST(ArrayDataflow, CallMustWriteEnablesPrivatization) {
+  // hydro's aif3 pattern (Fig 5-1): init(aif3(k1), n) must-writes the
+  // touched range; with constant ranges the exposed read disappears.
+  auto c = compile(R"(
+program p;
+global real aif3[100];
+global real out[50, 100];
+proc init(real q[n], int n) {
+  do j = 1, n label 1 {
+    q[j] = 0.125;
+  }
+}
+proc main() {
+  do l = 1, 50 label 85 {
+    call init(aif3[1], 100);
+    do k = 1, 100 label 60 {
+      out[l, k] = aif3[k];
+    }
+  }
+}
+)");
+  const ir::Variable* aif3 = c.var("main", "aif3");
+  LoopVerdict v = c.dep->analyze(c.loop("main/85"));
+  EXPECT_EQ(v.vars.at(aif3).cls, VarClass::Privatizable) << to_string(v.vars.at(aif3).cls);
+  EXPECT_FALSE(v.vars.at(aif3).needs_copy_in);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness (Chapter 5)
+// ---------------------------------------------------------------------------
+
+struct LivenessFixture {
+  Compiled c;
+  std::unique_ptr<ArrayLiveness> live;
+  LivenessFixture(const char* src, LivenessMode mode) : c(compile(src)) {
+    live = std::make_unique<ArrayLiveness>(*c.prog, *c.df, *c.cg, *c.regions,
+                                           *c.alias, mode);
+  }
+};
+
+const char* kDeadTemp = R"(
+program p;
+global real a[100];
+proc main() {
+  real t[100];
+  do i = 1, 100 label 10 {
+    t[i] = real(i);
+  }
+  do i = 1, 100 label 20 {
+    a[i] = t[i] * 2.0;
+  }
+  do i = 1, 100 label 30 {
+    t[i] = a[i] + 1.0;
+  }
+  print a[50];
+}
+)";
+
+TEST(Liveness, FullFindsDeadTempAfterLastUse) {
+  LivenessFixture f(kDeadTemp, LivenessMode::Full);
+  const ir::Variable* t = f.c.var("main", "t");
+  const ir::Variable* a = f.c.var("main", "a");
+  // t written in loop 10 is read by loop 20: live after 10.
+  EXPECT_FALSE(f.live->dead_at_exit(f.c.regions->loop_region(f.c.loop("main/10")), t));
+  // t written in loop 30 is never used again: dead at exit.
+  EXPECT_TRUE(f.live->dead_at_exit(f.c.regions->loop_region(f.c.loop("main/30")), t));
+  // a is printed after loop 20: live.
+  EXPECT_FALSE(f.live->dead_at_exit(f.c.regions->loop_region(f.c.loop("main/20")), a));
+}
+
+TEST(Liveness, OneBitAgreesOnSimpleCase) {
+  LivenessFixture f(kDeadTemp, LivenessMode::OneBit);
+  const ir::Variable* t = f.c.var("main", "t");
+  EXPECT_FALSE(f.live->dead_at_exit(f.c.regions->loop_region(f.c.loop("main/10")), t));
+  EXPECT_TRUE(f.live->dead_at_exit(f.c.regions->loop_region(f.c.loop("main/30")), t));
+}
+
+const char* kKillRequiresSections = R"(
+program p;
+global real a[100];
+global real t[100];
+proc main() {
+  do i = 1, 100 label 10 {
+    t[i] = real(i);
+  }
+  do i = 1, 100 label 20 {
+    t[i] = real(2 * i);
+  }
+  do i = 1, 100 label 30 {
+    a[i] = t[i];
+  }
+  print a[50];
+}
+)";
+
+TEST(Liveness, FullKillsThroughMustWrite) {
+  // Loop 20 overwrites all of t before loop 30 reads it, so t's values from
+  // loop 10 are dead. Only the kill-capable full analysis can see this.
+  LivenessFixture full(kKillRequiresSections, LivenessMode::Full);
+  const ir::Variable* t = full.c.var("main", "t");
+  EXPECT_TRUE(full.live->dead_at_exit(full.c.regions->loop_region(full.c.loop("main/10")), t));
+
+  LivenessFixture onebit(kKillRequiresSections, LivenessMode::OneBit);
+  EXPECT_FALSE(onebit.live->dead_at_exit(
+      onebit.c.regions->loop_region(onebit.c.loop("main/10")),
+      onebit.c.var("main", "t")));
+}
+
+TEST(Liveness, PrecisionLadderFullGeOneBitGeFI) {
+  // Count dead-at-exit (loop, var) pairs per mode: full >= 1-bit >= FI.
+  auto count_dead = [&](LivenessMode mode) {
+    LivenessFixture f(kKillRequiresSections, mode);
+    int dead = 0;
+    for (auto& p : f.c.prog->procedures()) {
+      for (ir::Stmt* l : p.loops()) {
+        const graph::Region* r = f.c.regions->loop_region(l);
+        for (const ir::Variable* v : f.live->modified_vars(r)) {
+          if (f.live->dead_at_exit(r, v)) ++dead;
+        }
+      }
+    }
+    return dead;
+  };
+  int full = count_dead(LivenessMode::Full);
+  int onebit = count_dead(LivenessMode::OneBit);
+  int fi = count_dead(LivenessMode::FlowInsensitive);
+  EXPECT_GE(full, onebit);
+  EXPECT_GE(onebit, fi);
+  EXPECT_GT(full, 0);
+}
+
+TEST(Liveness, InterproceduralKillAcrossCall) {
+  // vz written by trans2 is read by fct; vps then overwrites it before the
+  // next tistep read: vz is dead at the end of fct's read region.
+  auto src = R"(
+program hydro2dish;
+proc trans2() {
+  common varh real vz1[100];
+  do i = 1, 100 label 1 { vz1[i] = real(i); }
+}
+proc fct() {
+  common varh real vz1[100];
+  real acc;
+  acc = 0.0;
+  do i = 1, 100 label 1 { acc = acc + vz1[i]; }
+  print acc;
+}
+proc vps() {
+  common varh real vz[100];
+  do i = 1, 100 label 1 { vz[i] = 3.0; }
+}
+proc tistep() {
+  common varh real vz[100];
+  real acc;
+  acc = 0.0;
+  do i = 1, 100 label 1 { acc = acc + vz[i]; }
+  print acc;
+}
+proc main() {
+  do icnt = 1, 10 label 100 {
+    call tistep();
+    call trans2();
+    call fct();
+    call vps();
+  }
+}
+)";
+  LivenessFixture f(src, LivenessMode::Full);
+  // The write in trans2 (vz1) is consumed by fct, then vps kills the block
+  // before tistep's read in the next iteration: written-live-after the
+  // trans2 loop must be exactly fct's read, and dead after fct's region.
+  ir::Stmt* trans_loop = f.c.loop("trans2/1");
+  const ir::Variable* vz1 = f.c.var("trans2", "vz1");
+  EXPECT_FALSE(f.live->dead_at_exit(f.c.regions->loop_region(trans_loop), vz1));
+  // After vps's write loop, vz is live (tistep reads it next iteration).
+  ir::Stmt* vps_loop = f.c.loop("vps/1");
+  const ir::Variable* vz = f.c.var("vps", "vz");
+  EXPECT_FALSE(f.live->dead_at_exit(f.c.regions->loop_region(vps_loop), vz));
+}
+
+// ---------------------------------------------------------------------------
+// Alias analysis
+// ---------------------------------------------------------------------------
+
+TEST(Alias, IdenticalOverlaysUnify) {
+  auto c = compile(R"(
+program p;
+proc f() {
+  common blk real x[10];
+  do i = 1, 10 { x[i] = 1.0; }
+}
+proc g() {
+  common blk real y[10];
+  do i = 1, 10 { print y[i]; }
+}
+proc main() { call f(); call g(); }
+)");
+  const ir::Variable* x = c.var("f", "x");
+  const ir::Variable* y = c.var("g", "y");
+  EXPECT_EQ(c.alias->canonical(x), c.alias->canonical(y));
+  EXPECT_TRUE(c.alias->may_alias(x, y));
+  EXPECT_FALSE(c.alias->is_blob(x));
+}
+
+TEST(Alias, DisjointOffsetsDontAlias) {
+  auto c = compile(R"(
+program p;
+proc f() {
+  common blk real x[10];
+  common blk @10 real z[10];
+  do i = 1, 10 { x[i] = 1.0; z[i] = 2.0; }
+}
+proc main() { call f(); }
+)");
+  const ir::Variable* x = c.var("f", "x");
+  const ir::Variable* z = c.var("f", "z");
+  EXPECT_FALSE(c.alias->may_alias(x, z));
+}
+
+TEST(Alias, PartialOverlapMakesBlob) {
+  auto c = compile(R"(
+program p;
+proc f() {
+  common blk real x[10];
+  common blk @5 real z[10];
+  do i = 1, 10 { x[i] = 1.0; z[i] = 2.0; }
+}
+proc main() { call f(); }
+)");
+  const ir::Variable* x = c.var("f", "x");
+  const ir::Variable* z = c.var("f", "z");
+  EXPECT_TRUE(c.alias->is_blob(x));
+  EXPECT_TRUE(c.alias->may_alias(x, z));
+  EXPECT_EQ(c.alias->canonical(x), c.alias->canonical(z));
+}
+
+// ---------------------------------------------------------------------------
+// ModRef
+// ---------------------------------------------------------------------------
+
+TEST(ModRef, PropagatesThroughCalls) {
+  auto c = compile(R"(
+program p;
+global real g[10];
+proc leaf(real q[10]) {
+  do i = 1, 10 { q[i] = 0.0; }
+}
+proc mid() {
+  call leaf(g);
+}
+proc main() { call mid(); }
+)");
+  const ProcEffects& fx = c.modref->of(c.prog->find_procedure("mid"));
+  const ir::Variable* g = c.var("main", "g");
+  EXPECT_EQ(fx.mod.count(g), 1u);
+  const ProcEffects& leaf_fx = c.modref->of(c.prog->find_procedure("leaf"));
+  EXPECT_TRUE(leaf_fx.formal_mod[0]);
+  EXPECT_FALSE(leaf_fx.formal_ref[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic analysis
+// ---------------------------------------------------------------------------
+
+TEST(Symbolic, TracksAffineChains) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+proc main() {
+  int k;
+  int m;
+  k = 3;
+  m = 2 * k + 1;
+  a[m] = 1.0;
+}
+)");
+  // The write lands exactly at a[7].
+  ir::Stmt* asg = nullptr;
+  c.prog->main()->for_each([&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Assign && s->lhs->is_array_ref()) asg = s;
+  });
+  ASSERT_NE(asg, nullptr);
+  auto v = c.symbolic->constant_before(asg, c.var("main", "m"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Symbolic, ConditionalAssignmentGoesOpaque) {
+  auto c = compile(R"(
+program p;
+global real a[100];
+global int flag input;
+proc main() {
+  int k;
+  k = 1;
+  if (flag == 1) { k = 2; }
+  a[k] = 1.0;
+}
+)");
+  ir::Stmt* asg = nullptr;
+  c.prog->main()->for_each([&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Assign && s->lhs->is_array_ref()) asg = s;
+  });
+  ASSERT_NE(asg, nullptr);
+  EXPECT_FALSE(c.symbolic->constant_before(asg, c.var("main", "k")).has_value());
+}
+
+}  // namespace
+}  // namespace suifx::analysis

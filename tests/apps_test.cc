@@ -1,0 +1,188 @@
+// Suite-wide correctness tests over every benchmark program (parameterized):
+// parses and verifies, interprets deterministically, accepts exactly the
+// thesis user's assertions, and parallelizes the asserted loops. Also the
+// per-program story checks the benches rely on.
+#include <gtest/gtest.h>
+
+#include "analysis/commonsplit.h"
+#include "analysis/contraction.h"
+#include "benchsuite/suite.h"
+#include "explorer/guru.h"
+#include "simulator/machine.h"
+
+namespace suifx::benchsuite {
+namespace {
+
+std::vector<const BenchProgram*> all_programs() {
+  std::vector<const BenchProgram*> out = explorer_suite();
+  for (const BenchProgram* p : liveness_suite()) {
+    bool dup = false;
+    for (const BenchProgram* q : out) dup |= q == p;
+    if (!dup) out.push_back(p);
+  }
+  for (const BenchProgram* p : reduction_suite()) {
+    bool dup = false;
+    for (const BenchProgram* q : out) dup |= q == p;
+    if (!dup) out.push_back(p);
+  }
+  out.push_back(&flo88_fused());
+  return out;
+}
+
+class SuiteProgram : public ::testing::TestWithParam<const BenchProgram*> {};
+
+TEST_P(SuiteProgram, ParsesAndVerifies) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(GetParam()->source, diag);
+  ASSERT_NE(wb, nullptr) << diag.str();
+  EXPECT_GT(wb->program().num_lines(), 8);
+}
+
+TEST_P(SuiteProgram, InterpretsDeterministically) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(GetParam()->source, diag, std::nullopt);
+  ASSERT_NE(wb, nullptr);
+  auto run = [&] {
+    dynamic::Interpreter interp(wb->program());
+    interp.set_inputs(GetParam()->inputs);
+    return interp.run();
+  };
+  dynamic::RunResult a = run();
+  dynamic::RunResult b = run();
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_FALSE(a.printed.empty());
+  ASSERT_EQ(a.printed.size(), b.printed.size());
+  for (size_t i = 0; i < a.printed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.printed[i], b.printed[i]) << i;
+  }
+}
+
+TEST_P(SuiteProgram, UserAssertionsAcceptedAndEffective) {
+  const BenchProgram* bp = GetParam();
+  if (bp->user_input.empty()) return;
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp->source, diag);
+  ASSERT_NE(wb, nullptr);
+  explorer::GuruConfig cfg;
+  cfg.inputs = bp->inputs;
+  explorer::Guru guru(*wb, cfg);
+  for (const UserAssertion& ua : bp->user_input) {
+    ir::Stmt* loop = wb->loop(ua.loop);
+    ASSERT_NE(loop, nullptr) << ua.loop;
+    const ir::Variable* var = wb->var(ua.var);
+    ASSERT_NE(var, nullptr) << ua.var;
+    // Before the assertion the loop is sequential...
+    std::string warn;
+    bool ok = false;
+    switch (ua.kind) {
+      case UserAssertion::Kind::Privatize:
+        ok = guru.assert_privatizable(loop, var, &warn);
+        break;
+      case UserAssertion::Kind::Independent:
+        ok = guru.assert_independent(loop, var, &warn);
+        break;
+      case UserAssertion::Kind::Parallel:
+        ok = guru.assert_parallel(loop, &warn);
+        break;
+    }
+    EXPECT_TRUE(ok) << ua.loop << " " << ua.var << ": " << warn;
+  }
+  // ... and afterwards every asserted loop is parallelizable.
+  for (const UserAssertion& ua : bp->user_input) {
+    EXPECT_TRUE(guru.plan().is_parallel(wb->loop(ua.loop))) << ua.loop;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuiteProgram, ::testing::ValuesIn(all_programs()),
+    [](const ::testing::TestParamInfo<const BenchProgram*>& info) {
+      std::string n = info.param->name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Per-program stories the evaluation relies on.
+// ---------------------------------------------------------------------------
+
+TEST(Story, MdgAutoHasNoSpeedupUserDoes) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(mdg().source, diag);
+  explorer::GuruConfig cfg;
+  cfg.inputs = mdg().inputs;
+  explorer::Guru guru(*wb, cfg);
+  EXPECT_LT(guru.simulate(8, sim::MachineConfig::alpha_server_8400()).speedup, 1.2);
+  std::string warn;
+  ASSERT_TRUE(guru.assert_privatizable(wb->loop("interf/1000"),
+                                       wb->var("interf.rl"), &warn));
+  EXPECT_GT(guru.simulate(8, sim::MachineConfig::alpha_server_8400()).speedup, 4.0);
+}
+
+TEST(Story, HydroLivenessParallelizesAif3Loops) {
+  Diag diag;
+  auto base = explorer::Workbench::from_source(hydro().source, diag, std::nullopt);
+  auto full = explorer::Workbench::from_source(hydro().source, diag,
+                                               analysis::LivenessMode::Full);
+  EXPECT_FALSE(base->plan().is_parallel(base->loop("vsweep/85")));
+  EXPECT_TRUE(full->plan().is_parallel(full->loop("vsweep/85")));
+  EXPECT_TRUE(full->plan().is_parallel(full->loop("vgath/95")));
+  // The dkrc loops still need the user in both configurations.
+  EXPECT_FALSE(full->plan().is_parallel(full->loop("vsetuv/85")));
+}
+
+TEST(Story, Hydro2dSplitNeedsFullLiveness) {
+  Diag diag;
+  auto count = [&](analysis::LivenessMode mode) {
+    auto prog = frontend::parse_program(hydro2d().source, diag);
+    int n = 0;
+    for (const analysis::CommonSplit& cs : analysis::find_common_splits(*prog, mode)) {
+      if (cs.splittable) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(analysis::LivenessMode::OneBit), 0);
+  EXPECT_EQ(count(analysis::LivenessMode::FlowInsensitive), 0);
+  EXPECT_GE(count(analysis::LivenessMode::Full), 1);
+}
+
+TEST(Story, FusedFlo88ContractsItsTemporaries) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(flo88_fused().source, diag);
+  auto contractions = analysis::find_contractions(
+      wb->loop("psmoo/50"), wb->dataflow(), wb->regions(), *wb->liveness());
+  EXPECT_EQ(contractions.size(), 4u);  // d, e, f, g
+  for (const analysis::ContractedArray& ca : contractions) {
+    EXPECT_EQ(ca.collapsed_dims, 1);
+    EXPECT_EQ(ca.contracted_elems, 34);
+  }
+}
+
+TEST(Story, ReductionKernelsNeedReductionAnalysis) {
+  for (const BenchProgram* bp :
+       {&kernel_embar(), &kernel_ora(), &kernel_dyfesm()}) {
+    Diag diag;
+    auto with = explorer::Workbench::from_source(bp->source, diag,
+                                                 analysis::LivenessMode::Full, true);
+    auto without = explorer::Workbench::from_source(
+        bp->source, diag, analysis::LivenessMode::Full, false);
+    EXPECT_GT(with->plan().num_parallel(), without->plan().num_parallel())
+        << bp->name;
+  }
+}
+
+TEST(Story, TomcatvHasMinMaxReductions) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(kernel_tomcatv().source, diag);
+  parallelizer::ParallelPlan plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("main/10"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_TRUE(lp->parallelizable);
+  int maxes = 0;
+  for (const auto& rv : lp->reductions) maxes += rv.op == ir::BinOp::Max ? 1 : 0;
+  EXPECT_EQ(maxes, 2);  // rxm and rym
+}
+
+}  // namespace
+}  // namespace suifx::benchsuite

@@ -1,0 +1,442 @@
+// Tests for the interpreter, the Loop Profile Analyzer, and the Dynamic
+// Dependence Analyzer.
+#include <gtest/gtest.h>
+
+#include "dynamic/dyndep.h"
+#include "dynamic/interp.h"
+#include "dynamic/profile.h"
+#include "frontend/parser.h"
+
+namespace suifx::dynamic {
+namespace {
+
+std::unique_ptr<ir::Program> parse(const char* src) {
+  Diag diag;
+  auto p = frontend::parse_program(src, diag);
+  EXPECT_NE(p, nullptr) << diag.str();
+  return p;
+}
+
+ir::Stmt* find_loop(ir::Program& prog, const std::string& name) {
+  ir::Stmt* found = nullptr;
+  for (auto& p : prog.procedures()) {
+    p.for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Do && s->loop_name() == name) found = s;
+    });
+  }
+  EXPECT_NE(found, nullptr);
+  return found;
+}
+
+TEST(Interp, ArithmeticAndPrint) {
+  auto prog = parse(R"(
+program p;
+proc main() {
+  real x;
+  int k;
+  x = 3.0 * 4.0 + 1.0;
+  k = 17 % 5;
+  print x;
+  print real(k);
+  print min(2.0, 1.0) + max(2.0, 1.0);
+  print sqrt(16.0);
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.printed.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.printed[0], 13.0);
+  EXPECT_DOUBLE_EQ(r.printed[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.printed[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.printed[3], 4.0);
+}
+
+TEST(Interp, LoopsAndArrays) {
+  auto prog = parse(R"(
+program p;
+global real a[10];
+proc main() {
+  real s;
+  do i = 1, 10 { a[i] = real(i); }
+  s = 0.0;
+  do i = 1, 10 { s = s + a[i]; }
+  print s;
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.printed[0], 55.0);
+}
+
+TEST(Interp, NegativeStepLoop) {
+  auto prog = parse(R"(
+program p;
+global real a[5];
+proc main() {
+  int n;
+  n = 0;
+  do i = 5, 1, -1 {
+    n = n + 1;
+    a[i] = real(n);
+  }
+  print a[5];
+  print a[1];
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.printed[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.printed[1], 5.0);
+}
+
+TEST(Interp, ScalarCopyInCopyOut) {
+  auto prog = parse(R"(
+program p;
+proc bump(int x) {
+  x = x + 1;
+}
+proc main() {
+  int k;
+  k = 41;
+  call bump(k);
+  print real(k);
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.printed[0], 42.0);
+}
+
+TEST(Interp, ArrayElementBaseArgument) {
+  // Fortran-style init(aif3(k1), n) semantics.
+  auto prog = parse(R"(
+program p;
+global real a[10];
+proc fill(real q[n], int n, real v) {
+  do j = 1, n { q[j] = v; }
+}
+proc main() {
+  call fill(a[4], 3, 7.0);
+  print a[3];
+  print a[4];
+  print a[6];
+  print a[7];
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.printed[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.printed[1], 7.0);
+  EXPECT_DOUBLE_EQ(r.printed[2], 7.0);
+  EXPECT_DOUBLE_EQ(r.printed[3], 0.0);
+}
+
+TEST(Interp, CommonOverlaysShareStorage) {
+  auto prog = parse(R"(
+program p;
+proc writer() {
+  common blk real x[4];
+  do i = 1, 4 { x[i] = real(10 * i); }
+}
+proc reader() {
+  common blk real y[4];
+  print y[3];
+}
+proc main() { call writer(); call reader(); }
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.printed[0], 30.0);
+}
+
+TEST(Interp, BoundsCheckCatchesOverflow) {
+  auto prog = parse(R"(
+program p;
+global real a[5];
+proc main() {
+  do i = 1, 6 { a[i] = 1.0; }
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, FuelLimitAborts) {
+  auto prog = parse(R"(
+program p;
+global real a[10];
+proc main() {
+  do i = 1, 10000 {
+    do j = 1, 10 { a[j] = a[j] + 1.0; }
+  }
+}
+)");
+  Interpreter in(*prog);
+  RunResult r = in.run(/*max_cost=*/1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, InputArraysAndParams) {
+  auto prog = parse(R"(
+program p;
+param N = 4;
+global real w[8] input;
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, N { s = s + w[i]; }
+  print s;
+}
+)");
+  Interpreter in(*prog);
+  Inputs inputs;
+  inputs.params["N"] = 3;
+  inputs.arrays["w"] = {1.0, 2.0, 3.0, 100.0};
+  in.set_inputs(inputs);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.printed[0], 6.0);
+}
+
+TEST(Interp, DeterministicDefaultFill) {
+  auto prog = parse(R"(
+program p;
+global real w[16] input;
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, 16 { s = s + w[i]; }
+  print s;
+}
+)");
+  Interpreter a(*prog);
+  Interpreter b(*prog);
+  RunResult ra = a.run();
+  RunResult rb = b.run();
+  ASSERT_TRUE(ra.ok && rb.ok);
+  EXPECT_DOUBLE_EQ(ra.printed[0], rb.printed[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Loop profiler
+// ---------------------------------------------------------------------------
+
+const char* kProfiled = R"(
+program p;
+global real a[100, 100];
+proc main() {
+  do i = 1, 100 label 10 {
+    do j = 1, 100 label 20 {
+      a[i, j] = a[i, j] * 0.5 + 1.0;
+    }
+  }
+  do i = 1, 10 label 30 {
+    a[i, 1] = 0.0;
+  }
+}
+)";
+
+TEST(Profiler, CoverageAndGranularity) {
+  auto prog = parse(kProfiled);
+  Interpreter in(*prog);
+  LoopProfiler prof;
+  in.add_hook(&prof);
+  RunResult r = in.run();
+  ASSERT_TRUE(r.ok) << r.error;
+
+  ir::Stmt* outer = find_loop(*prog, "main/10");
+  ir::Stmt* inner = find_loop(*prog, "main/20");
+  ir::Stmt* small = find_loop(*prog, "main/30");
+
+  EXPECT_EQ(prof.find(outer)->invocations, 1u);
+  EXPECT_EQ(prof.find(outer)->iterations, 100u);
+  EXPECT_EQ(prof.find(inner)->invocations, 100u);
+  EXPECT_EQ(prof.find(inner)->iterations, 10000u);
+  // The big nest dominates execution.
+  EXPECT_GT(prof.coverage(outer), 0.95);
+  EXPECT_LT(prof.coverage(small), 0.01);
+  // Outer granularity (cost per invocation) far exceeds inner.
+  EXPECT_GT(prof.find(outer)->avg_invocation_cost(),
+            50.0 * prof.find(inner)->avg_invocation_cost());
+}
+
+TEST(Profiler, BlockChunkImbalanceForTriangularLoop) {
+  auto prog = parse(R"(
+program p;
+global real a[200, 200];
+proc main() {
+  do i = 1, 100 label 10 {
+    do j = i + 1, 100 label 20 {
+      a[i, j] = 1.0;
+    }
+  }
+}
+)");
+  Interpreter in(*prog);
+  LoopProfiler prof;
+  in.add_hook(&prof);
+  ASSERT_TRUE(in.run().ok);
+  const LoopStats* st = prof.find(find_loop(*prog, "main/10"));
+  ASSERT_NE(st, nullptr);
+  // Triangular work: the first block-scheduled chunk of 4 is heaviest —
+  // roughly 7/4 of the fair share.
+  uint64_t p1 = st->max_chunk_cost[0];
+  uint64_t p4 = st->max_chunk_cost[2];
+  double ratio = static_cast<double>(p1) / static_cast<double>(p4);
+  EXPECT_GT(ratio, 2.0);   // better than 2x despite imbalance
+  EXPECT_LT(ratio, 3.99);  // but clearly short of perfect 4x
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic dependence analyzer
+// ---------------------------------------------------------------------------
+
+TEST(DynDep, CleanLoopShowsNoCarriedDep) {
+  auto prog = parse(R"(
+program p;
+global real a[100];
+global real b[100];
+proc main() {
+  do i = 1, 100 label 10 {
+    a[i] = b[i] + 1.0;
+  }
+}
+)");
+  Interpreter in(*prog);
+  DynDepAnalyzer dd;
+  in.add_hook(&dd);
+  ASSERT_TRUE(in.run().ok);
+  EXPECT_FALSE(dd.observed_carried(find_loop(*prog, "main/10")));
+}
+
+TEST(DynDep, RecurrenceIsObserved) {
+  auto prog = parse(R"(
+program p;
+global real a[100];
+proc main() {
+  do i = 2, 100 label 10 {
+    a[i] = a[i - 1] + 1.0;
+  }
+}
+)");
+  Interpreter in(*prog);
+  DynDepAnalyzer dd;
+  in.add_hook(&dd);
+  ASSERT_TRUE(in.run().ok);
+  ir::Stmt* loop = find_loop(*prog, "main/10");
+  EXPECT_TRUE(dd.observed_carried(loop));
+  const ir::Variable* a = prog->globals()[0];
+  EXPECT_EQ(dd.result(loop).dep_vars.count(a), 1u);
+}
+
+TEST(DynDep, MdgGuardPatternShowsNoDynamicDep) {
+  // The Fig 4-3 situation: statically unresolvable, dynamically clean —
+  // the hint that sends the Guru (and user) to this loop.
+  auto prog = parse(R"(
+program p;
+global real rs[9] input;
+global real out[50];
+proc main() {
+  real rl[14];
+  int kc;
+  do i = 1, 50 label 1000 {
+    kc = 0;
+    do k = 1, 9 label 1110 {
+      if (rs[k] > 0.3) { kc = kc + 1; }
+    }
+    if (kc != 9) {
+      do k = 2, 5 label 1130 {
+        if (rs[k + 4] <= 0.3) { rl[k + 4] = rs[k] * 2.0; }
+      }
+      if (kc == 0) {
+        do k = 11, 14 label 1140 {
+          out[i] = out[i] + rl[k - 5];
+        }
+      }
+    }
+  }
+}
+)");
+  Interpreter in(*prog);
+  DynDepAnalyzer dd;
+  in.add_hook(&dd);
+  ASSERT_TRUE(in.run().ok);
+  ir::Stmt* loop = find_loop(*prog, "main/1000");
+  const DynDepResult& r = dd.result(loop);
+  // rl never flows across iterations (writes precede reads per iteration when
+  // they happen at all); kc is rewritten every iteration.
+  const ir::Variable* rl = prog->main()->find_var("rl");
+  EXPECT_EQ(r.dep_vars.count(rl), 0u);
+  EXPECT_FALSE(dd.observed_carried(loop));
+  EXPECT_EQ(r.priv_candidates.count(rl), 1u);
+}
+
+TEST(DynDep, ReductionIgnoredWhenListed) {
+  auto prog = parse(R"(
+program p;
+global real w[100] input;
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, 100 label 10 {
+    s = s + w[i];
+  }
+  print s;
+}
+)");
+  ir::Stmt* loop = nullptr;
+  prog->main()->for_each([&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Do) loop = s;
+  });
+  const ir::Variable* s = prog->main()->find_var("s");
+
+  // Without the ignore list, the accumulator shows a carried dependence.
+  {
+    Interpreter in(*prog);
+    DynDepAnalyzer dd;
+    in.add_hook(&dd);
+    ASSERT_TRUE(in.run().ok);
+    EXPECT_TRUE(dd.observed_carried(loop));
+  }
+  // With the compiler-identified reduction excluded, the loop looks clean.
+  {
+    Interpreter in(*prog);
+    DynDepAnalyzer::Options opts;
+    opts.ignore[loop] = {s};
+    DynDepAnalyzer dd(opts);
+    in.add_hook(&dd);
+    ASSERT_TRUE(in.run().ok);
+    EXPECT_FALSE(dd.observed_carried(loop));
+  }
+}
+
+TEST(DynDep, StrideSamplingStillSeesDeps) {
+  auto prog = parse(R"(
+program p;
+global real a[1000];
+proc main() {
+  do i = 2, 1000 label 10 {
+    a[i] = a[i - 1] + 1.0;
+  }
+}
+)");
+  Interpreter in(*prog);
+  DynDepAnalyzer::Options opts;
+  opts.stride = 1;  // adjacent-iteration dependence needs full sampling
+  DynDepAnalyzer dd(opts);
+  in.add_hook(&dd);
+  ASSERT_TRUE(in.run().ok);
+  EXPECT_TRUE(dd.observed_carried(find_loop(*prog, "main/10")));
+}
+
+}  // namespace
+}  // namespace suifx::dynamic

@@ -1,0 +1,139 @@
+// Tests for the Explorer layer: Workbench lookups, the Parallelization
+// Guru's target list and metrics, the Assertion Checker's dynamic
+// validation (§2.8), and the text visualizations.
+#include <gtest/gtest.h>
+
+#include "benchsuite/suite.h"
+#include "explorer/codeview.h"
+#include "explorer/guru.h"
+#include "simulator/machine.h"
+#include "slicing/slicer.h"
+
+namespace suifx::explorer {
+namespace {
+
+TEST(Workbench, Lookups) {
+  Diag diag;
+  auto wb = Workbench::from_source(benchsuite::mdg().source, diag);
+  ASSERT_NE(wb, nullptr) << diag.str();
+  EXPECT_NE(wb->loop("interf/1000"), nullptr);
+  EXPECT_EQ(wb->loop("interf/9999"), nullptr);
+  EXPECT_NE(wb->var("interf.rl"), nullptr);
+  EXPECT_NE(wb->var("cut2"), nullptr);
+  EXPECT_EQ(wb->var("nope.x"), nullptr);
+}
+
+struct MdgSession {
+  std::unique_ptr<Workbench> wb;
+  std::unique_ptr<Guru> guru;
+  MdgSession() {
+    Diag diag;
+    wb = Workbench::from_source(benchsuite::mdg().source, diag);
+    GuruConfig cfg;
+    cfg.inputs = benchsuite::mdg().inputs;
+    guru = std::make_unique<Guru>(*wb, cfg);
+  }
+};
+
+TEST(Guru, TargetsRankedByCoverage) {
+  MdgSession s;
+  auto targets = s.guru->targets();
+  ASSERT_GE(targets.size(), 2u);
+  EXPECT_EQ(targets[0]->loop->loop_name(), "interf/1000");
+  for (size_t i = 1; i < targets.size(); ++i) {
+    EXPECT_GE(targets[i - 1]->coverage, targets[i]->coverage);
+  }
+  // The RL dependence is reported statically but not dynamically (Fig 4-2).
+  EXPECT_EQ(targets[0]->num_static_deps, 1);
+  EXPECT_FALSE(targets[0]->dynamic_dep);
+}
+
+TEST(Guru, AssertionEnablesLoopAndSpeedup) {
+  MdgSession s;
+  double before =
+      s.guru->simulate(8, sim::MachineConfig::alpha_server_8400()).speedup;
+  ir::Stmt* loop = s.wb->loop("interf/1000");
+  std::string warn;
+  ASSERT_TRUE(s.guru->assert_privatizable(loop, s.wb->var("interf.rl"), &warn))
+      << warn;
+  EXPECT_TRUE(s.guru->plan().is_parallel(loop));
+  double after =
+      s.guru->simulate(8, sim::MachineConfig::alpha_server_8400()).speedup;
+  EXPECT_GT(after, before * 3.0);
+  EXPECT_GT(s.guru->coverage(), 0.95);
+}
+
+TEST(Guru, AssertionCheckerRejectsContradictedClaim) {
+  // A genuine recurrence: the Dynamic Dependence Analyzer observes the
+  // carried flow and the checker refuses the assertion (§2.8).
+  const char* src = R"(
+program p;
+global real a[100];
+proc main() {
+  do i = 2, 100 label 10 {
+    a[i] = a[i - 1] + 1.0;
+  }
+  print a[50];
+}
+)";
+  Diag diag;
+  auto wb = Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  Guru guru(*wb);
+  std::string warn;
+  EXPECT_FALSE(guru.assert_privatizable(wb->loop("main/10"), wb->var("a"), &warn));
+  EXPECT_NE(warn.find("contradicted"), std::string::npos);
+  EXPECT_FALSE(guru.assert_parallel(wb->loop("main/10"), &warn));
+  EXPECT_FALSE(guru.plan().is_parallel(wb->loop("main/10")));
+}
+
+TEST(Guru, InterventionStatsMatchMdgStory) {
+  MdgSession s;
+  std::string warn;
+  ASSERT_TRUE(s.guru->assert_privatizable(s.wb->loop("interf/1000"),
+                                          s.wb->var("interf.rl"), &warn));
+  InterventionStats st = s.guru->intervention_stats();
+  EXPECT_EQ(st.important_inter, 2);  // interf/1000 and interf/1100
+  EXPECT_EQ(st.important_no_dyndep_inter, 2);
+  EXPECT_EQ(st.user_parallelized_inter, 1);
+  EXPECT_EQ(st.remaining_important_inter, 0);  // 1100 nested under 1000
+  EXPECT_EQ(st.remaining_important_intra, 0);
+}
+
+TEST(Codeview, MarksLoopsAndFocus) {
+  MdgSession s;
+  ir::Stmt* focus = s.wb->loop("interf/1000");
+  std::string view =
+      codeview(*s.wb, s.guru->plan(), s.guru->profiler(), focus);
+  EXPECT_NE(view.find('*'), std::string::npos);  // focus bar
+  EXPECT_NE(view.find('o'), std::string::npos);  // parallel loops
+  EXPECT_NE(view.find('#'), std::string::npos);  // sequential loops
+  // Filtering by coverage removes small loops from the display.
+  CodeviewFilter strict;
+  strict.min_coverage = 0.5;
+  std::string filtered =
+      codeview(*s.wb, s.guru->plan(), s.guru->profiler(), nullptr, strict);
+  auto count = [](const std::string& str, char c) {
+    return std::count(str.begin(), str.end(), c);
+  };
+  EXPECT_LT(count(filtered, 'o') + count(filtered, '#'),
+            count(view, 'o') + count(view, '#'));
+}
+
+TEST(AnnotatedSource, MarksSliceAndTerminals) {
+  MdgSession s;
+  slicing::Slicer slicer(s.wb->issa());
+  ir::Stmt* loop = s.wb->loop("interf/1000");
+  slicing::SliceOptions opts;
+  opts.region_loop = loop;
+  opts.array_restrict = true;
+  slicing::SliceResult slice =
+      slicer.dependence_slice(loop, s.wb->var("interf.rl"), opts);
+  std::string view = annotated_source(*s.wb, slice, nullptr);
+  EXPECT_NE(view.find("> "), std::string::npos);
+  EXPECT_NE(view.find("? "), std::string::npos);
+  EXPECT_NE(view.find("rl[k + 4]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace suifx::explorer

@@ -1,0 +1,187 @@
+// Frontend tests: lexing, parsing, semantic errors, and print/parse
+// round-tripping.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "ir/printer.h"
+
+namespace suifx::frontend {
+namespace {
+
+const char* kHydroish = R"(
+program hydroish;
+param LMAX = 50;
+global real duac[60, 60];
+global int k_lower[60] input;
+global int k_upper[60] input;
+
+proc init(real q[n], int n) {
+  do j = 1, n {
+    q[j] = 0.5;
+  }
+}
+
+proc vsetuv() {
+  real dkrc[200];
+  int k1;
+  int k2;
+  int k1p1;
+  do l = 2, LMAX label 85 {
+    k1 = k_lower[l];
+    k2 = k_upper[l];
+    if (k1 == 0) {
+      k1 = 1;
+    }
+    k1p1 = k1;
+    if (k1 == 1) {
+      k1p1 = k1 + 1;
+    }
+    do k = k1p1, k2 + 1 label 60 {
+      dkrc[k] = 1.0 * k;
+    }
+    do k = k1, k2 label 80 {
+      duac[k, l] = dkrc[k] + dkrc[k + 1];
+    }
+  }
+}
+
+proc main() {
+  call vsetuv();
+  print duac[3, 3];
+}
+)";
+
+TEST(Lexer, TokensAndComments) {
+  Diag diag;
+  auto toks = lex("do i = 1, 10 { // trailing\n a[i] = 2.5e1; }", diag);
+  ASSERT_FALSE(diag.has_errors());
+  EXPECT_EQ(toks[0].kind, Tok::KwDo);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "i");
+  // Find the real literal.
+  bool found_real = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::RealLit) {
+      EXPECT_DOUBLE_EQ(t.rval, 25.0);
+      found_real = true;
+    }
+  }
+  EXPECT_TRUE(found_real);
+  EXPECT_EQ(toks.back().kind, Tok::End);
+}
+
+TEST(Lexer, TracksLines) {
+  Diag diag;
+  auto toks = lex("a\nbb\n  c", diag);
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[2].loc.line, 3);
+  EXPECT_EQ(toks[2].loc.col, 3);
+}
+
+TEST(Parser, ParsesHydroish) {
+  Diag diag;
+  auto prog = parse_program(kHydroish, diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  EXPECT_EQ(prog->name(), "hydroish");
+  ASSERT_NE(prog->main(), nullptr);
+  EXPECT_EQ(prog->main()->name, "main");
+  ir::Procedure* vs = prog->find_procedure("vsetuv");
+  ASSERT_NE(vs, nullptr);
+  auto loops = vs->loops();
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0]->loop_name(), "vsetuv/85");
+  EXPECT_EQ(loops[1]->loop_name(), "vsetuv/60");
+  // Loop indices were auto-declared.
+  EXPECT_NE(vs->find_var("l"), nullptr);
+  EXPECT_EQ(vs->find_var("l")->elem, ir::ScalarType::Int);
+}
+
+TEST(Parser, AdjustableFormalArray) {
+  Diag diag;
+  auto prog = parse_program(kHydroish, diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  ir::Procedure* init = prog->find_procedure("init");
+  ASSERT_NE(init, nullptr);
+  ASSERT_EQ(init->formals.size(), 2u);
+  EXPECT_TRUE(init->formals[0]->is_array());
+  // q's bound references the formal n.
+  const ir::Expr* ub = init->formals[0]->dims[0].upper;
+  ASSERT_EQ(ub->kind, ir::ExprKind::VarRef);
+  EXPECT_EQ(ub->var, init->formals[1]);
+}
+
+TEST(Parser, RoundTripsThroughPrinter) {
+  Diag diag;
+  auto prog = parse_program(kHydroish, diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  std::string printed = ir::to_string(*prog);
+  Diag diag2;
+  auto prog2 = parse_program(printed, diag2);
+  ASSERT_NE(prog2, nullptr) << diag2.str() << "\n--- printed ---\n" << printed;
+  // Second round trip must be a fixed point.
+  EXPECT_EQ(ir::to_string(*prog2), printed);
+}
+
+TEST(Parser, RejectsUnknownVariable) {
+  Diag diag;
+  auto prog = parse_program("program p; proc main() { x = 1; }", diag);
+  EXPECT_EQ(prog, nullptr);
+  EXPECT_NE(diag.str().find("unknown variable 'x'"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownCallee) {
+  Diag diag;
+  auto prog = parse_program("program p; proc main() { call nope(); }", diag);
+  EXPECT_EQ(prog, nullptr);
+  EXPECT_NE(diag.str().find("unknown procedure"), std::string::npos);
+}
+
+TEST(Parser, RejectsArityMismatch) {
+  Diag diag;
+  auto prog = parse_program(
+      "program p; proc f(int x) { x = x; } proc main() { call f(); }", diag);
+  EXPECT_EQ(prog, nullptr);
+  EXPECT_NE(diag.str().find("passes 0 args"), std::string::npos);
+}
+
+TEST(Parser, ParsesCommonOverlays) {
+  const char* src = R"(
+program c;
+proc trans2() {
+  common varh real vz1[100];
+  do i = 1, 100 { vz1[i] = 1.0; }
+}
+proc tistep() {
+  common varh real vz[100];
+  do i = 1, 100 { print vz[i]; }
+}
+proc main() { call trans2(); call tistep(); }
+)";
+  Diag diag;
+  auto prog = parse_program(src, diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  ASSERT_EQ(prog->commons().size(), 1u);
+  EXPECT_EQ(prog->commons().front().name, "varh");
+  EXPECT_EQ(prog->commons().front().size_elems, 100);
+}
+
+TEST(Parser, ParsesIntrinsicsAndCasts) {
+  const char* src = R"(
+program i;
+proc main() {
+  real x;
+  int k;
+  x = sqrt(abs(-2.0)) + min(1.0, 2.0) + max(3.0, 4.0) + exp(0.0) + log(1.0);
+  k = int(x) % 3;
+  x = real(k) / 2.0;
+}
+)";
+  Diag diag;
+  auto prog = parse_program(src, diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+}
+
+}  // namespace
+}  // namespace suifx::frontend

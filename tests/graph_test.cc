@@ -1,0 +1,220 @@
+// Tests for call graph, region tree, CFG lowering, and dominators.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "graph/callgraph.h"
+#include "graph/cfg.h"
+#include "graph/regions.h"
+
+namespace suifx::graph {
+namespace {
+
+std::unique_ptr<ir::Program> parse(const char* src) {
+  Diag diag;
+  auto p = frontend::parse_program(src, diag);
+  EXPECT_NE(p, nullptr) << diag.str();
+  return p;
+}
+
+const char* kProg = R"(
+program g;
+global real a[100];
+proc leaf(real q[100]) {
+  do i = 1, 100 { q[i] = 0.0; }
+}
+proc mid() {
+  call leaf(a);
+  do j = 1, 10 label 10 {
+    call leaf(a);
+  }
+}
+proc main() {
+  call mid();
+  call leaf(a);
+}
+)";
+
+TEST(CallGraph, BottomUpOrder) {
+  auto prog = parse(kProg);
+  CallGraph cg(*prog);
+  const auto& order = cg.bottom_up();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const char* n) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i]->name == n) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(pos("leaf"), pos("mid"));
+  EXPECT_LT(pos("mid"), pos("main"));
+}
+
+TEST(CallGraph, CallsitesAndReachability) {
+  auto prog = parse(kProg);
+  CallGraph cg(*prog);
+  ir::Procedure* leaf = prog->find_procedure("leaf");
+  EXPECT_EQ(cg.callsites_of(leaf).size(), 3u);
+  EXPECT_EQ(cg.calls_in(prog->find_procedure("mid")).size(), 2u);
+  EXPECT_TRUE(cg.is_reachable(leaf));
+  EXPECT_EQ(cg.reachable().size(), 3u);
+}
+
+TEST(CallGraph, DotOutput) {
+  auto prog = parse(kProg);
+  CallGraph cg(*prog);
+  std::string dot = cg.to_dot();
+  EXPECT_NE(dot.find("\"mid\" -> \"leaf\""), std::string::npos);
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);
+}
+
+TEST(Regions, TreeShape) {
+  auto prog = parse(kProg);
+  RegionTree rt(*prog);
+  ir::Procedure* mid = prog->find_procedure("mid");
+  Region* pr = rt.of_proc(mid);
+  ASSERT_EQ(pr->kind, RegionKind::Procedure);
+  // mid has one loop -> one Loop child with one LoopBody child.
+  ASSERT_EQ(pr->children.size(), 1u);
+  Region* lr = pr->children[0];
+  EXPECT_EQ(lr->kind, RegionKind::Loop);
+  EXPECT_EQ(lr->name(), "mid/10");
+  ASSERT_EQ(lr->children.size(), 1u);
+  EXPECT_EQ(lr->children[0]->kind, RegionKind::LoopBody);
+}
+
+TEST(Regions, PostorderIsInnermostFirst) {
+  auto prog = parse(R"(
+program n;
+proc main() {
+  real a[10, 10];
+  do i = 1, 10 label 1 {
+    do j = 1, 10 label 2 {
+      a[i, j] = 0.0;
+    }
+  }
+}
+)");
+  RegionTree rt(*prog);
+  std::vector<std::string> names;
+  for (Region* r : rt.postorder()) names.push_back(r->name());
+  // Inner loop body & loop precede outer loop body & loop precede procedure.
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "main/2/body");
+  EXPECT_EQ(names[1], "main/2");
+  EXPECT_EQ(names[2], "main/1/body");
+  EXPECT_EQ(names[3], "main/1");
+  EXPECT_EQ(names[4], "main");
+}
+
+TEST(Cfg, LoopLowering) {
+  auto prog = parse(R"(
+program c;
+proc main() {
+  real a[10];
+  do i = 1, 10 { a[i] = 1.0; }
+}
+)");
+  Cfg cfg(*prog->main());
+  int heads = 0, latches = 0, pres = 0;
+  for (const auto& n : cfg.nodes()) {
+    if (n->kind == CfgNodeKind::LoopHead) ++heads;
+    if (n->kind == CfgNodeKind::LoopLatch) ++latches;
+    if (n->kind == CfgNodeKind::LoopPre) ++pres;
+  }
+  EXPECT_EQ(heads, 1);
+  EXPECT_EQ(latches, 1);
+  EXPECT_EQ(pres, 1);
+  // Entry reaches exit.
+  auto order = cfg.rpo();
+  EXPECT_EQ(order.front(), cfg.entry());
+  bool exit_seen = false;
+  for (auto* n : order) exit_seen |= (n == cfg.exit());
+  EXPECT_TRUE(exit_seen);
+}
+
+TEST(Cfg, BranchJoinShape) {
+  auto prog = parse(R"(
+program b;
+proc main() {
+  real x;
+  x = 0.0;
+  if (x < 1.0) { x = 1.0; } else { x = 2.0; }
+  x = 3.0;
+}
+)");
+  Cfg cfg(*prog->main());
+  const CfgNode* branch = nullptr;
+  const CfgNode* join = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n->kind == CfgNodeKind::Branch) branch = n.get();
+    if (n->kind == CfgNodeKind::Join) join = n.get();
+  }
+  ASSERT_NE(branch, nullptr);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(branch->succs.size(), 2u);
+  EXPECT_EQ(join->preds.size(), 2u);
+}
+
+TEST(Dom, LoopHeadDominatesBody) {
+  auto prog = parse(R"(
+program d;
+proc main() {
+  real a[10];
+  do i = 1, 10 { a[i] = 1.0; }
+}
+)");
+  Cfg cfg(*prog->main());
+  DomInfo dom(cfg);
+  CfgNode* head = nullptr;
+  CfgNode* latch = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n->kind == CfgNodeKind::LoopHead) head = n.get();
+    if (n->kind == CfgNodeKind::LoopLatch) latch = n.get();
+  }
+  ASSERT_NE(head, nullptr);
+  ASSERT_NE(latch, nullptr);
+  EXPECT_TRUE(dom.dominates(head, latch));
+  EXPECT_FALSE(dom.dominates(latch, head));
+  EXPECT_TRUE(dom.dominates(cfg.entry(), cfg.exit()));
+  // The loop head is a join of pre and latch: it is in the frontier of latch.
+  const auto& f = dom.frontier(latch);
+  EXPECT_NE(std::find(f.begin(), f.end(), head), f.end());
+}
+
+TEST(Dom, PostdominatorsAndIteratedFrontier) {
+  auto prog = parse(R"(
+program pd;
+proc main() {
+  real x;
+  x = 0.0;
+  if (x < 1.0) { x = 1.0; } else { x = 2.0; }
+  x = 3.0;
+}
+)");
+  Cfg cfg(*prog->main());
+  DomInfo pdom(cfg, /*reverse=*/true);
+  const CfgNode* branch = nullptr;
+  const CfgNode* join = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n->kind == CfgNodeKind::Branch) branch = n.get();
+    if (n->kind == CfgNodeKind::Join) join = n.get();
+  }
+  EXPECT_TRUE(pdom.dominates(join, branch));  // join postdominates branch
+
+  DomInfo dom(cfg);
+  // Defs in both arms of the branch need a phi at the join.
+  std::vector<CfgNode*> defs;
+  for (const auto& n : cfg.nodes()) {
+    if (n->kind == CfgNodeKind::Plain && !n->stmts.empty() &&
+        n->preds.size() == 1 && n->preds[0]->kind == CfgNodeKind::Branch) {
+      defs.push_back(n.get());
+    }
+  }
+  ASSERT_EQ(defs.size(), 2u);
+  auto idf = dom.iterated_frontier(defs);
+  ASSERT_EQ(idf.size(), 1u);
+  EXPECT_EQ(idf[0]->kind, CfgNodeKind::Join);
+}
+
+}  // namespace
+}  // namespace suifx::graph

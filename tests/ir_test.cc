@@ -1,0 +1,132 @@
+// Unit tests for the core IR: construction, finalization, access collection,
+// loop naming, and the verifier's rejection of malformed programs.
+#include <gtest/gtest.h>
+
+#include "ir/ir.h"
+#include "ir/printer.h"
+#include "ir/verify.h"
+
+namespace suifx::ir {
+namespace {
+
+/// Builds: proc main { real a[10]; do i = 1, 10 label 100 { a[i] = a[i] + 1.0; } }
+std::unique_ptr<Program> make_simple() {
+  auto prog = std::make_unique<Program>("simple");
+  Procedure* mn = prog->new_procedure("main");
+  Variable* a = prog->new_local(mn, "a", ScalarType::Real,
+                                {{prog->int_const(1), prog->int_const(10)}});
+  Variable* i = prog->new_local(mn, "i", ScalarType::Int);
+  const Expr* ai = prog->array_ref(a, {prog->var_ref(i)});
+  Stmt* update = prog->assign(ai, prog->add(ai, prog->real_const(1.0)));
+  Stmt* loop = prog->do_(i, prog->int_const(1), prog->int_const(10), {update}, "100");
+  mn->body = {loop};
+  prog->set_main(mn);
+  prog->finalize();
+  return prog;
+}
+
+TEST(Ir, FinalizeAssignsLinesAndParents) {
+  auto prog = make_simple();
+  Procedure* mn = prog->main();
+  ASSERT_EQ(mn->body.size(), 1u);
+  Stmt* loop = mn->body[0];
+  EXPECT_EQ(loop->kind, StmtKind::Do);
+  EXPECT_GT(loop->line, 0);
+  ASSERT_EQ(loop->body.size(), 1u);
+  Stmt* update = loop->body[0];
+  EXPECT_EQ(update->parent, loop);
+  EXPECT_EQ(update->proc, mn);
+  EXPECT_GT(update->line, loop->line);
+  EXPECT_GT(prog->num_lines(), 2);
+}
+
+TEST(Ir, LoopNaming) {
+  auto prog = make_simple();
+  Stmt* loop = prog->main()->body[0];
+  EXPECT_EQ(loop->loop_name(), "main/100");
+  EXPECT_EQ(loop->loop_depth(), 0);
+  EXPECT_EQ(loop->body[0]->loop_depth(), 1);
+  EXPECT_EQ(loop->body[0]->enclosing_loop(), loop);
+}
+
+TEST(Ir, DirectAccessesOfAssign) {
+  auto prog = make_simple();
+  Stmt* update = prog->main()->body[0]->body[0];
+  std::vector<Access> acc = direct_accesses(update);
+  int reads_a = 0, writes_a = 0, reads_i = 0;
+  for (const Access& x : acc) {
+    if (x.var->name == "a") (x.is_write ? writes_a : reads_a)++;
+    if (x.var->name == "i" && !x.is_write) ++reads_i;
+  }
+  EXPECT_EQ(reads_a, 1);
+  EXPECT_EQ(writes_a, 1);
+  // i appears in both the RHS ref subscript and the LHS subscript.
+  EXPECT_EQ(reads_i, 2);
+}
+
+TEST(Ir, VerifyAcceptsWellFormed) {
+  auto prog = make_simple();
+  Diag diag;
+  EXPECT_TRUE(verify(*prog, diag)) << diag.str();
+}
+
+TEST(Ir, VerifyRejectsRankMismatch) {
+  auto prog = std::make_unique<Program>("bad");
+  Procedure* mn = prog->new_procedure("main");
+  Variable* a = prog->new_local(mn, "a", ScalarType::Real,
+                                {{prog->int_const(1), prog->int_const(4)},
+                                 {prog->int_const(1), prog->int_const(4)}});
+  // One subscript for a rank-2 array.
+  mn->body = {prog->assign(prog->array_ref(a, {prog->int_const(1)}),
+                           prog->real_const(0.0))};
+  prog->set_main(mn);
+  prog->finalize();
+  Diag diag;
+  EXPECT_FALSE(verify(*prog, diag));
+  EXPECT_NE(diag.str().find("rank mismatch"), std::string::npos);
+}
+
+TEST(Ir, VerifyRejectsRecursion) {
+  auto prog = std::make_unique<Program>("rec");
+  Procedure* f = prog->new_procedure("f");
+  f->body = {prog->call(f, {})};
+  prog->set_main(f);
+  prog->finalize();
+  Diag diag;
+  EXPECT_FALSE(verify(*prog, diag));
+  EXPECT_NE(diag.str().find("recursive"), std::string::npos);
+}
+
+TEST(Ir, EvalConstWithParams) {
+  auto prog = std::make_unique<Program>("p");
+  Variable* n = prog->new_sym_param("N", 64);
+  const Expr* e = prog->sub(prog->mul(prog->int_const(2), prog->var_ref(n)),
+                            prog->int_const(3));
+  long v = 0;
+  ASSERT_TRUE(eval_const_with_params(e, &v));
+  EXPECT_EQ(v, 125);
+}
+
+TEST(Ir, PrinterRendersLoop) {
+  auto prog = make_simple();
+  std::string src = to_string(*prog);
+  EXPECT_NE(src.find("do i = 1, 10 label 100 {"), std::string::npos);
+  EXPECT_NE(src.find("a[i] = a[i] + 1.0;"), std::string::npos);
+}
+
+TEST(Ir, CommonBlockSizing) {
+  auto prog = std::make_unique<Program>("c");
+  Procedure* p1 = prog->new_procedure("p1");
+  Procedure* p2 = prog->new_procedure("p2");
+  CommonBlock* blk = prog->new_common("varh");
+  prog->new_common_member(p1, blk, "vz", ScalarType::Real,
+                          {{prog->int_const(1), prog->int_const(20)}}, 0);
+  prog->new_common_member(p2, blk, "vz1", ScalarType::Real,
+                          {{prog->int_const(1), prog->int_const(8)}}, 16);
+  prog->set_main(p1);
+  prog->finalize();
+  EXPECT_EQ(blk->size_elems, 24);
+}
+
+}  // namespace
+}  // namespace suifx::ir

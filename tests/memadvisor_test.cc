@@ -1,0 +1,116 @@
+// Tests for the memory-performance advisor (§7.5.1 extension).
+#include <gtest/gtest.h>
+
+#include "analysis/memadvisor.h"
+#include "benchsuite/suite.h"
+#include "explorer/workbench.h"
+#include "ir/printer.h"
+#include "simulator/smp.h"
+
+namespace suifx::analysis {
+namespace {
+
+TEST(MemAdvisor, FindsHydroTransposeConflict) {
+  const benchsuite::BenchProgram& bp = benchsuite::hydro();
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp.source, diag);
+  ASSERT_NE(wb, nullptr);
+  parallelizer::Assertions asserts;
+  for (const benchsuite::UserAssertion& ua : bp.user_input) {
+    asserts.privatize[wb->loop(ua.loop)].insert(
+        wb->alias().canonical(wb->var(ua.var)));
+  }
+  auto plan = wb->plan(asserts);
+  sim::SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  auto advice = advise_memory_opts(wb->program(), wb->dataflow(),
+                                   simulator.outermost_parallel(plan));
+  bool duac_transpose = false;
+  for (const MemAdvice& a : advice) {
+    if (a.kind == MemAdviceKind::ArrayTranspose && a.array->name == "duac") {
+      duac_transpose = true;
+      EXPECT_GE(a.conflict_loops.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(duac_transpose);
+}
+
+TEST(MemAdvisor, FlagsMisStridedInnerLoop) {
+  const char* src = R"(
+program p;
+param N = 40;
+global real a[40, 40];
+proc main() {
+  do i = 1, N label 10 {
+    do j = 1, N label 20 {
+      a[i, j] = real(i + j);
+    }
+  }
+  print a[2, 2];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  auto plan = wb->plan();
+  sim::SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  auto advice = advise_memory_opts(wb->program(), wb->dataflow(),
+                                   simulator.outermost_parallel(plan));
+  // Inner loop j walks dimension 1 (non-contiguous in column-major).
+  bool flagged = false;
+  for (const MemAdvice& a : advice) {
+    if (a.kind == MemAdviceKind::LoopInterchange && a.loop != nullptr &&
+        a.loop->loop_name() == "main/20") {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(MemAdvisor, SilentOnWellStridedCode) {
+  const char* src = R"(
+program p;
+param N = 40;
+global real a[40, 40];
+proc main() {
+  do j = 1, N label 10 {
+    do i = 1, N label 20 {
+      a[i, j] = real(i + j);
+    }
+  }
+  print a[2, 2];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  auto plan = wb->plan();
+  sim::SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  auto advice = advise_memory_opts(wb->program(), wb->dataflow(),
+                                   simulator.outermost_parallel(plan));
+  EXPECT_TRUE(advice.empty());
+}
+
+TEST(MemAdvisor, StridePenaltyLowersSimulatedSpeedup) {
+  const benchsuite::BenchProgram& bp = benchsuite::arc3d();
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp.source, diag);
+  ASSERT_NE(wb, nullptr);
+  auto plan = wb->plan();
+  dynamic::Interpreter interp(wb->program());
+  interp.set_inputs(bp.inputs);
+  dynamic::LoopProfiler prof;
+  interp.add_hook(&prof);
+  ASSERT_TRUE(interp.run().ok);
+  sim::SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  sim::SimOptions plain;
+  plain.nproc = 8;
+  sim::SimOptions penalized = plain;
+  for (const ir::Stmt* loop : simulator.outermost_parallel(plan)) {
+    penalized.stride_penalty[loop] = 1.5;
+  }
+  EXPECT_LE(simulator.simulate(plan, prof, penalized).speedup,
+            simulator.simulate(plan, prof, plain).speedup);
+}
+
+}  // namespace
+}  // namespace suifx::analysis

@@ -1,0 +1,177 @@
+// Tests for the parallelization driver: transform selection, finalization
+// policy, user assertions, liveness integration, and the no-reduction
+// baseline.
+#include <gtest/gtest.h>
+
+#include "explorer/workbench.h"
+
+namespace suifx::parallelizer {
+namespace {
+
+std::unique_ptr<explorer::Workbench> make(
+    const char* src,
+    std::optional<analysis::LivenessMode> mode = analysis::LivenessMode::Full,
+    bool reductions = true) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag, mode, reductions);
+  EXPECT_NE(wb, nullptr) << diag.str();
+  return wb;
+}
+
+const char* kPrivFinalize = R"(
+program p;
+param N = 50;
+global real a[50, 20];
+global real t_live[20];
+proc main() {
+  real t[20];
+  do i = 1, N label 10 {
+    do j = 1, 20 label 20 { t[j] = real(i + j); }
+    do j = 1, 20 label 30 { a[i, j] = t[j]; }
+  }
+  do i = 1, N label 40 {
+    do j = 1, 20 label 50 { t_live[j] = real(i + j); }
+    do j = 1, 20 label 60 { a[i, j] = a[i, j] + t_live[j]; }
+  }
+  print t_live[3];
+}
+)";
+
+TEST(Parallelizer, FinalizePolicySelection) {
+  auto wb = make(kPrivFinalize);
+  ParallelPlan plan = wb->plan();
+  // Loop 10: t is dead after (never read again) -> Finalize::None.
+  const LoopPlan* p10 = plan.find(wb->loop("main/10"));
+  ASSERT_NE(p10, nullptr);
+  EXPECT_TRUE(p10->parallelizable);
+  bool found_t = false;
+  for (const PrivateVar& pv : p10->privatized) {
+    if (pv.var->name == "t") {
+      found_t = true;
+      EXPECT_EQ(pv.finalize, Finalize::None);
+      EXPECT_TRUE(p10->used_liveness || pv.finalize == Finalize::LastIteration);
+    }
+  }
+  EXPECT_TRUE(found_t);
+  // Loop 40: t_live is printed after, but every iteration writes the same
+  // region -> the base last-iteration rule applies.
+  const LoopPlan* p40 = plan.find(wb->loop("main/40"));
+  ASSERT_NE(p40, nullptr);
+  EXPECT_TRUE(p40->parallelizable);
+  for (const PrivateVar& pv : p40->privatized) {
+    if (pv.var->name == "t_live") {
+      EXPECT_EQ(pv.finalize, Finalize::LastIteration);
+    }
+  }
+}
+
+TEST(Parallelizer, BaseCompilerNeedsSameRegionRule) {
+  // Without liveness, a loop whose private array has loop-variant extents
+  // cannot be finalized and stays sequential.
+  const char* src = R"(
+program p;
+global int hi[40] input;
+global real out[40, 40];
+proc main() {
+  real t[40];
+  int h;
+  do i = 1, 40 label 10 {
+    h = hi[i];
+    do j = 2, h label 20 { t[j] = real(j); }
+    do j = 2, h label 30 { out[i, j] = t[j]; }
+  }
+}
+)";
+  auto base = make(src, std::nullopt);
+  EXPECT_FALSE(base->plan().is_parallel(base->loop("main/10")));
+  auto full = make(src, analysis::LivenessMode::Full);
+  EXPECT_TRUE(full->plan().is_parallel(full->loop("main/10")));
+}
+
+TEST(Parallelizer, AssertionsFlipLoops) {
+  const char* src = R"(
+program p;
+global real rs[9] input;
+global real out[100];
+proc main() {
+  real rl[14];
+  do i = 1, 100 label 10 {
+    do k = 2, 5 label 20 {
+      if (rs[k] <= 0.5) { rl[k + 4] = rs[k]; }
+    }
+    if (rs[1] <= 0.5) {
+      do k = 6, 9 label 30 { out[i] = out[i] + rl[k]; }
+    }
+  }
+}
+)";
+  auto wb = make(src);
+  ir::Stmt* loop = wb->loop("main/10");
+  EXPECT_FALSE(wb->plan().is_parallel(loop));
+  Assertions asserts;
+  asserts.privatize[loop].insert(wb->var("main.rl"));
+  ParallelPlan plan = wb->plan(asserts);
+  EXPECT_TRUE(plan.is_parallel(loop));
+  EXPECT_TRUE(plan.find(loop)->used_assertion);
+}
+
+TEST(Parallelizer, ReductionTransformRecorded) {
+  const char* src = R"(
+program p;
+global real w[100] input;
+global real b[4];
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, 100 label 10 {
+    s = s + w[i];
+    b[1 + i % 4] = b[1 + i % 4] + w[i] * 0.5;
+  }
+  print s + b[1];
+}
+)";
+  auto wb = make(src);
+  ParallelPlan plan = wb->plan();
+  const LoopPlan* lp = plan.find(wb->loop("main/10"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_TRUE(lp->parallelizable);
+  ASSERT_EQ(lp->reductions.size(), 2u);
+  for (const ReductionVar& rv : lp->reductions) {
+    EXPECT_EQ(rv.op, ir::BinOp::Add);
+  }
+}
+
+TEST(Parallelizer, DisablingReductionsSequentializes) {
+  const char* src = R"(
+program p;
+global real w[100] input;
+proc main() {
+  real s;
+  s = 0.0;
+  do i = 1, 100 label 10 { s = s + w[i]; }
+  print s;
+}
+)";
+  auto with = make(src, analysis::LivenessMode::Full, /*reductions=*/true);
+  EXPECT_TRUE(with->plan().is_parallel(with->loop("main/10")));
+  auto without = make(src, analysis::LivenessMode::Full, /*reductions=*/false);
+  EXPECT_FALSE(without->plan().is_parallel(without->loop("main/10")));
+}
+
+TEST(Parallelizer, IoLoopNeverParallel) {
+  const char* src = R"(
+program p;
+global real a[10];
+proc main() {
+  do i = 1, 10 label 10 { a[i] = 1.0; print a[i]; }
+}
+)";
+  auto wb = make(src);
+  ParallelPlan plan = wb->plan();
+  const LoopPlan* lp = plan.find(wb->loop("main/10"));
+  EXPECT_FALSE(lp->parallelizable);
+  EXPECT_NE(lp->reason.find("I/O"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace suifx::parallelizer

@@ -1,0 +1,175 @@
+// Property-based tests for the polyhedral algebra: every operation is
+// checked against brute-force integer point enumeration on small
+// two-variable systems generated from a parameter sweep. Soundness
+// directions are asserted exactly as the analyses rely on them:
+//   is_empty()==true   => truly no integer point,
+//   contains(B)==true  => every point of B satisfies A,
+//   projection         => superset of the true shadow,
+//   subtract           => superset of the true difference, and no point of
+//                         the subtrahend that was also removable survives
+//                         being reported when it shouldn't.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "polyhedra/section.h"
+
+namespace suifx::poly {
+namespace {
+
+constexpr SymId kX = 300;
+constexpr SymId kY = 302;
+constexpr int kLo = -4, kHi = 8;
+
+/// All integer points of `sys` in the test box.
+std::set<std::pair<long, long>> points(const LinSystem& sys) {
+  std::set<std::pair<long, long>> out;
+  for (long x = kLo; x <= kHi; ++x) {
+    for (long y = kLo; y <= kHi; ++y) {
+      bool ok = true;
+      for (const Constraint& c : sys.constraints()) {
+        long v = c.expr.c;
+        for (const auto& [s, a] : c.expr.terms) {
+          if (s == kX) v += a * x;
+          else if (s == kY) v += a * y;
+          else ok = false;  // out-of-model symbol: skip point check
+        }
+        if (c.is_eq ? v != 0 : v < 0) ok = false;
+      }
+      if (ok) out.insert({x, y});
+    }
+  }
+  return out;
+}
+
+/// Deterministic pseudo-random constraint systems from a seed.
+LinSystem make_system(unsigned seed) {
+  auto rnd = [&seed]() {
+    seed = seed * 1664525u + 1013904223u;
+    return seed >> 16;
+  };
+  LinSystem sys;
+  // Bound to the test box so brute force is exhaustive.
+  sys.add_range(kX, LinearExpr::constant(kLo), LinearExpr::constant(kHi));
+  sys.add_range(kY, LinearExpr::constant(kLo), LinearExpr::constant(kHi));
+  int ncons = 1 + static_cast<int>(rnd() % 3);
+  for (int i = 0; i < ncons; ++i) {
+    long a = static_cast<long>(rnd() % 5) - 2;
+    long b = static_cast<long>(rnd() % 5) - 2;
+    long c = static_cast<long>(rnd() % 13) - 6;
+    LinearExpr e = LinearExpr::var(kX, a);
+    e += LinearExpr::var(kY, b);
+    e += LinearExpr::constant(c);
+    if (rnd() % 4 == 0) {
+      sys.add_eq(std::move(e));
+    } else {
+      sys.add_ge(std::move(e));
+    }
+  }
+  return sys;
+}
+
+class PolyProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PolyProperty, EmptinessMatchesBruteForce) {
+  LinSystem sys = make_system(GetParam());
+  bool truly_empty = points(sys).empty();
+  if (sys.is_empty()) {
+    EXPECT_TRUE(truly_empty) << sys.str();
+  }
+  // The reverse need not hold (rational relaxation), but for these small
+  // systems FM is complete over the box:
+  if (truly_empty) {
+    EXPECT_TRUE(sys.is_empty()) << sys.str();
+  }
+}
+
+TEST_P(PolyProperty, IntersectionIsSetIntersection) {
+  LinSystem a = make_system(GetParam());
+  LinSystem b = make_system(GetParam() * 7 + 3);
+  auto pa = points(a);
+  auto pb = points(b);
+  auto pi = points(LinSystem::intersect(a, b));
+  std::set<std::pair<long, long>> expect;
+  for (const auto& p : pa) {
+    if (pb.count(p) != 0) expect.insert(p);
+  }
+  EXPECT_EQ(pi, expect);
+}
+
+TEST_P(PolyProperty, ContainmentIsSound) {
+  LinSystem a = make_system(GetParam());
+  LinSystem b = make_system(GetParam() * 13 + 5);
+  if (a.contains(b)) {
+    auto pa = points(a);
+    for (const auto& p : points(b)) {
+      EXPECT_EQ(pa.count(p), 1u) << "point (" << p.first << "," << p.second
+                                 << ") of B escapes A";
+    }
+  }
+}
+
+TEST_P(PolyProperty, ProjectionIsSuperset) {
+  LinSystem sys = make_system(GetParam());
+  LinSystem proj = sys.project_out(kY);
+  // Every x with a witness y must satisfy the projection.
+  std::set<long> xs;
+  for (const auto& [x, y] : points(sys)) xs.insert(x);
+  for (long x : xs) {
+    LinSystem probe = proj;
+    LinearExpr e = LinearExpr::var(kX);
+    e += LinearExpr::constant(-x);
+    probe.add_eq(std::move(e));
+    EXPECT_FALSE(probe.is_empty()) << "x=" << x << " lost by projection";
+  }
+}
+
+TEST_P(PolyProperty, SubtractIsSupersetOfDifference) {
+  SectionList a = SectionList::single(make_system(GetParam()));
+  SectionList b = SectionList::single(make_system(GetParam() * 31 + 17));
+  if (a.systems().empty() || b.systems().empty()) {
+    return;  // a randomly-empty side: nothing to check
+  }
+  SectionList d = a.subtract(b);
+  std::set<std::pair<long, long>> pd;
+  for (const LinSystem& part : d.systems()) {
+    auto pp = points(part);
+    pd.insert(pp.begin(), pp.end());
+  }
+  auto pa = points(a.systems()[0]);
+  auto pb = points(b.systems()[0]);
+  for (const auto& p : pa) {
+    if (pb.count(p) == 0) {
+      EXPECT_EQ(pd.count(p), 1u)
+          << "difference lost (" << p.first << "," << p.second << ")";
+    }
+  }
+  // And nothing outside A appears.
+  for (const auto& p : pd) {
+    EXPECT_EQ(pa.count(p), 1u);
+  }
+}
+
+TEST_P(PolyProperty, SubstituteMatchesPointwise) {
+  LinSystem sys = make_system(GetParam());
+  // y := x + 2.
+  LinearExpr repl = LinearExpr::var(kX);
+  repl += LinearExpr::constant(2);
+  LinSystem sub = sys.substitute(kY, repl);
+  for (long x = kLo; x <= kHi; ++x) {
+    bool in_orig = points(sys).count({x, x + 2}) != 0;
+    LinSystem probe = sub;
+    LinearExpr e = LinearExpr::var(kX);
+    e += LinearExpr::constant(-x);
+    probe.add_eq(std::move(e));
+    bool in_sub = !probe.is_empty();
+    if (x + 2 >= kLo && x + 2 <= kHi) {
+      EXPECT_EQ(in_orig, in_sub) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolyProperty, ::testing::Range(1u, 40u));
+
+}  // namespace
+}  // namespace suifx::poly

@@ -1,0 +1,249 @@
+// Tests for the linear-inequality machinery: Fourier–Motzkin satisfiability,
+// projection, containment, substitution, and the section-list algebra.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "polyhedra/affine.h"
+#include "polyhedra/section.h"
+
+namespace suifx::poly {
+namespace {
+
+constexpr SymId kX = 100;
+constexpr SymId kY = 102;
+constexpr SymId kZ = 104;
+
+LinearExpr ax_c(SymId s, long a, long c) {
+  LinearExpr e = LinearExpr::var(s, a);
+  e += LinearExpr::constant(c);
+  return e;
+}
+
+TEST(LinSystem, EmptyAndNonEmpty) {
+  LinSystem s;
+  s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(10));
+  EXPECT_FALSE(s.is_empty());
+  // Add x >= 11 -> empty.
+  s.add_ge(ax_c(kX, 1, -11));
+  EXPECT_TRUE(s.is_empty());
+}
+
+TEST(LinSystem, IntegerTightening) {
+  // 2x == 1 has no integer solution.
+  LinSystem s;
+  s.add_eq(ax_c(kX, 2, -1));
+  EXPECT_TRUE(s.is_empty());
+}
+
+TEST(LinSystem, TwoVarChain) {
+  // x <= y - 1, y <= x - 1 is unsatisfiable.
+  LinSystem s;
+  LinearExpr e1 = LinearExpr::var(kY);
+  e1 -= LinearExpr::var(kX);
+  e1 += LinearExpr::constant(-1);
+  s.add_ge(e1);  // y - x - 1 >= 0
+  LinearExpr e2 = LinearExpr::var(kX);
+  e2 -= LinearExpr::var(kY);
+  e2 += LinearExpr::constant(-1);
+  s.add_ge(e2);
+  EXPECT_TRUE(s.is_empty());
+}
+
+TEST(LinSystem, ProjectionKeepsShadow) {
+  // { 1 <= x <= 10, y == x + 2 }  --project x-->  { 3 <= y <= 12 }.
+  LinSystem s;
+  s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(10));
+  LinearExpr eq = LinearExpr::var(kY);
+  eq -= LinearExpr::var(kX);
+  eq += LinearExpr::constant(-2);
+  s.add_eq(eq);
+  LinSystem p = s.project_out(kX);
+  EXPECT_FALSE(p.involves(kX));
+  // y == 3 feasible; y == 2 infeasible.
+  LinSystem probe1 = p;
+  probe1.add_eq(ax_c(kY, 1, -3));
+  EXPECT_FALSE(probe1.is_empty());
+  LinSystem probe2 = p;
+  probe2.add_eq(ax_c(kY, 1, -2));
+  EXPECT_TRUE(probe2.is_empty());
+}
+
+TEST(LinSystem, Containment) {
+  LinSystem small;
+  small.add_range(kX, LinearExpr::constant(2), LinearExpr::constant(5));
+  LinSystem big;
+  big.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(10));
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(LinSystem, SubstituteAffine) {
+  // { 1 <= x <= 10 } with x := y + 1 gives { 0 <= y <= 9 }.
+  LinSystem s;
+  s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(10));
+  LinearExpr repl = LinearExpr::var(kY);
+  repl += LinearExpr::constant(1);
+  LinSystem t = s.substitute(kX, repl);
+  EXPECT_FALSE(t.involves(kX));
+  LinSystem probe = t;
+  probe.add_eq(ax_c(kY, 1, 0));  // y == 0
+  EXPECT_FALSE(probe.is_empty());
+  LinSystem probe2 = t;
+  probe2.add_eq(ax_c(kY, 1, 10));  // y == -10
+  EXPECT_TRUE(probe2.is_empty());
+}
+
+TEST(LinSystem, RenameMovesColumns) {
+  LinSystem s;
+  s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(4));
+  LinSystem r = s.rename({{kX, kZ}});
+  EXPECT_FALSE(r.involves(kX));
+  EXPECT_TRUE(r.involves(kZ));
+}
+
+TEST(SectionList, UnionMergesContained) {
+  SectionList l;
+  LinSystem small;
+  small.add_range(kX, LinearExpr::constant(2), LinearExpr::constant(5));
+  LinSystem big;
+  big.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(10));
+  l.add(big);
+  l.add(small);  // covered -> no new part
+  EXPECT_EQ(l.parts(), 1);
+}
+
+TEST(SectionList, DisjointAndOverlap) {
+  SectionList a = SectionList::single([] {
+    LinSystem s;
+    s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(5));
+    return s;
+  }());
+  SectionList b = SectionList::single([] {
+    LinSystem s;
+    s.add_range(kX, LinearExpr::constant(6), LinearExpr::constant(9));
+    return s;
+  }());
+  EXPECT_TRUE(a.disjoint_from(b));
+  SectionList c = SectionList::single([] {
+    LinSystem s;
+    s.add_range(kX, LinearExpr::constant(5), LinearExpr::constant(9));
+    return s;
+  }());
+  EXPECT_FALSE(a.disjoint_from(c));
+}
+
+TEST(SectionList, MinusContained) {
+  SectionList e = SectionList::single([] {
+    LinSystem s;
+    s.add_range(kX, LinearExpr::constant(6), LinearExpr::constant(9));
+    return s;
+  }());
+  SectionList m = SectionList::single([] {
+    LinSystem s;
+    s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(10));
+    return s;
+  }());
+  EXPECT_TRUE(e.minus_contained(m).empty());
+  // But a partially-covered part survives whole (conservative).
+  SectionList m2 = SectionList::single([] {
+    LinSystem s;
+    s.add_range(kX, LinearExpr::constant(1), LinearExpr::constant(7));
+    return s;
+  }());
+  EXPECT_FALSE(e.minus_contained(m2).empty());
+}
+
+TEST(ArraySummary, MeetIntersectsMust) {
+  auto range = [](long lo, long hi) {
+    LinSystem s;
+    s.add_range(dim_sym(0), LinearExpr::constant(lo), LinearExpr::constant(hi));
+    return s;
+  };
+  ArraySummary a, b;
+  a.M = SectionList::single(range(1, 10));
+  b.M = SectionList::single(range(5, 20));
+  ArraySummary m = ArraySummary::meet(a, b);
+  // Must-write is the overlap [5,10]; the rest is demoted to may-write.
+  EXPECT_TRUE(m.M.covers(range(5, 10)));
+  EXPECT_FALSE(m.M.covers(range(1, 10)));
+  EXPECT_FALSE(m.W.empty());
+}
+
+TEST(ArraySummary, ComposeKillsExposedReads) {
+  auto range = [](long lo, long hi) {
+    LinSystem s;
+    s.add_range(dim_sym(0), LinearExpr::constant(lo), LinearExpr::constant(hi));
+    return s;
+  };
+  ArraySummary node;  // writes [1,10] first
+  node.M = SectionList::single(range(1, 10));
+  node.W = SectionList::single(range(1, 10));
+  ArraySummary after;  // then reads [2,5] (exposed within `after`)
+  after.R = SectionList::single(range(2, 5));
+  after.E = SectionList::single(range(2, 5));
+  ArraySummary c = ArraySummary::compose(node, after);
+  EXPECT_TRUE(c.E.empty());  // read is covered by the earlier must-write
+  EXPECT_FALSE(c.R.empty());
+}
+
+TEST(Affine, ExtractsSubscripts) {
+  Diag diag;
+  auto prog = frontend::parse_program(R"(
+program a;
+param N = 16;
+proc main() {
+  real q[100];
+  do i = 1, N {
+    q[2 * i + 1] = 0.0;
+  }
+}
+)", diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  ir::Stmt* loop = prog->main()->body[0];
+  ir::Stmt* asg = loop->body[0];
+  const ir::Variable* ivar = loop->ivar;
+  ScalarResolver resolve = [&](const ir::Variable* v) -> std::optional<LinearExpr> {
+    if (v == ivar) return LinearExpr::var(scalar_sym(v));
+    return std::nullopt;
+  };
+  bool exact = false;
+  LinSystem sec = subscripts_to_section(asg->lhs->var, asg->lhs->idx, resolve, &exact);
+  EXPECT_TRUE(exact);
+  // With i in [1,N] and N=16 defaults: d0 == 2i+1.
+  LinSystem probe = sec;
+  probe.add_eq(ax_c(scalar_sym(ivar), 1, -3));   // i == 3
+  probe.add_eq(ax_c(dim_sym(0), 1, -7));         // d0 == 7
+  EXPECT_FALSE(probe.is_empty());
+  LinSystem probe2 = sec;
+  probe2.add_eq(ax_c(scalar_sym(ivar), 1, -3));  // i == 3
+  probe2.add_eq(ax_c(dim_sym(0), 1, -8));        // d0 == 8 (even: impossible)
+  EXPECT_TRUE(probe2.is_empty());
+}
+
+TEST(Affine, RejectsNonAffine) {
+  Diag diag;
+  auto prog = frontend::parse_program(R"(
+program a;
+proc main() {
+  real q[100];
+  int ind[100];
+  do i = 1, 100 {
+    q[ind[i]] = 0.0;
+  }
+}
+)", diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  ir::Stmt* asg = prog->main()->body[0]->body[0];
+  bool exact = true;
+  LinSystem sec = subscripts_to_section(asg->lhs->var, asg->lhs->idx,
+                                        params_only, &exact);
+  EXPECT_FALSE(exact);
+  // Falls back to the declared bounds 1..100.
+  LinSystem probe = sec;
+  probe.add_eq(ax_c(dim_sym(0), 1, -101));
+  EXPECT_TRUE(probe.is_empty());
+}
+
+}  // namespace
+}  // namespace suifx::poly

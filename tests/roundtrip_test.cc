@@ -1,0 +1,70 @@
+// Printer/parser round-trip over every benchmark program: printing the
+// parsed IR and re-parsing it must reach a fixed point, and the re-parsed
+// program must execute to the same outputs.
+#include <gtest/gtest.h>
+
+#include "benchsuite/suite.h"
+#include "dynamic/interp.h"
+#include "frontend/parser.h"
+#include "ir/printer.h"
+
+namespace suifx {
+namespace {
+
+class RoundTrip
+    : public ::testing::TestWithParam<const benchsuite::BenchProgram*> {};
+
+TEST_P(RoundTrip, PrintParseFixedPoint) {
+  Diag diag;
+  auto prog = frontend::parse_program(GetParam()->source, diag);
+  ASSERT_NE(prog, nullptr) << diag.str();
+  std::string once = ir::to_string(*prog);
+  Diag diag2;
+  auto prog2 = frontend::parse_program(once, diag2);
+  ASSERT_NE(prog2, nullptr) << diag2.str();
+  EXPECT_EQ(ir::to_string(*prog2), once);
+}
+
+TEST_P(RoundTrip, ReparsedProgramComputesSameOutputs) {
+  Diag diag;
+  auto prog = frontend::parse_program(GetParam()->source, diag);
+  ASSERT_NE(prog, nullptr);
+  auto prog2 = frontend::parse_program(ir::to_string(*prog), diag);
+  ASSERT_NE(prog2, nullptr) << diag.str();
+
+  auto run = [&](ir::Program& p) {
+    dynamic::Interpreter interp(p);
+    interp.set_inputs(GetParam()->inputs);
+    return interp.run();
+  };
+  dynamic::RunResult a = run(*prog);
+  dynamic::RunResult b = run(*prog2);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(a.printed.size(), b.printed.size());
+  for (size_t i = 0; i < a.printed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.printed[i], b.printed[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, RoundTrip,
+    ::testing::Values(&benchsuite::mdg(), &benchsuite::arc3d(),
+                      &benchsuite::hydro(), &benchsuite::flo88(),
+                      &benchsuite::hydro2d(), &benchsuite::wave5(),
+                      &benchsuite::flo88_fused(), &benchsuite::kernel_embar(),
+                      &benchsuite::kernel_bdna(), &benchsuite::kernel_dyfesm(),
+                      &benchsuite::kernel_su2cor(), &benchsuite::kernel_tomcatv(),
+                      &benchsuite::kernel_ora(), &benchsuite::kernel_arc2d(),
+                      &benchsuite::kernel_adm(), &benchsuite::kernel_qcd(),
+                      &benchsuite::kernel_trfd(), &benchsuite::kernel_mg3d()),
+    [](const ::testing::TestParamInfo<const benchsuite::BenchProgram*>& info) {
+      std::string n = info.param->name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace suifx

@@ -1,0 +1,182 @@
+// Tests for the SPMD runtime (§6.3): block scheduling, the thread pool,
+// nested-parallelism suppression, and the reduction/privatization runtimes
+// (parameterized over processor counts).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/parloop.h"
+#include "runtime/privatize.h"
+#include "runtime/reduction.h"
+
+namespace suifx::runtime {
+namespace {
+
+TEST(BlockSchedule, CoversExactlyOnce) {
+  for (long trip : {0L, 1L, 7L, 100L, 101L}) {
+    for (int p : {1, 2, 4, 8}) {
+      std::vector<IterRange> r = block_schedule(trip, p);
+      ASSERT_EQ(r.size(), static_cast<size_t>(p));
+      long covered = 0;
+      long prev_end = 0;
+      for (const IterRange& c : r) {
+        EXPECT_EQ(c.begin, prev_end);
+        EXPECT_LE(c.begin, c.end);
+        covered += c.end - c.begin;
+        prev_end = c.end;
+      }
+      EXPECT_EQ(covered, trip);
+      EXPECT_EQ(prev_end, trip);
+    }
+  }
+}
+
+TEST(BlockSchedule, EvenWithinOne) {
+  std::vector<IterRange> r = block_schedule(103, 4);
+  long mn = 1000, mx = 0;
+  for (const IterRange& c : r) {
+    mn = std::min(mn, c.end - c.begin);
+    mx = std::max(mx, c.end - c.begin);
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(ThreadPool, RunsEveryProcessorOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int proc) { hits[static_cast<size_t>(proc)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable across epochs.
+  pool.run([&](int proc) { hits[static_cast<size_t>(proc)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+class ParallelDoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDoTest, SumsMatchSerial) {
+  ParallelRuntime rt(GetParam());
+  std::vector<double> data(1000);
+  rt.parallel_do(1, 1000, 1, [&](long i, int) {
+    data[static_cast<size_t>(i - 1)] = static_cast<double>(i);
+  }, /*est_cost_per_iter=*/1000.0);
+  double sum = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 500500.0);
+}
+
+TEST_P(ParallelDoTest, NegativeStep) {
+  ParallelRuntime rt(GetParam());
+  std::vector<long> order;
+  std::mutex mu;
+  rt.parallel_do(10, 1, -1, [&](long i, int) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(i);
+  }, /*est_cost_per_iter=*/1000.0);
+  EXPECT_EQ(order.size(), 10u);
+}
+
+TEST_P(ParallelDoTest, ScalarReductionMatches) {
+  ParallelRuntime rt(GetParam());
+  double global = 10.0;
+  ScalarReduction red(RedOp::Sum, rt.nproc());
+  rt.parallel_do(1, 500, 1, [&](long i, int proc) {
+    red.local(proc) += static_cast<double>(i);
+  }, /*est_cost_per_iter=*/1000.0);
+  red.finalize(&global);
+  EXPECT_DOUBLE_EQ(global, 10.0 + 125250.0);
+}
+
+TEST_P(ParallelDoTest, ArrayReductionModesAgree) {
+  const long n = 64;
+  auto run = [&](bool element_locks) {
+    ParallelRuntime rt(GetParam());
+    std::vector<double> shared(n, 1.0);
+    ArrayReduction::Options opts;
+    opts.element_locks = element_locks;
+    ArrayReduction red(RedOp::Sum, shared.data(), n, rt.nproc(), opts);
+    rt.parallel_do(0, 9999, 1, [&](long u, int proc) {
+      red.update(proc, (u * 7) % n, 0.5);
+    }, /*est_cost_per_iter=*/1000.0);
+    red.finalize();
+    return shared;
+  };
+  std::vector<double> a = run(false);
+  std::vector<double> b = run(true);
+  for (long i = 0; i < n; ++i) {
+    EXPECT_NEAR(a[static_cast<size_t>(i)], b[static_cast<size_t>(i)], 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ParallelDoTest, ::testing::Values(1, 2, 4));
+
+TEST(ParallelRuntime, FineGrainLoopRunsSerially) {
+  ParallelRuntime rt(4);
+  rt.set_serial_threshold(1e9);
+  int count = 0;
+  rt.parallel_do(1, 10, 1, [&](long, int proc) {
+    EXPECT_EQ(proc, 0);
+    ++count;  // safe: serial execution
+  }, /*est_cost_per_iter=*/1.0);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(rt.regions_spawned(), 0u);
+  EXPECT_GE(rt.regions_serialized(), 1u);
+}
+
+TEST(ParallelRuntime, NestedParallelismIsSuppressed) {
+  ParallelRuntime rt(4);
+  std::atomic<int> inner_serial{0};
+  rt.parallel_chunks(4, [&](int, IterRange r) {
+    for (long k = r.begin; k < r.end; ++k) {
+      // A nested region must run inline on the calling worker.
+      rt.parallel_do(1, 5, 1, [&](long, int proc) {
+        if (proc == 0) inner_serial++;
+      }, /*est_cost_per_iter=*/1e9);
+    }
+  });
+  EXPECT_EQ(inner_serial.load(), 4 * 5);
+  EXPECT_EQ(rt.regions_spawned(), 1u);
+}
+
+TEST(ArrayReduction, MinMaxIdentities) {
+  std::vector<double> shared = {5.0, -3.0};
+  ArrayReduction red(RedOp::Min, shared.data(), 2, 2);
+  red.update(0, 0, 2.0);
+  red.update(1, 0, 7.0);
+  red.finalize();
+  EXPECT_DOUBLE_EQ(shared[0], 2.0);
+  EXPECT_DOUBLE_EQ(shared[1], -3.0);  // untouched element keeps its value
+}
+
+TEST(ArrayReduction, TouchedSpanTracksRegion) {
+  std::vector<double> shared(2000, 0.0);
+  ArrayReduction red(RedOp::Sum, shared.data(), 2000, 1);
+  for (long i = 100; i < 300; ++i) red.update(0, i, 1.0);
+  EXPECT_EQ(red.touched_span(0), 200);
+  red.finalize();
+  EXPECT_DOUBLE_EQ(shared[100], 1.0);
+  EXPECT_DOUBLE_EQ(shared[99], 0.0);
+}
+
+TEST(PrivateArray, CopyInAndLastIterationFinalize) {
+  std::vector<double> shared = {1.0, 2.0, 3.0, 4.0};
+  PrivateArray priv(shared.data(), 4, 2, /*copy_in=*/true,
+                    FinalizePolicy::LastIteration);
+  double* p0 = priv.local(0);
+  double* p1 = priv.local(1);
+  EXPECT_DOUBLE_EQ(p0[1], 2.0);  // copy-in
+  p0[0] = 100.0;
+  p1[0] = 200.0;
+  priv.finalize(/*last_iteration_proc=*/1);
+  EXPECT_DOUBLE_EQ(shared[0], 200.0);  // processor 1 owned the last iteration
+}
+
+TEST(PrivateArray, NoFinalizeWhenDead) {
+  std::vector<double> shared = {1.0, 2.0};
+  PrivateArray priv(shared.data(), 2, 2, /*copy_in=*/false, FinalizePolicy::None);
+  priv.local(0)[0] = 99.0;
+  priv.finalize(0);
+  EXPECT_DOUBLE_EQ(shared[0], 1.0);  // liveness said the values are dead
+}
+
+}  // namespace
+}  // namespace suifx::runtime

@@ -1,0 +1,198 @@
+// Tests for the SMP simulator: outermost-parallel selection, speedup
+// behavior, runtime suppression of fine-grain loops, reduction overhead
+// modes, and decomposition-conflict detection.
+#include <gtest/gtest.h>
+
+#include "benchsuite/suite.h"
+#include "dynamic/profile.h"
+#include "explorer/workbench.h"
+#include "simulator/smp.h"
+
+namespace suifx::sim {
+namespace {
+
+struct Simmed {
+  std::unique_ptr<explorer::Workbench> wb;
+  parallelizer::ParallelPlan plan;
+  dynamic::LoopProfiler prof;
+  std::unique_ptr<SmpSimulator> simulator;
+};
+
+Simmed prepare(const char* src, const dynamic::Inputs& inputs = {}) {
+  Simmed s;
+  Diag diag;
+  s.wb = explorer::Workbench::from_source(src, diag);
+  EXPECT_NE(s.wb, nullptr) << diag.str();
+  s.plan = s.wb->plan();
+  dynamic::Interpreter interp(s.wb->program());
+  interp.set_inputs(inputs);
+  interp.add_hook(&s.prof);
+  EXPECT_TRUE(interp.run().ok);
+  s.simulator = std::make_unique<SmpSimulator>(s.wb->program(), s.wb->dataflow(),
+                                               s.wb->regions());
+  return s;
+}
+
+const char* kCoarse = R"(
+program c;
+param N = 200;
+global real a[200, 200];
+proc main() {
+  do i = 1, N label 10 {
+    do j = 1, N label 20 {
+      a[i, j] = real(i) * 0.5 + real(j);
+    }
+  }
+  print a[5, 5];
+}
+)";
+
+TEST(Simulator, OutermostParallelPicksOuterLoop) {
+  Simmed s = prepare(kCoarse);
+  auto chosen = s.simulator->outermost_parallel(s.plan);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0]->loop_name(), "main/10");
+}
+
+TEST(Simulator, SpeedupGrowsWithProcessors) {
+  Simmed s = prepare(kCoarse);
+  double prev = 0.0;
+  for (int p : {1, 2, 4, 8}) {
+    SimOptions opts;
+    opts.nproc = p;
+    SimResult r = s.simulator->simulate(s.plan, s.prof, opts);
+    EXPECT_GE(r.speedup, prev - 1e-9);
+    prev = r.speedup;
+  }
+  SimOptions opts;
+  opts.nproc = 8;
+  SimResult r = s.simulator->simulate(s.plan, s.prof, opts);
+  EXPECT_GT(r.speedup, 5.0);
+  EXPECT_LE(r.speedup, 8.0 + 1e-9);
+}
+
+TEST(Simulator, FineGrainLoopIsSuppressed) {
+  Simmed s = prepare(R"(
+program f;
+global real a[8];
+proc main() {
+  do rep = 1, 400 label 5 {
+    do i = 1, 8 label 10 {
+      a[i] = a[i] * 0.5 + real(rep);
+    }
+  }
+  print a[1];
+}
+)");
+  // Loop 10 is parallelizable but tiny; loop 5 carries a dependence on a.
+  SimOptions opts;
+  opts.nproc = 8;
+  SimResult r = s.simulator->simulate(s.plan, s.prof, opts);
+  bool any_parallel_run = false;
+  for (const LoopSim& ls : r.loops) any_parallel_run |= ls.ran_parallel;
+  EXPECT_FALSE(any_parallel_run);
+  EXPECT_NEAR(r.speedup, 1.0, 0.05);
+}
+
+TEST(Simulator, InterproceduralNestingSuppresssCalleeLoops) {
+  Simmed s = prepare(R"(
+program n;
+param N = 64;
+global real a[64, 64];
+proc inner(int i) {
+  do j = 1, N label 20 {
+    a[i, j] = real(i + j);
+  }
+}
+proc main() {
+  do i = 1, N label 10 {
+    call inner(i);
+  }
+  print a[2, 2];
+}
+)");
+  auto chosen = s.simulator->outermost_parallel(s.plan);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0]->loop_name(), "main/10");  // inner/20 runs serially
+}
+
+TEST(Simulator, SerializedFinalizationCostsMore) {
+  Simmed s = prepare(R"(
+program r;
+param N = 2000;
+global real w[2000] input;
+global real hist[512];
+global int ind[2000] input;
+proc main() {
+  do i = 1, N label 10 {
+    hist[ind[i]] = hist[ind[i]] + w[i];
+  }
+  print hist[1];
+}
+)",
+                    [] {
+                      dynamic::Inputs in;
+                      std::vector<double> ind;
+                      for (int i = 0; i < 2000; ++i) ind.push_back(1 + (i * 13) % 512);
+                      in.arrays["ind"] = ind;
+                      return in;
+                    }());
+  SimOptions stag;
+  stag.nproc = 8;
+  stag.staggered_finalization = true;
+  SimOptions serial = stag;
+  serial.staggered_finalization = false;
+  double s_stag = s.simulator->simulate(s.plan, s.prof, stag).speedup;
+  double s_serial = s.simulator->simulate(s.plan, s.prof, serial).speedup;
+  EXPECT_GE(s_stag, s_serial);
+}
+
+TEST(Simulator, CommFloorCapsScalabilityUntilContraction) {
+  Simmed s = prepare(kCoarse);
+  ir::Stmt* loop = s.wb->loop("main/10");
+  SimOptions opts;
+  opts.nproc = 32;
+  opts.machine = MachineConfig::sgi_origin();
+  opts.comm_elem_cost = 8.0;
+  double capped = s.simulator->simulate(s.plan, s.prof, opts).speedup;
+
+  SimOptions contracted = opts;
+  analysis::ContractedArray ca;
+  ca.var = s.wb->var("a");
+  ca.original_elems = 200 * 200;
+  ca.contracted_elems = 200;
+  ca.collapsed_dims = 1;
+  contracted.contractions[loop] = {ca};
+  double freed = s.simulator->simulate(s.plan, s.prof, contracted).speedup;
+  EXPECT_GT(freed, capped * 1.5);
+}
+
+TEST(Simulator, HydroDecompositionConflictDetected) {
+  const benchsuite::BenchProgram& bp = benchsuite::hydro();
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp.source, diag);
+  ASSERT_NE(wb, nullptr);
+  parallelizer::Assertions asserts;
+  for (const benchsuite::UserAssertion& ua : bp.user_input) {
+    asserts.privatize[wb->loop(ua.loop)].insert(
+        wb->alias().canonical(wb->var(ua.var)));
+  }
+  auto plan = wb->plan(asserts);
+  SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  auto chosen = simulator.outermost_parallel(plan);
+  auto conflicts = analyze_decomposition_conflicts(wb->program(), wb->dataflow(),
+                                                   plan, chosen, false);
+  // duac is written column-wise by vsetuv and row-wise by vqterm.
+  EXPECT_FALSE(conflicts.empty());
+}
+
+TEST(Machine, ConfigsAreDistinct) {
+  EXPECT_EQ(MachineConfig::alpha_server_8400().max_procs, 8);
+  EXPECT_EQ(MachineConfig::sgi_challenge().max_procs, 4);
+  EXPECT_EQ(MachineConfig::sgi_origin().max_procs, 32);
+  EXPECT_NE(MachineConfig::sgi_origin().summary(),
+            MachineConfig::sgi_challenge().summary());
+}
+
+}  // namespace
+}  // namespace suifx::sim

@@ -1,0 +1,389 @@
+// Tests for ISSA construction and the two slicing engines, including the
+// thesis's Fig 3-3 context-sensitivity example and the §3.6 pruning options.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "slicing/slicer.h"
+
+namespace suifx::slicing {
+namespace {
+
+struct Sliced {
+  std::unique_ptr<ir::Program> prog;
+  std::unique_ptr<analysis::AliasAnalysis> alias;
+  std::unique_ptr<graph::CallGraph> cg;
+  std::unique_ptr<analysis::ModRef> modref;
+  std::unique_ptr<ssa::Issa> issa;
+  std::unique_ptr<Slicer> slicer;
+
+  ir::Stmt* stmt_on_line(int line) const {
+    ir::Stmt* found = nullptr;
+    for (auto& p : prog->procedures()) {
+      p.for_each([&](ir::Stmt* s) {
+        if (s->line == line) found = s;
+      });
+    }
+    return found;
+  }
+  /// The unique assignment whose LHS variable is named `n` in proc `pn`.
+  ir::Stmt* assign_to(const std::string& pn, const std::string& n) const {
+    ir::Stmt* found = nullptr;
+    ir::Procedure* p = prog->find_procedure(pn);
+    p->for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Assign && s->lhs->var->name == n) found = s;
+    });
+    EXPECT_NE(found, nullptr) << pn << ":" << n;
+    return found;
+  }
+  bool has(const SliceResult& r, const ir::Stmt* s) const {
+    return r.stmts.count(s) != 0;
+  }
+};
+
+Sliced make(const char* src) {
+  Sliced s;
+  Diag diag;
+  s.prog = frontend::parse_program(src, diag);
+  EXPECT_NE(s.prog, nullptr) << diag.str();
+  s.alias = std::make_unique<analysis::AliasAnalysis>(*s.prog);
+  s.cg = std::make_unique<graph::CallGraph>(*s.prog);
+  s.modref = std::make_unique<analysis::ModRef>(*s.prog, *s.alias, *s.cg);
+  s.issa = std::make_unique<ssa::Issa>(*s.prog, *s.alias, *s.modref);
+  s.slicer = std::make_unique<Slicer>(*s.issa);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SSA basics
+// ---------------------------------------------------------------------------
+
+TEST(Ssa, StraightLineUseDef) {
+  auto s = make(R"(
+program p;
+proc main() {
+  real x;
+  real y;
+  x = 1.0;
+  y = x + 2.0;
+  print y;
+}
+)");
+  const ssa::SsaFunc& f = s.issa->func(s.prog->main());
+  ir::Stmt* def_y = s.assign_to("main", "y");
+  // The use of x in "y = x + 2.0" resolves to the assignment "x = 1.0".
+  auto uses = f.uses_of(def_y);
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].second->kind, ssa::DefKind::Stmt);
+  EXPECT_EQ(uses[0].second->stmt, s.assign_to("main", "x"));
+}
+
+TEST(Ssa, PhiAtIfJoin) {
+  auto s = make(R"(
+program p;
+global real g input;
+proc main() {
+  real x;
+  x = 1.0;
+  if (g > 0.5) { x = 2.0; }
+  print x;
+}
+)");
+  const ssa::SsaFunc& f = s.issa->func(s.prog->main());
+  ir::Stmt* pr = nullptr;
+  s.prog->main()->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Print) pr = st;
+  });
+  auto uses = f.uses_of(pr);
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].second->kind, ssa::DefKind::Phi);
+  EXPECT_EQ(uses[0].second->phi_args.size(), 2u);
+}
+
+TEST(Ssa, LoopCarriedPhiAtHead) {
+  auto s = make(R"(
+program p;
+proc main() {
+  real acc;
+  acc = 0.0;
+  do i = 1, 10 {
+    acc = acc + 1.0;
+  }
+  print acc;
+}
+)");
+  const ssa::SsaFunc& f = s.issa->func(s.prog->main());
+  ir::Stmt* upd = s.assign_to("main", "acc");
+  ir::Stmt* init = nullptr;
+  s.prog->main()->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Assign && st->lhs->var->name == "acc" &&
+        st->parent == nullptr) {
+      init = st;
+    } else if (st->kind == ir::StmtKind::Assign && st->parent != nullptr) {
+      upd = st;
+    }
+  });
+  ASSERT_NE(init, nullptr);
+  // acc's use inside the loop reaches a phi merging init and the update.
+  auto uses = f.uses_of(upd);
+  ASSERT_EQ(uses.size(), 1u);
+  ASSERT_EQ(uses[0].second->kind, ssa::DefKind::Phi);
+}
+
+TEST(Ssa, CallOutDefinesGlobal) {
+  auto s = make(R"(
+program p;
+global real g;
+proc setg() { g = 5.0; }
+proc main() {
+  call setg();
+  print g;
+}
+)");
+  const ssa::SsaFunc& f = s.issa->func(s.prog->main());
+  ir::Stmt* pr = nullptr;
+  s.prog->main()->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Print) pr = st;
+  });
+  auto uses = f.uses_of(pr);
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].second->kind, ssa::DefKind::CallOut);
+}
+
+// ---------------------------------------------------------------------------
+// Context-sensitive slicing: the Fig 3-3 program
+// ---------------------------------------------------------------------------
+
+const char* kFig33 = R"(
+program fig33;
+global real g;
+global real h;
+proc r(real f) {
+  f = f + 1.0;
+}
+proc p() {
+  g = 1.0;
+  call r(g);
+  print g;
+}
+proc q() {
+  h = 2.0;
+  call r(h);
+}
+proc main() {
+  g = 0.0;
+  h = 0.0;
+  call p();
+  call q();
+}
+)";
+
+TEST(Slicing, ContextSensitiveExcludesOtherCaller) {
+  auto s = make(kFig33);
+  // Slice the read of g in "print g" inside p.
+  ir::Stmt* pr = nullptr;
+  s.prog->find_procedure("p")->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Print) pr = st;
+  });
+  ASSERT_NE(pr, nullptr);
+  const ir::Expr* gref = pr->value;
+  SliceOptions opts;
+  opts.kind = SliceKind::Data;
+  SliceResult r = s.slicer->slice(pr, gref, opts);
+  // Must contain: g=1.0 in p, the call r(g), f=f+1 in r.
+  EXPECT_TRUE(s.has(r, s.assign_to("p", "g")));
+  EXPECT_TRUE(s.has(r, s.assign_to("r", "f")));
+  // Context sensitivity: must NOT contain q's h=2.0 (the unrealizable path
+  // through r back into q).
+  EXPECT_FALSE(s.has(r, s.assign_to("q", "h")));
+}
+
+TEST(Slicing, SummaryEngineMatchesDirectEngine) {
+  auto s = make(kFig33);
+  ir::Stmt* pr = nullptr;
+  s.prog->find_procedure("p")->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Print) pr = st;
+  });
+  for (SliceKind kind : {SliceKind::Data, SliceKind::Program}) {
+    SliceOptions opts;
+    opts.kind = kind;
+    SliceResult direct = s.slicer->slice(pr, pr->value, opts);
+    SliceResult summar = s.slicer->slice_summarized(pr, pr->value, kind);
+    EXPECT_EQ(direct.stmts, summar.stmts)
+        << "kind=" << static_cast<int>(kind);
+  }
+}
+
+TEST(Slicing, CallingContextQuery) {
+  auto s = make(kFig33);
+  // Slice f inside r with context [call site in q]: only q's chain appears.
+  ir::Stmt* upd = s.assign_to("r", "f");
+  const ir::Expr* fread = upd->rhs->a;  // f in f + 1.0
+  ASSERT_EQ(fread->kind, ir::ExprKind::VarRef);
+
+  ir::Stmt* call_in_q = nullptr;
+  s.prog->find_procedure("q")->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Call && st->callee->name == "r") call_in_q = st;
+  });
+  ASSERT_NE(call_in_q, nullptr);
+
+  SliceOptions opts;
+  opts.kind = SliceKind::Data;
+  opts.context = {call_in_q};
+  SliceResult r = s.slicer->slice(upd, fread, opts);
+  EXPECT_TRUE(s.has(r, s.assign_to("q", "h")));
+  EXPECT_FALSE(s.has(r, s.assign_to("p", "g")));
+
+  // Without context, both callers contribute.
+  SliceOptions all;
+  all.kind = SliceKind::Data;
+  SliceResult ru = s.slicer->slice(upd, fread, all);
+  EXPECT_TRUE(s.has(ru, s.assign_to("q", "h")));
+  EXPECT_TRUE(s.has(ru, s.assign_to("p", "g")));
+}
+
+// ---------------------------------------------------------------------------
+// Program vs data vs control slices; pruning
+// ---------------------------------------------------------------------------
+
+const char* kMdgSlice = R"(
+program mdgslice;
+global real rs[9] input;
+global real cut2 input;
+global real acc;
+proc main() {
+  real rl[14];
+  int kc;
+  do i = 1, 50 label 1000 {
+    kc = 0;
+    do k = 1, 9 label 1110 {
+      if (rs[k] > cut2) { kc = kc + 1; }
+    }
+    do k = 2, 5 label 1130 {
+      if (rs[k + 4] <= cut2) { rl[k + 4] = rs[k] * 2.0; }
+    }
+    if (kc == 0) {
+      do k = 11, 14 label 1140 {
+        acc = acc + rl[k - 5];
+      }
+    }
+  }
+}
+)";
+
+TEST(Slicing, ProgramSliceIncludesGuards) {
+  auto s = make(kMdgSlice);
+  // Slice the read rl[k-5].
+  ir::Stmt* upd = s.assign_to("main", "acc");
+  const ir::Expr* rl_read = upd->rhs->b;  // acc + rl[...]
+  ASSERT_TRUE(rl_read->is_array_ref());
+  SliceResult r = s.slicer->slice(upd, rl_read, {});
+  // The write of rl and both its guard and the kc guard must appear.
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "rl")));
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "kc")));
+  // Data slice drops the kc guard chain.
+  SliceOptions data;
+  data.kind = SliceKind::Data;
+  SliceResult rd = s.slicer->slice(upd, rl_read, data);
+  EXPECT_TRUE(rd.size() < r.size());
+}
+
+TEST(Slicing, ControlSliceContainsGuardChain) {
+  auto s = make(kMdgSlice);
+  ir::Stmt* upd = s.assign_to("main", "acc");
+  SliceResult r = s.slicer->control_slice(upd, {});
+  // Control chain: enclosing do 1140, if (kc == 0), do 1000 — and the
+  // program slice of kc.
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "kc")));
+  bool has_if = false;
+  for (const ir::Stmt* st : r.stmts) {
+    if (st->kind == ir::StmtKind::If) has_if = true;
+  }
+  EXPECT_TRUE(has_if);
+}
+
+TEST(Slicing, ArrayRestrictionPrunesContentChains) {
+  auto s = make(kMdgSlice);
+  ir::Stmt* upd = s.assign_to("main", "acc");
+  const ir::Expr* rl_read = upd->rhs->b;
+  SliceOptions ar;
+  ar.array_restrict = true;
+  SliceResult restricted = s.slicer->slice(upd, rl_read, ar);
+  SliceResult full = s.slicer->slice(upd, rl_read, {});
+  EXPECT_LE(restricted.size(), full.size());
+  // The write to rl becomes a terminal, not traversed.
+  EXPECT_TRUE(restricted.terminals.count(s.assign_to("main", "rl")) != 0 ||
+              restricted.stmts.count(s.assign_to("main", "rl")) != 0);
+}
+
+TEST(Slicing, CodeRegionRestrictionStopsAtLoopBoundary) {
+  auto s = make(R"(
+program p;
+global real seed input;
+proc main() {
+  real base;
+  real a[100];
+  base = seed * 2.0;
+  do i = 1, 100 label 10 {
+    a[i] = base + real(i);
+    print a[i];
+  }
+}
+)");
+  ir::Stmt* loop = nullptr;
+  s.prog->main()->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Do) loop = st;
+  });
+  ir::Stmt* wr = s.assign_to("main", "a");
+  const ir::Expr* base_read = wr->rhs->a;
+  ASSERT_EQ(base_read->kind, ir::ExprKind::VarRef);
+
+  SliceResult full = s.slicer->slice(wr, base_read, {});
+  EXPECT_TRUE(s.has(full, s.assign_to("main", "base")));
+
+  SliceOptions cr;
+  cr.region_loop = loop;
+  SliceResult restricted = s.slicer->slice(wr, base_read, cr);
+  EXPECT_FALSE(s.has(restricted, s.assign_to("main", "base")));
+  EXPECT_TRUE(restricted.terminals.count(s.assign_to("main", "base")) != 0);
+}
+
+TEST(Slicing, DependenceSliceCoversBothEnds) {
+  auto s = make(kMdgSlice);
+  ir::Stmt* loop = nullptr;
+  s.prog->main()->for_each([&](ir::Stmt* st) {
+    if (st->kind == ir::StmtKind::Do && st->label == "1000") loop = st;
+  });
+  const ir::Variable* rl = s.prog->main()->find_var("rl");
+  SliceResult r = s.slicer->dependence_slice(loop, rl, {});
+  // Both the write and read statements of rl plus their guards appear.
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "rl")));
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "acc")));
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "kc")));
+  EXPECT_GT(r.size_within(loop), 3);
+}
+
+TEST(Slicing, LoopIndexSliceFindsBounds) {
+  auto s = make(R"(
+program p;
+global int nlim input;
+global real a[100];
+proc main() {
+  int n2;
+  n2 = nlim * 2;
+  do i = 1, n2 label 10 {
+    a[i] = real(i);
+  }
+}
+)");
+  ir::Stmt* wr = s.assign_to("main", "a");
+  const ir::Expr* iref = wr->lhs->idx[0];
+  SliceResult r = s.slicer->slice(wr, iref, {});
+  // The slice of the subscript includes the loop statement and n2's def.
+  EXPECT_TRUE(s.has(r, s.assign_to("main", "n2")));
+  bool has_do = false;
+  for (const ir::Stmt* st : r.stmts) has_do |= st->kind == ir::StmtKind::Do;
+  EXPECT_TRUE(has_do);
+}
+
+}  // namespace
+}  // namespace suifx::slicing

@@ -1,0 +1,110 @@
+// Plan-validation tests: every suite program's (user-assisted) plan must be
+// iteration-order-insensitive; a deliberately wrong assertion must be caught
+// by the reordered execution.
+#include <gtest/gtest.h>
+
+#include "benchsuite/suite.h"
+#include "dynamic/validate.h"
+#include "explorer/guru.h"
+#include "simulator/smp.h"
+
+namespace suifx::dynamic {
+namespace {
+
+class ValidatedProgram
+    : public ::testing::TestWithParam<const benchsuite::BenchProgram*> {};
+
+TEST_P(ValidatedProgram, UserPlanIsOrderInsensitive) {
+  const benchsuite::BenchProgram* bp = GetParam();
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp->source, diag);
+  ASSERT_NE(wb, nullptr) << diag.str();
+  explorer::GuruConfig cfg;
+  cfg.inputs = bp->inputs;
+  explorer::Guru guru(*wb, cfg);
+  for (const benchsuite::UserAssertion& ua : bp->user_input) {
+    ir::Stmt* loop = wb->loop(ua.loop);
+    const ir::Variable* var = ua.var.empty() ? nullptr : wb->var(ua.var);
+    std::string warn;
+    switch (ua.kind) {
+      case benchsuite::UserAssertion::Kind::Privatize:
+        guru.assert_privatizable(loop, var, &warn);
+        break;
+      case benchsuite::UserAssertion::Kind::Independent:
+        guru.assert_independent(loop, var, &warn);
+        break;
+      case benchsuite::UserAssertion::Kind::Parallel:
+        guru.assert_parallel(loop, &warn);
+        break;
+    }
+  }
+  sim::SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(guru.plan());
+  ASSERT_FALSE(chosen.empty());
+  // Reductions reorder floating-point sums: allow a relative tolerance.
+  ValidationResult r = validate_plan(wb->program(), chosen, bp->inputs, 1e-6);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ValidatedProgram,
+    ::testing::Values(&benchsuite::mdg(), &benchsuite::arc3d(),
+                      &benchsuite::hydro(), &benchsuite::flo88(),
+                      &benchsuite::hydro2d(), &benchsuite::wave5(),
+                      &benchsuite::flo88_fused(), &benchsuite::kernel_embar(),
+                      &benchsuite::kernel_bdna(), &benchsuite::kernel_su2cor(),
+                      &benchsuite::kernel_tomcatv(), &benchsuite::kernel_ora(),
+                      &benchsuite::kernel_dyfesm(), &benchsuite::kernel_arc2d(),
+                      &benchsuite::kernel_adm(), &benchsuite::kernel_qcd(),
+                      &benchsuite::kernel_trfd(), &benchsuite::kernel_mg3d()),
+    [](const ::testing::TestParamInfo<const benchsuite::BenchProgram*>& info) {
+      std::string n = info.param->name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Validate, CatchesAnOrderSensitiveLoop) {
+  // A genuine recurrence: reversing its iterations changes the result, so a
+  // plan that (wrongly) parallelizes it is rejected.
+  const char* src = R"(
+program p;
+global real a[100];
+proc main() {
+  a[1] = 1.0;
+  do i = 2, 100 label 10 {
+    a[i] = a[i - 1] * 0.5 + real(i);
+  }
+  print a[100];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  ir::Stmt* loop = wb->loop("main/10");
+  ValidationResult r = validate_plan(wb->program(), {loop}, {}, 1e-6);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("order-sensitive"), std::string::npos);
+}
+
+TEST(Validate, PassesOnIndependentLoop) {
+  const char* src = R"(
+program p;
+global real a[100];
+proc main() {
+  do i = 1, 100 label 10 {
+    a[i] = real(i) * 2.0;
+  }
+  print a[50];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  ValidationResult r = validate_plan(wb->program(), {wb->loop("main/10")}, {});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+}  // namespace
+}  // namespace suifx::dynamic
