@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polyhedra.dir/ablation_polyhedra.cc.o"
+  "CMakeFiles/ablation_polyhedra.dir/ablation_polyhedra.cc.o.d"
+  "ablation_polyhedra"
+  "ablation_polyhedra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polyhedra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reduction_runtime.dir/ablation_reduction_runtime.cc.o"
+  "CMakeFiles/ablation_reduction_runtime.dir/ablation_reduction_runtime.cc.o.d"
+  "ablation_reduction_runtime"
+  "ablation_reduction_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reduction_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

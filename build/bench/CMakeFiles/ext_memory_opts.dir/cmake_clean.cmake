@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_opts.dir/ext_memory_opts.cc.o"
+  "CMakeFiles/ext_memory_opts.dir/ext_memory_opts.cc.o.d"
+  "ext_memory_opts"
+  "ext_memory_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_1_auto_parallel.dir/fig4_1_auto_parallel.cc.o"
+  "CMakeFiles/fig4_1_auto_parallel.dir/fig4_1_auto_parallel.cc.o.d"
+  "fig4_1_auto_parallel"
+  "fig4_1_auto_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_1_auto_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

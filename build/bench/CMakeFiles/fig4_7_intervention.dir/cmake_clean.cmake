@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_7_intervention.dir/fig4_7_intervention.cc.o"
+  "CMakeFiles/fig4_7_intervention.dir/fig4_7_intervention.cc.o.d"
+  "fig4_7_intervention"
+  "fig4_7_intervention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_7_intervention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_8_slice_sizes.dir/fig4_8_slice_sizes.cc.o"
+  "CMakeFiles/fig4_8_slice_sizes.dir/fig4_8_slice_sizes.cc.o.d"
+  "fig4_8_slice_sizes"
+  "fig4_8_slice_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_8_slice_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

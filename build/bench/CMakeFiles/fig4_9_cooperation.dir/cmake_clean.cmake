@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_9_cooperation.dir/fig4_9_cooperation.cc.o"
+  "CMakeFiles/fig4_9_cooperation.dir/fig4_9_cooperation.cc.o.d"
+  "fig4_9_cooperation"
+  "fig4_9_cooperation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_9_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_10_common_split.dir/fig5_10_common_split.cc.o"
+  "CMakeFiles/fig5_10_common_split.dir/fig5_10_common_split.cc.o.d"
+  "fig5_10_common_split"
+  "fig5_10_common_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_10_common_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

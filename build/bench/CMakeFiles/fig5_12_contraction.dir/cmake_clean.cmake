@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_12_contraction.dir/fig5_12_contraction.cc.o"
+  "CMakeFiles/fig5_12_contraction.dir/fig5_12_contraction.cc.o.d"
+  "fig5_12_contraction"
+  "fig5_12_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_12_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

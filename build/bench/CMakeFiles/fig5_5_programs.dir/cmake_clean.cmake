@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_5_programs.dir/fig5_5_programs.cc.o"
+  "CMakeFiles/fig5_5_programs.dir/fig5_5_programs.cc.o.d"
+  "fig5_5_programs"
+  "fig5_5_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_5_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

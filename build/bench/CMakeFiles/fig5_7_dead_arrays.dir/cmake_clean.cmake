@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_7_dead_arrays.dir/fig5_7_dead_arrays.cc.o"
+  "CMakeFiles/fig5_7_dead_arrays.dir/fig5_7_dead_arrays.cc.o.d"
+  "fig5_7_dead_arrays"
+  "fig5_7_dead_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_7_dead_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_8_privatization.dir/fig5_8_privatization.cc.o"
+  "CMakeFiles/fig5_8_privatization.dir/fig5_8_privatization.cc.o.d"
+  "fig5_8_privatization"
+  "fig5_8_privatization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_8_privatization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

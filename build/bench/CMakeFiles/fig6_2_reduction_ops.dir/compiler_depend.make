@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_2_reduction_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_programs.dir/fig6_3_programs.cc.o"
+  "CMakeFiles/fig6_3_programs.dir/fig6_3_programs.cc.o.d"
+  "fig6_3_programs"
+  "fig6_3_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_5_reduction_dynamic.dir/fig6_5_reduction_dynamic.cc.o"
+  "CMakeFiles/fig6_5_reduction_dynamic.dir/fig6_5_reduction_dynamic.cc.o.d"
+  "fig6_5_reduction_dynamic"
+  "fig6_5_reduction_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_5_reduction_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_6_reduction_speedup.dir/fig6_6_reduction_speedup.cc.o"
+  "CMakeFiles/fig6_6_reduction_speedup.dir/fig6_6_reduction_speedup.cc.o.d"
+  "fig6_6_reduction_speedup"
+  "fig6_6_reduction_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_6_reduction_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

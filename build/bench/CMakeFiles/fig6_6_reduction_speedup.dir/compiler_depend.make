@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_6_reduction_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_reduction_origin.dir/fig6_7_reduction_origin.cc.o"
+  "CMakeFiles/fig6_7_reduction_origin.dir/fig6_7_reduction_origin.cc.o.d"
+  "fig6_7_reduction_origin"
+  "fig6_7_reduction_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_reduction_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/suifx_bench_util.dir/bench_util.cc.o.d"
+  "libsuifx_bench_util.a"
+  "libsuifx_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

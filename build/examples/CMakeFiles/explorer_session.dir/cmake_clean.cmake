@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explorer_session.dir/explorer_session.cpp.o"
+  "CMakeFiles/explorer_session.dir/explorer_session.cpp.o.d"
+  "explorer_session"
+  "explorer_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explorer_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

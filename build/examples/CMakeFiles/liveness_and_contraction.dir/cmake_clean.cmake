@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveness_and_contraction.dir/liveness_and_contraction.cpp.o"
+  "CMakeFiles/liveness_and_contraction.dir/liveness_and_contraction.cpp.o.d"
+  "liveness_and_contraction"
+  "liveness_and_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveness_and_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

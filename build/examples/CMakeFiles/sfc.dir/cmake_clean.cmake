@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc.dir/sfc.cpp.o"
+  "CMakeFiles/sfc.dir/sfc.cpp.o.d"
+  "sfc"
+  "sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_reduction.dir/sparse_reduction.cpp.o"
+  "CMakeFiles/sparse_reduction.dir/sparse_reduction.cpp.o.d"
+  "sparse_reduction"
+  "sparse_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

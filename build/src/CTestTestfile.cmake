@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("graph")
+subdirs("polyhedra")
+subdirs("ssa")
+subdirs("analysis")
+subdirs("parallelizer")
+subdirs("slicing")
+subdirs("dynamic")
+subdirs("runtime")
+subdirs("simulator")
+subdirs("explorer")
+subdirs("benchsuite")

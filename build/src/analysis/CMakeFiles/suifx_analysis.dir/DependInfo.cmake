@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/alias.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/alias.cc.o.d"
+  "/root/repo/src/analysis/array_dataflow.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/array_dataflow.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/array_dataflow.cc.o.d"
+  "/root/repo/src/analysis/commonsplit.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/commonsplit.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/commonsplit.cc.o.d"
+  "/root/repo/src/analysis/contraction.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/contraction.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/contraction.cc.o.d"
+  "/root/repo/src/analysis/depend.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/depend.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/depend.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/memadvisor.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/memadvisor.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/memadvisor.cc.o.d"
+  "/root/repo/src/analysis/modref.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/modref.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/modref.cc.o.d"
+  "/root/repo/src/analysis/symbolic.cc" "src/analysis/CMakeFiles/suifx_analysis.dir/symbolic.cc.o" "gcc" "src/analysis/CMakeFiles/suifx_analysis.dir/symbolic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/polyhedra/CMakeFiles/suifx_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/suifx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_analysis.dir/alias.cc.o"
+  "CMakeFiles/suifx_analysis.dir/alias.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/array_dataflow.cc.o"
+  "CMakeFiles/suifx_analysis.dir/array_dataflow.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/commonsplit.cc.o"
+  "CMakeFiles/suifx_analysis.dir/commonsplit.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/contraction.cc.o"
+  "CMakeFiles/suifx_analysis.dir/contraction.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/depend.cc.o"
+  "CMakeFiles/suifx_analysis.dir/depend.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/liveness.cc.o"
+  "CMakeFiles/suifx_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/memadvisor.cc.o"
+  "CMakeFiles/suifx_analysis.dir/memadvisor.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/modref.cc.o"
+  "CMakeFiles/suifx_analysis.dir/modref.cc.o.d"
+  "CMakeFiles/suifx_analysis.dir/symbolic.cc.o"
+  "CMakeFiles/suifx_analysis.dir/symbolic.cc.o.d"
+  "libsuifx_analysis.a"
+  "libsuifx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsuite/apps_ch5.cc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/apps_ch5.cc.o" "gcc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/apps_ch5.cc.o.d"
+  "/root/repo/src/benchsuite/apps_hydro_flo88.cc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/apps_hydro_flo88.cc.o" "gcc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/apps_hydro_flo88.cc.o.d"
+  "/root/repo/src/benchsuite/apps_mdg_arc3d.cc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/apps_mdg_arc3d.cc.o" "gcc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/apps_mdg_arc3d.cc.o.d"
+  "/root/repo/src/benchsuite/kernels_ch6.cc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/kernels_ch6.cc.o" "gcc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/kernels_ch6.cc.o.d"
+  "/root/repo/src/benchsuite/kernels_ch6_more.cc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/kernels_ch6_more.cc.o" "gcc" "src/benchsuite/CMakeFiles/suifx_benchsuite.dir/kernels_ch6_more.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynamic/CMakeFiles/suifx_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_benchsuite.dir/apps_ch5.cc.o"
+  "CMakeFiles/suifx_benchsuite.dir/apps_ch5.cc.o.d"
+  "CMakeFiles/suifx_benchsuite.dir/apps_hydro_flo88.cc.o"
+  "CMakeFiles/suifx_benchsuite.dir/apps_hydro_flo88.cc.o.d"
+  "CMakeFiles/suifx_benchsuite.dir/apps_mdg_arc3d.cc.o"
+  "CMakeFiles/suifx_benchsuite.dir/apps_mdg_arc3d.cc.o.d"
+  "CMakeFiles/suifx_benchsuite.dir/kernels_ch6.cc.o"
+  "CMakeFiles/suifx_benchsuite.dir/kernels_ch6.cc.o.d"
+  "CMakeFiles/suifx_benchsuite.dir/kernels_ch6_more.cc.o"
+  "CMakeFiles/suifx_benchsuite.dir/kernels_ch6_more.cc.o.d"
+  "libsuifx_benchsuite.a"
+  "libsuifx_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/dyndep.cc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/dyndep.cc.o" "gcc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/dyndep.cc.o.d"
+  "/root/repo/src/dynamic/interp.cc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/interp.cc.o" "gcc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/interp.cc.o.d"
+  "/root/repo/src/dynamic/profile.cc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/profile.cc.o" "gcc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/profile.cc.o.d"
+  "/root/repo/src/dynamic/validate.cc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/validate.cc.o" "gcc" "src/dynamic/CMakeFiles/suifx_dynamic.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

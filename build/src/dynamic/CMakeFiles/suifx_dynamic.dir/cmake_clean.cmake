@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_dynamic.dir/dyndep.cc.o"
+  "CMakeFiles/suifx_dynamic.dir/dyndep.cc.o.d"
+  "CMakeFiles/suifx_dynamic.dir/interp.cc.o"
+  "CMakeFiles/suifx_dynamic.dir/interp.cc.o.d"
+  "CMakeFiles/suifx_dynamic.dir/profile.cc.o"
+  "CMakeFiles/suifx_dynamic.dir/profile.cc.o.d"
+  "CMakeFiles/suifx_dynamic.dir/validate.cc.o"
+  "CMakeFiles/suifx_dynamic.dir/validate.cc.o.d"
+  "libsuifx_dynamic.a"
+  "libsuifx_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

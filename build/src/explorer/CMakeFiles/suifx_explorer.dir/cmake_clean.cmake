@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_explorer.dir/codeview.cc.o"
+  "CMakeFiles/suifx_explorer.dir/codeview.cc.o.d"
+  "CMakeFiles/suifx_explorer.dir/guru.cc.o"
+  "CMakeFiles/suifx_explorer.dir/guru.cc.o.d"
+  "CMakeFiles/suifx_explorer.dir/workbench.cc.o"
+  "CMakeFiles/suifx_explorer.dir/workbench.cc.o.d"
+  "libsuifx_explorer.a"
+  "libsuifx_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_frontend.dir/lexer.cc.o"
+  "CMakeFiles/suifx_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/suifx_frontend.dir/parser.cc.o"
+  "CMakeFiles/suifx_frontend.dir/parser.cc.o.d"
+  "libsuifx_frontend.a"
+  "libsuifx_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

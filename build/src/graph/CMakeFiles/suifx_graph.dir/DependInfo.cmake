@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/callgraph.cc" "src/graph/CMakeFiles/suifx_graph.dir/callgraph.cc.o" "gcc" "src/graph/CMakeFiles/suifx_graph.dir/callgraph.cc.o.d"
+  "/root/repo/src/graph/cfg.cc" "src/graph/CMakeFiles/suifx_graph.dir/cfg.cc.o" "gcc" "src/graph/CMakeFiles/suifx_graph.dir/cfg.cc.o.d"
+  "/root/repo/src/graph/regions.cc" "src/graph/CMakeFiles/suifx_graph.dir/regions.cc.o" "gcc" "src/graph/CMakeFiles/suifx_graph.dir/regions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_graph.dir/callgraph.cc.o"
+  "CMakeFiles/suifx_graph.dir/callgraph.cc.o.d"
+  "CMakeFiles/suifx_graph.dir/cfg.cc.o"
+  "CMakeFiles/suifx_graph.dir/cfg.cc.o.d"
+  "CMakeFiles/suifx_graph.dir/regions.cc.o"
+  "CMakeFiles/suifx_graph.dir/regions.cc.o.d"
+  "libsuifx_graph.a"
+  "libsuifx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_ir.dir/ir.cc.o"
+  "CMakeFiles/suifx_ir.dir/ir.cc.o.d"
+  "CMakeFiles/suifx_ir.dir/printer.cc.o"
+  "CMakeFiles/suifx_ir.dir/printer.cc.o.d"
+  "CMakeFiles/suifx_ir.dir/verify.cc.o"
+  "CMakeFiles/suifx_ir.dir/verify.cc.o.d"
+  "libsuifx_ir.a"
+  "libsuifx_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallelizer/parallelizer.cc" "src/parallelizer/CMakeFiles/suifx_parallelizer.dir/parallelizer.cc.o" "gcc" "src/parallelizer/CMakeFiles/suifx_parallelizer.dir/parallelizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/suifx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/suifx_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/suifx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

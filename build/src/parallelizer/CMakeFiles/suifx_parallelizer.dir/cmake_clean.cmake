@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_parallelizer.dir/parallelizer.cc.o"
+  "CMakeFiles/suifx_parallelizer.dir/parallelizer.cc.o.d"
+  "libsuifx_parallelizer.a"
+  "libsuifx_parallelizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_parallelizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polyhedra/affine.cc" "src/polyhedra/CMakeFiles/suifx_polyhedra.dir/affine.cc.o" "gcc" "src/polyhedra/CMakeFiles/suifx_polyhedra.dir/affine.cc.o.d"
+  "/root/repo/src/polyhedra/linsystem.cc" "src/polyhedra/CMakeFiles/suifx_polyhedra.dir/linsystem.cc.o" "gcc" "src/polyhedra/CMakeFiles/suifx_polyhedra.dir/linsystem.cc.o.d"
+  "/root/repo/src/polyhedra/section.cc" "src/polyhedra/CMakeFiles/suifx_polyhedra.dir/section.cc.o" "gcc" "src/polyhedra/CMakeFiles/suifx_polyhedra.dir/section.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

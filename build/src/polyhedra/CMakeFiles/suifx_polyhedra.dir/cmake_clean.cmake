@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_polyhedra.dir/affine.cc.o"
+  "CMakeFiles/suifx_polyhedra.dir/affine.cc.o.d"
+  "CMakeFiles/suifx_polyhedra.dir/linsystem.cc.o"
+  "CMakeFiles/suifx_polyhedra.dir/linsystem.cc.o.d"
+  "CMakeFiles/suifx_polyhedra.dir/section.cc.o"
+  "CMakeFiles/suifx_polyhedra.dir/section.cc.o.d"
+  "libsuifx_polyhedra.a"
+  "libsuifx_polyhedra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_polyhedra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/parloop.cc" "src/runtime/CMakeFiles/suifx_runtime.dir/parloop.cc.o" "gcc" "src/runtime/CMakeFiles/suifx_runtime.dir/parloop.cc.o.d"
+  "/root/repo/src/runtime/privatize.cc" "src/runtime/CMakeFiles/suifx_runtime.dir/privatize.cc.o" "gcc" "src/runtime/CMakeFiles/suifx_runtime.dir/privatize.cc.o.d"
+  "/root/repo/src/runtime/reduction.cc" "src/runtime/CMakeFiles/suifx_runtime.dir/reduction.cc.o" "gcc" "src/runtime/CMakeFiles/suifx_runtime.dir/reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

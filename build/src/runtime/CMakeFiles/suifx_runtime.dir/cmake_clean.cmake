@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_runtime.dir/parloop.cc.o"
+  "CMakeFiles/suifx_runtime.dir/parloop.cc.o.d"
+  "CMakeFiles/suifx_runtime.dir/privatize.cc.o"
+  "CMakeFiles/suifx_runtime.dir/privatize.cc.o.d"
+  "CMakeFiles/suifx_runtime.dir/reduction.cc.o"
+  "CMakeFiles/suifx_runtime.dir/reduction.cc.o.d"
+  "libsuifx_runtime.a"
+  "libsuifx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

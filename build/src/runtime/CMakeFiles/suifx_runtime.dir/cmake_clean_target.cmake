@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsuifx_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_simulator.dir/machine.cc.o"
+  "CMakeFiles/suifx_simulator.dir/machine.cc.o.d"
+  "CMakeFiles/suifx_simulator.dir/smp.cc.o"
+  "CMakeFiles/suifx_simulator.dir/smp.cc.o.d"
+  "libsuifx_simulator.a"
+  "libsuifx_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

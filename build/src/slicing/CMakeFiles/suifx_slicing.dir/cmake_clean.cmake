@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_slicing.dir/slicer.cc.o"
+  "CMakeFiles/suifx_slicing.dir/slicer.cc.o.d"
+  "libsuifx_slicing.a"
+  "libsuifx_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

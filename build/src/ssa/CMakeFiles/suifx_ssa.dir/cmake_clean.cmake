@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_ssa.dir/ssa.cc.o"
+  "CMakeFiles/suifx_ssa.dir/ssa.cc.o.d"
+  "libsuifx_ssa.a"
+  "libsuifx_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

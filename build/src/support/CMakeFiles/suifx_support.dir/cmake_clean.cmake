@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suifx_support.dir/diag.cc.o"
+  "CMakeFiles/suifx_support.dir/diag.cc.o.d"
+  "libsuifx_support.a"
+  "libsuifx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suifx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchsuite/CMakeFiles/suifx_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/explorer/CMakeFiles/suifx_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/suifx_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/suifx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/suifx_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/suifx_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallelizer/CMakeFiles/suifx_parallelizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/suifx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/suifx_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/suifx_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/suifx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/suifx_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/suifx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/suifx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memadvisor.dir/memadvisor_test.cc.o"
+  "CMakeFiles/test_memadvisor.dir/memadvisor_test.cc.o.d"
+  "test_memadvisor"
+  "test_memadvisor.pdb"
+  "test_memadvisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memadvisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyhedra.dir/polyhedra_test.cc.o"
+  "CMakeFiles/test_polyhedra.dir/polyhedra_test.cc.o.d"
+  "test_polyhedra"
+  "test_polyhedra.pdb"
+  "test_polyhedra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyhedra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

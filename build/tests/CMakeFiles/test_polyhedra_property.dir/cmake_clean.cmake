@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyhedra_property.dir/polyhedra_property_test.cc.o"
+  "CMakeFiles/test_polyhedra_property.dir/polyhedra_property_test.cc.o.d"
+  "test_polyhedra_property"
+  "test_polyhedra_property.pdb"
+  "test_polyhedra_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyhedra_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_polyhedra[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_slicing[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_parallelizer[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_polyhedra_property[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_memadvisor[1]_include.cmake")
+include("/root/repo/build/tests/test_roundtrip[1]_include.cmake")
