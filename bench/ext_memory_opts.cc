@@ -39,7 +39,7 @@ int main() {
       // Charge the enclosing outermost-parallel loop for the bad stride.
       for (const ir::Stmt* outer : chosen) {
         bool contains = false;
-        ir::for_each_stmt(const_cast<ir::Stmt*>(outer)->body, [&](ir::Stmt* s) {
+        ir::for_each_nested(outer, [&](const ir::Stmt* s) {
           if (s == a.loop) contains = true;
         });
         if (contains) before.stride_penalty[outer] = 1.3;

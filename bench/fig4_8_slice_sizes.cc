@@ -19,17 +19,17 @@ int loop_size(explorer::Workbench& wb, const ir::Stmt* loop) {
   std::set<const ir::Procedure*> procs;
   std::function<void(const ir::Procedure*)> mark = [&](const ir::Procedure* p) {
     if (!procs.insert(p).second) return;
-    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+    p->for_each([&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Call) mark(s->callee);
     });
   };
   int n = 0;
-  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
     ++n;
     if (s->kind == ir::StmtKind::Call) mark(s->callee);
   });
   for (const ir::Procedure* p : procs) {
-    p->for_each([&](ir::Stmt*) { ++n; });
+    p->for_each([&](const ir::Stmt*) { ++n; });
   }
   (void)wb;
   return n;
@@ -46,7 +46,7 @@ Sizes slice_sizes(explorer::Workbench& wb, slicing::Slicer& slicer,
   auto run = [&](SliceOptions opts) {
     SliceResult combined;
     const analysis::AliasAnalysis& alias = wb.alias();
-    ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    ir::for_each_nested(loop, [&](const ir::Stmt* s) {
       for (const ir::Access& a : ir::direct_accesses(s)) {
         if (alias.canonical(a.var) != alias.canonical(var)) continue;
         if (control) {

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "support/metrics.h"
 
 using namespace suifx;
 using namespace suifx::bench;
@@ -70,5 +71,7 @@ int main() {
   std::printf("\nPaper (seconds on a 300MHz AlphaServer): e.g. hydro 59/78/81/82/89.\n"
               "Shape: the top-down phase is a fraction of the bottom-up cost, and\n"
               "the full algorithm is not much slower than the 1-bit version.\n");
+  std::printf("\nPer-pass metrics (all programs, cumulative):\n%s",
+              support::Metrics::global().report().c_str());
   return 0;
 }

@@ -22,7 +22,7 @@ DeadStats measure(const benchsuite::BenchProgram& bp, analysis::LivenessMode mod
   DeadStats st;
   const analysis::ArrayLiveness* live = wb->liveness();
   for (const auto& p : wb->program().procedures()) {
-    for (ir::Stmt* loop : p.loops()) {
+    for (const ir::Stmt* loop : p.loops()) {
       ++st.loops;
       const graph::Region* r = wb->regions().loop_region(loop);
       for (const ir::Variable* v : live->modified_vars(r)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/metrics.h"
+
 namespace suifx::analysis {
 
 using poly::ArraySummary;
@@ -156,7 +158,9 @@ ArrayDataflow::ArrayDataflow(const ir::Program& prog, const AliasAnalysis& alias
                              const graph::RegionTree& regions, const Symbolic& symbolic)
     : prog_(prog), alias_(alias), modref_(modref), cg_(cg), regions_(regions),
       symbolic_(symbolic) {
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "dataflow.build");
   for (ir::Procedure* p : cg.bottom_up()) {
+    support::Metrics::global().count("dataflow.procs");
     AccessInfo info = summarize_body(p->body);
     region_info_[regions.of_proc(p)] = info;
     call_summary_[p] = localize(p, info);
@@ -173,7 +177,7 @@ bool ArrayDataflow::proc_has_io(const ir::Procedure* p) const {
   auto it = proc_io_.find(p);
   if (it != proc_io_.end()) return it->second;
   bool io = false;
-  p->for_each([&](ir::Stmt* s) {
+  p->for_each([&](const ir::Stmt* s) {
     if (s->kind == ir::StmtKind::Print) io = true;
     if (s->kind == ir::StmtKind::Call) io = io || proc_has_io(s->callee);
   });
@@ -182,7 +186,7 @@ bool ArrayDataflow::proc_has_io(const ir::Procedure* p) const {
 
 bool ArrayDataflow::loop_has_io(const ir::Stmt* loop) const {
   bool io = false;
-  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
     if (s->kind == ir::StmtKind::Print) io = true;
     if (s->kind == ir::StmtKind::Call) io = io || proc_has_io(s->callee);
   });
@@ -191,7 +195,7 @@ bool ArrayDataflow::loop_has_io(const ir::Stmt* loop) const {
 
 bool ArrayDataflow::loop_has_call(const ir::Stmt* loop) const {
   bool call = false;
-  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
     if (s->kind == ir::StmtKind::Call) call = true;
   });
   return call;

@@ -1,5 +1,7 @@
 #include "analysis/depend.h"
 
+#include "support/metrics.h"
+
 namespace suifx::analysis {
 
 using poly::LinearExpr;
@@ -86,6 +88,8 @@ bool DependenceAnalysis::cross_iteration_overlap(const ir::Stmt* loop,
 LoopVerdict DependenceAnalysis::analyze(
     const ir::Stmt* loop, const std::set<const ir::Variable*>& assume_private,
     const std::set<const ir::Variable*>& assume_parallel) const {
+  support::Metrics::global().count("depend.analyze");
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "depend.analyze");
   LoopVerdict out;
   out.has_io = df_.loop_has_io(loop);
   const AccessInfo& body = df_.body_info(loop);

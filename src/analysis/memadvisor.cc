@@ -68,7 +68,7 @@ std::vector<MemAdvice> advise_memory_opts(
     if (s->kind != ir::StmtKind::Do) return;
     // Innermost: no nested Do.
     bool innermost = true;
-    ir::for_each_stmt(const_cast<ir::Stmt*>(s)->body, [&](ir::Stmt* n) {
+    ir::for_each_nested(s, [&](const ir::Stmt* n) {
       if (n->kind == ir::StmtKind::Do) innermost = false;
     });
     if (!innermost || s->enclosing_loop() == nullptr) return;

@@ -9,7 +9,7 @@ Symbolic::Symbolic(const ir::Program& prog, const AliasAnalysis& alias,
     : prog_(prog), alias_(alias), modref_(modref) {
   // Pre-collect per-loop modified sets (needed while walking).
   for (const ir::Procedure& p : prog.procedures()) {
-    p.for_each([&](ir::Stmt* s) {
+    p.for_each([&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Do) collect_modified(s);
     });
   }
@@ -25,7 +25,7 @@ Symbolic::Symbolic(const ir::Program& prog, const AliasAnalysis& alias,
 void Symbolic::collect_modified(const ir::Stmt* loop) {
   std::set<const ir::Variable*>& out = modified_in_[loop];
   out.insert(loop->ivar);
-  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
     if (s->kind == ir::StmtKind::Assign) {
       if (s->lhs->is_var_ref()) out.insert(s->lhs->var);
       return;

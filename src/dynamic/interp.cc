@@ -31,7 +31,7 @@ bool Interpreter::formal_modified(const ir::Procedure* callee, size_t ix) {
   auto it = formal_mod_.find(callee);
   if (it == formal_mod_.end()) {
     std::vector<bool> mods(callee->formals.size(), false);
-    callee->for_each([&](ir::Stmt* s) {
+    callee->for_each([&](const ir::Stmt* s) {
       auto mark = [&](const ir::Variable* v) {
         for (size_t i = 0; i < callee->formals.size(); ++i) {
           if (callee->formals[i] == v) mods[i] = true;

@@ -15,7 +15,7 @@ std::string codeview(const Workbench& wb, const parallelizer::ParallelPlan& plan
 
   auto paint = [&](const ir::Stmt* loop, char c) {
     rows[static_cast<size_t>(loop->line) % rows.size()] = c;
-    ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+    ir::for_each_nested(loop, [&](const ir::Stmt* s) {
       if (s->line > 0 && s->line < nlines) {
         rows[static_cast<size_t>(s->line)] = c;
       }
@@ -67,7 +67,7 @@ std::string annotated_source(const Workbench& wb, const slicing::SliceResult& sl
   // walk the program and emit each procedure with markers.
   for (const ir::Procedure& p : wb.program().procedures()) {
     os << "proc " << p.name << ":\n";
-    p.for_each([&](ir::Stmt* s) {
+    p.for_each([&](const ir::Stmt* s) {
       char mark = ' ';
       if (slice.stmts.count(s) != 0) mark = '>';
       if (slice.terminals.count(s) != 0) mark = '?';

@@ -13,13 +13,13 @@ std::set<const ir::Stmt*> nested_under(ir::Program& prog,
   std::set<const ir::Procedure*> ctx;
   std::function<void(const ir::Procedure*)> mark = [&](const ir::Procedure* p) {
     if (!ctx.insert(p).second) return;
-    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+    p->for_each([&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Call) mark(s->callee);
     });
   };
   std::set<const ir::Stmt*> chosen_set(chosen.begin(), chosen.end());
   for (const ir::Stmt* c : chosen) {
-    ir::for_each_stmt(const_cast<ir::Stmt*>(c)->body, [&](ir::Stmt* s) {
+    ir::for_each_nested(c, [&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Call) mark(s->callee);
     });
   }

@@ -23,6 +23,7 @@ std::unique_ptr<Workbench> Workbench::from_source(
   }
   wb->par_ = std::make_unique<parallelizer::Parallelizer>(
       *wb->df_, *wb->regions_, wb->live_.get(), enable_reductions);
+  wb->driver_ = std::make_unique<parallelizer::Driver>(*wb->par_);
   wb->issa_ = std::make_unique<ssa::Issa>(*wb->prog_, *wb->alias_, *wb->modref_);
   return wb;
 }

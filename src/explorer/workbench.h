@@ -10,6 +10,7 @@
 #include "frontend/parser.h"
 #include "graph/callgraph.h"
 #include "graph/regions.h"
+#include "parallelizer/driver.h"
 #include "parallelizer/parallelizer.h"
 #include "ssa/ssa.h"
 
@@ -36,12 +37,15 @@ class Workbench {
   const analysis::ArrayDataflow& dataflow() const { return *df_; }
   const analysis::ArrayLiveness* liveness() const { return live_.get(); }
   const parallelizer::Parallelizer& parallelizer() const { return *par_; }
+  parallelizer::Driver& driver() const { return *driver_; }
   ssa::Issa& issa() const { return *issa_; }
 
-  /// Plan with the given assertions (empty = fully automatic).
+  /// Plan with the given assertions (empty = fully automatic). Routed
+  /// through the parallel, memoized driver: a re-plan after one new
+  /// assertion re-analyzes only the invalidated loop nests.
   parallelizer::ParallelPlan plan(
       const parallelizer::Assertions& asserts = {}) const {
-    return par_->plan(*prog_, asserts);
+    return driver_->plan(*prog_, asserts);
   }
 
   /// Find a loop by "proc/label" name (null if absent).
@@ -59,6 +63,7 @@ class Workbench {
   std::unique_ptr<analysis::ArrayDataflow> df_;
   std::unique_ptr<analysis::ArrayLiveness> live_;
   std::unique_ptr<parallelizer::Parallelizer> par_;
+  std::unique_ptr<parallelizer::Driver> driver_;
   std::unique_ptr<ssa::Issa> issa_;
 };
 

@@ -117,17 +117,42 @@ void for_each_stmt(Stmt* s, const std::function<void(Stmt*)>& fn) {
   for (Stmt* c : s->body) for_each_stmt(c, fn);
 }
 
+void for_each_stmt(const Stmt* s, const std::function<void(const Stmt*)>& fn) {
+  fn(s);
+  for (const Stmt* c : s->then_body) for_each_stmt(c, fn);
+  for (const Stmt* c : s->else_body) for_each_stmt(c, fn);
+  for (const Stmt* c : s->body) for_each_stmt(c, fn);
+}
+
 void for_each_stmt(const std::vector<Stmt*>& body, const std::function<void(Stmt*)>& fn) {
   for (Stmt* s : body) for_each_stmt(s, fn);
 }
 
-void Procedure::for_each(const std::function<void(Stmt*)>& fn) const {
+void for_each_nested(const Stmt* s, const std::function<void(const Stmt*)>& fn) {
+  for (const Stmt* c : s->then_body) for_each_stmt(c, fn);
+  for (const Stmt* c : s->else_body) for_each_stmt(c, fn);
+  for (const Stmt* c : s->body) for_each_stmt(c, fn);
+}
+
+void Procedure::for_each(const std::function<void(Stmt*)>& fn) {
   for (Stmt* s : body) for_each_stmt(s, fn);
 }
 
-std::vector<Stmt*> Procedure::loops() const {
+void Procedure::for_each(const std::function<void(const Stmt*)>& fn) const {
+  for (const Stmt* s : body) for_each_stmt(s, fn);
+}
+
+std::vector<Stmt*> Procedure::loops() {
   std::vector<Stmt*> out;
   for_each([&](Stmt* s) {
+    if (s->kind == StmtKind::Do) out.push_back(s);
+  });
+  return out;
+}
+
+std::vector<const Stmt*> Procedure::loops() const {
+  std::vector<const Stmt*> out;
+  for_each([&](const Stmt* s) {
     if (s->kind == StmtKind::Do) out.push_back(s);
   });
   return out;
@@ -410,9 +435,7 @@ void Program::for_each_stmt(const std::function<void(Stmt*)>& fn) {
 }
 
 void Program::for_each_stmt(const std::function<void(const Stmt*)>& fn) const {
-  for (const Procedure& p : procs_) {
-    p.for_each([&](Stmt* s) { fn(s); });
-  }
+  for (const Procedure& p : procs_) p.for_each(fn);
 }
 
 // ---------------------------------------------------------------------------

@@ -164,7 +164,11 @@ struct Stmt {
 
 /// Visit a statement and all statements nested under it (pre-order).
 void for_each_stmt(Stmt* s, const std::function<void(Stmt*)>& fn);
+void for_each_stmt(const Stmt* s, const std::function<void(const Stmt*)>& fn);
 void for_each_stmt(const std::vector<Stmt*>& body, const std::function<void(Stmt*)>& fn);
+/// Visit every statement nested under `s` (then/else/body), excluding `s`
+/// itself — the const-correct form of for_each_stmt(s->body, fn).
+void for_each_nested(const Stmt* s, const std::function<void(const Stmt*)>& fn);
 
 // ---------------------------------------------------------------------------
 // Procedures, commons, program
@@ -178,10 +182,14 @@ struct Procedure {
   std::vector<Stmt*> body;
   Program* program = nullptr;
 
-  /// Visit all statements in this procedure (pre-order).
-  void for_each(const std::function<void(Stmt*)>& fn) const;
+  /// Visit all statements in this procedure (pre-order). The const overload
+  /// hands out const statements (overload choice follows the constness of
+  /// the procedure, mirroring Program::for_each_stmt).
+  void for_each(const std::function<void(Stmt*)>& fn);
+  void for_each(const std::function<void(const Stmt*)>& fn) const;
   /// All Do statements, outermost-first.
-  std::vector<Stmt*> loops() const;
+  std::vector<Stmt*> loops();
+  std::vector<const Stmt*> loops() const;
   Variable* find_var(const std::string& n) const;
 };
 

@@ -152,7 +152,7 @@ class Verifier {
                             "' has non-affine bounds over parameters");
       }
     }
-    p.for_each([&](Stmt* s) { check_stmt(s); });
+    p.for_each([&](const Stmt* s) { check_stmt(s); });
   }
 
   void check_call_graph_acyclic() {
@@ -161,7 +161,7 @@ class Verifier {
     bool cyclic = false;
     std::function<void(const Procedure*)> dfs = [&](const Procedure* p) {
       color[p] = 1;
-      p->for_each([&](Stmt* s) {
+      p->for_each([&](const Stmt* s) {
         if (s->kind != StmtKind::Call || cyclic) return;
         const Procedure* q = s->callee;
         if (color[q] == 1) {

@@ -1,0 +1,194 @@
+#include "parallelizer/driver.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace suifx::parallelizer {
+
+namespace {
+
+uint64_t fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Driver::Driver(const Parallelizer& par, Options opts) : par_(par), opts_(opts) {
+  int n = opts.workers > 0
+              ? opts.workers
+              : static_cast<int>(std::thread::hardware_concurrency());
+  pool_ = std::make_unique<runtime::ThreadPool>(std::max(1, n));
+}
+
+Driver::~Driver() = default;
+
+size_t Driver::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void Driver::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+uint64_t Driver::assertion_fingerprint(const ir::Stmt* loop,
+                                       const Assertions& asserts) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix_vars = [&](const std::map<const ir::Stmt*, std::set<const ir::Variable*>>& m,
+                      uint64_t tag) {
+    h = fnv1a(h, tag);
+    auto it = m.find(loop);
+    if (it == m.end()) return;
+    // Variable ids, sorted: stable across set orderings (sets order by
+    // pointer, which is not meaningful).
+    std::vector<uint64_t> ids;
+    ids.reserve(it->second.size());
+    for (const ir::Variable* v : it->second) {
+      ids.push_back(static_cast<uint64_t>(v->id) + 1);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (uint64_t id : ids) h = fnv1a(h, id);
+  };
+  mix_vars(asserts.privatize, 0x9e3779b97f4a7c15ULL);
+  mix_vars(asserts.independent, 0x85ebca6b0aa53a4dULL);
+  h = fnv1a(h, asserts.force_parallel.count(loop) != 0 ? 2 : 1);
+  return h;
+}
+
+ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
+  support::Metrics& metrics = support::Metrics::global();
+  metrics.count("driver.plan");
+  support::Metrics::ScopedTimer timer(metrics, "driver.plan");
+
+  // One unit of work per procedure with at least one stale loop; loops are
+  // collected in deterministic program order. Cache hits merge immediately.
+  struct Unit {
+    std::vector<const ir::Stmt*> loops;
+    std::vector<uint64_t> fingerprints;
+    std::vector<LoopPlan> plans;
+  };
+  std::deque<Unit> units;  // deque: element addresses stay valid while growing
+  ParallelPlan out;
+  uint64_t hits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ir::Procedure& p : prog.procedures()) {
+      Unit* unit = nullptr;
+      p.for_each([&](const ir::Stmt* s) {
+        if (s->kind != ir::StmtKind::Do) return;
+        uint64_t fp = assertion_fingerprint(s, asserts);
+        if (opts_.memoize) {
+          auto it = cache_.find(s);
+          if (it != cache_.end() && it->second.fingerprint == fp) {
+            out.loops[s] = it->second.plan;
+            ++hits;
+            return;
+          }
+        }
+        if (unit == nullptr) {
+          units.emplace_back();
+          unit = &units.back();
+        }
+        unit->loops.push_back(s);
+        unit->fingerprints.push_back(fp);
+      });
+    }
+  }
+
+  // Fan the stale units out onto the pool. Every analysis consulted by
+  // plan_loop is immutable after construction, so units are independent.
+  std::vector<std::future<void>> pending;
+  pending.reserve(units.size());
+  for (Unit& unit : units) {
+    unit.plans.resize(unit.loops.size());
+    pending.push_back(pool_->submit([this, &unit, &asserts] {
+      for (size_t i = 0; i < unit.loops.size(); ++i) {
+        unit.plans[i] = par_.plan_loop(unit.loops[i], asserts);
+      }
+    }));
+  }
+  // Wait for every task before (re)throwing so no task can outlive `units`.
+  std::exception_ptr error;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+
+  // Merge is a std::map keyed by statement: identical contents regardless of
+  // worker count or completion order.
+  uint64_t misses = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Unit& unit : units) {
+      for (size_t i = 0; i < unit.loops.size(); ++i) {
+        ++misses;
+        if (opts_.memoize) {
+          cache_[unit.loops[i]] = {unit.fingerprints[i], unit.plans[i]};
+        }
+        out.loops[unit.loops[i]] = std::move(unit.plans[i]);
+      }
+    }
+  }
+  hits_ += hits;
+  misses_ += misses;
+  metrics.count("driver.cache_hit", hits);
+  metrics.count("driver.cache_miss", misses);
+  metrics.count("driver.loops", hits + misses);
+  return out;
+}
+
+std::string plan_signature(const ParallelPlan& plan) {
+  std::vector<std::pair<int, std::string>> rows;
+  rows.reserve(plan.loops.size());
+  for (const auto& [loop, lp] : plan.loops) {
+    std::ostringstream os;
+    os << loop->id << " " << loop->loop_name() << " par=" << lp.parallelizable
+       << " reason='" << lp.reason << "' live=" << lp.used_liveness
+       << " assert=" << lp.used_assertion
+       << " deps=" << lp.verdict.num_dependences << " io=" << lp.verdict.has_io;
+    std::vector<std::pair<int, std::string>> vars;
+    for (const auto& [v, vv] : lp.verdict.vars) {
+      std::ostringstream vs;
+      vs << v->qualified_name() << ":" << analysis::to_string(vv.cls)
+         << ":ci=" << vv.needs_copy_in << ":sr=" << vv.same_region_every_iter;
+      vars.push_back({v->id, vs.str()});
+    }
+    std::sort(vars.begin(), vars.end());
+    os << " vars[";
+    for (const auto& [id, text] : vars) os << text << ",";
+    os << "] priv[";
+    for (const PrivateVar& pv : lp.privatized) {
+      os << pv.var->qualified_name() << ":" << pv.copy_in << ":"
+         << static_cast<int>(pv.finalize) << ",";
+    }
+    os << "] red[";
+    for (const ReductionVar& rv : lp.reductions) {
+      os << rv.var->qualified_name() << ":" << ir::to_string(rv.op) << ",";
+    }
+    os << "]";
+    rows.push_back({loop->id, os.str()});
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& [id, row] : rows) {
+    out += row;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace suifx::parallelizer

@@ -1,0 +1,80 @@
+// The parallel, memoized analysis driver. SUIF Explorer's interactivity
+// depends on analyses being fast enough to re-run on every user assertion
+// (§4); this driver makes whole-program loop planning both parallel and
+// incremental:
+//
+//  - Planning is partitioned by procedure onto a runtime::ThreadPool (the
+//    per-unit partitioning of Monniaux's parallel Astrée): every analysis a
+//    plan consults is immutable after Workbench construction, so per-loop
+//    planning is embarrassingly parallel. Results are merged in program
+//    order, so the plan is identical at 1 and N workers.
+//
+//  - Each loop's plan is memoized under the fingerprint of the assertions
+//    that can influence it (its privatize/independent sets and its
+//    force-parallel flag). A Guru re-run after one new assertion therefore
+//    re-analyzes only the invalidated loop nests; every other loop is a
+//    cache hit. Metrics: driver.cache_hit / driver.cache_miss /
+//    driver.plan counters and the driver.plan timer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "parallelizer/parallelizer.h"
+#include "runtime/parloop.h"
+
+namespace suifx::parallelizer {
+
+class Driver {
+ public:
+  struct Options {
+    /// Worker threads for planning; 0 = hardware concurrency.
+    int workers = 0;
+    /// Keep per-loop plans across plan() calls (the Guru re-run cache).
+    bool memoize = true;
+  };
+
+  explicit Driver(const Parallelizer& par) : Driver(par, Options()) {}
+  Driver(const Parallelizer& par, Options opts);
+  ~Driver();
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Plan every loop of the program. Equivalent to Parallelizer::plan but
+  /// parallel across procedures and incremental across calls.
+  ParallelPlan plan(const ir::Program& prog, const Assertions& asserts = {});
+
+  int workers() const { return pool_->size(); }
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
+  size_t cache_size() const;
+  /// Drop every memoized plan (e.g. if the program were rebuilt).
+  void invalidate();
+
+ private:
+  /// Hash of the assertion subset that can influence `loop`'s plan.
+  static uint64_t assertion_fingerprint(const ir::Stmt* loop,
+                                        const Assertions& asserts);
+
+  const Parallelizer& par_;
+  Options opts_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+
+  struct CacheEntry {
+    uint64_t fingerprint = 0;
+    LoopPlan plan;
+  };
+  mutable std::mutex mu_;
+  std::map<const ir::Stmt*, CacheEntry> cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// Canonical textual rendering of a plan in program (statement-id) order:
+/// byte-identical strings iff the plans agree. Used by the determinism tests
+/// and the driver bench.
+std::string plan_signature(const ParallelPlan& plan);
+
+}  // namespace suifx::parallelizer

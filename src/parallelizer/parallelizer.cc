@@ -84,7 +84,7 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
 ParallelPlan Parallelizer::plan(const ir::Program& prog, const Assertions& asserts) const {
   ParallelPlan out;
   for (const ir::Procedure& p : prog.procedures()) {
-    p.for_each([&](ir::Stmt* s) {
+    p.for_each([&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Do) {
         out.loops[s] = plan_loop(s, asserts);
       }

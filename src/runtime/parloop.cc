@@ -1,17 +1,42 @@
 #include "runtime/parloop.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace suifx::runtime {
 
+namespace {
+
+/// RAII: clear an atomic flag on scope exit, exception or not.
+class ScopedFlagClear {
+ public:
+  explicit ScopedFlagClear(std::atomic<bool>& flag) : flag_(flag) {}
+  ~ScopedFlagClear() { flag_.store(false); }
+  ScopedFlagClear(const ScopedFlagClear&) = delete;
+  ScopedFlagClear& operator=(const ScopedFlagClear&) = delete;
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
+
 std::vector<IterRange> block_schedule(long trip_count, int nproc) {
+  if (nproc <= 0) {
+    throw std::invalid_argument("block_schedule: nproc must be positive");
+  }
+  trip_count = std::max(0L, trip_count);
+  // floor(trip * p / nproc) via div/mod decomposition: trip * p overflows a
+  // long for large trip counts. With trip = q * nproc + r (0 <= r < nproc),
+  // floor(trip * p / nproc) == q * p + floor(r * p / nproc), and both
+  // products stay within range (q * p <= trip, r * p < nproc^2 < 2^62).
+  const long q = trip_count / nproc;
+  const long r = trip_count % nproc;
+  auto split = [&](long p) { return q * p + r * p / nproc; };
   std::vector<IterRange> out;
   out.reserve(static_cast<size_t>(nproc));
   for (int p = 0; p < nproc; ++p) {
-    IterRange r;
-    r.begin = trip_count * p / nproc;
-    r.end = trip_count * (p + 1) / nproc;
-    out.push_back(r);
+    out.push_back({split(p), split(p + 1)});
   }
   return out;
 }
@@ -35,17 +60,33 @@ void ThreadPool::worker_main(int id) {
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* fn = nullptr;
+    std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
-      if (stop_) return;
-      seen = epoch_;
-      fn = fn_;
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen || !tasks_.empty(); });
+      if (!tasks_.empty()) {
+        // Drain submitted tasks first (also on shutdown, so every returned
+        // future completes).
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (epoch_ != seen) {
+        seen = epoch_;
+        fn = fn_;
+      } else {
+        return;  // stop_ with nothing left to do
+      }
     }
-    (*fn)(id);
-    {
+    if (fn != nullptr) {
+      try {
+        (*fn)(id);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (epoch_error_ == nullptr) epoch_error_ = std::current_exception();
+      }
       std::lock_guard<std::mutex> lock(mu_);
       if (--remaining_ == 0) done_cv_.notify_all();
+    } else {
+      task();  // a packaged_task stores its exception in the future
     }
   }
 }
@@ -59,12 +100,39 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
     remaining_ = static_cast<int>(workers_.size());
+    epoch_error_ = nullptr;
     ++epoch_;
   }
   cv_.notify_all();
-  fn(0);  // the calling thread is processor 0
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  std::exception_ptr caller_error;
+  try {
+    fn(0);  // the calling thread is processor 0
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    error = caller_error != nullptr ? caller_error : epoch_error_;
+    epoch_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  if (workers_.empty()) {
+    pt();
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
 }
 
 ParallelRuntime::ParallelRuntime(int nproc) : pool_(std::max(1, nproc)) {}
@@ -73,17 +141,18 @@ int ParallelRuntime::nproc() const { return pool_.size(); }
 
 void ParallelRuntime::parallel_chunks(
     long trip_count, const std::function<void(int proc, IterRange r)>& fn) {
-  if (in_parallel_ || trip_count <= 0) {
-    // Nested parallelism is suppressed: run everything on this processor.
+  // Nested parallelism is suppressed: run everything on this processor. The
+  // exchange claims the flag atomically so two racing spawn attempts cannot
+  // both win.
+  if (trip_count <= 0 || in_parallel_.exchange(true)) {
     ++regions_serialized_;
     fn(0, {0, trip_count});
     return;
   }
+  ScopedFlagClear guard(in_parallel_);  // restored even if a body throws
   ++regions_spawned_;
-  in_parallel_ = true;
   std::vector<IterRange> chunks = block_schedule(trip_count, pool_.size());
   pool_.run([&](int proc) { fn(proc, chunks[static_cast<size_t>(proc)]); });
-  in_parallel_ = false;
 }
 
 void ParallelRuntime::parallel_do(long lb, long ub, long step,

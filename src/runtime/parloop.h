@@ -4,11 +4,18 @@
 // for loops too fine-grained to profit ("the run-time system estimates the
 // amount of computation ... and runs the loop sequentially if it is
 // considered too fine-grained", §4.5).
+//
+// The pool doubles as a generic task pool for the compiler itself: besides
+// the SPMD epoch protocol (`run`), `submit` enqueues independent tasks whose
+// completion (and exceptions) are observed through std::future — the
+// parallel analysis driver (parallelizer::Driver) is built on it.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,7 +30,8 @@ struct IterRange {
 
 /// Block distribution: iterations [lb, ub] step `step` split across `nproc`
 /// processors the way SUIF divides them ("evenly divided between the
-/// processors at the time the parallel loop is spawned").
+/// processors at the time the parallel loop is spawned"). Overflow-safe for
+/// trip counts near LONG_MAX; throws std::invalid_argument for nproc <= 0.
 std::vector<IterRange> block_schedule(long trip_count, int nproc);
 
 class ThreadPool {
@@ -36,14 +44,17 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Run fn(proc_id) on every processor (the calling thread acts as
-  /// processor 0) and wait for completion.
+  /// processor 0) and wait for completion. If any processor's invocation
+  /// throws, one of the exceptions is rethrown here after every processor
+  /// has finished — the pool stays reusable.
   void run(const std::function<void(int)>& fn);
 
+  /// Enqueue one independent task; the returned future reports completion
+  /// and carries any exception the task threw. With no workers (size() == 1)
+  /// the task runs inline. Tasks may interleave with `run` epochs.
+  std::future<void> submit(std::function<void()> task);
+
  private:
-  struct Task {
-    const std::function<void(int)>* fn = nullptr;
-    uint64_t epoch = 0;
-  };
   void worker_main(int id);
 
   std::vector<std::thread> workers_;
@@ -54,6 +65,8 @@ class ThreadPool {
   uint64_t epoch_ = 0;
   int remaining_ = 0;
   bool stop_ = false;
+  std::exception_ptr epoch_error_;
+  std::deque<std::packaged_task<void()>> tasks_;
 };
 
 /// The loop executor. Not reentrant from inside a parallel region: nested
@@ -66,7 +79,8 @@ class ParallelRuntime {
 
   /// Execute body(i) for i in [lb, ub] step `step`. Runs serially when
   /// trip_count * est_cost_per_iter < serial_threshold, or when called from
-  /// inside an active parallel region.
+  /// inside an active parallel region. Exception-safe: a throwing body
+  /// leaves the runtime able to spawn subsequent parallel regions.
   void parallel_do(long lb, long ub, long step,
                    const std::function<void(long i, int proc)>& body,
                    double est_cost_per_iter = 1e9);

@@ -12,6 +12,7 @@
 //     (§6.3.5).
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <mutex>
 #include <vector>
@@ -84,8 +85,10 @@ class ArrayReduction {
   std::vector<Private> priv_;
   std::vector<std::mutex> section_mu_;
   std::vector<std::mutex> stripe_mu_;
-  uint64_t init_count_ = 0;
-  uint64_t final_count_ = 0;
+  // Atomic: bumped concurrently by pool workers (update) and by staggered
+  // finalizers holding different section locks.
+  std::atomic<uint64_t> init_count_{0};
+  std::atomic<uint64_t> final_count_{0};
 };
 
 }  // namespace suifx::runtime

@@ -79,7 +79,7 @@ std::vector<const ir::Stmt*> SmpSimulator::outermost_parallel(
 
   std::function<void(const ir::Procedure*)> mark_ctx = [&](const ir::Procedure* p) {
     if (!parallel_ctx.insert(p).second) return;
-    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+    p->for_each([&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Call) mark_ctx(s->callee);
     });
   };

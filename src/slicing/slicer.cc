@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 
+#include "support/metrics.h"
+
 namespace suifx::slicing {
 
 using ssa::Binding;
@@ -17,11 +19,11 @@ int SliceResult::size_within(const ir::Stmt* loop) const {
   std::set<const ir::Procedure*> called;
   std::function<void(const ir::Procedure*)> mark = [&](const ir::Procedure* p) {
     if (!called.insert(p).second) return;
-    const_cast<ir::Procedure*>(p)->for_each([&](ir::Stmt* s) {
+    p->for_each([&](const ir::Stmt* s) {
       if (s->kind == ir::StmtKind::Call) mark(s->callee);
     });
   };
-  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
     if (s->kind == ir::StmtKind::Call) mark(s->callee);
   });
   int n = 0;
@@ -171,7 +173,7 @@ struct Slicer::DirectEngine {
         }
         // Unconstrained: union over every call site of the owning procedure.
         for (const ir::Procedure& p : issa.program().procedures()) {
-          p.for_each([&](ir::Stmt* s) {
+          p.for_each([&](const ir::Stmt* s) {
             if (s->kind == ir::StmtKind::Call && s->callee == owner) {
               expand_entry_through(s, d->var);
             }
@@ -234,6 +236,8 @@ struct Slicer::DirectEngine {
 
 SliceResult Slicer::slice(const ir::Stmt* s, const ir::Expr* ref,
                           const SliceOptions& opts) const {
+  support::Metrics::global().count("slicer.slice");
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "slicer.slice");
   DirectEngine e(issa_, opts);
   e.add_stmt(s);
   const SsaFunc& f = issa_.func(s->proc);
@@ -262,7 +266,7 @@ SliceResult Slicer::dependence_slice(const ir::Stmt* loop, const ir::Variable* v
                                      const SliceOptions& opts) const {
   SliceResult combined;
   const analysis::AliasAnalysis& alias = issa_.alias();
-  ir::for_each_stmt(const_cast<ir::Stmt*>(loop)->body, [&](ir::Stmt* s) {
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
     std::vector<const ir::Expr*> refs;
     for (const ir::Access& a : ir::direct_accesses(s)) {
       if (alias.canonical(a.var) == alias.canonical(var)) refs.push_back(a.ref);
@@ -521,6 +525,9 @@ Slicer::SummaryEngine& Slicer::engine(SliceKind kind) const {
 
 SliceResult Slicer::slice_summarized(const ir::Stmt* s, const ir::Expr* ref,
                                      SliceKind kind) const {
+  support::Metrics::global().count("slicer.slice_summarized");
+  support::Metrics::ScopedTimer timer(support::Metrics::global(),
+                                      "slicer.slice_summarized");
   SummaryEngine& eng = engine(kind);
   SliceResult out;
   out.stmts.insert(s);
@@ -545,7 +552,7 @@ SliceResult Slicer::slice_summarized(const ir::Stmt* s, const ir::Expr* ref,
     changed = false;
     for (const SummaryEngine::Channel& ch : eng.exposed_channels(root)) {
       for (const ir::Procedure& p : issa_.program().procedures()) {
-        p.for_each([&](ir::Stmt* c) {
+        p.for_each([&](const ir::Stmt* c) {
           if (c->kind != ir::StmtKind::Call || c->callee != ch.first) return;
           if (!expanded.insert({ch, c}).second) return;
           root->children.push_back(eng.actual_node(c, ch.second));

@@ -1,0 +1,67 @@
+#include "support/metrics.h"
+
+#include <sstream>
+
+namespace suifx::support {
+
+void Metrics::count(const std::string& key, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[key] += n;
+}
+
+void Metrics::add_ms(const std::string& key, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timers_[key] += ms;
+}
+
+uint64_t Metrics::counter(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double Metrics::total_ms(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(key);
+  return it != timers_.end() ? it->second : 0.0;
+}
+
+std::map<std::string, uint64_t> Metrics::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> Metrics::timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  timers_.clear();
+}
+
+std::string Metrics::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t w = 0;
+  for (const auto& [k, v] : counters_) w = std::max(w, k.size());
+  for (const auto& [k, v] : timers_) w = std::max(w, k.size());
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  for (const auto& [k, v] : counters_) {
+    os << k << std::string(w - k.size() + 2, ' ') << v << "\n";
+  }
+  for (const auto& [k, v] : timers_) {
+    os << k << std::string(w - k.size() + 2, ' ') << v << " ms\n";
+  }
+  return os.str();
+}
+
+Metrics& Metrics::global() {
+  static Metrics m;
+  return m;
+}
+
+}  // namespace suifx::support

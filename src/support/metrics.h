@@ -1,0 +1,64 @@
+// Lightweight pass-timing and counter registry. Analyses bump named
+// counters/timers as they run; benches and tests read them back to assert
+// re-analysis behavior (e.g. the plan cache re-analyzing only invalidated
+// loop nests) and to report per-pass cost next to the figure tables.
+//
+// Thread-safe: the parallel analysis driver bumps counters from pool
+// workers. Cost is one mutex acquisition per event, which is negligible at
+// analysis-pass granularity.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace suifx::support {
+
+class Metrics {
+ public:
+  /// Add `n` to the counter named `key` (created at zero on first use).
+  void count(const std::string& key, uint64_t n = 1);
+  /// Add wall-clock milliseconds to the timer named `key`.
+  void add_ms(const std::string& key, double ms);
+
+  uint64_t counter(const std::string& key) const;
+  double total_ms(const std::string& key) const;
+  std::map<std::string, uint64_t> counters() const;
+  std::map<std::string, double> timers() const;
+
+  void reset();
+
+  /// All counters and timers, one aligned "key value" line each.
+  std::string report() const;
+
+  /// The process-wide registry every instrumented pass reports into.
+  static Metrics& global();
+
+  /// RAII wall-clock timer: adds the elapsed time to `key` on destruction.
+  class ScopedTimer {
+   public:
+    ScopedTimer(Metrics& m, std::string key)
+        : m_(m), key_(std::move(key)), t0_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+      m_.add_ms(key_, std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    Metrics& m_;
+    std::string key_;
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> timers_;
+};
+
+}  // namespace suifx::support

@@ -1,0 +1,151 @@
+// Tests for the parallel, memoized analysis driver: plan determinism across
+// worker counts, cache hits on unchanged re-plans, assertion-keyed
+// invalidation, and the Guru integration (a re-run after one assertion
+// re-analyzes only the invalidated loop nests).
+#include <gtest/gtest.h>
+
+#include "benchsuite/suite.h"
+#include "explorer/guru.h"
+#include "explorer/workbench.h"
+#include "parallelizer/driver.h"
+
+namespace suifx::parallelizer {
+namespace {
+
+using explorer::Guru;
+using explorer::GuruConfig;
+using explorer::Workbench;
+
+std::unique_ptr<Workbench> build(const benchsuite::BenchProgram& bp) {
+  Diag diag;
+  auto wb = Workbench::from_source(bp.source, diag);
+  EXPECT_NE(wb, nullptr) << bp.name << ": " << diag.str();
+  return wb;
+}
+
+long count_do_loops(const ir::Program& prog) {
+  long n = 0;
+  for (const ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](const ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Do) ++n;
+    });
+  }
+  return n;
+}
+
+std::vector<const benchsuite::BenchProgram*> all_programs() {
+  std::vector<const benchsuite::BenchProgram*> out = benchsuite::explorer_suite();
+  for (const auto* bp : benchsuite::liveness_suite()) out.push_back(bp);
+  for (const auto* bp : benchsuite::reduction_suite()) out.push_back(bp);
+  return out;
+}
+
+TEST(Driver, PlanMatchesSerialAtAnyWorkerCount) {
+  for (const benchsuite::BenchProgram* bp : all_programs()) {
+    auto wb = build(*bp);
+    ASSERT_NE(wb, nullptr);
+    std::string serial =
+        plan_signature(wb->parallelizer().plan(wb->program()));
+    for (int workers : {1, 4}) {
+      Driver::Options opts;
+      opts.workers = workers;
+      Driver driver(wb->parallelizer(), opts);
+      EXPECT_EQ(plan_signature(driver.plan(wb->program())), serial)
+          << bp->name << " @ " << workers << " workers";
+    }
+  }
+}
+
+TEST(Driver, RepeatPlanIsAllCacheHits) {
+  auto wb = build(benchsuite::mdg());
+  ASSERT_NE(wb, nullptr);
+  const long nloops = count_do_loops(wb->program());
+  Driver driver(wb->parallelizer());
+  driver.plan(wb->program());
+  EXPECT_EQ(driver.cache_misses(), static_cast<uint64_t>(nloops));
+  EXPECT_EQ(driver.cache_hits(), 0u);
+
+  std::string first = plan_signature(driver.plan(wb->program()));
+  EXPECT_EQ(driver.cache_misses(), static_cast<uint64_t>(nloops));  // no new work
+  EXPECT_EQ(driver.cache_hits(), static_cast<uint64_t>(nloops));
+  EXPECT_EQ(first, plan_signature(wb->parallelizer().plan(wb->program())));
+}
+
+TEST(Driver, SingleAssertionInvalidatesOnlyThatLoop) {
+  auto wb = build(benchsuite::mdg());
+  ASSERT_NE(wb, nullptr);
+  const long nloops = count_do_loops(wb->program());
+  const ir::Stmt* loop = wb->loop("interf/1000");
+  const ir::Variable* rl = wb->var("interf.rl");
+  ASSERT_NE(loop, nullptr);
+  ASSERT_NE(rl, nullptr);
+
+  Driver driver(wb->parallelizer());
+  driver.plan(wb->program());
+
+  Assertions asserts;
+  asserts.privatize[loop].insert(rl);
+  std::string cached = plan_signature(driver.plan(wb->program(), asserts));
+  EXPECT_EQ(driver.cache_misses(), static_cast<uint64_t>(nloops) + 1);
+  EXPECT_EQ(driver.cache_hits(), static_cast<uint64_t>(nloops) - 1);
+  // The cached re-plan must equal a from-scratch plan under the assertions.
+  EXPECT_EQ(cached,
+            plan_signature(wb->parallelizer().plan(wb->program(), asserts)));
+
+  // Same assertions again: pure cache.
+  driver.plan(wb->program(), asserts);
+  EXPECT_EQ(driver.cache_misses(), static_cast<uint64_t>(nloops) + 1);
+}
+
+TEST(Driver, MemoizationCanBeDisabled) {
+  auto wb = build(benchsuite::mdg());
+  ASSERT_NE(wb, nullptr);
+  Driver::Options opts;
+  opts.memoize = false;
+  Driver driver(wb->parallelizer(), opts);
+  driver.plan(wb->program());
+  driver.plan(wb->program());
+  EXPECT_EQ(driver.cache_hits(), 0u);
+  EXPECT_EQ(driver.cache_size(), 0u);
+}
+
+TEST(Driver, GuruReRunAfterAssertionOnlyReanalyzesInvalidatedNests) {
+  // The acceptance scenario: the Guru's re-analysis after one user assertion
+  // must re-plan only the loop nests whose assertion set changed.
+  Diag diag;
+  auto wb = Workbench::from_source(benchsuite::mdg().source, diag);
+  ASSERT_NE(wb, nullptr) << diag.str();
+  GuruConfig cfg;
+  cfg.inputs = benchsuite::mdg().inputs;
+  Guru guru(*wb, cfg);  // constructor runs the first analysis
+
+  Driver& driver = wb->driver();
+  const long nloops = count_do_loops(wb->program());
+  EXPECT_GT(nloops, 1);
+  const uint64_t misses_before = driver.cache_misses();
+
+  std::string warn;
+  ASSERT_TRUE(guru.assert_privatizable(wb->loop("interf/1000"),
+                                       wb->var("interf.rl"), &warn))
+      << warn;
+
+  // The assertion (plus any automatic propagation, §2.8) touched exactly the
+  // loops now keyed in the assertion sets; only those may be re-analyzed.
+  std::set<const ir::Stmt*> touched;
+  for (const auto& [l, vars] : guru.assertions().privatize) {
+    if (!vars.empty()) touched.insert(l);
+  }
+  for (const auto& [l, vars] : guru.assertions().independent) {
+    if (!vars.empty()) touched.insert(l);
+  }
+  for (const ir::Stmt* l : guru.assertions().force_parallel) touched.insert(l);
+
+  const uint64_t reanalyzed = driver.cache_misses() - misses_before;
+  EXPECT_GE(reanalyzed, 1u);
+  EXPECT_LE(reanalyzed, touched.size());
+  EXPECT_LT(reanalyzed, static_cast<uint64_t>(nloops))
+      << "a one-assertion re-run must not re-plan the whole program";
+}
+
+}  // namespace
+}  // namespace suifx::parallelizer

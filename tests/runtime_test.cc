@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 #include "runtime/parloop.h"
 #include "runtime/privatize.h"
@@ -42,6 +45,30 @@ TEST(BlockSchedule, EvenWithinOne) {
   EXPECT_LE(mx - mn, 1);
 }
 
+TEST(BlockSchedule, HugeTripCountsDoNotOverflow) {
+  // trip * p used to wrap for trips near LONG_MAX; the schedule must stay a
+  // monotone exact partition of [0, trip).
+  for (long trip : {std::numeric_limits<long>::max() - 7,
+                    std::numeric_limits<long>::max() / 2 + 3}) {
+    for (int p : {1, 3, 7, 16}) {
+      std::vector<IterRange> r = block_schedule(trip, p);
+      ASSERT_EQ(r.size(), static_cast<size_t>(p));
+      long prev = 0;
+      for (const IterRange& c : r) {
+        EXPECT_EQ(c.begin, prev);
+        EXPECT_LE(c.begin, c.end);
+        prev = c.end;
+      }
+      EXPECT_EQ(prev, trip);
+    }
+  }
+}
+
+TEST(BlockSchedule, RejectsNonPositiveProcessorCount) {
+  EXPECT_THROW(block_schedule(10, 0), std::invalid_argument);
+  EXPECT_THROW(block_schedule(10, -2), std::invalid_argument);
+}
+
 TEST(ThreadPool, RunsEveryProcessorOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(4);
@@ -50,6 +77,89 @@ TEST(ThreadPool, RunsEveryProcessorOnce) {
   // Reusable across epochs.
   pool.run([&](int proc) { hits[static_cast<size_t>(proc)]++; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndCarriesExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] { done++; }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(done.load(), 64);
+
+  std::future<void> bad =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+
+  // The queue and the SPMD epoch protocol share one worker loop; epochs must
+  // still work after queue traffic.
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ThreadPool, SubmitOnSingleThreadPoolRunsInline) {
+  ThreadPool pool(1);  // no workers: the calling thread is processor 0
+  std::thread::id seen;
+  pool.submit([&] { seen = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(seen, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, EpochExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  // Worker-side throw: surfaced from run() after all processors finish.
+  EXPECT_THROW(pool.run([](int proc) {
+                 if (proc == 3) throw std::runtime_error("worker failed");
+               }),
+               std::runtime_error);
+  // Caller-side (processor 0) throw.
+  EXPECT_THROW(pool.run([](int proc) {
+                 if (proc == 0) throw std::runtime_error("caller failed");
+               }),
+               std::runtime_error);
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ParallelRuntime, ThrowingBodyLeavesRuntimeReusable) {
+  // Regression: an exception escaping a loop body used to leave in_parallel_
+  // set, permanently serializing every later region.
+  ParallelRuntime rt(4);
+  EXPECT_THROW(rt.parallel_chunks(
+                   100, [&](int, IterRange) {
+                     throw std::runtime_error("body failed");
+                   }),
+               std::runtime_error);
+  uint64_t spawned = rt.regions_spawned();
+  std::atomic<long> covered{0};
+  rt.parallel_chunks(100,
+                     [&](int, IterRange r) { covered += r.end - r.begin; });
+  EXPECT_EQ(covered.load(), 100);
+  EXPECT_EQ(rt.regions_spawned(), spawned + 1);  // spawned, not serialized
+
+  std::atomic<int> iters{0};
+  rt.parallel_do(1, 50, 1, [&](long, int) { iters++; },
+                 /*est_cost_per_iter=*/1e9);
+  EXPECT_EQ(iters.load(), 50);
+}
+
+TEST(ParallelRuntime, NegativeStepNearLongMax) {
+  // Index arithmetic at the top of the long range must not wrap.
+  ParallelRuntime rt(2);
+  const long hi = std::numeric_limits<long>::max() - 5;
+  std::atomic<long> count{0};
+  std::atomic<long> min_seen{std::numeric_limits<long>::max()};
+  rt.parallel_do(hi, hi - 999, -1, [&](long i, int) {
+    count++;
+    long prev = min_seen.load();
+    while (i < prev && !min_seen.compare_exchange_weak(prev, i)) {
+    }
+  }, /*est_cost_per_iter=*/1e9);
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(min_seen.load(), hi - 999);
 }
 
 class ParallelDoTest : public ::testing::TestWithParam<int> {};
