@@ -1,0 +1,167 @@
+// Extension: observability. Runs the full benchsuite through the traced
+// parallel driver at 1/2/4/8 workers and prints (a) the per-worker
+// utilization / imbalance table — the Astrée-style scaling diagnosis: load
+// imbalance across parallel analysis workers is the dominant scaling
+// limiter, so measure it before trusting any speedup — (b) a parloop +
+// reduction run's chunk-imbalance stats, (c) the span summary, and (d) the
+// metrics registry. With SUIFX_TRACE=<path> the full Chrome trace-event
+// JSON (Perfetto-loadable) is written at exit; without it the bench starts
+// tracing itself so the summary is always populated.
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "parallelizer/driver.h"
+#include "runtime/reduction.h"
+#include "slicing/slicer.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+std::vector<const benchsuite::BenchProgram*> all_programs() {
+  std::vector<const benchsuite::BenchProgram*> out =
+      benchsuite::explorer_suite();
+  for (const auto* bp : benchsuite::liveness_suite()) out.push_back(bp);
+  for (const auto* bp : benchsuite::reduction_suite()) out.push_back(bp);
+  return out;
+}
+
+/// One demand-driven slicer query per program so slicer spans show up in
+/// the trace — the Explorer's §4.1.3 "slice this dependence" interaction.
+void run_slicer_query(explorer::Workbench& wb,
+                      const parallelizer::ParallelPlan& plan) {
+  for (const auto& [loop, lp] : plan.loops) {
+    for (const auto& [v, vv] : lp.verdict.vars) {
+      (void)vv;
+      slicing::Slicer slicer(wb.issa());
+      slicer.dependence_slice(loop, v, {});
+      return;
+    }
+  }
+}
+
+struct WorkerRow {
+  double plan_ms = 0;      // wall time of all plan() calls at this width
+  double busy_ms = 0;      // sum of driver/task span time
+  uint64_t tasks = 0;      // driver/task spans
+  double imbal_sum = 0;    // per-program max-thread/mean-slot ratios
+  int imbal_runs = 0;
+  size_t max_threads = 0;  // most distinct task threads in one program run
+};
+
+}  // namespace
+
+int main() {
+  support::trace::init_from_env();
+  const char* env = std::getenv("SUIFX_TRACE");
+  if (!support::trace::enabled()) support::trace::start();
+
+  std::printf("Extension: pass-level tracing and runtime telemetry\n\n");
+
+  const int widths[] = {1, 2, 4, 8};
+  std::map<int, WorkerRow> rows;
+  int front_end_warnings = 0;
+
+  for (const benchsuite::BenchProgram* bp : all_programs()) {
+    Diag diag;
+    auto wb = explorer::Workbench::from_source(bp->source, diag);
+    if (wb == nullptr) std::abort();
+    front_end_warnings += diag.warning_count();
+    const ir::Program& prog = wb->program();
+
+    parallelizer::ParallelPlan plan = wb->plan();
+    run_slicer_query(*wb, plan);
+
+    for (int w : widths) {
+      parallelizer::Driver::Options opts;
+      opts.workers = w;
+      parallelizer::Driver d(wb->parallelizer(), opts);
+      int64_t t0 = support::trace::now_ns();
+      auto w0 = std::chrono::steady_clock::now();
+      d.plan(prog);
+      rows[w].plan_ms += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - w0)
+                             .count();
+      int64_t t1 = support::trace::now_ns();
+      // Attribute this window's driver/task spans to their worker threads.
+      // Each driver owns a fresh pool, so imbalance must be computed per
+      // run (fresh threads get fresh tids) and averaged, not pooled.
+      std::map<int, double> busy_by_tid;
+      for (const auto& e : support::trace::snapshot()) {
+        if (e.name != "driver/task" || e.t0_ns < t0 || e.t0_ns >= t1) continue;
+        rows[w].busy_ms += static_cast<double>(e.dur_ns) / 1e6;
+        busy_by_tid[e.tid] += static_cast<double>(e.dur_ns) / 1e6;
+        ++rows[w].tasks;
+      }
+      double max_busy = 0, run_busy = 0;
+      for (const auto& [tid, ms] : busy_by_tid) {
+        max_busy = std::max(max_busy, ms);
+        run_busy += ms;
+      }
+      if (run_busy > 0) {
+        // Busiest thread over the mean across the w worker slots (idle
+        // slots count as zero): 1.0 = balanced, w = one thread did it all.
+        rows[w].imbal_sum += max_busy / (run_busy / w);
+        ++rows[w].imbal_runs;
+      }
+      rows[w].max_threads = std::max(rows[w].max_threads, busy_by_tid.size());
+    }
+  }
+
+  std::printf("Driver worker utilization over the full suite (cold plans):\n");
+  std::printf("%s%s%s%s%s%s%s\n", cell("workers", 9).c_str(),
+              cell("plan ms", 10).c_str(), cell("tasks", 8).c_str(),
+              cell("busy ms", 10).c_str(), cell("util %", 9).c_str(),
+              cell("threads", 9).c_str(), cell("imbal", 8).c_str());
+  rule(62);
+  for (int w : widths) {
+    const WorkerRow& r = rows[w];
+    double util = r.plan_ms > 0 ? 100.0 * r.busy_ms / (r.plan_ms * w) : 0.0;
+    double imbal = r.imbal_runs > 0 ? r.imbal_sum / r.imbal_runs : 0.0;
+    std::printf("%s%s%s%s%s%s%s\n", cell(static_cast<long>(w), 9).c_str(),
+                cell(r.plan_ms, 10).c_str(),
+                cell(static_cast<long>(r.tasks), 8).c_str(),
+                cell(r.busy_ms, 10).c_str(), cell(util, 9, 1).c_str(),
+                cell(static_cast<long>(r.max_threads), 9).c_str(),
+                cell(imbal, 8).c_str());
+  }
+  std::printf("\nutil%% = task time / (wall * workers); imbal = busiest worker /"
+              "\nmean worker slot, averaged per program (1.0 = perfectly"
+              "\nbalanced, w = one worker did all); threads = most distinct"
+              "\ntask threads seen in one program's plan.\n");
+
+  // A traced parloop + array-reduction epoch: pool/epoch, parloop/chunk and
+  // reduction/finalize spans, plus the runtime's own imbalance telemetry.
+  {
+    const long n = 1 << 15;
+    std::vector<double> shared(static_cast<size_t>(n), 0.0);
+    runtime::ParallelRuntime rt(4);
+    runtime::ArrayReduction red(runtime::RedOp::Sum, shared.data(), n,
+                                rt.nproc());
+    for (int round = 0; round < 8; ++round) {
+      rt.parallel_do(0, n - 1, 1, [&](long i, int proc) {
+        red.update(proc, i, static_cast<double>(i % 7));
+      });
+    }
+    red.finalize();
+    runtime::ParallelRuntime::ImbalanceStats st = rt.imbalance();
+    std::printf("\nParloop telemetry (4 procs, %d regions): mean chunk imbalance "
+                "%.2f, worst %.2f\n",
+                static_cast<int>(st.regions), st.mean(), st.worst);
+  }
+
+  std::printf("front-end warnings across the suite: %d\n", front_end_warnings);
+
+  std::printf("\nSpan summary:\n%s", support::trace::summary().c_str());
+  std::printf("\nMetrics:\n%s", support::Metrics::global().report().c_str());
+  if (env != nullptr && *env != '\0') {
+    std::printf("\nChrome trace JSON will be written to %s at exit "
+                "(open in https://ui.perfetto.dev).\n", env);
+  }
+  return 0;
+}

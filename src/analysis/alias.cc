@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace suifx::analysis {
 
 long AliasAnalysis::footprint_elems(const ir::Variable* v) const {
@@ -19,6 +22,8 @@ long AliasAnalysis::footprint_elems(const ir::Variable* v) const {
 
 AliasAnalysis::AliasAnalysis(const ir::Program& prog, bool unify_overlays)
     : prog_(prog) {
+  support::trace::TraceSpan span("pass/alias");
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "alias.build");
   // Group common members per block.
   std::map<const ir::CommonBlock*, std::vector<const ir::Variable*>> by_block;
   for (const ir::Variable& v : prog.variables()) {

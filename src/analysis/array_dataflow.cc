@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "support/metrics.h"
+#include "support/trace.h"
 
 namespace suifx::analysis {
 
@@ -158,8 +159,10 @@ ArrayDataflow::ArrayDataflow(const ir::Program& prog, const AliasAnalysis& alias
                              const graph::RegionTree& regions, const Symbolic& symbolic)
     : prog_(prog), alias_(alias), modref_(modref), cg_(cg), regions_(regions),
       symbolic_(symbolic) {
+  support::trace::TraceSpan span("pass/array_dataflow");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "dataflow.build");
   for (ir::Procedure* p : cg.bottom_up()) {
+    support::trace::TraceSpan proc_span("pass/array_dataflow/proc", p->name);
     support::Metrics::global().count("dataflow.procs");
     AccessInfo info = summarize_body(p->body);
     region_info_[regions.of_proc(p)] = info;

@@ -1,6 +1,7 @@
 #include "analysis/depend.h"
 
 #include "support/metrics.h"
+#include "support/trace.h"
 
 namespace suifx::analysis {
 
@@ -88,8 +89,12 @@ bool DependenceAnalysis::cross_iteration_overlap(const ir::Stmt* loop,
 LoopVerdict DependenceAnalysis::analyze(
     const ir::Stmt* loop, const std::set<const ir::Variable*>& assume_private,
     const std::set<const ir::Variable*>& assume_parallel) const {
-  support::Metrics::global().count("depend.analyze");
-  support::Metrics::ScopedTimer timer(support::Metrics::global(), "depend.analyze");
+  support::Metrics& metrics = support::Metrics::global();
+  metrics.count("depend.analyze");
+  support::Metrics::ScopedTimer timer(metrics, "depend.analyze",
+                                      &metrics.histogram("depend.analyze"));
+  support::trace::TraceSpan span("pass/depend");
+  if (span.active()) span.set_detail(loop->loop_name());
   LoopVerdict out;
   out.has_io = df_.loop_has_io(loop);
   const AccessInfo& body = df_.body_info(loop);

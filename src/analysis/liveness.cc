@@ -1,5 +1,8 @@
 #include "analysis/liveness.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace suifx::analysis {
 
 using poly::LinSystem;
@@ -20,6 +23,8 @@ ArrayLiveness::ArrayLiveness(const ir::Program& prog, const ArrayDataflow& df,
                              const graph::RegionTree& regions,
                              const AliasAnalysis& alias, LivenessMode mode)
     : prog_(prog), df_(df), cg_(cg), regions_(regions), alias_(alias), mode_(mode) {
+  support::trace::TraceSpan span("pass/liveness", to_string(mode));
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "liveness.build");
   switch (mode) {
     case LivenessMode::Full:
       run_full();

@@ -1,5 +1,8 @@
 #include "analysis/modref.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace suifx::analysis {
 
 namespace {
@@ -26,6 +29,8 @@ const ir::Variable* ModRef::actual_var(const ir::Stmt* call, size_t formal_ix) {
 ModRef::ModRef(const ir::Program& prog, const AliasAnalysis& alias,
                const graph::CallGraph& cg) {
   (void)prog;
+  support::trace::TraceSpan span("pass/modref");
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "modref.build");
   for (ir::Procedure* p : cg.bottom_up()) {
     ProcEffects fx;
     fx.formal_mod.assign(p->formals.size(), false);

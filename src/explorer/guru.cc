@@ -1,6 +1,10 @@
 #include "explorer/guru.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/trace.h"
 
 namespace suifx::explorer {
 
@@ -47,7 +51,12 @@ Guru::Guru(Workbench& wb, GuruConfig cfg) : wb_(wb), cfg_(std::move(cfg)) {
 }
 
 void Guru::analyze() {
+  support::trace::TraceSpan span("guru/analyze");
+  auto t0 = std::chrono::steady_clock::now();
   plan_ = wb_.plan(asserts_);
+  last_plan_ms_ = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
 
   // Execution Analyzers: one instrumented sequential run (§2.3.1).
   dynamic::DynDepAnalyzer::Options dd_opts;
@@ -104,6 +113,23 @@ void Guru::analyze() {
   std::sort(reports_.begin(), reports_.end(), [&](const LoopReport& a, const LoopReport& b) {
     return a.coverage > b.coverage;
   });
+}
+
+std::string Guru::planning_profile() const {
+  const parallelizer::Driver& drv = wb_.driver();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  size_t w = sizeof("plan round") - 1;
+  for (const auto& [name, ms] : wb_.pass_times_ms()) w = std::max(w, name.size());
+  for (const auto& [name, ms] : wb_.pass_times_ms()) {
+    os << name << std::string(w - name.size() + 2, ' ') << ms << " ms\n";
+  }
+  os << "plan round" << std::string(w - (sizeof("plan round") - 1) + 2, ' ')
+     << last_plan_ms_ << " ms (driver: " << drv.workers() << " workers, "
+     << drv.cache_hits() << " hits / " << drv.cache_misses() << " misses)\n";
+  os << "dominant pass: " << wb_.dominant_pass() << "\n";
+  return os.str();
 }
 
 std::vector<const LoopReport*> Guru::targets() const {

@@ -55,6 +55,12 @@ class Guru {
   /// Run the compiler + Execution Analyzers; call again after assertions.
   void analyze();
 
+  /// Where the last planning round's time went: the static-analysis pass
+  /// times recorded by the Workbench, the round's plan wall time, and the
+  /// driver's cache behavior — so the user can see which analysis dominated
+  /// (e.g. "dominant pass: array_dataflow"). One aligned line per entry.
+  std::string planning_profile() const;
+
   /// Every executed loop's report.
   const std::vector<LoopReport>& loops() const { return reports_; }
   /// The worklist presented to the programmer: important sequential loops
@@ -98,6 +104,7 @@ class Guru {
   /// worklist the programmer started from.
   std::set<const ir::Stmt*> initial_important_;
   bool first_analysis_ = true;
+  double last_plan_ms_ = 0;  // wall time of the last analyze() plan round
 };
 
 }  // namespace suifx::explorer

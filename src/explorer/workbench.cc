@@ -1,31 +1,96 @@
 #include "explorer/workbench.h"
 
+#include <chrono>
+
+#include "support/trace.h"
+
 namespace suifx::explorer {
+
+namespace {
+
+/// Times one pass-construction step into the workbench's per-pass map.
+class PassClock {
+ public:
+  PassClock(std::map<std::string, double>& out, const char* name)
+      : out_(out), name_(name), t0_(std::chrono::steady_clock::now()) {}
+  ~PassClock() {
+    out_[name_] = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0_)
+                      .count();
+  }
+  PassClock(const PassClock&) = delete;
+  PassClock& operator=(const PassClock&) = delete;
+
+ private:
+  std::map<std::string, double>& out_;
+  const char* name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 std::unique_ptr<Workbench> Workbench::from_source(
     std::string_view src, Diag& diag,
     std::optional<analysis::LivenessMode> liveness_mode, bool enable_reductions) {
+  support::trace::init_from_env();  // SUIFX_TRACE=<path> activates tracing
+  support::trace::TraceSpan span("workbench/build");
   auto prog = frontend::parse_program(src, diag);
   if (prog == nullptr) return nullptr;
   auto wb = std::make_unique<Workbench>();
   wb->prog_ = std::move(prog);
-  wb->alias_ = std::make_unique<analysis::AliasAnalysis>(*wb->prog_);
-  wb->cg_ = std::make_unique<graph::CallGraph>(*wb->prog_);
-  wb->regions_ = std::make_unique<graph::RegionTree>(*wb->prog_);
-  wb->modref_ = std::make_unique<analysis::ModRef>(*wb->prog_, *wb->alias_, *wb->cg_);
-  wb->symbolic_ = std::make_unique<analysis::Symbolic>(*wb->prog_, *wb->alias_,
-                                                       *wb->modref_, *wb->cg_);
-  wb->df_ = std::make_unique<analysis::ArrayDataflow>(
-      *wb->prog_, *wb->alias_, *wb->modref_, *wb->cg_, *wb->regions_, *wb->symbolic_);
+  {
+    PassClock t(wb->pass_ms_, "alias");
+    wb->alias_ = std::make_unique<analysis::AliasAnalysis>(*wb->prog_);
+  }
+  {
+    PassClock t(wb->pass_ms_, "callgraph");
+    wb->cg_ = std::make_unique<graph::CallGraph>(*wb->prog_);
+  }
+  {
+    PassClock t(wb->pass_ms_, "regions");
+    wb->regions_ = std::make_unique<graph::RegionTree>(*wb->prog_);
+  }
+  {
+    PassClock t(wb->pass_ms_, "modref");
+    wb->modref_ =
+        std::make_unique<analysis::ModRef>(*wb->prog_, *wb->alias_, *wb->cg_);
+  }
+  {
+    PassClock t(wb->pass_ms_, "symbolic");
+    wb->symbolic_ = std::make_unique<analysis::Symbolic>(*wb->prog_, *wb->alias_,
+                                                         *wb->modref_, *wb->cg_);
+  }
+  {
+    PassClock t(wb->pass_ms_, "array_dataflow");
+    wb->df_ = std::make_unique<analysis::ArrayDataflow>(
+        *wb->prog_, *wb->alias_, *wb->modref_, *wb->cg_, *wb->regions_,
+        *wb->symbolic_);
+  }
   if (liveness_mode.has_value()) {
+    PassClock t(wb->pass_ms_, "liveness");
     wb->live_ = std::make_unique<analysis::ArrayLiveness>(
         *wb->prog_, *wb->df_, *wb->cg_, *wb->regions_, *wb->alias_, *liveness_mode);
   }
   wb->par_ = std::make_unique<parallelizer::Parallelizer>(
       *wb->df_, *wb->regions_, wb->live_.get(), enable_reductions);
   wb->driver_ = std::make_unique<parallelizer::Driver>(*wb->par_);
-  wb->issa_ = std::make_unique<ssa::Issa>(*wb->prog_, *wb->alias_, *wb->modref_);
+  {
+    PassClock t(wb->pass_ms_, "issa");
+    wb->issa_ = std::make_unique<ssa::Issa>(*wb->prog_, *wb->alias_, *wb->modref_);
+  }
   return wb;
+}
+
+std::string Workbench::dominant_pass() const {
+  std::string best;
+  double best_ms = -1;
+  for (const auto& [name, ms] : pass_ms_) {
+    if (ms > best_ms) {
+      best_ms = ms;
+      best = name;
+    }
+  }
+  return best;
 }
 
 ir::Stmt* Workbench::loop(const std::string& name) const {

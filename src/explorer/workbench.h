@@ -3,7 +3,9 @@
 // (Guru, benches, examples) builds on it.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "analysis/depend.h"
 #include "analysis/liveness.h"
@@ -53,6 +55,15 @@ class Workbench {
   /// Find a variable ("proc.name" or a global name).
   const ir::Variable* var(const std::string& name) const;
 
+  /// Wall-clock ms per analysis pass, recorded while from_source built the
+  /// stack (keys: alias, callgraph, regions, modref, symbolic,
+  /// array_dataflow, liveness, issa). The Guru's planning profile surfaces
+  /// the dominant entry so the user can see which analysis their money went
+  /// to; bench/ext_observability prints the whole map.
+  const std::map<std::string, double>& pass_times_ms() const { return pass_ms_; }
+  /// The most expensive pass recorded above ("" before from_source).
+  std::string dominant_pass() const;
+
  private:
   std::unique_ptr<ir::Program> prog_;
   std::unique_ptr<analysis::AliasAnalysis> alias_;
@@ -65,6 +76,7 @@ class Workbench {
   std::unique_ptr<parallelizer::Parallelizer> par_;
   std::unique_ptr<parallelizer::Driver> driver_;
   std::unique_ptr<ssa::Issa> issa_;
+  std::map<std::string, double> pass_ms_;
 };
 
 }  // namespace suifx::explorer

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "support/metrics.h"
+#include "support/trace.h"
 
 namespace suifx::parallelizer {
 
@@ -69,10 +70,12 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
   support::Metrics& metrics = support::Metrics::global();
   metrics.count("driver.plan");
   support::Metrics::ScopedTimer timer(metrics, "driver.plan");
+  support::trace::TraceSpan plan_span("driver/plan");
 
   // One unit of work per procedure with at least one stale loop; loops are
   // collected in deterministic program order. Cache hits merge immediately.
   struct Unit {
+    const ir::Procedure* proc = nullptr;
     std::vector<const ir::Stmt*> loops;
     std::vector<uint64_t> fingerprints;
     std::vector<LoopPlan> plans;
@@ -98,6 +101,7 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
         if (unit == nullptr) {
           units.emplace_back();
           unit = &units.back();
+          unit->proc = &p;
         }
         unit->loops.push_back(s);
         unit->fingerprints.push_back(fp);
@@ -109,9 +113,15 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
   // plan_loop is immutable after construction, so units are independent.
   std::vector<std::future<void>> pending;
   pending.reserve(units.size());
+  support::Histogram& task_hist = metrics.histogram("driver.task");
   for (Unit& unit : units) {
     unit.plans.resize(unit.loops.size());
-    pending.push_back(pool_->submit([this, &unit, &asserts] {
+    pending.push_back(pool_->submit([this, &unit, &asserts, &task_hist] {
+      // The span's tid attributes this procedure's planning to the pool
+      // worker that ran it — the bench's utilization table reads these.
+      support::trace::TraceSpan span("driver/task", unit.proc->name);
+      support::Metrics::ScopedTimer task_timer(support::Metrics::global(),
+                                               "driver.task", &task_hist);
       for (size_t i = 0; i < unit.loops.size(); ++i) {
         unit.plans[i] = par_.plan_loop(unit.loops[i], asserts);
       }

@@ -1,7 +1,12 @@
 #include "runtime/parloop.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
+
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace suifx::runtime {
 
@@ -78,6 +83,7 @@ void ThreadPool::worker_main(int id) {
     }
     if (fn != nullptr) {
       try {
+        support::trace::TraceSpan span("pool/worker");
         (*fn)(id);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -92,6 +98,7 @@ void ThreadPool::worker_main(int id) {
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
+  support::trace::TraceSpan span("pool/epoch");
   if (workers_.empty()) {
     fn(0);
     return;
@@ -152,7 +159,44 @@ void ParallelRuntime::parallel_chunks(
   ScopedFlagClear guard(in_parallel_);  // restored even if a body throws
   ++regions_spawned_;
   std::vector<IterRange> chunks = block_schedule(trip_count, pool_.size());
-  pool_.run([&](int proc) { fn(proc, chunks[static_cast<size_t>(proc)]); });
+  std::vector<double> chunk_ms(chunks.size(), 0.0);
+  support::Histogram& hist = support::Metrics::global().histogram("parloop.chunk");
+  support::ShardedCounter& nchunks =
+      support::Metrics::global().sharded("parloop.chunks");
+  pool_.run([&](int proc) {
+    support::trace::TraceSpan span("parloop/chunk");
+    if (span.active()) {
+      char det[16];
+      std::snprintf(det, sizeof det, "p%d", proc);
+      span.set_detail(det);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    fn(proc, chunks[static_cast<size_t>(proc)]);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    chunk_ms[static_cast<size_t>(proc)] = ms;
+    hist.record_ms(ms);
+    nchunks.add();
+  });
+  // Region imbalance: slowest chunk over mean chunk time (1.0 = balanced).
+  double max_ms = 0, sum_ms = 0;
+  for (double ms : chunk_ms) {
+    max_ms = std::max(max_ms, ms);
+    sum_ms += ms;
+  }
+  if (sum_ms > 0) {
+    double ratio = max_ms / (sum_ms / static_cast<double>(chunk_ms.size()));
+    std::lock_guard<std::mutex> lock(imbalance_mu_);
+    ++imbalance_.regions;
+    imbalance_.sum_max_over_mean += ratio;
+    imbalance_.worst = std::max(imbalance_.worst, ratio);
+  }
+}
+
+ParallelRuntime::ImbalanceStats ParallelRuntime::imbalance() const {
+  std::lock_guard<std::mutex> lock(imbalance_mu_);
+  return imbalance_;
 }
 
 void ParallelRuntime::parallel_do(long lb, long ub, long step,

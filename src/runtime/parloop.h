@@ -96,12 +96,28 @@ class ParallelRuntime {
   uint64_t regions_spawned() const { return regions_spawned_; }
   uint64_t regions_serialized() const { return regions_serialized_; }
 
+  /// Load-imbalance telemetry: per spawned region, the ratio of the slowest
+  /// chunk's wall time to the mean chunk time (1.0 = perfectly balanced;
+  /// nproc = one worker did everything). The Astrée-style scaling diagnosis
+  /// in bench/ext_observability reads this.
+  struct ImbalanceStats {
+    uint64_t regions = 0;          // spawned regions measured
+    double sum_max_over_mean = 0;  // sum of per-region max/mean ratios
+    double worst = 1.0;            // worst single region's ratio
+    double mean() const {
+      return regions > 0 ? sum_max_over_mean / static_cast<double>(regions) : 1.0;
+    }
+  };
+  ImbalanceStats imbalance() const;
+
  private:
   ThreadPool pool_;
   std::atomic<bool> in_parallel_{false};
   double serial_threshold_ = 64.0;
   std::atomic<uint64_t> regions_spawned_{0};
   std::atomic<uint64_t> regions_serialized_{0};
+  mutable std::mutex imbalance_mu_;  // cold: one update per spawned region
+  ImbalanceStats imbalance_;
 };
 
 }  // namespace suifx::runtime

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace suifx::runtime {
 
 double identity_of(RedOp op) {
@@ -78,6 +81,10 @@ long ArrayReduction::touched_span(int proc) const {
 
 void ArrayReduction::finalize() {
   if (opts_.element_locks) return;
+  support::trace::TraceSpan span("reduction/finalize");
+  support::Metrics& metrics = support::Metrics::global();
+  support::Metrics::ScopedTimer timer(metrics, "reduction.finalize",
+                                      &metrics.histogram("reduction.finalize"));
   int nproc = static_cast<int>(priv_.size());
   int nsect = static_cast<int>(section_mu_.size());
   // Staggered section order per processor (§6.3.4). On this single executor

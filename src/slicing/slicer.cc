@@ -5,6 +5,7 @@
 #include <map>
 
 #include "support/metrics.h"
+#include "support/trace.h"
 
 namespace suifx::slicing {
 
@@ -236,8 +237,12 @@ struct Slicer::DirectEngine {
 
 SliceResult Slicer::slice(const ir::Stmt* s, const ir::Expr* ref,
                           const SliceOptions& opts) const {
-  support::Metrics::global().count("slicer.slice");
-  support::Metrics::ScopedTimer timer(support::Metrics::global(), "slicer.slice");
+  support::Metrics& metrics = support::Metrics::global();
+  metrics.count("slicer.slice");
+  support::Metrics::ScopedTimer timer(metrics, "slicer.slice",
+                                      &metrics.histogram("slicer.slice"));
+  support::trace::TraceSpan span("slicer/query");
+  if (span.active() && s->proc != nullptr) span.set_detail(s->proc->name);
   DirectEngine e(issa_, opts);
   e.add_stmt(s);
   const SsaFunc& f = issa_.func(s->proc);
@@ -525,9 +530,12 @@ Slicer::SummaryEngine& Slicer::engine(SliceKind kind) const {
 
 SliceResult Slicer::slice_summarized(const ir::Stmt* s, const ir::Expr* ref,
                                      SliceKind kind) const {
-  support::Metrics::global().count("slicer.slice_summarized");
-  support::Metrics::ScopedTimer timer(support::Metrics::global(),
-                                      "slicer.slice_summarized");
+  support::Metrics& metrics = support::Metrics::global();
+  metrics.count("slicer.slice_summarized");
+  support::Metrics::ScopedTimer timer(metrics, "slicer.slice_summarized",
+                                      &metrics.histogram("slicer.slice_summarized"));
+  support::trace::TraceSpan span("slicer/query_summarized");
+  if (span.active() && s->proc != nullptr) span.set_detail(s->proc->name);
   SummaryEngine& eng = engine(kind);
   SliceResult out;
   out.stmts.insert(s);

@@ -21,10 +21,21 @@ void Diag::error(SourceLoc loc, std::string msg) {
 
 void Diag::warning(SourceLoc loc, std::string msg) {
   diags_.push_back({Severity::Warning, loc, std::move(msg)});
+  ++warning_count_;
 }
 
 void Diag::note(SourceLoc loc, std::string msg) {
   diags_.push_back({Severity::Note, loc, std::move(msg)});
+  ++note_count_;
+}
+
+int Diag::count(Severity s) const {
+  switch (s) {
+    case Severity::Error: return error_count_;
+    case Severity::Warning: return warning_count_;
+    case Severity::Note: return note_count_;
+  }
+  return 0;
 }
 
 std::string Diag::str() const {
@@ -33,12 +44,19 @@ std::string Diag::str() const {
     out += d.str();
     out += '\n';
   }
+  if (!diags_.empty()) {
+    out += std::to_string(error_count_) + " error(s), " +
+           std::to_string(warning_count_) + " warning(s), " +
+           std::to_string(note_count_) + " note(s)\n";
+  }
   return out;
 }
 
 void Diag::clear() {
   diags_.clear();
   error_count_ = 0;
+  warning_count_ = 0;
+  note_count_ = 0;
 }
 
 }  // namespace suifx

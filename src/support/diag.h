@@ -38,15 +38,22 @@ class Diag {
 
   bool has_errors() const { return error_count_ > 0; }
   int error_count() const { return error_count_; }
+  int warning_count() const { return warning_count_; }
+  /// Diagnostics of exactly the given severity.
+  int count(Severity s) const;
   const std::vector<Diagnostic>& all() const { return diags_; }
 
-  /// All diagnostics rendered one per line (for tests and CLI output).
+  /// All diagnostics rendered one per line, followed by a severity-totals
+  /// line when anything was reported (for tests, CLI output, and the bench
+  /// front ends reporting warning volume next to trace summaries).
   std::string str() const;
   void clear();
 
  private:
   std::vector<Diagnostic> diags_;
   int error_count_ = 0;
+  int warning_count_ = 0;
+  int note_count_ = 0;
 };
 
 }  // namespace suifx

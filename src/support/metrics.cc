@@ -1,8 +1,102 @@
 #include "support/metrics.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 namespace suifx::support {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_index(double ms) {
+  if (!(ms > 0)) return 0;  // negatives/NaN clamp to the first bucket
+  double us = ms * 1000.0;
+  if (us < 1.0) return 0;
+  uint64_t v = static_cast<uint64_t>(us);
+  // v in [2^(k), 2^(k+1)) has bit_width k+1 and belongs to bucket k+1.
+  int i = std::bit_width(v);
+  return std::min(i, kBuckets - 1);
+}
+
+double Histogram::bucket_upper_ms(int i) {
+  // Bucket 0: [0, 1µs). Bucket i >= 1: [2^(i-1), 2^i) µs.
+  return std::ldexp(1.0, std::max(i, 0)) / 1000.0;
+}
+
+void Histogram::record_ms(double ms) {
+  buckets_[static_cast<size_t>(bucket_index(ms))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<int64_t>(std::max(0.0, ms) * 1e6),
+                      std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the buckets once so the walk is over a consistent-enough view.
+  std::array<uint64_t, kBuckets> snap;
+  uint64_t n = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    n += snap[static_cast<size_t>(i)];
+  }
+  if (n == 0) return 0.0;
+  double target = q * static_cast<double>(n);
+  double cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    double c = static_cast<double>(snap[static_cast<size_t>(i)]);
+    if (c == 0) continue;
+    if (cum + c >= target) {
+      double lower = i == 0 ? 0.0 : bucket_upper_ms(i - 1);
+      double upper = bucket_upper_ms(i);
+      double frac = c > 0 ? (target - cum) / c : 0.0;
+      return lower + std::clamp(frac, 0.0, 1.0) * (upper - lower);
+    }
+    cum += c;
+  }
+  return bucket_upper_ms(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCounter
+// ---------------------------------------------------------------------------
+
+namespace {
+size_t this_thread_shard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+}  // namespace
+
+void ShardedCounter::add(uint64_t n) {
+  shards_[this_thread_shard() % kShards].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t ShardedCounter::value() const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void ShardedCounter::reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
 
 void Metrics::count(const std::string& key, uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -36,25 +130,68 @@ std::map<std::string, double> Metrics::timers() const {
   return timers_;
 }
 
+Histogram& Metrics::histogram(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+ShardedCounter& Metrics::sharded(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sharded_[key];
+  if (slot == nullptr) slot = std::make_unique<ShardedCounter>();
+  return *slot;
+}
+
 void Metrics::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   timers_.clear();
+  // Zero in place: references returned by histogram()/sharded() stay valid.
+  for (auto& [k, h] : histograms_) h->reset();
+  for (auto& [k, s] : sharded_) s->reset();
 }
 
 std::string Metrics::report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // One snapshot under the lock; all formatting happens outside it so a
+  // report cannot interleave with (or block) concurrent recorders.
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> timers;
+  struct HistRow {
+    uint64_t count;
+    double total, p50, p95;
+  };
+  std::map<std::string, HistRow> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    timers = timers_;
+    for (const auto& [k, s] : sharded_) {
+      if (uint64_t v = s->value()) counters[k] += v;
+    }
+    for (const auto& [k, h] : histograms_) {
+      if (h->count() == 0) continue;
+      hists[k] = {h->count(), h->total_ms(), h->p50(), h->p95()};
+    }
+  }
+
   size_t w = 0;
-  for (const auto& [k, v] : counters_) w = std::max(w, k.size());
-  for (const auto& [k, v] : timers_) w = std::max(w, k.size());
+  for (const auto& [k, v] : counters) w = std::max(w, k.size());
+  for (const auto& [k, v] : timers) w = std::max(w, k.size());
+  for (const auto& [k, v] : hists) w = std::max(w, k.size());
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(2);
-  for (const auto& [k, v] : counters_) {
+  for (const auto& [k, v] : counters) {
     os << k << std::string(w - k.size() + 2, ' ') << v << "\n";
   }
-  for (const auto& [k, v] : timers_) {
+  for (const auto& [k, v] : timers) {
     os << k << std::string(w - k.size() + 2, ' ') << v << " ms\n";
+  }
+  for (const auto& [k, h] : hists) {
+    os << k << std::string(w - k.size() + 2, ' ') << h.count << " events  "
+       << h.total << " ms  p50 " << h.p50 << " ms  p95 " << h.p95 << " ms\n";
   }
   return os.str();
 }

@@ -3,18 +3,89 @@
 // re-analysis behavior (e.g. the plan cache re-analyzing only invalidated
 // loop nests) and to report per-pass cost next to the figure tables.
 //
-// Thread-safe: the parallel analysis driver bumps counters from pool
-// workers. Cost is one mutex acquisition per event, which is negligible at
-// analysis-pass granularity.
+// Three kinds of instrument:
+//  * counters / timers — mutex-protected maps; one lock per event, which is
+//    negligible at analysis-pass granularity.
+//  * Histogram — fixed exponential latency buckets with lock-free
+//    (atomic) recording and p50/p95 readout; for per-event latencies
+//    (driver tasks, parloop chunks, slicer queries).
+//  * ShardedCounter — cache-line-padded atomic shards for counters bumped
+//    from many pool workers at once (no shared cache line, no lock).
+//
+// Thread-safety contract:
+//  * Every method is safe to call concurrently with every other.
+//  * `histogram()` / `sharded()` return references that stay valid for the
+//    registry's lifetime; `reset()` zeroes them in place rather than
+//    destroying them.
+//  * `reset()` concurrent with in-flight recording is racy-by-design in
+//    the benign sense: an event recorded while reset() runs lands either
+//    before or after the wipe, atomically per instrument. A ScopedTimer
+//    destroyed after a reset() re-creates its key and contributes only its
+//    own elapsed time — benches that reset mid-epoch therefore see exactly
+//    the timers that *finish* after the reset.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 namespace suifx::support {
+
+/// Fixed-bucket latency histogram over milliseconds. Bucket 0 holds values
+/// below 1µs; bucket i (i >= 1) holds [2^(i-1), 2^i) µs; the last bucket is
+/// a catch-all. Recording is a couple of relaxed atomic adds; quantiles are
+/// linearly interpolated within the winning bucket.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 44;  // last finite bound ≈ 2.4 days
+
+  void record_ms(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_ms() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) / 1e6;
+  }
+  /// Interpolated quantile in ms, q in [0, 1]. 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+
+  uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Inclusive-exclusive upper bound of bucket i, in ms.
+  static double bucket_upper_ms(int i);
+  /// The bucket record_ms(ms) lands in (exposed for the boundary tests).
+  static int bucket_index(double ms);
+
+  void reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> total_ns_{0};
+};
+
+/// A counter sharded across cache-line-padded atomic slots: concurrent
+/// add() calls from different threads touch different cache lines.
+class ShardedCounter {
+ public:
+  void add(uint64_t n = 1);
+  uint64_t value() const;
+  void reset();
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
 
 class Metrics {
  public:
@@ -28,23 +99,40 @@ class Metrics {
   std::map<std::string, uint64_t> counters() const;
   std::map<std::string, double> timers() const;
 
+  /// The named histogram / sharded counter, created on first use. The
+  /// returned reference stays valid for the registry's lifetime (reset()
+  /// zeroes in place), so hot paths may cache it.
+  Histogram& histogram(const std::string& key);
+  ShardedCounter& sharded(const std::string& key);
+
+  /// Zero every instrument. See the thread-safety contract above.
   void reset();
 
-  /// All counters and timers, one aligned "key value" line each.
+  /// All counters, timers, sharded counters, and histograms, one aligned
+  /// line each. Takes one snapshot under the lock and renders outside it,
+  /// so it never interleaves with concurrent count()/add_ms() callers.
   std::string report() const;
 
   /// The process-wide registry every instrumented pass reports into.
   static Metrics& global();
 
-  /// RAII wall-clock timer: adds the elapsed time to `key` on destruction.
+  /// RAII wall-clock timer: adds the elapsed time to timer `key` on
+  /// destruction, and records it into `hist` when one is given. If the
+  /// registry is reset() mid-scope, only this scope's elapsed time lands in
+  /// the re-created key (see the contract above).
   class ScopedTimer {
    public:
-    ScopedTimer(Metrics& m, std::string key)
-        : m_(m), key_(std::move(key)), t0_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(Metrics& m, std::string key, Histogram* hist = nullptr)
+        : m_(m),
+          key_(std::move(key)),
+          hist_(hist),
+          t0_(std::chrono::steady_clock::now()) {}
     ~ScopedTimer() {
-      m_.add_ms(key_, std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0_)
-                          .count());
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0_)
+                      .count();
+      m_.add_ms(key_, ms);
+      if (hist_ != nullptr) hist_->record_ms(ms);
     }
     ScopedTimer(const ScopedTimer&) = delete;
     ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -52,6 +140,7 @@ class Metrics {
    private:
     Metrics& m_;
     std::string key_;
+    Histogram* hist_;
     std::chrono::steady_clock::time_point t0_;
   };
 
@@ -59,6 +148,9 @@ class Metrics {
   mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> timers_;
+  // unique_ptr values: references handed out survive map rehash/insert.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> sharded_;
 };
 
 }  // namespace suifx::support

@@ -1,0 +1,314 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace suifx::support::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+constexpr size_t kRingCapacity = 1 << 15;  // events per thread
+
+// Trace epoch base (steady-clock ns) and generation counter. A buffer
+// stamped with an older generation is logically empty: start() never has to
+// touch other threads' rings.
+std::atomic<int64_t> g_base_ns{0};
+std::atomic<uint64_t> g_gen{0};
+
+int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ThreadBuf {
+  std::mutex mu;  // owner thread (writes) vs. exporter (reads); uncontended
+  std::vector<TraceEvent> ring;
+  size_t next = 0;       // next write slot
+  uint64_t written = 0;  // events written this generation (> capacity = wrap)
+  uint64_t gen = 0;
+  int tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static destructors
+  return *r;
+}
+
+ThreadBuf& local_buf() {
+  thread_local std::shared_ptr<ThreadBuf> tb = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    b->ring.resize(kRingCapacity);
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.bufs.push_back(b);
+    return b;
+  }();
+  return *tb;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::string& env_path() {
+  static std::string* p = new std::string;
+  return *p;
+}
+
+}  // namespace
+
+void start() {
+  g_base_ns.store(steady_ns(), std::memory_order_relaxed);
+  g_gen.fetch_add(1, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() { detail::g_enabled.store(false, std::memory_order_release); }
+
+int64_t now_ns() {
+  int64_t base = g_base_ns.load(std::memory_order_relaxed);
+  return base == 0 ? 0 : steady_ns() - base;
+}
+
+void TraceSpan::begin(const char* name) {
+  live_ = true;
+  name_ = name;
+  t0_ = steady_ns() - g_base_ns.load(std::memory_order_relaxed);
+}
+
+void TraceSpan::end() {
+  const int64_t now = steady_ns() - g_base_ns.load(std::memory_order_relaxed);
+  if (!enabled()) return;  // stopped mid-span: drop, don't tear
+  ThreadBuf& b = local_buf();
+  std::lock_guard<std::mutex> lock(b.mu);
+  const uint64_t gen = g_gen.load(std::memory_order_relaxed);
+  if (b.gen != gen) {  // first event of a new generation: logical clear
+    b.gen = gen;
+    b.next = 0;
+    b.written = 0;
+  }
+  TraceEvent& e = b.ring[b.next];
+  e.name = name_;
+  e.detail = std::move(detail_);
+  e.t0_ns = t0_;
+  e.dur_ns = now - t0_;
+  e.tid = b.tid;
+  b.next = (b.next + 1) % kRingCapacity;
+  ++b.written;
+}
+
+std::vector<TraceEvent> snapshot() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    bufs = r.bufs;
+  }
+  const uint64_t gen = g_gen.load(std::memory_order_relaxed);
+  std::vector<TraceEvent> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    if (b->gen != gen || b->written == 0) continue;
+    if (b->written <= kRingCapacity) {
+      out.insert(out.end(), b->ring.begin(),
+                 b->ring.begin() + static_cast<long>(b->next));
+    } else {  // wrapped: oldest surviving event is at `next`
+      out.insert(out.end(), b->ring.begin() + static_cast<long>(b->next),
+                 b->ring.end());
+      out.insert(out.end(), b->ring.begin(),
+                 b->ring.begin() + static_cast<long>(b->next));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.t0_ns < b.t0_ns;
+  });
+  return out;
+}
+
+uint64_t dropped() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    bufs = r.bufs;
+  }
+  const uint64_t gen = g_gen.load(std::memory_order_relaxed);
+  uint64_t n = 0;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    if (b->gen == gen && b->written > kRingCapacity) n += b->written - kRingCapacity;
+  }
+  return n;
+}
+
+std::string json() {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"suifx\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof buf, "%d,\"ts\":%.3f,\"dur\":%.3f", e.tid,
+                  static_cast<double>(e.t0_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out += buf;
+    if (!e.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"";
+      append_escaped(out, e.detail);
+      out += "\"}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string text = json();
+  size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && n == text.size();
+}
+
+std::string summary() {
+  std::vector<TraceEvent> events = snapshot();  // sorted by (tid, t0)
+
+  // Self time: within one thread spans nest properly (RAII), so a stack
+  // sweep in start order attributes each span's duration against its
+  // innermost enclosing span. Ties on t0 put the longer (outer) span first.
+  std::vector<size_t> order(events.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const TraceEvent& x = events[a];
+    const TraceEvent& y = events[b];
+    if (x.tid != y.tid) return x.tid < y.tid;
+    if (x.t0_ns != y.t0_ns) return x.t0_ns < y.t0_ns;
+    return x.dur_ns > y.dur_ns;
+  });
+  std::vector<int64_t> self(events.size());
+  for (size_t i = 0; i < events.size(); ++i) self[i] = events[i].dur_ns;
+  std::vector<size_t> stack;  // indices of open spans, innermost last
+  int cur_tid = -1;
+  for (size_t ix : order) {
+    const TraceEvent& e = events[ix];
+    if (e.tid != cur_tid) {
+      stack.clear();
+      cur_tid = e.tid;
+    }
+    while (!stack.empty() &&
+           events[stack.back()].t0_ns + events[stack.back()].dur_ns <= e.t0_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) self[stack.back()] -= e.dur_ns;
+    stack.push_back(ix);
+  }
+
+  struct Row {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+    int64_t self_ns = 0;
+    std::vector<int64_t> durs;
+  };
+  std::map<std::string, Row> rows;
+  for (size_t i = 0; i < events.size(); ++i) {
+    Row& r = rows[events[i].name];
+    ++r.count;
+    r.total_ns += events[i].dur_ns;
+    r.self_ns += self[i];
+    r.durs.push_back(events[i].dur_ns);
+  }
+
+  auto pct = [](std::vector<int64_t>& v, double q) {
+    std::sort(v.begin(), v.end());
+    size_t ix = static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+    return static_cast<double>(v[std::min(ix, v.size() - 1)]) / 1e6;
+  };
+
+  std::vector<std::pair<std::string, Row*>> sorted;
+  size_t w = 4;
+  for (auto& [name, row] : rows) {
+    sorted.push_back({name, &row});
+    w = std::max(w, name.size());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second->total_ns > b.second->total_ns; });
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << events.size() << " spans";
+  if (uint64_t d = dropped()) os << " (" << d << " dropped by ring wrap)";
+  os << "\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-*s %8s %12s %12s %10s %10s\n",
+                static_cast<int>(w), "span", "count", "total ms", "self ms",
+                "p50 ms", "p95 ms");
+  os << line;
+  for (auto& [name, row] : sorted) {
+    std::snprintf(line, sizeof line, "%-*s %8llu %12.3f %12.3f %10.3f %10.3f\n",
+                  static_cast<int>(w), name.c_str(),
+                  static_cast<unsigned long long>(row->count),
+                  static_cast<double>(row->total_ns) / 1e6,
+                  static_cast<double>(row->self_ns) / 1e6, pct(row->durs, 0.50),
+                  pct(row->durs, 0.95));
+    os << line;
+  }
+  return os.str();
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("SUIFX_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    env_path() = path;
+    start();
+    std::atexit([] {
+      if (!write_json(env_path())) {
+        std::fprintf(stderr, "suifx: could not write SUIFX_TRACE file %s\n",
+                     env_path().c_str());
+      }
+    });
+  });
+}
+
+}  // namespace suifx::support::trace

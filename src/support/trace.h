@@ -1,0 +1,126 @@
+// Span tracing for the whole pipeline: every analysis pass, slicer query,
+// driver task, pool epoch, and parloop chunk opens an RAII TraceSpan; the
+// collected spans export as Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) and as an aligned text summary (count, total/self time,
+// p50/p95 per span name). This is the measurement substrate the perf PRs
+// cite: worker attribution (tid) makes concurrency, utilization, and load
+// imbalance directly visible.
+//
+// Design constraints:
+//
+//  * Always compiled, cheap when disabled. A disabled TraceSpan is one
+//    relaxed-ish atomic load and a branch — no clock read, no allocation.
+//    Call sites that build a dynamic detail string guard it behind
+//    `span.active()` so the disabled path stays allocation-free.
+//
+//  * No global lock on the hot path. Each emitting thread owns a
+//    fixed-capacity ring buffer guarded by its own (uncontended) mutex; the
+//    global registry mutex is taken only on first emission per thread and
+//    during export. When a ring wraps, the oldest events are overwritten
+//    and counted in dropped().
+//
+//  * Activation: programmatic trace::start()/stop(), or the environment —
+//    SUIFX_TRACE=<path> starts tracing at init_from_env() (called by
+//    Workbench::from_source and the benches) and writes <path> at process
+//    exit.
+//
+// start()/stop() delimit a *generation*: spans recorded under an older
+// generation are excluded from snapshot()/json()/summary(), so a fresh
+// start() needs no cross-thread buffer clearing. Spans in flight across a
+// start()/stop() edge are dropped, not torn.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace suifx::support::trace {
+
+/// One completed span ("X" phase in the Chrome trace-event schema).
+struct TraceEvent {
+  std::string name;    // e.g. "pass/depend", "driver/task", "parloop/chunk"
+  std::string detail;  // optional attribution: procedure, loop, proc id
+  int64_t t0_ns = 0;   // start, ns since trace::start()
+  int64_t dur_ns = 0;
+  int tid = 0;         // stable per-thread id (registration order)
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True while a trace is being collected. Safe from any thread.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
+
+/// Begin a new trace generation (clears prior events logically).
+void start();
+/// Stop collecting. Events recorded so far stay exportable.
+void stop();
+
+/// Nanoseconds since start() on the tracer's clock (0 when never started).
+/// Benches use this to window snapshot() around a measured region.
+int64_t now_ns();
+
+/// All events of the current generation, sorted by (tid, t0_ns).
+std::vector<TraceEvent> snapshot();
+/// Events overwritten by ring wrap-around in the current generation.
+uint64_t dropped();
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}, complete "X" events,
+/// microsecond timestamps, JSON-escaped names). Loads in Perfetto.
+std::string json();
+/// Write json() to `path`; false on I/O failure.
+bool write_json(const std::string& path);
+
+/// Aligned per-name table: count, total ms, self ms (total minus time in
+/// enclosed spans on the same thread), p50/p95 span duration. Sorted by
+/// total time, descending.
+std::string summary();
+
+/// If SUIFX_TRACE=<path> is set (and this is the first call): start() now
+/// and register an atexit hook that writes the JSON to <path>. Idempotent.
+void init_from_env();
+
+/// RAII span. Construct at scope entry; the completed span is recorded at
+/// destruction on the emitting thread's ring. Does nothing when tracing is
+/// disabled at construction (or got disabled before destruction).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (enabled()) begin(name);
+  }
+  TraceSpan(const char* name, std::string_view det) {
+    if (enabled()) {
+      begin(name);
+      detail_.assign(det);
+    }
+  }
+  ~TraceSpan() {
+    if (live_) end();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span will be recorded — guard dynamic-detail
+  /// construction with it to keep the disabled path allocation-free.
+  bool active() const { return live_; }
+  /// Attach/replace the attribution string (no-op when inactive).
+  void set_detail(std::string det) {
+    if (live_) detail_ = std::move(det);
+  }
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool live_ = false;
+  const char* name_ = nullptr;
+  std::string detail_;
+  int64_t t0_ = 0;
+};
+
+}  // namespace suifx::support::trace

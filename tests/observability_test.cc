@@ -1,0 +1,560 @@
+// The observability stack: trace JSON is valid and Perfetto-schema-shaped,
+// the disabled tracer records nothing and costs (provably) a bounded
+// fraction of the fig5_6-style workload, histogram bucket boundaries and
+// quantile math, sharded counters, Metrics snapshot/reset contracts, Diag
+// severity accounting, and concurrent span emission from ThreadPool workers
+// (the TSan CI job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "explorer/workbench.h"
+#include "runtime/parloop.h"
+#include "support/diag.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+using namespace suifx;
+using support::Histogram;
+using support::Metrics;
+using support::ShardedCounter;
+namespace trace = support::trace;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser — just enough to validate the exporter's output
+// shape without growing a dependency.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Json {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json* get(const std::string& key) const {
+    auto it = obj.find(key);
+    return it != obj.end() ? &it->second : nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return p_ == end_;  // no trailing garbage
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+  bool lit(const char* s, Json::Kind k, bool bval, Json* out) {
+    size_t n = std::strlen(s);
+    if (end_ - p_ < static_cast<long>(n) || std::strncmp(p_, s, n) != 0) return false;
+    p_ += n;
+    out->kind = k;
+    out->b = bval;
+    return true;
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->kind = Json::Str; return string(&out->str);
+      case 't': return lit("true", Json::Bool, true, out);
+      case 'f': return lit("false", Json::Bool, false, out);
+      case 'n': return lit("null", Json::Null, false, out);
+      default: return number(out);
+    }
+  }
+  bool object(Json* out) {
+    out->kind = Json::Obj;
+    ++p_;  // {
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !string(&key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      Json v;
+      if (!value(&v)) return false;
+      out->obj[key] = std::move(v);
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == '}') { ++p_; return true; }
+      return false;
+    }
+  }
+  bool array(Json* out) {
+    out->kind = Json::Arr;
+    ++p_;  // [
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+    for (;;) {
+      Json v;
+      if (!value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == ']') { ++p_; return true; }
+      return false;
+    }
+  }
+  bool string(std::string* out) {
+    ++p_;  // "
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return false;
+            }
+            p_ += 4;
+            if (code > 0xff) return false;  // exporter only emits control escapes
+            *out += static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+        ++p_;
+      } else if (static_cast<unsigned char>(*p_) < 0x20) {
+        return false;  // raw control character: invalid JSON
+      } else {
+        *out += *p_++;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing "
+    return true;
+  }
+  bool number(Json* out) {
+    char* after = nullptr;
+    out->num = std::strtod(p_, &after);
+    if (after == p_ || after > end_) return false;
+    out->kind = Json::Num;
+    p_ = after;
+    return true;
+  }
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  trace::start();  // fresh generation...
+  trace::stop();   // ...and immediately disabled
+  for (int i = 0; i < 100; ++i) {
+    trace::TraceSpan span("test/should_not_appear");
+    span.set_detail("nope");
+  }
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_TRUE(trace::snapshot().empty());
+  EXPECT_EQ(trace::dropped(), 0u);
+}
+
+TEST(Trace, JsonIsValidAndPerfettoShaped) {
+  trace::start();
+  {
+    trace::TraceSpan outer("test/outer", "proc\"with\\quotes\nand\tctrl\x01");
+    trace::TraceSpan inner("test/inner");
+  }
+  // Two spans forced onto two distinct pool workers: each task waits until
+  // both have started, so one worker cannot run both.
+  {
+    runtime::ThreadPool pool(3);  // 2 workers + caller
+    std::atomic<int> started{0};
+    auto task = [&] {
+      trace::TraceSpan span("test/worker_task");
+      started.fetch_add(1);
+      while (started.load() < 2) std::this_thread::yield();
+    };
+    auto f1 = pool.submit(task);
+    auto f2 = pool.submit(task);
+    f1.get();
+    f2.get();
+  }
+  trace::stop();
+
+  std::string text = trace::json();
+  Json root;
+  ASSERT_TRUE(JsonParser(text).parse(&root)) << text;
+  ASSERT_EQ(root.kind, Json::Obj);
+  const Json* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Json::Arr);
+  ASSERT_GE(events->arr.size(), 4u);
+
+  std::string decoded_detail;
+  std::map<std::string, std::vector<double>> tids_by_name;
+  for (const Json& e : events->arr) {
+    ASSERT_EQ(e.kind, Json::Obj);
+    // Complete ("X") events only: name/cat/ph/pid/tid/ts/dur all present
+    // and well-typed, ts/dur non-negative.
+    ASSERT_NE(e.get("name"), nullptr);
+    EXPECT_EQ(e.get("name")->kind, Json::Str);
+    EXPECT_FALSE(e.get("name")->str.empty());
+    ASSERT_NE(e.get("ph"), nullptr);
+    EXPECT_EQ(e.get("ph")->str, "X");
+    ASSERT_NE(e.get("pid"), nullptr);
+    EXPECT_EQ(e.get("pid")->num, 1.0);
+    ASSERT_NE(e.get("tid"), nullptr);
+    EXPECT_EQ(e.get("tid")->kind, Json::Num);
+    ASSERT_NE(e.get("ts"), nullptr);
+    EXPECT_GE(e.get("ts")->num, 0.0);
+    ASSERT_NE(e.get("dur"), nullptr);
+    EXPECT_GE(e.get("dur")->num, 0.0);
+    tids_by_name[e.get("name")->str].push_back(e.get("tid")->num);
+    if (e.get("name")->str == "test/outer") {
+      const Json* args = e.get("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->get("detail"), nullptr);
+      decoded_detail = args->get("detail")->str;
+    }
+  }
+  // Escaping round-trips the hostile detail string exactly.
+  EXPECT_EQ(decoded_detail, "proc\"with\\quotes\nand\tctrl\x01");
+  // tid attribution: the two worker tasks ran on different threads, and
+  // neither ran on the thread that emitted test/outer.
+  ASSERT_EQ(tids_by_name["test/worker_task"].size(), 2u);
+  EXPECT_NE(tids_by_name["test/worker_task"][0], tids_by_name["test/worker_task"][1]);
+  ASSERT_EQ(tids_by_name["test/outer"].size(), 1u);
+  for (double tid : tids_by_name["test/worker_task"]) {
+    EXPECT_NE(tid, tids_by_name["test/outer"][0]);
+  }
+}
+
+TEST(Trace, SummaryCountsAndNesting) {
+  trace::start();
+  for (int i = 0; i < 3; ++i) {
+    trace::TraceSpan outer("test/sum_outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    trace::TraceSpan inner("test/sum_inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  trace::stop();
+  std::vector<trace::TraceEvent> events = trace::snapshot();
+  int outer = 0, inner = 0;
+  for (const auto& e : events) {
+    outer += e.name == "test/sum_outer";
+    inner += e.name == "test/sum_inner";
+  }
+  EXPECT_EQ(outer, 3);
+  EXPECT_EQ(inner, 3);
+  std::string s = trace::summary();
+  EXPECT_NE(s.find("test/sum_outer"), std::string::npos);
+  EXPECT_NE(s.find("test/sum_inner"), std::string::npos);
+  // The summary's self-time column subtracts nested spans; smoke-check the
+  // header so the format stays discoverable.
+  EXPECT_NE(s.find("self ms"), std::string::npos);
+  EXPECT_NE(s.find("p95 ms"), std::string::npos);
+}
+
+TEST(Trace, RingOverflowDropsOldestAndCounts) {
+  trace::start();
+  constexpr int kEmit = 40000;  // ring capacity is 32768
+  for (int i = 0; i < kEmit; ++i) {
+    trace::TraceSpan span("test/ring");
+  }
+  trace::stop();
+  EXPECT_GT(trace::dropped(), 0u);
+  std::vector<trace::TraceEvent> events = trace::snapshot();
+  EXPECT_EQ(events.size() + trace::dropped(), static_cast<size_t>(kEmit));
+  // Chronological order survives the wrap.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t0_ns, events[i].t0_ns);
+  }
+}
+
+TEST(Trace, ConcurrentEmissionAndExport) {
+  trace::start();
+  runtime::ParallelRuntime rt(4);
+  std::atomic<bool> done{false};
+  std::thread exporter([&] {
+    while (!done.load()) {
+      (void)trace::snapshot();
+      (void)trace::json();
+    }
+  });
+  std::atomic<long> sink{0};
+  for (int round = 0; round < 20; ++round) {
+    rt.parallel_do(
+        0, 499, 1, [&](long i, int) { sink.fetch_add(i, std::memory_order_relaxed); },
+        1e9);
+  }
+  done.store(true);
+  exporter.join();
+  trace::stop();
+  std::vector<trace::TraceEvent> events = trace::snapshot();
+  int chunks = 0;
+  for (const auto& e : events) chunks += e.name == "parloop/chunk";
+  EXPECT_GT(chunks, 0);
+  EXPECT_GT(rt.imbalance().regions, 0u);
+  EXPECT_GE(rt.imbalance().worst, 1.0);
+}
+
+// The acceptance bound: the instrumented fig5_6-style workload with tracing
+// *off* must not owe more than ~10% of its runtime to disabled spans. We
+// bound it from measurements: (disabled per-span cost) x (spans a traced
+// identical run emits) < 10% of the measured untraced runtime.
+TEST(Trace, DisabledOverheadBoundedOnFig56Workload) {
+  const benchsuite::BenchProgram& bp = benchsuite::hydro();
+
+  // Spans one full workbench + plan emits when tracing is on.
+  trace::start();
+  {
+    Diag diag;
+    auto wb = explorer::Workbench::from_source(bp.source, diag);
+    ASSERT_NE(wb, nullptr);
+    wb->plan();
+  }
+  size_t spans = trace::snapshot().size();
+  trace::stop();
+  ASSERT_GT(spans, 0u);
+
+  // Untraced runtime of the same workload.
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    Diag diag;
+    auto wb = explorer::Workbench::from_source(bp.source, diag);
+    ASSERT_NE(wb, nullptr);
+    wb->plan();
+  }
+  double workload_ms = ms_since(t0);
+
+  // Disabled per-span cost, measured on the hot constructor/destructor.
+  constexpr int kIters = 200000;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    trace::TraceSpan span("test/disabled");
+  }
+  double per_span_ms = ms_since(t0) / kIters;
+
+  double overhead_ms = per_span_ms * static_cast<double>(spans);
+  EXPECT_LT(overhead_ms, 0.10 * workload_ms)
+      << "disabled spans cost " << overhead_ms << " ms against a " << workload_ms
+      << " ms workload (" << spans << " spans, " << per_span_ms * 1e6
+      << " ns each)";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0: [0, 1µs). Bucket i >= 1: [2^(i-1), 2^i) µs.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(0.0005), 0);   // 0.5µs
+  EXPECT_EQ(Histogram::bucket_index(0.001), 1);    // 1µs: first of bucket 1
+  EXPECT_EQ(Histogram::bucket_index(0.0015), 1);   // 1.5µs
+  EXPECT_EQ(Histogram::bucket_index(0.002), 2);    // 2µs: first of bucket 2
+  EXPECT_EQ(Histogram::bucket_index(1.0), 10);     // 1000µs in [512, 1024)
+  EXPECT_EQ(Histogram::bucket_index(100.0), 17);   // 100000µs in [65536, 131072)
+  EXPECT_EQ(Histogram::bucket_index(1e12), Histogram::kBuckets - 1);  // clamp
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_ms(0), 0.001);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_ms(1), 0.002);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_ms(10), 1.024);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_ms(17), 131.072);
+}
+
+TEST(Histogram, QuantileMath) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.record_ms(1.0);
+  for (int i = 0; i < 10; ++i) h.record_ms(100.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.total_ms(), 90.0 + 1000.0, 1.0);
+  // p50 lands in 1ms's bucket [0.512, 1.024) ms, p95 in 100ms's bucket
+  // [65.536, 131.072) ms — interpolated within, never outside.
+  EXPECT_GT(h.p50(), 0.512);
+  EXPECT_LE(h.p50(), 1.024);
+  EXPECT_GT(h.p95(), 65.536);
+  EXPECT_LE(h.p95(), 131.072);
+  // q clamps.
+  EXPECT_LE(h.quantile(2.0), 131.072);
+  EXPECT_GE(h.quantile(-1.0), 0.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; ++i) h.record_ms(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 80000u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(0.5)), 80000u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCounter / Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCounter, ConcurrentAddsSum) {
+  ShardedCounter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, ReportSnapshotsUnderConcurrentRecording) {
+  Metrics m;
+  std::atomic<bool> done{false};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      bool first = true;
+      do {
+        m.count("w.counter");
+        m.add_ms("w.timer", 0.01);
+        m.histogram("w.hist").record_ms(0.5);
+        m.sharded("w.sharded").add();
+        if (first) {
+          ready.fetch_add(1);
+          first = false;
+        }
+      } while (!done.load());
+    });
+  }
+  while (ready.load() < 4) std::this_thread::yield();
+  for (int i = 0; i < 50; ++i) {
+    std::string r = m.report();  // must not tear or deadlock
+    EXPECT_TRUE(r.empty() || r.find("w.") != std::string::npos);
+  }
+  done.store(true);
+  for (auto& t : writers) t.join();
+  std::string r = m.report();
+  EXPECT_NE(r.find("w.counter"), std::string::npos);
+  EXPECT_NE(r.find("w.hist"), std::string::npos);
+  EXPECT_NE(r.find("w.sharded"), std::string::npos);
+  EXPECT_NE(r.find("p95"), std::string::npos);
+}
+
+TEST(Metrics, ResetKeepsInstrumentReferencesValid) {
+  Metrics m;
+  Histogram& h = m.histogram("x.hist");
+  ShardedCounter& c = m.sharded("x.sharded");
+  h.record_ms(1.0);
+  c.add(5);
+  m.count("x.counter", 3);
+  m.reset();
+  EXPECT_EQ(m.counter("x.counter"), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(c.value(), 0u);
+  // The references still feed the same registry entries after reset().
+  h.record_ms(2.0);
+  c.add(1);
+  EXPECT_EQ(m.histogram("x.hist").count(), 1u);
+  EXPECT_EQ(m.sharded("x.sharded").value(), 1u);
+}
+
+TEST(Metrics, ScopedTimerFeedsTimerAndHistogram) {
+  Metrics m;
+  {
+    Metrics::ScopedTimer t(m, "s.timer", &m.histogram("s.timer"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(m.total_ms("s.timer"), 0.0);
+  EXPECT_EQ(m.histogram("s.timer").count(), 1u);
+  // A timer that outlives a reset re-creates its key with only its own
+  // elapsed time (the documented bench-resets-mid-epoch contract).
+  {
+    Metrics::ScopedTimer t(m, "s.timer");
+    m.reset();
+  }
+  EXPECT_EQ(m.histogram("s.timer").count(), 0u);
+  EXPECT_GE(m.total_ms("s.timer"), 0.0);
+  EXPECT_LT(m.total_ms("s.timer"), 1.0);  // only the post-reset scope's time
+}
+
+// ---------------------------------------------------------------------------
+// Diag severity accounting
+// ---------------------------------------------------------------------------
+
+TEST(Diag, SeverityCountsAndTotalsLine) {
+  Diag d;
+  EXPECT_EQ(d.warning_count(), 0);
+  EXPECT_EQ(d.count(Severity::Note), 0);
+  d.error({1, 1}, "boom");
+  d.warning({2, 1}, "careful");
+  d.warning({3, 1}, "again");
+  d.note({4, 1}, "fyi");
+  EXPECT_EQ(d.error_count(), 1);
+  EXPECT_EQ(d.warning_count(), 2);
+  EXPECT_EQ(d.count(Severity::Error), 1);
+  EXPECT_EQ(d.count(Severity::Warning), 2);
+  EXPECT_EQ(d.count(Severity::Note), 1);
+  std::string s = d.str();
+  EXPECT_NE(s.find("1 error(s), 2 warning(s), 1 note(s)"), std::string::npos);
+  d.clear();
+  EXPECT_EQ(d.warning_count(), 0);
+  EXPECT_EQ(d.count(Severity::Error), 0);
+  EXPECT_EQ(d.str(), "");  // empty diag: no totals line
+}
