@@ -1,0 +1,182 @@
+// Extension: robustness. Two experiments over the benchsuite:
+//
+//   (a) the degradation ladder — plan time and parallel-loop count at every
+//       liveness rung (Full → OneBit → FlowInsensitive → disabled), i.e.
+//       what each fall of the ladder actually costs in parallelism;
+//   (b) a fault sweep — re-run the whole pipeline with fault injection
+//       armed (the SUIFX_FAULT spec if set, else a built-in demo spec) and
+//       check the soundness invariant: every loop a degraded plan
+//       parallelizes must also be parallel in the unfaulted full-precision
+//       plan. Exits nonzero on a violation, so CI can run this binary under
+//       a fault matrix as a crash-and-soundness check.
+//
+// See docs/robustness.md for the mechanism.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "parallelizer/driver.h"
+#include "support/budget.h"
+#include "support/fault.h"
+#include "support/metrics.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+std::vector<const benchsuite::BenchProgram*> all_programs() {
+  std::vector<const benchsuite::BenchProgram*> out =
+      benchsuite::explorer_suite();
+  for (const auto* bp : benchsuite::liveness_suite()) out.push_back(bp);
+  return out;
+}
+
+struct RungResult {
+  double build_ms = 0;
+  double plan_ms = 0;
+  int parallel = 0;
+  int loops = 0;
+  size_t degradations = 0;
+  std::set<std::string> parallel_names;
+  bool ok = false;
+};
+
+RungResult run_rung(const benchsuite::BenchProgram& bp,
+                    std::optional<analysis::LivenessMode> mode) {
+  RungResult r;
+  Diag diag;
+  auto b0 = std::chrono::steady_clock::now();
+  auto wb = explorer::Workbench::from_source(bp.source, diag, mode);
+  r.build_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - b0)
+                   .count();
+  if (wb == nullptr) return r;
+  auto p0 = std::chrono::steady_clock::now();
+  parallelizer::ParallelPlan plan = wb->plan();
+  r.plan_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - p0)
+                  .count();
+  for (const auto& [loop, lp] : plan.loops) {
+    ++r.loops;
+    if (lp.parallelizable) {
+      ++r.parallel;
+      r.parallel_names.insert(loop->loop_name());
+    }
+  }
+  r.degradations = wb->degradations().size();
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: fault-tolerant analysis pipeline\n\n");
+
+  const char* fault_env = std::getenv("SUIFX_FAULT");
+  const std::string spec =
+      fault_env != nullptr && *fault_env != '\0'
+          ? fault_env
+          : "pass.liveness.entry;driver.task;pass.depend.entry@p=0.02,seed=7";
+
+  // --- (a) the degradation ladder, unfaulted ------------------------------
+  support::fault::Registry::global().clear();  // baseline: nothing armed
+  struct Rung {
+    const char* name;
+    std::optional<analysis::LivenessMode> mode;
+  };
+  const Rung rungs[] = {
+      {"full", analysis::LivenessMode::Full},
+      {"onebit", analysis::LivenessMode::OneBit},
+      {"flowins", analysis::LivenessMode::FlowInsensitive},
+      {"disabled", std::nullopt},
+  };
+
+  std::printf("Degradation ladder (per liveness rung: build+plan ms, "
+              "parallel loops):\n");
+  std::printf("%s", cell("program", 12).c_str());
+  for (const Rung& r : rungs) {
+    std::printf("%s%s", cell(std::string(r.name) + " ms", 12).c_str(),
+                cell("par", 6).c_str());
+  }
+  std::printf("\n");
+  rule(12 + 4 * 18);
+
+  // Baseline full-precision parallel sets for the soundness check in (b).
+  std::map<std::string, std::set<std::string>> full_parallel;
+  bool all_ok = true;
+  for (const benchsuite::BenchProgram* bp : all_programs()) {
+    std::printf("%s", cell(bp->name, 12).c_str());
+    for (const Rung& r : rungs) {
+      RungResult res = run_rung(*bp, r.mode);
+      if (!res.ok) {
+        all_ok = false;
+        std::printf("%s%s", cell("FAIL", 12).c_str(), cell("-", 6).c_str());
+        continue;
+      }
+      if (r.mode == analysis::LivenessMode::Full) {
+        full_parallel[bp->name] = res.parallel_names;
+      }
+      std::printf("%s%s", cell(res.build_ms + res.plan_ms, 12).c_str(),
+                  cell(static_cast<long>(res.parallel), 6).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nLower rungs may lose privatization/contraction "
+              "opportunities but never\ngain parallel loops: liveness only "
+              "ever *enables* transformations.\n");
+
+  // --- (b) fault sweep: degraded-but-sound --------------------------------
+  std::printf("\nFault sweep with SUIFX_FAULT='%s'%s:\n", spec.c_str(),
+              fault_env != nullptr && *fault_env != '\0' ? "" : " (demo spec)");
+  support::Metrics::global().reset();
+  if (!support::fault::Registry::global().configure(spec)) {
+    std::printf("  malformed fault spec — nothing armed\n");
+  }
+
+  std::printf("%s%s%s%s%s\n", cell("program", 12).c_str(),
+              cell("ms", 10).c_str(), cell("par", 6).c_str(),
+              cell("degr", 6).c_str(), cell("sound", 7).c_str());
+  rule(41);
+  int violations = 0;
+  for (const benchsuite::BenchProgram* bp : all_programs()) {
+    RungResult res = run_rung(*bp, analysis::LivenessMode::Full);
+    if (!res.ok) {
+      // Even an injected fault at parse time must not crash; a null
+      // workbench under injection is a degradation, not a failure.
+      std::printf("%s%s\n", cell(bp->name, 12).c_str(),
+                  cell("no build", 10).c_str());
+      continue;
+    }
+    bool sound = true;
+    for (const std::string& name : res.parallel_names) {
+      if (full_parallel[bp->name].count(name) == 0) {
+        sound = false;
+        ++violations;
+        std::printf("  UNSOUND: %s parallel under faults but rejected at "
+                    "full precision\n",
+                    name.c_str());
+      }
+    }
+    std::printf("%s%s%s%s%s\n", cell(bp->name, 12).c_str(),
+                cell(res.build_ms + res.plan_ms, 10).c_str(),
+                cell(static_cast<long>(res.parallel), 6).c_str(),
+                cell(static_cast<long>(res.degradations), 6).c_str(),
+                cell(sound ? "yes" : "NO", 7).c_str());
+  }
+  support::fault::Registry::global().clear();
+
+  std::printf("\nMetrics:\n%s", support::Metrics::global().report().c_str());
+  if (violations != 0 || !all_ok) {
+    std::printf("\nFAILED: %d soundness violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\nAll degraded plans sound (degraded parallel set is a subset "
+              "of the\nfull-precision parallel set).\n");
+  return 0;
+}

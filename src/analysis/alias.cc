@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/budget.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -24,6 +26,8 @@ AliasAnalysis::AliasAnalysis(const ir::Program& prog, bool unify_overlays)
     : prog_(prog) {
   support::trace::TraceSpan span("pass/alias");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "alias.build");
+  SUIFX_FAULT_POINT("pass.alias.entry");
+  support::Budget::charge_current();
   // Group common members per block.
   std::map<const ir::CommonBlock*, std::vector<const ir::Variable*>> by_block;
   for (const ir::Variable& v : prog.variables()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/budget.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -161,9 +163,11 @@ ArrayDataflow::ArrayDataflow(const ir::Program& prog, const AliasAnalysis& alias
       symbolic_(symbolic) {
   support::trace::TraceSpan span("pass/array_dataflow");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "dataflow.build");
+  SUIFX_FAULT_POINT("pass.array_dataflow.entry");
   for (ir::Procedure* p : cg.bottom_up()) {
     support::trace::TraceSpan proc_span("pass/array_dataflow/proc", p->name);
     support::Metrics::global().count("dataflow.procs");
+    support::Budget::charge_current();
     AccessInfo info = summarize_body(p->body);
     region_info_[regions.of_proc(p)] = info;
     call_summary_[p] = localize(p, info);
@@ -365,6 +369,7 @@ bool ArrayDataflow::match_reduction_minmax_if(const ir::Stmt* s, AccessInfo* out
 }
 
 AccessInfo ArrayDataflow::summarize_stmt(const ir::Stmt* s) {
+  support::Budget::charge_current();  // one step per summarized node
   AccessInfo result = summarize_stmt_impl(s);
   node_info_[s] = result;
   return result;

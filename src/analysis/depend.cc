@@ -1,5 +1,7 @@
 #include "analysis/depend.h"
 
+#include "support/budget.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -95,6 +97,7 @@ LoopVerdict DependenceAnalysis::analyze(
                                       &metrics.histogram("depend.analyze"));
   support::trace::TraceSpan span("pass/depend");
   if (span.active()) span.set_detail(loop->loop_name());
+  SUIFX_FAULT_POINT("pass.depend.entry");
   LoopVerdict out;
   out.has_io = df_.loop_has_io(loop);
   const AccessInfo& body = df_.body_info(loop);
@@ -104,6 +107,7 @@ LoopVerdict DependenceAnalysis::analyze(
 
   bool all_ok = true;
   for (const auto& [v, va] : body.vars) {
+    support::Budget::charge_current();  // one step per classified variable
     VarVerdict verdict;
     verdict.exposed = va.sec.E;
 

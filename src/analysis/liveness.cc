@@ -1,5 +1,7 @@
 #include "analysis/liveness.h"
 
+#include "support/budget.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -25,6 +27,7 @@ ArrayLiveness::ArrayLiveness(const ir::Program& prog, const ArrayDataflow& df,
     : prog_(prog), df_(df), cg_(cg), regions_(regions), alias_(alias), mode_(mode) {
   support::trace::TraceSpan span("pass/liveness", to_string(mode));
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "liveness.build");
+  SUIFX_FAULT_POINT("pass.liveness.entry");
   switch (mode) {
     case LivenessMode::Full:
       run_full();
@@ -92,6 +95,7 @@ void ArrayLiveness::walk_body_full(const std::vector<ir::Stmt*>& body,
                                    const graph::Region* region) {
   AccessInfo after = cont;
   for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    support::Budget::charge_current();  // one step per walked node
     ir::Stmt* s = *it;
     switch (s->kind) {
       case ir::StmtKind::Do: {
@@ -246,6 +250,7 @@ void ArrayLiveness::walk_body_bits(const std::vector<ir::Stmt*>& body,
                                    std::set<const ir::Variable*> after,
                                    const graph::Region* region) {
   for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    support::Budget::charge_current();  // one step per walked node
     ir::Stmt* s = *it;
     switch (s->kind) {
       case ir::StmtKind::Do: {
@@ -323,6 +328,7 @@ void ArrayLiveness::run_flow_insensitive() {
     }
     after_bits_[regions_.of_proc(p)] = cont;
     std::function<void(const graph::Region*)> walk = [&](const graph::Region* r) {
+      support::Budget::charge_current();  // one step per region
       std::set<const ir::Variable*> live = after_bits_[r];
       for (const ir::Variable* v : sibling_exposure(r)) live.insert(v);
       for (graph::Region* c : r->children) {

@@ -1,5 +1,7 @@
 #include "analysis/modref.h"
 
+#include "support/budget.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -31,7 +33,9 @@ ModRef::ModRef(const ir::Program& prog, const AliasAnalysis& alias,
   (void)prog;
   support::trace::TraceSpan span("pass/modref");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "modref.build");
+  SUIFX_FAULT_POINT("pass.modref.entry");
   for (ir::Procedure* p : cg.bottom_up()) {
+    support::Budget::charge_current();
     ProcEffects fx;
     fx.formal_mod.assign(p->formals.size(), false);
     fx.formal_ref.assign(p->formals.size(), false);

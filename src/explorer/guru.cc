@@ -129,6 +129,19 @@ std::string Guru::planning_profile() const {
      << last_plan_ms_ << " ms (driver: " << drv.workers() << " workers, "
      << drv.cache_hits() << " hits / " << drv.cache_misses() << " misses)\n";
   os << "dominant pass: " << wb_.dominant_pass() << "\n";
+  os << "liveness mode: "
+     << (wb_.liveness() != nullptr ? analysis::to_string(wb_.liveness()->mode())
+                                   : "disabled")
+     << "\n";
+  // The robustness report (docs/robustness.md): which parts of this profile
+  // ran at a degraded tier, so the user knows the plan may be conservative.
+  if (drv.degraded_loops() != 0) {
+    os << "degraded loops: " << drv.degraded_loops()
+       << " (conservative assume-dependence plans)\n";
+  }
+  for (const std::string& d : wb_.degradations()) {
+    os << "degraded: " << d << "\n";
+  }
   return os.str();
 }
 

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "support/budget.h"
+#include "support/fault.h"
+#include "support/metrics.h"
 #include "support/trace.h"
 
 namespace suifx::explorer {
@@ -27,57 +30,118 @@ class PassClock {
   std::chrono::steady_clock::time_point t0_;
 };
 
+/// Run an essential pass builder; if it throws (injected fault, exhausted
+/// budget), retry ONCE with faults suppressed and no budget installed — the
+/// retry cannot fail the same way, so the pipeline survives any single
+/// injected failure. A genuine analysis bug still propagates from the retry.
+template <typename Fn>
+void guarded(std::vector<std::string>& degradations, Diag& diag,
+             const char* pass, Fn&& build) {
+  try {
+    build();
+    return;
+  } catch (const std::exception& ex) {
+    support::Metrics::global().count("degrade.pass.retry");
+    support::trace::TraceSpan span("degrade",
+                                   std::string(pass) + ": retry: " + ex.what());
+    degradations.push_back(std::string(pass) + ": retried after: " + ex.what());
+    diag.warning({}, std::string(pass) + " failed (" + ex.what() +
+                         "); retrying with faults suppressed");
+  }
+  support::fault::SuppressScope no_faults;
+  support::Budget::Scope no_budget(nullptr);
+  build();
+}
+
 }  // namespace
 
 std::unique_ptr<Workbench> Workbench::from_source(
     std::string_view src, Diag& diag,
     std::optional<analysis::LivenessMode> liveness_mode, bool enable_reductions) {
   support::trace::init_from_env();  // SUIFX_TRACE=<path> activates tracing
+  support::fault::Registry::global().init_from_env();  // SUIFX_FAULT=<spec>
   support::trace::TraceSpan span("workbench/build");
   auto prog = frontend::parse_program(src, diag);
   if (prog == nullptr) return nullptr;
   auto wb = std::make_unique<Workbench>();
   wb->prog_ = std::move(prog);
-  {
+
+  // One budget for the whole build, from SUIFX_BUDGET_STEPS /
+  // SUIFX_DEADLINE_MS (unlimited when unset — Scope with an unlimited budget
+  // costs one atomic bump per charge).
+  support::Budget build_budget(support::Budget::limits_from_env());
+  support::Budget::Scope budget_scope(&build_budget);
+  std::vector<std::string>& deg = wb->degradations_;
+
+  guarded(deg, diag, "alias", [&] {
     PassClock t(wb->pass_ms_, "alias");
     wb->alias_ = std::make_unique<analysis::AliasAnalysis>(*wb->prog_);
-  }
-  {
+  });
+  guarded(deg, diag, "callgraph", [&] {
     PassClock t(wb->pass_ms_, "callgraph");
     wb->cg_ = std::make_unique<graph::CallGraph>(*wb->prog_);
-  }
-  {
+  });
+  guarded(deg, diag, "regions", [&] {
     PassClock t(wb->pass_ms_, "regions");
     wb->regions_ = std::make_unique<graph::RegionTree>(*wb->prog_);
-  }
-  {
+  });
+  guarded(deg, diag, "modref", [&] {
     PassClock t(wb->pass_ms_, "modref");
     wb->modref_ =
         std::make_unique<analysis::ModRef>(*wb->prog_, *wb->alias_, *wb->cg_);
-  }
-  {
+  });
+  guarded(deg, diag, "symbolic", [&] {
     PassClock t(wb->pass_ms_, "symbolic");
     wb->symbolic_ = std::make_unique<analysis::Symbolic>(*wb->prog_, *wb->alias_,
                                                          *wb->modref_, *wb->cg_);
-  }
-  {
+  });
+  guarded(deg, diag, "array_dataflow", [&] {
     PassClock t(wb->pass_ms_, "array_dataflow");
     wb->df_ = std::make_unique<analysis::ArrayDataflow>(
         *wb->prog_, *wb->alias_, *wb->modref_, *wb->cg_, *wb->regions_,
         *wb->symbolic_);
-  }
+  });
+
+  // Liveness is optional precision, not correctness (plan_loop treats a null
+  // liveness as "everything live"): instead of a blind retry, fall down the
+  // ladder Full -> OneBit -> FlowInsensitive -> disabled. Every rung is
+  // conservative w.r.t. the one above (docs/robustness.md), so a degraded
+  // build can only lose parallel loops, never gain unsound ones.
   if (liveness_mode.has_value()) {
+    static const analysis::LivenessMode kLadder[] = {
+        analysis::LivenessMode::Full, analysis::LivenessMode::OneBit,
+        analysis::LivenessMode::FlowInsensitive};
+    size_t rung = 0;
+    while (kLadder[rung] != *liveness_mode) ++rung;
     PassClock t(wb->pass_ms_, "liveness");
-    wb->live_ = std::make_unique<analysis::ArrayLiveness>(
-        *wb->prog_, *wb->df_, *wb->cg_, *wb->regions_, *wb->alias_, *liveness_mode);
+    for (; rung < 3 && wb->live_ == nullptr; ++rung) {
+      try {
+        wb->live_ = std::make_unique<analysis::ArrayLiveness>(
+            *wb->prog_, *wb->df_, *wb->cg_, *wb->regions_, *wb->alias_,
+            kLadder[rung]);
+      } catch (const std::exception& ex) {
+        support::Metrics::global().count("degrade.liveness");
+        const char* next =
+            rung + 1 < 3 ? analysis::to_string(kLadder[rung + 1]) : "disabled";
+        std::string what = std::string("liveness: ") +
+                           analysis::to_string(kLadder[rung]) + " -> " + next +
+                           ": " + ex.what();
+        support::trace::TraceSpan dspan("degrade", what);
+        deg.push_back(what);
+        diag.warning({}, what);
+      }
+    }
+    // All three rungs failed: proceed without array liveness (the base
+    // compiler configuration) rather than dying.
   }
+
   wb->par_ = std::make_unique<parallelizer::Parallelizer>(
       *wb->df_, *wb->regions_, wb->live_.get(), enable_reductions);
   wb->driver_ = std::make_unique<parallelizer::Driver>(*wb->par_);
-  {
+  guarded(deg, diag, "issa", [&] {
     PassClock t(wb->pass_ms_, "issa");
     wb->issa_ = std::make_unique<ssa::Issa>(*wb->prog_, *wb->alias_, *wb->modref_);
-  }
+  });
   return wb;
 }
 

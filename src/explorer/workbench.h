@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/depend.h"
 #include "analysis/liveness.h"
@@ -64,6 +65,11 @@ class Workbench {
   /// The most expensive pass recorded above ("" before from_source).
   std::string dominant_pass() const;
 
+  /// Human-readable record of every degradation the build absorbed (pass
+  /// retries, liveness ladder falls). Empty on a clean build. Surfaced by
+  /// Guru::planning_profile(); see docs/robustness.md.
+  const std::vector<std::string>& degradations() const { return degradations_; }
+
  private:
   std::unique_ptr<ir::Program> prog_;
   std::unique_ptr<analysis::AliasAnalysis> alias_;
@@ -77,6 +83,7 @@ class Workbench {
   std::unique_ptr<parallelizer::Driver> driver_;
   std::unique_ptr<ssa::Issa> issa_;
   std::map<std::string, double> pass_ms_;
+  std::vector<std::string> degradations_;
 };
 
 }  // namespace suifx::explorer

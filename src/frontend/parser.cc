@@ -13,8 +13,8 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::vector<Token> toks, Diag& diag)
-      : toks_(std::move(toks)), diag_(diag) {}
+  Parser(std::vector<Token> toks, Diag& diag, const ParseOptions& opts)
+      : toks_(std::move(toks)), diag_(diag), opts_(opts) {}
 
   std::unique_ptr<ir::Program> run() {
     expect(Tok::KwProgram, "program header");
@@ -31,7 +31,7 @@ class Parser {
         parse_proc();
       } else {
         error("expected 'param', 'global', or 'proc'");
-        break;
+        sync_top();
       }
     }
     if (diag_.has_errors()) return nullptr;
@@ -55,8 +55,40 @@ class Parser {
   bool at(Tok k) const { return cur().kind == k; }
   Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
   void error(const std::string& msg) {
+    if (fatal_) return;  // past the cap: stay quiet while callers unwind
     diag_.error(cur().loc, msg + " (got " + to_string(cur().kind) + ")");
-    fatal_ = true;
+    if (++errors_ >= opts_.max_errors) {
+      fatal_ = true;
+      diag_.note(cur().loc, "too many syntax errors; further diagnostics suppressed");
+    }
+  }
+
+  // --- panic-mode recovery --------------------------------------------------
+  /// Skip to the next token that can begin a top-level construct.
+  void sync_top() {
+    while (!at(Tok::End) && !at(Tok::KwParam) && !at(Tok::KwGlobal) &&
+           !at(Tok::KwProc)) {
+      take();
+    }
+  }
+
+  /// Skip to a statement boundary: past the next ';', or up to a token that
+  /// can begin a statement or close the enclosing block. Callers' loops
+  /// guarantee progress (parse_stmt_list consumes a token when a statement
+  /// parse consumed nothing).
+  void sync_stmt() {
+    for (;;) {
+      if (at(Tok::End) || at(Tok::RBrace) || at(Tok::LBrace) || at(Tok::KwIf) ||
+          at(Tok::KwDo) || at(Tok::KwCall) || at(Tok::KwPrint) ||
+          at(Tok::KwElse) || at(Tok::KwProc)) {
+        return;
+      }
+      if (at(Tok::Semi)) {
+        take();
+        return;
+      }
+      take();
+    }
   }
   bool expect(Tok k, const std::string& what) {
     if (at(k)) {
@@ -153,11 +185,18 @@ class Parser {
     take();  // proc
     std::string n = expect_ident("procedure name");
     ir::Procedure* p = prog_->find_procedure(n);
+    if (p == nullptr) {
+      // The name was malformed, so the prescan registered nothing. Parse the
+      // body into a recovery procedure anyway: the program already has an
+      // error (run() returns null), but later statements still get checked.
+      p = prog_->new_procedure("$recovery" + std::to_string(pos_));
+    }
     expect(Tok::LParen, "'(' after procedure name");
     // Two passes over the formal list so adjustable array dims may reference
     // any other formal regardless of order (Fortran style): pass 1 registers
     // the formals (skipping bracketed dims), pass 2 re-parses the dims.
     size_t list_start = pos_;
+    int errors_before = errors_;
     if (!at(Tok::RParen)) {
       do {
         ir::ScalarType t = parse_type();
@@ -173,14 +212,20 @@ class Parser {
         }
       } while (accept(Tok::Comma));
     }
-    if (!fatal_) {
+    // Re-parse dims only if pass 1 was clean: a malformed list would both
+    // duplicate its diagnostics and misalign formal_ix against formals.
+    if (errors_ == errors_before) {
       pos_ = list_start;
       size_t formal_ix = 0;
       if (!at(Tok::RParen)) {
         do {
           parse_type();
           expect_ident("formal name");
-          p->formals[formal_ix++]->dims = parse_dims(p);
+          if (formal_ix < p->formals.size()) {
+            p->formals[formal_ix++]->dims = parse_dims(p);
+          } else {
+            parse_dims(p);
+          }
         } while (accept(Tok::Comma));
       }
     }
@@ -239,7 +284,12 @@ class Parser {
   std::vector<ir::Stmt*> parse_stmt_list(ir::Procedure* p) {
     std::vector<ir::Stmt*> out;
     while (!at(Tok::RBrace) && !at(Tok::End) && !fatal_) {
+      size_t before = pos_;
       if (ir::Stmt* s = parse_stmt(p)) out.push_back(s);
+      // Progress guarantee: a statement parse that consumed nothing (a
+      // malformed token recovery couldn't resynchronize past) must not stall
+      // the list forever.
+      if (pos_ == before) take();
     }
     return out;
   }
@@ -267,11 +317,15 @@ class Parser {
     const ir::Expr* lhs = parse_primary(p);
     if (lhs == nullptr || !lhs->is_lvalue()) {
       error("expected a statement");
+      sync_stmt();
       return nullptr;
     }
-    expect(Tok::Assign, "'=' in assignment");
+    if (!expect(Tok::Assign, "'=' in assignment")) {
+      sync_stmt();
+      return nullptr;
+    }
     const ir::Expr* rhs = parse_expr(p);
-    expect(Tok::Semi, "';' after assignment");
+    if (!expect(Tok::Semi, "';' after assignment")) sync_stmt();
     return prog_->assign(lhs, rhs, loc);
   }
 
@@ -319,6 +373,7 @@ class Parser {
     ir::Procedure* callee = prog_->find_procedure(cn);
     if (callee == nullptr) {
       error("unknown procedure '" + cn + "'");
+      sync_stmt();  // skip the argument list: one diagnostic, not a cascade
       return nullptr;
     }
     expect(Tok::LParen, "'(' after callee");
@@ -481,17 +536,26 @@ class Parser {
 
   std::vector<Token> toks_;
   Diag& diag_;
+  ParseOptions opts_;
   size_t pos_ = 0;
   std::unique_ptr<ir::Program> prog_;
-  bool fatal_ = false;
+  int errors_ = 0;
+  bool fatal_ = false;  // error cap reached: unwind without more diagnostics
 };
 
 }  // namespace
 
 std::unique_ptr<ir::Program> parse_program(std::string_view src, Diag& diag) {
+  return parse_program(src, diag, ParseOptions{});
+}
+
+std::unique_ptr<ir::Program> parse_program(std::string_view src, Diag& diag,
+                                           const ParseOptions& opts) {
   std::vector<Token> toks = lex(src, diag);
   if (diag.has_errors()) return nullptr;
-  return Parser(std::move(toks), diag).run();
+  ParseOptions clamped = opts;
+  if (clamped.max_errors < 1) clamped.max_errors = 1;
+  return Parser(std::move(toks), diag, clamped).run();
 }
 
 }  // namespace suifx::frontend

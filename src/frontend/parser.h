@@ -28,8 +28,18 @@
 
 namespace suifx::frontend {
 
+struct ParseOptions {
+  /// Panic-mode recovery reports up to this many syntax errors before giving
+  /// up (one note marks the suppression point). Must be >= 1.
+  int max_errors = 25;
+};
+
 /// Parse, finalize, and verify an SF program. Returns null on error (details
-/// in `diag`).
+/// in `diag`). Malformed or truncated input never crashes the parser: it
+/// resynchronizes at statement/declaration boundaries and keeps going, so one
+/// bad statement yields one diagnostic, not a cascade or a wedged parse.
 std::unique_ptr<ir::Program> parse_program(std::string_view src, Diag& diag);
+std::unique_ptr<ir::Program> parse_program(std::string_view src, Diag& diag,
+                                           const ParseOptions& opts);
 
 }  // namespace suifx::frontend

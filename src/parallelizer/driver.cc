@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -109,6 +110,13 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
     }
   }
 
+  // One budget shared by every planning task: the step counter is a single
+  // atomic, so the limit bounds the whole plan() call, not each task.
+  support::Budget budget(opts_.budget.unlimited()
+                             ? support::Budget::limits_from_env()
+                             : opts_.budget,
+                         opts_.cancel);
+
   // Fan the stale units out onto the pool. Every analysis consulted by
   // plan_loop is immutable after construction, so units are independent.
   std::vector<std::future<void>> pending;
@@ -116,7 +124,10 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
   support::Histogram& task_hist = metrics.histogram("driver.task");
   for (Unit& unit : units) {
     unit.plans.resize(unit.loops.size());
-    pending.push_back(pool_->submit([this, &unit, &asserts, &task_hist] {
+    pending.push_back(pool_->submit([this, &unit, &asserts, &task_hist,
+                                     &budget] {
+      support::Budget::Scope bs(&budget);
+      SUIFX_FAULT_POINT("driver.task");
       // The span's tid attributes this procedure's planning to the pool
       // worker that ran it — the bench's utilization table reads these.
       support::trace::TraceSpan span("driver/task", unit.proc->name);
@@ -127,26 +138,46 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
       }
     }));
   }
-  // Wait for every task before (re)throwing so no task can outlive `units`.
-  std::exception_ptr error;
-  for (std::future<void>& f : pending) {
+  // Wait for every task; a failed unit degrades alone while its siblings
+  // complete at full precision. The degraded retry runs inline with faults
+  // suppressed and no budget installed, so it cannot fail again.
+  uint64_t degraded_loops = 0;
+  for (size_t u = 0; u < pending.size(); ++u) {
+    std::string why;
     try {
-      f.get();
+      pending[u].get();
+      continue;
+    } catch (const std::exception& ex) {
+      why = ex.what();
     } catch (...) {
-      if (error == nullptr) error = std::current_exception();
+      why = "unknown error";
     }
+    Unit& unit = units[u];
+    support::fault::SuppressScope no_faults;
+    support::Budget::Scope no_budget(nullptr);
+    support::trace::TraceSpan span("degrade",
+                                   "driver: " + unit.proc->name + ": " + why);
+    for (size_t i = 0; i < unit.loops.size(); ++i) {
+      unit.plans[i] = Parallelizer::conservative_plan(unit.loops[i], why);
+    }
+    degraded_loops += unit.loops.size();
+    metrics.count("degrade.driver");
   }
-  if (error != nullptr) std::rethrow_exception(error);
+  if (degraded_loops != 0) {
+    degraded_ += degraded_loops;
+    metrics.count("degrade.driver.loops", degraded_loops);
+  }
 
   // Merge is a std::map keyed by statement: identical contents regardless of
-  // worker count or completion order.
+  // worker count or completion order. Degraded plans are never cached — the
+  // next plan() call retries those loops at full precision.
   uint64_t misses = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (Unit& unit : units) {
       for (size_t i = 0; i < unit.loops.size(); ++i) {
         ++misses;
-        if (opts_.memoize) {
+        if (opts_.memoize && !unit.plans[i].degraded) {
           cache_[unit.loops[i]] = {unit.fingerprints[i], unit.plans[i]};
         }
         out.loops[unit.loops[i]] = std::move(unit.plans[i]);
@@ -168,7 +199,7 @@ std::string plan_signature(const ParallelPlan& plan) {
     std::ostringstream os;
     os << loop->id << " " << loop->loop_name() << " par=" << lp.parallelizable
        << " reason='" << lp.reason << "' live=" << lp.used_liveness
-       << " assert=" << lp.used_assertion
+       << " assert=" << lp.used_assertion << " deg=" << lp.degraded
        << " deps=" << lp.verdict.num_dependences << " io=" << lp.verdict.has_io;
     std::vector<std::pair<int, std::string>> vars;
     for (const auto& [v, vv] : lp.verdict.vars) {

@@ -15,6 +15,12 @@
 //    re-analyzes only the invalidated loop nests; every other loop is a
 //    cache hit. Metrics: driver.cache_hit / driver.cache_miss /
 //    driver.plan counters and the driver.plan timer.
+//  - Failures are isolated per unit (docs/robustness.md): a per-procedure
+//    task that throws — injected fault, exhausted budget, or a genuine
+//    analysis error — degrades only its own loops to conservative
+//    assume-dependence plans while every sibling task completes at full
+//    precision. Degraded plans are never memoized, so the next plan() call
+//    retries them at full precision.
 #pragma once
 
 #include <atomic>
@@ -24,6 +30,7 @@
 
 #include "parallelizer/parallelizer.h"
 #include "runtime/parloop.h"
+#include "support/budget.h"
 
 namespace suifx::parallelizer {
 
@@ -34,6 +41,11 @@ class Driver {
     int workers = 0;
     /// Keep per-loop plans across plan() calls (the Guru re-run cache).
     bool memoize = true;
+    /// Per-plan() step/deadline budget shared by all planning tasks.
+    /// Unlimited = take SUIFX_BUDGET_STEPS / SUIFX_DEADLINE_MS from the env.
+    support::Budget::Limits budget;
+    /// Optional external cancellation, observed at budget charges.
+    support::CancelToken* cancel = nullptr;
   };
 
   explicit Driver(const Parallelizer& par) : Driver(par, Options()) {}
@@ -49,6 +61,9 @@ class Driver {
   int workers() const { return pool_->size(); }
   uint64_t cache_hits() const { return hits_; }
   uint64_t cache_misses() const { return misses_; }
+  /// Loops planned at the degraded tier (cumulative across plan() calls) —
+  /// surfaced by Guru::planning_profile().
+  uint64_t degraded_loops() const { return degraded_; }
   size_t cache_size() const;
   /// Drop every memoized plan (e.g. if the program were rebuilt).
   void invalidate();
@@ -70,6 +85,7 @@ class Driver {
   std::map<const ir::Stmt*, CacheEntry> cache_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> degraded_{0};
 };
 
 /// Canonical textual rendering of a plan in program (statement-id) order:

@@ -8,6 +8,16 @@ int ParallelPlan::num_parallel() const {
   return n;
 }
 
+LoopPlan Parallelizer::conservative_plan(const ir::Stmt* loop,
+                                         const std::string& why) {
+  LoopPlan out;
+  out.loop = loop;
+  out.parallelizable = false;
+  out.degraded = true;
+  out.reason = "analysis degraded (" + why + "): dependence assumed";
+  return out;
+}
+
 LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts) const {
   LoopPlan out;
   out.loop = loop;

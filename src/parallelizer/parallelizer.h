@@ -55,6 +55,11 @@ struct LoopPlan {
   std::vector<ReductionVar> reductions;
   bool used_liveness = false;   // liveness enabled a privatization
   bool used_assertion = false;  // user input was required
+  /// Analysis could not complete (budget exhausted / injected fault) and
+  /// this is the conservative assume-dependence plan: never parallel, so a
+  /// degraded plan cannot mark a loop the full-precision plan rejects. See
+  /// docs/robustness.md.
+  bool degraded = false;
 };
 
 struct ParallelPlan {
@@ -86,6 +91,12 @@ class Parallelizer {
 
   /// Plan a single loop.
   LoopPlan plan_loop(const ir::Stmt* loop, const Assertions& asserts = {}) const;
+
+  /// The degraded tier of the dependence test: the plan used when analysis
+  /// cannot complete. Assumes a carried dependence — not parallel, no
+  /// transforms, assertions ignored (honoring force_parallel here could
+  /// admit a loop the full-precision plan rejects, e.g. one with I/O).
+  static LoopPlan conservative_plan(const ir::Stmt* loop, const std::string& why);
 
  private:
   const analysis::ArrayDataflow& df_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -52,13 +53,27 @@ ThreadPool::ThreadPool(int nthreads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // A task enqueued between the last worker's exit check and shutdown_
+  // becoming visible would otherwise hang its future forever. After the
+  // join no worker can race us, so drain inline; packaged_task stores any
+  // exception in the future, so throwing tasks cannot abort the drain.
+  std::deque<std::packaged_task<void()>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(tasks_);
+  }
+  for (std::packaged_task<void()>& task : leftovers) task();
 }
 
 void ThreadPool::worker_main(int id) {
@@ -99,7 +114,14 @@ void ThreadPool::worker_main(int id) {
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
   support::trace::TraceSpan span("pool/epoch");
-  if (workers_.empty()) {
+  bool inline_only = workers_.empty();
+  if (!inline_only) {
+    // After shutdown the workers are gone; an epoch would wait on
+    // remaining_ forever. Run on the calling thread instead.
+    std::lock_guard<std::mutex> lock(mu_);
+    inline_only = shutdown_;
+  }
+  if (inline_only) {
     fn(0);
     return;
   }
@@ -128,7 +150,14 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
+  // The wrapper makes "this task was dispatched by the pool" an injection
+  // point; the fault lands in the packaged_task, hence in the future, where
+  // the submitter's failure isolation (e.g. the Driver's degraded retry)
+  // handles it like any task failure.
+  std::packaged_task<void()> pt([task = std::move(task)] {
+    SUIFX_FAULT_POINT("pool.task");
+    task();
+  });
   std::future<void> fut = pt.get_future();
   if (workers_.empty()) {
     pt();
@@ -136,6 +165,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      std::promise<void> broken;
+      broken.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool::submit after shutdown")));
+      return broken.get_future();
+    }
     tasks_.push_back(std::move(pt));
   }
   cv_.notify_one();
@@ -169,6 +204,15 @@ void ParallelRuntime::parallel_chunks(
       char det[16];
       std::snprintf(det, sizeof det, "p%d", proc);
       span.set_detail(det);
+    }
+    try {
+      SUIFX_FAULT_POINT("parloop.chunk");
+    } catch (const support::fault::InjectedFault&) {
+      // Absorbed at the dispatch boundary, before any loop-body side effect:
+      // the chunk still runs exactly once below (a retry after partial
+      // execution would be unsound for reductions), but the event counts as
+      // a degradation.
+      support::Metrics::global().count("degrade.parloop");
     }
     auto t0 = std::chrono::steady_clock::now();
     fn(proc, chunks[static_cast<size_t>(proc)]);

@@ -51,8 +51,18 @@ class ThreadPool {
 
   /// Enqueue one independent task; the returned future reports completion
   /// and carries any exception the task threw. With no workers (size() == 1)
-  /// the task runs inline. Tasks may interleave with `run` epochs.
+  /// the task runs inline. Tasks may interleave with `run` epochs. After
+  /// shutdown() the returned future carries a std::runtime_error instead of
+  /// silently never completing.
   std::future<void> submit(std::function<void()> task);
+
+  /// Stop and join the workers. Idempotent; the destructor calls it. Tasks
+  /// already queued still complete: workers drain the queue before exiting,
+  /// and anything left after the join (a task enqueued in the shutdown race
+  /// window) runs inline here — no returned future is ever abandoned, even
+  /// when draining tasks throw. After shutdown, run() executes inline on the
+  /// calling thread.
+  void shutdown();
 
  private:
   void worker_main(int id);
@@ -65,6 +75,7 @@ class ThreadPool {
   uint64_t epoch_ = 0;
   int remaining_ = 0;
   bool stop_ = false;
+  bool shutdown_ = false;  // submit() rejects; run() goes inline
   std::exception_ptr epoch_error_;
   std::deque<std::packaged_task<void()>> tasks_;
 };

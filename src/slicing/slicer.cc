@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <optional>
 
+#include "support/budget.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -147,6 +150,8 @@ struct Slicer::DirectEngine {
 
   void visit_def(const SsaDef* d) {
     if (d == nullptr) return;
+    support::Budget::charge_current();  // one step per visited definition
+    SUIFX_FAULT_POINT("slicer.step");
     if (!visited.insert({d, ctx}).second) return;
     if (d->stmt != nullptr && !inside_region(d->stmt)) {
       out.terminals.insert(d->stmt);
@@ -235,6 +240,43 @@ struct Slicer::DirectEngine {
   }
 };
 
+namespace {
+
+/// The degraded slicer answer: every statement of the program, flagged. An
+/// over-approximation never hides a dependence source from the user — the
+/// conservative direction for a slice — at the cost of all pruning (§3.6
+/// terminals are dropped; an over-approximate slice has no boundary).
+SliceResult conservative_slice(ssa::Issa& issa, const ir::Stmt* seed,
+                               const char* why) {
+  SliceResult out;
+  out.degraded = true;
+  for (const ir::Procedure& p : issa.program().procedures()) {
+    p.for_each([&](const ir::Stmt* s) { out.stmts.insert(s); });
+  }
+  if (seed != nullptr) out.stmts.insert(seed);
+  support::Metrics::global().count("degrade.slicer");
+  support::trace::TraceSpan span("degrade", std::string("slicer: ") + why);
+  return out;
+}
+
+/// Installs a per-query budget from the env knobs when the caller has not
+/// installed one (the Driver's tasks install their own shared budget).
+class QueryBudget {
+ public:
+  QueryBudget() {
+    if (support::Budget::current() == nullptr) {
+      local_.emplace(support::Budget::limits_from_env());
+      scope_.emplace(&*local_);
+    }
+  }
+
+ private:
+  std::optional<support::Budget> local_;
+  std::optional<support::Budget::Scope> scope_;
+};
+
+}  // namespace
+
 SliceResult Slicer::slice(const ir::Stmt* s, const ir::Expr* ref,
                           const SliceOptions& opts) const {
   support::Metrics& metrics = support::Metrics::global();
@@ -243,28 +285,39 @@ SliceResult Slicer::slice(const ir::Stmt* s, const ir::Expr* ref,
                                       &metrics.histogram("slicer.slice"));
   support::trace::TraceSpan span("slicer/query");
   if (span.active() && s->proc != nullptr) span.set_detail(s->proc->name);
-  DirectEngine e(issa_, opts);
-  e.add_stmt(s);
-  const SsaFunc& f = issa_.func(s->proc);
-  if (opts.array_restrict && ref->is_array_ref()) {
-    // Still follow the subscripts; prune the content chain.
-    for (const ir::Expr* ix : ref->idx) e.visit_expr_uses(s, ix);
-    if (SsaDef* d = f.use_def(s, ref)) e.mark_array_terminal(d);
-  } else {
-    if (SsaDef* d = f.use_def(s, ref)) e.visit_def(d);
-    for (const ir::Expr* ix : ref->idx) e.visit_expr_uses(s, ix);
+  QueryBudget budget;
+  try {
+    SUIFX_FAULT_POINT("slicer.query");
+    DirectEngine e(issa_, opts);
+    e.add_stmt(s);
+    const SsaFunc& f = issa_.func(s->proc);
+    if (opts.array_restrict && ref->is_array_ref()) {
+      // Still follow the subscripts; prune the content chain.
+      for (const ir::Expr* ix : ref->idx) e.visit_expr_uses(s, ix);
+      if (SsaDef* d = f.use_def(s, ref)) e.mark_array_terminal(d);
+    } else {
+      if (SsaDef* d = f.use_def(s, ref)) e.visit_def(d);
+      for (const ir::Expr* ix : ref->idx) e.visit_expr_uses(s, ix);
+    }
+    if (opts.kind != SliceKind::Data) e.visit_control(s);
+    return std::move(e.out);
+  } catch (const std::exception& ex) {
+    return conservative_slice(issa_, s, ex.what());
   }
-  if (opts.kind != SliceKind::Data) e.visit_control(s);
-  return std::move(e.out);
 }
 
 SliceResult Slicer::control_slice(const ir::Stmt* s, const SliceOptions& opts) const {
   SliceOptions o = opts;
   o.kind = SliceKind::Program;
-  DirectEngine e(issa_, o);
-  e.add_stmt(s);
-  e.visit_control(s);
-  return std::move(e.out);
+  QueryBudget budget;
+  try {
+    DirectEngine e(issa_, o);
+    e.add_stmt(s);
+    e.visit_control(s);
+    return std::move(e.out);
+  } catch (const std::exception& ex) {
+    return conservative_slice(issa_, s, ex.what());
+  }
 }
 
 SliceResult Slicer::dependence_slice(const ir::Stmt* loop, const ir::Variable* var,
@@ -285,12 +338,14 @@ SliceResult Slicer::dependence_slice(const ir::Stmt* loop, const ir::Variable* v
             SliceResult sub = slice(s, n, opts);
             combined.stmts.insert(sub.stmts.begin(), sub.stmts.end());
             combined.terminals.insert(sub.terminals.begin(), sub.terminals.end());
+            combined.degraded = combined.degraded || sub.degraded;
           }
         });
       }
       SliceResult ctl = control_slice(s, opts);
       combined.stmts.insert(ctl.stmts.begin(), ctl.stmts.end());
       combined.terminals.insert(ctl.terminals.begin(), ctl.terminals.end());
+      combined.degraded = combined.degraded || ctl.degraded;
       combined.stmts.insert(s);
     }
   });
@@ -368,6 +423,8 @@ struct Slicer::SummaryEngine {
   }
 
   Node* def_node(const SsaDef* d) {
+    support::Budget::charge_current();  // one step per summarized definition
+    SUIFX_FAULT_POINT("slicer.step");
     auto key = std::make_pair(d, static_cast<int>(kind));
     auto it = def_nodes.find(key);
     if (it != def_nodes.end()) return it->second;
@@ -536,41 +593,50 @@ SliceResult Slicer::slice_summarized(const ir::Stmt* s, const ir::Expr* ref,
                                       &metrics.histogram("slicer.slice_summarized"));
   support::trace::TraceSpan span("slicer/query_summarized");
   if (span.active() && s->proc != nullptr) span.set_detail(s->proc->name);
-  SummaryEngine& eng = engine(kind);
-  SliceResult out;
-  out.stmts.insert(s);
-  const SsaFunc& f = issa_.func(s->proc);
+  QueryBudget budget;
+  try {
+    SUIFX_FAULT_POINT("slicer.query");
+    SummaryEngine& eng = engine(kind);
+    SliceResult out;
+    out.stmts.insert(s);
+    const SsaFunc& f = issa_.func(s->proc);
 
-  SummaryEngine::Node* root = eng.fresh();
-  if (SsaDef* d = f.use_def(s, ref)) root->children.push_back(eng.def_node(d));
-  for (const ir::Expr* ix : ref->idx) {
-    ir::for_each_expr(ix, [&](const ir::Expr* e) {
-      if (!e->is_var_ref() && !e->is_array_ref()) return;
-      if (SsaDef* d = f.use_def(s, e)) root->children.push_back(eng.def_node(d));
-    });
-  }
-  if (kind == SliceKind::Program) root->children.push_back(eng.control_node(s));
+    SummaryEngine::Node* root = eng.fresh();
+    if (SsaDef* d = f.use_def(s, ref)) root->children.push_back(eng.def_node(d));
+    for (const ir::Expr* ix : ref->idx) {
+      ir::for_each_expr(ix, [&](const ir::Expr* e) {
+        if (!e->is_var_ref() && !e->is_array_ref()) return;
+        if (SsaDef* d = f.use_def(s, e)) root->children.push_back(eng.def_node(d));
+      });
+    }
+    if (kind == SliceKind::Program) root->children.push_back(eng.control_node(s));
 
-  // Expand the still-exposed channels through every call site of the
-  // procedure whose boundary exposes them (unconstrained context: the union
-  // of EQ 1 over Cr), until no channel remains expandable.
-  std::set<std::pair<SummaryEngine::Channel, const ir::Stmt*>> expanded;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const SummaryEngine::Channel& ch : eng.exposed_channels(root)) {
-      for (const ir::Procedure& p : issa_.program().procedures()) {
-        p.for_each([&](const ir::Stmt* c) {
-          if (c->kind != ir::StmtKind::Call || c->callee != ch.first) return;
-          if (!expanded.insert({ch, c}).second) return;
-          root->children.push_back(eng.actual_node(c, ch.second));
-          changed = true;
-        });
+    // Expand the still-exposed channels through every call site of the
+    // procedure whose boundary exposes them (unconstrained context: the union
+    // of EQ 1 over Cr), until no channel remains expandable.
+    std::set<std::pair<SummaryEngine::Channel, const ir::Stmt*>> expanded;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const SummaryEngine::Channel& ch : eng.exposed_channels(root)) {
+        for (const ir::Procedure& p : issa_.program().procedures()) {
+          p.for_each([&](const ir::Stmt* c) {
+            if (c->kind != ir::StmtKind::Call || c->callee != ch.first) return;
+            if (!expanded.insert({ch, c}).second) return;
+            root->children.push_back(eng.actual_node(c, ch.second));
+            changed = true;
+          });
+        }
       }
     }
+    eng.flatten(root, &out);
+    return out;
+  } catch (const std::exception& ex) {
+    // An aborted build leaves half-constructed memoized nodes behind; drop
+    // the whole engine so later queries rebuild from scratch.
+    engines_[static_cast<size_t>(kind)].reset();
+    return conservative_slice(issa_, s, ex.what());
   }
-  eng.flatten(root, &out);
-  return out;
 }
 
 }  // namespace suifx::slicing

@@ -49,6 +49,11 @@ struct SliceResult {
   /// Pruned boundary statements ("highlighted so the programmer does not
   /// assume anything about their contents", §3.6).
   std::set<const ir::Stmt*> terminals;
+  /// The walk could not complete (budget exhausted / injected fault) and the
+  /// result is the conservative over-approximation: every program statement.
+  /// No dependence source is hidden, but nothing is pruned either — see
+  /// docs/robustness.md.
+  bool degraded = false;
 
   int size() const { return static_cast<int>(stmts.size()); }
   /// Statements of the slice lexically inside `loop` (the thesis's "loop"

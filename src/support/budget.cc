@@ -1,0 +1,83 @@
+#include "support/budget.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::support {
+
+namespace {
+thread_local Budget* tl_budget = nullptr;
+}  // namespace
+
+const char* to_string(BudgetExceeded::Kind k) {
+  switch (k) {
+    case BudgetExceeded::Kind::Steps: return "steps";
+    case BudgetExceeded::Kind::Deadline: return "deadline";
+    case BudgetExceeded::Kind::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+void Budget::charge(uint64_t n) {
+  uint64_t s = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  // All three conditions are monotone (steps only grow, clocks only advance,
+  // cancellation is sticky), so once tripped every later charge re-throws —
+  // the remaining work keeps unwinding to its degraded tier.
+  if (cancel_ != nullptr && cancel_->cancel_requested()) {
+    trip(BudgetExceeded::Kind::Cancelled, s);
+  }
+  if (limits_.max_steps != 0 && s > limits_.max_steps) {
+    trip(BudgetExceeded::Kind::Steps, s);
+  }
+  if (deadline_.expired()) {
+    trip(BudgetExceeded::Kind::Deadline, s);
+  }
+}
+
+bool Budget::exhausted() const {
+  uint64_t s = steps_.load(std::memory_order_relaxed);
+  return (cancel_ != nullptr && cancel_->cancel_requested()) ||
+         (limits_.max_steps != 0 && s > limits_.max_steps) ||
+         deadline_.expired();
+}
+
+void Budget::trip(BudgetExceeded::Kind k, uint64_t steps_now) {
+  if (!tripped_.exchange(true, std::memory_order_relaxed)) {
+    Metrics::global().count("budget.exceeded");
+    trace::TraceSpan span("budget/exceeded", to_string(k));
+  }
+  std::ostringstream os;
+  os << "analysis budget exceeded (" << to_string(k) << "): " << steps_now
+     << " steps";
+  if (limits_.max_steps != 0) os << " of " << limits_.max_steps;
+  if (limits_.deadline_ms > 0) os << ", deadline " << limits_.deadline_ms << " ms";
+  throw BudgetExceeded(k, os.str());
+}
+
+Budget::Scope::Scope(Budget* b) : prev_(tl_budget) { tl_budget = b; }
+Budget::Scope::~Scope() { tl_budget = prev_; }
+
+Budget* Budget::current() { return tl_budget; }
+
+void Budget::charge_current(uint64_t n) {
+  if (tl_budget != nullptr) tl_budget->charge(n);
+}
+
+Budget::Limits Budget::limits_from_env() {
+  static const Limits cached = [] {
+    Limits l;
+    if (const char* s = std::getenv("SUIFX_BUDGET_STEPS")) {
+      l.max_steps = std::strtoull(s, nullptr, 10);
+    }
+    if (const char* s = std::getenv("SUIFX_DEADLINE_MS")) {
+      l.deadline_ms = std::strtod(s, nullptr);
+    }
+    return l;
+  }();
+  return cached;
+}
+
+}  // namespace suifx::support

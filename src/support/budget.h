@@ -1,0 +1,138 @@
+// Cooperative analysis budgets (the robustness substrate, see
+// docs/robustness.md). A Budget bundles a step allowance, a wall-clock
+// deadline, and an optional CancelToken; long-running passes call
+// Budget::charge_current() at their interval boundaries (per statement, per
+// procedure, per dependence probe, per slicer step) and a BudgetExceeded is
+// thrown the moment any limit trips. Callers that own a degraded tier —
+// the Workbench liveness ladder, the Driver's conservative plans, the
+// Slicer's over-approximate slice — catch it and fall back instead of dying.
+//
+// Installation is thread-local (Budget::Scope), so the parallel Driver can
+// share ONE budget across all of its pool tasks: the step counter is a
+// single atomic the tasks bump together, and the deadline clock started when
+// the budget was constructed. With no scope installed, charge_current() is a
+// no-op — serial baselines and tests that want exact behavior pay nothing.
+//
+// Env knobs (read once, see limits_from_env): SUIFX_BUDGET_STEPS caps
+// charged steps, SUIFX_DEADLINE_MS bounds wall time per budget.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace suifx::support {
+
+/// External cancellation: the owner requests, budgeted work observes the
+/// request at its next charge() and unwinds with BudgetExceeded::Cancelled.
+class CancelToken {
+ public:
+  void request_cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by Budget::charge() when a limit trips. Carries which limit.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  enum class Kind : uint8_t { Steps, Deadline, Cancelled };
+
+  BudgetExceeded(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+const char* to_string(BudgetExceeded::Kind k);
+
+/// Absolute wall-clock deadline on the steady clock. Default-constructed:
+/// never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline in_ms(double ms) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool armed_ = false;
+};
+
+class Budget {
+ public:
+  struct Limits {
+    uint64_t max_steps = 0;  // 0 = unlimited
+    double deadline_ms = 0;  // <= 0 = no deadline (measured from construction)
+    bool unlimited() const { return max_steps == 0 && deadline_ms <= 0; }
+  };
+
+  /// Unlimited budget (never trips unless a cancel token fires).
+  Budget() = default;
+  explicit Budget(const Limits& limits, CancelToken* cancel = nullptr)
+      : limits_(limits), cancel_(cancel) {
+    if (limits.deadline_ms > 0) deadline_ = Deadline::in_ms(limits.deadline_ms);
+  }
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Account `n` steps; throws BudgetExceeded once a limit trips. Safe to
+  /// call concurrently (the Driver's tasks share one budget).
+  void charge(uint64_t n = 1);
+  /// Non-throwing probe of the same conditions.
+  bool exhausted() const;
+
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  const Limits& limits() const { return limits_; }
+
+  /// Install `b` (may be null = uninstall) as this thread's budget for the
+  /// scope's lifetime; nests, restoring the previous installation on exit.
+  class Scope {
+   public:
+    explicit Scope(Budget* b);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Budget* prev_;
+  };
+
+  /// The budget installed on this thread (null when none).
+  static Budget* current();
+  /// charge() on the installed budget; no-op when none is installed.
+  static void charge_current(uint64_t n = 1);
+
+  /// Limits from SUIFX_BUDGET_STEPS / SUIFX_DEADLINE_MS, parsed once per
+  /// process. Unlimited when neither is set.
+  static Limits limits_from_env();
+
+ private:
+  [[noreturn]] void trip(BudgetExceeded::Kind k, uint64_t steps_now);
+
+  Limits limits_;
+  CancelToken* cancel_ = nullptr;
+  Deadline deadline_;
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<bool> tripped_{false};  // first-trip metric/trace, once
+};
+
+}  // namespace suifx::support

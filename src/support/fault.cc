@@ -1,0 +1,186 @@
+#include "support/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::support::fault {
+
+namespace {
+
+thread_local int tl_suppress_depth = 0;
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool matches(const std::string& pattern, const char* point) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*') {
+    return std::strncmp(point, pattern.c_str(), pattern.size() - 1) == 0;
+  }
+  return pattern == point;
+}
+
+std::string trim(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+SuppressScope::SuppressScope() { ++tl_suppress_depth; }
+SuppressScope::~SuppressScope() { --tl_suppress_depth; }
+
+bool suppressed() { return tl_suppress_depth > 0; }
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+bool Registry::register_point(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.insert(name);
+  return true;
+}
+
+bool Registry::configure(const std::string& spec) {
+  // A malformed spec arms NOTHING: any previously armed rules are dropped
+  // too, so a bad reconfigure cannot silently keep firing the old spec.
+  auto reject = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.clear();
+    hits_.clear();
+    fired_.store(0, std::memory_order_relaxed);
+    configured_ = true;
+    armed_.store(false, std::memory_order_release);
+    return false;
+  };
+  std::vector<Rule> rules;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t semi = spec.find(';', start);
+    std::string entry = trim(
+        spec.substr(start, semi == std::string::npos ? semi : semi - start));
+    start = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    Rule r;
+    size_t at = entry.find('@');
+    r.pattern = trim(entry.substr(0, at));
+    if (r.pattern.empty()) return reject();
+    if (at != std::string::npos) {
+      std::string trig = trim(entry.substr(at + 1));
+      if (trig.rfind("p=", 0) == 0) {
+        r.probabilistic = true;
+        // "p=<float>[,seed=<int>]"
+        char* end = nullptr;
+        r.p = std::strtod(trig.c_str() + 2, &end);
+        if (end == trig.c_str() + 2 || (*end != '\0' && *end != ',') ||
+            r.p < 0 || r.p > 1) {
+          return reject();
+        }
+        size_t comma = trig.find(',');
+        if (comma != std::string::npos) {
+          std::string seed = trim(trig.substr(comma + 1));
+          if (seed.rfind("seed=", 0) != 0) return reject();
+          char* send = nullptr;
+          r.seed = std::strtoull(seed.c_str() + 5, &send, 10);
+          if (send == seed.c_str() + 5 || *send != '\0') return reject();
+        }
+      } else {
+        char* end = nullptr;
+        r.nth = std::strtoull(trig.c_str(), &end, 10);
+        if (r.nth == 0 || end == trig.c_str() || *end != '\0') return reject();
+      }
+    }
+    rules.push_back(std::move(r));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(rules);
+  hits_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+  configured_ = true;
+  armed_.store(!rules_.empty(), std::memory_order_release);
+  return true;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  rules_.clear();
+  hits_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+  configured_ = true;
+}
+
+void Registry::hit(const char* point) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    points_.insert(point);  // hitting a point implies it exists
+    uint64_t n = ++hits_[point];
+    for (Rule& r : rules_) {
+      if (!matches(r.pattern, point)) continue;
+      if (r.probabilistic) {
+        uint64_t h = splitmix64(r.seed ^ fnv1a(point) ^
+                                (n * 0x9e3779b97f4a7c15ULL));
+        // Top 53 bits → uniform double in [0, 1).
+        double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+        fire = u < r.p;
+      } else if (!r.fired && n == r.nth) {
+        r.fired = true;
+        fire = true;
+      }
+      if (fire) break;
+    }
+    if (fire) fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fire) {
+    Metrics::global().count("fault.injected");
+    Metrics::global().count(std::string("fault.injected.") + point);
+    trace::TraceSpan span("fault/injected", point);
+    throw InjectedFault(point);
+  }
+}
+
+std::vector<std::string> Registry::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {points_.begin(), points_.end()};
+}
+
+void Registry::init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [this] {
+    const char* s = std::getenv("SUIFX_FAULT");
+    if (s == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (configured_) return;  // a programmatic spec beat us to it
+    }
+    if (!configure(s)) {
+      std::fprintf(stderr, "suifx: malformed SUIFX_FAULT spec '%s' (ignored)\n",
+                   s);
+    }
+  });
+}
+
+}  // namespace suifx::support::fault

@@ -1,0 +1,123 @@
+// Deterministic fault injection (see docs/robustness.md). Call sites drop a
+// SUIFX_FAULT_POINT("name") at the places the pipeline must survive losing —
+// pass entries, driver/pool task dispatch, slicer steps, parloop chunks. The
+// macro registers the point name once per call site (so sweeps can enumerate
+// every point) and throws InjectedFault there when the armed spec selects
+// the hit. Disarmed cost is one atomic load.
+//
+// Spec grammar (SUIFX_FAULT env var or Registry::configure), entries
+// separated by ';':
+//   point            fire at the 1st hit of `point`, once
+//   point@N          fire at the Nth hit, once
+//   point@p=F,seed=S fire each hit with probability F, decided by a seeded
+//                    hash of (seed, point, hit#) — bit-for-bit reproducible
+//   prefix*  /  *    wildcards match by prefix / match every point
+//
+// Hit counters are per point name and reset on configure(), so counting
+// triggers are deterministic wherever the pipeline's hit order is (the
+// seeded-probability mode is deterministic even under concurrent hit
+// interleaving, since it keys on the per-point hit index).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace suifx::support::fault {
+
+/// The injected failure. Carries the point that fired.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& point)
+      : std::runtime_error("injected fault at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every SUIFX_FAULT_POINT reports to.
+  static Registry& global();
+
+  /// Record a point name (idempotent). Returns true so the registration
+  /// macro can bind it to a function-local static.
+  bool register_point(const char* name);
+
+  /// Parse and arm a spec (replacing any previous one); resets hit and fire
+  /// counts. Empty spec disarms. Returns false — arming nothing — when the
+  /// spec is malformed.
+  bool configure(const std::string& spec);
+  /// Disarm and forget all rules and counts.
+  void clear();
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+  /// Account one hit of `point`; throws InjectedFault when a rule fires.
+  void hit(const char* point);
+
+  /// Every point name registered so far (sorted). A sweep drives this.
+  std::vector<std::string> points() const;
+  /// Faults fired since the last configure()/clear().
+  uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  /// Arm from SUIFX_FAULT once per process; a programmatic configure() or
+  /// clear() beforehand takes precedence. Called by Workbench::from_source.
+  void init_from_env();
+
+ private:
+  struct Rule {
+    std::string pattern;  // exact name, "prefix*", or "*"
+    uint64_t nth = 1;     // counting mode: fire at the nth hit, once
+    bool probabilistic = false;
+    double p = 0;
+    uint64_t seed = 0;
+    bool fired = false;  // counting-mode rules fire at most once
+  };
+
+  mutable std::mutex mu_;
+  std::set<std::string> points_;
+  std::vector<Rule> rules_;
+  std::map<std::string, uint64_t> hits_;
+  std::atomic<uint64_t> fired_{0};
+  std::atomic<bool> armed_{false};
+  bool configured_ = false;  // programmatic configure()/clear() beats env
+};
+
+/// While alive on a thread, every injection point on it is a no-op — the
+/// degraded-tier retries wrap themselves in one so a retry cannot be
+/// re-failed by the same spec.
+class SuppressScope {
+ public:
+  SuppressScope();
+  ~SuppressScope();
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+};
+
+/// True when a SuppressScope is alive on this thread.
+bool suppressed();
+
+inline void maybe_inject(const char* point) {
+  Registry& r = Registry::global();
+  if (!r.armed() || suppressed()) return;
+  r.hit(point);
+}
+
+}  // namespace suifx::support::fault
+
+/// Named injection point. Registers once per call site, then injects per the
+/// armed spec. Cheap when disarmed.
+#define SUIFX_FAULT_POINT(point_name)                                        \
+  do {                                                                       \
+    static const bool suifx_fault_registered_ =                              \
+        ::suifx::support::fault::Registry::global().register_point(          \
+            point_name);                                                     \
+    (void)suifx_fault_registered_;                                           \
+    ::suifx::support::fault::maybe_inject(point_name);                       \
+  } while (0)

@@ -183,5 +183,92 @@ proc main() {
   ASSERT_NE(prog, nullptr) << diag.str();
 }
 
+// --- panic-mode error recovery ---------------------------------------------
+// Malformed inputs must produce diagnostics, never a crash or a hang, and
+// recovery must resynchronize: independent errors each get reported.
+
+TEST(ParserRecovery, MalformedInputsNeverCrash) {
+  struct Case {
+    const char* name;
+    const char* src;
+    // A substring every case must put in the diagnostics ("" = any error).
+    const char* expect;
+  };
+  const Case kCases[] = {
+      {"empty", "", ""},
+      {"garbage", "@#! 12 )(", ""},
+      {"stray_top_level", "program p; 42 proc main() { }", "expected 'param'"},
+      {"missing_assign", "program p; proc main() { int x; x 1; }", "'='"},
+      {"missing_semi",
+       "program p; proc main() { int x; x = 1 x = 2; }", "';'"},
+      {"unclosed_paren", "program p; proc main() { int x; x = (1; }", "')'"},
+      {"bad_subscript",
+       "program p; proc main() { real a[10]; a[ = 1; }", "expression"},
+      {"unknown_call_args_skipped",
+       "program p; proc main() { call nope(1, 2); }", "unknown procedure"},
+      {"bad_formal", "program p; proc f(int) { } proc main() { }", "formal"},
+      {"proc_name_missing", "program p; proc (int x) { }", "procedure name"},
+      {"decl_without_name", "program p; proc main() { int ; }", "local name"},
+      {"do_missing_bounds", "program p; proc main() { do i = { } }",
+       "expression"},
+      {"unbalanced_brace", "program p; proc main() { if (1) { x = 1; }",
+       ""},
+      {"two_independent_errors",
+       "program p; proc main() { int x; x = ; y = 1; }", "unknown variable 'y'"},
+  };
+  for (const Case& c : kCases) {
+    Diag diag;
+    auto prog = parse_program(c.src, diag);
+    EXPECT_EQ(prog, nullptr) << c.name;
+    EXPECT_TRUE(diag.has_errors()) << c.name;
+    if (c.expect[0] != '\0') {
+      EXPECT_NE(diag.str().find(c.expect), std::string::npos)
+          << c.name << ": diagnostics were:\n"
+          << diag.str();
+    }
+  }
+}
+
+TEST(ParserRecovery, TruncatedSourceNeverCrashes) {
+  // Every prefix of a valid program must parse without crashing or hanging
+  // (most prefixes are errors; that is fine).
+  const std::string src =
+      "program p; param N = 8; global real a[8];\n"
+      "proc f(real q[n], int n) { do j = 1, n { q[j] = 0.5; } }\n"
+      "proc main() { int x; x = 1; if (x < 3) { call f(a, 8); } }\n";
+  for (size_t len = 0; len <= src.size(); ++len) {
+    Diag diag;
+    auto prog = parse_program(src.substr(0, len), diag);
+    if (len == src.size()) {
+      EXPECT_NE(prog, nullptr) << diag.str();
+    }
+  }
+}
+
+TEST(ParserRecovery, ErrorCapSuppressesCascade) {
+  // A pathological input with an unbounded number of errors stops at the cap.
+  std::string src = "program p; proc main() {";
+  for (int i = 0; i < 100; ++i) src += " q = 1;";
+  src += " }";
+  Diag diag;
+  ParseOptions opts;
+  opts.max_errors = 5;
+  auto prog = parse_program(src, diag, opts);
+  EXPECT_EQ(prog, nullptr);
+  EXPECT_LE(diag.error_count(), 5);
+  EXPECT_NE(diag.str().find("further diagnostics suppressed"),
+            std::string::npos);
+}
+
+TEST(ParserRecovery, RecoveryKeepsLaterDiagnostics) {
+  // The statement after a malformed one is still checked: panic-mode resync
+  // reaches it instead of aborting the parse.
+  Diag diag;
+  auto prog = parse_program(
+      "program p; proc main() { int x; x = + ; x = 2; call ghost(); }", diag);
+  EXPECT_EQ(prog, nullptr);
+  EXPECT_NE(diag.str().find("unknown procedure 'ghost'"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace suifx::frontend

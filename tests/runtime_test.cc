@@ -288,5 +288,66 @@ TEST(PrivateArray, NoFinalizeWhenDead) {
   EXPECT_DOUBLE_EQ(shared[0], 1.0);  // liveness said the values are dead
 }
 
+// --- shutdown path regressions ---------------------------------------------
+
+TEST(ThreadPoolShutdown, QueuedTasksAllCompleteEvenWhenSomeThrow) {
+  // Flood the queue, with a throwing subset, then shut down while tasks are
+  // still draining: every future must complete (value or exception) — no
+  // lost task, no deadlock.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([i, &ran] {
+      if (i % 7 == 0) throw std::runtime_error("task failure");
+      ++ran;
+    }));
+  }
+  pool.shutdown();
+  int ok = 0, failed = 0;
+  for (std::future<void>& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "a future never completed (lost task or deadlock)";
+    try {
+      f.get();
+      ++ok;
+    } catch (const std::runtime_error&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(ok + failed, 200);
+  EXPECT_EQ(failed, (200 + 6) / 7);  // i = 0, 7, ..., 196
+  EXPECT_EQ(ran.load(), ok);
+}
+
+TEST(ThreadPoolShutdown, SubmitAfterShutdownReturnsFailedFuture) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::future<void> f = pool.submit([] {});
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolShutdown, ShutdownIsIdempotentAndDtorSafe) {
+  ThreadPool pool(3);
+  auto f = pool.submit([] {});
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_NO_THROW(f.get());
+  // Destructor after explicit shutdown must not double-join.
+}
+
+TEST(ThreadPoolShutdown, RunAfterShutdownExecutesInline) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  std::atomic<int> calls{0};
+  pool.run([&](int proc) {
+    EXPECT_EQ(proc, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
 }  // namespace
 }  // namespace suifx::runtime
