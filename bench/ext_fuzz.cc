@@ -1,0 +1,215 @@
+// Extension: differential fuzzing of the parallelizer (docs/testing.md).
+// Generates seeded random SF programs biased toward the thesis's hard
+// patterns (privatizable temporaries, +/*/min/max reductions, index arrays,
+// reshaped COMMON overlays, call-by-reference sections) and runs each one
+// through the differential oracle: soundness (reverse-order execution),
+// consistency (static independence vs the Dynamic Dependence Analyzer), and
+// determinism (parallel driver vs serial planner). Violations are shrunk by
+// the greedy reducer and written as replayable .sf repros.
+//
+//   ext_fuzz --programs 500 --seed 1            # the CI sweep
+//   ext_fuzz --inject --programs 40 --seed 7    # canary: bug must be caught
+//   SUIFX_FUZZ_SEED=12345 ext_fuzz              # replay one program verbosely
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testing/oracle.h"
+#include "testing/progen.h"
+#include "testing/reduce.h"
+
+using namespace suifx;
+
+namespace {
+
+struct Args {
+  int programs = 200;
+  uint64_t seed = 1;
+  bool inject = false;
+  double tolerance = 1e-7;
+  std::string repro_dir = "fuzz_repros";
+  int max_stmts = 30;       // a reduced repro larger than this fails the run
+  int max_reductions = 3;   // bound reduction wall time per sweep
+};
+
+struct Violation {
+  uint64_t seed = 0;
+  testing::Property property = testing::Property::None;
+  std::string detail;
+  std::string repro_path;  // "" when the reduction budget was spent
+  int reduced_stmts = 0;
+  int initial_stmts = 0;
+};
+
+std::string first_line(const std::string& s) {
+  size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+std::string write_repro(const Args& args, const Violation& v,
+                        const std::string& source) {
+  std::error_code ec;
+  std::filesystem::create_directories(args.repro_dir, ec);
+  std::string path = args.repro_dir + "/repro_" +
+                     testing::to_string(v.property) + "_" +
+                     std::to_string(v.seed) + ".sf";
+  std::ofstream out(path);
+  out << "// reduced fuzz repro — replay with: SUIFX_FUZZ_SEED=" << v.seed
+      << " ext_fuzz\n"
+      << "// property: " << testing::to_string(v.property) << "\n"
+      << "// detail: " << first_line(v.detail) << "\n"
+      << source;
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--programs") args.programs = std::atoi(next());
+    else if (a == "--seed") args.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--inject") args.inject = true;
+    else if (a == "--tolerance") args.tolerance = std::atof(next());
+    else if (a == "--repro-dir") args.repro_dir = next();
+    else if (a == "--max-stmts") args.max_stmts = std::atoi(next());
+    else if (a == "--max-reductions") args.max_reductions = std::atoi(next());
+    else {
+      std::fprintf(stderr,
+                   "usage: ext_fuzz [--programs N] [--seed S] [--inject]\n"
+                   "                [--tolerance X] [--repro-dir DIR]\n"
+                   "                [--max-stmts K] [--max-reductions R]\n");
+      return 2;
+    }
+  }
+
+  // Replay mode: check exactly one seed, verbosely, and exit.
+  if (const char* env = std::getenv("SUIFX_FUZZ_SEED"); env != nullptr && *env) {
+    uint64_t seed = std::strtoull(env, nullptr, 10);
+    testing::GeneratedProgram gp = testing::generate_program(seed);
+    std::printf("=== replay seed %llu (%s) ===\n",
+                static_cast<unsigned long long>(seed), gp.name.c_str());
+    std::printf("patterns:");
+    for (const std::string& p : gp.patterns) std::printf(" %s", p.c_str());
+    std::printf("\n\n%s\n", gp.source.c_str());
+    testing::OracleOptions oo;
+    oo.rel_tolerance = args.tolerance;
+    oo.inject_dependence_bug = args.inject;
+    testing::OracleResult r = testing::check_source(gp.source, oo);
+    std::printf("loops %d, parallel %d%s\n", r.loops, r.parallel,
+                r.injected ? (", injected bug into " + r.injected_loop).c_str()
+                           : "");
+    std::printf("verdict: %s\n", testing::to_string(r.violation));
+    if (!r.ok()) std::printf("%s\n", r.detail.c_str());
+    return r.ok() ? 0 : 1;
+  }
+
+  std::printf("Extension: differential fuzzing oracle\n");
+  std::printf("programs %d, base seed %llu%s, tolerance %g\n\n", args.programs,
+              static_cast<unsigned long long>(args.seed),
+              args.inject ? ", INJECTING dependence bugs" : "", args.tolerance);
+
+  testing::OracleOptions oo;
+  oo.rel_tolerance = args.tolerance;
+  oo.inject_dependence_bug = args.inject;
+
+  std::map<testing::Property, int> tally;
+  std::vector<Violation> violations;
+  std::map<std::string, int> pattern_counts;
+  int injected_runs = 0;   // programs where a bug was actually injected
+  int injected_caught = 0; // ... and the oracle flagged a violation
+  int reductions_left = args.max_reductions;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int g = 0; g < args.programs; ++g) {
+    uint64_t seed = args.seed + static_cast<uint64_t>(g);
+    testing::GeneratedProgram gp = testing::generate_program(seed);
+    for (const std::string& p : gp.patterns) ++pattern_counts[p];
+    testing::OracleResult r = testing::check_source(gp.source, oo);
+    ++tally[r.violation];
+    if (r.injected) {
+      ++injected_runs;
+      if (!r.ok()) ++injected_caught;
+      if (r.ok()) {
+        std::printf("seed %llu: injected bug into %s but no property fired\n",
+                    static_cast<unsigned long long>(seed),
+                    r.injected_loop.c_str());
+      }
+    }
+    if (r.ok()) continue;
+
+    Violation v;
+    v.seed = seed;
+    v.property = r.violation;
+    v.detail = r.detail;
+    std::printf("seed %llu: %s violation — %s\n",
+                static_cast<unsigned long long>(seed),
+                testing::to_string(v.property), first_line(v.detail).c_str());
+    if (reductions_left > 0) {
+      --reductions_left;
+      testing::FailPredicate pred = [&](const std::string& src) {
+        return testing::check_source(src, oo).violation == v.property;
+      };
+      testing::ReduceResult rr = testing::reduce_source(gp.source, pred);
+      v.initial_stmts = rr.initial_statements;
+      v.reduced_stmts = rr.final_statements;
+      v.repro_path = write_repro(args, v, rr.source);
+      std::printf("  reduced %d -> %d statements (%d probes) -> %s\n",
+                  rr.initial_statements, rr.final_statements, rr.probes,
+                  v.repro_path.c_str());
+    }
+    violations.push_back(std::move(v));
+  }
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  std::printf("\n%d programs in %.2fs (%.1f programs/sec)\n", args.programs,
+              secs, args.programs / (secs > 0 ? secs : 1));
+  std::printf("pattern mix:");
+  for (const auto& [name, n] : pattern_counts) std::printf(" %s=%d", name.c_str(), n);
+  std::printf("\nresults: clean=%d pipeline-error=%d soundness=%d "
+              "consistency=%d determinism=%d\n",
+              tally[testing::Property::None],
+              tally[testing::Property::PipelineError],
+              tally[testing::Property::Soundness],
+              tally[testing::Property::Consistency],
+              tally[testing::Property::Determinism]);
+
+  if (args.inject) {
+    std::printf("injected %d bugs, caught %d\n", injected_runs, injected_caught);
+    if (injected_runs == 0 || injected_caught < injected_runs) {
+      std::printf("FAIL: an injected dependence bug escaped the oracle\n");
+      return 1;
+    }
+    bool reduced_ok = false;
+    for (const Violation& v : violations) {
+      if (!v.repro_path.empty() && v.reduced_stmts < args.max_stmts) {
+        reduced_ok = true;
+      }
+    }
+    if (!reduced_ok) {
+      std::printf("FAIL: no injected repro reduced below %d statements\n",
+                  args.max_stmts);
+      return 1;
+    }
+    std::printf("OK: every injected bug caught; smallest repros written to %s\n",
+                args.repro_dir.c_str());
+    return 0;
+  }
+
+  if (!violations.empty() || tally[testing::Property::PipelineError] > 0) {
+    std::printf("FAIL: %zu violations (repros in %s)\n", violations.size(),
+                args.repro_dir.c_str());
+    return 1;
+  }
+  std::printf("OK: zero violations\n");
+  return 0;
+}

@@ -35,11 +35,17 @@ std::vector<const benchsuite::BenchProgram*> all_programs() {
 /// the trace — the Explorer's §4.1.3 "slice this dependence" interaction.
 void run_slicer_query(explorer::Workbench& wb,
                       const parallelizer::ParallelPlan& plan) {
-  for (const auto& [loop, lp] : plan.loops) {
-    for (const auto& [v, vv] : lp.verdict.vars) {
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    // The verdict map is pointer-keyed: pick the lowest-id variable so the
+    // query (and hence the trace) is the same one every run.
+    const ir::Variable* pick = nullptr;
+    for (const auto& [v, vv] : lp->verdict.vars) {
       (void)vv;
+      if (pick == nullptr || v->id < pick->id) pick = v;
+    }
+    if (pick != nullptr) {
       slicing::Slicer slicer(wb.issa());
-      slicer.dependence_slice(loop, v, {});
+      slicer.dependence_slice(lp->loop, pick, {});
       return;
     }
   }

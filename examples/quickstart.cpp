@@ -54,8 +54,9 @@ proc main() {
 
   explorer::Guru guru(*wb);
   std::printf("loop verdicts:\n");
-  for (const auto& [loop, lp] : guru.plan().loops) {
-    std::printf("  %-10s %s", loop->loop_name().c_str(),
+  for (const parallelizer::LoopPlan* plp : guru.plan().ordered()) {
+    const parallelizer::LoopPlan& lp = *plp;
+    std::printf("  %-10s %s", lp.loop->loop_name().c_str(),
                 lp.parallelizable ? "PARALLEL" : "sequential");
     for (const auto& rv : lp.reductions) {
       std::printf("  [%s-reduction on %s]", ir::to_string(rv.op),

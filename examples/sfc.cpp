@@ -96,17 +96,17 @@ int main(int argc, char** argv) {
     std::printf("%s: %d lines, %zu procedures, %zu loops planned\n",
                 wb->program().name().c_str(), wb->program().num_lines(),
                 wb->program().procedures().size(), guru.plan().loops.size());
-    for (const auto& [loop, lp] : guru.plan().loops) {
-      std::printf("  %-16s %s", loop->loop_name().c_str(),
-                  lp.parallelizable ? "PARALLEL  " : "sequential");
-      for (const auto& rv : lp.reductions) {
+    for (const parallelizer::LoopPlan* lp : guru.plan().ordered()) {
+      std::printf("  %-16s %s", lp->loop->loop_name().c_str(),
+                  lp->parallelizable ? "PARALLEL  " : "sequential");
+      for (const auto& rv : lp->reductions) {
         std::printf(" red(%s %s)", ir::to_string(rv.op), rv.var->name.c_str());
       }
-      for (const auto& pv : lp.privatized) {
+      for (const auto& pv : lp->privatized) {
         std::printf(" priv(%s%s)", pv.var->name.c_str(),
                     pv.finalize == parallelizer::Finalize::None ? ",dead" : "");
       }
-      if (!lp.parallelizable) std::printf("  [%s]", lp.reason.c_str());
+      if (!lp->parallelizable) std::printf("  [%s]", lp->reason.c_str());
       std::printf("\n");
     }
     std::printf("coverage %.0f%%  granularity %.3f ms\n", guru.coverage() * 100,

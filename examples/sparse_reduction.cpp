@@ -27,11 +27,12 @@ int main() {
   }
   auto plan = wb->plan();
   std::printf("=== %s: recognized reductions ===\n", bp.name.c_str());
-  for (const auto& [loop, lp] : plan.loops) {
-    for (const auto& rv : lp.reductions) {
-      std::printf("  %-10s %s-reduction on %s%s\n", loop->loop_name().c_str(),
-                  ir::to_string(rv.op), rv.var->name.c_str(),
-                  lp.parallelizable ? "  (loop parallelized)" : "");
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    for (const auto& rv : lp->reductions) {
+      std::printf("  %-10s %s-reduction on %s%s\n",
+                  lp->loop->loop_name().c_str(), ir::to_string(rv.op),
+                  rv.var->name.c_str(),
+                  lp->parallelizable ? "  (loop parallelized)" : "");
     }
   }
 

@@ -60,15 +60,15 @@ void Guru::analyze() {
 
   // Execution Analyzers: one instrumented sequential run (§2.3.1).
   dynamic::DynDepAnalyzer::Options dd_opts;
-  for (const auto& [loop, lp] : plan_.loops) {
+  for (const parallelizer::LoopPlan* lp : plan_.ordered()) {
     std::set<const ir::Variable*> ignore;
-    for (const auto& [v, vv] : lp.verdict.vars) {
+    for (const auto& [v, vv] : lp->verdict.vars) {
       if (vv.cls == analysis::VarClass::Reduction ||
           vv.cls == analysis::VarClass::LoopIndex) {
         ignore.insert(v);
       }
     }
-    if (!ignore.empty()) dd_opts.ignore[loop] = std::move(ignore);
+    if (!ignore.empty()) dd_opts.ignore[lp->loop] = std::move(ignore);
   }
   profiler_ = dynamic::LoopProfiler();
   dyndep_ = std::make_unique<dynamic::DynDepAnalyzer>(dd_opts);
@@ -85,7 +85,9 @@ void Guru::analyze() {
   std::set<const ir::Stmt*> nested = nested_under(wb_.program(), chosen);
 
   reports_.clear();
-  for (const auto& [loop, lp] : plan_.loops) {
+  for (const parallelizer::LoopPlan* plp : plan_.ordered()) {
+    const ir::Stmt* loop = plp->loop;
+    const parallelizer::LoopPlan& lp = *plp;
     LoopReport r;
     r.loop = loop;
     const dynamic::LoopStats* st = profiler_.find(loop);
@@ -111,7 +113,11 @@ void Guru::analyze() {
   }
   first_analysis_ = false;
   std::sort(reports_.begin(), reports_.end(), [&](const LoopReport& a, const LoopReport& b) {
-    return a.coverage > b.coverage;
+    if (a.coverage != b.coverage) return a.coverage > b.coverage;
+    // Tie-break on source location so report order is stable across runs
+    // (the map behind the plan is pointer-keyed).
+    if (a.loop->line != b.loop->line) return a.loop->line < b.loop->line;
+    return a.loop->id < b.loop->id;
   });
 }
 

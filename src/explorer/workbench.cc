@@ -142,6 +142,9 @@ std::unique_ptr<Workbench> Workbench::from_source(
     PassClock t(wb->pass_ms_, "issa");
     wb->issa_ = std::make_unique<ssa::Issa>(*wb->prog_, *wb->alias_, *wb->modref_);
   });
+  // Stable-order the degradation record: golden tests and the fuzz oracle's
+  // determinism property compare this output across independent runs.
+  std::sort(deg.begin(), deg.end());
   return wb;
 }
 

@@ -66,7 +66,8 @@ class Workbench {
   std::string dominant_pass() const;
 
   /// Human-readable record of every degradation the build absorbed (pass
-  /// retries, liveness ladder falls). Empty on a clean build. Surfaced by
+  /// retries, liveness ladder falls), in sorted order so output is stable
+  /// across runs. Empty on a clean build. Surfaced by
   /// Guru::planning_profile(); see docs/robustness.md.
   const std::vector<std::string>& degradations() const { return degradations_; }
 

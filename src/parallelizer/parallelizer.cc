@@ -1,11 +1,24 @@
 #include "parallelizer/parallelizer.h"
 
+#include <algorithm>
+
 namespace suifx::parallelizer {
 
 int ParallelPlan::num_parallel() const {
   int n = 0;
   for (const auto& [loop, plan] : loops) n += plan.parallelizable ? 1 : 0;
   return n;
+}
+
+std::vector<const LoopPlan*> ParallelPlan::ordered() const {
+  std::vector<const LoopPlan*> out;
+  out.reserve(loops.size());
+  for (const auto& [loop, plan] : loops) out.push_back(&plan);
+  std::sort(out.begin(), out.end(), [](const LoopPlan* a, const LoopPlan* b) {
+    if (a->loop->line != b->loop->line) return a->loop->line < b->loop->line;
+    return a->loop->id < b->loop->id;
+  });
+  return out;
 }
 
 LoopPlan Parallelizer::conservative_plan(const ir::Stmt* loop,

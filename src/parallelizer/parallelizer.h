@@ -74,6 +74,11 @@ struct ParallelPlan {
     return p != nullptr && p->parallelizable;
   }
   int num_parallel() const;
+  /// Plans in source order (synthetic line, then statement id). The `loops`
+  /// map above is keyed by statement pointer, whose order varies run to run
+  /// with heap layout — every user-visible listing, golden snapshot, and the
+  /// fuzz oracle's determinism check must iterate this instead.
+  std::vector<const LoopPlan*> ordered() const;
 };
 
 class Parallelizer {

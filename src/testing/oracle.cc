@@ -1,0 +1,152 @@
+#include "testing/oracle.h"
+
+#include <memory>
+#include <vector>
+
+#include "dynamic/dyndep.h"
+#include "dynamic/validate.h"
+#include "explorer/workbench.h"
+#include "simulator/smp.h"
+
+namespace suifx::testing {
+
+namespace {
+
+/// Per-loop DynDep ignore sets, mirroring Guru::analyze exactly: compiler-
+/// identified reductions and the loop's own index are transformable, so
+/// their carried dependences are not evidence against the plan.
+dynamic::DynDepAnalyzer::Options dyndep_options(
+    const parallelizer::ParallelPlan& plan) {
+  dynamic::DynDepAnalyzer::Options dd;
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    std::set<const ir::Variable*> ignore;
+    for (const auto& [v, vv] : lp->verdict.vars) {
+      if (vv.cls == analysis::VarClass::Reduction ||
+          vv.cls == analysis::VarClass::LoopIndex) {
+        ignore.insert(v);
+      }
+    }
+    if (!ignore.empty()) dd.ignore[lp->loop] = std::move(ignore);
+  }
+  return dd;
+}
+
+/// One instrumented sequential run. Returns false (and sets a PipelineError)
+/// if the interpreter itself failed — generated programs are in-bounds by
+/// construction, so a trap here is a harness bug worth surfacing, not a plan
+/// violation.
+bool instrumented_run(const ir::Program& prog, const OracleOptions& opts,
+                      dynamic::DynDepAnalyzer& dd, OracleResult& out) {
+  dynamic::Interpreter interp(prog);
+  interp.set_inputs(opts.inputs);
+  interp.add_hook(&dd);
+  dynamic::RunResult rr = interp.run(opts.max_cost);
+  if (!rr.ok) {
+    out.violation = Property::PipelineError;
+    out.detail = "instrumented run failed: " + rr.error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Property p) {
+  switch (p) {
+    case Property::None: return "none";
+    case Property::PipelineError: return "pipeline-error";
+    case Property::Soundness: return "soundness";
+    case Property::Consistency: return "consistency";
+    case Property::Determinism: return "determinism";
+  }
+  return "?";
+}
+
+OracleResult check_source(const std::string& src, const OracleOptions& opts) {
+  OracleResult out;
+
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  if (wb == nullptr) {
+    out.violation = Property::PipelineError;
+    out.detail = "front end rejected the program:\n" + diag.str();
+    return out;
+  }
+  const ir::Program& prog = wb->program();
+
+  // --- Determinism: parallel memoized Driver vs serial Parallelizer. ------
+  parallelizer::ParallelPlan plan = wb->plan();
+  {
+    parallelizer::ParallelPlan serial = wb->parallelizer().plan(prog);
+    std::string sig_par = parallelizer::plan_signature(plan);
+    std::string sig_ser = parallelizer::plan_signature(serial);
+    if (sig_par != sig_ser) {
+      out.violation = Property::Determinism;
+      out.detail = "driver plan differs from serial plan\n--- driver:\n" +
+                   sig_par + "--- serial:\n" + sig_ser;
+      return out;
+    }
+  }
+
+  // --- Optional injected dependence bug. ----------------------------------
+  // Target selection is dynamic, not static: a statically rejected loop can
+  // still be genuinely independent (e.g. a gather through an index array the
+  // affine test cannot see through), and forcing such a loop parallel is
+  // *correct* — no oracle should fire. The canary must pick a loop whose
+  // carried dependence was actually observed on this input.
+  if (opts.inject_dependence_bug) {
+    dynamic::DynDepAnalyzer probe(dyndep_options(plan));  // monitors all loops
+    if (!instrumented_run(prog, opts, probe, out)) return out;
+    parallelizer::Assertions asserts;
+    for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+      if (lp->parallelizable || lp->degraded || lp->verdict.has_io) continue;
+      if (!probe.observed_carried(lp->loop)) continue;
+      asserts.force_parallel.insert(lp->loop);
+      out.injected = true;
+      out.injected_loop = lp->loop->loop_name();
+      break;
+    }
+    if (out.injected) plan = wb->plan(asserts);
+  }
+
+  out.loops = static_cast<int>(plan.loops.size());
+  out.parallel = plan.num_parallel();
+
+  // --- Soundness: reverse-order execution of the chosen parallel loops. ---
+  sim::SmpSimulator simulator(prog, wb->dataflow(), wb->regions());
+  std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(plan);
+  dynamic::ValidationResult vr =
+      dynamic::validate_plan(prog, chosen, opts.inputs, opts.rel_tolerance);
+  if (!vr.ok) {
+    bool interp_failed = vr.detail.rfind("forward run failed", 0) == 0 ||
+                         vr.detail.rfind("reordered run failed", 0) == 0;
+    out.violation = interp_failed ? Property::PipelineError : Property::Soundness;
+    out.detail = vr.detail;
+    return out;
+  }
+
+  // --- Consistency: no parallelizable loop shows a carried flow dep. ------
+  dynamic::DynDepAnalyzer::Options dd = dyndep_options(plan);
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    if (lp->parallelizable) dd.monitor.insert(lp->loop);
+  }
+  if (!dd.monitor.empty()) {  // empty monitor set means "all loops"
+    dynamic::DynDepAnalyzer dyndep(dd);
+    if (!instrumented_run(prog, opts, dyndep, out)) return out;
+    for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+      if (!lp->parallelizable || !dyndep.observed_carried(lp->loop)) continue;
+      out.violation = Property::Consistency;
+      out.detail = "loop " + lp->loop->loop_name() +
+                   " is statically parallelizable but carries a dynamic flow "
+                   "dependence on:";
+      for (const ir::Variable* v : dyndep.result(lp->loop).dep_vars) {
+        out.detail += " " + v->name;
+      }
+      return out;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace suifx::testing

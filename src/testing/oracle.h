@@ -1,0 +1,70 @@
+// The differential oracle behind bench/ext_fuzz (docs/testing.md): run one
+// SF program through the whole pipeline (parse → interprocedural analyses →
+// parallel Driver plan) and cross-check the plan against execution. Three
+// properties:
+//
+//  - Soundness: dynamic::validate_plan's reverse-order execution of every
+//    chosen outermost-parallel loop must match the sequential output within
+//    a relative tolerance (reductions reorder floating point).
+//  - Consistency: no loop the static dependence test calls parallelizable
+//    may show a loop-carried flow dependence under the DynDepAnalyzer on the
+//    same input (inductions and recognized reductions excluded, exactly as
+//    the Guru excludes them).
+//  - Determinism: the parallel, memoized Driver and a serial
+//    Parallelizer::plan must produce byte-identical plan signatures.
+//
+// `inject_dependence_bug` force-parallelizes one loop with an observed
+// dynamic carried dependence — the canary proving the oracle catches an
+// unsound plan end to end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dynamic/interp.h"
+
+namespace suifx::testing {
+
+enum class Property : uint8_t {
+  None,           // all checks passed
+  PipelineError,  // parse/analysis/interpretation itself failed
+  Soundness,
+  Consistency,
+  Determinism,
+};
+
+const char* to_string(Property p);
+
+struct OracleOptions {
+  /// Output-comparison tolerance for validate_plan (reductions reorder
+  /// floating-point adds/multiplies, so exact equality is wrong).
+  double rel_tolerance = 1e-7;
+  /// Interpreter fuel per instrumented run.
+  uint64_t max_cost = 500'000'000ULL;
+  /// Force-parallelize one loop with an observed dynamic carried dependence
+  /// (via Assertions::force_parallel, the §2.8 user-assertion path) so the
+  /// checks below must fire. `OracleResult::injected` says whether a target
+  /// existed.
+  bool inject_dependence_bug = false;
+  /// Interpreter inputs (params/arrays/scalars/seed) for the dynamic runs.
+  dynamic::Inputs inputs;
+};
+
+struct OracleResult {
+  Property violation = Property::None;
+  std::string detail;  // human-readable description of the first violation
+  int loops = 0;       // loops planned
+  int parallel = 0;    // loops the (possibly injected) plan parallelizes
+  /// inject_dependence_bug found a target loop and forced it parallel.
+  bool injected = false;
+  /// Name of the loop the bug was injected into ("" when !injected).
+  std::string injected_loop;
+
+  bool ok() const { return violation == Property::None; }
+};
+
+/// Run the full pipeline over `src` and check the three properties, in the
+/// order Determinism, Soundness, Consistency; the first violation wins.
+OracleResult check_source(const std::string& src, const OracleOptions& opts = {});
+
+}  // namespace suifx::testing

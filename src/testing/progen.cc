@@ -1,0 +1,449 @@
+#include "testing/progen.h"
+
+#include <sstream>
+
+namespace suifx::testing {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64). Raw modular draws only — the standard
+// <random> distributions are not bit-stable across library implementations,
+// and replaying SUIFX_FUZZ_SEED must reproduce the exact program everywhere.
+// ---------------------------------------------------------------------------
+struct Rng {
+  uint64_t s;
+  explicit Rng(uint64_t seed) : s(seed ^ 0x9e3779b97f4a7c15ULL) {}
+  uint64_t next() {
+    s += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  long range(long lo, long hi) {  // inclusive
+    return lo + static_cast<long>(next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+  bool chance(int pct) { return range(1, 100) <= pct; }
+};
+
+// Capacity of every 1-D pool array; the N param never exceeds kTrip so all
+// generated subscripts are in bounds by construction.
+constexpr long kCap = 64;
+constexpr long kTripMax = 56;
+
+class Gen {
+ public:
+  Gen(uint64_t seed, const GenOptions& opts)
+      : rng_(seed), opts_(opts), seed_(seed) {}
+
+  GeneratedProgram run();
+
+ private:
+  // --- small emission helpers --------------------------------------------
+  std::string lab() {
+    std::string l = std::to_string(next_label_);
+    next_label_ += 10;
+    return l;
+  }
+  std::string uniq() { return std::to_string(++uniq_); }
+  /// One of the four pool arrays.
+  std::string arr() {
+    static const char* kPool[] = {"ga", "gb", "gc", "gd"};
+    return kPool[rng_.range(0, 3)];
+  }
+  std::string arr_not(const std::string& other) {
+    std::string a = arr();
+    while (a == other) a = arr();
+    return a;
+  }
+  std::string scal() { return "gs" + std::to_string(rng_.range(1, 4)); }
+  /// Positive real constant "a.b" with a in [0,2], b in [1,9].
+  std::string rc() {
+    return std::to_string(rng_.range(0, 2)) + "." + std::to_string(rng_.range(1, 9));
+  }
+  /// Real constant in (0,1): "0.b".
+  std::string rc01() { return "0." + std::to_string(rng_.range(1, 9)); }
+
+  // --- pattern emitters (each appends to main_ and/or procs_) -------------
+  void p_init_map();
+  void p_nested_2d();
+  void p_priv_temp();
+  void p_guarded_priv();
+  void p_scalar_reduction();
+  void p_region_reduction();
+  void p_index_gather();
+  void p_index_scatter();
+  void p_recurrence();
+  void p_call_section();
+  void p_call_reduction();
+  void p_common_overlay();
+  void p_zero_trip();
+
+  void epilogue();
+
+  Rng rng_;
+  GenOptions opts_;
+  uint64_t seed_;
+  std::ostringstream procs_;
+  std::ostringstream main_;
+  std::vector<std::string> patterns_;
+  int next_label_ = 10;
+  int uniq_ = 0;
+};
+
+// Independent elementwise map, with strided / reversed / self-update
+// variants — the bread-and-butter parallel loop.
+void Gen::p_init_map() {
+  std::string dst = arr();
+  std::string src = arr_not(dst);
+  std::string hdr;
+  switch (rng_.range(0, 3)) {
+    case 0: hdr = "do i = 1, N"; break;
+    case 1: hdr = "do i = N, 1, -1"; break;       // negative stride
+    case 2: hdr = "do i = 1, N, 2"; break;        // non-unit stride
+    default: hdr = "do i = 2, N - 1"; break;      // shifted bounds
+  }
+  std::string rhs;
+  switch (rng_.range(0, 3)) {
+    case 0: rhs = src + "[i] * " + rc() + " + " + rc01(); break;
+    case 1: rhs = "min(" + src + "[i], " + rc01() + ") + " + rc01(); break;
+    case 2: rhs = "abs(" + src + "[i] - " + rc01() + ")"; break;
+    default: rhs = dst + "[i] * " + rc01() + " + " + src + "[i]"; break;
+  }
+  main_ << "  " << hdr << " label " << lab() << " {\n"
+        << "    " << dst << "[i] = " << rhs << ";\n"
+        << "  }\n";
+  patterns_.push_back("init_map");
+}
+
+// Doubly-nested update of the 2-D pool array.
+void Gen::p_nested_2d() {
+  std::string src = arr();
+  std::string l1 = lab(), l2 = lab();
+  main_ << "  do j = 1, 8 label " << l1 << " {\n"
+        << "    do i = 1, N label " << l2 << " {\n"
+        << "      g2[i, j] = g2[i, j] * " << rc01() << " + " << src
+        << "[i] + real(j) * " << rc01() << ";\n"
+        << "    }\n"
+        << "  }\n";
+  patterns_.push_back("nested_2d");
+}
+
+// Privatizable scalar temporary: written before every read in the iteration.
+void Gen::p_priv_temp() {
+  std::string src = arr();
+  std::string dst = arr();
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    t = " << src << "[i] * " << rc01() << " + " << rc() << ";\n"
+        << "    " << dst << "[i] = t * t + t;\n"
+        << "  }\n";
+  patterns_.push_back("priv_temp");
+}
+
+// Privatizable temporary written under a guard — both branches assign, so
+// the must-write analysis still proves write-before-read (§4.4.1 shape).
+void Gen::p_guarded_priv() {
+  std::string src = arr();
+  std::string dst = arr_not(src);
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    if (" << src << "[i] > " << rc01() << ") {\n"
+        << "      t = " << src << "[i] + " << rc01() << ";\n"
+        << "    } else {\n"
+        << "      t = " << rc() << " - " << src << "[i];\n"
+        << "    }\n"
+        << "    " << dst << "[i] = t * " << rc01() << ";\n"
+        << "  }\n";
+  patterns_.push_back("guarded_priv");
+}
+
+// Scalar reduction over one of +, *, min, max (§6.2). The multiply variant
+// keeps factors near 1 so products stay in range under any N.
+void Gen::p_scalar_reduction() {
+  std::string s = scal();
+  std::string a = arr();
+  std::string b = arr();
+  switch (rng_.range(0, 3)) {
+    case 0:
+      main_ << "  " << s << " = 0.0;\n"
+            << "  do i = 1, N label " << lab() << " {\n"
+            << "    " << s << " = " << s << " + " << a << "[i] * " << b << "[i];\n"
+            << "  }\n";
+      patterns_.push_back("scalar_red_add");
+      break;
+    case 1:
+      main_ << "  " << s << " = 1.0;\n"
+            << "  do i = 1, N label " << lab() << " {\n"
+            << "    " << s << " = " << s << " * (1.0 + " << a << "[i] * 0.001);\n"
+            << "  }\n";
+      patterns_.push_back("scalar_red_mul");
+      break;
+    case 2:
+      main_ << "  " << s << " = 1000000.0;\n"
+            << "  do i = 1, N label " << lab() << " {\n"
+            << "    " << s << " = min(" << s << ", " << a << "[i] - " << b << "[i]);\n"
+            << "  }\n";
+      patterns_.push_back("scalar_red_min");
+      break;
+    default:
+      main_ << "  " << s << " = 0.0 - 1000000.0;\n"
+            << "  do i = 1, N label " << lab() << " {\n"
+            << "    " << s << " = max(" << s << ", " << a << "[i] + " << b << "[i]);\n"
+            << "  }\n";
+      patterns_.push_back("scalar_red_max");
+      break;
+  }
+  main_ << "  print " << s << ";\n";
+}
+
+// Array-region reduction: commutative updates into a small histogram slice.
+void Gen::p_region_reduction() {
+  std::string dst = arr();
+  std::string src = arr_not(dst);
+  long k = rng_.range(2, 8);
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    " << dst << "[1 + i % " << k << "] = " << dst << "[1 + i % "
+        << k << "] + " << src << "[i] * " << rc01() << ";\n"
+        << "  }\n";
+  patterns_.push_back("region_red");
+}
+
+// Fill the index array with clamped in-bounds values, then gather through
+// it. Reads through an unknown subscript of a read-only array carry no
+// dependence, so the gather loop itself is parallel.
+void Gen::p_index_gather() {
+  std::string src = arr();
+  std::string dst = arr_not(src);
+  long k = rng_.range(1, 7);
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    gix[i] = 1 + (i * " << k << ") % N;\n"
+        << "  }\n"
+        << "  do i = 1, N label " << lab() << " {\n"
+        << "    " << dst << "[i] = " << src << "[gix[i]] + " << rc01() << ";\n"
+        << "  }\n";
+  patterns_.push_back("idx_gather");
+}
+
+// Scatter-update through the index array: a sparse commutative reduction
+// (the bdna §6.4.2 shape) when reduction recognition is on.
+void Gen::p_index_scatter() {
+  std::string src = arr();
+  std::string dst = arr_not(src);
+  long k = rng_.range(1, 7);
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    gix[i] = 1 + (i * " << k << ") % N;\n"
+        << "  }\n"
+        << "  do i = 1, N label " << lab() << " {\n"
+        << "    " << dst << "[gix[i]] = " << dst << "[gix[i]] + " << src
+        << "[i] * " << rc01() << ";\n"
+        << "  }\n";
+  patterns_.push_back("idx_scatter");
+}
+
+// A genuine loop-carried recurrence — order-sensitive by construction.
+// These loops must never be called independent; they are also the fodder
+// the oracle's injected-bug mode forces parallel.
+void Gen::p_recurrence() {
+  std::string a = arr();
+  std::string b = arr_not(a);
+  switch (rng_.range(0, 2)) {
+    case 0:
+      main_ << "  do i = 2, N label " << lab() << " {\n"
+            << "    " << a << "[i] = " << a << "[i - 1] * " << rc01() << " + "
+            << b << "[i];\n"
+            << "  }\n";
+      patterns_.push_back("recurrence_fwd");
+      break;
+    case 1:
+      main_ << "  do i = N - 1, 1, -1 label " << lab() << " {\n"
+            << "    " << a << "[i] = " << a << "[i + 1] * " << rc01() << " + "
+            << rc01() << ";\n"
+            << "  }\n";
+      patterns_.push_back("recurrence_bwd");
+      break;
+    default: {
+      std::string s = scal();
+      main_ << "  do i = 1, N label " << lab() << " {\n"
+            << "    " << s << " = " << s << " * " << rc01() << " + " << a
+            << "[i];\n"
+            << "    " << b << "[i] = " << s << ";\n"
+            << "  }\n";
+      patterns_.push_back("recurrence_scalar_chain");
+      break;
+    }
+  }
+}
+
+// Call-by-reference array section: the callee updates x[1..m] of a section
+// base passed Fortran-style, with adjustable formal bounds.
+void Gen::p_call_section() {
+  std::string a = arr();
+  std::string u = uniq();
+  procs_ << "proc kadd" << u << "(real x[m], int m, real c) {\n"
+         << "  do j = 1, m label " << lab() << " {\n"
+         << "    x[j] = x[j] + c * real(j) * 0.01;\n"
+         << "  }\n"
+         << "}\n\n";
+  if (rng_.chance(50)) {
+    main_ << "  call kadd" << u << "(" << a << ", N, " << rc() << ");\n";
+  } else {
+    long off = rng_.range(2, 4);
+    main_ << "  call kadd" << u << "(" << a << "[" << off << "], N - " << off
+          << ", " << rc() << ");\n";
+  }
+  patterns_.push_back("call_section");
+}
+
+// Interprocedural reduction: the commutative update lives in the callee
+// (the dyfesm §6.2.2.4 shape).
+void Gen::p_call_reduction() {
+  std::string a = arr();
+  std::string s = scal();
+  std::string u = uniq();
+  procs_ << "proc ksum" << u << "(real x[m], int m) {\n"
+         << "  do j = 1, m label " << lab() << " {\n"
+         << "    " << s << " = " << s << " + x[j] * 0.25;\n"
+         << "  }\n"
+         << "}\n\n";
+  main_ << "  " << s << " = 0.0;\n"
+        << "  call ksum" << u << "(" << a << ", N);\n"
+        << "  print " << s << ";\n";
+  patterns_.push_back("call_reduction");
+}
+
+// COMMON block with reshaped overlays: one procedure writes it as a flat
+// vector, another reads it back as an 8x8 matrix (the Fig 5-9 shape).
+void Gen::p_common_overlay() {
+  std::string u = uniq();
+  std::string s = scal();
+  procs_ << "proc cset" << u << "() {\n"
+         << "  common cb" << u << " real u[" << kCap << "];\n"
+         << "  do i = 1, N label " << lab() << " {\n"
+         << "    u[i] = real(i) * " << rc01() << ";\n"
+         << "  }\n"
+         << "}\n\n"
+         << "proc cget" << u << "() {\n"
+         << "  common cb" << u << " real v[8, 8];\n"
+         << "  do j = 1, 8 label " << lab() << " {\n"
+         << "    do i = 1, 8 label " << lab() << " {\n"
+         << "      " << s << " = " << s << " + v[i, j];\n"
+         << "    }\n"
+         << "  }\n"
+         << "}\n\n";
+  main_ << "  call cset" << u << "();\n"
+        << "  call cget" << u << "();\n"
+        << "  print " << s << ";\n";
+  patterns_.push_back("common_overlay");
+}
+
+// A loop whose trip count is zero under the Fortran DO rule.
+void Gen::p_zero_trip() {
+  std::string a = arr();
+  main_ << "  do i = 5, 4 label " << lab() << " {\n"
+        << "    " << a << "[i] = 0.0;\n"
+        << "  }\n";
+  patterns_.push_back("zero_trip");
+}
+
+// Weighted order-sensitive checksums: sum of a[i]*i distinguishes any
+// permutation or corruption of the data an unsound plan produces.
+void Gen::epilogue() {
+  static const char* k1d[] = {"ga", "gb", "gc", "gd"};
+  for (const char* a : k1d) {
+    main_ << "  chk = 0.0;\n"
+          << "  do i = 1, " << kCap << " label " << lab() << " {\n"
+          << "    chk = chk + " << a << "[i] * real(i);\n"
+          << "  }\n"
+          << "  print chk;\n";
+  }
+  main_ << "  chk = 0.0;\n"
+        << "  do j = 1, 8 label " << lab() << " {\n"
+        << "    do i = 1, " << kCap << " label " << lab() << " {\n"
+        << "      chk = chk + g2[i, j] * real(i + 3 * j);\n"
+        << "    }\n"
+        << "  }\n"
+        << "  print chk;\n"
+        << "  chk = 0.0;\n"
+        << "  do i = 1, " << kCap << " label " << lab() << " {\n"
+        << "    chk = chk + real(gix[i]) * real(i);\n"
+        << "  }\n"
+        << "  print chk;\n"
+        << "  print gs1;\n  print gs2;\n  print gs3;\n  print gs4;\n";
+}
+
+GeneratedProgram Gen::run() {
+  GeneratedProgram out;
+  out.seed = seed_;
+  out.name = "fz" + std::to_string(seed_);
+
+  struct Entry {
+    int weight;
+    void (Gen::*fn)();
+    bool enabled;
+  };
+  const Entry table[] = {
+      {20, &Gen::p_init_map, true},
+      {10, &Gen::p_nested_2d, true},
+      {12, &Gen::p_priv_temp, true},
+      {10, &Gen::p_guarded_priv, true},
+      {14, &Gen::p_scalar_reduction, true},
+      {8, &Gen::p_region_reduction, true},
+      {8, &Gen::p_index_gather, true},
+      {8, &Gen::p_index_scatter, true},
+      {12, &Gen::p_recurrence, opts_.allow_recurrences},
+      {8, &Gen::p_call_section, opts_.allow_calls},
+      {5, &Gen::p_call_reduction, opts_.allow_calls},
+      {6, &Gen::p_common_overlay, opts_.allow_commons},
+      {4, &Gen::p_zero_trip, true},
+  };
+  int total = 0;
+  for (const Entry& e : table) total += e.enabled ? e.weight : 0;
+
+  long n_param = rng_.range(8, kTripMax);
+  int n_patterns = static_cast<int>(
+      rng_.range(opts_.min_patterns, std::max(opts_.min_patterns, opts_.max_patterns)));
+  for (int p = 0; p < n_patterns; ++p) {
+    long roll = rng_.range(1, total);
+    for (const Entry& e : table) {
+      if (!e.enabled) continue;
+      roll -= e.weight;
+      if (roll <= 0) {
+        (this->*e.fn)();
+        break;
+      }
+    }
+  }
+  epilogue();
+
+  std::ostringstream src;
+  src << "// generated by suifx::testing::generate_program seed=" << seed_ << "\n"
+      << "program " << out.name << ";\n"
+      << "param N = " << n_param << ";\n"
+      << "global real ga[" << kCap << "] input;\n"
+      << "global real gb[" << kCap << "] input;\n"
+      << "global real gc[" << kCap << "] input;\n"
+      << "global real gd[" << kCap << "];\n"
+      << "global real g2[" << kCap << ", 8] input;\n"
+      << "global int gix[" << kCap << "];\n"
+      << "global real gs1;\n"
+      << "global real gs2;\n"
+      << "global real gs3;\n"
+      << "global real gs4;\n\n"
+      << procs_.str()
+      << "proc main() {\n"
+      << "  real t;\n"
+      << "  real chk;\n"
+      << main_.str()
+      << "}\n";
+  out.source = src.str();
+  out.patterns = std::move(patterns_);
+  return out;
+}
+
+}  // namespace
+
+GeneratedProgram generate_program(uint64_t seed, const GenOptions& opts) {
+  return Gen(seed, opts).run();
+}
+
+}  // namespace suifx::testing

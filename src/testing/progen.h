@@ -1,0 +1,43 @@
+// Seeded generative fuzzer for SF programs (the differential oracle's input
+// source, docs/testing.md). Programs are built from a pattern grammar biased
+// toward the thesis's hard cases — privatizable temporaries (§4.4.1),
+// +/*/min/max reductions (§6.2), index-array gathers and scatters (§6.4.2),
+// COMMON blocks with reshaped overlays (Fig 5-9), call-by-reference array
+// sections — and are well-formed by construction: every subscript is kept in
+// bounds so the interpreter never traps on a generator-made program, and
+// every program prints order-sensitive checksums (sum of a[i]*i) so an
+// unsound plan is visible in the output vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace suifx::testing {
+
+struct GenOptions {
+  /// Pattern instances drawn per program (the epilogue checksums are extra).
+  int min_patterns = 2;
+  int max_patterns = 6;
+  /// Emit call-by-reference patterns (helper procedures).
+  bool allow_calls = true;
+  /// Emit COMMON blocks with reshaped overlays.
+  bool allow_commons = true;
+  /// Emit genuine loop-carried recurrences. These are what the oracle's
+  /// injected-bug mode forces parallel, so leave them on for fuzzing; turn
+  /// them off to generate an all-parallelizable corpus.
+  bool allow_recurrences = true;
+};
+
+struct GeneratedProgram {
+  uint64_t seed = 0;
+  std::string name;    // "fz<seed>"
+  std::string source;  // complete SF program text
+  std::vector<std::string> patterns;  // instantiated pattern names, in order
+};
+
+/// Generate one SF program. Deterministic: the same (seed, options) pair
+/// always yields byte-identical source — SUIFX_FUZZ_SEED replays rely on it.
+GeneratedProgram generate_program(uint64_t seed, const GenOptions& opts = {});
+
+}  // namespace suifx::testing

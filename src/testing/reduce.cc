@@ -1,0 +1,272 @@
+#include "testing/reduce.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "frontend/parser.h"
+#include "ir/printer.h"
+#include "support/diag.h"
+
+namespace suifx::testing {
+
+namespace {
+
+// --- re-emission of a parsed program with edits applied --------------------
+// Mirrors src/ir/printer.cc's concrete syntax (the printer/parser round trip
+// is a tested fixed point), adding three edits the printer has no notion of:
+// dropped statement subtrees, overridden param defaults, and overridden
+// constant DO upper bounds. Unedited simple statements delegate to
+// ir::to_string directly.
+
+struct Edits {
+  const ir::Stmt* drop = nullptr;                 // subtree to omit
+  std::map<const ir::Variable*, long> params;     // param default overrides
+  std::map<const ir::Stmt*, long> do_ub;          // constant DO ub overrides
+};
+
+std::string dims_str(const ir::Variable* v) {
+  if (!v->is_array()) return "";
+  std::string out = "[";
+  for (size_t i = 0; i < v->dims.size(); ++i) {
+    if (i > 0) out += ", ";
+    const ir::Dim& d = v->dims[i];
+    long lo = 0;
+    if (!(ir::eval_const_with_params(d.lower, &lo) && lo == 1)) {
+      out += ir::to_string(d.lower) + ":";
+    }
+    out += ir::to_string(d.upper);
+  }
+  return out + "]";
+}
+
+void emit_var_decl(const ir::Variable* v, std::ostringstream& os, int indent) {
+  os << std::string(static_cast<size_t>(indent) * 2, ' ');
+  if (v->kind == ir::VarKind::CommonMember) {
+    os << "common " << v->common->name << " ";
+    if (v->common_offset != 0) os << "@" << v->common_offset << " ";
+  }
+  os << ir::to_string(v->elem) << " " << v->name << dims_str(v);
+  if (v->is_input) os << " input";
+  os << ";\n";
+}
+
+void emit_body(const std::vector<ir::Stmt*>& body, const Edits& ed,
+               std::ostringstream& os, int indent);
+
+void emit_stmt(const ir::Stmt* s, const Edits& ed, std::ostringstream& os,
+               int indent) {
+  if (s == ed.drop) return;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s->kind) {
+    case ir::StmtKind::If:
+      os << pad << "if (" << ir::to_string(s->cond) << ") {\n";
+      emit_body(s->then_body, ed, os, indent + 1);
+      if (!s->else_body.empty()) {
+        os << pad << "} else {\n";
+        emit_body(s->else_body, ed, os, indent + 1);
+      }
+      os << pad << "}\n";
+      break;
+    case ir::StmtKind::Do: {
+      os << pad << "do " << s->ivar->name << " = " << ir::to_string(s->lb)
+         << ", ";
+      auto ub = ed.do_ub.find(s);
+      if (ub != ed.do_ub.end()) {
+        os << ub->second;
+      } else {
+        os << ir::to_string(s->ub);
+      }
+      long step = 0;
+      if (!(ir::eval_const_with_params(s->step, &step) && step == 1)) {
+        os << ", " << ir::to_string(s->step);
+      }
+      if (!s->label.empty()) os << " label " << s->label;
+      os << " {\n";
+      emit_body(s->body, ed, os, indent + 1);
+      os << pad << "}\n";
+      break;
+    }
+    default:
+      os << ir::to_string(s, indent);
+      break;
+  }
+}
+
+void emit_body(const std::vector<ir::Stmt*>& body, const Edits& ed,
+               std::ostringstream& os, int indent) {
+  for (const ir::Stmt* s : body) emit_stmt(s, ed, os, indent);
+}
+
+/// Procedures still reachable from main through calls that survive the drop
+/// edit — dead helpers are pruned from the emitted source.
+std::set<const ir::Procedure*> reachable_procs(const ir::Program& prog,
+                                               const Edits& ed) {
+  std::set<const ir::Procedure*> seen;
+  std::vector<const ir::Procedure*> work;
+  if (prog.main() != nullptr) {
+    seen.insert(prog.main());
+    work.push_back(prog.main());
+  }
+  std::function<void(const ir::Stmt*)> visit = [&](const ir::Stmt* s) {
+    if (s == ed.drop) return;
+    if (s->kind == ir::StmtKind::Call && s->callee != nullptr &&
+        seen.insert(s->callee).second) {
+      work.push_back(s->callee);
+    }
+    for (const ir::Stmt* c : s->then_body) visit(c);
+    for (const ir::Stmt* c : s->else_body) visit(c);
+    for (const ir::Stmt* c : s->body) visit(c);
+  };
+  while (!work.empty()) {
+    const ir::Procedure* p = work.back();
+    work.pop_back();
+    for (const ir::Stmt* s : p->body) visit(s);
+  }
+  return seen;
+}
+
+std::string emit_program(const ir::Program& prog, const Edits& ed) {
+  std::ostringstream os;
+  os << "program " << prog.name() << ";\n";
+  for (const ir::Variable* v : prog.sym_params()) {
+    auto it = ed.params.find(v);
+    long val = it != ed.params.end() ? it->second : v->param_default;
+    os << "param " << v->name << " = " << val << ";\n";
+  }
+  for (const ir::Variable* v : prog.globals()) {
+    os << "global ";
+    emit_var_decl(v, os, 0);
+  }
+  std::set<const ir::Procedure*> keep = reachable_procs(prog, ed);
+  for (const ir::Procedure& p : prog.procedures()) {
+    if (keep.count(&p) == 0) continue;
+    os << "\nproc " << p.name << "(";
+    for (size_t i = 0; i < p.formals.size(); ++i) {
+      if (i > 0) os << ", ";
+      const ir::Variable* f = p.formals[i];
+      os << ir::to_string(f->elem) << " " << f->name << dims_str(f);
+    }
+    os << ") {\n";
+    for (const ir::Variable* v : p.locals) emit_var_decl(v, os, 1);
+    emit_body(p.body, ed, os, 1);
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::unique_ptr<ir::Program> parse_quiet(const std::string& src) {
+  Diag diag;
+  return frontend::parse_program(src, diag);
+}
+
+/// All statements in reachable procedures, in deterministic pre-order.
+std::vector<const ir::Stmt*> all_stmts(const ir::Program& prog) {
+  std::vector<const ir::Stmt*> out;
+  for (const ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](const ir::Stmt* s) { out.push_back(s); });
+  }
+  return out;
+}
+
+}  // namespace
+
+ReduceResult reduce_source(const std::string& src, const FailPredicate& fails,
+                           const ReduceOptions& opts) {
+  ReduceResult out;
+  out.source = src;
+  {
+    auto prog = parse_quiet(src);
+    out.initial_statements = prog != nullptr ? prog->num_stmts() : 0;
+    out.final_statements = out.initial_statements;
+  }
+  auto probe = [&](const std::string& candidate) {
+    ++out.probes;
+    return fails(candidate);
+  };
+  if (out.probes >= opts.max_probes || !probe(src)) return out;
+
+  // Phase 1: delete statement subtrees to a greedy fixpoint. The statement
+  // list is re-derived from a fresh parse after every accepted deletion (the
+  // old pointers die with the old program); `idx` carries the scan position
+  // across re-parses so each pass is one linear sweep.
+  bool progress = true;
+  while (progress && out.probes < opts.max_probes) {
+    progress = false;
+    size_t idx = 0;
+    while (out.probes < opts.max_probes) {
+      auto prog = parse_quiet(out.source);
+      if (prog == nullptr) break;  // cannot happen: out.source parsed before
+      std::vector<const ir::Stmt*> stmts = all_stmts(*prog);
+      if (idx >= stmts.size()) break;
+      Edits ed;
+      ed.drop = stmts[idx];
+      std::string candidate = emit_program(*prog, ed);
+      if (probe(candidate)) {
+        out.source = std::move(candidate);
+        out.reduced = true;
+        progress = true;  // idx now points at the next surviving statement
+      } else {
+        ++idx;
+      }
+    }
+  }
+
+  // Phase 2: halve param defaults while the failure persists.
+  {
+    auto prog = parse_quiet(out.source);
+    if (prog != nullptr) {
+      for (const ir::Variable* v : prog->sym_params()) {
+        long val = v->param_default;
+        Edits ed;
+        while (val > 2 && out.probes < opts.max_probes) {
+          ed.params[v] = val / 2;
+          std::string candidate = emit_program(*prog, ed);
+          if (!probe(candidate)) break;
+          out.source = std::move(candidate);
+          out.reduced = true;
+          val /= 2;
+        }
+      }
+    }
+  }
+
+  // Phase 3: halve constant DO upper bounds. Bounds are identified by the
+  // loop's position in the statement pre-order, so a fresh parse per
+  // accepted shrink keeps pointers valid.
+  {
+    bool more = true;
+    while (more && out.probes < opts.max_probes) {
+      more = false;
+      auto prog = parse_quiet(out.source);
+      if (prog == nullptr) break;
+      for (const ir::Stmt* s : all_stmts(*prog)) {
+        long ub = 0;
+        if (s->kind != ir::StmtKind::Do ||
+            !ir::eval_const_with_params(s->ub, &ub) || ub <= 2) {
+          continue;
+        }
+        // Only literal bounds: halving an N-derived bound is phase 2's job.
+        if (s->ub->kind != ir::ExprKind::IntConst) continue;
+        if (out.probes >= opts.max_probes) break;
+        Edits ed;
+        ed.do_ub[s] = ub / 2;
+        std::string candidate = emit_program(*prog, ed);
+        if (probe(candidate)) {
+          out.source = std::move(candidate);
+          out.reduced = true;
+          more = true;
+          break;  // re-parse; statement pointers are stale now
+        }
+      }
+    }
+  }
+
+  if (auto prog = parse_quiet(out.source)) {
+    out.final_statements = prog->num_stmts();
+  }
+  return out;
+}
+
+}  // namespace suifx::testing

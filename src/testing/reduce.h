@@ -1,0 +1,40 @@
+// Greedy test-case reducer for SF programs (docs/testing.md). Given a
+// program and a predicate "this source still exhibits the failure", it
+// shrinks the program while the predicate holds: delete one statement
+// subtree at a time (greedy fixpoint, in statement order), then halve param
+// defaults, then halve constant DO upper bounds. Every candidate is re-built
+// from the parsed IR through the printer, so a reduced repro is always
+// well-formed SF — a candidate the parser rejects simply fails the predicate
+// and is discarded.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace suifx::testing {
+
+/// Returns true when `source` still exhibits the failure being reduced.
+/// Called many times; it should be deterministic for the same source.
+using FailPredicate = std::function<bool(const std::string& source)>;
+
+struct ReduceOptions {
+  /// Upper bound on predicate evaluations (each one typically runs the full
+  /// pipeline, so this bounds reduction wall time).
+  int max_probes = 4000;
+};
+
+struct ReduceResult {
+  std::string source;         // smallest failing source found
+  int initial_statements = 0; // statement count of the input program
+  int final_statements = 0;   // statement count of `source`
+  int probes = 0;             // predicate evaluations spent
+  bool reduced = false;       // at least one shrink was accepted
+};
+
+/// Reduce `src` under `fails`. Precondition: fails(src) is true (if not, the
+/// input is returned unchanged with reduced=false). The result source still
+/// satisfies the predicate.
+ReduceResult reduce_source(const std::string& src, const FailPredicate& fails,
+                           const ReduceOptions& opts = {});
+
+}  // namespace suifx::testing

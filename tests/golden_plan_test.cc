@@ -1,0 +1,133 @@
+// Golden-plan snapshot tests: for every benchsuite app, the loops the fully
+// automatic plan chooses as outermost-parallel — identified by source
+// location — must match the checked-in snapshot in tests/goldens/. This
+// pins the observable output of the whole static pipeline: any change to an
+// analysis that silently flips a loop's verdict shows up as a golden diff,
+// and the ordering itself regression-tests plan determinism (the listings
+// are source-ordered, never pointer-ordered).
+//
+// To regenerate after an intentional change:
+//   ./test_golden_plan --update-goldens        (or SUIFX_UPDATE_GOLDENS=1)
+// then review and commit the diff under tests/goldens/.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "benchsuite/suite.h"
+#include "explorer/workbench.h"
+#include "simulator/smp.h"
+
+namespace suifx {
+namespace {
+
+bool update_mode() {
+  const char* env = std::getenv("SUIFX_UPDATE_GOLDENS");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+std::vector<const benchsuite::BenchProgram*> all_programs() {
+  std::vector<const benchsuite::BenchProgram*> out;
+  std::map<std::string, bool> seen;  // the suites overlap; dedupe by name
+  for (const auto& suite : {benchsuite::explorer_suite(),
+                            benchsuite::liveness_suite(),
+                            benchsuite::reduction_suite()}) {
+    for (const benchsuite::BenchProgram* bp : suite) {
+      if (!seen[bp->name]) {
+        seen[bp->name] = true;
+        out.push_back(bp);
+      }
+    }
+  }
+  return out;
+}
+
+/// The snapshot: one line per chosen outermost-parallel loop, in source
+/// order. `@line` is the synthetic line Program::finalize assigns, which is
+/// stable across runs because it depends only on the source text.
+std::string snapshot(const benchsuite::BenchProgram& bp) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(bp.source, diag);
+  if (wb == nullptr) return "FRONT END FAILED:\n" + diag.str();
+  parallelizer::ParallelPlan plan = wb->plan();
+  sim::SmpSimulator simulator(wb->program(), wb->dataflow(), wb->regions());
+  std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(plan);
+  std::sort(chosen.begin(), chosen.end(),
+            [](const ir::Stmt* a, const ir::Stmt* b) {
+              if (a->line != b->line) return a->line < b->line;
+              return a->id < b->id;
+            });
+  std::ostringstream os;
+  os << "# outermost-parallel loops of " << bp.name
+     << " (automatic plan, no assertions)\n";
+  for (const ir::Stmt* loop : chosen) {
+    os << loop->loop_name() << " @line " << loop->line << "\n";
+  }
+  return os.str();
+}
+
+class GoldenPlan : public ::testing::TestWithParam<const benchsuite::BenchProgram*> {};
+
+TEST_P(GoldenPlan, MatchesSnapshot) {
+  const benchsuite::BenchProgram& bp = *GetParam();
+  std::string path = std::string(SUIFX_GOLDEN_DIR) + "/" + bp.name + ".golden";
+  std::string got = snapshot(bp);
+  ASSERT_EQ(got.rfind("FRONT END FAILED", 0), std::string::npos) << got;
+
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run `test_golden_plan --update-goldens` and commit the result";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "plan snapshot for " << bp.name << " changed; if intentional, run "
+      << "`test_golden_plan --update-goldens` and commit the diff";
+}
+
+// A second run of the whole stack must snapshot identically within one
+// process — the in-process determinism check behind the golden files (heap
+// layout differs between the two workbenches, so pointer-ordered iteration
+// would flicker here).
+TEST(GoldenPlan, SnapshotIsDeterministicInProcess) {
+  const benchsuite::BenchProgram& bp = benchsuite::kernel_bdna();
+  EXPECT_EQ(snapshot(bp), snapshot(bp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, GoldenPlan, ::testing::ValuesIn(all_programs()),
+    [](const ::testing::TestParamInfo<const benchsuite::BenchProgram*>& info) {
+      std::string n = info.param->name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace suifx
+
+// Custom main so `--update-goldens` works without an env var. This
+// executable's main wins over the gtest_main static library (the linker
+// only pulls gtest_main's object when main is otherwise undefined).
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      setenv("SUIFX_UPDATE_GOLDENS", "1", 1);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -106,5 +106,98 @@ proc main() {
   EXPECT_TRUE(r.ok) << r.detail;
 }
 
+TEST(Validate, ZeroTripLoopIsTriviallyOrderInsensitive) {
+  // Fortran DO with lb > ub and positive step never executes; reversing its
+  // (empty) iteration space must validate cleanly rather than trap.
+  const char* src = R"(
+program p;
+global real a[10];
+proc main() {
+  do i = 5, 4 label 10 {
+    a[i] = 1.0;
+  }
+  print a[1];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  ValidationResult r = validate_plan(wb->program(), {wb->loop("main/10")}, {});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Validate, NegativeStrideIndependentLoopValidates) {
+  const char* src = R"(
+program p;
+global real a[100];
+proc main() {
+  do i = 100, 1, -1 label 10 {
+    a[i] = real(i) * 0.5;
+  }
+  print a[3];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  ValidationResult r = validate_plan(wb->program(), {wb->loop("main/10")}, {});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Validate, NegativeStrideRecurrenceIsCaught) {
+  // A backward recurrence: each iteration reads the element the previous
+  // (higher-i) iteration wrote, so reversal changes the result.
+  const char* src = R"(
+program p;
+global real a[100];
+proc main() {
+  a[100] = 1.0;
+  do i = 99, 1, -1 label 10 {
+    a[i] = a[i + 1] * 0.5 + real(i);
+  }
+  print a[1];
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  ValidationResult r = validate_plan(wb->program(), {wb->loop("main/10")}, {}, 1e-6);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("order-sensitive"), std::string::npos);
+}
+
+TEST(Validate, RelativeToleranceBoundary) {
+  // s = s*0.5 + a[i] over two iterations gives an exactly computable
+  // order-sensitivity: forward = 0.125 + a[1]/2 + a[2], reversed =
+  // 0.125 + a[2]/2 + a[1], so |diff| = |a[2]-a[1]|/2. With a[2]-a[1] = 2e-9
+  // the relative difference against the ~1.625 output is ~6.2e-10: a
+  // tolerance just below rejects the plan, just above accepts it.
+  const char* src = R"(
+program p;
+global real a[2] input;
+proc main() {
+  real s;
+  s = 0.5;
+  do i = 1, 2 label 10 {
+    s = s * 0.5 + a[i];
+  }
+  print s;
+}
+)";
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  ASSERT_NE(wb, nullptr);
+  Inputs inputs;
+  inputs.arrays["a"] = {1.0, 1.0 + 2e-9};
+  const ir::Stmt* loop = wb->loop("main/10");
+  ValidationResult tight =
+      validate_plan(wb->program(), {loop}, inputs, /*rel_tolerance=*/3e-10);
+  EXPECT_FALSE(tight.ok);
+  EXPECT_NE(tight.detail.find("order-sensitive"), std::string::npos);
+  ValidationResult loose =
+      validate_plan(wb->program(), {loop}, inputs, /*rel_tolerance=*/1.2e-9);
+  EXPECT_TRUE(loose.ok) << loose.detail;
+}
+
 }  // namespace
 }  // namespace suifx::dynamic
