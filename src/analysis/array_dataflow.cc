@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "polyhedra/polycache.h"
 #include "support/budget.h"
 #include "support/fault.h"
 #include "support/metrics.h"
@@ -84,8 +85,8 @@ AccessInfo AccessInfo::meet(const AccessInfo& a, const AccessInfo& b) {
     demote_conflicting_reductions(&va, &vb);
     VarAccess m;
     m.sec = ArraySummary::meet(va.sec, vb.sec);
-    m.red = va.red;
-    for (const auto& [op, list] : vb.red) m.red[op].unite(list);
+    m.red = std::move(va.red);  // va is this iteration's local copy
+    for (auto& [op, list] : vb.red) m.red[op].unite(std::move(list));
     out.vars[v] = std::move(m);
   }
   return out;
@@ -103,8 +104,8 @@ AccessInfo AccessInfo::compose(const AccessInfo& node, const AccessInfo& after) 
     demote_conflicting_reductions(&vn, &va);
     VarAccess c;
     c.sec = ArraySummary::compose(vn.sec, va.sec);
-    c.red = vn.red;
-    for (const auto& [op, list] : va.red) c.red[op].unite(list);
+    c.red = std::move(vn.red);  // vn is this iteration's local copy
+    for (auto& [op, list] : va.red) c.red[op].unite(std::move(list));
     out.vars[v] = std::move(c);
   }
   return out;
@@ -526,7 +527,7 @@ AccessInfo ArrayDataflow::close_loop(const ir::Stmt* loop, AccessInfo body) {
     auto close_list = [&](const SectionList& list) {
       SectionList bounded;
       for (const LinSystem& p : list.systems()) {
-        bounded.add(LinSystem::intersect(p, bounds));
+        bounded.add(poly::cache::intersect(p, bounds));
       }
       return bounded.project_out_if(variant);
     };
@@ -540,7 +541,7 @@ AccessInfo ArrayDataflow::close_loop(const ir::Stmt* loop, AccessInfo body) {
     // symbols are the loop index itself (full-trip DO: every iteration runs).
     SectionList m_keep, m_demote;
     for (const LinSystem& p : va.sec.M.systems()) {
-      LinSystem b = LinSystem::intersect(p, bounds);
+      LinSystem b = poly::cache::intersect(p, bounds);
       if (ivar_only_variants(b)) {
         m_keep.add(b);
       } else {
@@ -559,10 +560,10 @@ AccessInfo ArrayDataflow::close_loop(const ir::Stmt* loop, AccessInfo body) {
     bool sharpen = !has_call && va.sec.W.empty() && !va.sec.M.empty();
     if (sharpen) {
       // Anti-dependence probe: R at iteration i vs M at iteration i' != i.
-      std::map<SymId, SymId> prime;
+      poly::SymMap prime;
       for (const LinSystem& p : va.sec.M.systems()) {
         for (SymId s : p.symbols()) {
-          if (variant(s)) prime[s] = poly::prime_of(s);
+          if (variant(s)) prime.set(s, poly::prime_of(s));
         }
       }
       LinSystem bounds2 = bounds.rename(prime);
@@ -574,14 +575,20 @@ AccessInfo ArrayDataflow::close_loop(const ir::Stmt* loop, AccessInfo body) {
       // loop-independent anti-dependence: the exposed-read set then overlaps
       // the must-write set at equal iteration symbols.
       bool anti = !SectionList::intersect(va.sec.E, va.sec.M).empty();
+      // The primed must-write parts do not depend on `r`: compute each once.
+      std::vector<LinSystem> primed_m;
+      primed_m.reserve(va.sec.M.systems().size());
+      for (const LinSystem& m : va.sec.M.systems()) {
+        poly::SymMap pm;
+        for (SymId s : m.symbols()) {
+          if (variant(s)) pm.set(s, poly::prime_of(s));
+        }
+        primed_m.push_back(poly::cache::intersect(m.rename(pm), bounds2));
+      }
       for (const LinSystem& r : va.sec.R.systems()) {
-        for (const LinSystem& m : va.sec.M.systems()) {
-          std::map<SymId, SymId> pm;
-          for (SymId s : m.symbols()) {
-            if (variant(s)) pm[s] = poly::prime_of(s);
-          }
-          LinSystem probe = LinSystem::intersect(LinSystem::intersect(r, bounds),
-                                                 LinSystem::intersect(m.rename(pm), bounds2));
+        LinSystem r_bounded = poly::cache::intersect(r, bounds);
+        for (const LinSystem& m2 : primed_m) {
+          LinSystem probe = poly::cache::intersect(r_bounded, m2);
           // Anti-dependence: a read at iteration i of a location written by a
           // LATER iteration i' > i (flow dependences — writes in earlier
           // iterations — do not invalidate the write-precedes-read argument).
@@ -596,7 +603,7 @@ AccessInfo ArrayDataflow::close_loop(const ir::Stmt* loop, AccessInfo body) {
         e_closed = e_closed.subtract(closed.sec.M);
       }
     }
-    closed.sec.E = e_closed;
+    closed.sec.E = std::move(e_closed);
     if (closed.any()) out.vars[v] = std::move(closed);
   }
   return out;
@@ -685,7 +692,7 @@ AccessInfo ArrayDataflow::map_call(const ir::Stmt* call) const {
         if (s.value) {
           sys = sys.substitute(s.sym, *s.value);
         } else {
-          sys = sys.project_out(s.sym);
+          sys = poly::cache::project_out(sys, s.sym);
           weakened = true;
         }
       }
@@ -767,7 +774,7 @@ AccessInfo ArrayDataflow::map_call(const ir::Stmt* call) const {
         rel -= LinearExpr::var(scratch);
         rel -= *dim0_shift;
         renamed.add_eq(std::move(rel));  // d0 - scratch - shift == 0
-        out.add(renamed.project_out(scratch));
+        out.add(poly::cache::project_out(renamed, scratch));
       }
       return out;
     };
@@ -781,7 +788,7 @@ AccessInfo ArrayDataflow::map_call(const ir::Stmt* call) const {
     tv.sec.W.unite(shift_dims(std::move(spill)));
     for (const auto& [op, list] : va.red) {
       SectionList l = shift_dims(translate(list, false, nullptr));
-      if (!l.empty()) tv.red[op].unite(l);
+      if (!l.empty()) tv.red[op].unite(std::move(l));
     }
   }
   return result;

@@ -1,5 +1,8 @@
 #include "analysis/depend.h"
 
+#include <algorithm>
+
+#include "polyhedra/polycache.h"
 #include "support/budget.h"
 #include "support/fault.h"
 #include "support/metrics.h"
@@ -29,18 +32,22 @@ std::vector<const ir::Variable*> LoopVerdict::dependent_vars() const {
   for (const auto& [v, verdict] : vars) {
     if (verdict.cls == VarClass::Dependent) out.push_back(v);
   }
+  // The map is pointer-keyed; sort by id so callers see a stable order
+  // regardless of heap layout.
+  std::sort(out.begin(), out.end(),
+            [](const ir::Variable* a, const ir::Variable* b) { return a->id < b->id; });
   return out;
 }
 
-std::map<SymId, SymId> DependenceAnalysis::prime_map(const ir::Stmt* loop,
-                                                     const AccessInfo& body) const {
-  std::map<SymId, SymId> prime;
+poly::SymMap DependenceAnalysis::prime_map(const ir::Stmt* loop,
+                                           const AccessInfo& body) const {
+  poly::SymMap prime;
   const Symbolic& sym = df_.symbolic();
   auto visit_list = [&](const SectionList& list) {
     for (const LinSystem& p : list.systems()) {
       for (SymId s : p.symbols()) {
         if (!poly::is_dim_sym(s) && sym.is_variant_sym(loop, s)) {
-          prime[s] = poly::prime_of(s);
+          prime.set(s, poly::prime_of(s));
         }
       }
     }
@@ -54,7 +61,7 @@ std::map<SymId, SymId> DependenceAnalysis::prime_map(const ir::Stmt* loop,
   }
   for (SymId s : df_.loop_bounds(loop).symbols()) {
     if (!poly::is_dim_sym(s) && sym.is_variant_sym(loop, s)) {
-      prime[s] = poly::prime_of(s);
+      prime.set(s, poly::prime_of(s));
     }
   }
   return prime;
@@ -64,16 +71,24 @@ bool DependenceAnalysis::cross_iteration_overlap(const ir::Stmt* loop,
                                                  const SectionList& a,
                                                  const SectionList& b) const {
   const AccessInfo& body = df_.body_info(loop);
-  std::map<SymId, SymId> prime = prime_map(loop, body);
+  poly::SymMap prime = prime_map(loop, body);
   LinSystem bounds = df_.loop_bounds(loop);
   LinSystem bounds2 = bounds.rename(prime);
   SymId isym = df_.loop_index_sym(loop);
-  SymId isym2 = prime.count(isym) != 0 ? prime.at(isym) : poly::prime_of(isym);
+  SymId isym2 = prime.contains(isym) ? prime.apply(isym) : poly::prime_of(isym);
+
+  // The primed copy of each part of `b` and its bound conjunction do not
+  // depend on `pa`: compute them once per call, not once per (pa, pb) pair.
+  std::vector<LinSystem> primed_b;
+  primed_b.reserve(b.systems().size());
+  for (const LinSystem& pb : b.systems()) {
+    primed_b.push_back(poly::cache::intersect(pb.rename(prime), bounds2));
+  }
 
   for (const LinSystem& pa : a.systems()) {
-    for (const LinSystem& pb : b.systems()) {
-      LinSystem base = LinSystem::intersect(LinSystem::intersect(pa, bounds),
-                                            LinSystem::intersect(pb.rename(prime), bounds2));
+    LinSystem pa_bounded = poly::cache::intersect(pa, bounds);
+    for (const LinSystem& pb2 : primed_b) {
+      LinSystem base = poly::cache::intersect(pa_bounded, pb2);
       for (long dir : {+1L, -1L}) {
         LinSystem probe = base;
         LinearExpr diff = LinearExpr::var(isym2);
@@ -102,7 +117,6 @@ LoopVerdict DependenceAnalysis::analyze(
   out.has_io = df_.loop_has_io(loop);
   const AccessInfo& body = df_.body_info(loop);
   const Symbolic& sym = df_.symbolic();
-  std::map<SymId, SymId> prime = prime_map(loop, body);
   LinSystem bounds = df_.loop_bounds(loop);
 
   bool all_ok = true;
@@ -198,14 +212,14 @@ LoopVerdict DependenceAnalysis::analyze(
       if (!va.sec.M.empty() && va.sec.W.empty() && red_all.empty()) {
         SectionList union_region;
         for (const LinSystem& p : va.sec.M.systems()) {
-          union_region.add(LinSystem::intersect(p, bounds).project_out_if(
+          union_region.add(poly::cache::intersect(p, bounds).project_out_if(
               [&](SymId s) { return sym.is_variant_sym(loop, s); }));
         }
         bool same = true;
         for (const LinSystem& u : union_region.systems()) {
           bool covered = false;
           for (const LinSystem& p : va.sec.M.systems()) {
-            if (p.contains(LinSystem::intersect(u, bounds))) covered = true;
+            if (poly::cache::contains(p, poly::cache::intersect(u, bounds))) covered = true;
           }
           same = same && covered;
         }

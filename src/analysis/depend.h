@@ -66,8 +66,7 @@ class DependenceAnalysis {
                                const poly::SectionList& b) const;
 
  private:
-  std::map<poly::SymId, poly::SymId> prime_map(const ir::Stmt* loop,
-                                               const AccessInfo& body) const;
+  poly::SymMap prime_map(const ir::Stmt* loop, const AccessInfo& body) const;
 
   const ArrayDataflow& df_;
   bool enable_reductions_ = true;

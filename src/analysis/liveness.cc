@@ -130,16 +130,14 @@ AccessInfo ArrayLiveness::map_to_callee(const ir::Stmt* call,
   // scalars mean nothing there). May-sets project; must-sets drop weakened
   // parts (fewer kills is the conservative direction).
   auto localize_may = [&](const SectionList& list) {
-    SectionList out_list;
-    for (const LinSystem& sys : list.systems()) {
-      out_list.add(sys.project_out_if([&](SymId sid) {
-        if (poly::is_dim_sym(sid)) return false;
-        int vid = poly::sym_var_id(sid);
-        return vid < 0 || vid >= prog_.num_vars() ||
-               prog_.variables()[static_cast<size_t>(vid)].kind != ir::VarKind::SymParam;
-      }));
-    }
-    return out_list;
+    // Routed through SectionList::project_out_if so each per-symbol
+    // elimination hits the shared polyhedral memo table.
+    return list.project_out_if([&](SymId sid) {
+      if (poly::is_dim_sym(sid)) return false;
+      int vid = poly::sym_var_id(sid);
+      return vid < 0 || vid >= prog_.num_vars() ||
+             prog_.variables()[static_cast<size_t>(vid)].kind != ir::VarKind::SymParam;
+    });
   };
   auto localize_must = [&](const SectionList& list) {
     SectionList out_list;

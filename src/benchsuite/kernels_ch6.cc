@@ -2,6 +2,8 @@
 // exercising every reduction class of §6.1 — scalar, regular array region,
 // sparse (index-array) and interprocedural — plus the region-minimization
 // case of §6.3.3.
+#include <set>
+
 #include "benchsuite/suite.h"
 
 namespace suifx::benchsuite {
@@ -266,6 +268,17 @@ std::vector<const BenchProgram*> reduction_suite() {
           &kernel_dyfesm(), &kernel_su2cor(),  &kernel_tomcatv(),
           &kernel_ora(),    &kernel_arc2d(),   &kernel_adm(),
           &kernel_qcd(),    &kernel_trfd(),    &kernel_mg3d()};
+}
+
+std::vector<const BenchProgram*> full_suite() {
+  std::vector<const BenchProgram*> out;
+  std::set<std::string> seen;  // the suites overlap; dedupe by name
+  for (const auto& suite : {explorer_suite(), liveness_suite(), reduction_suite()}) {
+    for (const BenchProgram* bp : suite) {
+      if (seen.insert(bp->name).second) out.push_back(bp);
+    }
+  }
+  return out;
 }
 
 }  // namespace suifx::benchsuite

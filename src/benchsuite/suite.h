@@ -63,5 +63,9 @@ std::vector<const BenchProgram*> explorer_suite();
 std::vector<const BenchProgram*> liveness_suite();
 /// The Chapter 6 reduction-impact programs (Figs 6-2..6-7).
 std::vector<const BenchProgram*> reduction_suite();
+/// The union of all three study suites, deduplicated by name (the 17
+/// distinct programs the golden-plan snapshots cover) — whole-benchsuite
+/// sweeps (the golden test, ext_poly_cache) iterate this.
+std::vector<const BenchProgram*> full_suite();
 
 }  // namespace suifx::benchsuite

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "polyhedra/polycache.h"
 #include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -72,6 +73,9 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
   metrics.count("driver.plan");
   support::Metrics::ScopedTimer timer(metrics, "driver.plan");
   support::trace::TraceSpan plan_span("driver/plan");
+  // All pool workers share the process-wide polyhedral memo cache
+  // (poly::cache); snapshot its counters to attribute this call's hits.
+  poly::cache::Stats poly_before = poly::cache::stats();
 
   // One unit of work per procedure with at least one stale loop; loops are
   // collected in deterministic program order. Cache hits merge immediately.
@@ -189,6 +193,10 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
   metrics.count("driver.cache_hit", hits);
   metrics.count("driver.cache_miss", misses);
   metrics.count("driver.loops", hits + misses);
+  poly::cache::Stats poly_after = poly::cache::stats();
+  metrics.count("driver.plan.poly_hits", poly_after.hits() - poly_before.hits());
+  metrics.count("driver.plan.poly_misses",
+                poly_after.misses() - poly_before.misses());
   return out;
 }
 

@@ -52,7 +52,15 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
   }
 
   bool ok = true;
-  for (const auto& [v, verdict] : out.verdict.vars) {
+  // The verdict map is keyed by pointer; iterate in variable-id order so the
+  // privatized/reduction lists and the reason text are heap-layout-independent.
+  std::vector<std::pair<const ir::Variable*, const analysis::VarVerdict*>> by_id;
+  by_id.reserve(out.verdict.vars.size());
+  for (const auto& [v, verdict] : out.verdict.vars) by_id.push_back({v, &verdict});
+  std::sort(by_id.begin(), by_id.end(),
+            [](const auto& a, const auto& b) { return a.first->id < b.first->id; });
+  for (const auto& [v, verdict_p] : by_id) {
+    const analysis::VarVerdict& verdict = *verdict_p;
     switch (verdict.cls) {
       case analysis::VarClass::Dependent:
         if (forced) break;  // the user vouches for the whole loop

@@ -45,6 +45,32 @@ std::string sym_name(SymId s, const ir::Program* prog) {
 }
 
 // ---------------------------------------------------------------------------
+// SymMap
+// ---------------------------------------------------------------------------
+
+void SymMap::set(SymId from, SymId to) {
+  auto it = std::lower_bound(m_.begin(), m_.end(), from,
+                             [](const auto& e, SymId s) { return e.first < s; });
+  if (it != m_.end() && it->first == from) {
+    it->second = to;
+  } else {
+    m_.insert(it, {from, to});
+  }
+}
+
+SymId SymMap::apply(SymId s) const {
+  auto it = std::lower_bound(m_.begin(), m_.end(), s,
+                             [](const auto& e, SymId v) { return e.first < v; });
+  return it != m_.end() && it->first == s ? it->second : s;
+}
+
+bool SymMap::contains(SymId s) const {
+  auto it = std::lower_bound(m_.begin(), m_.end(), s,
+                             [](const auto& e, SymId v) { return e.first < v; });
+  return it != m_.end() && it->first == s;
+}
+
+// ---------------------------------------------------------------------------
 // LinearExpr
 // ---------------------------------------------------------------------------
 
@@ -122,6 +148,20 @@ std::string LinearExpr::str(const ir::Program* prog) const {
   return os.str();
 }
 
+// ---------------------------------------------------------------------------
+// Constraint order & normalization
+// ---------------------------------------------------------------------------
+
+bool constraint_less(const Constraint& a, const Constraint& b) {
+  if (a.is_eq != b.is_eq) return a.is_eq;  // equalities first
+  if (a.expr.terms != b.expr.terms) return a.expr.terms < b.expr.terms;
+  return a.expr.c < b.expr.c;
+}
+
+bool constraint_equal(const Constraint& a, const Constraint& b) {
+  return a.is_eq == b.is_eq && a.expr.c == b.expr.c && a.expr.terms == b.expr.terms;
+}
+
 namespace {
 
 long coef_of(const LinearExpr& e, SymId s) {
@@ -135,6 +175,7 @@ long coef_of(const LinearExpr& e, SymId s) {
 LinearExpr drop_term(const LinearExpr& e, SymId s) {
   LinearExpr out;
   out.c = e.c;
+  out.terms.reserve(e.terms.size());
   for (const auto& t : e.terms) {
     if (t.first != s) out.terms.push_back(t);
   }
@@ -182,15 +223,6 @@ Norm normalize(Constraint& con) {
   return Norm::Keep;
 }
 
-std::string constraint_key(const Constraint& con) {
-  std::string k = con.is_eq ? "E" : "G";
-  for (const auto& [s, v] : con.expr.terms) {
-    k += std::to_string(s) + ":" + std::to_string(v) + ",";
-  }
-  k += "#" + std::to_string(con.expr.c);
-  return k;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -203,18 +235,44 @@ LinSystem LinSystem::bottom() {
   return s;
 }
 
+bool LinSystem::is_false() const {
+  const auto& cons = constraints();
+  return cons.size() == 1 && !cons[0].is_eq && cons[0].expr.terms.empty() &&
+         cons[0].expr.c < 0;
+}
+
+LinSystem::Rep& LinSystem::mut() {
+  if (!rep_) {
+    rep_ = std::make_shared<Rep>();
+  } else if (rep_.use_count() > 1) {
+    rep_ = std::make_shared<Rep>(*rep_);  // clone drops the cached hash/id
+  } else {
+    rep_->hash.store(0, std::memory_order_relaxed);
+    rep_->intern.store(0, std::memory_order_relaxed);
+    rep_->empty.store(-1, std::memory_order_relaxed);
+  }
+  return *rep_;
+}
+
 void LinSystem::add(Constraint c) {
   switch (normalize(c)) {
     case Norm::TriviallyTrue:
       return;
-    case Norm::Contradiction:
-      cons_.clear();
-      cons_.push_back({LinearExpr::constant(-1), false});
+    case Norm::Contradiction: {
+      Rep& r = mut();
+      r.cons.clear();
+      r.cons.push_back({LinearExpr::constant(-1), false});
       return;
+    }
     case Norm::Keep:
-      cons_.push_back(std::move(c));
-      return;
+      break;
   }
+  if (is_false()) return;  // already the canonical bottom: absorb everything
+  Rep& r = mut();
+  // Canonical form: keep the constraint vector sorted and duplicate-free.
+  auto it = std::lower_bound(r.cons.begin(), r.cons.end(), c, constraint_less);
+  if (it != r.cons.end() && constraint_equal(*it, c)) return;
+  r.cons.insert(it, std::move(c));
 }
 
 void LinSystem::add_eq(LinearExpr e) { add({std::move(e), true}); }
@@ -229,9 +287,43 @@ void LinSystem::add_range(SymId s, const LinearExpr& lo, const LinearExpr& hi) {
   add_ge(std::move(b));  // hi - s >= 0
 }
 
+uint64_t LinSystem::hash() const {
+  if (!rep_ || rep_->cons.empty()) return 0x9e3779b97f4a7c15ULL;  // the universe
+  uint64_t cached = rep_->hash.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const Constraint& con : rep_->cons) {
+    mix(con.is_eq ? 0x7fu : 0x3u);
+    mix(static_cast<uint64_t>(con.expr.c));
+    for (const auto& [s, v] : con.expr.terms) {
+      mix(static_cast<uint64_t>(s) + 1);
+      mix(static_cast<uint64_t>(v));
+    }
+  }
+  if (h == 0) h = 1;  // reserve 0 for "not computed"
+  rep_->hash.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+bool LinSystem::operator==(const LinSystem& o) const {
+  if (rep_ == o.rep_) return true;
+  const auto& a = constraints();
+  const auto& b = o.constraints();
+  if (a.size() != b.size()) return false;
+  if (hash() != o.hash()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!constraint_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
 std::vector<SymId> LinSystem::symbols() const {
   std::vector<SymId> out;
-  for (const Constraint& con : cons_) {
+  for (const Constraint& con : constraints()) {
     for (const auto& [s, v] : con.expr.terms) out.push_back(s);
   }
   std::sort(out.begin(), out.end());
@@ -240,19 +332,33 @@ std::vector<SymId> LinSystem::symbols() const {
 }
 
 bool LinSystem::involves(SymId s) const {
-  for (const Constraint& con : cons_) {
+  for (const Constraint& con : constraints()) {
     if (con.expr.involves(s)) return true;
   }
   return false;
 }
 
 LinSystem LinSystem::intersect(const LinSystem& a, const LinSystem& b) {
+  // Semantic fast paths: universes and bottoms conjoin trivially, and a
+  // system conjoined with itself (same shared node) is itself.
+  if (a.trivially_true() || b.is_false()) return b;
+  if (b.trivially_true() || a.is_false()) return a;
+  if (a.rep_ == b.rep_) return a;
   LinSystem out = a;
-  for (const Constraint& con : b.cons_) out.add(con);
+  out.mut().cons.reserve(a.constraints().size() + b.constraints().size());
+  for (const Constraint& con : b.constraints()) out.add(con);
   return out;
 }
 
 namespace {
+
+bool ground_contradiction(const std::vector<Constraint>& cons) {
+  for (const Constraint& con : cons) {
+    if (!con.expr.terms.empty()) continue;
+    if (con.is_eq ? con.expr.c != 0 : con.expr.c < 0) return true;
+  }
+  return false;
+}
 
 /// Eliminate `s` from `cons` (FM / Gaussian on equalities). Returns nullopt
 /// when the derived system exceeds the work limit or overflows — callers
@@ -267,6 +373,7 @@ std::optional<std::vector<Constraint>> eliminate(std::vector<Constraint> cons, S
     }
   }
   std::vector<Constraint> out;
+  out.reserve(cons.size());
   if (eq_idx >= 0) {
     Constraint eq = cons[static_cast<size_t>(eq_idx)];
     long a = coef_of(eq.expr, s);
@@ -323,21 +430,53 @@ std::optional<std::vector<Constraint>> eliminate(std::vector<Constraint> cons, S
     }
   }
   // Deduplicate to curb growth.
-  std::sort(out.begin(), out.end(), [](const Constraint& x, const Constraint& y) {
-    return constraint_key(x) < constraint_key(y);
-  });
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const Constraint& x, const Constraint& y) {
-                          return constraint_key(x) == constraint_key(y);
-                        }),
-            out.end());
+  std::sort(out.begin(), out.end(), constraint_less);
+  out.erase(std::unique(out.begin(), out.end(), constraint_equal), out.end());
   return out;
 }
 
-bool ground_contradiction(const std::vector<Constraint>& cons) {
-  for (const Constraint& con : cons) {
-    if (!con.expr.terms.empty()) continue;
-    if (con.is_eq ? con.expr.c != 0 : con.expr.c < 0) return true;
+/// Single-constraint contradiction scan: a pair of constraints over exactly
+/// opposite term vectors (x + c1 >= 0 vs -x + c2 >= 0 with c1 + c2 < 0, or
+/// an equality pinning the expression outside an inequality's range) proves
+/// emptiness without any elimination. Sound pre-filter only — a false return
+/// means "run the full check".
+bool quick_pair_contradiction(const std::vector<Constraint>& cons) {
+  auto negated_terms = [](const LinearExpr& a, const LinearExpr& b) {
+    if (a.terms.size() != b.terms.size()) return false;
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (a.terms[i].first != b.terms[i].first ||
+          a.terms[i].second != -b.terms[i].second) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (size_t i = 0; i < cons.size(); ++i) {
+    const Constraint& a = cons[i];
+    if (a.expr.terms.empty()) continue;
+    for (size_t j = i + 1; j < cons.size(); ++j) {
+      const Constraint& b = cons[j];
+      if (a.expr.terms.size() != b.expr.terms.size()) continue;
+      bool same = a.expr.terms == b.expr.terms;
+      bool neg = !same && negated_terms(a.expr, b.expr);
+      if (!same && !neg) continue;
+      if (a.is_eq && b.is_eq) {
+        // e + c1 == 0 and ±e + c2 == 0: constants must agree.
+        if (same && a.expr.c != b.expr.c) return true;
+        if (neg && a.expr.c != -b.expr.c) return true;
+      } else if (a.is_eq || b.is_eq) {
+        const Constraint& eq = a.is_eq ? a : b;
+        const Constraint& ge = a.is_eq ? b : a;
+        // eq pins its expression E to -eq.c; ge is E + c >= 0 (same) or
+        // -E + c >= 0 (neg).
+        long slack = same ? ge.expr.c - eq.expr.c : ge.expr.c + eq.expr.c;
+        if (slack < 0) return true;
+      } else if (neg) {
+        // e + c1 >= 0 and -e + c2 >= 0 force -c1 <= e <= c2.
+        if (a.expr.c + b.expr.c < 0) return true;
+      }
+      // same-terms inequalities never conflict (one implies the other).
+    }
   }
   return false;
 }
@@ -345,56 +484,69 @@ bool ground_contradiction(const std::vector<Constraint>& cons) {
 }  // namespace
 
 bool LinSystem::is_empty() const {
-  std::vector<Constraint> work = cons_;
-  if (ground_contradiction(work)) return true;
-  for (;;) {
-    // Collect remaining symbols.
-    std::vector<SymId> syms;
-    for (const Constraint& con : work) {
-      for (const auto& [s, v] : con.expr.terms) syms.push_back(s);
-    }
-    std::sort(syms.begin(), syms.end());
-    syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
-    if (syms.empty()) return ground_contradiction(work);
-    // Pick the symbol minimizing FM fan-out.
-    SymId best = syms[0];
-    size_t best_cost = SIZE_MAX;
-    for (SymId s : syms) {
-      size_t p = 0, n = 0;
-      bool has_eq = false;
+  if (!rep_ || rep_->cons.empty()) return false;  // the universe
+  int8_t cached = rep_->empty.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached != 0;
+  bool result = [&] {
+    const std::vector<Constraint>& cons = rep_->cons;
+    // add() canonicalizes every ground contradiction into the bottom form,
+    // so the only ground falsehood a stored system can carry is is_false().
+    if (is_false()) return true;
+    if (cons.size() == 1) return false;  // one normalized constraint: satisfiable
+    if (quick_pair_contradiction(cons)) return true;
+    std::vector<Constraint> work = cons;
+    for (;;) {
+      // Collect remaining symbols.
+      std::vector<SymId> syms;
       for (const Constraint& con : work) {
-        long a = coef_of(con.expr, s);
-        if (a == 0) continue;
-        if (con.is_eq) has_eq = true;
-        else if (a > 0) ++p;
-        else ++n;
+        for (const auto& [s, v] : con.expr.terms) syms.push_back(s);
       }
-      size_t cost = has_eq ? 0 : p * n;
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = s;
+      std::sort(syms.begin(), syms.end());
+      syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
+      if (syms.empty()) return ground_contradiction(work);
+      // Pick the symbol minimizing FM fan-out.
+      SymId best = syms[0];
+      size_t best_cost = SIZE_MAX;
+      for (SymId s : syms) {
+        size_t p = 0, n = 0;
+        bool has_eq = false;
+        for (const Constraint& con : work) {
+          long a = coef_of(con.expr, s);
+          if (a == 0) continue;
+          if (con.is_eq) has_eq = true;
+          else if (a > 0) ++p;
+          else ++n;
+        }
+        size_t cost = has_eq ? 0 : p * n;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = s;
+        }
       }
+      auto next = eliminate(std::move(work), best);
+      if (!next) return false;  // bail out: may be non-empty
+      work = std::move(*next);
+      if (ground_contradiction(work)) return true;
+      if (work.size() > kFmLimit) return false;
     }
-    auto next = eliminate(std::move(work), best);
-    if (!next) return false;  // bail out: may be non-empty
-    work = std::move(*next);
-    if (ground_contradiction(work)) return true;
-    if (work.size() > kFmLimit) return false;
-  }
+  }();
+  rep_->empty.store(result ? 1 : 0, std::memory_order_relaxed);
+  return result;
 }
 
 LinSystem LinSystem::project_out(SymId s) const {
   if (!involves(s)) return *this;
-  auto next = eliminate(cons_, s);
+  auto next = eliminate(constraints(), s);
   LinSystem out;
   if (!next) {
     // Bail out: drop every constraint touching s. The result is a superset
     // of the exact projection (conservative for access summaries).
-    for (const Constraint& con : cons_) {
+    for (const Constraint& con : constraints()) {
       if (!con.expr.involves(s)) out.add(con);
     }
     return out;
   }
+  out.mut().cons.reserve(next->size());
   for (Constraint& con : *next) out.add(std::move(con));
   return out;
 }
@@ -408,7 +560,9 @@ LinSystem LinSystem::project_out_if(const std::function<bool(SymId)>& pred) cons
 }
 
 bool LinSystem::contains(const LinSystem& other) const {
-  for (const Constraint& con : cons_) {
+  if (!rep_ || rep_->cons.empty()) return true;  // the universe contains all
+  if (rep_ == other.rep_) return true;           // identical node
+  for (const Constraint& con : constraints()) {
     // Refute: does any point of `other` violate `con`?
     if (con.is_eq) {
       for (long dir : {+1L, -1L}) {
@@ -433,7 +587,8 @@ bool LinSystem::contains(const LinSystem& other) const {
 
 LinSystem LinSystem::substitute(SymId s, const LinearExpr& e) const {
   LinSystem out;
-  for (const Constraint& con : cons_) {
+  out.mut().cons.reserve(constraints().size());
+  for (const Constraint& con : constraints()) {
     long a = coef_of(con.expr, s);
     if (a == 0) {
       out.add(con);
@@ -448,27 +603,43 @@ LinSystem LinSystem::substitute(SymId s, const LinearExpr& e) const {
   return out;
 }
 
-LinSystem LinSystem::rename(const std::map<SymId, SymId>& m) const {
+LinSystem LinSystem::rename(const SymMap& m) const {
+  if (m.empty() || trivially_true()) return *this;
   LinSystem out;
-  for (const Constraint& con : cons_) {
-    LinearExpr ne;
-    ne.c = con.expr.c;
-    for (const auto& [s, v] : con.expr.terms) {
-      auto it = m.find(s);
-      ne += LinearExpr::var(it != m.end() ? it->second : s, v);
+  out.mut().cons.reserve(constraints().size());
+  for (const Constraint& con : constraints()) {
+    Constraint nc;
+    nc.is_eq = con.is_eq;
+    nc.expr.c = con.expr.c;
+    nc.expr.terms.reserve(con.expr.terms.size());
+    for (const auto& [s, v] : con.expr.terms) nc.expr.terms.push_back({m.apply(s), v});
+    // A rename may reorder columns or merge two onto one target: restore the
+    // term invariant (sorted by SymId, coefficients combined, zeros dropped).
+    std::sort(nc.expr.terms.begin(), nc.expr.terms.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    size_t w = 0;
+    for (size_t i = 0; i < nc.expr.terms.size();) {
+      SymId sym = nc.expr.terms[i].first;
+      long coef = 0;
+      for (; i < nc.expr.terms.size() && nc.expr.terms[i].first == sym; ++i) {
+        coef += nc.expr.terms[i].second;
+      }
+      if (coef != 0) nc.expr.terms[w++] = {sym, coef};
     }
-    out.add({std::move(ne), con.is_eq});
+    nc.expr.terms.resize(w);
+    out.add(std::move(nc));
   }
   return out;
 }
 
 std::string LinSystem::str(const ir::Program* prog) const {
-  if (cons_.empty()) return "{true}";
+  const auto& cons = constraints();
+  if (cons.empty()) return "{true}";
   std::ostringstream os;
   os << "{";
-  for (size_t i = 0; i < cons_.size(); ++i) {
+  for (size_t i = 0; i < cons.size(); ++i) {
     if (i > 0) os << " && ";
-    os << cons_[i].expr.str(prog) << (cons_[i].is_eq ? " == 0" : " >= 0");
+    os << cons[i].expr.str(prog) << (cons[i].is_eq ? " == 0" : " >= 0");
   }
   os << "}";
   return os.str();

@@ -8,13 +8,25 @@
 // elimination over rationals with exact integer tightening; all conservative
 // bail-outs err toward "may be non-empty" / "not contained", which is the
 // safe direction for dependence and liveness clients.
+//
+// Representation: every LinSystem holds its constraints in a *canonical
+// form* — gcd-normalized (by add()), sorted by a fixed total order, and
+// duplicate-free — behind a copy-on-write node shared by value copies.
+// Canonicality makes structural equality coincide with normal-form equality,
+// which is what the interning table and the memoized operation cache
+// (polycache.h) key on: the structural hash is computed once per node and
+// cached, equality is a pointer/hash fast path, and copying a system is a
+// reference-count bump instead of a deep copy.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/ir.h"
@@ -62,8 +74,44 @@ struct Constraint {
   bool is_eq = false;
 };
 
+/// Fixed total order / equality over normalized constraints — the canonical
+/// storage order inside a LinSystem (equalities first, then by term vector,
+/// then by constant).
+bool constraint_less(const Constraint& a, const Constraint& b);
+bool constraint_equal(const Constraint& a, const Constraint& b);
+
+/// A small sorted flat map SymId -> SymId used for constraint renames (primed
+/// second-iteration copies, localization, dimension shifts). Rename maps are
+/// tiny and consulted per term on hot dependence paths, where node-based
+/// std::map lookups dominated the cost of small operations; this is a sorted
+/// vector with binary search and identity fallback.
+class SymMap {
+ public:
+  SymMap() = default;
+  SymMap(std::initializer_list<std::pair<SymId, SymId>> init) {
+    for (const auto& [from, to] : init) set(from, to);
+  }
+
+  /// Insert or overwrite the mapping from -> to.
+  void set(SymId from, SymId to);
+  /// The image of `s` (identity when unmapped).
+  SymId apply(SymId s) const;
+  bool contains(SymId s) const;
+  bool empty() const { return m_.empty(); }
+  size_t size() const { return m_.size(); }
+  const std::vector<std::pair<SymId, SymId>>& entries() const { return m_; }
+
+ private:
+  std::vector<std::pair<SymId, SymId>> m_;  // sorted by .first, unique
+};
+
 /// A conjunction of linear constraints (a convex polyhedron of integer
 /// points). The empty constraint list is the universe.
+///
+/// Value semantics with a shared immutable node: copies are O(1) and share
+/// storage until one side mutates (copy-on-write). The node caches the
+/// structural hash and the interned id (polycache.h) so repeated hashing /
+/// interning of the same system is free.
 class LinSystem {
  public:
   LinSystem() = default;
@@ -77,9 +125,26 @@ class LinSystem {
   /// lo <= sym <= hi with affine bounds.
   void add_range(SymId s, const LinearExpr& lo, const LinearExpr& hi);
 
-  const std::vector<Constraint>& constraints() const { return cons_; }
-  int size() const { return static_cast<int>(cons_.size()); }
-  bool trivially_true() const { return cons_.empty(); }
+  const std::vector<Constraint>& constraints() const {
+    static const std::vector<Constraint> kNone;
+    return rep_ ? rep_->cons : kNone;
+  }
+  int size() const { return static_cast<int>(constraints().size()); }
+  bool trivially_true() const { return constraints().empty(); }
+  /// The canonical bottom: exactly the single ground contradiction that
+  /// add() normalizes every contradiction into. O(1).
+  bool is_false() const;
+
+  /// Structural hash of the canonical constraint list; computed once per
+  /// shared node and cached. Never zero.
+  uint64_t hash() const;
+  /// Structural equality of canonical forms: pointer fast path, then hash
+  /// fast path, then constraint-wise compare. Because the stored form is
+  /// canonical, this coincides with normal-form equality.
+  bool operator==(const LinSystem& o) const;
+  bool operator!=(const LinSystem& o) const { return !(*this == o); }
+  /// Do the two systems share one physical node (hash-consing witness)?
+  bool same_node(const LinSystem& o) const { return rep_ == o.rep_; }
 
   /// All SymIds mentioned with nonzero coefficient.
   std::vector<SymId> symbols() const;
@@ -87,7 +152,9 @@ class LinSystem {
 
   /// Rational Fourier–Motzkin satisfiability: returns true only when the
   /// system is provably integer-empty (rational emptiness implies integer
-  /// emptiness); explosion bails out to false (may be non-empty).
+  /// emptiness); explosion bails out to false (may be non-empty). Cheap
+  /// fast paths (universe, canonical bottom, single constraint, pairwise
+  /// single-constraint contradiction) run before any elimination.
   bool is_empty() const;
 
   /// Conjunction of the two systems.
@@ -107,13 +174,32 @@ class LinSystem {
   /// Replace `s` by an affine expression not involving `s`.
   LinSystem substitute(SymId s, const LinearExpr& e) const;
   /// Rename symbols (ids absent from the map are unchanged).
-  LinSystem rename(const std::map<SymId, SymId>& m) const;
+  LinSystem rename(const SymMap& m) const;
 
   std::string str(const ir::Program* prog = nullptr) const;
 
  private:
+  friend class PolyInterner;
+
+  struct Rep {
+    std::vector<Constraint> cons;
+    /// Cached structural hash; 0 = not yet computed.
+    mutable std::atomic<uint64_t> hash{0};
+    /// Cached intern id (PolyInterner); 0 = not yet interned.
+    mutable std::atomic<uint64_t> intern{0};
+    /// Cached emptiness verdict: -1 unknown, 0 non-empty, 1 empty.
+    mutable std::atomic<int8_t> empty{-1};
+
+    Rep() = default;
+    explicit Rep(std::vector<Constraint> c) : cons(std::move(c)) {}
+    Rep(const Rep& o) : cons(o.cons) {}  // caches do not travel with clones
+  };
+
   void add(Constraint c);
-  std::vector<Constraint> cons_;
+  /// Copy-on-write access: clones the node when shared, invalidates caches.
+  Rep& mut();
+
+  std::shared_ptr<Rep> rep_;  // null = universe (no constraints)
 };
 
 }  // namespace suifx::poly

@@ -1,0 +1,409 @@
+#include "polyhedra/polycache.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::poly {
+
+namespace {
+
+constexpr int kEpochShift = 48;
+constexpr size_t kShards = 16;
+/// Per-shard entry budget for memo tables; a full shard is dropped whole
+/// (entries are pure cache — losing them costs recomputation, not
+/// correctness) and counted as evictions.
+constexpr size_t kMemoShardCap = size_t{1} << 15;
+/// Per-shard canonical-node budget for the interner. Dropping a shard does
+/// NOT invalidate issued ids (ids are never reused within an epoch); equal
+/// systems interned later simply get fresh ids and miss once.
+constexpr size_t kInternShardCap = size_t{1} << 16;
+
+support::ShardedCounter& counter(const char* key) {
+  return support::Metrics::global().sharded(key);
+}
+
+uint64_t mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+struct PairHash {
+  size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+    return static_cast<size_t>(mix64(p.first * 0x9e3779b97f4a7c15ULL ^ p.second));
+  }
+};
+
+struct VecHash {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t x : v) {
+      h ^= mix64(x);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A sharded mutex-per-shard memo table. Values are cheap to copy
+/// (LinSystem/SectionList share their nodes). find/insert never hold more
+/// than one shard lock; compute always happens outside any lock.
+template <typename K, typename V, typename Hash>
+class ShardedMap {
+ public:
+  std::optional<V> find(const K& k) {
+    Shard& s = shard(k);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(k);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void insert(const K& k, V v) {
+    Shard& s = shard(k);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.map.size() >= kMemoShardCap) {
+      counter("poly.cache.evict").add(s.map.size());
+      s.map.clear();
+    }
+    s.map.emplace(k, std::move(v));
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<K, V, Hash> map;
+  };
+  Shard& shard(const K& k) { return shards_[Hash{}(k) % kShards]; }
+  std::array<Shard, kShards> shards_;
+};
+
+// Leaky singletons: the tables are process-lifetime shared state touched by
+// pool workers; never destroyed, so shutdown order cannot race them.
+ShardedMap<uint64_t, char, std::hash<uint64_t>>& empty_memo() {
+  static auto& m = *new ShardedMap<uint64_t, char, std::hash<uint64_t>>;
+  return m;
+}
+ShardedMap<std::pair<uint64_t, uint64_t>, LinSystem, PairHash>& intersect_memo() {
+  static auto& m = *new ShardedMap<std::pair<uint64_t, uint64_t>, LinSystem, PairHash>;
+  return m;
+}
+ShardedMap<std::pair<uint64_t, uint64_t>, char, PairHash>& contains_memo() {
+  static auto& m = *new ShardedMap<std::pair<uint64_t, uint64_t>, char, PairHash>;
+  return m;
+}
+ShardedMap<std::pair<uint64_t, uint64_t>, LinSystem, PairHash>& project_memo() {
+  static auto& m = *new ShardedMap<std::pair<uint64_t, uint64_t>, LinSystem, PairHash>;
+  return m;
+}
+ShardedMap<std::vector<uint64_t>, SectionList, VecHash>& subtract_memo() {
+  static auto& m = *new ShardedMap<std::vector<uint64_t>, SectionList, VecHash>;
+  return m;
+}
+ShardedMap<std::vector<uint64_t>, char, VecHash>& covers_memo() {
+  static auto& m = *new ShardedMap<std::vector<uint64_t>, char, VecHash>;
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PolyInterner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct InternShard {
+  std::mutex mu;
+  // structural hash -> candidate systems with that hash
+  std::unordered_map<uint64_t, std::vector<LinSystem>> buckets;
+  size_t entries = 0;
+};
+
+struct InternState {
+  std::array<InternShard, kShards> shards;
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<uint64_t> next{2};  // 1 is the universe's per-epoch slot
+  std::atomic<size_t> nodes{0};
+};
+
+InternState& intern_state() {
+  static auto& s = *new InternState;
+  return s;
+}
+
+}  // namespace
+
+PolyInterner& PolyInterner::global() {
+  static auto& i = *new PolyInterner;
+  return i;
+}
+
+InternId PolyInterner::id(const LinSystem& s) {
+  InternState& st = intern_state();
+  uint64_t epoch = st.epoch.load(std::memory_order_acquire);
+  if (s.trivially_true()) return (epoch << kEpochShift) | 1;
+  InternId cached = s.rep_->intern.load(std::memory_order_relaxed);
+  if (cached != 0 && (cached >> kEpochShift) == epoch) return cached;
+  uint64_t h = s.hash();
+  InternShard& sh = st.shards[mix64(h) % kShards];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  std::vector<LinSystem>& bucket = sh.buckets[h];
+  for (const LinSystem& cand : bucket) {
+    if (cand == s) {
+      InternId id = cand.rep_->intern.load(std::memory_order_relaxed);
+      s.rep_->intern.store(id, std::memory_order_relaxed);
+      return id;
+    }
+  }
+  if (sh.entries >= kInternShardCap) {
+    // Dropping the shard forgets canonical nodes but never reuses an id, so
+    // ids already issued stay valid (they just stop deduplicating).
+    counter("poly.cache.evict").add(sh.entries);
+    st.nodes.fetch_sub(sh.entries, std::memory_order_relaxed);
+    sh.buckets.clear();
+    sh.entries = 0;
+  }
+  InternId id =
+      (epoch << kEpochShift) | st.next.fetch_add(1, std::memory_order_relaxed);
+  s.rep_->intern.store(id, std::memory_order_relaxed);
+  sh.buckets[h].push_back(s);  // the stored copy shares s's node (and its id)
+  ++sh.entries;
+  st.nodes.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+LinSystem PolyInterner::canonical(const LinSystem& s) {
+  if (s.trivially_true()) return s;
+  InternState& st = intern_state();
+  InternId sid = id(s);  // ensures s (or its twin) is in the table
+  uint64_t h = s.hash();
+  InternShard& sh = st.shards[mix64(h) % kShards];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.buckets.find(h);
+  if (it != sh.buckets.end()) {
+    for (const LinSystem& cand : it->second) {
+      if (cand.rep_->intern.load(std::memory_order_relaxed) == sid) return cand;
+    }
+  }
+  return s;  // evicted between id() and here: s itself is canonical enough
+}
+
+size_t PolyInterner::size() const {
+  return intern_state().nodes.load(std::memory_order_relaxed);
+}
+
+void PolyInterner::clear() {
+  InternState& st = intern_state();
+  // Bump the epoch first: ids cached in live nodes stop matching, so no
+  // caller can observe an old id as current while we drop the tables.
+  st.epoch.fetch_add(1, std::memory_order_acq_rel);
+  for (InternShard& sh : st.shards) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.buckets.clear();
+    sh.entries = 0;
+  }
+  st.nodes.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// cache
+// ---------------------------------------------------------------------------
+
+namespace cache {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool>& f = *new std::atomic<bool>([] {
+    const char* env = std::getenv("SUIFX_POLY_CACHE");
+    return env == nullptr || std::string_view(env) != "0";
+  }());
+  return f;
+}
+
+InternId intern(const LinSystem& s) { return PolyInterner::global().id(s); }
+
+/// Composite key for list-level ops: [ids of a's parts, 0, ids of b's
+/// parts]. 0 never collides with a real id (the counter starts at 1).
+std::vector<uint64_t> list_key(const SectionList& a, const SectionList& b) {
+  std::vector<uint64_t> k;
+  k.reserve(a.systems().size() + b.systems().size() + 1);
+  for (const LinSystem& p : a.systems()) k.push_back(intern(p));
+  k.push_back(0);
+  for (const LinSystem& p : b.systems()) k.push_back(intern(p));
+  return k;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+void reset() {
+  empty_memo().clear();
+  intersect_memo().clear();
+  contains_memo().clear();
+  project_memo().clear();
+  subtract_memo().clear();
+  covers_memo().clear();
+  PolyInterner::global().clear();
+}
+
+Stats stats() {
+  Stats s;
+  auto read = [](const char* op) {
+    OpStats o;
+    o.hits = counter((std::string("poly.") + op + ".hit").c_str()).value();
+    o.misses = counter((std::string("poly.") + op + ".miss").c_str()).value();
+    return o;
+  };
+  s.is_empty = read("is_empty");
+  s.intersect = read("intersect");
+  s.contains = read("contains");
+  s.project = read("project");
+  s.subtract = read("subtract");
+  s.covers_all = read("covers_all");
+  s.evictions = counter("poly.cache.evict").value();
+  s.interned = PolyInterner::global().size();
+  return s;
+}
+
+bool is_empty(const LinSystem& s) {
+  // Semantic fast paths (identical verdicts to the raw op, no locks).
+  if (s.trivially_true()) return false;
+  if (s.is_false()) return true;
+  if (!enabled()) return s.is_empty();
+  static support::ShardedCounter& hit = counter("poly.is_empty.hit");
+  static support::ShardedCounter& miss = counter("poly.is_empty.miss");
+  uint64_t key = intern(s);
+  if (auto v = empty_memo().find(key)) {
+    hit.add();
+    return *v != 0;
+  }
+  miss.add();
+  support::trace::TraceSpan span("poly/is_empty");
+  bool r = s.is_empty();
+  empty_memo().insert(key, r ? 1 : 0);
+  return r;
+}
+
+LinSystem intersect(const LinSystem& a, const LinSystem& b) {
+  // Fast paths mirror LinSystem::intersect exactly.
+  if (a.trivially_true() || b.is_false()) return b;
+  if (b.trivially_true() || a.is_false()) return a;
+  if (a.same_node(b)) return a;
+  if (!enabled()) return LinSystem::intersect(a, b);
+  static support::ShardedCounter& hit = counter("poly.intersect.hit");
+  static support::ShardedCounter& miss = counter("poly.intersect.miss");
+  InternId ia = intern(a), ib = intern(b);
+  if (ia == ib) return a;
+  // Conjunction of canonical forms is symmetric: normalize the key order.
+  std::pair<uint64_t, uint64_t> key{std::min(ia, ib), std::max(ia, ib)};
+  if (auto v = intersect_memo().find(key)) {
+    hit.add();
+    return *v;
+  }
+  miss.add();
+  support::trace::TraceSpan span("poly/intersect");
+  LinSystem r = PolyInterner::global().canonical(LinSystem::intersect(a, b));
+  intersect_memo().insert(key, r);
+  return r;
+}
+
+bool contains(const LinSystem& a, const LinSystem& b) {
+  if (a.trivially_true()) return true;   // the universe contains everything
+  if (a.same_node(b)) return true;       // identical node
+  if (b.is_false()) return true;         // bottom is contained in anything
+  if (!enabled()) return a.contains(b);
+  static support::ShardedCounter& hit = counter("poly.contains.hit");
+  static support::ShardedCounter& miss = counter("poly.contains.miss");
+  InternId ia = intern(a), ib = intern(b);
+  if (ia == ib) return true;
+  std::pair<uint64_t, uint64_t> key{ia, ib};  // NOT symmetric
+  if (auto v = contains_memo().find(key)) {
+    hit.add();
+    return *v != 0;
+  }
+  miss.add();
+  support::trace::TraceSpan span("poly/contains");
+  bool r = a.contains(b);
+  contains_memo().insert(key, r ? 1 : 0);
+  return r;
+}
+
+LinSystem project_out(const LinSystem& s, SymId sym) {
+  if (!s.involves(sym)) return s;  // mirrors the raw op's first check
+  if (!enabled()) return s.project_out(sym);
+  static support::ShardedCounter& hit = counter("poly.project.hit");
+  static support::ShardedCounter& miss = counter("poly.project.miss");
+  std::pair<uint64_t, uint64_t> key{intern(s), static_cast<uint64_t>(sym)};
+  if (auto v = project_memo().find(key)) {
+    hit.add();
+    return *v;
+  }
+  miss.add();
+  support::trace::TraceSpan span("poly/project");
+  LinSystem r = PolyInterner::global().canonical(s.project_out(sym));
+  project_memo().insert(key, r);
+  return r;
+}
+
+SectionList subtract(const SectionList& a, const SectionList& b) {
+  if (!enabled()) return a.subtract_uncached(b);
+  static support::ShardedCounter& hit = counter("poly.subtract.hit");
+  static support::ShardedCounter& miss = counter("poly.subtract.miss");
+  std::vector<uint64_t> key = list_key(a, b);
+  if (auto v = subtract_memo().find(key)) {
+    hit.add();
+    return *v;
+  }
+  miss.add();
+  support::trace::TraceSpan span("poly/subtract");
+  SectionList r = a.subtract_uncached(b);
+  subtract_memo().insert(std::move(key), r);
+  return r;
+}
+
+bool covers_all(const SectionList& a, const SectionList& b) {
+  if (b.systems().empty()) return true;
+  if (!enabled()) return a.covers_all_uncached(b);
+  static support::ShardedCounter& hit = counter("poly.covers_all.hit");
+  static support::ShardedCounter& miss = counter("poly.covers_all.miss");
+  std::vector<uint64_t> key = list_key(a, b);
+  if (auto v = covers_memo().find(key)) {
+    hit.add();
+    return *v != 0;
+  }
+  miss.add();
+  support::trace::TraceSpan span("poly/covers_all");
+  bool r = a.covers_all_uncached(b);
+  covers_memo().insert(std::move(key), r ? 1 : 0);
+  return r;
+}
+
+}  // namespace cache
+
+}  // namespace suifx::poly

@@ -1,0 +1,112 @@
+// Hash-consing and memoization for the polyhedral section algebra.
+//
+// Every analysis (array dataflow, liveness, dependence testing, the slicer)
+// bottoms out in LinSystem::intersect/contains/project_out and the
+// SectionList set algebra, and the same small systems recur constantly: loop
+// bounds, array extents, localized summaries. Two layers exploit that:
+//
+//  * PolyInterner — a sharded hash-consing table mapping each canonical
+//    LinSystem to one immutable shared node with a unique 64-bit id.
+//    Structural equality of interned systems is id equality; copies are
+//    refcount bumps. Ids embed an epoch in the high 16 bits so clear() can
+//    never alias a stale id with a fresh one.
+//
+//  * The op cache (cache::*) — sharded, thread-safe memo tables for the
+//    expensive operations, keyed on intern ids. Because LinSystems are
+//    immutable behind their nodes and ops are deterministic functions of the
+//    canonical form, entries never need invalidation: a hit is always the
+//    byte-identical result the raw op would recompute. One global instance
+//    is shared by all of the parallel Driver's workers (the read-mostly
+//    shared-cache structure of Monniaux's parallel Astrée).
+//
+// Counters land in support::Metrics (poly.<op>.hit / .miss,
+// poly.cache.evict); miss paths open support::trace spans ("poly/<op>").
+// Set SUIFX_POLY_CACHE=0 to disable memoization (raw ops still run; used by
+// the equivalence tests and the bench's cold baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "polyhedra/section.h"
+
+namespace suifx::poly {
+
+/// Unique id of an interned canonical system: (epoch << 48) | counter.
+/// Never 0. The universe has a fixed per-epoch id.
+using InternId = uint64_t;
+
+class PolyInterner {
+ public:
+  /// The process-wide table shared by every analysis thread.
+  static PolyInterner& global();
+
+  /// The id of `s`'s canonical form, interning it on first sight. O(1) on
+  /// re-query (the id is cached in the shared node).
+  InternId id(const LinSystem& s);
+
+  /// A copy of `s` sharing the interned node (hash-consing: equal systems
+  /// returned from here satisfy same_node()).
+  LinSystem canonical(const LinSystem& s);
+
+  /// Live canonical nodes currently stored.
+  size_t size() const;
+
+  /// Forget every node and bump the epoch: all previously issued ids become
+  /// unmatchable, so callers holding them can never hit stale entries.
+  void clear();
+
+ private:
+  PolyInterner() = default;
+};
+
+namespace cache {
+
+/// Memoization toggle (default on; SUIFX_POLY_CACHE=0 overrides at first
+/// use). When off, the cache::* wrappers run the raw ops directly.
+bool enabled();
+void set_enabled(bool on);
+
+/// Drop every memo entry and interned node (epoch bump), zeroing nothing in
+/// Metrics — counters are cumulative across resets.
+void reset();
+
+struct OpStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double hit_rate() const {
+    return hits + misses == 0 ? 0.0 : static_cast<double>(hits) / (hits + misses);
+  }
+};
+
+struct Stats {
+  OpStats is_empty, intersect, contains, project, subtract, covers_all;
+  uint64_t evictions = 0;
+  uint64_t interned = 0;  // live canonical nodes
+  uint64_t hits() const {
+    return is_empty.hits + intersect.hits + contains.hits + project.hits +
+           subtract.hits + covers_all.hits;
+  }
+  uint64_t misses() const {
+    return is_empty.misses + intersect.misses + contains.misses + project.misses +
+           subtract.misses + covers_all.misses;
+  }
+  double hit_rate() const {
+    uint64_t t = hits() + misses();
+    return t == 0 ? 0.0 : static_cast<double>(hits()) / t;
+  }
+};
+Stats stats();
+
+/// Memoized counterparts of the raw ops. Each runs the documented semantic
+/// fast paths first (no locks), then consults the memo table, then computes.
+/// Results are interned, so a miss also warms the hash-consing table.
+bool is_empty(const LinSystem& s);
+LinSystem intersect(const LinSystem& a, const LinSystem& b);
+bool contains(const LinSystem& a, const LinSystem& b);  // a ⊇ b
+LinSystem project_out(const LinSystem& s, SymId sym);
+SectionList subtract(const SectionList& a, const SectionList& b);
+bool covers_all(const SectionList& a, const SectionList& b);
+
+}  // namespace cache
+
+}  // namespace suifx::poly

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "polyhedra/polycache.h"
+
 namespace suifx::poly {
 
 namespace {
@@ -17,7 +19,7 @@ SectionList SectionList::single(LinSystem s) {
 
 bool SectionList::empty() const {
   for (const LinSystem& p : parts_) {
-    if (!p.is_empty()) return false;
+    if (!cache::is_empty(p)) return false;
   }
   return true;
 }
@@ -34,7 +36,7 @@ LinSystem SectionList::weaken_union(const LinSystem& a, const LinSystem& b) {
     } else {
       test.add_ge(con.expr);
     }
-    if (test.contains(b)) {
+    if (cache::contains(test, b)) {
       if (con.is_eq) out.add_eq(con.expr);
       else out.add_ge(con.expr);
     }
@@ -43,9 +45,9 @@ LinSystem SectionList::weaken_union(const LinSystem& a, const LinSystem& b) {
 }
 
 void SectionList::add(LinSystem s) {
-  if (s.is_empty()) return;
+  if (cache::is_empty(s)) return;
   for (const LinSystem& p : parts_) {
-    if (p.contains(s)) return;  // already covered
+    if (cache::contains(p, s)) return;  // already covered
   }
   if (static_cast<int>(parts_.size()) >= kMaxParts) {
     // Merge into the last part by weakening (still a superset of the union).
@@ -60,12 +62,17 @@ void SectionList::unite(const SectionList& o) {
   for (const LinSystem& p : o.parts_) add(p);
 }
 
+void SectionList::unite(SectionList&& o) {
+  for (LinSystem& p : o.parts_) add(std::move(p));
+  o.parts_.clear();
+}
+
 SectionList SectionList::intersect(const SectionList& a, const SectionList& b) {
   SectionList out;
   for (const LinSystem& pa : a.parts_) {
     for (const LinSystem& pb : b.parts_) {
-      LinSystem i = LinSystem::intersect(pa, pb);
-      if (!i.is_empty()) out.add(std::move(i));
+      LinSystem i = cache::intersect(pa, pb);
+      if (!cache::is_empty(i)) out.add(std::move(i));
     }
   }
   return out;
@@ -74,7 +81,7 @@ SectionList SectionList::intersect(const SectionList& a, const SectionList& b) {
 bool SectionList::disjoint_from(const SectionList& o) const {
   for (const LinSystem& pa : parts_) {
     for (const LinSystem& pb : o.parts_) {
-      if (!LinSystem::intersect(pa, pb).is_empty()) return false;
+      if (!cache::is_empty(cache::intersect(pa, pb))) return false;
     }
   }
   return true;
@@ -85,7 +92,7 @@ SectionList SectionList::minus_contained(const SectionList& must) const {
   for (const LinSystem& p : parts_) {
     bool killed = false;
     for (const LinSystem& m : must.systems()) {
-      if (m.contains(p)) {
+      if (cache::contains(m, p)) {
         killed = true;
         break;
       }
@@ -96,12 +103,17 @@ SectionList SectionList::minus_contained(const SectionList& must) const {
 }
 
 SectionList SectionList::subtract(const SectionList& other) const {
+  return cache::subtract(*this, other);
+}
+
+SectionList SectionList::subtract_uncached(const SectionList& other) const {
   std::vector<LinSystem> work = parts_;
   for (const LinSystem& b : other.systems()) {
     std::vector<LinSystem> next;
+    next.reserve(work.size());
     for (const LinSystem& a : work) {
-      if (b.contains(a)) continue;  // fully removed
-      if (LinSystem::intersect(a, b).is_empty()) {
+      if (cache::contains(b, a)) continue;  // fully removed
+      if (cache::is_empty(cache::intersect(a, b))) {
         next.push_back(a);  // untouched
         continue;
       }
@@ -114,7 +126,7 @@ SectionList SectionList::subtract(const SectionList& other) const {
             e *= dir;
             e.c -= 1;
             piece.add_ge(std::move(e));  // dir*expr >= 1
-            if (!piece.is_empty()) next.push_back(std::move(piece));
+            if (!cache::is_empty(piece)) next.push_back(std::move(piece));
           }
         } else {
           LinSystem piece = a;
@@ -122,7 +134,7 @@ SectionList SectionList::subtract(const SectionList& other) const {
           e *= -1;
           e.c -= 1;
           piece.add_ge(std::move(e));  // expr <= -1
-          if (!piece.is_empty()) next.push_back(std::move(piece));
+          if (!cache::is_empty(piece)) next.push_back(std::move(piece));
         }
       }
     }
@@ -135,12 +147,16 @@ SectionList SectionList::subtract(const SectionList& other) const {
 
 bool SectionList::covers(const LinSystem& sys) const {
   for (const LinSystem& p : parts_) {
-    if (p.contains(sys)) return true;
+    if (cache::contains(p, sys)) return true;
   }
   return false;
 }
 
 bool SectionList::covers_all(const SectionList& o) const {
+  return cache::covers_all(*this, o);
+}
+
+bool SectionList::covers_all_uncached(const SectionList& o) const {
   for (const LinSystem& p : o.parts_) {
     if (!covers(p)) return false;
   }
@@ -149,13 +165,21 @@ bool SectionList::covers_all(const SectionList& o) const {
 
 SectionList SectionList::project_out(SymId s) const {
   SectionList out;
-  for (const LinSystem& p : parts_) out.add(p.project_out(s));
+  for (const LinSystem& p : parts_) out.add(cache::project_out(p, s));
   return out;
 }
 
 SectionList SectionList::project_out_if(const std::function<bool(SymId)>& pred) const {
   SectionList out;
-  for (const LinSystem& p : parts_) out.add(p.project_out_if(pred));
+  for (const LinSystem& p : parts_) {
+    // Same elimination sequence as LinSystem::project_out_if, but each step
+    // goes through the memo table.
+    LinSystem cur = p;
+    for (SymId s : p.symbols()) {
+      if (pred(s)) cur = cache::project_out(cur, s);
+    }
+    out.add(std::move(cur));
+  }
   return out;
 }
 
@@ -165,7 +189,7 @@ SectionList SectionList::substitute(SymId s, const LinearExpr& e) const {
   return out;
 }
 
-SectionList SectionList::rename(const std::map<SymId, SymId>& m) const {
+SectionList SectionList::rename(const SymMap& m) const {
   SectionList out;
   for (const LinSystem& p : parts_) out.add(p.rename(m));
   return out;
@@ -227,7 +251,7 @@ ArraySummary ArraySummary::project_out_if(const std::function<bool(SymId)>& pred
   return out;
 }
 
-ArraySummary ArraySummary::rename(const std::map<SymId, SymId>& m) const {
+ArraySummary ArraySummary::rename(const SymMap& m) const {
   ArraySummary out;
   out.R = R.rename(m);
   out.E = E.rename(m);

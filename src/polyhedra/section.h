@@ -26,6 +26,9 @@ class SectionList {
   /// when the part budget is exhausted — result only ever grows).
   void add(LinSystem s);
   void unite(const SectionList& o);
+  /// Rvalue overload: steals `o`'s parts instead of copying them (the parts
+  /// themselves are shared-node values, but moving skips refcount traffic).
+  void unite(SectionList&& o);
 
   static SectionList intersect(const SectionList& a, const SectionList& b);
 
@@ -40,19 +43,24 @@ class SectionList {
   /// Exact convex-decomposition subtraction: A ∧ ¬B expanded constraint-wise
   /// (each part of `other` with k constraints splits a part into ≤ k+1
   /// pieces). Part-budget overflow degrades to a superset — still sound for
-  /// exposed-read sets. Used by the §5.2.2.3 sharpening.
+  /// exposed-read sets. Used by the §5.2.2.3 sharpening. Memoized at list
+  /// granularity (polycache.h); `subtract_uncached` is the raw computation,
+  /// kept public for the cache's miss path and the equivalence tests.
   SectionList subtract(const SectionList& other) const;
+  SectionList subtract_uncached(const SectionList& other) const;
 
   /// Is `sys` provably covered by a single part? (Union-covering is not
   /// attempted — sound, may answer false.)
   bool covers(const LinSystem& sys) const;
-  /// Every part of `o` covered by some part of this.
+  /// Every part of `o` covered by some part of this. Memoized at list
+  /// granularity; `covers_all_uncached` is the raw computation.
   bool covers_all(const SectionList& o) const;
+  bool covers_all_uncached(const SectionList& o) const;
 
   SectionList project_out(SymId s) const;
   SectionList project_out_if(const std::function<bool(SymId)>& pred) const;
   SectionList substitute(SymId s, const LinearExpr& e) const;
-  SectionList rename(const std::map<SymId, SymId>& m) const;
+  SectionList rename(const SymMap& m) const;
 
   /// Keep only parts whose system still involves a dimension symbol or is
   /// the universe; used after projections to tidy summaries.
@@ -81,7 +89,7 @@ struct ArraySummary {
   static ArraySummary compose(const ArraySummary& node, const ArraySummary& after);
 
   ArraySummary project_out_if(const std::function<bool(SymId)>& pred) const;
-  ArraySummary rename(const std::map<SymId, SymId>& m) const;
+  ArraySummary rename(const SymMap& m) const;
 
   bool all_empty() const { return R.empty() && E.empty() && W.empty() && M.empty(); }
   std::string str(const ir::Program* prog = nullptr) const;

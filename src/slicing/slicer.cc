@@ -336,15 +336,15 @@ SliceResult Slicer::dependence_slice(const ir::Stmt* loop, const ir::Variable* v
         ir::for_each_expr(ix, [&](const ir::Expr* n) {
           if (n->is_var_ref() || n->is_array_ref()) {
             SliceResult sub = slice(s, n, opts);
-            combined.stmts.insert(sub.stmts.begin(), sub.stmts.end());
-            combined.terminals.insert(sub.terminals.begin(), sub.terminals.end());
+            combined.stmts.merge(sub.stmts);
+            combined.terminals.merge(sub.terminals);
             combined.degraded = combined.degraded || sub.degraded;
           }
         });
       }
       SliceResult ctl = control_slice(s, opts);
-      combined.stmts.insert(ctl.stmts.begin(), ctl.stmts.end());
-      combined.terminals.insert(ctl.terminals.begin(), ctl.terminals.end());
+      combined.stmts.merge(ctl.stmts);
+      combined.terminals.merge(ctl.terminals);
       combined.degraded = combined.degraded || ctl.degraded;
       combined.stmts.insert(s);
     }

@@ -1,0 +1,265 @@
+// Tests for the hash-consed section algebra (polyhedra/polycache):
+// canonical-form invariants of LinSystem, the interning table, equivalence of
+// memoized and raw operations on randomized systems and whole analysis
+// pipelines, and thread safety of the shared op cache (run under the TSan CI
+// job alongside the runtime/driver tests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "explorer/workbench.h"
+#include "parallelizer/driver.h"
+#include "polyhedra/polycache.h"
+#include "testing/progen.h"
+
+namespace suifx::poly {
+namespace {
+
+constexpr SymId kX = 300;
+constexpr SymId kY = 302;
+constexpr SymId kZ = 304;
+
+/// Deterministic pseudo-random small systems (same family as the property
+/// tests): bounded box plus a few random halfplanes/equalities over x, y, z.
+LinSystem make_system(unsigned seed) {
+  auto rnd = [&seed]() {
+    seed = seed * 1664525u + 1013904223u;
+    return seed >> 16;
+  };
+  LinSystem sys;
+  sys.add_range(kX, LinearExpr::constant(-4), LinearExpr::constant(8));
+  sys.add_range(kY, LinearExpr::constant(-4), LinearExpr::constant(8));
+  int ncons = 1 + static_cast<int>(rnd() % 3);
+  for (int i = 0; i < ncons; ++i) {
+    long a = static_cast<long>(rnd() % 5) - 2;
+    long b = static_cast<long>(rnd() % 5) - 2;
+    long d = static_cast<long>(rnd() % 3) - 1;
+    long c = static_cast<long>(rnd() % 13) - 6;
+    LinearExpr e = LinearExpr::var(kX, a);
+    e += LinearExpr::var(kY, b);
+    e += LinearExpr::var(kZ, d);
+    e += LinearExpr::constant(c);
+    if (rnd() % 4 == 0) {
+      sys.add_eq(e);
+    } else {
+      sys.add_ge(e);
+    }
+  }
+  return sys;
+}
+
+TEST(Canonical, InsertionOrderInvariant) {
+  for (unsigned seed = 1; seed <= 50; ++seed) {
+    LinSystem base = make_system(seed);
+    const std::vector<Constraint> cons = base.constraints();
+    // Re-add the canonical constraints in reversed and in interleaved order;
+    // the canonical form must come out identical.
+    LinSystem rev;
+    for (auto it = cons.rbegin(); it != cons.rend(); ++it) {
+      if (it->is_eq) rev.add_eq(it->expr);
+      else rev.add_ge(it->expr);
+    }
+    LinSystem odd_even;
+    for (size_t i = 0; i < cons.size(); i += 2) {
+      if (cons[i].is_eq) odd_even.add_eq(cons[i].expr);
+      else odd_even.add_ge(cons[i].expr);
+    }
+    for (size_t i = 1; i < cons.size(); i += 2) {
+      if (cons[i].is_eq) odd_even.add_eq(cons[i].expr);
+      else odd_even.add_ge(cons[i].expr);
+    }
+    EXPECT_EQ(base, rev) << base.str();
+    EXPECT_EQ(base, odd_even) << base.str();
+    EXPECT_EQ(base.hash(), rev.hash());
+    EXPECT_EQ(base.str(), rev.str());
+  }
+}
+
+TEST(Canonical, DedupAndGcdNormalize) {
+  LinSystem a;
+  LinearExpr xm1 = LinearExpr::var(kX);
+  xm1 += LinearExpr::constant(-1);
+  a.add_ge(xm1);  // x - 1 >= 0
+  a.add_ge(xm1);  // duplicate
+  EXPECT_EQ(a.size(), 1);
+
+  LinSystem b;
+  LinearExpr two_xm1 = LinearExpr::var(kX, 2);
+  two_xm1 += LinearExpr::constant(-2);
+  b.add_ge(two_xm1);  // 2x - 2 >= 0
+  LinSystem c;
+  c.add_ge(xm1);  // x - 1 >= 0
+  EXPECT_EQ(b, c) << b.str() << " vs " << c.str();
+  EXPECT_EQ(b.hash(), c.hash());
+}
+
+TEST(Canonical, ContradictionIsCanonicalBottom) {
+  LinSystem a;
+  LinearExpr xm3 = LinearExpr::var(kX);
+  xm3 += LinearExpr::constant(-3);
+  a.add_ge(xm3);
+  a.add_eq(LinearExpr::constant(1));  // 1 == 0: contradiction
+  EXPECT_TRUE(a.is_false());
+  EXPECT_EQ(a, LinSystem::bottom());
+  // Adding to bottom stays bottom.
+  a.add_ge(LinearExpr::var(kY));
+  EXPECT_TRUE(a.is_false());
+  EXPECT_EQ(a.size(), 1);
+}
+
+TEST(Interner, EqualSystemsShareOneIdAndNode) {
+  PolyInterner& in = PolyInterner::global();
+  for (unsigned seed = 1; seed <= 50; ++seed) {
+    LinSystem a = make_system(seed);
+    LinSystem b = make_system(seed);      // independently built equal system
+    LinSystem other = make_system(seed + 1000);
+    EXPECT_EQ(in.id(a), in.id(b));
+    if (a != other) EXPECT_NE(in.id(a), in.id(other));
+    // canonical() returns copies sharing the single interned node.
+    LinSystem ca = in.canonical(a);
+    LinSystem cb = in.canonical(b);
+    EXPECT_TRUE(ca.same_node(cb));
+    EXPECT_EQ(ca, a);
+  }
+}
+
+TEST(Interner, ClearBumpsEpochSoStaleIdsNeverAlias) {
+  PolyInterner& in = PolyInterner::global();
+  LinSystem a = make_system(7);
+  InternId before = in.id(a);
+  cache::reset();  // clears the interner (epoch bump) and every memo table
+  InternId after = in.id(a);
+  EXPECT_NE(before, after);  // same system, new epoch, new id
+  EXPECT_EQ(after, in.id(a));
+}
+
+TEST(MemoOps, MatchRawOpsOnRandomSystems) {
+  bool was = cache::enabled();
+  for (unsigned seed = 1; seed <= 80; ++seed) {
+    LinSystem a = make_system(seed);
+    LinSystem b = make_system(seed * 31 + 5);
+
+    cache::set_enabled(false);
+    bool raw_empty = a.is_empty();
+    LinSystem raw_meet = LinSystem::intersect(a, b);
+    bool raw_cont = a.contains(b);
+    LinSystem raw_proj = a.project_out(kY);
+
+    cache::set_enabled(true);
+    // Twice: the first call populates the memo, the second must hit it and
+    // return the identical structure.
+    for (int round = 0; round < 2; ++round) {
+      EXPECT_EQ(cache::is_empty(a), raw_empty) << a.str();
+      EXPECT_EQ(cache::intersect(a, b), raw_meet);
+      EXPECT_EQ(cache::intersect(b, a), raw_meet);  // symmetric key is sound
+      EXPECT_EQ(cache::contains(a, b), raw_cont);
+      EXPECT_EQ(cache::project_out(a, kY), raw_proj);
+    }
+  }
+  cache::set_enabled(was);
+}
+
+TEST(MemoOps, SectionListOpsMatchUncached) {
+  for (unsigned seed = 1; seed <= 40; ++seed) {
+    SectionList a, b;
+    a.add(make_system(seed));
+    a.add(make_system(seed + 17));
+    b.add(make_system(seed + 3));
+
+    SectionList diff = a.subtract(b);
+    SectionList diff_raw = a.subtract_uncached(b);
+    ASSERT_EQ(diff.parts(), diff_raw.parts());
+    for (int i = 0; i < diff.parts(); ++i) {
+      EXPECT_EQ(diff.systems()[i], diff_raw.systems()[i]);
+    }
+    EXPECT_EQ(a.covers_all(b), a.covers_all_uncached(b));
+  }
+}
+
+TEST(MemoOps, PlanIdenticalWithAndWithoutCache) {
+  // Whole-pipeline equivalence on randomized programs: analyze each progen
+  // program with memoization off, then on (cold), then on again (warm) —
+  // all three plans must be byte-identical.
+  bool was = cache::enabled();
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    testing::GeneratedProgram gp = testing::generate_program(seed);
+    std::vector<std::string> sigs;
+    for (int mode = 0; mode < 3; ++mode) {
+      cache::set_enabled(mode != 0);
+      if (mode == 1) cache::reset();  // mode 2 reuses mode 1's warm cache
+      Diag diag;
+      auto wb = explorer::Workbench::from_source(gp.source, diag);
+      ASSERT_NE(wb, nullptr) << gp.source;
+      sigs.push_back(parallelizer::plan_signature(
+          wb->parallelizer().plan(wb->program())));
+    }
+    EXPECT_EQ(sigs[0], sigs[1]) << "seed " << seed << ": cold cache changed the plan";
+    EXPECT_EQ(sigs[1], sigs[2]) << "seed " << seed << ": warm cache changed the plan";
+  }
+  cache::set_enabled(was);
+}
+
+TEST(Threading, ConcurrentMemoOpsAreRaceFreeAndConsistent) {
+  cache::reset();
+  // Shared systems hammered from many threads: every thread must observe the
+  // same results the raw ops produce, while hitting one shared cache.
+  std::vector<LinSystem> systems;
+  for (unsigned seed = 1; seed <= 16; ++seed) systems.push_back(make_system(seed));
+  std::vector<char> raw_empty(systems.size());
+  std::vector<std::vector<char>> raw_cont(systems.size(),
+                                          std::vector<char>(systems.size()));
+  {
+    bool was = cache::enabled();
+    cache::set_enabled(false);
+    for (size_t i = 0; i < systems.size(); ++i) {
+      raw_empty[i] = systems[i].is_empty() ? 1 : 0;
+      for (size_t j = 0; j < systems.size(); ++j) {
+        raw_cont[i][j] = systems[i].contains(systems[j]) ? 1 : 0;
+      }
+    }
+    cache::set_enabled(was);
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        for (size_t i = 0; i < systems.size(); ++i) {
+          size_t j = (i + t + round) % systems.size();
+          if (cache::is_empty(systems[i]) != (raw_empty[i] != 0)) ++mismatches;
+          if (cache::contains(systems[i], systems[j]) != (raw_cont[i][j] != 0)) {
+            ++mismatches;
+          }
+          LinSystem meet = cache::intersect(systems[i], systems[j]);
+          if (meet != LinSystem::intersect(systems[i], systems[j])) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Threading, ParallelDriverSharesOneCache) {
+  // The Driver's pool workers all plan through the process-wide cache; the
+  // multi-worker plan must equal the serial one.
+  testing::GeneratedProgram gp = testing::generate_program(42);
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(gp.source, diag);
+  ASSERT_NE(wb, nullptr);
+  std::string want =
+      parallelizer::plan_signature(wb->parallelizer().plan(wb->program()));
+  for (int workers : {2, 4}) {
+    cache::reset();  // force the workers to populate the cache concurrently
+    parallelizer::Driver::Options opts;
+    opts.workers = workers;
+    parallelizer::Driver d(wb->parallelizer(), opts);
+    EXPECT_EQ(parallelizer::plan_signature(d.plan(wb->program())), want)
+        << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace suifx::poly
