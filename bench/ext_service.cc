@@ -1,0 +1,387 @@
+// Extension: analysis-service throughput. Stands up an AnalysisService,
+// opens one session per benchsuite program plus an editable synthetic
+// program, then drives timed mixed traffic (Plan / Profile / Slice, with an
+// editor thread issuing incremental Updates) from several client threads.
+// Reports requests/sec and p50/p99 latency from the service's own latency
+// histograms, then runs the quiesced single-edit acceptance check: after an
+// edit to one procedure, the next Plan may re-plan only that procedure's
+// loops and its dependents' (driver miss delta == dirty loop count) and must
+// produce a plan byte-identical to a cold full rebuild. Exits nonzero if the
+// incremental path is wrong; CI gates throughput against the recorded
+// baseline JSON separately.
+//
+// Usage: ext_service [--clients N] [--requests N] [--json PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/service.h"
+#include "support/metrics.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+// Same shape as the service tests' acceptance program: four procedures over
+// disjoint globals. Editing pc dirties exactly {pc, main} (caller + storage
+// sharer): 2 of the 6 loops re-plan, 4 carry over.
+const char* kBaseSource = R"(
+program svc;
+param N = 40;
+global real ga[64];
+global real gb[64];
+global real gc[64];
+global real gm[64];
+
+proc pa() {
+  do i = 1, N label 100 {
+    ga[i] = real(i) * 1.5;
+  }
+  do i = 1, N label 110 {
+    ga[i] = ga[i] + 2.0;
+  }
+}
+
+proc pb() {
+  do i = 1, N label 200 {
+    gb[i] = real(i) * 0.5;
+  }
+  do i = 1, N label 210 {
+    gb[i] = gb[i] * 2.0;
+  }
+}
+
+proc pc() {
+  do i = 1, N label 300 {
+    gc[i] = real(i) + 1.0;
+  }
+}
+
+proc main() {
+  call pa();
+  call pb();
+  call pc();
+  do i = 1, N label 900 {
+    gm[i] = ga[i] + gb[i] + gc[i];
+  }
+}
+)";
+
+// The same program with only pc's loop body changed.
+const char* kEditedSource = R"(
+program svc;
+param N = 40;
+global real ga[64];
+global real gb[64];
+global real gc[64];
+global real gm[64];
+
+proc pa() {
+  do i = 1, N label 100 {
+    ga[i] = real(i) * 1.5;
+  }
+  do i = 1, N label 110 {
+    ga[i] = ga[i] + 2.0;
+  }
+}
+
+proc pb() {
+  do i = 1, N label 200 {
+    gb[i] = real(i) * 0.5;
+  }
+  do i = 1, N label 210 {
+    gb[i] = gb[i] * 2.0;
+  }
+}
+
+proc pc() {
+  do i = 1, N label 300 {
+    gc[i] = real(i) * 3.0 + 1.0;
+  }
+}
+
+proc main() {
+  call pa();
+  call pb();
+  call pc();
+  do i = 1, N label 900 {
+    gm[i] = ga[i] + gb[i] + gc[i];
+  }
+}
+)";
+
+constexpr size_t kExpectedDirtyLoops = 2;  // pc/300 + main/900
+constexpr size_t kExpectedCarried = 4;     // pa's 2 + pb's 2
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string cold_plan_signature(const std::string& src) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  if (wb == nullptr) {
+    std::fprintf(stderr, "FAIL: cold rebuild does not parse:\n%s\n",
+                 diag.str().c_str());
+    std::exit(1);
+  }
+  return parallelizer::plan_signature(wb->parallelizer().plan(wb->program()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 4;
+  int requests = 60;  // per client
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_service [--clients N] [--requests N] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (clients < 1) clients = 1;
+  if (requests < 10) requests = 10;
+
+  std::printf("Extension: analysis-as-a-service traffic (ms, this machine)\n\n");
+
+  service::AnalysisService svc;
+
+  // Open one session per benchsuite program plus the editable one. Opening
+  // runs the full interprocedural stack, so this is the daemon's cold start.
+  std::vector<std::string> session_names;
+  auto t_open = std::chrono::steady_clock::now();
+  for (const benchsuite::BenchProgram* bp : benchsuite::full_suite()) {
+    service::Request r;
+    r.kind = service::RequestKind::Open;
+    r.session = bp->name;
+    r.source = bp->source;
+    service::Response resp = svc.call(std::move(r));
+    if (!resp.ok) {
+      std::fprintf(stderr, "FAIL: open %s: %s\n", bp->name.c_str(),
+                   resp.error.c_str());
+      return 1;
+    }
+    session_names.push_back(bp->name);
+  }
+  {
+    service::Request r;
+    r.kind = service::RequestKind::Open;
+    r.session = "svc";
+    r.source = kBaseSource;
+    service::Response resp = svc.call(std::move(r));
+    if (!resp.ok) {
+      std::fprintf(stderr, "FAIL: open svc: %s\n", resp.error.c_str());
+      return 1;
+    }
+    session_names.push_back("svc");
+  }
+  double open_ms = ms_since(t_open);
+
+  // Warm every session's driver cache with one plan, so the timed phase
+  // measures steady-state daemon traffic (cache-warm re-plans), not first
+  // analysis.
+  for (const std::string& name : session_names) {
+    service::Request r;
+    r.kind = service::RequestKind::Plan;
+    r.session = name;
+    service::Response resp = svc.call(std::move(r));
+    if (!resp.ok) {
+      std::fprintf(stderr, "FAIL: warmup plan %s: %s\n", name.c_str(),
+                   resp.error.c_str());
+      return 1;
+    }
+  }
+
+  const std::string slice_session = benchsuite::mdg().name;
+  support::Metrics::global().reset();  // latency histograms: timed phase only
+
+  // Timed phase: each client issues a deterministic Plan/Profile/Slice mix
+  // round-robin over the sessions; client 0 doubles as the editor, flipping
+  // the synthetic session between its two variants with incremental Updates.
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> failures(static_cast<size_t>(clients), 0);
+  auto t_traffic = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<service::Response>> pending;
+      for (int i = 0; i < requests; ++i) {
+        service::Request r;
+        size_t pick = static_cast<size_t>(c * 131 + i * 7) % session_names.size();
+        r.session = session_names[pick];
+        if (c == 0 && i % 10 == 9) {
+          r.kind = service::RequestKind::Update;
+          r.session = "svc";
+          r.source = (i / 10) % 2 == 0 ? kEditedSource : kBaseSource;
+        } else if (i % 4 == 3 && !slice_session.empty()) {
+          r.kind = service::RequestKind::Slice;
+          r.session = slice_session;
+          r.loop = "interf/1000";
+          r.var = "interf.rl";
+        } else if (i % 4 == 2) {
+          r.kind = service::RequestKind::Profile;
+        } else {
+          r.kind = service::RequestKind::Plan;
+        }
+        pending.push_back(svc.submit(std::move(r)));
+        // Keep a small window in flight per client, like an interactive UI
+        // with a few outstanding queries.
+        if (pending.size() >= 4) {
+          if (!pending.front().get().ok) ++failures[static_cast<size_t>(c)];
+          pending.erase(pending.begin());
+        }
+      }
+      for (auto& f : pending) {
+        if (!f.get().ok) ++failures[static_cast<size_t>(c)];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double traffic_ms = ms_since(t_traffic);
+
+  uint64_t failed = 0;
+  for (uint64_t f : failures) failed += f;
+  const uint64_t total_requests = static_cast<uint64_t>(clients) *
+                                  static_cast<uint64_t>(requests);
+  double req_per_sec =
+      traffic_ms > 0 ? total_requests / (traffic_ms / 1000.0) : 0.0;
+
+  support::Histogram& lat = support::Metrics::global().histogram("service.latency");
+  support::Histogram& plan_lat =
+      support::Metrics::global().histogram("service.latency.plan");
+  double p50 = lat.quantile(0.50);
+  double p99 = lat.quantile(0.99);
+
+  std::printf("%s%s%s%s\n", cell("sessions", 10).c_str(),
+              cell("clients", 9).c_str(), cell("requests", 10).c_str(),
+              cell("failed", 8).c_str());
+  rule(37);
+  std::printf("%s%s%s%s\n",
+              cell(static_cast<long>(session_names.size()), 10).c_str(),
+              cell(static_cast<long>(clients), 9).c_str(),
+              cell(static_cast<long>(total_requests), 10).c_str(),
+              cell(static_cast<long>(failed), 8).c_str());
+  std::printf("\ncold open (all sessions)  %s ms\n", cell(open_ms, 9).c_str());
+  std::printf("traffic wall              %s ms\n", cell(traffic_ms, 9).c_str());
+  std::printf("throughput                %s req/s\n",
+              cell(req_per_sec, 9, 1).c_str());
+  std::printf("latency p50 / p99         %s/%s ms  (plan p50 %s ms)\n",
+              cell(p50, 7).c_str(), cell(p99, 7).c_str(),
+              cell(plan_lat.quantile(0.50), 7).c_str());
+
+  // --- Quiesced acceptance check (the ISSUE-6 gate) ------------------------
+  // Park the synthetic session on the base variant and fully warm it, then
+  // apply the one-procedure edit. The follow-up Plan may miss only on the
+  // dirty procedures' loops and must equal a cold full rebuild byte for byte.
+  auto call = [&](service::Request r) { return svc.call(std::move(r)); };
+  {
+    service::Request r;
+    r.kind = service::RequestKind::Update;
+    r.session = "svc";
+    r.source = kBaseSource;
+    if (!call(std::move(r)).ok) {
+      std::fprintf(stderr, "FAIL: reset update\n");
+      return 1;
+    }
+  }
+  {
+    service::Request r;
+    r.kind = service::RequestKind::Plan;
+    r.session = "svc";
+    if (!call(std::move(r)).ok) {
+      std::fprintf(stderr, "FAIL: warm plan\n");
+      return 1;
+    }
+  }
+  service::Response upd;
+  {
+    service::Request r;
+    r.kind = service::RequestKind::Update;
+    r.session = "svc";
+    r.source = kEditedSource;
+    upd = call(std::move(r));
+  }
+  service::Response replan;
+  {
+    service::Request r;
+    r.kind = service::RequestKind::Plan;
+    r.session = "svc";
+    replan = call(std::move(r));
+  }
+  std::string want_sig = cold_plan_signature(kEditedSource);
+
+  std::printf("\nincremental edit: changed %zu proc(s), dirty %zu, "
+              "carried %zu plan(s), dropped %zu\n",
+              upd.changed.size(), upd.dirty.size(), upd.carried, upd.dropped);
+  std::printf("re-plan after edit: %llu misses, %llu hits, signature %s\n",
+              static_cast<unsigned long long>(replan.cache_misses),
+              static_cast<unsigned long long>(replan.cache_hits),
+              replan.plan_sig == want_sig ? "== cold rebuild" : "MISMATCH");
+
+  bool ok = true;
+  if (!upd.ok || !upd.incremental) {
+    std::fprintf(stderr, "FAIL: edit did not take the incremental path (%s)\n",
+                 upd.error.c_str());
+    ok = false;
+  }
+  if (upd.carried != kExpectedCarried) {
+    std::fprintf(stderr, "FAIL: carried %zu plans, want %zu\n", upd.carried,
+                 kExpectedCarried);
+    ok = false;
+  }
+  if (!replan.ok || replan.cache_misses != kExpectedDirtyLoops) {
+    std::fprintf(stderr,
+                 "FAIL: re-plan missed %llu loops, want %zu (dirty procs only)\n",
+                 static_cast<unsigned long long>(replan.cache_misses),
+                 kExpectedDirtyLoops);
+    ok = false;
+  }
+  if (replan.plan_sig != want_sig) {
+    std::fprintf(stderr,
+                 "FAIL: incremental plan differs from a cold full rebuild\n");
+    ok = false;
+  }
+  if (failed != 0) {
+    std::fprintf(stderr, "FAIL: %llu traffic requests failed\n",
+                 static_cast<unsigned long long>(failed));
+    ok = false;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"sessions\": " << session_names.size() << ",\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"requests\": " << total_requests << ",\n"
+        << "  \"open_ms\": " << open_ms << ",\n"
+        << "  \"traffic_ms\": " << traffic_ms << ",\n"
+        << "  \"req_per_sec\": " << req_per_sec << ",\n"
+        << "  \"p50_ms\": " << p50 << ",\n"
+        << "  \"p99_ms\": " << p99 << ",\n"
+        << "  \"plan_p50_ms\": " << plan_lat.quantile(0.50) << ",\n"
+        << "  \"edit_carried\": " << upd.carried << ",\n"
+        << "  \"edit_dropped\": " << upd.dropped << ",\n"
+        << "  \"edit_replan_misses\": " << replan.cache_misses << ",\n"
+        << "  \"edit_replan_hits\": " << replan.cache_hits << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  std::printf("%s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,537 @@
+#include "explorer/incremental.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "analysis/modref.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::explorer {
+
+namespace {
+
+// FNV-1a with explicit framing (lengths and kind tags), so "ab"+"c" and
+// "a"+"bc" hash differently and tree shapes cannot collide by concatenation.
+class Hasher {
+ public:
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    for (char c : s) byte(static_cast<uint8_t>(c));
+    u64(s.size());
+  }
+  void real(double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    u64(bits);
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  void byte(uint8_t b) {
+    h_ ^= b;
+    h_ *= 1099511628211ULL;
+  }
+  uint64_t h_ = 1469598103934665603ULL;
+};
+
+void hash_expr(Hasher& h, const ir::Expr* e) {
+  if (e == nullptr) {
+    h.u64(0);
+    return;
+  }
+  h.u64(1 + static_cast<uint64_t>(e->kind));
+  h.u64(static_cast<uint64_t>(e->type));
+  switch (e->kind) {
+    case ir::ExprKind::IntConst:
+      h.u64(static_cast<uint64_t>(e->ival));
+      break;
+    case ir::ExprKind::RealConst:
+      h.real(e->rval);
+      break;
+    case ir::ExprKind::VarRef:
+      h.str(e->var->qualified_name());
+      break;
+    case ir::ExprKind::ArrayRef:
+      h.str(e->var->qualified_name());
+      h.u64(e->idx.size());
+      for (const ir::Expr* ix : e->idx) hash_expr(h, ix);
+      break;
+    case ir::ExprKind::Binary:
+      h.u64(static_cast<uint64_t>(e->bop));
+      hash_expr(h, e->a);
+      hash_expr(h, e->b);
+      break;
+    case ir::ExprKind::Unary:
+      h.u64(static_cast<uint64_t>(e->uop));
+      hash_expr(h, e->a);
+      break;
+  }
+}
+
+void hash_body(Hasher& h, const std::vector<ir::Stmt*>& body);
+
+void hash_stmt(Hasher& h, const ir::Stmt* s) {
+  h.u64(1 + static_cast<uint64_t>(s->kind));
+  switch (s->kind) {
+    case ir::StmtKind::Assign:
+      hash_expr(h, s->lhs);
+      hash_expr(h, s->rhs);
+      break;
+    case ir::StmtKind::If:
+      hash_expr(h, s->cond);
+      hash_body(h, s->then_body);
+      hash_body(h, s->else_body);
+      break;
+    case ir::StmtKind::Do:
+      h.str(s->ivar->qualified_name());
+      h.str(s->label);
+      hash_expr(h, s->lb);
+      hash_expr(h, s->ub);
+      hash_expr(h, s->step);
+      hash_body(h, s->body);
+      break;
+    case ir::StmtKind::Call:
+      h.str(s->callee != nullptr ? s->callee->name : "");
+      h.u64(s->args.size());
+      for (const ir::Expr* a : s->args) hash_expr(h, a);
+      break;
+    case ir::StmtKind::Print:
+      hash_expr(h, s->value);
+      break;
+    case ir::StmtKind::Nop:
+      break;
+  }
+}
+
+void hash_body(Hasher& h, const std::vector<ir::Stmt*>& body) {
+  h.u64(body.size());
+  for (const ir::Stmt* s : body) hash_stmt(h, s);
+}
+
+void hash_var_decl(Hasher& h, const ir::Variable* v) {
+  h.str(v->name);
+  h.u64(static_cast<uint64_t>(v->kind));
+  h.u64(static_cast<uint64_t>(v->elem));
+  h.u64(v->dims.size());
+  for (const ir::Dim& d : v->dims) {
+    hash_expr(h, d.lower);
+    hash_expr(h, d.upper);
+  }
+  h.str(v->common != nullptr ? v->common->name : "");
+  h.u64(static_cast<uint64_t>(v->common_offset));
+  h.u64(v->is_input ? 1 : 0);
+  h.u64(static_cast<uint64_t>(v->param_default));
+}
+
+// --- storage tags -----------------------------------------------------------
+//
+// Canonical names for the storage through which facts can flow between
+// procedures: globals ("g:"), whole COMMON blocks ("c:"), and caller-side
+// locals bound to by-reference formals ("l:"). SymParams are immutable
+// (never assigned), so facts about them never change and they carry no tag —
+// tagging them would make every procedure share storage with every other.
+
+void add_tag(std::set<std::string>& out, const ir::Variable* v,
+             const analysis::AliasAnalysis& alias) {
+  const ir::Variable* c = alias.canonical(v);
+  switch (c->kind) {
+    case ir::VarKind::SymParam:
+      return;
+    case ir::VarKind::Global:
+      out.insert("g:" + c->name);
+      return;
+    case ir::VarKind::CommonMember:
+      out.insert("c:" + (c->common != nullptr ? c->common->name : c->name));
+      return;
+    default:
+      out.insert("l:" + c->qualified_name());
+      return;
+  }
+}
+
+/// Storage `p` (or any callee) may touch: its MOD/REF sets plus the
+/// caller-side actuals its touched formals bind to at every callsite. The
+/// actual-binding part is what couples two procedures that share only a
+/// caller's local array passed by reference to both.
+std::set<std::string> touched_tags(const Workbench& wb, const ir::Procedure* p) {
+  std::set<std::string> tags;
+  const analysis::ProcEffects& eff = wb.modref().of(p);
+  for (const ir::Variable* v : eff.mod) add_tag(tags, v, wb.alias());
+  for (const ir::Variable* v : eff.ref) add_tag(tags, v, wb.alias());
+  for (const ir::Stmt* call : wb.callgraph().callsites_of(p)) {
+    for (size_t i = 0; i < p->formals.size(); ++i) {
+      bool m = i < eff.formal_mod.size() && eff.formal_mod[i];
+      bool r = i < eff.formal_ref.size() && eff.formal_ref[i];
+      if (!m && !r) continue;
+      if (const ir::Variable* a = analysis::ModRef::actual_var(call, i)) {
+        add_tag(tags, a, wb.alias());
+      }
+    }
+  }
+  return tags;
+}
+
+/// Every tag some procedure of `wb` may modify — directly, via callees, or
+/// through a by-reference actual. Symbols over storage outside this set have
+/// rebuild-stable generation numbering.
+std::set<std::string> modified_tags(const Workbench& wb) {
+  std::set<std::string> tags;
+  for (const ir::Procedure& p : wb.program().procedures()) {
+    const analysis::ProcEffects& eff = wb.modref().of(&p);
+    for (const ir::Variable* v : eff.mod) add_tag(tags, v, wb.alias());
+    for (const ir::Stmt* call : wb.callgraph().callsites_of(&p)) {
+      for (size_t i = 0; i < p.formals.size(); ++i) {
+        if (i >= eff.formal_mod.size() || !eff.formal_mod[i]) continue;
+        if (const ir::Variable* a = analysis::ModRef::actual_var(call, i)) {
+          add_tag(tags, a, wb.alias());
+        }
+      }
+    }
+  }
+  return tags;
+}
+
+// --- call-edge closure ------------------------------------------------------
+
+using EdgeMap = std::map<std::string, std::set<std::string>>;
+
+void collect_edges(const ir::Program& prog, EdgeMap& callees, EdgeMap& callers) {
+  for (const ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](const ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call && s->callee != nullptr) {
+        callees[p.name].insert(s->callee->name);
+        callers[s->callee->name].insert(p.name);
+      }
+    });
+  }
+}
+
+std::set<std::string> closure(const std::set<std::string>& seed,
+                              const EdgeMap& next) {
+  std::set<std::string> out = seed;
+  std::vector<std::string> work(seed.begin(), seed.end());
+  while (!work.empty()) {
+    std::string n = std::move(work.back());
+    work.pop_back();
+    auto it = next.find(n);
+    if (it == next.end()) continue;
+    for (const std::string& m : it->second) {
+      if (out.insert(m).second) work.push_back(m);
+    }
+  }
+  return out;
+}
+
+// --- plan translation -------------------------------------------------------
+
+struct Translator {
+  const ir::Program& old_prog;
+  const analysis::AliasAnalysis& old_alias;
+  /// Storage modified somewhere in old or new program: scalar symbols over it
+  /// may renumber across the rebuild, so sections mentioning it are dropped.
+  const std::set<std::string>& mutable_tags;
+  std::map<int, const ir::Variable*> var_map;  // old var id -> new var
+
+  const ir::Variable* map_var(const ir::Variable* v) const {
+    auto it = var_map.find(v->id);
+    return it == var_map.end() ? nullptr : it->second;
+  }
+};
+
+/// Extend `m` with the renames needed to carry `sl` into the new program.
+/// False = the section mentions a symbol whose numbering is not provably
+/// stable (see the header's generation argument) — drop the entry.
+bool section_symmap(const Translator& t, const ir::Procedure* old_proc,
+                    const poly::SectionList& sl, poly::SymMap* m) {
+  for (const poly::LinSystem& sys : sl.systems()) {
+    for (poly::SymId s : sys.symbols()) {
+      if (poly::is_dim_sym(s)) continue;
+      if (m->contains(s)) continue;
+      int vid = poly::sym_var_id(s);
+      if (vid < 0 || vid >= t.old_prog.num_vars()) return false;
+      const ir::Variable* ov = &t.old_prog.variables()[static_cast<size_t>(vid)];
+      bool stable = false;
+      switch (ov->kind) {
+        case ir::VarKind::SymParam:
+          stable = true;  // immutable: generation 0 forever
+          break;
+        case ir::VarKind::Local:
+        case ir::VarKind::Formal:
+          // Bumped only while the symbolic walk is inside the owning
+          // procedure, whose body is unchanged here.
+          stable = ov->owner == old_proc;
+          break;
+        case ir::VarKind::Global:
+        case ir::VarKind::CommonMember: {
+          // Stable iff nothing anywhere modifies the storage: a write
+          // elsewhere makes the numbering depend on the bottom-up walk
+          // order, which any call-edge edit can permute.
+          std::set<std::string> tag;
+          add_tag(tag, ov, t.old_alias);
+          stable = true;
+          for (const std::string& tg : tag) {
+            if (t.mutable_tags.count(tg) > 0) stable = false;
+          }
+          break;
+        }
+      }
+      if (!stable) return false;
+      const ir::Variable* nv = t.map_var(ov);
+      if (nv == nullptr) return false;
+      int gen = ((s - poly::kMaxRank) / 2) % poly::kMaxGens;
+      poly::SymId ns = poly::is_primed_sym(s) ? poly::primed_sym(nv, gen)
+                                              : poly::scalar_sym(nv, gen);
+      if (ns != s) m->set(s, ns);
+    }
+  }
+  return true;
+}
+
+std::optional<std::pair<parallelizer::Driver::AssertKey, parallelizer::LoopPlan>>
+translate_plan(const Translator& t, const ir::Procedure* old_proc,
+               const parallelizer::Driver::CachedPlan& e,
+               const ir::Stmt* new_loop) {
+  if (e.plan.degraded) return std::nullopt;  // never memoized; belt-and-braces
+
+  poly::SymMap m;
+  for (const auto& [v, vv] : e.plan.verdict.vars) {
+    if (!section_symmap(t, old_proc, vv.red_region, &m)) return std::nullopt;
+    if (!section_symmap(t, old_proc, vv.exposed, &m)) return std::nullopt;
+  }
+  for (const parallelizer::ReductionVar& rv : e.plan.reductions) {
+    if (!section_symmap(t, old_proc, rv.region, &m)) return std::nullopt;
+  }
+
+  parallelizer::LoopPlan out;
+  out.loop = new_loop;
+  out.parallelizable = e.plan.parallelizable;
+  out.reason = e.plan.reason;
+  out.used_liveness = e.plan.used_liveness;
+  out.used_assertion = e.plan.used_assertion;
+  out.degraded = false;
+  out.verdict.parallel = e.plan.verdict.parallel;
+  out.verdict.num_dependences = e.plan.verdict.num_dependences;
+  out.verdict.has_io = e.plan.verdict.has_io;
+  for (const auto& [v, vv] : e.plan.verdict.vars) {
+    const ir::Variable* nv = t.map_var(v);
+    if (nv == nullptr) return std::nullopt;
+    analysis::VarVerdict nvv = vv;
+    nvv.red_region = vv.red_region.rename(m);
+    nvv.exposed = vv.exposed.rename(m);
+    out.verdict.vars.emplace(nv, std::move(nvv));
+  }
+  for (const parallelizer::PrivateVar& pv : e.plan.privatized) {
+    const ir::Variable* nv = t.map_var(pv.var);
+    if (nv == nullptr) return std::nullopt;
+    out.privatized.push_back({nv, pv.copy_in, pv.finalize});
+  }
+  for (const parallelizer::ReductionVar& rv : e.plan.reductions) {
+    const ir::Variable* nv = t.map_var(rv.var);
+    if (nv == nullptr) return std::nullopt;
+    out.reductions.push_back({nv, rv.op, rv.region.rename(m)});
+  }
+
+  parallelizer::Driver::AssertKey key;
+  key.force_parallel = e.key.force_parallel;
+  auto remap_ids = [&](const std::vector<int>& ids, std::vector<int>* dst) {
+    for (int id : ids) {
+      if (id < 0 || id >= t.old_prog.num_vars()) return false;
+      const ir::Variable* nv =
+          t.map_var(&t.old_prog.variables()[static_cast<size_t>(id)]);
+      if (nv == nullptr) return false;
+      dst->push_back(nv->id);
+    }
+    std::sort(dst->begin(), dst->end());
+    return true;
+  };
+  if (!remap_ids(e.key.privatize, &key.privatize)) return std::nullopt;
+  if (!remap_ids(e.key.independent, &key.independent)) return std::nullopt;
+  return std::make_pair(std::move(key), std::move(out));
+}
+
+}  // namespace
+
+uint64_t proc_fingerprint(const ir::Procedure& p) {
+  Hasher h;
+  h.str(p.name);
+  h.u64(p.formals.size());
+  for (const ir::Variable* v : p.formals) hash_var_decl(h, v);
+  h.u64(p.locals.size());
+  for (const ir::Variable* v : p.locals) hash_var_decl(h, v);
+  hash_body(h, p.body);
+  return h.value();
+}
+
+uint64_t decl_fingerprint(const ir::Program& prog) {
+  Hasher h;
+  h.u64(prog.globals().size());
+  for (const ir::Variable* v : prog.globals()) hash_var_decl(h, v);
+  h.u64(prog.sym_params().size());
+  for (const ir::Variable* v : prog.sym_params()) hash_var_decl(h, v);
+  h.u64(prog.commons().size());
+  for (const ir::CommonBlock& c : prog.commons()) h.str(c.name);
+  // Procedure name order: bottom-up walk order (symbolic generations) and
+  // dense id layout both follow it.
+  uint64_t nprocs = 0;
+  for (const ir::Procedure& p : prog.procedures()) {
+    h.str(p.name);
+    ++nprocs;
+  }
+  h.u64(nprocs);
+  h.str(prog.main() != nullptr ? prog.main()->name : "");
+  return h.value();
+}
+
+std::unique_ptr<Workbench> rebuild_incremental(
+    const Workbench& old_wb, std::string_view new_src, Diag& diag,
+    RebuildStats* stats, std::optional<analysis::LivenessMode> liveness_mode,
+    bool enable_reductions) {
+  support::trace::TraceSpan span("workbench/rebuild");
+  std::vector<parallelizer::Driver::CachedPlan> snapshot =
+      old_wb.driver().snapshot_cache();
+
+  auto wb = Workbench::from_source(new_src, diag, liveness_mode,
+                                   enable_reductions);
+  if (wb == nullptr) return nullptr;
+
+  RebuildStats local;
+  RebuildStats& st = stats != nullptr ? *stats : local;
+  st = RebuildStats{};
+
+  const ir::Program& op = old_wb.program();
+  const ir::Program& np = wb->program();
+
+  // Changed set: per-procedure structural diff by name.
+  std::map<std::string, uint64_t> ofp;
+  std::map<std::string, uint64_t> nfp;
+  for (const ir::Procedure& p : op.procedures()) ofp[p.name] = proc_fingerprint(p);
+  for (const ir::Procedure& p : np.procedures()) nfp[p.name] = proc_fingerprint(p);
+  std::set<std::string> changed;
+  for (const auto& [name, fp] : ofp) {
+    auto it = nfp.find(name);
+    if (it == nfp.end() || it->second != fp) changed.insert(name);
+  }
+  for (const auto& [name, fp] : nfp) {
+    if (ofp.count(name) == 0) changed.insert(name);
+  }
+  st.changed.assign(changed.begin(), changed.end());
+
+  // Declaration-level change or a degraded build on either side: carried
+  // plans would rest on ground that moved (or on retried/laddered analyses
+  // whose precision may differ), so discard everything.
+  if (decl_fingerprint(op) != decl_fingerprint(np) ||
+      !old_wb.degradations().empty() || !wb->degradations().empty()) {
+    st.full_invalidation = true;
+    st.dropped = snapshot.size();
+    st.dirty = st.changed;
+    support::Metrics::global().count("rebuild.full");
+    return wb;
+  }
+
+  // Dirty closure over the union of old and new call edges.
+  EdgeMap callees;
+  EdgeMap callers;
+  collect_edges(op, callees, callers);
+  collect_edges(np, callees, callers);
+  std::set<std::string> dirty = changed;
+  for (const std::string& n : closure(changed, callers)) dirty.insert(n);
+  for (const std::string& n : closure(changed, callees)) dirty.insert(n);
+
+  // Storage sharers: mutable storage a changed procedure touches couples it
+  // to every other procedure touching the same storage.
+  std::set<std::string> mutable_tags = modified_tags(old_wb);
+  for (const std::string& tg : modified_tags(*wb)) mutable_tags.insert(tg);
+  std::set<std::string> coupling;
+  for (const std::string& name : changed) {
+    std::set<std::string> touched;
+    if (const ir::Procedure* p = op.find_procedure(name)) {
+      for (const std::string& tg : touched_tags(old_wb, p)) touched.insert(tg);
+    }
+    if (const ir::Procedure* p = np.find_procedure(name)) {
+      for (const std::string& tg : touched_tags(*wb, p)) touched.insert(tg);
+    }
+    for (const std::string& tg : touched) {
+      if (mutable_tags.count(tg) > 0) coupling.insert(tg);
+    }
+  }
+  for (const ir::Procedure& p : np.procedures()) {
+    if (dirty.count(p.name) > 0) continue;
+    for (const std::string& tg : touched_tags(*wb, &p)) {
+      if (coupling.count(tg) > 0) {
+        dirty.insert(p.name);
+        break;
+      }
+    }
+  }
+
+  // Old-loop -> new-loop correspondence for clean procedures, by position in
+  // the outermost-first loop list (bodies are structurally identical).
+  std::map<int, const ir::Stmt*> loop_of;  // old stmt id -> new stmt
+  for (const ir::Procedure& opc : op.procedures()) {
+    if (dirty.count(opc.name) > 0) continue;
+    const ir::Procedure* npc = np.find_procedure(opc.name);
+    if (npc == nullptr) {
+      dirty.insert(opc.name);
+      continue;
+    }
+    std::vector<const ir::Stmt*> ol = opc.loops();
+    std::vector<const ir::Stmt*> nl =
+        static_cast<const ir::Procedure*>(npc)->loops();
+    if (ol.size() != nl.size()) {
+      dirty.insert(opc.name);  // cannot happen with equal fingerprints
+      continue;
+    }
+    for (size_t i = 0; i < ol.size(); ++i) loop_of[ol[i]->id] = nl[i];
+  }
+  st.dirty.assign(dirty.begin(), dirty.end());
+
+  // Variable correspondence by qualified name, shape-checked.
+  Translator t{op, old_wb.alias(), mutable_tags, {}};
+  std::map<std::string, const ir::Variable*> by_name;
+  for (const ir::Variable& v : np.variables()) {
+    by_name.emplace(v.qualified_name(), &v);
+  }
+  for (const ir::Variable& v : op.variables()) {
+    auto it = by_name.find(v.qualified_name());
+    if (it == by_name.end()) continue;
+    const ir::Variable* nv = it->second;
+    if (nv->kind != v.kind || nv->elem != v.elem || nv->rank() != v.rank()) {
+      continue;
+    }
+    t.var_map[v.id] = nv;
+  }
+
+  // Carry every entry of a clean procedure across, translated.
+  for (const parallelizer::Driver::CachedPlan& e : snapshot) {
+    const ir::Stmt* old_loop = op.stmt_by_id(e.stmt_id);
+    const ir::Procedure* oproc = old_loop->proc;
+    auto lit = loop_of.find(e.stmt_id);
+    if (oproc == nullptr || dirty.count(oproc->name) > 0 ||
+        lit == loop_of.end()) {
+      ++st.dropped;
+      continue;
+    }
+    auto tr = translate_plan(t, oproc, e, lit->second);
+    if (tr.has_value() &&
+        wb->driver().seed_plan(np, lit->second->id, std::move(tr->first),
+                               std::move(tr->second))) {
+      ++st.carried;
+    } else {
+      ++st.dropped;
+    }
+  }
+
+  support::Metrics::global().count("rebuild.incremental");
+  support::Metrics::global().count("rebuild.carried", st.carried);
+  support::Metrics::global().count("rebuild.dropped", st.dropped);
+  return wb;
+}
+
+}  // namespace suifx::explorer

@@ -1,0 +1,80 @@
+// Incremental session rebuild: re-derive only what an edit invalidated.
+//
+// A daemon session (service::AnalysisService) holds a Workbench whose driver
+// cache has been warmed by previous requests. When the user edits the source,
+// rebuilding the Workbench from scratch would discard every memoized loop
+// plan — the all-or-nothing invalidation the SUIF Explorer's interactivity
+// cannot afford (§4: analyses must be fast enough to re-run per user action).
+//
+// rebuild_incremental() builds the new Workbench, diffs it against the old
+// one procedure-by-procedure (structural fingerprints over *names*, never ids
+// or addresses, so unrelated edits don't cascade), computes the dirty set an
+// edit can actually influence, and carries every still-valid driver cache
+// entry across — translated into the new program's id space — via
+// Driver::seed_plan(). A subsequent plan() re-analyzes only the dirty
+// procedures' loops; everything else is a cache hit, and the resulting plan
+// is byte-identical (plan_signature) to a cold full rebuild.
+//
+// Dirty set (docs/service.md has the full argument):
+//   changed   procedures whose fingerprint differs, or that were added/removed
+//   ∪ transitive callers of changed   (data-flow summaries flow bottom-up)
+//   ∪ transitive callees of changed   (liveness contexts flow top-down)
+//   ∪ storage sharers: procedures touching mutable storage (globals, COMMON
+//     blocks, by-reference actuals) that a changed procedure touches — the
+//     channel by which symbolic generations and liveness facts about shared
+//     data propagate sideways between otherwise-unrelated procedures.
+//
+// Carried entries additionally drop any plan whose stored array sections
+// mention storage that is modified anywhere in the program: the symbolic
+// analysis numbers scalar "generations" during a single bottom-up walk, so a
+// call-graph reordering elsewhere can renumber a mutable global's symbols
+// even in an untouched procedure. Immutable storage (SymParams, never-written
+// globals) and the procedure's own locals/formals have stable numbering, and
+// plan *decisions* are invariant under the renaming, so only stored sections
+// need this guard.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explorer/workbench.h"
+
+namespace suifx::explorer {
+
+/// What one incremental rebuild did — surfaced by the service's Update
+/// response and asserted by the incremental-invalidation tests.
+struct RebuildStats {
+  /// Every entry was discarded (declaration-level change, a degraded build on
+  /// either side, or an unparseable edit handled by the caller).
+  bool full_invalidation = false;
+  std::vector<std::string> changed;  // procedures whose structure differs
+  std::vector<std::string> dirty;    // changed + dependents (will re-plan)
+  size_t carried = 0;                // cache entries translated + re-seeded
+  size_t dropped = 0;                // entries invalidated or untranslatable
+};
+
+/// Structural fingerprint of one procedure: name, formal/local declarations,
+/// and the whole statement tree, hashing variables and callees by *qualified
+/// name* so the value is stable across re-parses that shift ids.
+uint64_t proc_fingerprint(const ir::Procedure& p);
+
+/// Fingerprint of everything outside procedure bodies: globals, symbolic
+/// parameters, COMMON block names, and the procedure name order. A change
+/// here shifts ground every procedure stands on, so it forces full
+/// invalidation.
+uint64_t decl_fingerprint(const ir::Program& prog);
+
+/// Build a Workbench for `new_src` and carry still-valid driver cache entries
+/// over from `old_wb`. Returns null on parse error (details in `diag`; the
+/// caller keeps the old session). Pass the same liveness/reduction
+/// configuration the old Workbench was built with — carried plans assume it.
+std::unique_ptr<Workbench> rebuild_incremental(
+    const Workbench& old_wb, std::string_view new_src, Diag& diag,
+    RebuildStats* stats = nullptr,
+    std::optional<analysis::LivenessMode> liveness_mode =
+        analysis::LivenessMode::Full,
+    bool enable_reductions = true);
+
+}  // namespace suifx::explorer

@@ -68,9 +68,13 @@ std::unique_ptr<Workbench> Workbench::from_source(
 
   // One budget for the whole build, from SUIFX_BUDGET_STEPS /
   // SUIFX_DEADLINE_MS (unlimited when unset — Scope with an unlimited budget
-  // costs one atomic bump per charge).
+  // costs one atomic bump per charge). A budget already installed on this
+  // thread — a daemon's per-request budget (service::AnalysisService) —
+  // takes precedence over the env-derived one.
   support::Budget build_budget(support::Budget::limits_from_env());
-  support::Budget::Scope budget_scope(&build_budget);
+  support::Budget::Scope budget_scope(support::Budget::current() != nullptr
+                                          ? support::Budget::current()
+                                          : &build_budget);
   std::vector<std::string>& deg = wb->degradations_;
 
   guarded(deg, diag, "alias", [&] {

@@ -1,6 +1,7 @@
 #include "ir/ir.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace suifx::ir {
@@ -171,6 +172,11 @@ Variable* Procedure::find_var(const std::string& n) const {
 // ---------------------------------------------------------------------------
 // Program factories
 // ---------------------------------------------------------------------------
+
+uint64_t Program::next_uid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // never 0
+}
 
 Variable* Program::new_global(const std::string& n, ScalarType t, std::vector<Dim> dims) {
   vars_.push_back({});

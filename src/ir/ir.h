@@ -203,11 +203,18 @@ struct CommonBlock {
 /// A whole SF program: arena owner of all IR nodes plus factory methods.
 class Program {
  public:
-  explicit Program(std::string name) : name_(std::move(name)) {}
+  explicit Program(std::string name)
+      : name_(std::move(name)), uid_(next_uid()) {}
   Program(const Program&) = delete;
   Program& operator=(const Program&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// Process-unique build stamp, assigned at construction and never reused.
+  /// Caches keyed by statement ids (parallelizer::Driver) compare this to
+  /// detect that a "new" program — possibly reusing recycled node addresses
+  /// and the same dense id space — is not the one their entries came from.
+  uint64_t uid() const { return uid_; }
 
   // --- variable factories -------------------------------------------------
   Variable* new_global(const std::string& n, ScalarType t, std::vector<Dim> dims = {});
@@ -279,8 +286,10 @@ class Program {
   Stmt* alloc_stmt(StmtKind k, SourceLoc loc);
   void number_body(std::vector<Stmt*>& body, Stmt* parent, Procedure* proc);
   static long dim_extent_upper_bound(const Dim& d);
+  static uint64_t next_uid();
 
   std::string name_;
+  uint64_t uid_ = 0;
   std::deque<Expr> exprs_;
   std::deque<Stmt> stmts_;
   std::deque<Variable> vars_;

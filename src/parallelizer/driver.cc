@@ -39,33 +39,95 @@ size_t Driver::cache_size() const {
   return cache_.size();
 }
 
+uint64_t Driver::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
 void Driver::invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
   cache_.clear();
 }
 
-uint64_t Driver::assertion_fingerprint(const ir::Stmt* loop,
-                                       const Assertions& asserts) {
-  uint64_t h = 1469598103934665603ULL;
-  auto mix_vars = [&](const std::map<const ir::Stmt*, std::set<const ir::Variable*>>& m,
-                      uint64_t tag) {
-    h = fnv1a(h, tag);
+size_t Driver::invalidate(const ir::Procedure& proc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t erased = 0;
+  proc.for_each([&](const ir::Stmt* s) {
+    if (s->kind != ir::StmtKind::Do) return;
+    erased += cache_.erase(pack_key(s->id));
+  });
+  return erased;
+}
+
+void Driver::rebind_locked(const ir::Program& prog) {
+  if (bound_uid_ == prog.uid()) return;
+  if (bound_uid_ != 0) {
+    // A different program: its statement ids are a fresh dense space that
+    // would alias every cached key, so the whole cache is stale. Bumping the
+    // epoch (not just clearing) also unmatches any key a concurrent caller
+    // captured before this rebind.
+    ++epoch_;
+    cache_.clear();
+    support::Metrics::global().count("driver.rebind");
+  }
+  bound_uid_ = prog.uid();
+}
+
+Driver::AssertKey Driver::assert_key(const ir::Stmt* loop,
+                                     const Assertions& asserts) {
+  AssertKey k;
+  auto ids = [&](const std::map<const ir::Stmt*, std::set<const ir::Variable*>>&
+                     m) {
+    std::vector<int> out;
     auto it = m.find(loop);
-    if (it == m.end()) return;
+    if (it == m.end()) return out;
+    out.reserve(it->second.size());
     // Variable ids, sorted: stable across set orderings (sets order by
     // pointer, which is not meaningful).
-    std::vector<uint64_t> ids;
-    ids.reserve(it->second.size());
-    for (const ir::Variable* v : it->second) {
-      ids.push_back(static_cast<uint64_t>(v->id) + 1);
-    }
-    std::sort(ids.begin(), ids.end());
-    for (uint64_t id : ids) h = fnv1a(h, id);
+    for (const ir::Variable* v : it->second) out.push_back(v->id);
+    std::sort(out.begin(), out.end());
+    return out;
   };
-  mix_vars(asserts.privatize, 0x9e3779b97f4a7c15ULL);
-  mix_vars(asserts.independent, 0x85ebca6b0aa53a4dULL);
-  h = fnv1a(h, asserts.force_parallel.count(loop) != 0 ? 2 : 1);
+  k.privatize = ids(asserts.privatize);
+  k.independent = ids(asserts.independent);
+  k.force_parallel = asserts.force_parallel.count(loop) != 0;
+  return k;
+}
+
+uint64_t Driver::fingerprint(const AssertKey& key) {
+  uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(h, 0x9e3779b97f4a7c15ULL);
+  for (int id : key.privatize) h = fnv1a(h, static_cast<uint64_t>(id) + 1);
+  h = fnv1a(h, 0x85ebca6b0aa53a4dULL);
+  for (int id : key.independent) h = fnv1a(h, static_cast<uint64_t>(id) + 1);
+  h = fnv1a(h, key.force_parallel ? 2 : 1);
   return h;
+}
+
+std::vector<Driver::CachedPlan> Driver::snapshot_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CachedPlan> out;
+  out.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_) {
+    if ((key >> 32) != epoch_) continue;  // unreachable-stale, skip anyway
+    out.push_back({static_cast<int>(key & 0xffffffffu), entry.key, entry.plan});
+  }
+  return out;
+}
+
+bool Driver::seed_plan(const ir::Program& prog, int stmt_id, AssertKey key,
+                       LoopPlan plan) {
+  if (plan.degraded) return false;  // degraded plans are never memoized
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bound_uid_ == 0) {
+    bound_uid_ = prog.uid();
+  } else if (bound_uid_ != prog.uid()) {
+    return false;
+  }
+  uint64_t fp = fingerprint(key);
+  cache_[pack_key(stmt_id)] = CacheEntry{fp, std::move(key), std::move(plan)};
+  return true;
 }
 
 ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
@@ -78,30 +140,49 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
   poly::cache::Stats poly_before = poly::cache::stats();
 
   // One unit of work per procedure with at least one stale loop; loops are
-  // collected in deterministic program order. Cache hits merge immediately.
+  // collected in deterministic program order. Cache hits merge immediately;
+  // loops another plan() call is already planning under the same assertion
+  // fingerprint become waiters instead of duplicate units (single-flight).
   struct Unit {
     const ir::Procedure* proc = nullptr;
     std::vector<const ir::Stmt*> loops;
+    std::vector<AssertKey> keys;
     std::vector<uint64_t> fingerprints;
     std::vector<LoopPlan> plans;
   };
+  struct Waiter {
+    const ir::Stmt* loop = nullptr;
+    uint64_t key = 0;  // packed cache key captured at registration
+    uint64_t fp = 0;
+  };
   std::deque<Unit> units;  // deque: element addresses stay valid while growing
+  std::vector<Waiter> waiting;
+  std::vector<std::pair<uint64_t, uint64_t>> owned;  // our inflight_ entries
   ParallelPlan out;
   uint64_t hits = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    rebind_locked(prog);
     for (const ir::Procedure& p : prog.procedures()) {
       Unit* unit = nullptr;
       p.for_each([&](const ir::Stmt* s) {
         if (s->kind != ir::StmtKind::Do) return;
-        uint64_t fp = assertion_fingerprint(s, asserts);
+        AssertKey ak = assert_key(s, asserts);
+        uint64_t fp = fingerprint(ak);
         if (opts_.memoize) {
-          auto it = cache_.find(s);
+          uint64_t key = pack_key(s->id);
+          auto it = cache_.find(key);
           if (it != cache_.end() && it->second.fingerprint == fp) {
             out.loops[s] = it->second.plan;
             ++hits;
             return;
           }
+          if (inflight_.count({key, fp}) != 0) {
+            waiting.push_back({s, key, fp});
+            return;
+          }
+          inflight_.insert({key, fp});
+          owned.push_back({key, fp});
         }
         if (unit == nullptr) {
           units.emplace_back();
@@ -109,63 +190,79 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
           unit->proc = &p;
         }
         unit->loops.push_back(s);
+        unit->keys.push_back(std::move(ak));
         unit->fingerprints.push_back(fp);
       });
     }
   }
 
   // One budget shared by every planning task: the step counter is a single
-  // atomic, so the limit bounds the whole plan() call, not each task.
-  support::Budget budget(opts_.budget.unlimited()
-                             ? support::Budget::limits_from_env()
-                             : opts_.budget,
-                         opts_.cancel);
+  // atomic, so the limit bounds the whole plan() call, not each task. A
+  // budget already installed on the calling thread (a daemon's per-request
+  // budget) takes precedence — its deadline/cancellation then govern every
+  // task of this call.
+  support::Budget* external = support::Budget::current();
+  support::Budget local(opts_.budget.unlimited()
+                            ? support::Budget::limits_from_env()
+                            : opts_.budget,
+                        opts_.cancel);
+  support::Budget* budget = external != nullptr ? external : &local;
 
-  // Fan the stale units out onto the pool. Every analysis consulted by
-  // plan_loop is immutable after construction, so units are independent.
-  std::vector<std::future<void>> pending;
-  pending.reserve(units.size());
-  support::Histogram& task_hist = metrics.histogram("driver.task");
-  for (Unit& unit : units) {
-    unit.plans.resize(unit.loops.size());
-    pending.push_back(pool_->submit([this, &unit, &asserts, &task_hist,
-                                     &budget] {
-      support::Budget::Scope bs(&budget);
-      SUIFX_FAULT_POINT("driver.task");
-      // The span's tid attributes this procedure's planning to the pool
-      // worker that ran it — the bench's utilization table reads these.
-      support::trace::TraceSpan span("driver/task", unit.proc->name);
-      support::Metrics::ScopedTimer task_timer(support::Metrics::global(),
-                                               "driver.task", &task_hist);
-      for (size_t i = 0; i < unit.loops.size(); ++i) {
-        unit.plans[i] = par_.plan_loop(unit.loops[i], asserts);
-      }
-    }));
-  }
-  // Wait for every task; a failed unit degrades alone while its siblings
-  // complete at full precision. The degraded retry runs inline with faults
-  // suppressed and no budget installed, so it cannot fail again.
+  uint64_t misses = 0;
   uint64_t degraded_loops = 0;
-  for (size_t u = 0; u < pending.size(); ++u) {
-    std::string why;
-    try {
-      pending[u].get();
-      continue;
-    } catch (const std::exception& ex) {
-      why = ex.what();
-    } catch (...) {
-      why = "unknown error";
+  try {
+    // Fan the stale units out onto the pool. Every analysis consulted by
+    // plan_loop is immutable after construction, so units are independent.
+    std::vector<std::future<void>> pending;
+    pending.reserve(units.size());
+    support::Histogram& task_hist = metrics.histogram("driver.task");
+    for (Unit& unit : units) {
+      unit.plans.resize(unit.loops.size());
+      pending.push_back(pool_->submit([this, &unit, &asserts, &task_hist,
+                                       budget] {
+        support::Budget::Scope bs(budget);
+        SUIFX_FAULT_POINT("driver.task");
+        // The span's tid attributes this procedure's planning to the pool
+        // worker that ran it — the bench's utilization table reads these.
+        support::trace::TraceSpan span("driver/task", unit.proc->name);
+        support::Metrics::ScopedTimer task_timer(support::Metrics::global(),
+                                                 "driver.task", &task_hist);
+        for (size_t i = 0; i < unit.loops.size(); ++i) {
+          unit.plans[i] = par_.plan_loop(unit.loops[i], asserts);
+        }
+      }));
     }
-    Unit& unit = units[u];
-    support::fault::SuppressScope no_faults;
-    support::Budget::Scope no_budget(nullptr);
-    support::trace::TraceSpan span("degrade",
-                                   "driver: " + unit.proc->name + ": " + why);
-    for (size_t i = 0; i < unit.loops.size(); ++i) {
-      unit.plans[i] = Parallelizer::conservative_plan(unit.loops[i], why);
+    // Wait for every task; a failed unit degrades alone while its siblings
+    // complete at full precision. The degraded retry runs inline with faults
+    // suppressed and no budget installed, so it cannot fail again.
+    for (size_t u = 0; u < pending.size(); ++u) {
+      std::string why;
+      try {
+        pending[u].get();
+        continue;
+      } catch (const std::exception& ex) {
+        why = ex.what();
+      } catch (...) {
+        why = "unknown error";
+      }
+      Unit& unit = units[u];
+      support::fault::SuppressScope no_faults;
+      support::Budget::Scope no_budget(nullptr);
+      support::trace::TraceSpan span(
+          "degrade", "driver: " + unit.proc->name + ": " + why);
+      for (size_t i = 0; i < unit.loops.size(); ++i) {
+        unit.plans[i] = Parallelizer::conservative_plan(unit.loops[i], why);
+      }
+      degraded_loops += unit.loops.size();
+      metrics.count("degrade.driver");
     }
-    degraded_loops += unit.loops.size();
-    metrics.count("degrade.driver");
+  } catch (...) {
+    // Never leave our in-flight registrations behind: waiters in other
+    // plan() calls would block forever on them.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& k : owned) inflight_.erase(k);
+    cv_.notify_all();
+    throw;
   }
   if (degraded_loops != 0) {
     degraded_ += degraded_loops;
@@ -174,20 +271,71 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
 
   // Merge is a std::map keyed by statement: identical contents regardless of
   // worker count or completion order. Degraded plans are never cached — the
-  // next plan() call retries those loops at full precision.
-  uint64_t misses = 0;
+  // next plan() call retries those loops at full precision. Erasing our
+  // in-flight registrations before the wait phase below is what makes
+  // cross-waiting calls deadlock-free.
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (Unit& unit : units) {
       for (size_t i = 0; i < unit.loops.size(); ++i) {
         ++misses;
         if (opts_.memoize && !unit.plans[i].degraded) {
-          cache_[unit.loops[i]] = {unit.fingerprints[i], unit.plans[i]};
+          cache_[pack_key(unit.loops[i]->id)] =
+              CacheEntry{unit.fingerprints[i], std::move(unit.keys[i]),
+                         unit.plans[i]};
         }
         out.loops[unit.loops[i]] = std::move(unit.plans[i]);
       }
     }
+    for (const auto& k : owned) inflight_.erase(k);
   }
+  cv_.notify_all();
+
+  // Single-flight wait phase: loops another call was already planning.
+  // When that call published (or gave up on) its results, take them from
+  // the cache; if it degraded — degraded plans are never cached — fall back
+  // to planning inline at full precision.
+  if (!waiting.empty()) {
+    std::vector<Waiter> fallback;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        for (const Waiter& w : waiting) {
+          if (inflight_.count({w.key, w.fp}) != 0) return false;
+        }
+        return true;
+      });
+      for (const Waiter& w : waiting) {
+        auto it = cache_.find(w.key);
+        if (it != cache_.end() && it->second.fingerprint == w.fp) {
+          out.loops[w.loop] = it->second.plan;
+          ++hits;
+          ++shared_;
+        } else {
+          fallback.push_back(w);
+        }
+      }
+    }
+    metrics.count("driver.single_flight.wait", waiting.size() - fallback.size());
+    for (const Waiter& w : fallback) {
+      support::Budget::Scope bs(budget);
+      LoopPlan lp;
+      try {
+        lp = par_.plan_loop(w.loop, asserts);
+      } catch (const std::exception& ex) {
+        lp = Parallelizer::conservative_plan(w.loop, ex.what());
+        ++degraded_;
+        metrics.count("degrade.driver.loops");
+      }
+      ++misses;
+      if (opts_.memoize && !lp.degraded) {
+        std::lock_guard<std::mutex> lock(mu_);
+        cache_[w.key] = CacheEntry{w.fp, assert_key(w.loop, asserts), lp};
+      }
+      out.loops[w.loop] = std::move(lp);
+    }
+  }
+
   hits_ += hits;
   misses_ += misses;
   metrics.count("driver.cache_hit", hits);

@@ -9,24 +9,46 @@
 //    planning is embarrassingly parallel. Results are merged in program
 //    order, so the plan is identical at 1 and N workers.
 //
-//  - Each loop's plan is memoized under the fingerprint of the assertions
-//    that can influence it (its privatize/independent sets and its
-//    force-parallel flag). A Guru re-run after one new assertion therefore
-//    re-analyzes only the invalidated loop nests; every other loop is a
-//    cache hit. Metrics: driver.cache_hit / driver.cache_miss /
-//    driver.plan counters and the driver.plan timer.
+//  - Each loop's plan is memoized under (program epoch, statement id) plus
+//    the fingerprint of the assertions that can influence it (its
+//    privatize/independent sets and its force-parallel flag). A Guru re-run
+//    after one new assertion therefore re-analyzes only the invalidated loop
+//    nests; every other loop is a cache hit. Keys never use raw statement
+//    addresses: a rebuilt program can recycle an address (and the dense id
+//    space), so lookups are guarded by the bound Program::uid() — planning a
+//    different program bumps the epoch and drops every entry, the same
+//    epoch-packing discipline poly::PolyInterner uses. Metrics:
+//    driver.cache_hit / driver.cache_miss / driver.plan counters and the
+//    driver.plan timer.
+//
+//  - Concurrent plan() calls are single-flighted per (loop, assertion
+//    fingerprint): a caller that finds another caller already planning the
+//    same stale loop waits for that result instead of scheduling duplicate
+//    work (driver.single_flight.wait counts the shares). This is what makes
+//    the driver safe to hammer from a multi-request daemon
+//    (service::AnalysisService) without duplicate planning or last-writer-
+//    wins cache churn.
+//
 //  - Failures are isolated per unit (docs/robustness.md): a per-procedure
 //    task that throws — injected fault, exhausted budget, or a genuine
 //    analysis error — degrades only its own loops to conservative
 //    assume-dependence plans while every sibling task completes at full
 //    precision. Degraded plans are never memoized, so the next plan() call
 //    retries them at full precision.
+//
+//  - Incremental invalidation: invalidate(proc) drops only that procedure's
+//    loops, and snapshot_cache()/seed_plan() let a session carry still-valid
+//    entries across a Workbench rebuild (explorer::rebuild_incremental
+//    translates them into the new program's id space).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <vector>
 
 #include "parallelizer/parallelizer.h"
 #include "runtime/parloop.h"
@@ -42,7 +64,10 @@ class Driver {
     /// Keep per-loop plans across plan() calls (the Guru re-run cache).
     bool memoize = true;
     /// Per-plan() step/deadline budget shared by all planning tasks.
-    /// Unlimited = take SUIFX_BUDGET_STEPS / SUIFX_DEADLINE_MS from the env.
+    /// Unlimited = take SUIFX_BUDGET_STEPS / SUIFX_DEADLINE_MS from the env,
+    /// re-read per call. Either way, a support::Budget already installed on
+    /// the calling thread (a daemon's per-request budget) takes precedence
+    /// and is shared by every planning task of that call.
     support::Budget::Limits budget;
     /// Optional external cancellation, observed at budget charges.
     support::CancelToken* cancel = nullptr;
@@ -55,7 +80,8 @@ class Driver {
   Driver& operator=(const Driver&) = delete;
 
   /// Plan every loop of the program. Equivalent to Parallelizer::plan but
-  /// parallel across procedures and incremental across calls.
+  /// parallel across procedures and incremental across calls. Thread-safe:
+  /// concurrent calls share in-flight work (single-flight) and the cache.
   ParallelPlan plan(const ir::Program& prog, const Assertions& asserts = {});
 
   int workers() const { return pool_->size(); }
@@ -64,14 +90,55 @@ class Driver {
   /// Loops planned at the degraded tier (cumulative across plan() calls) —
   /// surfaced by Guru::planning_profile().
   uint64_t degraded_loops() const { return degraded_; }
+  /// Loops whose plan was obtained by waiting on another thread's in-flight
+  /// planning instead of duplicating it (counted as cache hits).
+  uint64_t single_flight_waits() const { return shared_; }
   size_t cache_size() const;
-  /// Drop every memoized plan (e.g. if the program were rebuilt).
+  /// The current cache epoch: bumped by invalidate() and whenever plan()
+  /// sees a program with a different uid than the entries were built for.
+  uint64_t epoch() const;
+
+  /// Drop every memoized plan and bump the epoch (full rebuild).
   void invalidate();
+  /// Incremental invalidation: drop only `proc`'s loops' plans, leaving
+  /// every other procedure's entries warm. Returns the entries erased.
+  size_t invalidate(const ir::Procedure& proc);
+
+  /// The assertion subset that can influence one loop's plan, in a
+  /// program-portable form (sorted variable ids). Stored with each cache
+  /// entry so a session rebuild can re-key entries after variable ids shift.
+  struct AssertKey {
+    std::vector<int> privatize;    // sorted ir::Variable ids
+    std::vector<int> independent;  // sorted ir::Variable ids
+    bool force_parallel = false;
+  };
+  static AssertKey assert_key(const ir::Stmt* loop, const Assertions& asserts);
+  static uint64_t fingerprint(const AssertKey& key);
+
+  /// One memoized entry, exported for cross-rebuild carry-over.
+  struct CachedPlan {
+    int stmt_id = 0;
+    AssertKey key;
+    LoopPlan plan;
+  };
+  /// Every live (current-epoch) cache entry.
+  std::vector<CachedPlan> snapshot_cache() const;
+  /// Install a (translated) entry for `prog`'s statement `stmt_id` under the
+  /// current epoch, binding the driver to `prog` if it is still unbound.
+  /// Refuses (returns false) degraded plans and entries for a program other
+  /// than the bound one.
+  bool seed_plan(const ir::Program& prog, int stmt_id, AssertKey key,
+                 LoopPlan plan);
 
  private:
-  /// Hash of the assertion subset that can influence `loop`'s plan.
-  static uint64_t assertion_fingerprint(const ir::Stmt* loop,
-                                        const Assertions& asserts);
+  /// (epoch << 32) | stmt id — epoch in the high bits means entries from
+  /// before an invalidation/rebind can never match a current lookup.
+  uint64_t pack_key(int stmt_id) const {
+    return (epoch_ << 32) | static_cast<uint32_t>(stmt_id);
+  }
+  /// Epoch guard: planning a program with a different uid than the cache was
+  /// built for clears it first. Caller holds mu_.
+  void rebind_locked(const ir::Program& prog);
 
   const Parallelizer& par_;
   Options opts_;
@@ -79,13 +146,19 @@ class Driver {
 
   struct CacheEntry {
     uint64_t fingerprint = 0;
+    AssertKey key;
     LoopPlan plan;
   };
   mutable std::mutex mu_;
-  std::map<const ir::Stmt*, CacheEntry> cache_;
+  std::condition_variable cv_;  // single-flight completion wakeups
+  std::map<uint64_t, CacheEntry> cache_;  // pack_key(stmt id) -> entry
+  std::set<std::pair<uint64_t, uint64_t>> inflight_;  // (key, fingerprint)
+  uint64_t epoch_ = 1;
+  uint64_t bound_uid_ = 0;  // Program::uid() the entries belong to; 0 = none
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> shared_{0};
 };
 
 /// Canonical textual rendering of a plan in program (statement-id) order:

@@ -237,6 +237,10 @@ namespace cache {
 namespace {
 
 std::atomic<bool>& enabled_flag() {
+  // The env read happens once at first use (audited for daemon use): the
+  // flag seeds an atomic that set_enabled() can flip at any time afterwards,
+  // so a long-lived process is never stuck with the boot-time value — only
+  // later env *mutations* are ignored, by design.
   static std::atomic<bool>& f = *new std::atomic<bool>([] {
     const char* env = std::getenv("SUIFX_POLY_CACHE");
     return env == nullptr || std::string_view(env) != "0";

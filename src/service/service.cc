@@ -1,0 +1,352 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <shared_mutex>
+#include <sstream>
+#include <utility>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::service {
+
+const char* to_string(RequestKind k) {
+  switch (k) {
+    case RequestKind::Open: return "open";
+    case RequestKind::Update: return "update";
+    case RequestKind::Plan: return "plan";
+    case RequestKind::Slice: return "slice";
+    case RequestKind::Profile: return "profile";
+    case RequestKind::Close: return "close";
+  }
+  return "?";
+}
+
+/// One resident session. `mu` is the reader/writer gate: request handlers
+/// hold it shared for immutable-stack operations (Plan/Slice/Profile) and
+/// exclusive for source replacement (Update). The Slicer memoizes summary
+/// nodes without internal locking, so slice requests additionally serialize
+/// on `slice_mu` (two concurrent Slice requests on one session queue up;
+/// Slice never blocks Plan).
+struct AnalysisService::Session {
+  std::string name;
+  std::shared_mutex mu;
+  std::mutex slice_mu;
+  std::unique_ptr<explorer::Workbench> wb;
+  std::unique_ptr<slicing::Slicer> slicer;  // lazy; reset by Update
+  std::string source;
+  uint64_t last_used = 0;  // registry LRU tick
+  uint64_t updates = 0;
+};
+
+AnalysisService::AnalysisService(ServiceOptions opts) : opts_(std::move(opts)) {
+  int n = opts_.workers;
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = static_cast<int>(std::min(4u, hw != 0 ? hw : 2u));
+  }
+  pool_ = std::make_unique<runtime::ThreadPool>(n);
+}
+
+AnalysisService::~AnalysisService() { pool_->shutdown(); }
+
+std::future<Response> AnalysisService::submit(Request req) {
+  auto prom = std::make_shared<std::promise<Response>>();
+  std::future<Response> fut = prom->get_future();
+  pool_->submit([this, prom, r = std::move(req)]() mutable {
+    try {
+      prom->set_value(handle(r));
+    } catch (const std::exception& ex) {
+      Response resp;
+      resp.error = std::string("internal error: ") + ex.what();
+      resp.session = r.session;
+      prom->set_value(std::move(resp));
+    }
+  });
+  return fut;
+}
+
+std::vector<std::future<Response>> AnalysisService::submit_batch(
+    std::vector<Request> reqs) {
+  std::vector<std::future<Response>> futs;
+  futs.reserve(reqs.size());
+  for (Request& r : reqs) futs.push_back(submit(std::move(r)));
+  return futs;
+}
+
+Response AnalysisService::call(Request req) { return submit(std::move(req)).get(); }
+
+size_t AnalysisService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<AnalysisService::Session> AnalysisService::find(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return nullptr;
+  it->second->last_used = ++lru_tick_;
+  return it->second;
+}
+
+void AnalysisService::evict_lru_locked() {
+  auto victim = sessions_.end();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (victim == sessions_.end() ||
+        it->second->last_used < victim->second->last_used) {
+      victim = it;
+    }
+  }
+  if (victim != sessions_.end()) {
+    support::Metrics::global().count("service.evict");
+    ++evicted_;
+    sessions_.erase(victim);  // in-flight holders keep their shared_ptr
+  }
+}
+
+Response AnalysisService::handle(Request& req) {
+  support::trace::TraceSpan span("service/request", to_string(req.kind));
+  auto t0 = std::chrono::steady_clock::now();
+
+  // Daemon-grade isolation: this request's analyses charge this budget and
+  // only this budget (Workbench::from_source and Driver::plan both adopt an
+  // installed budget), so one runaway request degrades without starving its
+  // neighbors. Limits come from the request, else the service default —
+  // never from a process-lifetime env snapshot.
+  support::Budget budget(req.budget.has_value() ? *req.budget
+                                                : opts_.default_budget);
+  support::Budget::Scope budget_scope(&budget);
+
+  // Request-scoped counter capture, returned in Response::metrics.
+  support::Metrics local;
+  Response resp;
+  {
+    support::Metrics::ScopedLocal tee(&local);
+    support::Metrics::global().count("service.request");
+    support::Metrics::global().count(std::string("service.request.") +
+                                     to_string(req.kind));
+    resp.session = req.session;
+    try {
+      switch (req.kind) {
+        case RequestKind::Open:
+          resp = open(req);
+          break;
+        case RequestKind::Close: {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = sessions_.find(req.session);
+          if (it == sessions_.end()) {
+            resp.error = "unknown session: " + req.session;
+          } else {
+            sessions_.erase(it);
+            resp.ok = true;
+          }
+          resp.session = req.session;
+          break;
+        }
+        default: {
+          std::shared_ptr<Session> s = find(req.session);
+          if (s == nullptr) {
+            resp.error = "unknown session: " + req.session;
+            break;
+          }
+          if (req.kind == RequestKind::Update) {
+            std::unique_lock<std::shared_mutex> wlock(s->mu);
+            resp = update(req, *s);
+          } else {
+            std::shared_lock<std::shared_mutex> rlock(s->mu);
+            if (req.kind == RequestKind::Plan) {
+              resp = plan(req, *s);
+            } else if (req.kind == RequestKind::Slice) {
+              resp = slice(req, *s);
+            } else {
+              resp = profile(*s);
+            }
+          }
+          resp.session = req.session;
+          break;
+        }
+      }
+    } catch (const std::exception& ex) {
+      resp.ok = false;
+      resp.error = ex.what();
+    }
+  }
+
+  resp.metrics = local.counters();
+  resp.latency_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  support::Metrics::global().histogram("service.latency").record_ms(resp.latency_ms);
+  support::Metrics::global()
+      .histogram(std::string("service.latency.") + to_string(req.kind))
+      .record_ms(resp.latency_ms);
+  ++served_;
+  return resp;
+}
+
+Response AnalysisService::open(Request& req) {
+  Response resp;
+  if (req.session.empty()) {
+    resp.error = "open: session name required";
+    return resp;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(req.session) > 0) {
+      resp.error = "session already open: " + req.session;
+      return resp;
+    }
+  }
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(req.source, diag, opts_.liveness,
+                                             opts_.enable_reductions);
+  if (wb == nullptr) {
+    resp.error = "parse error:\n" + diag.str();
+    return resp;
+  }
+  auto s = std::make_shared<Session>();
+  s->name = req.session;
+  s->wb = std::move(wb);
+  s->source = req.source;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (sessions_.size() >= opts_.max_sessions && !sessions_.empty()) {
+      evict_lru_locked();
+    }
+    s->last_used = ++lru_tick_;
+    // A racing Open of the same name between the check above and here:
+    // first wins, second reports the conflict.
+    if (!sessions_.emplace(req.session, s).second) {
+      resp.error = "session already open: " + req.session;
+      return resp;
+    }
+  }
+  resp.ok = true;
+  return resp;
+}
+
+Response AnalysisService::update(Request& req, Session& s) {
+  Response resp;
+  Diag diag;
+  explorer::RebuildStats stats;
+  auto wb = explorer::rebuild_incremental(*s.wb, req.source, diag, &stats,
+                                          opts_.liveness,
+                                          opts_.enable_reductions);
+  if (wb == nullptr) {
+    // The edit does not parse: keep the old session intact so the user can
+    // keep querying it while fixing the source.
+    resp.error = "parse error (session unchanged):\n" + diag.str();
+    return resp;
+  }
+  s.wb = std::move(wb);
+  s.slicer.reset();  // ISSA nodes point into the old program
+  s.source = req.source;
+  ++s.updates;
+  resp.ok = true;
+  resp.incremental = !stats.full_invalidation;
+  resp.changed = std::move(stats.changed);
+  resp.dirty = std::move(stats.dirty);
+  resp.carried = stats.carried;
+  resp.dropped = stats.dropped;
+  return resp;
+}
+
+Response AnalysisService::plan(Request& req, Session& s) {
+  Response resp;
+  explorer::Workbench& wb = *s.wb;
+  parallelizer::Assertions asserts;
+  for (const AssertionReq& a : req.asserts) {
+    const ir::Stmt* loop = wb.loop(a.loop);
+    if (loop == nullptr) {
+      resp.error = "unknown loop: " + a.loop;
+      return resp;
+    }
+    if (a.kind == AssertionReq::Kind::ForceParallel) {
+      asserts.force_parallel.insert(loop);
+      continue;
+    }
+    const ir::Variable* var = wb.var(a.var);
+    if (var == nullptr) {
+      resp.error = "unknown variable: " + a.var;
+      return resp;
+    }
+    if (a.kind == AssertionReq::Kind::Privatize) {
+      asserts.privatize[loop].insert(var);
+    } else {
+      asserts.independent[loop].insert(var);
+    }
+  }
+
+  parallelizer::Driver& driver = wb.driver();
+  uint64_t hits0 = driver.cache_hits();
+  uint64_t misses0 = driver.cache_misses();
+  parallelizer::ParallelPlan p = wb.plan(asserts);
+  resp.cache_hits = driver.cache_hits() - hits0;
+  resp.cache_misses = driver.cache_misses() - misses0;
+  resp.loops = static_cast<int>(p.loops.size());
+  resp.parallel = p.num_parallel();
+  for (const auto& [stmt, lp] : p.loops) {
+    if (lp.degraded) resp.degraded = true;
+  }
+  resp.plan_sig = parallelizer::plan_signature(p);
+  resp.ok = true;
+  return resp;
+}
+
+Response AnalysisService::slice(Request& req, Session& s) {
+  Response resp;
+  explorer::Workbench& wb = *s.wb;
+  const ir::Stmt* loop = wb.loop(req.loop);
+  if (loop == nullptr) {
+    resp.error = "unknown loop: " + req.loop;
+    return resp;
+  }
+  const ir::Variable* var = wb.var(req.var);
+  if (var == nullptr) {
+    resp.error = "unknown variable: " + req.var;
+    return resp;
+  }
+  std::lock_guard<std::mutex> lock(s.slice_mu);
+  if (s.slicer == nullptr) {
+    s.slicer = std::make_unique<slicing::Slicer>(wb.issa());
+  }
+  slicing::SliceResult r = s.slicer->dependence_slice(loop, var);
+  resp.slice_size = r.size();
+  resp.degraded = r.degraded;
+  std::ostringstream os;
+  os << "slice " << req.loop << " " << var->qualified_name() << ": "
+     << r.size() << " stmts, " << r.terminals.size() << " terminals";
+  resp.text = os.str();
+  resp.ok = true;
+  return resp;
+}
+
+Response AnalysisService::profile(Session& s) {
+  Response resp;
+  explorer::Workbench& wb = *s.wb;
+  parallelizer::Driver& d = wb.driver();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "session " << s.name << " (updates " << s.updates << ")\n";
+  os << "passes:\n";
+  for (const auto& [pass, ms] : wb.pass_times_ms()) {
+    os << "  " << pass << "  " << ms << " ms\n";
+  }
+  os << "dominant pass: " << wb.dominant_pass() << "\n";
+  os << "driver: workers " << d.workers() << ", epoch " << d.epoch()
+     << ", cache " << d.cache_size() << " entries, hits " << d.cache_hits()
+     << ", misses " << d.cache_misses() << ", shared "
+     << d.single_flight_waits() << ", degraded " << d.degraded_loops() << "\n";
+  if (!wb.degradations().empty()) {
+    os << "degradations:\n";
+    for (const std::string& dg : wb.degradations()) os << "  " << dg << "\n";
+  }
+  resp.text = os.str();
+  resp.ok = true;
+  return resp;
+}
+
+}  // namespace suifx::service

@@ -1,0 +1,157 @@
+// Analysis-as-a-service: a long-lived daemon front end over the Explorer
+// stack (the interactive deployment the SUIF Explorer paper assumes — one
+// resident parallelizer serving many user actions, §2.2/§4).
+//
+// An AnalysisService owns a registry of named sessions, each holding one
+// Workbench (program + full interprocedural analysis stack + the parallel
+// memoized Driver). Requests — open a source, edit it, plan with assertions,
+// slice a dependence, read the profile — are submitted asynchronously,
+// dispatched onto a runtime::ThreadPool, and answered through futures. The
+// point of keeping sessions resident is cache warmth: the driver's memoized
+// loop plans and the polyhedral operation caches survive across requests, so
+// a re-plan after one assertion touches only the invalidated loop nests.
+//
+// Edits go through explorer::rebuild_incremental (incremental.h): a request
+// that updates a session's source re-derives only the procedures the edit
+// can influence; every other procedure's plans are carried into the new
+// Workbench, so the next Plan request re-analyzes just the dirty set — and
+// still returns a plan byte-identical to a cold rebuild's.
+//
+// Concurrency model:
+//  * the session registry is guarded by one mutex (lookups are cheap);
+//  * each session has a shared_mutex — Plan/Slice/Profile hold it shared
+//    (the analyses are immutable and the Driver is internally thread-safe,
+//    single-flighting duplicate work), Update/Close hold it exclusive;
+//  * slicing additionally serializes on a per-session mutex (the Slicer
+//    memoizes summaries and is not internally synchronized);
+//  * every request runs under its own support::Budget (daemon-grade
+//    isolation: one runaway request degrades, the service survives) and a
+//    Metrics::ScopedLocal capture whose counters are returned with the
+//    response.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explorer/incremental.h"
+#include "explorer/workbench.h"
+#include "runtime/parloop.h"
+#include "slicing/slicer.h"
+#include "support/budget.h"
+
+namespace suifx::service {
+
+struct ServiceOptions {
+  /// Dispatcher threads executing requests; 0 = a small default (each Plan
+  /// already fans out across the session driver's own pool).
+  int workers = 0;
+  /// Resident session cap; opening beyond it evicts the least recently used.
+  size_t max_sessions = 64;
+  /// Per-request budget when the request carries none. Unlimited by default.
+  support::Budget::Limits default_budget;
+  /// Workbench configuration for every session this service opens.
+  std::optional<analysis::LivenessMode> liveness = analysis::LivenessMode::Full;
+  bool enable_reductions = true;
+};
+
+enum class RequestKind : uint8_t { Open, Update, Plan, Slice, Profile, Close };
+
+const char* to_string(RequestKind k);
+
+/// One user assertion, by stable name ("proc/label" loops, "proc.name" or
+/// global variables) — names survive rebuilds; statement pointers do not.
+struct AssertionReq {
+  enum class Kind : uint8_t { Privatize, Independent, ForceParallel };
+  Kind kind = Kind::Privatize;
+  std::string loop;
+  std::string var;  // unused for ForceParallel
+};
+
+struct Request {
+  RequestKind kind = RequestKind::Plan;
+  std::string session;
+  std::string source;                 // Open / Update
+  std::vector<AssertionReq> asserts;  // Plan
+  std::string loop;                   // Slice
+  std::string var;                    // Slice
+  /// Override of the service-wide default budget for this request only.
+  std::optional<support::Budget::Limits> budget;
+};
+
+struct Response {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::string session;
+
+  // Plan
+  std::string plan_sig;  // parallelizer::plan_signature of the full plan
+  int loops = 0;
+  int parallel = 0;
+  bool degraded = false;      // any loop fell to the conservative tier
+  uint64_t cache_hits = 0;    // session driver hit delta across this request
+  uint64_t cache_misses = 0;  // (exact when the session is quiesced)
+
+  // Update
+  bool incremental = false;  // plans were carried; false = full invalidation
+  std::vector<std::string> changed;
+  std::vector<std::string> dirty;
+  size_t carried = 0;
+  size_t dropped = 0;
+
+  // Slice
+  int slice_size = 0;
+
+  // Profile (and free-form diagnostics)
+  std::string text;
+
+  /// Counters recorded on the request thread while this request ran
+  /// (Metrics::ScopedLocal capture).
+  std::map<std::string, uint64_t> metrics;
+  double latency_ms = 0;
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions opts = {});
+  ~AnalysisService();  // drains in-flight requests
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Enqueue one request; the future carries the response (never an
+  /// exception — failures come back as ok=false).
+  std::future<Response> submit(Request req);
+  std::vector<std::future<Response>> submit_batch(std::vector<Request> reqs);
+  /// Synchronous convenience: submit + wait.
+  Response call(Request req);
+
+  size_t num_sessions() const;
+  uint64_t requests_served() const { return served_; }
+  uint64_t sessions_evicted() const { return evicted_; }
+
+ private:
+  struct Session;
+
+  Response handle(Request& req);
+  Response open(Request& req);
+  Response update(Request& req, Session& s);
+  Response plan(Request& req, Session& s);
+  Response slice(Request& req, Session& s);
+  Response profile(Session& s);
+  std::shared_ptr<Session> find(const std::string& name);
+  void evict_lru_locked();
+
+  ServiceOptions opts_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  mutable std::mutex mu_;  // guards sessions_ / lru_tick_
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  uint64_t lru_tick_ = 0;
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> evicted_{0};
+};
+
+}  // namespace suifx::service

@@ -67,17 +67,18 @@ void Budget::charge_current(uint64_t n) {
 }
 
 Budget::Limits Budget::limits_from_env() {
-  static const Limits cached = [] {
-    Limits l;
-    if (const char* s = std::getenv("SUIFX_BUDGET_STEPS")) {
-      l.max_steps = std::strtoull(s, nullptr, 10);
-    }
-    if (const char* s = std::getenv("SUIFX_DEADLINE_MS")) {
-      l.deadline_ms = std::strtod(s, nullptr);
-    }
-    return l;
-  }();
-  return cached;
+  // Deliberately NOT cached in a static: a long-lived daemon serves
+  // per-request budgets, and tests set the variables between cases. Two
+  // getenv calls per Budget construction are noise next to the analysis the
+  // budget governs (budgets are built per plan()/build, not per charge()).
+  Limits l;
+  if (const char* s = std::getenv("SUIFX_BUDGET_STEPS")) {
+    l.max_steps = std::strtoull(s, nullptr, 10);
+  }
+  if (const char* s = std::getenv("SUIFX_DEADLINE_MS")) {
+    l.deadline_ms = std::strtod(s, nullptr);
+  }
+  return l;
 }
 
 }  // namespace suifx::support

@@ -13,8 +13,11 @@
 // the budget was constructed. With no scope installed, charge_current() is a
 // no-op — serial baselines and tests that want exact behavior pay nothing.
 //
-// Env knobs (read once, see limits_from_env): SUIFX_BUDGET_STEPS caps
-// charged steps, SUIFX_DEADLINE_MS bounds wall time per budget.
+// Env knobs (re-read per Budget construction, see limits_from_env):
+// SUIFX_BUDGET_STEPS caps charged steps, SUIFX_DEADLINE_MS bounds wall time
+// per budget. The per-construction read matters in daemon processes
+// (service::AnalysisService): limits must not be frozen at first use for the
+// life of the process.
 #pragma once
 
 #include <atomic>
@@ -121,8 +124,9 @@ class Budget {
   /// charge() on the installed budget; no-op when none is installed.
   static void charge_current(uint64_t n = 1);
 
-  /// Limits from SUIFX_BUDGET_STEPS / SUIFX_DEADLINE_MS, parsed once per
-  /// process. Unlimited when neither is set.
+  /// Limits from SUIFX_BUDGET_STEPS / SUIFX_DEADLINE_MS, re-read on every
+  /// call so env changes take effect per budget (daemon-safe — see the file
+  /// comment). Unlimited when neither is set.
   static Limits limits_from_env();
 
  private:

@@ -168,6 +168,11 @@ std::vector<std::string> Registry::points() const {
 }
 
 void Registry::init_from_env() {
+  // One-shot by design (audited for daemon use): SUIFX_FAULT configures the
+  // deterministic injection plan for a whole process run, and mutating it
+  // mid-flight would break seed reproducibility. Long-lived daemons that
+  // need to change the plan call configure() programmatically — it is not
+  // frozen, only the env *read* is.
   static std::once_flag once;
   std::call_once(once, [this] {
     const char* s = std::getenv("SUIFX_FAULT");

@@ -98,15 +98,33 @@ void ShardedCounter::reset() {
 // Metrics
 // ---------------------------------------------------------------------------
 
+namespace {
+// The ScopedLocal tee target for this thread (null = no capture). Checked
+// against `this` so recording into the local registry itself cannot recurse.
+thread_local Metrics* tls_local = nullptr;
+}  // namespace
+
 void Metrics::count(const std::string& key, uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[key] += n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[key] += n;
+  }
+  if (tls_local != nullptr && tls_local != this) tls_local->count(key, n);
 }
 
 void Metrics::add_ms(const std::string& key, double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  timers_[key] += ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    timers_[key] += ms;
+  }
+  if (tls_local != nullptr && tls_local != this) tls_local->add_ms(key, ms);
 }
+
+Metrics::ScopedLocal::ScopedLocal(Metrics* local) : prev_(tls_local) {
+  tls_local = local;
+}
+
+Metrics::ScopedLocal::~ScopedLocal() { tls_local = prev_; }
 
 uint64_t Metrics::counter(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -144,6 +144,25 @@ class Metrics {
     std::chrono::steady_clock::time_point t0_;
   };
 
+  /// Thread-local tee for request-scoped capture: while a ScopedLocal is
+  /// alive, every count()/add_ms() this thread records into any *other*
+  /// registry is also recorded into `local`. A daemon wraps each request in
+  /// one and reads `local` back to attribute work to that request without
+  /// diffing the global registry under concurrency. Nests (the innermost
+  /// scope receives the tee). Pool workers spawned by the request do NOT
+  /// inherit it — totals that must include pool-side work are read from the
+  /// instrument's owner instead (e.g. Driver's hit/miss counters).
+  class ScopedLocal {
+   public:
+    explicit ScopedLocal(Metrics* local);
+    ~ScopedLocal();
+    ScopedLocal(const ScopedLocal&) = delete;
+    ScopedLocal& operator=(const ScopedLocal&) = delete;
+
+   private:
+    Metrics* prev_;
+  };
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;

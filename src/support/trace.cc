@@ -296,6 +296,10 @@ std::string summary() {
 }
 
 void init_from_env() {
+  // One-shot by design (audited for daemon use): SUIFX_TRACE binds an atexit
+  // writer to one output path, so re-reading it per call could only clobber
+  // that binding. Daemons wanting tracing on a request path use the
+  // programmatic start()/write_json() API instead of the env knob.
   static std::once_flag once;
   std::call_once(once, [] {
     const char* path = std::getenv("SUIFX_TRACE");

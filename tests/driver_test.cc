@@ -4,6 +4,9 @@
 // re-analyzes only the invalidated loop nests).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "benchsuite/suite.h"
 #include "explorer/guru.h"
 #include "explorer/workbench.h"
@@ -145,6 +148,95 @@ TEST(Driver, GuruReRunAfterAssertionOnlyReanalyzesInvalidatedNests) {
   EXPECT_LE(reanalyzed, touched.size());
   EXPECT_LT(reanalyzed, static_cast<uint64_t>(nloops))
       << "a one-assertion re-run must not re-plan the whole program";
+}
+
+TEST(Driver, ConcurrentColdPlansAreSingleFlighted) {
+  // Two threads hammer a cold driver simultaneously. Without single-flight,
+  // both would plan every loop (2·nloops misses, last writer wins); with it,
+  // each loop is planned exactly once and the other caller waits for (or
+  // finds) that result as a hit.
+  auto wb = build(benchsuite::mdg());
+  ASSERT_NE(wb, nullptr);
+  const auto nloops = static_cast<uint64_t>(count_do_loops(wb->program()));
+  Driver driver(wb->parallelizer());
+
+  std::string sigs[2];
+  std::atomic<int> ready{0};
+  auto worker = [&](int i) {
+    ready.fetch_add(1);
+    while (ready.load() < 2) {
+    }  // start barrier: maximize overlap
+    sigs[i] = plan_signature(driver.plan(wb->program()));
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+
+  EXPECT_EQ(sigs[0], sigs[1]);
+  EXPECT_EQ(sigs[0], plan_signature(wb->parallelizer().plan(wb->program())));
+  EXPECT_EQ(driver.cache_misses(), nloops)
+      << "concurrent callers must not duplicate planning work";
+  EXPECT_EQ(driver.cache_hits(), nloops)
+      << "the non-owning caller's loops must all resolve as shared hits";
+}
+
+TEST(Driver, EpochKeyedCacheNeverAliasesAcrossPrograms) {
+  // Two independent parses of the same source produce identical statement
+  // ids. A cache keyed by raw Stmt* (or bare ids) could hand program B plans
+  // built for program A; the (epoch, id) key plus the Program::uid() guard
+  // must instead drop everything and re-plan.
+  Diag diag;
+  auto wb1 = Workbench::from_source(benchsuite::mdg().source, diag);
+  auto wb2 = Workbench::from_source(benchsuite::mdg().source, diag);
+  ASSERT_NE(wb1, nullptr);
+  ASSERT_NE(wb2, nullptr);
+  ASSERT_NE(wb1->program().uid(), wb2->program().uid());
+
+  Driver driver(wb1->parallelizer());
+  driver.plan(wb1->program());
+  const uint64_t epoch1 = driver.epoch();
+  const uint64_t hits1 = driver.cache_hits();
+
+  // Planning the other program must rebind: zero hits, bumped epoch.
+  driver.plan(wb2->program());
+  EXPECT_EQ(driver.cache_hits(), hits1)
+      << "entries for program A leaked into program B's plan";
+  EXPECT_GT(driver.epoch(), epoch1);
+
+  // Seeding is bound the same way: entries for a foreign program are refused.
+  Driver fresh(wb1->parallelizer());
+  fresh.plan(wb1->program());
+  const ir::Stmt* loop2 = wb2->loop("interf/1000");
+  ASSERT_NE(loop2, nullptr);
+  EXPECT_FALSE(fresh.seed_plan(wb2->program(), loop2->id, Driver::AssertKey{},
+                               Parallelizer::conservative_plan(loop2, "x")));
+}
+
+TEST(Driver, InvalidateSingleProcedureReplansOnlyItsLoops) {
+  auto wb = build(benchsuite::mdg());
+  ASSERT_NE(wb, nullptr);
+  const auto nloops = static_cast<uint64_t>(count_do_loops(wb->program()));
+  const ir::Stmt* loop = wb->loop("interf/1000");
+  ASSERT_NE(loop, nullptr);
+  const ir::Procedure* proc = loop->proc;
+  ASSERT_NE(proc, nullptr);
+  uint64_t proc_loops = 0;
+  proc->for_each([&](const ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Do) ++proc_loops;
+  });
+  ASSERT_GT(proc_loops, 0u);
+  ASSERT_LT(proc_loops, nloops);
+
+  Driver driver(wb->parallelizer());
+  std::string cold = plan_signature(driver.plan(wb->program()));
+  EXPECT_EQ(driver.invalidate(*proc), proc_loops);
+
+  std::string warm = plan_signature(driver.plan(wb->program()));
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(driver.cache_misses(), nloops + proc_loops)
+      << "only the invalidated procedure's loops may re-plan";
+  EXPECT_EQ(driver.cache_hits(), nloops - proc_loops);
 }
 
 }  // namespace

@@ -1,0 +1,367 @@
+// Tests for the analysis service daemon: session lifecycle, plan parity with
+// a direct Workbench, incremental invalidation after edits (only the changed
+// procedure and its dependents re-plan, and the result is byte-identical to
+// a cold rebuild), assertion carry-over, concurrent mixed traffic, LRU
+// eviction, and per-request budget isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "benchsuite/suite.h"
+#include "explorer/incremental.h"
+#include "service/service.h"
+#include "support/budget.h"
+
+namespace suifx::service {
+namespace {
+
+// Four procedures over disjoint globals: pa (2 loops), pb (2 loops),
+// pc (1 loop), main (1 loop reading all three arrays). Editing pc must dirty
+// exactly {pc, main}: main is pc's (transitive) caller and also shares
+// storage gc with it; pa and pb are untouched.
+const char* kBaseSource = R"(
+program svc;
+param N = 40;
+global real ga[64];
+global real gb[64];
+global real gc[64];
+global real gm[64];
+
+proc pa() {
+  do i = 1, N label 100 {
+    ga[i] = real(i) * 1.5;
+  }
+  do i = 1, N label 110 {
+    ga[i] = ga[i] + 2.0;
+  }
+}
+
+proc pb() {
+  do i = 1, N label 200 {
+    gb[i] = real(i) * 0.5;
+  }
+  do i = 1, N label 210 {
+    gb[i] = gb[i] * 2.0;
+  }
+}
+
+proc pc() {
+  do i = 1, N label 300 {
+    gc[i] = real(i) + 1.0;
+  }
+}
+
+proc main() {
+  call pa();
+  call pb();
+  call pc();
+  do i = 1, N label 900 {
+    gm[i] = ga[i] + gb[i] + gc[i];
+  }
+}
+)";
+
+// Same program with pc's loop body changed (and nothing else).
+const char* kEditedSource = R"(
+program svc;
+param N = 40;
+global real ga[64];
+global real gb[64];
+global real gc[64];
+global real gm[64];
+
+proc pa() {
+  do i = 1, N label 100 {
+    ga[i] = real(i) * 1.5;
+  }
+  do i = 1, N label 110 {
+    ga[i] = ga[i] + 2.0;
+  }
+}
+
+proc pb() {
+  do i = 1, N label 200 {
+    gb[i] = real(i) * 0.5;
+  }
+  do i = 1, N label 210 {
+    gb[i] = gb[i] * 2.0;
+  }
+}
+
+proc pc() {
+  do i = 1, N label 300 {
+    gc[i] = real(i) * 3.0 + 1.0;
+  }
+}
+
+proc main() {
+  call pa();
+  call pb();
+  call pc();
+  do i = 1, N label 900 {
+    gm[i] = ga[i] + gb[i] + gc[i];
+  }
+}
+)";
+
+std::string cold_signature(const std::string& src,
+                           const parallelizer::Assertions* asserts = nullptr) {
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(src, diag);
+  EXPECT_NE(wb, nullptr) << diag.str();
+  return parallelizer::plan_signature(
+      wb->parallelizer().plan(wb->program(), asserts != nullptr
+                                                 ? *asserts
+                                                 : parallelizer::Assertions{}));
+}
+
+Request open_req(const std::string& session, const std::string& src) {
+  Request r;
+  r.kind = RequestKind::Open;
+  r.session = session;
+  r.source = src;
+  return r;
+}
+
+Request plan_req(const std::string& session) {
+  Request r;
+  r.kind = RequestKind::Plan;
+  r.session = session;
+  return r;
+}
+
+TEST(Service, OpenPlanProfileClose) {
+  AnalysisService svc;
+  Response r = svc.call(open_req("s1", kBaseSource));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(svc.num_sessions(), 1u);
+
+  r = svc.call(plan_req("s1"));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.loops, 6);
+  EXPECT_EQ(r.plan_sig, cold_signature(kBaseSource));
+  EXPECT_EQ(r.cache_misses, 6u);  // cold session: every loop planned
+  EXPECT_GE(r.metrics.count("service.request"), 1u)
+      << "per-request metric capture must see the request counter";
+
+  // Warm re-plan: pure cache.
+  r = svc.call(plan_req("s1"));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.cache_hits, 6u);
+  EXPECT_EQ(r.cache_misses, 0u);
+
+  Request prof;
+  prof.kind = RequestKind::Profile;
+  prof.session = "s1";
+  r = svc.call(prof);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.text.find("dominant pass:"), std::string::npos);
+  EXPECT_NE(r.text.find("driver:"), std::string::npos);
+
+  Request close;
+  close.kind = RequestKind::Close;
+  close.session = "s1";
+  EXPECT_TRUE(svc.call(close).ok);
+  EXPECT_EQ(svc.num_sessions(), 0u);
+}
+
+TEST(Service, ErrorsComeBackAsResponses) {
+  AnalysisService svc;
+  EXPECT_FALSE(svc.call(plan_req("nope")).ok);          // unknown session
+  EXPECT_FALSE(svc.call(open_req("", kBaseSource)).ok);  // unnamed
+  Response r = svc.call(open_req("s1", "proc oops {"));  // parse error
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("parse error"), std::string::npos);
+  ASSERT_TRUE(svc.call(open_req("s1", kBaseSource)).ok);
+  EXPECT_FALSE(svc.call(open_req("s1", kBaseSource)).ok);  // duplicate
+
+  Request bad = plan_req("s1");
+  AssertionReq a;
+  a.kind = AssertionReq::Kind::ForceParallel;
+  a.loop = "pa/999";
+  bad.asserts.push_back(a);
+  r = svc.call(bad);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown loop"), std::string::npos);
+}
+
+TEST(Service, IncrementalEditReplansOnlyDependents) {
+  AnalysisService svc;
+  ASSERT_TRUE(svc.call(open_req("s1", kBaseSource)).ok);
+  Response warm = svc.call(plan_req("s1"));
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.cache_misses, 6u);
+
+  Request upd;
+  upd.kind = RequestKind::Update;
+  upd.session = "s1";
+  upd.source = kEditedSource;
+  Response u = svc.call(upd);
+  ASSERT_TRUE(u.ok) << u.error;
+  EXPECT_TRUE(u.incremental);
+  EXPECT_EQ(u.changed, std::vector<std::string>{"pc"});
+  EXPECT_EQ(u.dirty, (std::vector<std::string>{"main", "pc"}));
+  EXPECT_EQ(u.carried, 4u);  // pa's two loops + pb's two loops
+  EXPECT_EQ(u.dropped, 2u);  // pc's loop + main's loop
+
+  // The acceptance check: after a single-procedure edit, only that
+  // procedure's loops and its dependents' re-plan (misses), everything else
+  // is a cache hit, and the plan is byte-identical to a cold full rebuild.
+  Response p = svc.call(plan_req("s1"));
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.cache_misses, 2u) << "pc/300 and main/900 only";
+  EXPECT_EQ(p.cache_hits, 4u);
+  EXPECT_EQ(p.plan_sig, cold_signature(kEditedSource));
+}
+
+TEST(Service, AssertionsCarryAcrossIncrementalEdits) {
+  AnalysisService svc;
+  ASSERT_TRUE(svc.call(open_req("s1", kBaseSource)).ok);
+
+  Request planned = plan_req("s1");
+  AssertionReq a;
+  a.kind = AssertionReq::Kind::ForceParallel;
+  a.loop = "pa/100";
+  planned.asserts.push_back(a);
+  Response r0 = svc.call(planned);
+  ASSERT_TRUE(r0.ok) << r0.error;
+  ASSERT_EQ(r0.cache_misses, 6u);
+
+  Request upd;
+  upd.kind = RequestKind::Update;
+  upd.session = "s1";
+  upd.source = kEditedSource;
+  ASSERT_TRUE(svc.call(upd).ok);
+
+  // The asserted plan for pa/100 was carried with its assertion fingerprint:
+  // re-planning under the same (name-addressed) assertion hits it.
+  Response r1 = svc.call(planned);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_EQ(r1.cache_misses, 2u);
+  EXPECT_EQ(r1.cache_hits, 4u);
+
+  Diag diag;
+  auto cold = explorer::Workbench::from_source(kEditedSource, diag);
+  ASSERT_NE(cold, nullptr);
+  parallelizer::Assertions asserts;
+  asserts.force_parallel.insert(cold->loop("pa/100"));
+  EXPECT_EQ(r1.plan_sig,
+            parallelizer::plan_signature(
+                cold->parallelizer().plan(cold->program(), asserts)));
+}
+
+TEST(Service, ConcurrentMixedTraffic) {
+  AnalysisService svc;
+  ASSERT_TRUE(svc.call(open_req("mdg", benchsuite::mdg().source)).ok);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> done{0};
+  auto client = [&](int id) {
+    for (int i = 0; i < 6; ++i) {
+      Request r;
+      switch ((id + i) % 3) {
+        case 0:
+          r = plan_req("mdg");
+          break;
+        case 1:
+          r.kind = RequestKind::Slice;
+          r.session = "mdg";
+          r.loop = "interf/1000";
+          r.var = "interf.rl";
+          break;
+        default:
+          r.kind = RequestKind::Profile;
+          r.session = "mdg";
+          break;
+      }
+      Response resp = svc.call(r);
+      if (!resp.ok) failures.fetch_add(1);
+    }
+    done.fetch_add(1);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int id = 0; id < 4; ++id) threads.emplace_back(client, id);
+
+  // An identity edit races with the readers: every plan before or after it
+  // must still be coherent (the rebuild swaps the Workbench atomically under
+  // the session's writer lock).
+  Request upd;
+  upd.kind = RequestKind::Update;
+  upd.session = "mdg";
+  upd.source = benchsuite::mdg().source;
+  Response u = svc.call(upd);
+  ASSERT_TRUE(u.ok) << u.error;
+  EXPECT_TRUE(u.incremental);
+  EXPECT_TRUE(u.changed.empty());
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(done.load(), 4);
+
+  Response fin = svc.call(plan_req("mdg"));
+  ASSERT_TRUE(fin.ok);
+  EXPECT_EQ(fin.plan_sig, cold_signature(benchsuite::mdg().source));
+  EXPECT_GE(svc.requests_served(), 4u * 6u + 3u);
+}
+
+TEST(Service, LruEvictionBoundsResidentSessions) {
+  ServiceOptions opts;
+  opts.max_sessions = 2;
+  AnalysisService svc(opts);
+  ASSERT_TRUE(svc.call(open_req("a", kBaseSource)).ok);
+  ASSERT_TRUE(svc.call(open_req("b", kBaseSource)).ok);
+  ASSERT_TRUE(svc.call(plan_req("a")).ok);  // bump a: b becomes LRU
+  ASSERT_TRUE(svc.call(open_req("c", kBaseSource)).ok);
+  EXPECT_EQ(svc.num_sessions(), 2u);
+  EXPECT_EQ(svc.sessions_evicted(), 1u);
+  EXPECT_TRUE(svc.call(plan_req("a")).ok);
+  EXPECT_TRUE(svc.call(plan_req("c")).ok);
+  Response r = svc.call(plan_req("b"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown session"), std::string::npos);
+}
+
+TEST(Service, PerRequestBudgetDegradesOnlyThatRequest) {
+  AnalysisService svc;
+  ASSERT_TRUE(svc.call(open_req("s1", kBaseSource)).ok);
+
+  // A starved plan request degrades (conservative tier) but still answers.
+  Request starved = plan_req("s1");
+  support::Budget::Limits tiny;
+  tiny.max_steps = 1;
+  starved.budget = tiny;
+  Response r = svc.call(starved);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.degraded);
+
+  // The next (unbudgeted) request is unaffected: degraded plans are never
+  // memoized, so it re-plans at full precision.
+  Response full = svc.call(plan_req("s1"));
+  ASSERT_TRUE(full.ok);
+  EXPECT_FALSE(full.degraded);
+  EXPECT_EQ(full.plan_sig, cold_signature(kBaseSource));
+}
+
+// Regression for the stale-env-limits bug: limits_from_env() used to cache
+// its first read in a function-local static, so a daemon (or a test) that
+// changed SUIFX_BUDGET_STEPS after the first Budget construction kept the
+// stale limits for the process lifetime.
+TEST(Service, BudgetLimitsReReadFromEnvironment) {
+  unsetenv("SUIFX_BUDGET_STEPS");
+  unsetenv("SUIFX_DEADLINE_MS");
+  EXPECT_TRUE(support::Budget::limits_from_env().unlimited());
+
+  setenv("SUIFX_BUDGET_STEPS", "123", 1);
+  EXPECT_EQ(support::Budget::limits_from_env().max_steps, 123u);
+  setenv("SUIFX_BUDGET_STEPS", "456", 1);
+  EXPECT_EQ(support::Budget::limits_from_env().max_steps, 456u)
+      << "limits must be re-read per construction, not cached at first use";
+  unsetenv("SUIFX_BUDGET_STEPS");
+  EXPECT_TRUE(support::Budget::limits_from_env().unlimited());
+}
+
+}  // namespace
+}  // namespace suifx::service
