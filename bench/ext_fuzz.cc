@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "support/provenance.h"
 #include "testing/oracle.h"
 #include "testing/progen.h"
 #include "testing/reduce.h"
@@ -165,6 +166,18 @@ int main(int argc, char** argv) {
       std::printf("  reduced %d -> %d statements (%d probes) -> %s\n",
                   rr.initial_statements, rr.final_statements, rr.probes,
                   v.repro_path.c_str());
+    }
+    // Dump the decision ledger next to the repro: the events recorded while
+    // this seed ran (which dependences/degradations/faults the analyses saw)
+    // are exactly the context a human needs to triage the violation.
+    {
+      std::error_code ec;
+      std::filesystem::create_directories(args.repro_dir, ec);
+      std::string ppath = args.repro_dir + "/provenance_" +
+                          std::to_string(v.seed) + ".json";
+      if (suifx::support::provenance::Ledger::global().write_json(ppath)) {
+        std::printf("  provenance ledger -> %s\n", ppath.c_str());
+      }
     }
     violations.push_back(std::move(v));
   }

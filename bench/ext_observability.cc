@@ -3,19 +3,31 @@
 // utilization / imbalance table — the Astrée-style scaling diagnosis: load
 // imbalance across parallel analysis workers is the dominant scaling
 // limiter, so measure it before trusting any speedup — (b) a parloop +
-// reduction run's chunk-imbalance stats, (c) the span summary, and (d) the
-// metrics registry. With SUIFX_TRACE=<path> the full Chrome trace-event
-// JSON (Perfetto-loadable) is written at exit; without it the bench starts
-// tracing itself so the summary is always populated.
+// reduction run's chunk-imbalance stats, (c) the decision-provenance
+// overhead (full-suite plans with the ledger off vs on, interleaved reps,
+// min-of-reps; the CI smoke asserts the on/off delta stays under 5%),
+// (d) an Explain-coverage acceptance sweep — every serial loop in the suite
+// must carry a causal record naming at least one concrete blocking cause
+// whose variables resolve to real source names (docs/provenance.md) —
+// (e) the span summary, and (f) the metrics registry. With
+// SUIFX_TRACE=<path> the full Chrome trace-event JSON (Perfetto-loadable)
+// is written at exit; without it the bench starts tracing itself so the
+// summary is always populated.
+//
+//   ext_observability [--json PATH]    # machine-readable results for CI
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <set>
 
 #include "bench_util.h"
 #include "parallelizer/driver.h"
 #include "runtime/reduction.h"
 #include "slicing/slicer.h"
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 using namespace suifx;
@@ -30,6 +42,14 @@ std::vector<const benchsuite::BenchProgram*> all_programs() {
   for (const auto* bp : benchsuite::reduction_suite()) out.push_back(bp);
   return out;
 }
+
+/// One fully-built benchsuite program, kept alive for the whole run so the
+/// utilization, overhead, and Explain-coverage sections measure against the
+/// same analysis stacks.
+struct Built {
+  const benchsuite::BenchProgram* bp = nullptr;
+  std::unique_ptr<explorer::Workbench> wb;
+};
 
 /// One demand-driven slicer query per program so slicer spans show up in
 /// the trace — the Explorer's §4.1.3 "slice this dependence" interaction.
@@ -60,33 +80,59 @@ struct WorkerRow {
   size_t max_threads = 0;  // most distinct task threads in one program run
 };
 
+/// One full-suite serial planning pass (no driver cache involved), timed.
+double suite_plan_ms(const std::vector<Built>& built) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Built& b : built) b.wb->parallelizer().plan(b.wb->program());
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: ext_observability [--json PATH]\n");
+      return 2;
+    }
+  }
+
   support::trace::init_from_env();
   const char* env = std::getenv("SUIFX_TRACE");
   if (!support::trace::enabled()) support::trace::start();
 
   std::printf("Extension: pass-level tracing and runtime telemetry\n\n");
 
-  const int widths[] = {1, 2, 4, 8};
-  std::map<int, WorkerRow> rows;
+  // Build every benchsuite program once; all sections below reuse the stacks.
+  std::vector<Built> built;
   int front_end_warnings = 0;
-
   for (const benchsuite::BenchProgram* bp : all_programs()) {
     Diag diag;
-    auto wb = explorer::Workbench::from_source(bp->source, diag);
-    if (wb == nullptr) std::abort();
+    Built b;
+    b.bp = bp;
+    b.wb = explorer::Workbench::from_source(bp->source, diag);
+    if (b.wb == nullptr) std::abort();
     front_end_warnings += diag.warning_count();
-    const ir::Program& prog = wb->program();
+    built.push_back(std::move(b));
+  }
 
-    parallelizer::ParallelPlan plan = wb->plan();
-    run_slicer_query(*wb, plan);
+  const int widths[] = {1, 2, 4, 8};
+  std::map<int, WorkerRow> rows;
+
+  for (const Built& b : built) {
+    const ir::Program& prog = b.wb->program();
+    parallelizer::ParallelPlan plan = b.wb->plan();
+    run_slicer_query(*b.wb, plan);
 
     for (int w : widths) {
       parallelizer::Driver::Options opts;
       opts.workers = w;
-      parallelizer::Driver d(wb->parallelizer(), opts);
+      parallelizer::Driver d(b.wb->parallelizer(), opts);
       int64_t t0 = support::trace::now_ns();
       auto w0 = std::chrono::steady_clock::now();
       d.plan(prog);
@@ -161,6 +207,77 @@ int main() {
                 static_cast<int>(st.regions), st.mean(), st.worst);
   }
 
+  // Decision-provenance overhead: full-suite serial planning passes with the
+  // ledger off vs on, interleaved so drift hits both sides equally, best of
+  // N each (min is the right estimator for a fixed-work benchmark).
+  const int kReps = 7;
+  double off_ms = 1e300, on_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    support::provenance::set_enabled(false);
+    off_ms = std::min(off_ms, suite_plan_ms(built));
+    support::provenance::set_enabled(true);
+    on_ms = std::min(on_ms, suite_plan_ms(built));
+  }
+  double overhead_pct = off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+  std::printf("\nProvenance overhead (full-suite plans, best of %d):\n"
+              "  off %.3f ms, on %.3f ms, overhead %.2f%%\n",
+              kReps, off_ms, on_ms, overhead_pct);
+
+  // Explain-coverage acceptance: every serial loop in the suite must carry a
+  // causal record with at least one concrete blocking cause, and every
+  // variable that record names must resolve to a real source name.
+  int serial_loops = 0, parallel_loops = 0, covered = 0;
+  std::vector<std::string> failures;
+  const std::set<support::provenance::Kind> blocking = {
+      support::provenance::Kind::DependenceFound,
+      support::provenance::Kind::AliasAssumed,
+      support::provenance::Kind::Degraded,
+      support::provenance::Kind::IoFound,
+      support::provenance::Kind::FinalizeBlocked,
+      support::provenance::Kind::BudgetExhausted,
+  };
+  for (const Built& b : built) {
+    parallelizer::ParallelPlan plan = b.wb->plan();  // driver cache hit
+    for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+      if (lp->parallelizable) {
+        ++parallel_loops;
+        continue;
+      }
+      ++serial_loops;
+      std::string loop = lp->loop->loop_name();
+      if (lp->why == nullptr) {
+        failures.push_back(b.bp->name + " " + loop + ": no provenance record");
+        continue;
+      }
+      bool has_cause = false;
+      bool vars_ok = true;
+      for (const auto& e : lp->why->entries) {
+        if (blocking.count(e.kind) != 0) has_cause = true;
+        if (!e.var.empty()) {
+          std::string proc = loop.substr(0, loop.find('/'));
+          if (b.wb->var(proc + "." + e.var) == nullptr &&
+              b.wb->var(e.var) == nullptr) {
+            vars_ok = false;
+            failures.push_back(b.bp->name + " " + loop + ": variable '" +
+                               e.var + "' does not resolve");
+          }
+        }
+      }
+      if (!has_cause) {
+        failures.push_back(b.bp->name + " " + loop +
+                           ": no blocking cause in record (verdict " +
+                           lp->why->verdict + ", reason '" + lp->why->reason +
+                           "')");
+        continue;
+      }
+      if (vars_ok) ++covered;
+    }
+  }
+  std::printf("\nExplain coverage: %d serial loops (%d parallel), %d with a "
+              "concrete blocking cause\n",
+              serial_loops, parallel_loops, covered);
+  for (const std::string& f : failures) std::printf("  FAIL %s\n", f.c_str());
+
   std::printf("front-end warnings across the suite: %d\n", front_end_warnings);
 
   std::printf("\nSpan summary:\n%s", support::trace::summary().c_str());
@@ -168,6 +285,28 @@ int main() {
   if (env != nullptr && *env != '\0') {
     std::printf("\nChrome trace JSON will be written to %s at exit "
                 "(open in https://ui.perfetto.dev).\n", env);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"programs\": " << built.size() << ",\n"
+        << "  \"plan_ms_w1\": " << rows[1].plan_ms << ",\n"
+        << "  \"plan_ms_w4\": " << rows[4].plan_ms << ",\n"
+        << "  \"plan_ms_w8\": " << rows[8].plan_ms << ",\n"
+        << "  \"prov_off_ms\": " << off_ms << ",\n"
+        << "  \"prov_on_ms\": " << on_ms << ",\n"
+        << "  \"overhead_pct\": " << overhead_pct << ",\n"
+        << "  \"serial_loops\": " << serial_loops << ",\n"
+        << "  \"parallel_loops\": " << parallel_loops << ",\n"
+        << "  \"covered\": " << covered << "\n"
+        << "}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!failures.empty() || (serial_loops > 0 && covered < serial_loops)) {
+    std::printf("\nFAIL: %zu Explain-coverage failures\n", failures.size());
+    return 1;
   }
   return 0;
 }

@@ -111,4 +111,13 @@ std::vector<const ir::Variable*> AliasAnalysis::class_members(
   return out;
 }
 
+std::map<const ir::Variable*, std::vector<const ir::Variable*>>
+AliasAnalysis::all_classes() const {
+  std::map<const ir::Variable*, std::vector<const ir::Variable*>> out;
+  for (const ir::Variable& v : prog_.variables()) {
+    out[canonical(&v)].push_back(&v);
+  }
+  return out;
+}
+
 }  // namespace suifx::analysis

@@ -38,6 +38,12 @@ class AliasAnalysis {
   /// All variables whose canonical representative is `canon`.
   std::vector<const ir::Variable*> class_members(const ir::Variable* canon) const;
 
+  /// Every storage class at once: canonical representative -> members. One
+  /// program scan, for callers that would otherwise call class_members() per
+  /// variable (each call is itself a full scan).
+  std::map<const ir::Variable*, std::vector<const ir::Variable*>> all_classes()
+      const;
+
  private:
   long footprint_elems(const ir::Variable* v) const;
 

@@ -2,18 +2,207 @@
 
 #include <algorithm>
 
+#include "ir/printer.h"
 #include "polyhedra/polycache.h"
 #include "support/budget.h"
 #include "support/fault.h"
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 namespace suifx::analysis {
+
+namespace prov = support::provenance;
 
 using poly::LinearExpr;
 using poly::LinSystem;
 using poly::SectionList;
 using poly::SymId;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical rendering for provenance records.
+//
+// Provenance records must be byte-identical between a cold rebuild and an
+// incremental rebuild of a clean procedure, but SymIds embed variable ids and
+// generation numbers, both of which are renumbered when unrelated procedures
+// change. So: symbols render as source names with the generation dropped
+// (primes kept — they mark the second-iteration copy), and terms, constraints,
+// and systems are each sorted lexicographically by rendered text rather than
+// by id.
+// ---------------------------------------------------------------------------
+
+std::string canon_sym(SymId s, const ir::Program* prog) {
+  if (poly::is_dim_sym(s)) return "d" + std::to_string(static_cast<int>(s));
+  int vid = poly::sym_var_id(s);
+  std::string base = "v" + std::to_string(vid);
+  if (prog != nullptr && vid < prog->num_vars()) {
+    base = prog->variables()[static_cast<size_t>(vid)].name;
+  }
+  return poly::is_primed_sym(s) ? base + "'" : base;
+}
+
+std::string canon_expr(const LinearExpr& e, const ir::Program* prog) {
+  std::vector<std::string> terms;
+  terms.reserve(e.terms.size());
+  for (const auto& [s, k] : e.terms) {
+    std::string t = k < 0 ? "-" : "+";
+    long a = k < 0 ? -k : k;
+    if (a != 1) {
+      t += std::to_string(a);
+      t += "*";
+    }
+    t += canon_sym(s, prog);
+    terms.push_back(std::move(t));
+  }
+  std::sort(terms.begin(), terms.end());
+  std::string out;
+  for (const std::string& t : terms) out += t;
+  if (e.c != 0 || out.empty()) {
+    out += e.c >= 0 ? "+" : "-";
+    out += std::to_string(e.c < 0 ? -e.c : e.c);
+  }
+  return out;
+}
+
+std::string canon_system(const LinSystem& sys, const ir::Program* prog) {
+  std::vector<std::string> cons;
+  cons.reserve(sys.constraints().size());
+  for (const poly::Constraint& c : sys.constraints()) {
+    cons.push_back(canon_expr(c.expr, prog) + (c.is_eq ? "==0" : ">=0"));
+  }
+  std::sort(cons.begin(), cons.end());
+  std::string out = "{";
+  for (size_t i = 0; i < cons.size(); ++i) {
+    if (i != 0) out += " && ";
+    out += cons[i];
+  }
+  if (cons.empty()) out += "true";
+  out += "}";
+  return out;
+}
+
+std::string canon_sections(const SectionList& list, const ir::Program* prog) {
+  if (list.empty()) return "{}";
+  std::vector<std::string> sys;
+  sys.reserve(list.systems().size());
+  for (const LinSystem& p : list.systems()) sys.push_back(canon_system(p, prog));
+  std::sort(sys.begin(), sys.end());
+  std::string out;
+  for (size_t i = 0; i < sys.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += sys[i];
+  }
+  return out;
+}
+
+// First source line of the statement, trimmed and clipped — enough for a
+// human to recognize the access without pasting whole loop bodies into the
+// ledger.
+std::string stmt_snippet(const ir::Stmt* s) {
+  std::string text = ir::to_string(s);
+  size_t nl = text.find('\n');
+  if (nl != std::string::npos) text.resize(nl);
+  size_t a = text.find_first_not_of(' ');
+  if (a != std::string::npos && a > 0) text.erase(0, a);
+  if (text.size() > 80) {
+    text.resize(77);
+    text += "...";
+  }
+  return text;
+}
+
+bool expr_mentions(const ir::Expr* e, const AliasAnalysis& alias,
+                   const ir::Variable* v) {
+  if (e == nullptr) return false;
+  bool hit = false;
+  ir::for_each_expr(e, [&](const ir::Expr* n) {
+    if ((n->is_var_ref() || n->is_array_ref()) && n->var != nullptr &&
+        alias.may_alias(n->var, v)) {
+      hit = true;
+    }
+  });
+  return hit;
+}
+
+// The concrete statement pair behind a dependence: the first statement in the
+// loop body (pre-order) that writes `v` and the first that reads it. Ordinals
+// ("s3") are positions in that pre-order walk — per-loop and therefore stable
+// across rebuilds, unlike synthetic line numbers, which shift when an
+// unrelated procedure above this one grows.
+struct AccessPair {
+  std::string writer, reader;
+};
+
+AccessPair find_access_pair(const ir::Stmt* loop, const AliasAnalysis& alias,
+                            const ir::Variable* v) {
+  AccessPair out;
+  int ord = 0;
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
+    ++ord;
+    bool writes = false, reads = false;
+    switch (s->kind) {
+      case ir::StmtKind::Assign:
+        if (s->lhs != nullptr && s->lhs->var != nullptr &&
+            alias.may_alias(s->lhs->var, v)) {
+          writes = true;
+        }
+        if (s->lhs != nullptr) {
+          for (const ir::Expr* ix : s->lhs->idx) {
+            reads = reads || expr_mentions(ix, alias, v);
+          }
+        }
+        reads = reads || expr_mentions(s->rhs, alias, v);
+        break;
+      case ir::StmtKind::Call:
+        // By-reference arguments may both read and write the storage.
+        for (const ir::Expr* a : s->args) {
+          if (expr_mentions(a, alias, v)) writes = reads = true;
+        }
+        break;
+      case ir::StmtKind::If:
+        reads = expr_mentions(s->cond, alias, v);
+        break;
+      case ir::StmtKind::Do:
+        reads = expr_mentions(s->lb, alias, v) ||
+                expr_mentions(s->ub, alias, v) ||
+                expr_mentions(s->step, alias, v);
+        break;
+      case ir::StmtKind::Print:
+        reads = expr_mentions(s->value, alias, v);
+        break;
+      case ir::StmtKind::Nop:
+        break;
+    }
+    if ((writes && out.writer.empty()) || (reads && out.reader.empty())) {
+      std::string ref = "s" + std::to_string(ord) + " `" + stmt_snippet(s) + "`";
+      if (writes && out.writer.empty()) out.writer = ref;
+      if (reads && out.reader.empty()) out.reader = std::move(ref);
+    }
+  });
+  if (out.writer.empty()) out.writer = "(write reaches the loop through a call)";
+  if (out.reader.empty()) out.reader = out.writer;
+  return out;
+}
+
+/// Return the memoized detail for `key`, building it on first use. The
+/// returned reference stays valid after the lock drops: std::map nodes are
+/// stable under insertion and entries are never erased or rewritten.
+template <typename Memo, typename Key, typename Build>
+const std::string& memoized_detail(std::mutex& mu, Memo& memo, const Key& key,
+                                   Build&& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+  std::string detail = build();  // outside the lock: rendering is the hot part
+  std::lock_guard<std::mutex> lock(mu);
+  return memo.emplace(key, std::move(detail)).first->second;
+}
+
+}  // namespace
 
 const char* to_string(VarClass c) {
   switch (c) {
@@ -103,6 +292,36 @@ bool DependenceAnalysis::cross_iteration_overlap(const ir::Stmt* loop,
   return false;
 }
 
+void DependenceAnalysis::build_alias_memo() const {
+  std::lock_guard<std::mutex> lock(prov_mu_);
+  if (prov_alias_ready_.load(std::memory_order_relaxed)) return;
+  const AliasAnalysis& alias = df_.alias();
+  for (const auto& [canon, members] : alias.all_classes()) {
+    // One rendered detail per class, shared by every member (blob membership
+    // is a class property: distinct overlay shapes collapse the whole block).
+    std::vector<std::string> names;
+    names.reserve(members.size());
+    for (const ir::Variable* m : members) names.push_back(m->qualified_name());
+    std::sort(names.begin(), names.end());
+    for (const ir::Variable* m : members) {
+      if (!alias.is_blob(m) && members.size() <= 1) continue;
+      std::string detail = alias.is_blob(m)
+                               ? "address-taken storage blob: accesses of {"
+                               : "storage class merged: accesses of {";
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (i != 0) detail += ", ";
+        detail += names[i];
+      }
+      detail += "} are tested as one variable";
+      prov_alias_memo_.emplace(m, std::move(detail));
+    }
+  }
+  // Readers check the flag with acquire before touching the map lock-free;
+  // publish only after the map is fully populated (it is never modified
+  // again).
+  prov_alias_ready_.store(true, std::memory_order_release);
+}
+
 LoopVerdict DependenceAnalysis::analyze(
     const ir::Stmt* loop, const std::set<const ir::Variable*>& assume_private,
     const std::set<const ir::Variable*>& assume_parallel) const {
@@ -131,6 +350,20 @@ LoopVerdict DependenceAnalysis::analyze(
       continue;
     }
     if (v->kind == ir::VarKind::SymParam) continue;
+
+    if (prov::noting()) {
+      // Conservative storage merging in effect for this variable: the test
+      // below runs over the union of all aliased accesses. The merged-var
+      // details are precomputed (build_alias_memo) and read lock-free here —
+      // this check runs for every variable of every analyzed loop.
+      if (!prov_alias_ready_.load(std::memory_order_acquire)) {
+        build_alias_memo();
+      }
+      auto it = prov_alias_memo_.find(v);
+      if (it != prov_alias_memo_.end()) {
+        prov::note(prov::Kind::AliasAssumed, v->name, it->second);
+      }
+    }
 
     SectionList writes = va.sec.W;
     writes.unite(va.sec.M);
@@ -189,6 +422,18 @@ LoopVerdict DependenceAnalysis::analyze(
         verdict.red_op = *red_op;
         verdict.red_region =
             red_all.project_out_if([&](SymId s) { return sym.is_variant_sym(loop, s); });
+        if (prov::noting()) {
+          const ir::Program* prog =
+              loop->proc != nullptr ? loop->proc->program : nullptr;
+          prov::note(prov::Kind::ReductionRecognized, v->name,
+                     memoized_detail(prov_mu_, prov_red_memo_,
+                                     std::make_pair(loop, v), [&] {
+                       return std::string("commutative ") +
+                              ir::to_string(*red_op) + " updates over region " +
+                              canon_sections(verdict.red_region, prog) +
+                              ", disjoint from ordinary accesses";
+                     }));
+        }
       } else {
         verdict.cls = VarClass::Parallel;
       }
@@ -229,6 +474,21 @@ LoopVerdict DependenceAnalysis::analyze(
       continue;
     }
 
+    if (prov::noting()) {
+      // Dependent here always means a flow dependence: the privatization test
+      // just failed, i.e. one iteration's write feeds another's exposed read.
+      const ir::Program* prog =
+          loop->proc != nullptr ? loop->proc->program : nullptr;
+      prov::note(prov::Kind::DependenceFound, v->name,
+                 memoized_detail(prov_mu_, prov_dep_memo_,
+                                 std::make_pair(loop, v), [&] {
+                   AccessPair pair = find_access_pair(loop, df_.alias(), v);
+                   return "flow: " + pair.writer + " -> " + pair.reader +
+                          "; writes " + canon_sections(eff_writes, prog) +
+                          " overlap cross-iteration exposed reads " +
+                          canon_sections(eff_exposed, prog);
+                 }));
+    }
     verdict.cls = VarClass::Dependent;
     out.vars[v] = verdict;
     ++out.num_dependences;

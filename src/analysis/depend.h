@@ -10,6 +10,9 @@
 // orders are probed). Scalars participate with rank-0 (universe) sections.
 #pragma once
 
+#include <atomic>
+#include <mutex>
+
 #include "analysis/array_dataflow.h"
 
 namespace suifx::analysis {
@@ -70,6 +73,26 @@ class DependenceAnalysis {
 
   const ArrayDataflow& df_;
   bool enable_reductions_ = true;
+
+  /// Rendered provenance details (dependence pairs, reduction regions) are
+  /// deterministic per (loop, variable): the sections they print come from
+  /// the immutable dataflow summaries, and user assertions only skip the
+  /// branches that emit them. Memoized so re-analysis — the serial planner
+  /// re-runs every loop per plan() call — pays the statement walk and
+  /// polyhedral rendering once, keeping the ledger's suite overhead within
+  /// the CI perf-smoke bound (docs/provenance.md).
+  using ProvMemo =
+      std::map<std::pair<const ir::Stmt*, const ir::Variable*>, std::string>;
+  mutable std::mutex prov_mu_;  // analyze() runs concurrently under the Driver
+  mutable ProvMemo prov_dep_memo_;
+  mutable ProvMemo prov_red_memo_;
+  /// Alias merging is loop-independent, so the merged-variable details are
+  /// built once for the whole program (one storage-class scan) and read
+  /// lock-free afterwards: absent = not merged, no note to emit (the common
+  /// case, checked for every variable of every analyzed loop).
+  void build_alias_memo() const;
+  mutable std::atomic<bool> prov_alias_ready_{false};
+  mutable std::map<const ir::Variable*, std::string> prov_alias_memo_;
 };
 
 }  // namespace suifx::analysis

@@ -151,6 +151,30 @@ std::string Guru::planning_profile() const {
   return os.str();
 }
 
+std::string Guru::explain(const ir::Stmt* loop) const {
+  const parallelizer::LoopPlan* lp = plan_.find(loop);
+  if (lp == nullptr) return "";
+  std::string out;
+  if (lp->why != nullptr) {
+    out = lp->why->text();
+  } else {
+    // Provenance was disabled when this plan was produced: fall back to the
+    // one-line reason so the Explorer still shows something actionable.
+    out = "loop " + loop->loop_name() + ": " +
+          (lp->parallelizable ? "parallel" : "serial");
+    if (!lp->reason.empty()) out += " (" + lp->reason + ")";
+    out += "\n  (provenance disabled: no causal record)\n";
+  }
+  // Build-level degradations are deliberately NOT part of the per-loop
+  // record (they are properties of the build, and keeping them out is what
+  // makes records byte-stable across rebuilds) — append them here so the
+  // user still sees when the verdict rests on lowered fidelity.
+  for (const std::string& d : wb_.degradations()) {
+    out += "  ! build degradation: " + d + "\n";
+  }
+  return out;
+}
+
 std::vector<const LoopReport*> Guru::targets() const {
   std::vector<const LoopReport*> out;
   for (const LoopReport& r : reports_) {

@@ -61,6 +61,12 @@ class Guru {
   /// (e.g. "dominant pass: array_dataflow"). One aligned line per entry.
   std::string planning_profile() const;
 
+  /// Why this loop got its verdict: the provenance record from the current
+  /// plan (dependence pairs, alias assumptions, privatizations, assertions),
+  /// followed by any build-level pass degradations that lowered analysis
+  /// fidelity. "" when the loop is not in the plan. docs/provenance.md.
+  std::string explain(const ir::Stmt* loop) const;
+
   /// Every executed loop's report.
   const std::vector<LoopReport>& loops() const { return reports_; }
   /// The worklist presented to the programmer: important sequential loops

@@ -316,6 +316,10 @@ translate_plan(const Translator& t, const ir::Procedure* old_proc,
   out.used_liveness = e.plan.used_liveness;
   out.used_assertion = e.plan.used_assertion;
   out.degraded = false;
+  // The provenance record is already canonical (source names only, no ids),
+  // so it carries verbatim: the replayed verdict keeps its original causes,
+  // which is what makes cold and incremental ledgers byte-identical.
+  out.why = e.plan.why;
   out.verdict.parallel = e.plan.verdict.parallel;
   out.verdict.num_dependences = e.plan.verdict.num_dependences;
   out.verdict.has_io = e.plan.verdict.has_io;

@@ -5,6 +5,7 @@
 #include "support/budget.h"
 #include "support/fault.h"
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 namespace suifx::explorer {
@@ -44,6 +45,10 @@ void guarded(std::vector<std::string>& degradations, Diag& diag,
     support::Metrics::global().count("degrade.pass.retry");
     support::trace::TraceSpan span("degrade",
                                    std::string(pass) + ": retry: " + ex.what());
+    support::provenance::event(
+        support::provenance::Kind::Degraded, "", pass,
+        std::string("pass failed (") + ex.what() +
+            "); retried with faults suppressed and no budget");
     degradations.push_back(std::string(pass) + ": retried after: " + ex.what());
     diag.warning({}, std::string(pass) + " failed (" + ex.what() +
                          "); retrying with faults suppressed");
@@ -60,6 +65,7 @@ std::unique_ptr<Workbench> Workbench::from_source(
     std::optional<analysis::LivenessMode> liveness_mode, bool enable_reductions) {
   support::trace::init_from_env();  // SUIFX_TRACE=<path> activates tracing
   support::fault::Registry::global().init_from_env();  // SUIFX_FAULT=<spec>
+  support::provenance::init_from_env();  // SUIFX_PROVENANCE / _JSON
   support::trace::TraceSpan span("workbench/build");
   auto prog = frontend::parse_program(src, diag);
   if (prog == nullptr) return nullptr;
@@ -131,6 +137,8 @@ std::unique_ptr<Workbench> Workbench::from_source(
                            analysis::to_string(kLadder[rung]) + " -> " + next +
                            ": " + ex.what();
         support::trace::TraceSpan dspan("degrade", what);
+        support::provenance::event(support::provenance::Kind::Degraded, "",
+                                   "liveness", what);
         deg.push_back(what);
         diag.warning({}, what);
       }

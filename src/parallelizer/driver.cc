@@ -9,9 +9,12 @@
 #include "polyhedra/polycache.h"
 #include "support/fault.h"
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 namespace suifx::parallelizer {
+
+namespace prov = support::provenance;
 
 namespace {
 
@@ -119,14 +122,21 @@ std::vector<Driver::CachedPlan> Driver::snapshot_cache() const {
 bool Driver::seed_plan(const ir::Program& prog, int stmt_id, AssertKey key,
                        LoopPlan plan) {
   if (plan.degraded) return false;  // degraded plans are never memoized
-  std::lock_guard<std::mutex> lock(mu_);
-  if (bound_uid_ == 0) {
-    bound_uid_ = prog.uid();
-  } else if (bound_uid_ != prog.uid()) {
-    return false;
+  std::string loop_name;
+  if (prov::enabled() && plan.loop != nullptr) loop_name = plan.loop->loop_name();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bound_uid_ == 0) {
+      bound_uid_ = prog.uid();
+    } else if (bound_uid_ != prog.uid()) {
+      return false;
+    }
+    uint64_t fp = fingerprint(key);
+    cache_[pack_key(stmt_id)] = CacheEntry{fp, std::move(key), std::move(plan)};
   }
-  uint64_t fp = fingerprint(key);
-  cache_[pack_key(stmt_id)] = CacheEntry{fp, std::move(key), std::move(plan)};
+  prov::event(prov::Kind::CacheSeeded, loop_name, "",
+              "plan carried across an incremental rebuild (verdict replayed, "
+              "not re-derived)");
   return true;
 }
 
@@ -207,6 +217,10 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
                             : opts_.budget,
                         opts_.cancel);
   support::Budget* budget = external != nullptr ? external : &local;
+  // The caller's request correlation id (a daemon's CorrScope) is forwarded
+  // into every pool task so pass-level provenance events and trace spans stay
+  // attributed to the request that triggered them.
+  const uint64_t corr = prov::current_corr();
 
   uint64_t misses = 0;
   uint64_t degraded_loops = 0;
@@ -219,8 +233,9 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
     for (Unit& unit : units) {
       unit.plans.resize(unit.loops.size());
       pending.push_back(pool_->submit([this, &unit, &asserts, &task_hist,
-                                       budget] {
+                                       budget, corr] {
         support::Budget::Scope bs(budget);
+        prov::CorrScope cs(corr);
         SUIFX_FAULT_POINT("driver.task");
         // The span's tid attributes this procedure's planning to the pool
         // worker that ran it — the bench's utilization table reads these.
@@ -250,6 +265,10 @@ ParallelPlan Driver::plan(const ir::Program& prog, const Assertions& asserts) {
       support::Budget::Scope no_budget(nullptr);
       support::trace::TraceSpan span(
           "degrade", "driver: " + unit.proc->name + ": " + why);
+      prov::event(prov::Kind::Degraded, "", "driver/task",
+                  "procedure " + unit.proc->name +
+                      " fell to the conservative assume-dependence tier: " +
+                      why);
       for (size_t i = 0; i < unit.loops.size(); ++i) {
         unit.plans[i] = Parallelizer::conservative_plan(unit.loops[i], why);
       }
@@ -384,6 +403,18 @@ std::string plan_signature(const ParallelPlan& plan) {
   for (const auto& [id, row] : rows) {
     out += row;
     out += "\n";
+  }
+  return out;
+}
+
+std::string ledger_signature(const ParallelPlan& plan) {
+  std::string out;
+  for (const LoopPlan* lp : plan.ordered()) {
+    if (lp->why != nullptr) {
+      out += lp->why->text();
+    } else {
+      out += "loop " + lp->loop->loop_name() + ": (no provenance record)\n";
+    }
   }
   return out;
 }

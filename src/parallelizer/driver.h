@@ -166,4 +166,11 @@ class Driver {
 /// and the driver bench.
 std::string plan_signature(const ParallelPlan& plan);
 
+/// Concatenated provenance records (LoopPlan::why->text()) in source order —
+/// the determinism oracle for the decision ledger: byte-identical across
+/// worker counts, cache states, and cold vs. incremental rebuilds of a clean
+/// procedure. Unlike the global provenance::Ledger (whose event order follows
+/// thread scheduling), this is a pure function of the plan.
+std::string ledger_signature(const ParallelPlan& plan);
+
 }  // namespace suifx::parallelizer

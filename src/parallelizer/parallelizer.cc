@@ -4,6 +4,8 @@
 
 namespace suifx::parallelizer {
 
+namespace prov = support::provenance;
+
 int ParallelPlan::num_parallel() const {
   int n = 0;
   for (const auto& [loop, plan] : loops) n += plan.parallelizable ? 1 : 0;
@@ -28,10 +30,21 @@ LoopPlan Parallelizer::conservative_plan(const ir::Stmt* loop,
   out.parallelizable = false;
   out.degraded = true;
   out.reason = "analysis degraded (" + why + "): dependence assumed";
+  prov::LoopScope scope(loop->loop_name());
+  if (scope.active()) {
+    prov::note(prov::Kind::Degraded, "",
+               "analysis could not complete (" + why +
+                   "); conservative tier assumes a carried dependence and "
+                   "ignores assertions");
+    out.why = scope.finish("degraded", out.reason);
+  }
   return out;
 }
 
 LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts) const {
+  // Don't render the loop name when recording is off — the disabled path is
+  // promised to cost one atomic load and a branch.
+  prov::LoopScope pscope(prov::enabled() ? loop->loop_name() : std::string());
   LoopPlan out;
   out.loop = loop;
 
@@ -44,10 +57,40 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
   bool forced = asserts.force_parallel.count(loop) != 0;
   out.used_assertion = forced || !assume_priv.empty() || !assume_indep.empty();
 
+  if (out.used_assertion && prov::noting()) {
+    if (forced) {
+      prov::note(prov::Kind::AssertionApplied, "",
+                 "user asserted the whole loop parallelizable; residual "
+                 "dependences are overridden");
+    }
+    // Sets are pointer-ordered; note in name order for canonical records.
+    auto by_name = [](const std::set<const ir::Variable*>& s) {
+      std::vector<const ir::Variable*> v(s.begin(), s.end());
+      std::sort(v.begin(), v.end(), [](const ir::Variable* a, const ir::Variable* b) {
+        return a->name < b->name;
+      });
+      return v;
+    };
+    for (const ir::Variable* v : by_name(assume_priv)) {
+      prov::note(prov::Kind::AssertionApplied, v->name,
+                 "user asserted privatizable");
+    }
+    for (const ir::Variable* v : by_name(assume_indep)) {
+      prov::note(prov::Kind::AssertionApplied, v->name,
+                 "user asserted independent; excluded from dependence testing");
+    }
+  }
+
   out.verdict = dep_.analyze(loop, assume_priv, assume_indep);
 
   if (out.verdict.has_io) {
     out.reason = "contains I/O";
+    if (prov::noting()) {
+      prov::note(prov::Kind::IoFound, "",
+                 "loop body performs I/O; output order must be preserved, so "
+                 "the loop runs serially");
+    }
+    out.why = pscope.finish("serial", out.reason);
     return out;
   }
 
@@ -90,7 +133,38 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
           ok = false;
           if (!out.reason.empty()) out.reason += ", ";
           out.reason += "cannot finalize private " + v->name;
+          if (prov::noting()) {
+            prov::note(prov::Kind::FinalizeBlocked, v->name,
+                       "privatizable, but iterations write differing regions "
+                       "and the value is live after the loop: no legal "
+                       "finalization");
+          }
           break;
+        }
+        if (prov::noting()) {
+          // The detail is one of six fixed sentences; table lookup keeps this
+          // hot, every-privatized-variable note allocation-light.
+          static constexpr const char* kDetail[2][3] = {
+              {"per-processor copy removes the carried conflict"
+               "; no write-back: region dead at loop exit (liveness)",
+               "per-processor copy removes the carried conflict"
+               "; finalized from the last iteration (same region every "
+               "iteration)",
+               "per-processor copy removes the carried conflict"
+               "; final value dropped per user assertion"},
+              {"per-processor copy removes the carried conflict"
+               "; copy-in of exposed reads"
+               "; no write-back: region dead at loop exit (liveness)",
+               "per-processor copy removes the carried conflict"
+               "; copy-in of exposed reads"
+               "; finalized from the last iteration (same region every "
+               "iteration)",
+               "per-processor copy removes the carried conflict"
+               "; copy-in of exposed reads"
+               "; final value dropped per user assertion"}};
+          int fin = dead ? 0 : pv.finalize == Finalize::LastIteration ? 1 : 2;
+          prov::note(prov::Kind::PrivatizationApplied, v->name,
+                     kDetail[pv.copy_in ? 1 : 0][fin]);
         }
         out.privatized.push_back(pv);
         break;
@@ -109,6 +183,7 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
   }
   out.parallelizable = ok;
   if (ok) out.reason.clear();
+  out.why = pscope.finish(ok ? "parallel" : "serial", out.reason);
   return out;
 }
 

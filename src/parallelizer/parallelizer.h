@@ -6,8 +6,11 @@
 // outermost parallelizable loop dynamically, as SUIF's runtime does.
 #pragma once
 
+#include <memory>
+
 #include "analysis/depend.h"
 #include "analysis/liveness.h"
+#include "support/provenance.h"
 
 namespace suifx::parallelizer {
 
@@ -60,6 +63,12 @@ struct LoopPlan {
   /// degraded plan cannot mark a loop the full-precision plan rejects. See
   /// docs/robustness.md.
   bool degraded = false;
+  /// Causal record of how this verdict was reached (docs/provenance.md).
+  /// Null when provenance is disabled. Shared and immutable: the Driver
+  /// memoizes it with the plan, cache hits replay the identical record, and
+  /// incremental rebuilds carry it — which is what makes ledger_signature()
+  /// byte-identical between cold and incremental rebuilds.
+  std::shared_ptr<const support::provenance::LoopRecord> why;
 };
 
 struct ParallelPlan {

@@ -2,14 +2,44 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <shared_mutex>
 #include <sstream>
 #include <utility>
 
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 namespace suifx::service {
+
+namespace {
+
+/// Minimal JSON string escaping for the hand-rolled response objects.
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* to_string(RequestKind k) {
   switch (k) {
@@ -18,6 +48,7 @@ const char* to_string(RequestKind k) {
     case RequestKind::Plan: return "plan";
     case RequestKind::Slice: return "slice";
     case RequestKind::Profile: return "profile";
+    case RequestKind::Explain: return "explain";
     case RequestKind::Close: return "close";
   }
   return "?";
@@ -107,6 +138,11 @@ void AnalysisService::evict_lru_locked() {
 }
 
 Response AnalysisService::handle(Request& req) {
+  // Fresh correlation id per request, installed before the span so the
+  // request span itself (and every span/provenance event below it, including
+  // the session driver's pool tasks) carries it. Chrome-trace filtering by
+  // args.corr then isolates one request end-to-end.
+  support::provenance::CorrScope corr(support::provenance::next_corr());
   support::trace::TraceSpan span("service/request", to_string(req.kind));
   auto t0 = std::chrono::steady_clock::now();
 
@@ -160,6 +196,8 @@ Response AnalysisService::handle(Request& req) {
               resp = plan(req, *s);
             } else if (req.kind == RequestKind::Slice) {
               resp = slice(req, *s);
+            } else if (req.kind == RequestKind::Explain) {
+              resp = explain(req, *s);
             } else {
               resp = profile(*s);
             }
@@ -253,15 +291,17 @@ Response AnalysisService::update(Request& req, Session& s) {
   return resp;
 }
 
-Response AnalysisService::plan(Request& req, Session& s) {
-  Response resp;
-  explorer::Workbench& wb = *s.wb;
-  parallelizer::Assertions asserts;
+namespace {
+
+/// Resolve the request's by-name assertions against the session's program.
+/// False (with resp.error set) on an unknown loop or variable.
+bool parse_asserts(const Request& req, explorer::Workbench& wb,
+                   parallelizer::Assertions& asserts, Response& resp) {
   for (const AssertionReq& a : req.asserts) {
     const ir::Stmt* loop = wb.loop(a.loop);
     if (loop == nullptr) {
       resp.error = "unknown loop: " + a.loop;
-      return resp;
+      return false;
     }
     if (a.kind == AssertionReq::Kind::ForceParallel) {
       asserts.force_parallel.insert(loop);
@@ -270,7 +310,7 @@ Response AnalysisService::plan(Request& req, Session& s) {
     const ir::Variable* var = wb.var(a.var);
     if (var == nullptr) {
       resp.error = "unknown variable: " + a.var;
-      return resp;
+      return false;
     }
     if (a.kind == AssertionReq::Kind::Privatize) {
       asserts.privatize[loop].insert(var);
@@ -278,6 +318,16 @@ Response AnalysisService::plan(Request& req, Session& s) {
       asserts.independent[loop].insert(var);
     }
   }
+  return true;
+}
+
+}  // namespace
+
+Response AnalysisService::plan(Request& req, Session& s) {
+  Response resp;
+  explorer::Workbench& wb = *s.wb;
+  parallelizer::Assertions asserts;
+  if (!parse_asserts(req, wb, asserts, resp)) return resp;
 
   parallelizer::Driver& driver = wb.driver();
   uint64_t hits0 = driver.cache_hits();
@@ -345,6 +395,100 @@ Response AnalysisService::profile(Session& s) {
     for (const std::string& dg : wb.degradations()) os << "  " << dg << "\n";
   }
   resp.text = os.str();
+
+  // Machine-readable twin: the session/driver stats above plus the global
+  // metrics registry, one JSON object. Tooling consumes this; the text stays
+  // for humans.
+  std::ostringstream js;
+  js << "{\"session\":\"" << esc(s.name) << "\",\"updates\":" << s.updates
+     << ",\"dominant_pass\":\"" << esc(wb.dominant_pass()) << "\",\"passes_ms\":{";
+  bool first = true;
+  js.setf(std::ios::fixed);
+  js.precision(3);
+  for (const auto& [pass, ms] : wb.pass_times_ms()) {
+    js << (first ? "" : ",") << "\"" << esc(pass) << "\":" << ms;
+    first = false;
+  }
+  js << "},\"driver\":{\"workers\":" << d.workers() << ",\"epoch\":" << d.epoch()
+     << ",\"cache_entries\":" << d.cache_size() << ",\"hits\":" << d.cache_hits()
+     << ",\"misses\":" << d.cache_misses() << ",\"shared\":"
+     << d.single_flight_waits() << ",\"degraded\":" << d.degraded_loops()
+     << "},\"degradations\":[";
+  first = true;
+  for (const std::string& dg : wb.degradations()) {
+    js << (first ? "" : ",") << "\"" << esc(dg) << "\"";
+    first = false;
+  }
+  js << "],\"metrics\":" << support::Metrics::global().report_json() << "}";
+  resp.json = js.str();
+  resp.ok = true;
+  return resp;
+}
+
+Response AnalysisService::explain(Request& req, Session& s) {
+  Response resp;
+  explorer::Workbench& wb = *s.wb;
+  parallelizer::Assertions asserts;
+  if (!parse_asserts(req, wb, asserts, resp)) return resp;
+
+  // Warm path: the driver memoizes per-loop plans, so when the caller
+  // already ran Plan with the same assertions this re-plan is all cache hits
+  // and Explain answers from the recorded verdicts without re-analysis.
+  parallelizer::ParallelPlan p = wb.plan(asserts);
+
+  // Render one loop's record (or a minimal stub when provenance was off).
+  auto record_of = [](const parallelizer::LoopPlan& lp) {
+    if (lp.why != nullptr) return lp.why;
+    auto rec = std::make_shared<support::provenance::LoopRecord>();
+    rec->loop = lp.loop->loop_name();
+    rec->verdict =
+        lp.degraded ? "degraded" : (lp.parallelizable ? "parallel" : "serial");
+    rec->reason = lp.reason;
+    return std::shared_ptr<const support::provenance::LoopRecord>(rec);
+  };
+
+  std::vector<std::shared_ptr<const support::provenance::LoopRecord>> records;
+  if (!req.loop.empty()) {
+    const ir::Stmt* loop = wb.loop(req.loop);
+    if (loop == nullptr) {
+      resp.error = "unknown loop: " + req.loop;
+      return resp;
+    }
+    const parallelizer::LoopPlan* lp = p.find(loop);
+    if (lp == nullptr) {
+      resp.error = "loop not in plan (unreachable from main?): " + req.loop;
+      return resp;
+    }
+    records.push_back(record_of(*lp));
+  } else {
+    for (const parallelizer::LoopPlan* lp : p.ordered()) {
+      records.push_back(record_of(*lp));
+    }
+  }
+
+  std::string text;
+  std::string js = "{\"schema\":\"";
+  js += support::provenance::Ledger::kSchema;
+  js += "\",\"loops\":[";
+  bool first = true;
+  for (const auto& rec : records) {
+    text += rec->text();
+    js += first ? "" : ",";
+    js += rec->json();
+    first = false;
+  }
+  js += "],\"degradations\":[";
+  first = true;
+  for (const std::string& dg : wb.degradations()) {
+    text += "  ! build degradation: " + dg + "\n";
+    js += (first ? "" : ",");
+    js += "\"" + esc(dg) + "\"";
+    first = false;
+  }
+  js += "]}";
+  resp.text = std::move(text);
+  resp.json = std::move(js);
+  resp.loops = static_cast<int>(records.size());
   resp.ok = true;
   return resp;
 }

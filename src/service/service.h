@@ -59,7 +59,15 @@ struct ServiceOptions {
   bool enable_reductions = true;
 };
 
-enum class RequestKind : uint8_t { Open, Update, Plan, Slice, Profile, Close };
+enum class RequestKind : uint8_t {
+  Open,
+  Update,
+  Plan,
+  Slice,
+  Profile,
+  Explain,  // why did loops get their verdicts (decision provenance)
+  Close,
+};
 
 const char* to_string(RequestKind k);
 
@@ -76,8 +84,8 @@ struct Request {
   RequestKind kind = RequestKind::Plan;
   std::string session;
   std::string source;                 // Open / Update
-  std::vector<AssertionReq> asserts;  // Plan
-  std::string loop;                   // Slice
+  std::vector<AssertionReq> asserts;  // Plan / Explain
+  std::string loop;                   // Slice / Explain ("" = every loop)
   std::string var;                    // Slice
   /// Override of the service-wide default budget for this request only.
   std::optional<support::Budget::Limits> budget;
@@ -106,8 +114,12 @@ struct Response {
   // Slice
   int slice_size = 0;
 
-  // Profile (and free-form diagnostics)
+  // Profile / Explain (and free-form diagnostics)
   std::string text;
+  /// Machine-readable twin of `text`: Profile returns the session stats plus
+  /// Metrics::report_json(); Explain returns the schema-versioned provenance
+  /// records ({"schema":"suifx-provenance/1","loops":[...]}).
+  std::string json;
 
   /// Counters recorded on the request thread while this request ran
   /// (Metrics::ScopedLocal capture).
@@ -142,6 +154,7 @@ class AnalysisService {
   Response plan(Request& req, Session& s);
   Response slice(Request& req, Session& s);
   Response profile(Session& s);
+  Response explain(Request& req, Session& s);
   std::shared_ptr<Session> find(const std::string& name);
   void evict_lru_locked();
 

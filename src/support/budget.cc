@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 namespace suifx::support {
@@ -45,15 +46,17 @@ bool Budget::exhausted() const {
 }
 
 void Budget::trip(BudgetExceeded::Kind k, uint64_t steps_now) {
-  if (!tripped_.exchange(true, std::memory_order_relaxed)) {
-    Metrics::global().count("budget.exceeded");
-    trace::TraceSpan span("budget/exceeded", to_string(k));
-  }
   std::ostringstream os;
   os << "analysis budget exceeded (" << to_string(k) << "): " << steps_now
      << " steps";
   if (limits_.max_steps != 0) os << " of " << limits_.max_steps;
   if (limits_.deadline_ms > 0) os << ", deadline " << limits_.deadline_ms << " ms";
+  if (!tripped_.exchange(true, std::memory_order_relaxed)) {
+    Metrics::global().count("budget.exceeded");
+    trace::TraceSpan span("budget/exceeded", to_string(k));
+    provenance::event(provenance::Kind::BudgetExhausted, "", to_string(k),
+                      os.str());
+  }
   throw BudgetExceeded(k, os.str());
 }
 

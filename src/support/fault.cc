@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "support/metrics.h"
+#include "support/provenance.h"
 #include "support/trace.h"
 
 namespace suifx::support::fault {
@@ -158,6 +159,8 @@ void Registry::hit(const char* point) {
     Metrics::global().count("fault.injected");
     Metrics::global().count(std::string("fault.injected.") + point);
     trace::TraceSpan span("fault/injected", point);
+    provenance::event(provenance::Kind::FaultInjected, "", point,
+                      "fault injection fired at this point");
     throw InjectedFault(point);
   }
 }

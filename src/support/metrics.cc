@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
@@ -211,6 +212,68 @@ std::string Metrics::report() const {
     os << k << std::string(w - k.size() + 2, ' ') << h.count << " events  "
        << h.total << " ms  p50 " << h.p50 << " ms  p95 " << h.p95 << " ms\n";
   }
+  return os.str();
+}
+
+std::string Metrics::report_json() const {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> timers;
+  struct HistRow {
+    uint64_t count;
+    double total, p50, p95;
+  };
+  std::map<std::string, HistRow> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    timers = timers_;
+    for (const auto& [k, s] : sharded_) {
+      if (uint64_t v = s->value()) counters[k] += v;
+    }
+    for (const auto& [k, h] : histograms_) {
+      if (h->count() == 0) continue;
+      hists[k] = {h->count(), h->total_ms(), h->p50(), h->p95()};
+    }
+  }
+
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (unsigned char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += static_cast<char>(c);
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters) {
+    os << (first ? "" : ",") << "\"" << esc(k) << "\":" << v;
+    first = false;
+  }
+  os << "},\"timers_ms\":{";
+  first = true;
+  for (const auto& [k, v] : timers) {
+    os << (first ? "" : ",") << "\"" << esc(k) << "\":" << v;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : hists) {
+    os << (first ? "" : ",") << "\"" << esc(k) << "\":{\"count\":" << h.count
+       << ",\"total_ms\":" << h.total << ",\"p50_ms\":" << h.p50
+       << ",\"p95_ms\":" << h.p95 << "}";
+    first = false;
+  }
+  os << "}}";
   return os.str();
 }
 

@@ -113,6 +113,12 @@ class Metrics {
   /// so it never interleaves with concurrent count()/add_ms() callers.
   std::string report() const;
 
+  /// The same snapshot as report(), rendered as one JSON object:
+  /// {"counters":{...},"timers_ms":{...},"histograms":{name:{"count":..,
+  /// "total_ms":..,"p50_ms":..,"p95_ms":..},...}}. Sharded counters fold
+  /// into "counters". The service Profile response returns this.
+  std::string report_json() const;
+
   /// The process-wide registry every instrumented pass reports into.
   static Metrics& global();
 

@@ -1,0 +1,305 @@
+#include "support/provenance.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace suifx::support::provenance {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<uint64_t> g_next_corr{0};
+std::atomic<uint64_t> g_seq{0};
+
+thread_local uint64_t tl_corr = 0;
+thread_local LoopScope* tl_scope = nullptr;
+// The record of the innermost open scope (kept separate so note() needs no
+// friend access into LoopScope).
+thread_local LoopRecord* tl_rec = nullptr;
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::string& env_path() {
+  static std::string* p = new std::string;  // outlives static destructors
+  return *p;
+}
+
+}  // namespace
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::DependenceFound: return "dependence-found";
+    case Kind::AliasAssumed: return "alias-assumed";
+    case Kind::ReductionRecognized: return "reduction-recognized";
+    case Kind::PrivatizationApplied: return "privatization-applied";
+    case Kind::FinalizeBlocked: return "finalize-blocked";
+    case Kind::AssertionApplied: return "assertion-applied";
+    case Kind::IoFound: return "io-found";
+    case Kind::Degraded: return "degraded";
+    case Kind::BudgetExhausted: return "budget-exhausted";
+    case Kind::CacheSeeded: return "cache-seeded";
+    case Kind::FaultInjected: return "fault-injected";
+  }
+  return "?";
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void init_from_env() {
+  // One-shot, like trace::init_from_env: the atexit writer binds one output
+  // path. Daemons use the programmatic Ledger API on request paths.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* s = std::getenv("SUIFX_PROVENANCE")) {
+      if (s[0] == '0' && s[1] == '\0') set_enabled(false);
+    }
+    const char* path = std::getenv("SUIFX_PROVENANCE_JSON");
+    if (path == nullptr || *path == '\0') return;
+    env_path() = path;
+    std::atexit([] {
+      if (!Ledger::global().write_json(env_path())) {
+        std::fprintf(stderr,
+                     "suifx: could not write SUIFX_PROVENANCE_JSON file %s\n",
+                     env_path().c_str());
+      }
+    });
+  });
+}
+
+uint64_t next_corr() {
+  return g_next_corr.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t current_corr() { return tl_corr; }
+
+CorrScope::CorrScope(uint64_t corr) : prev_(tl_corr) { tl_corr = corr; }
+CorrScope::~CorrScope() { tl_corr = prev_; }
+
+// ---------------------------------------------------------------------------
+// Ledger
+// ---------------------------------------------------------------------------
+
+void Ledger::record(Kind kind, std::string loop, std::string var,
+                    std::string detail) {
+  if (!enabled()) return;
+  Event e;
+  e.kind = kind;
+  e.corr = tl_corr;
+  e.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  e.loop = std::move(loop);
+  e.var = std::move(var);
+  e.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % kCapacity;
+  }
+  ++recorded_;
+}
+
+std::vector<Event> Ledger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_) once the ring has wrapped.
+  if (recorded_ > ring_.size()) {
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(next_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+uint64_t Ledger::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t Ledger::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void Ledger::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string Ledger::json() const {
+  std::vector<Event> events = snapshot();
+  std::string out = "{\"schema\":\"";
+  out += kSchema;
+  out += "\",\"dropped\":";
+  out += std::to_string(dropped());
+  out += ",\"events\":[";
+  char buf[64];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, "\n{\"seq\":%llu,\"corr\":%llu,",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned long long>(e.corr));
+    out += buf;
+    out += "\"kind\":\"";
+    out += to_string(e.kind);
+    out += "\",\"loop\":\"";
+    append_escaped(out, e.loop);
+    out += "\",\"var\":\"";
+    append_escaped(out, e.var);
+    out += "\",\"detail\":\"";
+    append_escaped(out, e.detail);
+    out += "\"}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Ledger::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string text = json();
+  size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && n == text.size();
+}
+
+Ledger& Ledger::global() {
+  static Ledger* l = new Ledger;  // leaked: atexit writers may outlive statics
+  return *l;
+}
+
+void event(Kind kind, std::string loop, std::string var, std::string detail) {
+  if (!enabled()) return;
+  Ledger::global().record(kind, std::move(loop), std::move(var),
+                          std::move(detail));
+}
+
+// ---------------------------------------------------------------------------
+// LoopScope / note
+// ---------------------------------------------------------------------------
+
+LoopScope::LoopScope(std::string loop_name) {
+  if (!enabled()) return;
+  rec_ = std::make_shared<LoopRecord>();
+  rec_->loop = std::move(loop_name);
+  rec_->entries.reserve(4);  // typical records hold a handful of causes
+  prev_ = tl_scope;
+  tl_scope = this;
+  tl_rec = rec_.get();
+}
+
+LoopScope::~LoopScope() {
+  if (tl_scope == this) {
+    tl_scope = prev_;
+    tl_rec = (prev_ != nullptr && prev_->rec_ != nullptr) ? prev_->rec_.get()
+                                                          : nullptr;
+  }
+}
+
+std::shared_ptr<const LoopRecord> LoopScope::finish(std::string verdict,
+                                                    std::string reason) {
+  if (rec_ == nullptr) return nullptr;
+  rec_->verdict = std::move(verdict);
+  rec_->reason = std::move(reason);
+  // Canonical entry order: records are built concurrently from analyses that
+  // iterate pointer-keyed maps; sorting by (kind, var, detail) makes the
+  // rendered record independent of heap layout and worker interleaving.
+  std::sort(rec_->entries.begin(), rec_->entries.end(),
+            [](const LoopEntry& a, const LoopEntry& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.var != b.var) return a.var < b.var;
+              return a.detail < b.detail;
+            });
+  std::shared_ptr<const LoopRecord> out = std::move(rec_);
+  if (tl_scope == this) tl_rec = nullptr;
+  return out;
+}
+
+bool noting() { return tl_rec != nullptr && enabled(); }
+
+void note(Kind kind, std::string var, std::string detail) {
+  if (tl_rec == nullptr || !enabled()) return;
+  Ledger::global().record(kind, tl_rec->loop, var, detail);
+  tl_rec->entries.push_back({kind, std::move(var), std::move(detail)});
+}
+
+// ---------------------------------------------------------------------------
+// LoopRecord rendering
+// ---------------------------------------------------------------------------
+
+std::string LoopRecord::text() const {
+  std::string out = "loop " + loop + ": " + verdict;
+  if (!reason.empty()) {
+    out += " (";
+    out += reason;
+    out += ")";
+  }
+  out += "\n";
+  for (const LoopEntry& e : entries) {
+    out += "  - ";
+    out += to_string(e.kind);
+    if (!e.var.empty()) {
+      out += " ";
+      out += e.var;
+    }
+    if (!e.detail.empty()) {
+      out += ": ";
+      out += e.detail;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string LoopRecord::json() const {
+  std::string out = "{\"loop\":\"";
+  append_escaped(out, loop);
+  out += "\",\"verdict\":\"";
+  append_escaped(out, verdict);
+  out += "\",\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"causes\":[";
+  bool first = true;
+  for (const LoopEntry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"kind\":\"";
+    out += to_string(e.kind);
+    out += "\",\"var\":\"";
+    append_escaped(out, e.var);
+    out += "\",\"detail\":\"";
+    append_escaped(out, e.detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace suifx::support::provenance

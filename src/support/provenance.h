@@ -1,0 +1,209 @@
+// Decision-provenance ledger: structured records of *why* the parallelizer
+// decided what it decided. SUIF Explorer's premise (§2.6, §4) is that
+// programmers parallelize loops when the system shows them what is blocking
+// parallelism; the trace/metrics substrate says how long analyses took, this
+// layer says what they concluded and on what grounds — which dependence
+// pair, alias merge, budget exhaustion, or degraded pass produced a serial
+// verdict.
+//
+// Two collection surfaces, one event vocabulary (Kind):
+//
+//  * The global Ledger: a mutex-protected fixed-capacity ring of Events, each
+//    stamped with the correlation id of the request it ran under (CorrScope —
+//    service::AnalysisService opens one per request, parallelizer::Driver
+//    forwards it into its pool tasks). Exported as schema-versioned JSON
+//    (`suifx-provenance/1`) next to the Chrome-trace export, and via
+//    SUIFX_PROVENANCE_JSON=<path> at process exit. The ledger is an
+//    observability stream: event arrival order depends on thread scheduling,
+//    so it is NOT the determinism oracle.
+//
+//  * Per-loop verdict records (LoopRecord): Parallelizer::plan_loop opens a
+//    thread-local LoopScope; the analyses it consults call note() and the
+//    entries accumulate into one canonically-sorted record that is stored in
+//    the resulting LoopPlan (shared_ptr, so it is memoized with the plan in
+//    the Driver cache, replayed on cache hits, and carried across
+//    explorer::rebuild_incremental). Records deliberately contain no
+//    timestamps, thread ids, pointers, or raw statement/variable ids — only
+//    source-level names — so the record text for a clean procedure is
+//    byte-identical between a cold rebuild and an incremental rebuild, at any
+//    worker count, cold or warm caches. parallelizer::ledger_signature()
+//    reduces a whole plan to that canonical text; the fuzz oracle and
+//    tests/provenance_test.cc diff it.
+//
+// Cost model: when disabled (set_enabled(false) or SUIFX_PROVENANCE=0) every
+// entry point is one relaxed atomic load and a branch; no allocation, no
+// lock. LoopScope then never installs itself, so note() no-ops on the
+// thread-local check alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace suifx::support::provenance {
+
+/// The decision-event vocabulary. Every kind names a fact that changed (or
+/// could have changed) a loop's verdict or the fidelity of the analysis that
+/// produced it.
+enum class Kind : uint8_t {
+  DependenceFound,       // unresolved cross-iteration dependence (src->dst)
+  AliasAssumed,          // storage merged into an alias class / blob
+  ReductionRecognized,   // commutative-update region validated
+  PrivatizationApplied,  // per-processor copy removes the conflict
+  FinalizeBlocked,       // privatizable, but no legal finalization
+  AssertionApplied,      // a user assertion overrode the analysis
+  IoFound,               // loop contains I/O: never parallel
+  Degraded,              // a pass fell to a lower-fidelity tier
+  BudgetExhausted,       // step/deadline budget tripped
+  CacheSeeded,           // a plan was carried across an incremental rebuild
+  FaultInjected,         // a fault-injection rule fired
+};
+
+const char* to_string(Kind k);
+
+/// Global recording switch. Default on; SUIFX_PROVENANCE=0 turns it off at
+/// init_from_env(). One relaxed atomic load.
+bool enabled();
+void set_enabled(bool on);
+
+/// If SUIFX_PROVENANCE=0, disable recording; if SUIFX_PROVENANCE_JSON=<path>,
+/// register an atexit hook that writes Ledger::global().json() there (the
+/// same contract trace::init_from_env has with SUIFX_TRACE). Idempotent;
+/// called by Workbench::from_source.
+void init_from_env();
+
+// ---------------------------------------------------------------------------
+// Correlation ids
+// ---------------------------------------------------------------------------
+
+/// A fresh nonzero correlation id (process-wide counter). The service
+/// allocates one per request.
+uint64_t next_corr();
+/// The correlation id installed on this thread (0 = none).
+uint64_t current_corr();
+
+/// RAII: installs a correlation id on this thread; nests and restores the
+/// previous id. Driver::plan captures current_corr() and opens a CorrScope
+/// inside each pool task so pass-level events stay attributed to the request
+/// that triggered them (trace spans stamp the same id).
+class CorrScope {
+ public:
+  explicit CorrScope(uint64_t corr);
+  ~CorrScope();
+  CorrScope(const CorrScope&) = delete;
+  CorrScope& operator=(const CorrScope&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+// ---------------------------------------------------------------------------
+// The global event ledger
+// ---------------------------------------------------------------------------
+
+struct Event {
+  Kind kind = Kind::Degraded;
+  uint64_t corr = 0;   // CorrScope id active when recorded (0 = none)
+  uint64_t seq = 0;    // global arrival order (monotone per process)
+  std::string loop;    // "proc/label" when loop-scoped, else ""
+  std::string var;     // subject variable, qualified name ("" when n/a)
+  std::string detail;  // kind-specific, human-readable
+};
+
+class Ledger {
+ public:
+  static constexpr size_t kCapacity = 1 << 16;  // events kept (ring)
+  static constexpr const char* kSchema = "suifx-provenance/1";
+
+  /// Append one event (stamps corr from the current thread and a global
+  /// sequence number). No-op when recording is disabled.
+  void record(Kind kind, std::string loop, std::string var, std::string detail);
+
+  /// Events currently held, oldest first.
+  std::vector<Event> snapshot() const;
+  /// Total events ever recorded / overwritten by ring wrap.
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+  void clear();
+
+  /// Schema-versioned JSON: {"schema":"suifx-provenance/1","dropped":N,
+  /// "events":[{"seq":..,"corr":..,"kind":..,"loop":..,"var":..,
+  /// "detail":..},...]}.
+  std::string json() const;
+  bool write_json(const std::string& path) const;
+
+  static Ledger& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+/// Record into the global ledger, gated on enabled(). `loop` may be empty
+/// (build-level events: pass degradations, fault injections).
+void event(Kind kind, std::string loop, std::string var, std::string detail);
+
+// ---------------------------------------------------------------------------
+// Per-loop verdict records
+// ---------------------------------------------------------------------------
+
+struct LoopEntry {
+  Kind kind = Kind::DependenceFound;
+  std::string var;     // qualified name ("" when n/a)
+  std::string detail;  // canonical: no ids, pointers, or timestamps
+};
+
+/// The causal record behind one loop's verdict. Stored in LoopPlan::why;
+/// entries are sorted canonically by finish(), so text() is byte-identical
+/// across worker counts, cache states, and incremental rebuilds.
+struct LoopRecord {
+  std::string loop;     // "proc/label"
+  std::string verdict;  // "parallel" | "serial" | "degraded"
+  std::string reason;   // LoopPlan::reason ("" when parallel)
+  std::vector<LoopEntry> entries;
+
+  /// Canonical multi-line rendering (the ledger_signature unit).
+  std::string text() const;
+  /// One JSON object (same escaping rules as the Ledger export).
+  std::string json() const;
+};
+
+/// RAII recorder installed by Parallelizer::plan_loop: while open, note()
+/// calls on this thread append to this record (innermost scope wins; nesting
+/// is supported but plan_loop does not nest in practice). When recording is
+/// disabled the scope never installs itself and finish() returns null.
+class LoopScope {
+ public:
+  explicit LoopScope(std::string loop_name);
+  ~LoopScope();
+  LoopScope(const LoopScope&) = delete;
+  LoopScope& operator=(const LoopScope&) = delete;
+
+  /// True when notes will land in this scope's record.
+  bool active() const { return rec_ != nullptr; }
+
+  /// Seal the record: set verdict/reason, canonically sort the entries, and
+  /// return it (null when inactive). Idempotent via move: call once.
+  std::shared_ptr<const LoopRecord> finish(std::string verdict,
+                                           std::string reason);
+
+ private:
+  LoopScope* prev_ = nullptr;
+  std::shared_ptr<LoopRecord> rec_;
+};
+
+/// True when a note() would record (enabled + a LoopScope open on this
+/// thread). Callers building expensive detail strings gate on this.
+bool noting();
+
+/// Append an entry to the innermost open LoopScope on this thread AND mirror
+/// it to the global ledger (stamped with the scope's loop name). No-op
+/// without an open scope.
+void note(Kind kind, std::string var, std::string detail);
+
+}  // namespace suifx::support::provenance

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "support/provenance.h"
+
 namespace suifx::support::trace {
 
 namespace detail {
@@ -107,6 +109,7 @@ int64_t now_ns() {
 void TraceSpan::begin(const char* name) {
   live_ = true;
   name_ = name;
+  corr_ = provenance::current_corr();
   t0_ = steady_ns() - g_base_ns.load(std::memory_order_relaxed);
 }
 
@@ -127,6 +130,7 @@ void TraceSpan::end() {
   e.t0_ns = t0_;
   e.dur_ns = now - t0_;
   e.tid = b.tid;
+  e.corr = corr_;
   b.next = (b.next + 1) % kRingCapacity;
   ++b.written;
 }
@@ -190,10 +194,20 @@ std::string json() {
                   static_cast<double>(e.t0_ns) / 1000.0,
                   static_cast<double>(e.dur_ns) / 1000.0);
     out += buf;
-    if (!e.detail.empty()) {
-      out += ",\"args\":{\"detail\":\"";
-      append_escaped(out, e.detail);
-      out += "\"}";
+    if (!e.detail.empty() || e.corr != 0) {
+      out += ",\"args\":{";
+      if (!e.detail.empty()) {
+        out += "\"detail\":\"";
+        append_escaped(out, e.detail);
+        out += "\"";
+      }
+      if (e.corr != 0) {
+        if (!e.detail.empty()) out += ",";
+        std::snprintf(buf, sizeof buf, "\"corr\":%llu",
+                      static_cast<unsigned long long>(e.corr));
+        out += buf;
+      }
+      out += "}";
     }
     out += "}";
   }

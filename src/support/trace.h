@@ -45,6 +45,10 @@ struct TraceEvent {
   int64_t t0_ns = 0;   // start, ns since trace::start()
   int64_t dur_ns = 0;
   int tid = 0;         // stable per-thread id (registration order)
+  /// Request correlation id (provenance::current_corr() at span start; 0 =
+  /// no request context). Exported as args.corr, so a Chrome trace of a
+  /// multi-request daemon can be filtered down to one request's spans.
+  uint64_t corr = 0;
 };
 
 namespace detail {
@@ -121,6 +125,7 @@ class TraceSpan {
   const char* name_ = nullptr;
   std::string detail_;
   int64_t t0_ = 0;
+  uint64_t corr_ = 0;
 };
 
 }  // namespace suifx::support::trace

@@ -6,6 +6,7 @@
 #include "dynamic/dyndep.h"
 #include "dynamic/validate.h"
 #include "explorer/workbench.h"
+#include "parallelizer/driver.h"
 #include "simulator/smp.h"
 
 namespace suifx::testing {
@@ -84,6 +85,18 @@ OracleResult check_source(const std::string& src, const OracleOptions& opts) {
       out.violation = Property::Determinism;
       out.detail = "driver plan differs from serial plan\n--- driver:\n" +
                    sig_par + "--- serial:\n" + sig_ser;
+      return out;
+    }
+    // The decision-provenance ledger is held to the same standard: the
+    // causal record behind each verdict must not depend on worker count or
+    // scheduling (docs/provenance.md).
+    std::string led_par = parallelizer::ledger_signature(plan);
+    std::string led_ser = parallelizer::ledger_signature(serial);
+    if (led_par != led_ser) {
+      out.violation = Property::Determinism;
+      out.detail =
+          "driver provenance ledger differs from serial ledger\n--- driver:\n" +
+          led_par + "--- serial:\n" + led_ser;
       return out;
     }
   }
