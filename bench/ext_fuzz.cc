@@ -3,9 +3,11 @@
 // patterns (privatizable temporaries, +/*/min/max reductions, index arrays,
 // reshaped COMMON overlays, call-by-reference sections) and runs each one
 // through the differential oracle: soundness (reverse-order execution),
-// consistency (static independence vs the Dynamic Dependence Analyzer), and
-// determinism (parallel driver vs serial planner). Violations are shrunk by
-// the greedy reducer and written as replayable .sf repros.
+// consistency (static independence vs the Dynamic Dependence Analyzer),
+// determinism (parallel driver vs serial planner), and speculation (the
+// speculative executive's output must equal the serial run's on both the
+// commit and forced-rollback legs). Violations are shrunk by the greedy
+// reducer and written as replayable .sf repros.
 //
 //   ext_fuzz --programs 500 --seed 1            # the CI sweep
 //   ext_fuzz --inject --programs 40 --seed 7    # canary: bug must be caught
@@ -105,7 +107,8 @@ int main(int argc, char** argv) {
     oo.rel_tolerance = args.tolerance;
     oo.inject_dependence_bug = args.inject;
     testing::OracleResult r = testing::check_source(gp.source, oo);
-    std::printf("loops %d, parallel %d%s\n", r.loops, r.parallel,
+    std::printf("loops %d, parallel %d, speculative %d%s\n", r.loops,
+                r.parallel, r.speculative,
                 r.injected ? (", injected bug into " + r.injected_loop).c_str()
                            : "");
     std::printf("verdict: %s\n", testing::to_string(r.violation));
@@ -127,6 +130,8 @@ int main(int argc, char** argv) {
   std::map<std::string, int> pattern_counts;
   int injected_runs = 0;   // programs where a bug was actually injected
   int injected_caught = 0; // ... and the oracle flagged a violation
+  int speculative_loops = 0;  // loops the Speculation check promoted
+  int speculative_programs = 0;
   int reductions_left = args.max_reductions;
 
   auto t0 = std::chrono::steady_clock::now();
@@ -136,6 +141,8 @@ int main(int argc, char** argv) {
     for (const std::string& p : gp.patterns) ++pattern_counts[p];
     testing::OracleResult r = testing::check_source(gp.source, oo);
     ++tally[r.violation];
+    speculative_loops += r.speculative;
+    if (r.speculative > 0) ++speculative_programs;
     if (r.injected) {
       ++injected_runs;
       if (!r.ok()) ++injected_caught;
@@ -189,12 +196,16 @@ int main(int argc, char** argv) {
   std::printf("pattern mix:");
   for (const auto& [name, n] : pattern_counts) std::printf(" %s=%d", name.c_str(), n);
   std::printf("\nresults: clean=%d pipeline-error=%d soundness=%d "
-              "consistency=%d determinism=%d\n",
+              "consistency=%d determinism=%d speculation=%d\n",
               tally[testing::Property::None],
               tally[testing::Property::PipelineError],
               tally[testing::Property::Soundness],
               tally[testing::Property::Consistency],
-              tally[testing::Property::Determinism]);
+              tally[testing::Property::Determinism],
+              tally[testing::Property::Speculation]);
+  std::printf("speculation: %d loop(s) promoted across %d program(s), "
+              "commit and forced-rollback legs both checked against serial\n",
+              speculative_loops, speculative_programs);
 
   if (args.inject) {
     std::printf("injected %d bugs, caught %d\n", injected_runs, injected_caught);

@@ -1,0 +1,275 @@
+// Extension: the speculative parallelization executive end to end
+// (docs/speculation.md). Two sweeps:
+//
+//  1. Benchsuite: every suite program is planned, statically-rejected loops
+//     are promoted on the evidence of one instrumented run, and the program
+//     executes under the executive — the output must be byte-identical to
+//     the serial run on both the commit leg and a forced-rollback leg.
+//  2. Progen: a seeded sweep of generated programs (the permutation-scatter
+//     pattern guarantees a steady supply of statically-rejected,
+//     dynamically-clean loops), same two-leg check per program.
+//
+// Exits nonzero if any output diverges from serial, if a forced-rollback leg
+// still commits, or — when fault injection is disarmed — if fewer than
+// --min-committed loops across both sweeps actually executed speculatively
+// and committed (the acceptance floor: speculation must demonstrably engage,
+// not just exist). Optionally writes a JSON summary for the CI perf gate.
+//
+// Usage: ext_speculation [--progen N] [--seed S] [--min-committed K]
+//                        [--workers W] [--json PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dynamic/dyndep.h"
+#include "dynamic/interp.h"
+#include "dynamic/profile.h"
+#include "dynamic/specexec.h"
+#include "explorer/workbench.h"
+#include "parallelizer/speculate.h"
+#include "support/fault.h"
+#include "testing/progen.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Tally {
+  int programs = 0;
+  int promoted_loops = 0;    // loops the planner promoted
+  int committed_loops = 0;   // ... that executed and committed at least once
+  uint64_t attempts = 0;
+  uint64_t commits = 0;
+  uint64_t misspeculations = 0;
+  int mismatches = 0;        // output divergences (commit or rollback leg)
+  double serial_ms = 0;      // plain serial runs
+  double commit_ms = 0;      // executive, commit leg
+  double rollback_ms = 0;    // executive, forced-rollback leg
+};
+
+struct ProgramOutcome {
+  int promoted = 0;
+  int committed = 0;
+  bool ok = true;
+  std::string detail;
+};
+
+/// Plan, promote on one instrumented run's evidence, then run the executive
+/// twice (commit leg, forced-rollback leg) and hold both to byte-identical
+/// serial output.
+ProgramOutcome run_program(const std::string& name, const std::string& source,
+                           int workers, Tally& t) {
+  ProgramOutcome out;
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(source, diag);
+  if (wb == nullptr) {
+    out.ok = false;
+    out.detail = name + ": front end rejected the program";
+    return out;
+  }
+  ++t.programs;
+  parallelizer::ParallelPlan plan = wb->plan();
+
+  std::vector<double> serial;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    dynamic::Interpreter interp(wb->program());
+    dynamic::RunResult rr = interp.run();
+    t.serial_ms += ms_since(t0);
+    if (!rr.ok) {
+      out.ok = false;
+      out.detail = name + ": serial run failed: " + rr.error;
+      return out;
+    }
+    serial = rr.printed;
+  }
+
+  dynamic::DynDepAnalyzer dyn;
+  dynamic::LoopProfiler prof;
+  {
+    dynamic::Interpreter interp(wb->program());
+    interp.add_hook(&dyn);
+    interp.add_hook(&prof);
+    dynamic::RunResult rr = interp.run();
+    if (!rr.ok) {
+      out.ok = false;
+      out.detail = name + ": evidence run failed: " + rr.error;
+      return out;
+    }
+  }
+  parallelizer::SpeculationPlanner planner;
+  auto decisions = planner.promote(
+      plan, dynamic::gather_evidence(
+                parallelizer::SpeculationPlanner::candidates(plan), dyn, prof));
+  for (const auto& d : decisions) {
+    if (d.promoted) ++out.promoted;
+  }
+  t.promoted_loops += out.promoted;
+  if (out.promoted == 0) return out;
+
+  dynamic::SpecExecOptions opts;
+  opts.workers = workers;
+  for (int leg = 0; leg < 2; ++leg) {
+    opts.force_misspeculation = leg == 1;
+    auto t0 = std::chrono::steady_clock::now();
+    dynamic::SpecRunResult sr =
+        dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, opts);
+    (leg == 0 ? t.commit_ms : t.rollback_ms) += ms_since(t0);
+    t.attempts += sr.attempts();
+    t.commits += sr.commits();
+    t.misspeculations += sr.misspeculations();
+    const char* leg_name = leg == 0 ? "commit" : "rollback";
+    if (!sr.run.ok) {
+      out.ok = false;
+      out.detail = name + ": " + leg_name + " leg failed: " + sr.run.error;
+      ++t.mismatches;
+      return out;
+    }
+    if (sr.run.printed != serial) {
+      out.ok = false;
+      out.detail = name + ": " + leg_name + " leg output diverges from serial";
+      ++t.mismatches;
+      return out;
+    }
+    if (leg == 1 && sr.commits() != 0) {
+      out.ok = false;
+      out.detail = name + ": forced-rollback leg still committed";
+      ++t.mismatches;
+      return out;
+    }
+    if (leg == 0) {
+      for (const auto& [loop, o] : sr.loops) {
+        if (o.commits > 0) {
+          ++out.committed;
+          ++t.committed_loops;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int progen_programs = 120;
+  uint64_t seed = 1;
+  int min_committed = 5;
+  int workers = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progen") == 0 && i + 1 < argc) {
+      progen_programs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-committed") == 0 && i + 1 < argc) {
+      min_committed = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_speculation [--progen N] [--seed S] "
+                   "[--min-committed K] [--workers W] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  std::printf("Extension: speculative parallelization executive\n");
+  std::printf("validation workers %d; every leg compared byte-for-byte "
+              "against the serial run\n\n", workers);
+
+  Tally tally;
+  bool all_ok = true;
+
+  std::printf("benchsuite:\n");
+  std::printf("%s%s%s%s\n", cell("program", 14).c_str(),
+              cell("promoted", 10).c_str(), cell("committed", 11).c_str(),
+              cell("output", 8).c_str());
+  rule(43);
+  for (const benchsuite::BenchProgram* bp : benchsuite::full_suite()) {
+    ProgramOutcome o = run_program(bp->name, bp->source, workers, tally);
+    std::printf("%s%s%s%s\n", cell(bp->name, 14).c_str(),
+                cell(static_cast<long>(o.promoted), 10).c_str(),
+                cell(static_cast<long>(o.committed), 11).c_str(),
+                cell(o.ok ? "ok" : "DIVERGED", 8).c_str());
+    if (!o.ok) {
+      all_ok = false;
+      std::printf("  %s\n", o.detail.c_str());
+    }
+  }
+
+  std::printf("\nprogen sweep: %d programs, base seed %llu\n", progen_programs,
+              static_cast<unsigned long long>(seed));
+  for (int g = 0; g < progen_programs; ++g) {
+    testing::GeneratedProgram gp =
+        testing::generate_program(seed + static_cast<uint64_t>(g));
+    ProgramOutcome o = run_program(gp.name, gp.source, workers, tally);
+    if (!o.ok) {
+      all_ok = false;
+      std::printf("  seed %llu: %s\n",
+                  static_cast<unsigned long long>(gp.seed), o.detail.c_str());
+    }
+  }
+
+  double misspec_rate =
+      tally.attempts == 0
+          ? 0.0
+          : static_cast<double>(tally.misspeculations) /
+                static_cast<double>(tally.attempts);
+  std::printf("\n%d programs: %d loops promoted, %d committed\n",
+              tally.programs, tally.promoted_loops, tally.committed_loops);
+  std::printf("executive: %llu attempts, %llu commits, %llu misspeculations "
+              "(rate %.2f, forced leg included)\n",
+              static_cast<unsigned long long>(tally.attempts),
+              static_cast<unsigned long long>(tally.commits),
+              static_cast<unsigned long long>(tally.misspeculations),
+              misspec_rate);
+  std::printf("wall: serial %.1f ms, commit leg %.1f ms, rollback leg %.1f ms\n",
+              tally.serial_ms, tally.commit_ms, tally.rollback_ms);
+
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"programs\": " << tally.programs << ",\n"
+       << "  \"promoted_loops\": " << tally.promoted_loops << ",\n"
+       << "  \"committed_loops\": " << tally.committed_loops << ",\n"
+       << "  \"attempts\": " << tally.attempts << ",\n"
+       << "  \"commits\": " << tally.commits << ",\n"
+       << "  \"misspeculations\": " << tally.misspeculations << ",\n"
+       << "  \"mismatches\": " << tally.mismatches << ",\n"
+       << "  \"serial_ms\": " << tally.serial_ms << ",\n"
+       << "  \"commit_ms\": " << tally.commit_ms << ",\n"
+       << "  \"rollback_ms\": " << tally.rollback_ms << "\n"
+       << "}\n";
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+
+  if (!all_ok) {
+    std::printf("FAIL: speculative execution diverged from serial\n");
+    return 1;
+  }
+  // The engagement floor only applies to clean runs: under an armed fault
+  // spec (the CI fault matrix) attempts legitimately collapse to rollbacks.
+  if (!support::fault::Registry::global().armed() &&
+      tally.committed_loops < min_committed) {
+    std::printf("FAIL: only %d committed speculative loops (< %d): "
+                "speculation never engaged\n",
+                tally.committed_loops, min_committed);
+    return 1;
+  }
+  std::printf("OK: all outputs byte-identical to serial\n");
+  return 0;
+}

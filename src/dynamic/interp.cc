@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/fault.h"
+
 namespace suifx::dynamic {
 
 namespace {
@@ -140,11 +142,26 @@ Addr Interpreter::scalar_addr(const ir::Variable* v, Frame& f) {
   }
 }
 
-double Interpreter::load(const Addr& a) const {
-  return storages_[static_cast<size_t>(a.storage)].data[static_cast<size_t>(a.offset)];
+double Interpreter::load(const Addr& a) {
+  double base =
+      storages_[static_cast<size_t>(a.storage)].data[static_cast<size_t>(a.offset)];
+  if (spec_ != nullptr && spec_->cur_iter >= 0 &&
+      static_cast<size_t>(a.storage) < spec_->base_storages) {
+    uint64_t key = spec_key(a);
+    spec_->key_var.emplace(key, a.var);
+    return spec_->vm.load(spec_->cur_iter, key, base);
+  }
+  return base;
 }
 
 void Interpreter::store(const Addr& a, double v) {
+  if (spec_ != nullptr && spec_->cur_iter >= 0 &&
+      static_cast<size_t>(a.storage) < spec_->base_storages) {
+    uint64_t key = spec_key(a);
+    spec_->key_var.emplace(key, a.var);
+    spec_->vm.store(spec_->cur_iter, key, v);
+    return;
+  }
   storages_[static_cast<size_t>(a.storage)].data[static_cast<size_t>(a.offset)] = v;
 }
 
@@ -322,6 +339,15 @@ void Interpreter::exec_stmt(const ir::Stmt* s, Frame& f) {
       long trip = step > 0 ? (ub - lb + step) / step : (lb - ub - step) / (-step);
       trip = std::max<long>(0, trip);
       bool reversed = reversed_.count(s) != 0;
+      if (spec_ == nullptr && spec_ctl_ != nullptr && !reversed && trip > 1 &&
+          spec_ctl_->should_speculate(s)) {
+        if (exec_do_speculative(s, f, islot, iaddr, lb, step, trip)) {
+          for (ExecHooks* h : hooks_) h->on_loop_exit(s);
+          return;
+        }
+        // Refused or rolled back: fall through to the plain serial loop
+        // against the untouched pre-loop state.
+      }
       for (long k = 0; k < trip; ++k) {
         long iv = reversed ? lb + (trip - 1 - k) * step : lb + k * step;
         for (ExecHooks* h : hooks_) h->on_loop_iter(s, iv);
@@ -353,6 +379,169 @@ void Interpreter::exec_stmt(const ir::Stmt* s, Frame& f) {
 
 void Interpreter::exec_body(const std::vector<ir::Stmt*>& body, Frame& f) {
   for (const ir::Stmt* s : body) exec_stmt(s, f);
+}
+
+// ---------------------------------------------------------------------------
+// Speculative executive (docs/speculation.md)
+// ---------------------------------------------------------------------------
+
+std::string Interpreter::spec_ineligible(const ir::Stmt* s) {
+  std::string why;
+  ir::for_each_nested(s, [&](const ir::Stmt* n) {
+    if (!why.empty()) return;
+    // The loop's own induction variable is exempt: the executive writes it
+    // itself in serial iteration order, so its final value matches a serial
+    // run with or without a commit.
+    auto formal_scalar = [&](const ir::Variable* v) {
+      return v != nullptr && v != s->ivar && v->kind == ir::VarKind::Formal &&
+             v->is_scalar();
+    };
+    if (n->kind == ir::StmtKind::Assign && n->lhs->is_var_ref() &&
+        formal_scalar(n->lhs->var)) {
+      why = "writes formal scalar '" + n->lhs->var->name + "'";
+    } else if (n->kind == ir::StmtKind::Do && formal_scalar(n->ivar)) {
+      why = "inner loop index '" + n->ivar->name + "' is a formal scalar";
+    } else if (n->kind == ir::StmtKind::Call) {
+      for (size_t i = 0; i < n->args.size(); ++i) {
+        const ir::Expr* a = n->args[i];
+        if (a->is_var_ref() && formal_scalar(a->var) &&
+            formal_modified(n->callee, i)) {
+          why = "call may write formal scalar '" + a->var->name + "'";
+          break;
+        }
+      }
+    }
+  });
+  if (why.empty()) return why;
+  return why +
+         "; formal scalars are frame-private and bypass the speculative "
+         "shadow";
+}
+
+bool Interpreter::exec_do_speculative(const ir::Stmt* s, Frame& f, double* islot,
+                                      const Addr& iaddr, long lb, long step,
+                                      long trip) {
+  namespace fault = support::fault;
+  SpecController::Attempt at;
+  at.loop = s;
+  at.trip = trip;
+  at.ineligible = spec_ineligible(s);
+  if (!at.ineligible.empty()) {
+    spec_ctl_->on_attempt(at);
+    return false;
+  }
+  at.attempted = true;
+
+  // Rollback snapshot: the shadow absorbs every write to pre-existing
+  // storage, so only the interpreter's own bookkeeping needs saving.
+  const uint64_t fuel0 = fuel_;
+  const uint64_t cost0 = result_.total_cost;
+  const size_t printed0 = result_.printed.size();
+
+  spec_ = std::make_unique<SpecState>();
+  spec_->base_storages = storages_.size();
+  spec_->vm.reset(trip);
+
+  bool exec_ok = true;
+  try {
+    for (long k = 0; k < trip; ++k) {
+      long iv = lb + k * step;
+      for (ExecHooks* h : hooks_) h->on_loop_iter(s, iv);
+      spec_->cur_iter = k;
+      if (islot != nullptr) {
+        *islot = static_cast<double>(iv);
+      } else {
+        for (ExecHooks* h : hooks_) h->on_write(s, iaddr);
+        store(iaddr, static_cast<double>(iv));
+      }
+      exec_body(s->body, f);
+      spec_->cur_iter = -1;
+    }
+  } catch (const AbortExec&) {
+    // Any in-flight failure (bounds, budget) is treated as a misspeculation:
+    // roll back and let the serial re-execution reproduce the identical
+    // failure against identical state.
+    exec_ok = false;
+  }
+  spec_->cur_iter = -1;
+  at.writes = spec_->vm.writes();
+  at.exposed_reads = spec_->vm.exposed_reads();
+
+  // Injection point: a simulated conflict — validation is treated as failed
+  // without consulting the shadow.
+  bool conflict_injected = false;
+  if (exec_ok) {
+    try {
+      SUIFX_FAULT_POINT("speculate.conflict");
+    } catch (const fault::InjectedFault&) {
+      conflict_injected = true;
+    }
+  }
+
+  runtime::spec::ValidateResult vr;
+  if (exec_ok && !conflict_injected) vr = spec_->vm.validate(spec_workers_);
+  const bool forced = spec_ctl_->force_misspeculate(s);
+  at.forced = exec_ok && vr.ok && (forced || conflict_injected);
+  at.conflicts = vr.conflicts;
+  if (!vr.first.empty()) {
+    auto it = spec_->key_var.find(vr.first.front().key);
+    if (it != spec_->key_var.end() && it->second != nullptr) {
+      at.conflict_var = it->second->qualified_name();
+    }
+  }
+
+  if (exec_ok && !conflict_injected && vr.ok && !forced) {
+    // Commit: merged last-writer-wins state, ascending key order. The undo
+    // log makes a fault injected mid-commit leave memory untouched.
+    std::vector<std::pair<uint64_t, double>> plan = spec_->vm.commit_plan();
+    std::vector<std::pair<uint64_t, double>> undo;
+    undo.reserve(plan.size());
+    bool commit_ok = true;
+    for (const auto& [key, val] : plan) {
+      try {
+        SUIFX_FAULT_POINT("speculate.commit");
+      } catch (const fault::InjectedFault&) {
+        commit_ok = false;
+        break;
+      }
+      size_t sid = static_cast<size_t>(key >> 40);
+      size_t off = static_cast<size_t>(key & ((1ULL << 40) - 1));
+      undo.push_back({key, storages_[sid].data[off]});
+      storages_[sid].data[off] = val;
+    }
+    if (commit_ok) {
+      at.committed = true;
+      at.commit_writes = static_cast<uint64_t>(plan.size());
+      spec_.reset();
+      spec_ctl_->on_attempt(at);
+      return true;
+    }
+    for (size_t i = undo.size(); i > 0; --i) {
+      const auto& [key, old] = undo[i - 1];
+      storages_[static_cast<size_t>(key >> 40)]
+          .data[static_cast<size_t>(key & ((1ULL << 40) - 1))] = old;
+    }
+    at.forced = true;  // injected commit fault, not an observed conflict
+  }
+
+  // Roll back. Memory is already pristine (shadow writes never landed, the
+  // partial commit was undone above); restore the bookkeeping the attempt
+  // advanced so the serial re-execution is byte-identical to a run that
+  // never speculated.
+  fuel_ = fuel0;
+  result_.total_cost = cost0;
+  result_.printed.resize(printed0);
+  result_.error.clear();
+  aborted_ = false;
+  spec_.reset();
+  try {
+    SUIFX_FAULT_POINT("speculate.rollback");
+  } catch (const fault::InjectedFault&) {
+    // Rollback is infallible by design: the fault is absorbed (the registry
+    // still counts it as fired) — there is nothing left to unwind.
+  }
+  spec_ctl_->on_attempt(at);
+  return false;
 }
 
 void Interpreter::bind_local_arrays(Frame& f) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "runtime/specmem.h"
 
 namespace suifx::dynamic {
 
@@ -52,6 +53,52 @@ class ExecHooks {
   virtual void on_cost(const ir::Stmt* s, uint64_t units) { (void)s, (void)units; }
 };
 
+/// Controls the speculative executive (docs/speculation.md). When installed
+/// with set_spec_controller(), each Do loop the controller approves runs its
+/// iterations against versioned shadow memory (runtime::spec::VersionedMemory)
+/// in serial iteration order, validates at the bottom, and either commits the
+/// merged last-writer-wins state or rolls everything back — in which case the
+/// interpreter re-executes the loop serially, byte-identical to a run that
+/// never speculated. Speculation does not nest: loops inside an active
+/// speculative region execute normally within it.
+class SpecController {
+ public:
+  virtual ~SpecController() = default;
+
+  /// Everything that happened in one speculative attempt (or refusal).
+  struct Attempt {
+    const ir::Stmt* loop = nullptr;
+    long trip = 0;
+    /// False when the executive refused before doing speculative work;
+    /// `ineligible` then says why.
+    bool attempted = false;
+    bool committed = false;
+    /// Misspeculation was forced (controller or injected fault), not
+    /// observed by validation.
+    bool forced = false;
+    std::string ineligible;
+    uint64_t conflicts = 0;
+    std::string conflict_var;  // first conflicting variable, qualified
+    uint64_t writes = 0;        // speculative shadow writes
+    uint64_t exposed_reads = 0; // pre-loop values read under speculation
+    uint64_t commit_writes = 0; // distinct locations written back on commit
+  };
+
+  /// Should this loop run under the executive? Called once per dynamic
+  /// loop entry (outside any active speculative region).
+  virtual bool should_speculate(const ir::Stmt* loop) {
+    (void)loop;
+    return false;
+  }
+  /// Force a rollback even when validation passes (fault drills, tests).
+  virtual bool force_misspeculate(const ir::Stmt* loop) {
+    (void)loop;
+    return false;
+  }
+  /// Outcome report, once per should_speculate()=true loop entry.
+  virtual void on_attempt(const Attempt& a) { (void)a; }
+};
+
 /// Inputs for `input`-flagged variables and SymParam overrides. Variables
 /// without explicit data get a deterministic seeded fill.
 struct Inputs {
@@ -80,6 +127,13 @@ class Interpreter {
   void set_reversed_loops(std::set<const ir::Stmt*> loops) {
     reversed_ = std::move(loops);
   }
+
+  /// Install the speculative executive's controller (null = off). The
+  /// controller must outlive run().
+  void set_spec_controller(SpecController* c) { spec_ctl_ = c; }
+  /// Worker threads commit-time validation shards over (results are
+  /// byte-identical at any count; >1 exercises the concurrent scan).
+  void set_spec_workers(int n) { spec_workers_ = n < 1 ? 1 : n; }
 
   /// Execute main() to completion (or until `max_cost` units).
   RunResult run(uint64_t max_cost = 2'000'000'000ULL);
@@ -117,8 +171,17 @@ class Interpreter {
   void exec_call(const ir::Stmt* s, Frame& f);
   void bind_local_arrays(Frame& f);
   ArrayBinding make_binding(const ir::Variable* v, Frame& f, int storage, long base);
-  double load(const Addr& a) const;
+  double load(const Addr& a);
   void store(const Addr& a, double v);
+  /// Run one approved loop speculatively. True = committed (caller skips the
+  /// plain loop); false = refused or rolled back (caller runs the loop
+  /// serially against untouched state).
+  bool exec_do_speculative(const ir::Stmt* s, Frame& f, double* islot,
+                           const Addr& iaddr, long lb, long step, long trip);
+  /// Why the executive must refuse this loop ("" = eligible): a lexically
+  /// nested write to an enclosing frame's formal scalar would bypass the
+  /// shadow (formals are frame-private, invisible to load()/store()).
+  std::string spec_ineligible(const ir::Stmt* s);
   double* scalar_slot(const ir::Variable* v, Frame& f);
   /// Address of a storage-backed scalar (local/global/common); fails for
   /// formals (which are frame-private).
@@ -143,6 +206,25 @@ class Interpreter {
   std::map<const ir::Procedure*, std::vector<bool>> formal_mod_;
   uint64_t fuel_ = 0;
   bool aborted_ = false;
+
+  /// Active speculative region (null = none). Shadow keys pack
+  /// (storage,offset) into 64 bits; only storages that existed at loop entry
+  /// (< base_storages) are shadowed — storages created inside the region are
+  /// callee-frame locals that die within their iteration.
+  struct SpecState {
+    runtime::spec::VersionedMemory vm;
+    size_t base_storages = 0;
+    long cur_iter = -1;  // -1 between iterations (setup/teardown accesses)
+    /// First variable seen touching each key (conflict reporting).
+    std::map<uint64_t, const ir::Variable*> key_var;
+  };
+  static uint64_t spec_key(const Addr& a) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a.storage)) << 40) |
+           (static_cast<uint64_t>(a.offset) & ((1ULL << 40) - 1));
+  }
+  SpecController* spec_ctl_ = nullptr;
+  int spec_workers_ = 1;
+  std::unique_ptr<SpecState> spec_;
 };
 
 }  // namespace suifx::dynamic

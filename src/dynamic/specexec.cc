@@ -1,0 +1,177 @@
+#include "dynamic/specexec.h"
+
+#include <cstdio>
+
+#include "support/metrics.h"
+#include "support/provenance.h"
+
+namespace suifx::dynamic {
+
+namespace prov = support::provenance;
+
+namespace {
+
+std::string fmt_rate(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", r);
+  return buf;
+}
+
+/// Interpreter-side controller backed by a ParallelPlan: speculate exactly
+/// the Speculative loops the breaker still allows, and account every outcome
+/// into Metrics, the global ledger, and the run's per-loop report.
+class PlanSpecController : public SpecController {
+ public:
+  PlanSpecController(const parallelizer::ParallelPlan& plan,
+                     const SpecExecOptions& opts, SpecRunResult& out)
+      : plan_(plan), opts_(opts), out_(out) {}
+
+  bool should_speculate(const ir::Stmt* loop) override {
+    const parallelizer::LoopPlan* lp = plan_.find(loop);
+    if (lp == nullptr || lp->strategy != parallelizer::Strategy::Speculative) {
+      return false;
+    }
+    if (opts_.breaker != nullptr && !opts_.breaker->allow(loop->loop_name())) {
+      support::Metrics::global().count("spec.breaker_skip");
+      return false;
+    }
+    return true;
+  }
+
+  bool force_misspeculate(const ir::Stmt* loop) override {
+    (void)loop;
+    return opts_.force_misspeculation;
+  }
+
+  void on_attempt(const Attempt& a) override {
+    support::Metrics& m = support::Metrics::global();
+    const std::string name = a.loop->loop_name();
+    SpecLoopOutcome& o = out_.loops[name];
+    o.loop_name = name;
+
+    if (!a.attempted) {
+      ++o.refusals;
+      o.last_detail = a.ineligible;
+      m.count("spec.refused");
+      return;
+    }
+    ++o.attempts;
+    o.shadow_writes += a.writes;
+    m.count("spec.attempt");
+
+    if (a.committed) {
+      ++o.commits;
+      o.commit_writes += a.commit_writes;
+      o.validated_iterations += static_cast<uint64_t>(a.trip);
+      o.last_detail.clear();
+      m.count("spec.commit");
+    } else {
+      ++o.misspeculations;
+      o.last_detail = a.conflict_var;
+      m.count("spec.misspeculation");
+      m.count("spec.rollback");
+      std::string detail;
+      if (a.forced) {
+        detail = "forced misspeculation (drill or injected fault)";
+      } else if (!a.conflict_var.empty()) {
+        detail = std::to_string(a.conflicts) +
+                 " cross-iteration conflict(s); first on " + a.conflict_var;
+        // Did the planner's watch set anticipate the conflicting variable?
+        const parallelizer::LoopPlan* lp = plan_.find(a.loop);
+        bool hit = false;
+        if (lp != nullptr) {
+          for (const ir::Variable* v : lp->watch) {
+            hit |= v->qualified_name() == a.conflict_var;
+          }
+        }
+        m.count(hit ? "spec.watch_hit" : "spec.watch_miss");
+      } else {
+        detail = "execution failed under speculation; re-running serially";
+      }
+      prov::event(prov::Kind::Misspeculation, name, a.conflict_var, detail);
+      prov::event(prov::Kind::Rollback, name, "",
+                  "speculative state discarded after " +
+                      std::to_string(a.trip) +
+                      " iteration(s); serial re-execution");
+    }
+
+    if (opts_.breaker != nullptr &&
+        opts_.breaker->record(name, !a.committed)) {
+      o.demoted = true;
+      m.count("spec.demoted");
+      runtime::spec::SpecBreaker::Stats st = opts_.breaker->stats(name);
+      prov::event(prov::Kind::Degraded, name, "",
+                  "speculation demoted to serial: misspeculation rate " +
+                      fmt_rate(st.attempts == 0
+                                   ? 0.0
+                                   : static_cast<double>(st.misspecs) /
+                                         static_cast<double>(st.attempts)) +
+                      " over " + std::to_string(st.attempts) + " attempts");
+    }
+  }
+
+ private:
+  const parallelizer::ParallelPlan& plan_;
+  const SpecExecOptions& opts_;
+  SpecRunResult& out_;
+};
+
+}  // namespace
+
+uint64_t SpecRunResult::attempts() const {
+  uint64_t n = 0;
+  for (const auto& [name, o] : loops) n += o.attempts;
+  return n;
+}
+
+uint64_t SpecRunResult::commits() const {
+  uint64_t n = 0;
+  for (const auto& [name, o] : loops) n += o.commits;
+  return n;
+}
+
+uint64_t SpecRunResult::misspeculations() const {
+  uint64_t n = 0;
+  for (const auto& [name, o] : loops) n += o.misspeculations;
+  return n;
+}
+
+SpecRunResult run_speculative(const ir::Program& prog,
+                              const parallelizer::ParallelPlan& plan,
+                              const Inputs& inputs,
+                              const SpecExecOptions& opts) {
+  SpecRunResult out;
+  PlanSpecController ctl(plan, opts, out);
+  Interpreter interp(prog);
+  interp.set_inputs(inputs);
+  interp.set_spec_controller(&ctl);
+  interp.set_spec_workers(opts.workers);
+  out.run = interp.run(opts.max_cost);
+  return out;
+}
+
+parallelizer::SpecEvidence evidence_for(const ir::Stmt* loop,
+                                        const DynDepAnalyzer& dyn,
+                                        const LoopProfiler& prof) {
+  parallelizer::SpecEvidence ev;
+  const DynDepResult& d = dyn.result(loop);
+  ev.observed_carried = d.any_carried;
+  ev.monitored_iterations = d.monitored_iterations;
+  if (const LoopStats* st = prof.find(loop)) {
+    ev.invocations = st->invocations;
+    ev.loop_cost = static_cast<double>(st->total_cost);
+  }
+  return ev;
+}
+
+std::map<const ir::Stmt*, parallelizer::SpecEvidence> gather_evidence(
+    const std::vector<const ir::Stmt*>& loops, const DynDepAnalyzer& dyn,
+    const LoopProfiler& prof) {
+  std::map<const ir::Stmt*, parallelizer::SpecEvidence> out;
+  for (const ir::Stmt* loop : loops) {
+    out[loop] = evidence_for(loop, dyn, prof);
+  }
+  return out;
+}
+
+}  // namespace suifx::dynamic

@@ -1,0 +1,92 @@
+// The speculative parallelization executive (docs/speculation.md): runs a
+// program whose ParallelPlan carries Speculative loops (promoted by the
+// parallelizer::SpeculationPlanner), driving the Interpreter's versioned-
+// memory machinery per promoted loop — attempt, validate, commit or roll
+// back to serial — and accounting every outcome into Metrics, the provenance
+// ledger, and a per-loop report. A runtime::spec::SpecBreaker (owned by the
+// caller so it can persist across analyze() rounds) demotes chronic
+// misspeculators back to serial, extending the degradation ladder of
+// docs/robustness.md.
+//
+// evidence_for()/gather_evidence() are the bridge to the planner: they
+// distill one instrumented run (DynDepAnalyzer + LoopProfiler) into the
+// neutral SpecEvidence map the planner consumes, keeping the layering
+// one-way (parallelizer never sees dynamic's types).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dynamic/dyndep.h"
+#include "dynamic/interp.h"
+#include "dynamic/profile.h"
+#include "parallelizer/speculate.h"
+#include "runtime/specmem.h"
+
+namespace suifx::dynamic {
+
+struct SpecExecOptions {
+  /// Validation worker threads (results byte-identical at any count).
+  int workers = 1;
+  /// Force every attempt to roll back (fault drills; the fuzz oracle's
+  /// forced-misspeculation leg).
+  bool force_misspeculation = false;
+  /// Interpreter execution budget.
+  uint64_t max_cost = 2'000'000'000ULL;
+  /// Optional circuit breaker; pass the same instance across runs so the
+  /// misspeculation rate accumulates. Null = no demotion.
+  runtime::spec::SpecBreaker* breaker = nullptr;
+};
+
+/// Per-loop speculation accounting, keyed by loop name in SpecRunResult.
+struct SpecLoopOutcome {
+  std::string loop_name;
+  uint64_t attempts = 0;         // speculative executions started
+  uint64_t commits = 0;          // validated and written back
+  uint64_t misspeculations = 0;  // rolled back (observed, forced, or faulted)
+  uint64_t refusals = 0;         // executive declined before speculating
+  uint64_t validated_iterations = 0;
+  uint64_t shadow_writes = 0;
+  uint64_t commit_writes = 0;
+  /// The breaker demoted this loop to serial during the run.
+  bool demoted = false;
+  /// Last conflict variable or ineligibility reason ("" when clean).
+  std::string last_detail;
+
+  double misspec_rate() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(misspeculations) /
+                               static_cast<double>(attempts);
+  }
+};
+
+struct SpecRunResult {
+  RunResult run;
+  std::map<std::string, SpecLoopOutcome> loops;
+
+  uint64_t attempts() const;
+  uint64_t commits() const;
+  uint64_t misspeculations() const;
+};
+
+/// Execute the program, running every Speculative loop of `plan` under the
+/// executive. Output (printed values, error, cost on the serial path) is
+/// byte-identical to a plain serial run whether loops commit or roll back.
+SpecRunResult run_speculative(const ir::Program& prog,
+                              const parallelizer::ParallelPlan& plan,
+                              const Inputs& inputs,
+                              const SpecExecOptions& opts = {});
+
+/// Distill one instrumented run's observations about `loop` into planner
+/// evidence. Unmonitored loops yield zero iterations (the planner then
+/// refuses for insufficient evidence).
+parallelizer::SpecEvidence evidence_for(const ir::Stmt* loop,
+                                        const DynDepAnalyzer& dyn,
+                                        const LoopProfiler& prof);
+
+std::map<const ir::Stmt*, parallelizer::SpecEvidence> gather_evidence(
+    const std::vector<const ir::Stmt*>& loops, const DynDepAnalyzer& dyn,
+    const LoopProfiler& prof);
+
+}  // namespace suifx::dynamic

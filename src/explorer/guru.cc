@@ -78,6 +78,25 @@ void Guru::analyze() {
   interp.add_hook(dyndep_.get());
   interp.run(cfg_.max_cost);
 
+  // Speculation round (opt-in): promote statically-rejected loops on the
+  // evidence just gathered, then run them under the speculative executive so
+  // the report carries observed commit/misspeculation outcomes. The breaker
+  // carries over between rounds: chronic misspeculators stay demoted.
+  spec_decisions_.clear();
+  spec_result_ = {};
+  if (cfg_.speculate) {
+    parallelizer::SpeculationPlanner planner(cfg_.spec_options);
+    std::vector<const ir::Stmt*> cands =
+        parallelizer::SpeculationPlanner::candidates(plan_);
+    spec_decisions_ =
+        planner.promote(plan_, dynamic::gather_evidence(cands, *dyndep_, profiler_));
+    dynamic::SpecExecOptions so;
+    so.workers = cfg_.spec_workers;
+    so.max_cost = cfg_.max_cost;
+    so.breaker = &spec_breaker_;
+    spec_result_ = dynamic::run_speculative(wb_.program(), plan_, cfg_.inputs, so);
+  }
+
   // Chosen outermost parallel loops under the current plan.
   sim::SmpSimulator simulator(wb_.program(), wb_.dataflow(), wb_.regions());
   std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(plan_);
@@ -102,6 +121,11 @@ void Guru::analyze() {
     r.dep_vars = lp.verdict.dependent_vars();
     r.dynamic_dep = dyndep_->observed_carried(loop);
     r.blocked_reason = lp.reason;
+    r.speculative = lp.strategy == parallelizer::Strategy::Speculative;
+    if (r.speculative) {
+      auto so = spec_result_.loops.find(loop->loop_name());
+      if (so != spec_result_.loops.end()) r.misspec_rate = so->second.misspec_rate();
+    }
     r.user_parallelized =
         lp.parallelizable && lp.used_assertion && user_parallelized_.count(loop) != 0;
     r.important = r.executed && !lp.parallelizable && !lp.verdict.has_io &&
@@ -148,6 +172,23 @@ std::string Guru::planning_profile() const {
   for (const std::string& d : wb_.degradations()) {
     os << "degraded: " << d << "\n";
   }
+  if (cfg_.speculate) {
+    int promoted = 0;
+    for (const parallelizer::SpecDecision& d : spec_decisions_) {
+      promoted += d.promoted ? 1 : 0;
+    }
+    os << "speculation: " << promoted << "/" << spec_decisions_.size()
+       << " candidates promoted, " << spec_result_.attempts() << " attempts, "
+       << spec_result_.commits() << " commits, "
+       << spec_result_.misspeculations() << " misspeculations\n";
+    for (const auto& [name, o] : spec_result_.loops) {
+      if (o.demoted) {
+        os << "demoted: " << name
+           << " (misspeculation rate " << o.misspec_rate()
+           << "; executing serially)\n";
+      }
+    }
+  }
   return os.str();
 }
 
@@ -171,6 +212,27 @@ std::string Guru::explain(const ir::Stmt* loop) const {
   // user still sees when the verdict rests on lowered fidelity.
   for (const std::string& d : wb_.degradations()) {
     out += "  ! build degradation: " + d + "\n";
+  }
+  // Speculation outcome: why the loop was promoted is in the record above
+  // (speculation-attempted entry); whether it paid off comes from the
+  // executive's accounting for this round.
+  if (lp->strategy == parallelizer::Strategy::Speculative) {
+    auto it = spec_result_.loops.find(loop->loop_name());
+    if (it != spec_result_.loops.end()) {
+      const dynamic::SpecLoopOutcome& o = it->second;
+      out += "  speculation outcome: " + std::to_string(o.attempts) +
+             " attempt(s), " + std::to_string(o.commits) + " commit(s), " +
+             std::to_string(o.misspeculations) + " misspeculation(s)";
+      if (!o.last_detail.empty()) out += "; last conflict: " + o.last_detail;
+      out += "\n";
+      if (o.demoted) {
+        out += "  ! demoted: chronic misspeculation; the loop executes "
+               "serially from here on\n";
+      }
+    } else if (cfg_.speculate) {
+      out += "  speculation outcome: promoted, but the loop did not execute "
+             "on this input\n";
+    }
   }
   return out;
 }
@@ -245,6 +307,9 @@ sim::SimResult Guru::simulate(int nproc, const sim::MachineConfig& machine) cons
   sim::SimOptions opts;
   opts.machine = machine;
   opts.nproc = nproc;
+  for (const auto& [name, o] : spec_result_.loops) {
+    opts.spec_misspec_rate[name] = o.misspec_rate();
+  }
   opts.reshuffle_elems = sim::analyze_decomposition_conflicts(
       wb_.program(), wb_.dataflow(), plan_, simulator.outermost_parallel(plan_),
       /*split_commons=*/false);

@@ -7,7 +7,9 @@
 
 #include "dynamic/dyndep.h"
 #include "dynamic/profile.h"
+#include "dynamic/specexec.h"
 #include "explorer/workbench.h"
+#include "parallelizer/speculate.h"
 #include "simulator/smp.h"
 
 namespace suifx::explorer {
@@ -19,6 +21,13 @@ struct GuruConfig {
   double granularity_cutoff_ms = 0.05;
   dynamic::Inputs inputs;
   uint64_t max_cost = 2'000'000'000ULL;
+  /// Opt-in speculative parallelization (docs/speculation.md): after the
+  /// instrumented run, promote statically-rejected loops on the dynamic
+  /// evidence and execute them under the speculative executive.
+  bool speculate = false;
+  parallelizer::SpecOptions spec_options;
+  /// Validation workers for the executive (results identical at any count).
+  int spec_workers = 1;
 };
 
 struct LoopReport {
@@ -36,6 +45,8 @@ struct LoopReport {
   std::vector<const ir::Variable*> dep_vars;
   bool user_parallelized = false;
   std::string blocked_reason;
+  bool speculative = false;    // promoted by the SpeculationPlanner
+  double misspec_rate = 0;     // observed under the executive this round
 };
 
 /// Aggregate counters matching Fig 4-7's rows.
@@ -87,6 +98,16 @@ class Guru {
   const dynamic::LoopProfiler& profiler() const { return profiler_; }
   const dynamic::DynDepAnalyzer& dyndep() const { return *dyndep_; }
 
+  /// Speculation round results (empty unless cfg.speculate): every
+  /// candidate's promotion decision, and the executive's per-loop outcomes.
+  const std::vector<parallelizer::SpecDecision>& spec_decisions() const {
+    return spec_decisions_;
+  }
+  const dynamic::SpecRunResult& speculation() const { return spec_result_; }
+  /// The circuit breaker: persists across analyze() rounds, so a loop that
+  /// keeps misspeculating is demoted for the rest of the session.
+  const runtime::spec::SpecBreaker& spec_breaker() const { return spec_breaker_; }
+
   /// Simulated whole-program speedup under the current plan.
   sim::SimResult simulate(int nproc, const sim::MachineConfig& machine) const;
 
@@ -105,6 +126,9 @@ class Guru {
   dynamic::LoopProfiler profiler_;
   std::unique_ptr<dynamic::DynDepAnalyzer> dyndep_;
   std::vector<LoopReport> reports_;
+  std::vector<parallelizer::SpecDecision> spec_decisions_;
+  dynamic::SpecRunResult spec_result_;
+  runtime::spec::SpecBreaker spec_breaker_;
   std::set<const ir::Stmt*> user_parallelized_;
   /// Importance as judged on the automatic plan (the Fig 4-7 basis): the
   /// worklist the programmer started from.

@@ -396,6 +396,13 @@ std::string plan_signature(const ParallelPlan& plan) {
       os << rv.var->qualified_name() << ":" << ir::to_string(rv.op) << ",";
     }
     os << "]";
+    if (lp.strategy == Strategy::Speculative) {
+      // Appended only for promoted loops so plans that never speculate keep
+      // their pre-speculation signature (golden snapshots stay byte-stable).
+      os << " spec[";
+      for (const ir::Variable* v : lp.watch) os << v->qualified_name() << ",";
+      os << "]";
+    }
     rows.push_back({loop->id, os.str()});
   }
   std::sort(rows.begin(), rows.end());

@@ -6,6 +6,15 @@ namespace suifx::parallelizer {
 
 namespace prov = support::provenance;
 
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Serial: return "serial";
+    case Strategy::Doall: return "doall";
+    case Strategy::Speculative: return "speculative";
+  }
+  return "?";
+}
+
 int ParallelPlan::num_parallel() const {
   int n = 0;
   for (const auto& [loop, plan] : loops) n += plan.parallelizable ? 1 : 0;
@@ -182,6 +191,7 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
     }
   }
   out.parallelizable = ok;
+  out.strategy = ok ? Strategy::Doall : Strategy::Serial;
   if (ok) out.reason.clear();
   out.why = pscope.finish(ok ? "parallel" : "serial", out.reason);
   return out;

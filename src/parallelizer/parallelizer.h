@@ -30,6 +30,19 @@ struct Assertions {
   }
 };
 
+/// How a loop is executed under the plan. `Doall` is the classic proven-
+/// independent parallel loop. `Speculative` marks a statically-rejected loop
+/// the SpeculationPlanner promoted on dynamic evidence: it runs under the
+/// speculative executive (versioned shadow memory, commit-time validation,
+/// serial rollback — docs/speculation.md) instead of being proven safe.
+enum class Strategy : uint8_t {
+  Serial,
+  Doall,
+  Speculative,
+};
+
+const char* to_string(Strategy s);
+
 /// How a privatized variable's final value reaches the original storage.
 enum class Finalize : uint8_t {
   None,           // dead at loop exit (liveness) — no write-back
@@ -63,6 +76,15 @@ struct LoopPlan {
   /// degraded plan cannot mark a loop the full-precision plan rejects. See
   /// docs/robustness.md.
   bool degraded = false;
+  /// Execution strategy: Doall when parallelizable, Speculative when the
+  /// SpeculationPlanner promoted a statically-rejected loop, else Serial.
+  Strategy strategy = Strategy::Serial;
+  /// Speculative only: the suspect variables (statically Dependent or
+  /// finalize-blocked) whose accesses commit-time validation watches.
+  /// Sorted by qualified name — part of the canonical plan rendering.
+  std::vector<const ir::Variable*> watch;
+  /// Speculative only: the planner's estimated misspeculation probability.
+  double spec_risk = 0.0;
   /// Causal record of how this verdict was reached (docs/provenance.md).
   /// Null when provenance is disabled. Shared and immutable: the Driver
   /// memoizes it with the plan, cache hits replay the identical record, and
@@ -81,6 +103,15 @@ struct ParallelPlan {
   bool is_parallel(const ir::Stmt* loop) const {
     const LoopPlan* p = find(loop);
     return p != nullptr && p->parallelizable;
+  }
+  /// True when the loop executes concurrently under this plan — proven
+  /// parallel (Doall) or promoted to speculative execution. The simulator's
+  /// outermost-parallel selection uses this so speculative loops count
+  /// toward coverage once promoted.
+  bool runs_concurrently(const ir::Stmt* loop) const {
+    const LoopPlan* p = find(loop);
+    return p != nullptr &&
+           (p->parallelizable || p->strategy == Strategy::Speculative);
   }
   int num_parallel() const;
   /// Plans in source order (synthetic line, then statement id). The `loops`

@@ -1,0 +1,169 @@
+#include "parallelizer/speculate.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace suifx::parallelizer {
+
+namespace prov = support::provenance;
+
+namespace {
+
+std::string fmt_risk(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", r);
+  return buf;
+}
+
+std::string watch_text(const std::vector<const ir::Variable*>& watch) {
+  std::string out = "{";
+  for (size_t i = 0; i < watch.size(); ++i) {
+    if (i != 0) out += ",";
+    out += watch[i]->qualified_name();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::vector<const ir::Variable*> SpeculationPlanner::watch_set(const LoopPlan& lp) {
+  std::vector<const ir::Variable*> out;
+  for (const auto& [v, vv] : lp.verdict.vars) {
+    if (vv.cls == analysis::VarClass::Dependent) {
+      out.push_back(v);
+    } else if (vv.cls == analysis::VarClass::Privatizable) {
+      // Privatizable but absent from the transform list = finalization was
+      // blocked; the shadow commit finalizes it (last writer wins), so it
+      // only needs watching, not proof.
+      bool applied = false;
+      for (const PrivateVar& pv : lp.privatized) applied |= pv.var == v;
+      if (!applied) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ir::Variable* a, const ir::Variable* b) {
+    return a->qualified_name() < b->qualified_name();
+  });
+  return out;
+}
+
+std::vector<const ir::Stmt*> SpeculationPlanner::candidates(const ParallelPlan& plan) {
+  std::vector<const ir::Stmt*> out;
+  for (const LoopPlan* lp : plan.ordered()) {
+    if (lp->parallelizable || lp->degraded || lp->verdict.has_io) continue;
+    if (lp->strategy == Strategy::Speculative) continue;  // already promoted
+    bool has_reduction = false;
+    for (const auto& [v, vv] : lp->verdict.vars) {
+      (void)v;
+      has_reduction |= vv.cls == analysis::VarClass::Reduction;
+    }
+    // The executive replays the loop body unchanged: a compiler-recognized
+    // reduction carries a real flow dependence the transform would have
+    // removed, so speculation on it misspeculates by construction.
+    if (has_reduction) continue;
+    if (watch_set(*lp).empty()) continue;
+    out.push_back(lp->loop);
+  }
+  return out;
+}
+
+std::vector<SpecDecision> SpeculationPlanner::promote(
+    ParallelPlan& plan,
+    const std::map<const ir::Stmt*, SpecEvidence>& evidence) const {
+  std::vector<SpecDecision> out;
+  for (const ir::Stmt* loop : candidates(plan)) {
+    LoopPlan& lp = plan.loops.at(loop);
+    SpecDecision d;
+    d.loop = loop;
+    d.loop_name = loop->loop_name();
+    d.watch = watch_set(lp);
+
+    auto ev_it = evidence.find(loop);
+    if (ev_it == evidence.end()) {
+      d.detail = "no dynamic evidence: not monitored";
+      out.push_back(std::move(d));
+      continue;
+    }
+    const SpecEvidence& ev = ev_it->second;
+    if (ev.observed_carried) {
+      d.risk = 1.0;
+      d.detail = "carried dependence observed on the profiling input";
+      out.push_back(std::move(d));
+      continue;
+    }
+    if (ev.monitored_iterations < opts_.min_monitored_iters) {
+      d.detail = "insufficient evidence: " +
+                 std::to_string(ev.monitored_iterations) +
+                 " clean monitored iterations";
+      out.push_back(std::move(d));
+      continue;
+    }
+    // Laplace-style risk estimate: |watch| failure chances smoothed against
+    // the clean evidence. More clean iterations or a smaller watch set mean
+    // lower estimated misspeculation probability.
+    double w = static_cast<double>(d.watch.size());
+    d.risk = w / (w + static_cast<double>(ev.monitored_iterations));
+    d.score = d.risk * std::max(1.0, ev.loop_cost);
+    if (d.risk > opts_.max_risk) {
+      d.detail = "estimated misspeculation risk " + fmt_risk(d.risk) +
+                 " above cutoff " + fmt_risk(opts_.max_risk);
+      out.push_back(std::move(d));
+      continue;
+    }
+    d.promoted = true;
+    d.detail = "promoted: watch" + watch_text(d.watch) + "; " +
+               std::to_string(ev.monitored_iterations) +
+               " clean monitored iterations over " +
+               std::to_string(ev.invocations) +
+               " invocation(s); estimated misspeculation risk " +
+               fmt_risk(d.risk);
+    out.push_back(std::move(d));
+  }
+
+  // Cap by expected misspeculation cost: keep the cheapest-risk promotions.
+  if (opts_.max_loops != static_cast<size_t>(-1)) {
+    std::vector<SpecDecision*> promoted;
+    for (SpecDecision& d : out) {
+      if (d.promoted) promoted.push_back(&d);
+    }
+    if (promoted.size() > opts_.max_loops) {
+      std::stable_sort(promoted.begin(), promoted.end(),
+                       [](const SpecDecision* a, const SpecDecision* b) {
+                         return a->score < b->score;
+                       });
+      for (size_t i = opts_.max_loops; i < promoted.size(); ++i) {
+        promoted[i]->promoted = false;
+        promoted[i]->detail = "capped: expected misspeculation cost rank " +
+                              std::to_string(i + 1) + " above limit " +
+                              std::to_string(opts_.max_loops);
+      }
+    }
+  }
+
+  for (SpecDecision& d : out) {
+    if (!d.promoted) continue;
+    LoopPlan& lp = plan.loops.at(d.loop);
+    lp.strategy = Strategy::Speculative;
+    lp.watch = d.watch;
+    lp.spec_risk = d.risk;
+    if (lp.why != nullptr) {
+      // Amend a copy (the original record is shared with the driver cache):
+      // same canonical entry order, one speculation-attempted entry, verdict
+      // "speculative". Deterministic, so ledger_signature stays stable.
+      auto rec = std::make_shared<prov::LoopRecord>(*lp.why);
+      rec->verdict = "speculative";
+      rec->entries.push_back({prov::Kind::SpeculationAttempted, "", d.detail});
+      std::sort(rec->entries.begin(), rec->entries.end(),
+                [](const prov::LoopEntry& a, const prov::LoopEntry& b) {
+                  if (a.kind != b.kind) return a.kind < b.kind;
+                  if (a.var != b.var) return a.var < b.var;
+                  return a.detail < b.detail;
+                });
+      lp.why = std::move(rec);
+    }
+    prov::event(prov::Kind::SpeculationAttempted, d.loop_name, "", d.detail);
+  }
+  return out;
+}
+
+}  // namespace suifx::parallelizer

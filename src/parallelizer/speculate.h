@@ -1,0 +1,98 @@
+// The SpeculationPlanner (docs/speculation.md): promotes statically-rejected
+// loops to LoopPlan::Strategy::Speculative on dynamic evidence. The thesis's
+// Dynamic Dependence Analyzer (§2.5.2) exists because index arrays and
+// rarely-taken aliases defeat static analysis on loops that are parallel for
+// the inputs that matter; the planner turns that hint into an execution
+// strategy — run the loop under the speculative executive, watch the suspect
+// variables, and fall back to serial on misspeculation — instead of waiting
+// for a user assertion.
+//
+// Candidates are ranked probabilistically rather than treated as a binary
+// "statically unprovable" verdict (the El-Zawawy & Alanazi motivation): the
+// estimated misspeculation risk shrinks with the amount of clean monitored
+// evidence and grows with the size of the watch set, and loops above the
+// risk cutoff stay serial.
+//
+// Layering: dynamic depends on parallelizer (validate.h), so this planner
+// takes a neutral SpecEvidence map — dynamic/specexec.h provides
+// gather_evidence() to distill a DynDepAnalyzer + LoopProfiler into it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parallelizer/parallelizer.h"
+
+namespace suifx::parallelizer {
+
+/// Per-loop dynamic evidence, distilled from one instrumented run.
+struct SpecEvidence {
+  /// The Dynamic Dependence Analyzer observed a loop-carried flow
+  /// dependence — the loop is known-dependent on this input, never promote.
+  bool observed_carried = false;
+  /// Iterations the analyzer monitored without a carried dependence.
+  uint64_t monitored_iterations = 0;
+  /// Loop invocations observed.
+  uint64_t invocations = 0;
+  /// Profiled loop cost in interpreter units (0 = unknown) — scales the
+  /// misspeculation-cost score used for ranking.
+  double loop_cost = 0;
+};
+
+struct SpecOptions {
+  /// Minimum clean monitored iterations before promotion is considered.
+  uint64_t min_monitored_iters = 2;
+  /// Estimated misspeculation-probability cutoff: risk above this stays
+  /// serial.
+  double max_risk = 0.35;
+  /// Cap on promotions per plan (cheapest expected misspeculation cost
+  /// first). SIZE_MAX = no cap.
+  size_t max_loops = static_cast<size_t>(-1);
+};
+
+/// One candidate's promotion decision, for reports and provenance.
+struct SpecDecision {
+  const ir::Stmt* loop = nullptr;
+  std::string loop_name;
+  bool promoted = false;
+  /// Estimated misspeculation probability (1.0 = observed carried dep).
+  double risk = 0;
+  /// risk x profiled cost — the expected misspeculation cost used to rank.
+  double score = 0;
+  std::vector<const ir::Variable*> watch;  // sorted by qualified name
+  std::string detail;  // deterministic human-readable why / why-not
+};
+
+class SpeculationPlanner {
+ public:
+  explicit SpeculationPlanner(SpecOptions opts = {}) : opts_(opts) {}
+
+  /// Statically-rejected loops the executive could attempt: serial verdict,
+  /// full-precision (not degraded), no I/O, no compiler-recognized reduction
+  /// (the executive applies no transforms, so a genuine reduction would
+  /// misspeculate every time), and at least one Dependent or finalize-
+  /// blocked variable to watch. Source order.
+  static std::vector<const ir::Stmt*> candidates(const ParallelPlan& plan);
+
+  /// The watch set for one candidate: its statically Dependent variables
+  /// plus privatizable variables whose finalization was blocked (commit's
+  /// last-writer-wins write-back is exactly legal finalization). Sorted by
+  /// qualified name.
+  static std::vector<const ir::Variable*> watch_set(const LoopPlan& lp);
+
+  /// Promote eligible candidates in `plan` (mutating strategy / watch /
+  /// spec_risk and amending the provenance record with a
+  /// speculation-attempted entry), and return every candidate's decision in
+  /// source order. Deterministic: a pure function of the plan and the
+  /// evidence map, so ledger_signature stays byte-identical across driver
+  /// worker counts and cache states.
+  std::vector<SpecDecision> promote(
+      ParallelPlan& plan,
+      const std::map<const ir::Stmt*, SpecEvidence>& evidence) const;
+
+ private:
+  SpecOptions opts_;
+};
+
+}  // namespace suifx::parallelizer

@@ -1,0 +1,175 @@
+#include "runtime/specmem.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace suifx::runtime::spec {
+
+void VersionedMemory::reset(long trip) {
+  iters_.clear();
+  iters_.resize(static_cast<size_t>(std::max<long>(0, trip)));
+}
+
+double VersionedMemory::load(long iter, uint64_t key, double base) {
+  IterLog& il = iters_[static_cast<size_t>(iter)];
+  auto it = il.writes.find(key);
+  if (it != il.writes.end()) return it->second;
+  il.exposed.insert(key);
+  return base;
+}
+
+void VersionedMemory::store(long iter, uint64_t key, double value) {
+  iters_[static_cast<size_t>(iter)].writes[key] = value;
+}
+
+std::unordered_map<uint64_t, long> VersionedMemory::first_writer() const {
+  std::unordered_map<uint64_t, long> fw;
+  for (size_t k = 0; k < iters_.size(); ++k) {
+    for (const auto& [key, val] : iters_[k].writes) {
+      (void)val;
+      auto [it, inserted] = fw.emplace(key, static_cast<long>(k));
+      if (!inserted && it->second > static_cast<long>(k)) it->second = static_cast<long>(k);
+    }
+  }
+  return fw;
+}
+
+void VersionedMemory::validate_range(
+    long begin, long end, const std::unordered_map<uint64_t, long>& fw,
+    ValidateResult& out) const {
+  for (long j = begin; j < end; ++j) {
+    const IterLog& il = iters_[static_cast<size_t>(j)];
+    if (il.exposed.empty()) continue;
+    // Sort the iteration's exposed keys so the reported sample is canonical.
+    std::vector<uint64_t> keys(il.exposed.begin(), il.exposed.end());
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+      auto it = fw.find(key);
+      if (it == fw.end() || it->second >= j) continue;
+      // Iteration j read the pre-loop value of a key iteration it->second
+      // wrote: a serial execution would have seen the written value.
+      out.ok = false;
+      ++out.conflicts;
+      if (out.first.size() < ValidateResult::kMaxReported) {
+        out.first.push_back({j, it->second, key});
+      }
+    }
+  }
+}
+
+ValidateResult VersionedMemory::validate(int workers) const {
+  ValidateResult out;
+  const long trip = this->trip();
+  if (trip == 0) return out;
+  const std::unordered_map<uint64_t, long> fw = first_writer();
+
+  int n = std::max(1, workers);
+  if (static_cast<long>(n) > trip) n = static_cast<int>(trip);
+  if (n == 1) {
+    validate_range(0, trip, fw, out);
+    return out;
+  }
+
+  // Shard the iteration range; each worker fills a private result, then the
+  // shards merge in range order — ascending (iter, key) — so count and
+  // sample match the single-threaded scan exactly.
+  std::vector<ValidateResult> parts(static_cast<size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  const long chunk = (trip + n - 1) / n;
+  for (int w = 0; w < n; ++w) {
+    long begin = static_cast<long>(w) * chunk;
+    long end = std::min(trip, begin + chunk);
+    threads.emplace_back([this, begin, end, &fw, &parts, w] {
+      if (begin < end) validate_range(begin, end, fw, parts[static_cast<size_t>(w)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const ValidateResult& p : parts) {
+    if (p.ok) continue;
+    out.ok = false;
+    out.conflicts += p.conflicts;
+    for (const SpecConflict& c : p.first) {
+      if (out.first.size() < ValidateResult::kMaxReported) out.first.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, double>> VersionedMemory::commit_plan() const {
+  std::unordered_map<uint64_t, double> last;
+  for (const IterLog& il : iters_) {  // ascending iteration: later wins
+    for (const auto& [key, val] : il.writes) last[key] = val;
+  }
+  std::vector<std::pair<uint64_t, double>> out(last.begin(), last.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+uint64_t VersionedMemory::writes() const {
+  uint64_t n = 0;
+  for (const IterLog& il : iters_) n += il.writes.size();
+  return n;
+}
+
+uint64_t VersionedMemory::exposed_reads() const {
+  uint64_t n = 0;
+  for (const IterLog& il : iters_) n += il.exposed.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// SpecBreaker
+// ---------------------------------------------------------------------------
+
+BreakerConfig BreakerConfig::from_env() {
+  BreakerConfig cfg;
+  if (const char* s = std::getenv("SUIFX_SPEC_BREAKER_MIN")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end != s && v > 0) cfg.min_attempts = v;
+  }
+  if (const char* s = std::getenv("SUIFX_SPEC_BREAKER_RATE")) {
+    char* end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end != s && v >= 0.0 && v <= 1.0) cfg.max_rate = v;
+  }
+  return cfg;
+}
+
+SpecBreaker::SpecBreaker(BreakerConfig cfg) : cfg_(cfg) {}
+
+bool SpecBreaker::allow(const std::string& loop) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = loops_.find(loop);
+  return it == loops_.end() || !it->second.demoted;
+}
+
+bool SpecBreaker::record(const std::string& loop, bool misspeculated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats& st = loops_[loop];
+  ++st.attempts;
+  if (misspeculated) ++st.misspecs;
+  if (st.demoted || st.attempts < cfg_.min_attempts) return false;
+  double rate = static_cast<double>(st.misspecs) / static_cast<double>(st.attempts);
+  if (rate > cfg_.max_rate) {
+    st.demoted = true;
+    return true;
+  }
+  return false;
+}
+
+SpecBreaker::Stats SpecBreaker::stats(const std::string& loop) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = loops_.find(loop);
+  return it != loops_.end() ? it->second : Stats{};
+}
+
+std::map<std::string, SpecBreaker::Stats> SpecBreaker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loops_;
+}
+
+}  // namespace suifx::runtime::spec

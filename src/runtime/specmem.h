@@ -1,0 +1,141 @@
+// Versioned shadow memory + misspeculation circuit breaker for the
+// speculative parallelization executive (docs/speculation.md). The executive
+// (dynamic/specexec) runs the iterations of a `Speculative`-strategy loop
+// against per-iteration shadow logs instead of base memory, validates the
+// logs for cross-iteration flow (write -> later exposed read) conflicts, and
+// either commits the merged writes in iteration order or discards everything
+// and re-executes the loop serially — the CPF SpecPriv/smtx recipe.
+//
+// This layer is deliberately IR-free: locations are opaque 64-bit keys
+// (the interpreter packs (storage id << 40) | offset, which stays decodable
+// for commit), so the structure can be unit-tested and hammered from real
+// threads without an interpreter. Thread-safety contract: distinct
+// iterations may be logged concurrently (each IterLog is touched by exactly
+// one worker); validate()/commit_plan() require the logging phase to be
+// complete (join first).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace suifx::runtime::spec {
+
+/// One detected cross-iteration flow conflict: iteration `iter` performed an
+/// exposed read (no prior write of its own) of a key some earlier iteration
+/// `writer` wrote — exactly the dependence privatized shadow state cannot
+/// hide, so the attempt must be discarded.
+struct SpecConflict {
+  long iter = 0;    // the (later) reading iteration
+  long writer = 0;  // the earliest earlier iteration that wrote the key
+  uint64_t key = 0;
+};
+
+struct ValidateResult {
+  bool ok = true;
+  uint64_t conflicts = 0;  // total conflicting (iteration, key) pairs
+  /// The first conflicts in ascending (iter, key) order — a deterministic
+  /// sample regardless of how many validation workers scanned the logs.
+  std::vector<SpecConflict> first;
+  static constexpr size_t kMaxReported = 16;
+};
+
+class VersionedMemory {
+ public:
+  explicit VersionedMemory(long trip = 0) { reset(trip); }
+
+  /// Drop all logs and size for `trip` iterations.
+  void reset(long trip);
+  long trip() const { return static_cast<long>(iters_.size()); }
+
+  /// Read `key` from iteration `iter`'s view: its own last write if any,
+  /// else `base` (the pre-loop value) — recording the exposed read. This is
+  /// per-iteration privatization, which is what makes the validation verdict
+  /// independent of any worker schedule: an iteration never observes another
+  /// iteration's speculative state.
+  double load(long iter, uint64_t key, double base);
+  void store(long iter, uint64_t key, double value);
+
+  /// Scan the logs for cross-iteration flow conflicts. `workers` > 1 shards
+  /// the iteration range across real threads; the result (count and reported
+  /// sample) is byte-identical at any worker count.
+  ValidateResult validate(int workers = 1) const;
+
+  /// The merged write-back: for every written key, the value of the last
+  /// iteration that wrote it (= the value a serial execution leaves), sorted
+  /// by key. Applying it in order reproduces the serial final state; anti-
+  /// and output dependences need no validation because of it.
+  std::vector<std::pair<uint64_t, double>> commit_plan() const;
+
+  uint64_t writes() const;         // total logged writes
+  uint64_t exposed_reads() const;  // total distinct exposed-read keys
+
+ private:
+  struct IterLog {
+    std::unordered_map<uint64_t, double> writes;  // key -> last value
+    std::unordered_set<uint64_t> exposed;         // read before any own write
+  };
+
+  /// key -> earliest writing iteration, for the validate scan.
+  std::unordered_map<uint64_t, long> first_writer() const;
+  void validate_range(long begin, long end,
+                      const std::unordered_map<uint64_t, long>& fw,
+                      ValidateResult& out) const;
+
+  std::vector<IterLog> iters_;
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+struct BreakerConfig {
+  /// Attempts observed before the rate is judged at all.
+  uint64_t min_attempts = 4;
+  /// Misspeculation rate above which the loop is demoted to serial.
+  double max_rate = 0.5;
+
+  /// SUIFX_SPEC_BREAKER_MIN / SUIFX_SPEC_BREAKER_RATE overrides (re-read per
+  /// call, like support::Budget::limits_from_env).
+  static BreakerConfig from_env();
+};
+
+/// Per-loop misspeculation-rate circuit breaker: a loop whose observed
+/// misspeculation rate exceeds the threshold is demoted — the executive
+/// stops attempting it and runs it serially. This is the runtime rung of the
+/// PR 3 degradation ladder (docs/robustness.md): chronic misspeculators cost
+/// a wasted attempt plus a serial re-execution per invocation, so demotion
+/// restores plain serial cost. Keyed by loop name so a breaker can outlive
+/// one executive run (the Guru holds one across analyze() rounds).
+class SpecBreaker {
+ public:
+  explicit SpecBreaker(BreakerConfig cfg = BreakerConfig::from_env());
+
+  struct Stats {
+    uint64_t attempts = 0;
+    uint64_t misspecs = 0;
+    bool demoted = false;
+  };
+
+  /// False once the loop has been demoted.
+  bool allow(const std::string& loop) const;
+  /// Account one attempt; returns true exactly when this record trips the
+  /// breaker (the demotion edge — callers log/metric it once).
+  bool record(const std::string& loop, bool misspeculated);
+
+  Stats stats(const std::string& loop) const;
+  std::map<std::string, Stats> snapshot() const;
+  const BreakerConfig& config() const { return cfg_; }
+
+ private:
+  BreakerConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, Stats> loops_;
+};
+
+}  // namespace suifx::runtime::spec

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "dynamic/specexec.h"
+#include "parallelizer/speculate.h"
 #include "support/metrics.h"
 #include "support/provenance.h"
 #include "support/trace.h"
@@ -436,6 +438,26 @@ Response AnalysisService::explain(Request& req, Session& s) {
   // and Explain answers from the recorded verdicts without re-analysis.
   parallelizer::ParallelPlan p = wb.plan(asserts);
 
+  // Speculation round (opt-in): one instrumented evidence run, promotion on
+  // this request's private plan copy (the driver's cached records are
+  // shared immutably — promotion amends copies), then the executive. The
+  // promoted records below then carry the speculation-attempted entries.
+  std::vector<parallelizer::SpecDecision> decisions;
+  dynamic::SpecRunResult spec;
+  if (req.speculate) {
+    dynamic::LoopProfiler prof;
+    dynamic::DynDepAnalyzer dyn;
+    dynamic::Interpreter interp(wb.program());
+    interp.add_hook(&prof);
+    interp.add_hook(&dyn);
+    interp.run();
+    parallelizer::SpeculationPlanner planner;
+    decisions = planner.promote(
+        p, dynamic::gather_evidence(
+               parallelizer::SpeculationPlanner::candidates(p), dyn, prof));
+    spec = dynamic::run_speculative(wb.program(), p, dynamic::Inputs{});
+  }
+
   // Render one loop's record (or a minimal stub when provenance was off).
   auto record_of = [](const parallelizer::LoopPlan& lp) {
     if (lp.why != nullptr) return lp.why;
@@ -485,7 +507,40 @@ Response AnalysisService::explain(Request& req, Session& s) {
     js += "\"" + esc(dg) + "\"";
     first = false;
   }
-  js += "]}";
+  js += "]";
+  if (req.speculate) {
+    js += ",\"speculation\":[";
+    first = true;
+    for (const parallelizer::SpecDecision& d : decisions) {
+      text += "speculation " + d.loop_name + ": " +
+              (d.promoted ? "promoted" : "not promoted") + " (" + d.detail +
+              ")\n";
+      js += (first ? "" : ",");
+      js += "{\"loop\":\"" + esc(d.loop_name) + "\",\"promoted\":";
+      js += d.promoted ? "true" : "false";
+      char risk[32];
+      std::snprintf(risk, sizeof risk, "%.4f", d.risk);
+      js += ",\"risk\":";
+      js += risk;
+      js += ",\"detail\":\"" + esc(d.detail) + "\"";
+      auto it = spec.loops.find(d.loop_name);
+      if (it != spec.loops.end()) {
+        const dynamic::SpecLoopOutcome& o = it->second;
+        text += "  outcome: " + std::to_string(o.attempts) + " attempt(s), " +
+                std::to_string(o.commits) + " commit(s), " +
+                std::to_string(o.misspeculations) + " misspeculation(s)" +
+                (o.demoted ? "; demoted to serial" : "") + "\n";
+        js += ",\"attempts\":" + std::to_string(o.attempts) +
+              ",\"commits\":" + std::to_string(o.commits) +
+              ",\"misspeculations\":" + std::to_string(o.misspeculations) +
+              ",\"demoted\":" + (o.demoted ? "true" : "false");
+      }
+      js += "}";
+      first = false;
+    }
+    js += "]";
+  }
+  js += "}";
   resp.text = std::move(text);
   resp.json = std::move(js);
   resp.loops = static_cast<int>(records.size());

@@ -87,6 +87,10 @@ struct Request {
   std::vector<AssertionReq> asserts;  // Plan / Explain
   std::string loop;                   // Slice / Explain ("" = every loop)
   std::string var;                    // Slice
+  /// Explain only: run the speculation round (instrumented evidence pass,
+  /// promotion, speculative executive) and report why each candidate was or
+  /// wasn't promoted and whether speculation paid off. docs/speculation.md.
+  bool speculate = false;
   /// Override of the service-wide default budget for this request only.
   std::optional<support::Budget::Limits> budget;
 };

@@ -92,7 +92,7 @@ std::vector<const ir::Stmt*> SmpSimulator::outermost_parallel(
           for (ir::Stmt* s : body) {
             bool sup = suppressed;
             if (s->kind == ir::StmtKind::Do) {
-              bool par = !sup && parallel_ctx.count(p) == 0 && plan.is_parallel(s);
+              bool par = !sup && parallel_ctx.count(p) == 0 && plan.runs_concurrently(s);
               if (par) {
                 chosen.push_back(s);
                 // Everything dynamically nested runs serially.
@@ -206,8 +206,17 @@ SimResult SmpSimulator::simulate(const parallelizer::ParallelPlan& plan,
                            : cost / nproc;
     auto sp = opts.stride_penalty.find(loop);
     if (sp != opts.stride_penalty.end()) chunk *= sp->second;
+    bool speculative = lp->strategy == parallelizer::Strategy::Speculative;
+    double iters_per_inv = static_cast<double>(st->iterations) /
+                           static_cast<double>(st->invocations);
+    // A speculative loop runs the body untransformed, so it pays no
+    // privatization/reduction overhead — instead every invocation pays
+    // commit-time validation over its logged iterations.
     double overhead =
-        m.spawn_overhead + reduction_overhead(*lp, opts, st->iterations, st->invocations);
+        speculative
+            ? m.spawn_overhead + iters_per_inv * opts.spec_validate_cost
+            : m.spawn_overhead +
+                  reduction_overhead(*lp, opts, st->iterations, st->invocations);
     auto rs = opts.reshuffle_elems.find(loop);
     if (rs != opts.reshuffle_elems.end()) {
       overhead += rs->second * m.reshuffle_elem_cost / static_cast<double>(nproc);
@@ -219,6 +228,13 @@ SimResult SmpSimulator::simulate(const parallelizer::ParallelPlan& plan,
     double par_cost =
         chunk * mfp + static_cast<double>(st->invocations) * overhead;
     double seq_cost_adjusted = cost * mf1;
+    if (speculative) {
+      // Expected misspeculation cost: each rollback discards the parallel
+      // attempt and re-executes the invocation serially.
+      auto mr = opts.spec_misspec_rate.find(loop->loop_name());
+      double rate = mr != opts.spec_misspec_rate.end() ? mr->second : 0.0;
+      par_cost += rate * seq_cost_adjusted;
+    }
     // SUIF's run-time system suppresses parallel execution when the loop is
     // too fine-grained to profit (§4.5): take the cheaper execution.
     bool ran_parallel = par_cost < seq_cost_adjusted;
@@ -237,6 +253,7 @@ SimResult SmpSimulator::simulate(const parallelizer::ParallelPlan& plan,
     LoopSim ls;
     ls.loop = loop;
     ls.ran_parallel = ran_parallel;
+    ls.speculative = speculative;
     ls.seq_cost = seq_cost_adjusted;
     ls.par_cost = par_cost;
     ls.overhead = static_cast<double>(st->invocations) * overhead;

@@ -45,11 +45,17 @@ struct SimOptions {
   /// Per-loop chunk-cost multiplier for poor spatial locality (mis-strided
   /// innermost loops); the memory advisor's interchange removes it.
   std::map<const ir::Stmt*, double> stride_penalty;
+  /// Speculative loops (docs/speculation.md): commit-time validation cost in
+  /// units per logged iteration, and the observed misspeculation rate per
+  /// loop name (each misspeculation pays a full serial re-execution).
+  double spec_validate_cost = 0.25;
+  std::map<std::string, double> spec_misspec_rate;
 };
 
 struct LoopSim {
   const ir::Stmt* loop = nullptr;
   bool ran_parallel = false;
+  bool speculative = false;  // ran under the speculative executive
   double seq_cost = 0;
   double par_cost = 0;
   double overhead = 0;
@@ -75,8 +81,9 @@ class SmpSimulator {
                      const dynamic::LoopProfiler& prof,
                      const SimOptions& opts) const;
 
-  /// Loops that execute in parallel: parallelizable and not dynamically
-  /// nested (lexically or through calls) inside another such loop.
+  /// Loops that execute concurrently — proven parallelizable or promoted to
+  /// speculative execution — and not dynamically nested (lexically or
+  /// through calls) inside another such loop.
   std::vector<const ir::Stmt*> outermost_parallel(
       const parallelizer::ParallelPlan& plan) const;
 

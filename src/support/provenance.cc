@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "support/metrics.h"
+
 namespace suifx::support::provenance {
 
 namespace {
@@ -59,6 +61,9 @@ const char* to_string(Kind k) {
     case Kind::BudgetExhausted: return "budget-exhausted";
     case Kind::CacheSeeded: return "cache-seeded";
     case Kind::FaultInjected: return "fault-injected";
+    case Kind::SpeculationAttempted: return "speculation-attempted";
+    case Kind::Misspeculation: return "misspeculation";
+    case Kind::Rollback: return "rollback";
   }
   return "?";
 }
@@ -74,6 +79,15 @@ void init_from_env() {
   std::call_once(once, [] {
     if (const char* s = std::getenv("SUIFX_PROVENANCE")) {
       if (s[0] == '0' && s[1] == '\0') set_enabled(false);
+    }
+    if (const char* s = std::getenv("SUIFX_PROVENANCE_CAP")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(s, &end, 10);
+      if (end != s && v > 0) {
+        if (*end == 'K' || *end == 'k') v *= 1024, ++end;
+        else if (*end == 'M' || *end == 'm') v *= 1024 * 1024, ++end;
+        if (*end == '\0') Ledger::global().set_capacity(static_cast<size_t>(v));
+      }
     }
     const char* path = std::getenv("SUIFX_PROVENANCE_JSON");
     if (path == nullptr || *path == '\0') return;
@@ -111,14 +125,33 @@ void Ledger::record(Kind kind, std::string loop, std::string var,
   e.loop = std::move(loop);
   e.var = std::move(var);
   e.detail = std::move(detail);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < kCapacity) {
-    ring_.push_back(std::move(e));
-  } else {
-    ring_[next_] = std::move(e);
-    next_ = (next_ + 1) % kCapacity;
+  bool warn_now = false;
+  size_t cap = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(e));
+    } else {
+      ring_[next_] = std::move(e);
+      next_ = (next_ + 1) % capacity_;
+      if (!warned_wrap_) {
+        warned_wrap_ = true;
+        warn_now = true;
+        cap = capacity_;
+      }
+    }
+    ++recorded_;
   }
-  ++recorded_;
+  if (warn_now) {
+    // Once per wrap epoch (re-armed by clear()/set_capacity()). stderr, not
+    // Diag: the ledger is a process-wide singleton with no Diag instance to
+    // route through.
+    std::fprintf(stderr,
+                 "suifx: provenance ring wrapped at %zu events; earliest "
+                 "events dropped (raise SUIFX_PROVENANCE_CAP)\n",
+                 cap);
+    Metrics::global().count("provenance.ring_wrap");
+  }
 }
 
 std::vector<Event> Ledger::snapshot() const {
@@ -150,6 +183,20 @@ void Ledger::clear() {
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
+  warned_wrap_ = false;
+}
+
+void Ledger::set_capacity(size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, cap);
+  ring_.clear();
+  next_ = 0;
+  warned_wrap_ = false;
+}
+
+size_t Ledger::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 std::string Ledger::json() const {

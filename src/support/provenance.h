@@ -60,6 +60,9 @@ enum class Kind : uint8_t {
   BudgetExhausted,       // step/deadline budget tripped
   CacheSeeded,           // a plan was carried across an incremental rebuild
   FaultInjected,         // a fault-injection rule fired
+  SpeculationAttempted,  // a statically-rejected loop ran speculatively
+  Misspeculation,        // commit-time validation found a conflict
+  Rollback,              // speculative state discarded; serial re-execution
 };
 
 const char* to_string(Kind k);
@@ -69,10 +72,11 @@ const char* to_string(Kind k);
 bool enabled();
 void set_enabled(bool on);
 
-/// If SUIFX_PROVENANCE=0, disable recording; if SUIFX_PROVENANCE_JSON=<path>,
-/// register an atexit hook that writes Ledger::global().json() there (the
-/// same contract trace::init_from_env has with SUIFX_TRACE). Idempotent;
-/// called by Workbench::from_source.
+/// If SUIFX_PROVENANCE=0, disable recording; if SUIFX_PROVENANCE_CAP=<n[K|M]>,
+/// resize the global ring; if SUIFX_PROVENANCE_JSON=<path>, register an
+/// atexit hook that writes Ledger::global().json() there (the same contract
+/// trace::init_from_env has with SUIFX_TRACE). Idempotent; called by
+/// Workbench::from_source.
 void init_from_env();
 
 // ---------------------------------------------------------------------------
@@ -115,7 +119,9 @@ struct Event {
 
 class Ledger {
  public:
-  static constexpr size_t kCapacity = 1 << 16;  // events kept (ring)
+  /// Default events kept (ring). Override with SUIFX_PROVENANCE_CAP (plain
+  /// count, or with a K/M suffix) via init_from_env(), or set_capacity().
+  static constexpr size_t kDefaultCapacity = 1 << 16;
   static constexpr const char* kSchema = "suifx-provenance/1";
 
   /// Append one event (stamps corr from the current thread and a global
@@ -128,6 +134,11 @@ class Ledger {
   uint64_t recorded() const;
   uint64_t dropped() const;
   void clear();
+
+  /// Resize the ring (drops held events; resets the wrap warning). Capacity
+  /// is clamped to at least 1.
+  void set_capacity(size_t cap);
+  size_t capacity() const;
 
   /// Schema-versioned JSON: {"schema":"suifx-provenance/1","dropped":N,
   /// "events":[{"seq":..,"corr":..,"kind":..,"loop":..,"var":..,
@@ -142,6 +153,11 @@ class Ledger {
   std::vector<Event> ring_;
   size_t next_ = 0;
   uint64_t recorded_ = 0;
+  size_t capacity_ = kDefaultCapacity;
+  /// Warn-once latch: the first overwritten event prints one stderr line and
+  /// bumps the `provenance.ring_wrap` metric (there is no global Diag
+  /// instance to route through — see docs/speculation.md).
+  bool warned_wrap_ = false;
 };
 
 /// Record into the global ledger, gated on enabled(). `loop` may be empty

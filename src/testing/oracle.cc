@@ -1,12 +1,17 @@
 #include "testing/oracle.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "dynamic/dyndep.h"
+#include "dynamic/profile.h"
+#include "dynamic/specexec.h"
 #include "dynamic/validate.h"
 #include "explorer/workbench.h"
 #include "parallelizer/driver.h"
+#include "parallelizer/speculate.h"
 #include "simulator/smp.h"
 
 namespace suifx::testing {
@@ -59,6 +64,7 @@ const char* to_string(Property p) {
     case Property::Soundness: return "soundness";
     case Property::Consistency: return "consistency";
     case Property::Determinism: return "determinism";
+    case Property::Speculation: return "speculation";
   }
   return "?";
 }
@@ -156,6 +162,87 @@ OracleResult check_source(const std::string& src, const OracleOptions& opts) {
         out.detail += " " + v->name;
       }
       return out;
+    }
+  }
+
+  // --- Speculation: executive output ≡ serial, commit and rollback legs. --
+  // Promote on the evidence of a fresh all-loops instrumented run (whose
+  // printed output doubles as the serial baseline), then require the
+  // speculative executive to reproduce it exactly — once letting clean
+  // attempts commit, once forcing every attempt to misspeculate so the
+  // rollback path re-executes serially. Skipped under an injected bug: the
+  // canary mutates the plan, and speculation's contract is defined against
+  // the honest one.
+  if (opts.check_speculation && !out.injected) {
+    dynamic::DynDepAnalyzer dyn(dyndep_options(plan));  // monitors all loops
+    dynamic::LoopProfiler prof;
+    dynamic::RunResult baseline;
+    {
+      dynamic::Interpreter interp(prog);
+      interp.set_inputs(opts.inputs);
+      interp.add_hook(&dyn);
+      interp.add_hook(&prof);
+      baseline = interp.run(opts.max_cost);
+      if (!baseline.ok) {
+        out.violation = Property::PipelineError;
+        out.detail = "speculation evidence run failed: " + baseline.error;
+        return out;
+      }
+    }
+    parallelizer::ParallelPlan spec_plan = plan;
+    parallelizer::SpeculationPlanner planner;
+    std::vector<parallelizer::SpecDecision> decisions = planner.promote(
+        spec_plan,
+        dynamic::gather_evidence(
+            parallelizer::SpeculationPlanner::candidates(spec_plan), dyn, prof));
+    for (const parallelizer::SpecDecision& d : decisions) {
+      if (d.promoted) ++out.speculative;
+    }
+    if (out.speculative > 0) {
+      dynamic::SpecExecOptions so;
+      so.workers = opts.spec_workers;
+      so.max_cost = opts.max_cost;
+      for (int leg = 0; leg < 2; ++leg) {
+        so.force_misspeculation = leg == 1;
+        const char* name = leg == 0 ? "commit" : "forced-rollback";
+        dynamic::SpecRunResult sr =
+            dynamic::run_speculative(prog, spec_plan, opts.inputs, so);
+        if (!sr.run.ok) {
+          out.violation = Property::Speculation;
+          out.detail = std::string(name) +
+                       " leg failed where the serial run succeeded: " +
+                       sr.run.error;
+          return out;
+        }
+        if (leg == 1 && sr.commits() != 0) {
+          out.violation = Property::Speculation;
+          out.detail = "forced misspeculation still committed " +
+                       std::to_string(sr.commits()) + " attempt(s)";
+          return out;
+        }
+        if (sr.run.printed != baseline.printed) {
+          out.violation = Property::Speculation;
+          size_t n = std::min(sr.run.printed.size(), baseline.printed.size());
+          size_t at = n;
+          for (size_t i = 0; i < n; ++i) {
+            if (sr.run.printed[i] != baseline.printed[i]) { at = i; break; }
+          }
+          char buf[160];
+          if (at < n) {
+            std::snprintf(buf, sizeof(buf),
+                          "first divergence at print %zu: speculative %.17g "
+                          "vs serial %.17g",
+                          at, sr.run.printed[at], baseline.printed[at]);
+          } else {
+            std::snprintf(buf, sizeof(buf),
+                          "print counts differ: speculative %zu vs serial %zu",
+                          sr.run.printed.size(), baseline.printed.size());
+          }
+          out.detail = std::string(name) +
+                       " leg output diverges from the serial run; " + buf;
+          return out;
+        }
+      }
     }
   }
 

@@ -12,6 +12,10 @@
 //    the Guru excludes them).
 //  - Determinism: the parallel, memoized Driver and a serial
 //    Parallelizer::plan must produce byte-identical plan signatures.
+//  - Speculation: promoting statically-rejected loops to the speculative
+//    executive (docs/speculation.md) must leave the printed output exactly
+//    equal to the serial run's — both when attempts commit and when every
+//    attempt is forced to misspeculate and roll back to serial re-execution.
 //
 // `inject_dependence_bug` force-parallelizes one loop with an observed
 // dynamic carried dependence — the canary proving the oracle catches an
@@ -31,6 +35,7 @@ enum class Property : uint8_t {
   Soundness,
   Consistency,
   Determinism,
+  Speculation,
 };
 
 const char* to_string(Property p);
@@ -48,6 +53,11 @@ struct OracleOptions {
   bool inject_dependence_bug = false;
   /// Interpreter inputs (params/arrays/scalars/seed) for the dynamic runs.
   dynamic::Inputs inputs;
+  /// Check the Speculation property (promote + execute + compare against the
+  /// serial output, commit and forced-rollback legs).
+  bool check_speculation = true;
+  /// Validation workers for the speculative executive.
+  int spec_workers = 1;
 };
 
 struct OracleResult {
@@ -59,12 +69,15 @@ struct OracleResult {
   bool injected = false;
   /// Name of the loop the bug was injected into ("" when !injected).
   std::string injected_loop;
+  /// Loops the Speculation check promoted to the executive.
+  int speculative = 0;
 
   bool ok() const { return violation == Property::None; }
 };
 
-/// Run the full pipeline over `src` and check the three properties, in the
-/// order Determinism, Soundness, Consistency; the first violation wins.
+/// Run the full pipeline over `src` and check the properties, in the order
+/// Determinism, Soundness, Consistency, Speculation; the first violation
+/// wins.
 OracleResult check_source(const std::string& src, const OracleOptions& opts = {});
 
 }  // namespace suifx::testing

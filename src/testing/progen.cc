@@ -74,6 +74,7 @@ class Gen {
   void p_region_reduction();
   void p_index_gather();
   void p_index_scatter();
+  void p_index_permute_scatter();
   void p_recurrence();
   void p_call_section();
   void p_call_reduction();
@@ -240,6 +241,26 @@ void Gen::p_index_scatter() {
   patterns_.push_back("idx_scatter");
 }
 
+// Permutation scatter: the index array holds a rotation of 1..N, so every
+// iteration touches a distinct location — but the update is non-commutative
+// (scale-and-add, not a recognized reduction) through an unknown subscript,
+// so the static test must reject the loop and reduction recognition cannot
+// rescue it. This is the canonical SpeculationPlanner candidate: statically
+// rejected, dynamically clean (docs/speculation.md).
+void Gen::p_index_permute_scatter() {
+  std::string src = arr();
+  std::string dst = arr_not(src);
+  long k = rng_.range(0, 7);
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    gix[i] = 1 + (i + " << k << ") % N;\n"
+        << "  }\n"
+        << "  do i = 1, N label " << lab() << " {\n"
+        << "    " << dst << "[gix[i]] = " << dst << "[gix[i]] * " << rc01()
+        << " + " << src << "[i] * " << rc01() << ";\n"
+        << "  }\n";
+  patterns_.push_back("idx_permute_scatter");
+}
+
 // A genuine loop-carried recurrence — order-sensitive by construction.
 // These loops must never be called independent; they are also the fodder
 // the oracle's injected-bug mode forces parallel.
@@ -390,6 +411,7 @@ GeneratedProgram Gen::run() {
       {8, &Gen::p_region_reduction, true},
       {8, &Gen::p_index_gather, true},
       {8, &Gen::p_index_scatter, true},
+      {6, &Gen::p_index_permute_scatter, true},
       {12, &Gen::p_recurrence, opts_.allow_recurrences},
       {8, &Gen::p_call_section, opts_.allow_calls},
       {5, &Gen::p_call_reduction, opts_.allow_calls},

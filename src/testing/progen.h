@@ -2,8 +2,10 @@
 // source, docs/testing.md). Programs are built from a pattern grammar biased
 // toward the thesis's hard cases — privatizable temporaries (§4.4.1),
 // +/*/min/max reductions (§6.2), index-array gathers and scatters (§6.4.2),
-// COMMON blocks with reshaped overlays (Fig 5-9), call-by-reference array
-// sections — and are well-formed by construction: every subscript is kept in
+// permutation scatters with non-commutative updates (the speculation
+// executive's canonical target, docs/speculation.md), COMMON blocks with
+// reshaped overlays (Fig 5-9), call-by-reference array sections — and are
+// well-formed by construction: every subscript is kept in
 // bounds so the interpreter never traps on a generator-made program, and
 // every program prints order-sensitive checksums (sum of a[i]*i) so an
 // unsound plan is visible in the output vector.

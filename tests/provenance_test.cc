@@ -357,6 +357,26 @@ TEST(Provenance, LedgerJsonIsSchemaVersioned) {
   EXPECT_NE(json.find("ledger json smoke"), std::string::npos);
 }
 
+TEST(Provenance, RingCapacityIsConfigurableAndWarnsOnceOnWrap) {
+  prov::Ledger& led = prov::Ledger::global();
+  size_t old_cap = led.capacity();
+  led.set_capacity(4);
+  support::Metrics::global().reset();
+  EXPECT_EQ(led.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    prov::event(prov::Kind::Degraded, "main/10", "", "cap" + std::to_string(i));
+  }
+  std::vector<prov::Event> snap = led.snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // ring holds exactly the newest `capacity`
+  EXPECT_EQ(snap.front().detail, "cap6");
+  EXPECT_EQ(snap.back().detail, "cap9");
+  // Six events were overwritten, but the wrap warning (stderr + metric) is
+  // recorded exactly once per clear() — SUIFX_PROVENANCE_CAP raises it.
+  auto counters = support::Metrics::global().counters();
+  EXPECT_EQ(counters["provenance.ring_wrap"], 1u);
+  led.set_capacity(old_cap);  // also clears the ring and the warn latch
+}
+
 TEST(Provenance, MetricsReportJsonTwin) {
   support::Metrics::global().count("prov.test.counter");
   std::string json = support::Metrics::global().report_json();

@@ -9,13 +9,20 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "benchsuite/suite.h"
+#include "dynamic/dyndep.h"
+#include "dynamic/interp.h"
+#include "dynamic/profile.h"
+#include "dynamic/specexec.h"
 #include "explorer/workbench.h"
 #include "parallelizer/driver.h"
+#include "parallelizer/speculate.h"
 #include "runtime/parloop.h"
 #include "slicing/slicer.h"
 #include "support/budget.h"
@@ -405,6 +412,133 @@ std::pair<ir::Stmt*, const ir::Expr*> last_sliceable_assign(
     });
   }
   return {stmt, read};
+}
+
+// ---------------------------------------------------------------------------
+// Speculative executive under injected faults (docs/speculation.md): whatever
+// fires — a simulated conflict, a mid-write-back commit fault, a fault inside
+// rollback itself — the run completes and the output is byte-identical to
+// the serial run. Rollback is the robustness floor speculation stands on.
+// ---------------------------------------------------------------------------
+
+const char* kSpecFaultProgram = R"(
+program sf;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+global int gix[16];
+proc main() {
+  real chk;
+  do i = 1, N label 10 {
+    gix[i] = 1 + (i + 5) % N;
+  }
+  do i = 1, N label 20 {
+    b[gix[i]] = b[gix[i]] * 0.5 + a[i] * 0.3;
+  }
+  chk = 0.0;
+  do i = 1, N label 30 {
+    chk = chk + b[i] * real(i);
+  }
+  print chk;
+}
+)";
+
+struct SpecHarness {
+  std::unique_ptr<Workbench> wb;
+  parallelizer::ParallelPlan plan;
+  std::vector<double> serial;
+};
+
+/// Build the permutation-scatter program, record the serial output, and
+/// promote the scatter loop on real dynamic evidence — the same path the
+/// Guru's speculation round takes.
+SpecHarness make_spec_harness() {
+  SpecHarness h;
+  Diag diag;
+  h.wb = Workbench::from_source(kSpecFaultProgram, diag);
+  EXPECT_NE(h.wb, nullptr) << diag.str();
+  {
+    dynamic::Interpreter interp(h.wb->program());
+    dynamic::RunResult rr = interp.run();
+    EXPECT_TRUE(rr.ok) << rr.error;
+    h.serial = rr.printed;
+  }
+  h.plan = h.wb->plan();
+  dynamic::DynDepAnalyzer dyn;
+  dynamic::LoopProfiler prof;
+  dynamic::Interpreter interp(h.wb->program());
+  interp.add_hook(&dyn);
+  interp.add_hook(&prof);
+  dynamic::RunResult rr = interp.run();
+  EXPECT_TRUE(rr.ok) << rr.error;
+  parallelizer::SpeculationPlanner planner;
+  auto decisions = planner.promote(
+      h.plan, dynamic::gather_evidence(
+                  parallelizer::SpeculationPlanner::candidates(h.plan), dyn, prof));
+  bool promoted = false;
+  for (const auto& d : decisions) promoted |= d.promoted;
+  EXPECT_TRUE(promoted) << "scatter loop was not promoted";
+  return h;
+}
+
+TEST(SpecFault, InjectedConflictRollsBackToSerialResult) {
+  CleanSlate slate;
+  SpecHarness h = make_spec_harness();
+  ASSERT_TRUE(fault::Registry::global().configure("speculate.conflict"));
+  dynamic::SpecRunResult sr =
+      dynamic::run_speculative(h.wb->program(), h.plan, dynamic::Inputs{});
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, h.serial);
+  EXPECT_GE(fault::Registry::global().fired(), 1u);
+  EXPECT_EQ(sr.commits(), 0u);
+  EXPECT_GE(sr.misspeculations(), 1u);
+}
+
+TEST(SpecFault, CommitFaultMidWritebackUndoesPartialState) {
+  CleanSlate slate;
+  SpecHarness h = make_spec_harness();
+  // Fire at the 3rd committed location: two writes have already landed in
+  // base memory and must be undone before the serial re-execution.
+  ASSERT_TRUE(fault::Registry::global().configure("speculate.commit@3"));
+  dynamic::SpecRunResult sr =
+      dynamic::run_speculative(h.wb->program(), h.plan, dynamic::Inputs{});
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, h.serial);
+  EXPECT_GE(fault::Registry::global().fired(), 1u);
+  EXPECT_EQ(sr.commits(), 0u);
+  EXPECT_GE(sr.misspeculations(), 1u);
+}
+
+TEST(SpecFault, FaultInsideRollbackIsAbsorbed) {
+  CleanSlate slate;
+  SpecHarness h = make_spec_harness();
+  // The conflict forces the rollback path; the second entry then fires
+  // inside rollback itself. Rollback is infallible by contract — the fault
+  // is absorbed and the serial re-execution still happens.
+  ASSERT_TRUE(fault::Registry::global().configure(
+      "speculate.conflict;speculate.rollback"));
+  dynamic::SpecRunResult sr =
+      dynamic::run_speculative(h.wb->program(), h.plan, dynamic::Inputs{});
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, h.serial);
+  EXPECT_GE(fault::Registry::global().fired(), 2u);
+  EXPECT_EQ(sr.commits(), 0u);
+}
+
+TEST(SpecFault, PointsRegisterForSweeps) {
+  CleanSlate slate;
+  SpecHarness h = make_spec_harness();
+  // One committing run and one forced-rollback run execute all three call
+  // sites, so a disarmed pass registers every speculation fault point.
+  dynamic::run_speculative(h.wb->program(), h.plan, dynamic::Inputs{});
+  dynamic::SpecExecOptions forced;
+  forced.force_misspeculation = true;
+  dynamic::run_speculative(h.wb->program(), h.plan, dynamic::Inputs{}, forced);
+  std::vector<std::string> points = fault::Registry::global().points();
+  for (const char* must :
+       {"speculate.conflict", "speculate.commit", "speculate.rollback"}) {
+    EXPECT_TRUE(std::count(points.begin(), points.end(), must) != 0) << must;
+  }
 }
 
 TEST(FaultSweep, EveryRegisteredPointDegradesSoundly) {

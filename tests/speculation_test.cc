@@ -1,0 +1,493 @@
+// Tests for the speculative parallelization executive (docs/speculation.md):
+// the versioned shadow memory and its validation scan, the SpeculationPlanner
+// promotion decisions, the interpreter executive's commit and rollback paths
+// (output byte-identical to serial either way), the watch-set conflict
+// reporting, the misspeculation circuit breaker, and determinism across
+// validation worker counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/dyndep.h"
+#include "dynamic/interp.h"
+#include "dynamic/profile.h"
+#include "dynamic/specexec.h"
+#include "explorer/workbench.h"
+#include "parallelizer/driver.h"
+#include "parallelizer/speculate.h"
+#include "runtime/specmem.h"
+#include "support/metrics.h"
+#include "support/provenance.h"
+
+namespace suifx {
+namespace {
+
+using explorer::Workbench;
+using runtime::spec::BreakerConfig;
+using runtime::spec::SpecBreaker;
+using runtime::spec::ValidateResult;
+using runtime::spec::VersionedMemory;
+namespace prov = support::provenance;
+
+std::unique_ptr<Workbench> build(const std::string& src) {
+  Diag diag;
+  auto wb = Workbench::from_source(src, diag);
+  EXPECT_NE(wb, nullptr) << diag.str();
+  return wb;
+}
+
+const ir::Stmt* find_loop(ir::Program& prog, const std::string& name) {
+  const ir::Stmt* found = nullptr;
+  for (auto& p : prog.procedures()) {
+    p.for_each([&](ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Do && s->loop_name() == name) found = s;
+    });
+  }
+  EXPECT_NE(found, nullptr) << name;
+  return found;
+}
+
+/// Permutation scatter: gix holds a rotation of 1..N, so the scatter loop is
+/// dynamically independent — but the update is a non-commutative
+/// scale-and-add through an unknown subscript, so the static test rejects it
+/// and reduction recognition cannot rescue it. The canonical speculation
+/// candidate.
+const char* kPermute = R"(
+program spec;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+global int gix[16];
+proc main() {
+  real chk;
+  do i = 1, N label 10 {
+    gix[i] = 1 + (i + 3) % N;
+  }
+  do i = 1, N label 20 {
+    b[gix[i]] = b[gix[i]] * 0.5 + a[i] * 0.3;
+  }
+  chk = 0.0;
+  do i = 1, N label 30 {
+    chk = chk + b[i] * real(i);
+  }
+  print chk;
+}
+)";
+
+/// Same shape with duplicate index values: iterations sharing a gix value
+/// read a location an earlier iteration wrote — a genuine cross-iteration
+/// flow conflict the validation scan must catch.
+const char* kDuplicate = R"(
+program dup;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+global int gix[16];
+proc main() {
+  real chk;
+  do i = 1, N label 10 {
+    gix[i] = 1 + i % 4;
+  }
+  do i = 1, N label 20 {
+    b[gix[i]] = b[gix[i]] * 0.5 + a[i] * 0.3;
+  }
+  chk = 0.0;
+  do i = 1, N label 30 {
+    chk = chk + b[i] * real(i);
+  }
+  print chk;
+}
+)";
+
+std::vector<double> serial_printed(const ir::Program& prog) {
+  dynamic::Interpreter interp(prog);
+  dynamic::RunResult rr = interp.run();
+  EXPECT_TRUE(rr.ok) << rr.error;
+  return rr.printed;
+}
+
+/// Evidence pass + promotion, mirroring the Guru's speculation round.
+std::vector<parallelizer::SpecDecision> promote(
+    Workbench& wb, parallelizer::ParallelPlan& plan,
+    parallelizer::SpecOptions opts = {}) {
+  dynamic::DynDepAnalyzer dyn;
+  dynamic::LoopProfiler prof;
+  dynamic::Interpreter interp(wb.program());
+  interp.add_hook(&dyn);
+  interp.add_hook(&prof);
+  dynamic::RunResult rr = interp.run();
+  EXPECT_TRUE(rr.ok) << rr.error;
+  parallelizer::SpeculationPlanner planner(opts);
+  return planner.promote(
+      plan, dynamic::gather_evidence(
+                parallelizer::SpeculationPlanner::candidates(plan), dyn, prof));
+}
+
+/// Test controller: speculate on exactly one loop, optionally force
+/// rollback, and keep every attempt report.
+struct TestController : dynamic::SpecController {
+  const ir::Stmt* target = nullptr;
+  bool force = false;
+  std::vector<Attempt> attempts;
+  bool should_speculate(const ir::Stmt* loop) override { return loop == target; }
+  bool force_misspeculate(const ir::Stmt* loop) override {
+    (void)loop;
+    return force;
+  }
+  void on_attempt(const Attempt& a) override { attempts.push_back(a); }
+};
+
+uint64_t counter(const char* key) {
+  auto m = support::Metrics::global().counters();
+  auto it = m.find(key);
+  return it == m.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// VersionedMemory
+// ---------------------------------------------------------------------------
+
+TEST(SpecMem, ExposedReadConflictDetected) {
+  VersionedMemory vm(3);
+  vm.store(0, 5, 1.0);
+  // Iteration 1 reads key 5 with no prior write of its own: exposed, and
+  // iteration 0 wrote it — a cross-iteration flow conflict.
+  EXPECT_DOUBLE_EQ(vm.load(1, 5, 7.0), 7.0);  // sees base, not iter 0's value
+  ValidateResult vr = vm.validate();
+  EXPECT_FALSE(vr.ok);
+  ASSERT_EQ(vr.conflicts, 1u);
+  ASSERT_EQ(vr.first.size(), 1u);
+  EXPECT_EQ(vr.first[0].iter, 1);
+  EXPECT_EQ(vr.first[0].writer, 0);
+  EXPECT_EQ(vr.first[0].key, 5u);
+}
+
+TEST(SpecMem, OwnWriteThenReadIsNotExposed) {
+  VersionedMemory vm(2);
+  vm.store(0, 9, 2.0);
+  vm.store(1, 9, 3.0);                         // own write first...
+  EXPECT_DOUBLE_EQ(vm.load(1, 9, 0.0), 3.0);   // ...so the read is private
+  ValidateResult vr = vm.validate();
+  EXPECT_TRUE(vr.ok);
+  EXPECT_EQ(vr.conflicts, 0u);
+}
+
+TEST(SpecMem, CommitPlanIsLastWriterWins) {
+  VersionedMemory vm(4);
+  vm.store(2, 11, 2.5);
+  vm.store(0, 11, 0.5);
+  vm.store(3, 7, 9.0);
+  vm.store(1, 11, 1.5);
+  auto plan = vm.commit_plan();
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].first, 7u);   // sorted by key
+  EXPECT_DOUBLE_EQ(plan[0].second, 9.0);
+  EXPECT_EQ(plan[1].first, 11u);
+  EXPECT_DOUBLE_EQ(plan[1].second, 2.5);  // last writer of key 11 is iter 2
+}
+
+TEST(SpecMem, ValidateIdenticalAcrossWorkerCounts) {
+  VersionedMemory vm(64);
+  // A spread of conflicts: even iterations write key i, odd iterations read
+  // the previous iteration's key exposed.
+  for (long i = 0; i < 64; ++i) {
+    if (i % 2 == 0) {
+      vm.store(i, static_cast<uint64_t>(i), 1.0);
+    } else {
+      vm.load(i, static_cast<uint64_t>(i - 1), 0.0);
+    }
+  }
+  ValidateResult v1 = vm.validate(1);
+  for (int workers : {2, 4, 8}) {
+    ValidateResult vn = vm.validate(workers);
+    EXPECT_EQ(vn.ok, v1.ok);
+    EXPECT_EQ(vn.conflicts, v1.conflicts);
+    ASSERT_EQ(vn.first.size(), v1.first.size());
+    for (size_t k = 0; k < v1.first.size(); ++k) {
+      EXPECT_EQ(vn.first[k].iter, v1.first[k].iter);
+      EXPECT_EQ(vn.first[k].writer, v1.first[k].writer);
+      EXPECT_EQ(vn.first[k].key, v1.first[k].key);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+TEST(Breaker, TripsAtConfiguredRateAndStaysTripped) {
+  BreakerConfig cfg;
+  cfg.min_attempts = 4;
+  cfg.max_rate = 0.5;
+  SpecBreaker b(cfg);
+  EXPECT_TRUE(b.allow("main/20"));
+  EXPECT_FALSE(b.record("main/20", true));   // 1/1 — below min_attempts
+  EXPECT_FALSE(b.record("main/20", false));  // 1/2
+  EXPECT_FALSE(b.record("main/20", true));   // 2/3
+  EXPECT_TRUE(b.allow("main/20"));
+  EXPECT_TRUE(b.record("main/20", true));    // 3/4 = 0.75 > 0.5: demotion edge
+  EXPECT_FALSE(b.allow("main/20"));
+  EXPECT_FALSE(b.record("main/20", true));   // edge reported exactly once
+  EXPECT_TRUE(b.stats("main/20").demoted);
+  EXPECT_TRUE(b.allow("main/10"));  // independent per loop
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+TEST(SpecPlanner, PromotesPermutationScatter) {
+  auto wb = build(kPermute);
+  parallelizer::ParallelPlan plan = wb->plan();
+  const ir::Stmt* scatter = find_loop(wb->program(), "main/20");
+  const parallelizer::LoopPlan* lp = plan.find(scatter);
+  ASSERT_NE(lp, nullptr);
+  EXPECT_FALSE(lp->parallelizable);  // the static test must reject it
+
+  auto decisions = promote(*wb, plan);
+  const parallelizer::SpecDecision* d = nullptr;
+  for (const auto& dec : decisions) {
+    if (dec.loop == scatter) d = &dec;
+  }
+  ASSERT_NE(d, nullptr) << "scatter loop is not even a candidate";
+  EXPECT_TRUE(d->promoted) << d->detail;
+  EXPECT_GT(d->risk, 0.0);
+  EXPECT_LE(d->risk, 0.35);
+  ASSERT_FALSE(d->watch.empty());
+  EXPECT_EQ(d->watch[0]->name, "b");
+  EXPECT_EQ(plan.find(scatter)->strategy, parallelizer::Strategy::Speculative);
+}
+
+TEST(SpecPlanner, RefusesObservedCarriedDependence) {
+  auto wb = build(R"(
+program rec;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+proc main() {
+  do i = 2, N label 20 {
+    b[i] = b[i - 1] * 0.5 + a[i];
+  }
+  print b[16];
+}
+)");
+  parallelizer::ParallelPlan plan = wb->plan();
+  auto decisions = promote(*wb, plan);
+  ASSERT_FALSE(decisions.empty());
+  for (const auto& d : decisions) {
+    EXPECT_FALSE(d.promoted) << d.loop_name;
+    if (d.loop_name == "main/20") {
+      EXPECT_NE(d.detail.find("carried"), std::string::npos) << d.detail;
+    }
+  }
+}
+
+TEST(SpecPlanner, PromotionIsDeterministic) {
+  auto wb1 = build(kPermute);
+  auto wb2 = build(kPermute);
+  parallelizer::ParallelPlan p1 = wb1->plan();
+  parallelizer::ParallelPlan p2 = wb2->plan();
+  auto d1 = promote(*wb1, p1);
+  auto d2 = promote(*wb2, p2);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].loop_name, d2[i].loop_name);
+    EXPECT_EQ(d1[i].promoted, d2[i].promoted);
+    EXPECT_EQ(d1[i].detail, d2[i].detail);
+  }
+  std::string s1 = parallelizer::plan_signature(p1);
+  std::string s2 = parallelizer::plan_signature(p2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1.find("spec["), std::string::npos);
+  // The amended provenance ledger is held to the same standard.
+  EXPECT_EQ(parallelizer::ledger_signature(p1), parallelizer::ledger_signature(p2));
+}
+
+// ---------------------------------------------------------------------------
+// Executive: commit and rollback
+// ---------------------------------------------------------------------------
+
+TEST(SpecExec, CommitPathMatchesSerial) {
+  auto wb = build(kPermute);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+  promote(*wb, plan);
+
+  dynamic::SpecRunResult sr =
+      dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{});
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);
+  EXPECT_GE(sr.commits(), 1u);
+  EXPECT_EQ(sr.misspeculations(), 0u);
+  const auto& o = sr.loops.at("main/20");
+  EXPECT_EQ(o.commits, 1u);
+  EXPECT_EQ(o.validated_iterations, 16u);
+  EXPECT_GT(o.shadow_writes, 0u);
+  EXPECT_GT(o.commit_writes, 0u);
+}
+
+TEST(SpecExec, ForcedRollbackMatchesSerial) {
+  auto wb = build(kPermute);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+  promote(*wb, plan);
+
+  dynamic::SpecExecOptions opts;
+  opts.force_misspeculation = true;
+  dynamic::SpecRunResult sr =
+      dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, opts);
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);  // rollback is invisible in the output
+  EXPECT_EQ(sr.commits(), 0u);
+  EXPECT_GE(sr.misspeculations(), 1u);
+}
+
+TEST(SpecExec, ConflictOnDuplicateIndexWrites) {
+  // The promoted path would never attempt this loop (the evidence run sees
+  // the carried dependence), so drive the executive directly: the validation
+  // scan must catch the conflict, name the variable, and roll back to a
+  // byte-identical serial result.
+  auto wb = build(kDuplicate);
+  std::vector<double> serial = serial_printed(wb->program());
+  const ir::Stmt* scatter = find_loop(wb->program(), "main/20");
+
+  TestController ctl;
+  ctl.target = scatter;
+  dynamic::Interpreter interp(wb->program());
+  interp.set_spec_controller(&ctl);
+  dynamic::RunResult rr = interp.run();
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_EQ(rr.printed, serial);
+
+  ASSERT_EQ(ctl.attempts.size(), 1u);
+  const auto& a = ctl.attempts[0];
+  EXPECT_TRUE(a.attempted);
+  EXPECT_FALSE(a.committed);
+  EXPECT_FALSE(a.forced);
+  EXPECT_GT(a.conflicts, 0u);
+  EXPECT_NE(a.conflict_var.find("b"), std::string::npos) << a.conflict_var;
+}
+
+TEST(SpecExec, FormalScalarWriteIsRefused) {
+  auto wb = build(R"(
+program pf;
+global real a[8] input;
+proc acc(real x[m], int m, real s) {
+  do j = 1, m label 50 {
+    s = s + x[j];
+    x[j] = x[j] + s * 0.1;
+  }
+}
+proc main() {
+  real t;
+  t = 0.0;
+  call acc(a, 8, t);
+  print t;
+  print a[3];
+}
+)");
+  std::vector<double> serial = serial_printed(wb->program());
+  const ir::Stmt* loop = find_loop(wb->program(), "acc/50");
+
+  TestController ctl;
+  ctl.target = loop;
+  dynamic::Interpreter interp(wb->program());
+  interp.set_spec_controller(&ctl);
+  dynamic::RunResult rr = interp.run();
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_EQ(rr.printed, serial);
+
+  ASSERT_EQ(ctl.attempts.size(), 1u);
+  EXPECT_FALSE(ctl.attempts[0].attempted);
+  EXPECT_NE(ctl.attempts[0].ineligible.find("formal"), std::string::npos)
+      << ctl.attempts[0].ineligible;
+}
+
+TEST(SpecExec, BreakerDemotesChronicMisspeculator) {
+  support::Metrics::global().reset();
+  auto wb = build(kPermute);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+  promote(*wb, plan);
+
+  BreakerConfig cfg;
+  cfg.min_attempts = 2;
+  cfg.max_rate = 0.4;
+  SpecBreaker breaker(cfg);
+  dynamic::SpecExecOptions opts;
+  opts.force_misspeculation = true;
+  opts.breaker = &breaker;
+
+  dynamic::SpecRunResult r1 =
+      dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, opts);
+  EXPECT_EQ(r1.attempts(), 1u);
+  EXPECT_FALSE(breaker.stats("main/20").demoted);
+  dynamic::SpecRunResult r2 =
+      dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, opts);
+  EXPECT_EQ(r2.attempts(), 1u);
+  EXPECT_TRUE(r2.loops.at("main/20").demoted);  // the demotion edge
+  EXPECT_TRUE(breaker.stats("main/20").demoted);
+  // Demoted: the executive no longer attempts the loop, runs it serially.
+  dynamic::SpecRunResult r3 =
+      dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, opts);
+  EXPECT_EQ(r3.attempts(), 0u);
+  EXPECT_TRUE(r3.run.ok);
+  EXPECT_EQ(r3.run.printed, serial);
+  EXPECT_GE(counter("spec.breaker_skip"), 1u);
+}
+
+TEST(SpecExec, DeterministicAcrossWorkerCounts) {
+  auto wb = build(kPermute);
+  parallelizer::ParallelPlan plan = wb->plan();
+  promote(*wb, plan);
+
+  dynamic::SpecExecOptions base;
+  dynamic::SpecRunResult r1 =
+      dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, base);
+  ASSERT_TRUE(r1.run.ok) << r1.run.error;
+  for (int workers : {4, 8}) {
+    dynamic::SpecExecOptions o;
+    o.workers = workers;
+    dynamic::SpecRunResult rn =
+        dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, o);
+    ASSERT_TRUE(rn.run.ok) << rn.run.error;
+    EXPECT_EQ(rn.run.printed, r1.run.printed);
+    EXPECT_EQ(rn.attempts(), r1.attempts());
+    EXPECT_EQ(rn.commits(), r1.commits());
+    EXPECT_EQ(rn.misspeculations(), r1.misspeculations());
+    const auto& a = r1.loops.at("main/20");
+    const auto& b = rn.loops.at("main/20");
+    EXPECT_EQ(b.validated_iterations, a.validated_iterations);
+    EXPECT_EQ(b.shadow_writes, a.shadow_writes);
+    EXPECT_EQ(b.commit_writes, a.commit_writes);
+  }
+}
+
+TEST(SpecExec, AttemptRecordsProvenance) {
+  prov::Ledger::global().clear();
+  auto wb = build(kPermute);
+  parallelizer::ParallelPlan plan = wb->plan();
+  promote(*wb, plan);
+
+  dynamic::SpecExecOptions opts;
+  opts.force_misspeculation = true;
+  dynamic::run_speculative(wb->program(), plan, dynamic::Inputs{}, opts);
+
+  bool saw_attempt = false, saw_misspec = false, saw_rollback = false;
+  for (const prov::Event& e : prov::Ledger::global().snapshot()) {
+    if (e.kind == prov::Kind::SpeculationAttempted) saw_attempt = true;
+    if (e.kind == prov::Kind::Misspeculation && e.loop == "main/20")
+      saw_misspec = true;
+    if (e.kind == prov::Kind::Rollback && e.loop == "main/20")
+      saw_rollback = true;
+  }
+  EXPECT_TRUE(saw_attempt);
+  EXPECT_TRUE(saw_misspec);
+  EXPECT_TRUE(saw_rollback);
+  prov::Ledger::global().clear();
+}
+
+}  // namespace
+}  // namespace suifx
