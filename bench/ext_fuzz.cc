@@ -107,8 +107,10 @@ int main(int argc, char** argv) {
     oo.rel_tolerance = args.tolerance;
     oo.inject_dependence_bug = args.inject;
     testing::OracleResult r = testing::check_source(gp.source, oo);
-    std::printf("loops %d, parallel %d, speculative %d%s\n", r.loops,
-                r.parallel, r.speculative,
+    std::printf("loops %d, parallel %d, speculative %d, pipeline %d, "
+                "doacross %d%s\n",
+                r.loops, r.parallel, r.speculative, r.pipeline_loops,
+                r.doacross_loops,
                 r.injected ? (", injected bug into " + r.injected_loop).c_str()
                            : "");
     std::printf("verdict: %s\n", testing::to_string(r.violation));
@@ -132,6 +134,8 @@ int main(int argc, char** argv) {
   int injected_caught = 0; // ... and the oracle flagged a violation
   int speculative_loops = 0;  // loops the Speculation check promoted
   int speculative_programs = 0;
+  int staged_loops = 0;  // loops the StrategyPlanner staged (pipeline+doacross)
+  int staged_programs = 0;
   int reductions_left = args.max_reductions;
 
   auto t0 = std::chrono::steady_clock::now();
@@ -143,6 +147,8 @@ int main(int argc, char** argv) {
     ++tally[r.violation];
     speculative_loops += r.speculative;
     if (r.speculative > 0) ++speculative_programs;
+    staged_loops += r.pipeline_loops + r.doacross_loops;
+    if (r.pipeline_loops + r.doacross_loops > 0) ++staged_programs;
     if (r.injected) {
       ++injected_runs;
       if (!r.ok()) ++injected_caught;
@@ -196,16 +202,21 @@ int main(int argc, char** argv) {
   std::printf("pattern mix:");
   for (const auto& [name, n] : pattern_counts) std::printf(" %s=%d", name.c_str(), n);
   std::printf("\nresults: clean=%d pipeline-error=%d soundness=%d "
-              "consistency=%d determinism=%d speculation=%d\n",
+              "consistency=%d determinism=%d speculation=%d staging=%d\n",
               tally[testing::Property::None],
               tally[testing::Property::PipelineError],
               tally[testing::Property::Soundness],
               tally[testing::Property::Consistency],
               tally[testing::Property::Determinism],
-              tally[testing::Property::Speculation]);
+              tally[testing::Property::Speculation],
+              tally[testing::Property::Staging]);
   std::printf("speculation: %d loop(s) promoted across %d program(s), "
               "commit and forced-rollback legs both checked against serial\n",
               speculative_loops, speculative_programs);
+  std::printf("staging: %d loop(s) staged across %d program(s), "
+              "staged output checked bit-identical to serial at 1/4/8 "
+              "planning workers\n",
+              staged_loops, staged_programs);
 
   if (args.inject) {
     std::printf("injected %d bugs, caught %d\n", injected_runs, injected_caught);

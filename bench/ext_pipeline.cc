@@ -1,0 +1,263 @@
+// Extension: staged strategy execution end to end (docs/pdg_planning.md).
+// Two sweeps:
+//
+//  1. Benchsuite: every suite program is planned — the StrategyPlanner
+//     promotes statically-serial loops to Pipeline (DSWP-style stage
+//     fission) or Doacross (residue-class execution at the carried-distance
+//     gcd) off their PDGs — and executes under the staged executives. The
+//     output must be byte-identical to serial on both the commit leg and a
+//     forced-abort leg (every attempt demotes back to serial).
+//  2. Progen: a seeded sweep of generated programs (the
+//     stage_producer_consumer and doacross_skewed_recurrence patterns keep
+//     staged loops flowing), same two-leg check per program.
+//
+// Exits nonzero if any output diverges from serial, if a forced-abort leg
+// still commits, or — when fault injection is disarmed — if fewer than
+// --min-committed staged loops across both sweeps actually engaged and
+// committed. Optionally writes a JSON summary for the CI perf gate.
+//
+// Usage: ext_pipeline [--progen N] [--seed S] [--min-committed K]
+//                     [--json PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dynamic/interp.h"
+#include "dynamic/stagedexec.h"
+#include "explorer/workbench.h"
+#include "support/fault.h"
+#include "testing/progen.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Tally {
+  int programs = 0;
+  int pipeline_loops = 0;   // loops planned as Pipeline
+  int doacross_loops = 0;   // loops planned as Doacross
+  int committed_loops = 0;  // staged loops that executed and committed
+  uint64_t attempts = 0;
+  uint64_t commits = 0;
+  uint64_t demotions = 0;
+  uint64_t queued_values = 0;  // total channel pushes across pipelines
+  uint64_t syncs = 0;          // post/wait pairs across doacrosses
+  int mismatches = 0;          // output divergences (either leg)
+  double serial_ms = 0;
+  double commit_ms = 0;
+  double abort_ms = 0;
+};
+
+struct ProgramOutcome {
+  int staged = 0;     // loops the plan stages
+  int committed = 0;  // ... that committed at least once on the commit leg
+  bool ok = true;
+  std::string detail;
+};
+
+/// Plan, then run the staged executives twice (commit leg, forced-abort leg)
+/// and hold both to byte-identical serial output.
+ProgramOutcome run_program(const std::string& name, const std::string& source,
+                           Tally& t) {
+  ProgramOutcome out;
+  Diag diag;
+  auto wb = explorer::Workbench::from_source(source, diag);
+  if (wb == nullptr) {
+    out.ok = false;
+    out.detail = name + ": front end rejected the program";
+    return out;
+  }
+  ++t.programs;
+  parallelizer::ParallelPlan plan = wb->plan();
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    if (lp->strategy == parallelizer::Strategy::Pipeline) {
+      ++t.pipeline_loops;
+      ++out.staged;
+    } else if (lp->strategy == parallelizer::Strategy::Doacross) {
+      ++t.doacross_loops;
+      ++out.staged;
+    }
+  }
+  if (out.staged == 0) return out;
+
+  std::vector<double> serial;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    dynamic::Interpreter interp(wb->program());
+    dynamic::RunResult rr = interp.run();
+    t.serial_ms += ms_since(t0);
+    if (!rr.ok) {
+      out.ok = false;
+      out.detail = name + ": serial run failed: " + rr.error;
+      return out;
+    }
+    serial = rr.printed;
+  }
+
+  for (int leg = 0; leg < 2; ++leg) {
+    dynamic::StagedExecOptions opts;
+    opts.force_abort = leg == 1;
+    auto t0 = std::chrono::steady_clock::now();
+    dynamic::StagedRunResult sr =
+        dynamic::run_staged(wb->program(), plan, dynamic::Inputs{}, opts);
+    (leg == 0 ? t.commit_ms : t.abort_ms) += ms_since(t0);
+    t.attempts += sr.attempts();
+    t.commits += sr.commits();
+    t.demotions += sr.demotions();
+    const char* leg_name = leg == 0 ? "commit" : "forced-abort";
+    if (!sr.run.ok) {
+      out.ok = false;
+      out.detail = name + ": " + std::string(leg_name) +
+                   " leg failed: " + sr.run.error;
+      ++t.mismatches;
+      return out;
+    }
+    if (sr.run.printed != serial) {
+      out.ok = false;
+      out.detail = name + ": " + std::string(leg_name) +
+                   " leg output diverges from serial";
+      ++t.mismatches;
+      return out;
+    }
+    if (leg == 1 && sr.commits() != 0) {
+      out.ok = false;
+      out.detail = name + ": forced-abort leg still committed";
+      ++t.mismatches;
+      return out;
+    }
+    if (leg == 0) {
+      for (const auto& [loop, o] : sr.loops) {
+        t.queued_values += o.queued_values;
+        t.syncs += o.syncs;
+        if (o.commits > 0) {
+          ++out.committed;
+          ++t.committed_loops;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int progen_programs = 120;
+  uint64_t seed = 1;
+  int min_committed = 5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progen") == 0 && i + 1 < argc) {
+      progen_programs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-committed") == 0 && i + 1 < argc) {
+      min_committed = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_pipeline [--progen N] [--seed S] "
+                   "[--min-committed K] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  std::printf("Extension: staged strategies (pipeline / doacross)\n");
+  std::printf("every leg compared byte-for-byte against the serial run\n\n");
+
+  Tally tally;
+  bool all_ok = true;
+
+  std::printf("benchsuite:\n");
+  std::printf("%s%s%s%s\n", cell("program", 14).c_str(),
+              cell("staged", 8).c_str(), cell("committed", 11).c_str(),
+              cell("output", 8).c_str());
+  rule(41);
+  for (const benchsuite::BenchProgram* bp : benchsuite::full_suite()) {
+    ProgramOutcome o = run_program(bp->name, bp->source, tally);
+    std::printf("%s%s%s%s\n", cell(bp->name, 14).c_str(),
+                cell(static_cast<long>(o.staged), 8).c_str(),
+                cell(static_cast<long>(o.committed), 11).c_str(),
+                cell(o.ok ? "ok" : "DIVERGED", 8).c_str());
+    if (!o.ok) {
+      all_ok = false;
+      std::printf("  %s\n", o.detail.c_str());
+    }
+  }
+
+  std::printf("\nprogen sweep: %d programs, base seed %llu\n", progen_programs,
+              static_cast<unsigned long long>(seed));
+  for (int g = 0; g < progen_programs; ++g) {
+    testing::GeneratedProgram gp =
+        testing::generate_program(seed + static_cast<uint64_t>(g));
+    ProgramOutcome o = run_program(gp.name, gp.source, tally);
+    if (!o.ok) {
+      all_ok = false;
+      std::printf("  seed %llu: %s\n",
+                  static_cast<unsigned long long>(gp.seed), o.detail.c_str());
+    }
+  }
+
+  std::printf("\n%d programs: %d pipeline + %d doacross loops planned, "
+              "%d committed\n",
+              tally.programs, tally.pipeline_loops, tally.doacross_loops,
+              tally.committed_loops);
+  std::printf("executives: %llu attempts, %llu commits, %llu demotions; "
+              "%llu values queued, %llu sync pairs\n",
+              static_cast<unsigned long long>(tally.attempts),
+              static_cast<unsigned long long>(tally.commits),
+              static_cast<unsigned long long>(tally.demotions),
+              static_cast<unsigned long long>(tally.queued_values),
+              static_cast<unsigned long long>(tally.syncs));
+  std::printf("wall: serial %.1f ms, commit leg %.1f ms, forced-abort leg "
+              "%.1f ms\n",
+              tally.serial_ms, tally.commit_ms, tally.abort_ms);
+
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"programs\": " << tally.programs << ",\n"
+       << "  \"pipeline_loops\": " << tally.pipeline_loops << ",\n"
+       << "  \"doacross_loops\": " << tally.doacross_loops << ",\n"
+       << "  \"committed_loops\": " << tally.committed_loops << ",\n"
+       << "  \"attempts\": " << tally.attempts << ",\n"
+       << "  \"commits\": " << tally.commits << ",\n"
+       << "  \"demotions\": " << tally.demotions << ",\n"
+       << "  \"queued_values\": " << tally.queued_values << ",\n"
+       << "  \"syncs\": " << tally.syncs << ",\n"
+       << "  \"mismatches\": " << tally.mismatches << ",\n"
+       << "  \"serial_ms\": " << tally.serial_ms << ",\n"
+       << "  \"commit_ms\": " << tally.commit_ms << ",\n"
+       << "  \"abort_ms\": " << tally.abort_ms << "\n"
+       << "}\n";
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+
+  if (!all_ok) {
+    std::printf("FAIL: staged execution diverged from serial\n");
+    return 1;
+  }
+  // The engagement floor only applies to clean runs: under an armed fault
+  // spec (the CI fault matrix) attempts legitimately collapse to demotions.
+  if (!support::fault::Registry::global().armed() &&
+      tally.committed_loops < min_committed) {
+    std::printf("FAIL: only %d committed staged loops (< %d): staging never "
+                "engaged\n",
+                tally.committed_loops, min_committed);
+    return 1;
+  }
+  std::printf("OK: all outputs byte-identical to serial\n");
+  return 0;
+}

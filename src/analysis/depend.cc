@@ -259,6 +259,18 @@ poly::SymMap DependenceAnalysis::prime_map(const ir::Stmt* loop,
 bool DependenceAnalysis::cross_iteration_overlap(const ir::Stmt* loop,
                                                  const SectionList& a,
                                                  const SectionList& b) const {
+  return overlap_probe(loop, a, b, /*directed=*/false);
+}
+
+bool DependenceAnalysis::cross_iteration_overlap_directed(
+    const ir::Stmt* loop, const SectionList& a, const SectionList& b) const {
+  return overlap_probe(loop, a, b, /*directed=*/true);
+}
+
+bool DependenceAnalysis::overlap_probe(const ir::Stmt* loop,
+                                       const SectionList& a,
+                                       const SectionList& b,
+                                       bool directed) const {
   const AccessInfo& body = df_.body_info(loop);
   poly::SymMap prime = prime_map(loop, body);
   LinSystem bounds = df_.loop_bounds(loop);
@@ -279,6 +291,7 @@ bool DependenceAnalysis::cross_iteration_overlap(const ir::Stmt* loop,
     for (const LinSystem& pb2 : primed_b) {
       LinSystem base = poly::cache::intersect(pa_bounded, pb2);
       for (long dir : {+1L, -1L}) {
+        if (directed && dir < 0) continue;  // forward direction only: i < i'
         LinSystem probe = base;
         LinearExpr diff = LinearExpr::var(isym2);
         diff -= LinearExpr::var(isym);

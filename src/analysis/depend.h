@@ -68,8 +68,17 @@ class DependenceAnalysis {
   bool cross_iteration_overlap(const ir::Stmt* loop, const poly::SectionList& a,
                                const poly::SectionList& b) const;
 
+  /// Forward-only variant: does `a`@i intersect `b`@i' for some i < i'?
+  /// This is the directed test the PDG builder uses to orient carried data
+  /// edges source-at-earlier-iteration -> sink-at-later-iteration.
+  bool cross_iteration_overlap_directed(const ir::Stmt* loop,
+                                        const poly::SectionList& a,
+                                        const poly::SectionList& b) const;
+
  private:
   poly::SymMap prime_map(const ir::Stmt* loop, const AccessInfo& body) const;
+  bool overlap_probe(const ir::Stmt* loop, const poly::SectionList& a,
+                     const poly::SectionList& b, bool directed) const;
 
   const ArrayDataflow& df_;
   bool enable_reductions_ = true;

@@ -1,6 +1,7 @@
 #include "dynamic/interp.h"
 
 #include <cmath>
+#include <deque>
 #include <stdexcept>
 
 #include "support/fault.h"
@@ -339,8 +340,22 @@ void Interpreter::exec_stmt(const ir::Stmt* s, Frame& f) {
       long trip = step > 0 ? (ub - lb + step) / step : (lb - ub - step) / (-step);
       trip = std::max<long>(0, trip);
       bool reversed = reversed_.count(s) != 0;
-      if (spec_ == nullptr && spec_ctl_ != nullptr && !reversed && trip > 1 &&
-          spec_ctl_->should_speculate(s)) {
+      if (spec_ == nullptr && !stage_active_ && stage_ctl_ != nullptr &&
+          !reversed && trip > 1) {
+        if (const runtime::staged::StagedLoopPlan* sp = stage_ctl_->staged_plan(s)) {
+          bool done = sp->kind == runtime::staged::StagedKind::Pipeline
+                          ? exec_do_pipeline(s, f, islot, iaddr, lb, step, trip, *sp)
+                          : exec_do_doacross(s, f, islot, iaddr, lb, step, trip, *sp);
+          if (done) {
+            for (ExecHooks* h : hooks_) h->on_loop_exit(s);
+            return;
+          }
+          // Refused or demoted: the snapshot restored the pre-loop state;
+          // fall through to the plain serial loop.
+        }
+      }
+      if (spec_ == nullptr && !stage_active_ && spec_ctl_ != nullptr &&
+          !reversed && trip > 1 && spec_ctl_->should_speculate(s)) {
         if (exec_do_speculative(s, f, islot, iaddr, lb, step, trip)) {
           for (ExecHooks* h : hooks_) h->on_loop_exit(s);
           return;
@@ -541,6 +556,257 @@ bool Interpreter::exec_do_speculative(const ir::Stmt* s, Frame& f, double* islot
     // still counts it as fired) — there is nothing left to unwind.
   }
   spec_ctl_->on_attempt(at);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Staged executives (docs/pdg_planning.md)
+// ---------------------------------------------------------------------------
+
+double Interpreter::read_scalar_var(const ir::Variable* v, Frame& f) {
+  if (double* slot = scalar_slot(v, f)) return *slot;
+  return load(scalar_addr(v, f));
+}
+
+void Interpreter::write_scalar_var(const ir::Variable* v, Frame& f, double val) {
+  if (double* slot = scalar_slot(v, f)) {
+    *slot = val;
+  } else {
+    store(scalar_addr(v, f), val);
+  }
+}
+
+Interpreter::StageSnapshot Interpreter::stage_snapshot(const Frame& f) const {
+  StageSnapshot snap;
+  snap.fuel = fuel_;
+  snap.cost = result_.total_cost;
+  snap.printed = result_.printed.size();
+  snap.storages = storages_;
+  snap.scalars = f.scalars;
+  snap.scalar_addrs = f.scalar_addrs;
+  return snap;
+}
+
+void Interpreter::stage_restore(StageSnapshot&& snap, Frame& f) {
+  fuel_ = snap.fuel;
+  result_.total_cost = snap.cost;
+  result_.printed.resize(snap.printed);
+  result_.error.clear();
+  aborted_ = false;
+  // Restoring the storage vector also drops lazily-allocated scalar slots and
+  // any callee-frame storage an aborted nested call left behind.
+  storages_ = std::move(snap.storages);
+  f.scalar_addrs = std::move(snap.scalar_addrs);
+  // In place, preserving node addresses: the Do executive holds a pointer
+  // into f.scalars for the induction slot across the demotion. A key the
+  // attempt lazily inserted reverts to the value-initialized 0.0 the serial
+  // re-execution's own lazy insert would produce.
+  for (auto& [v, val] : f.scalars) {
+    auto it = snap.scalars.find(v);
+    val = it != snap.scalars.end() ? it->second : 0.0;
+  }
+}
+
+bool Interpreter::exec_do_pipeline(const ir::Stmt* s, Frame& f, double* islot,
+                                   const Addr& iaddr, long lb, long step,
+                                   long trip,
+                                   const runtime::staged::StagedLoopPlan& plan) {
+  namespace fault = support::fault;
+  namespace staged = runtime::staged;
+  StageController::Attempt at;
+  at.loop = s;
+  at.trip = trip;
+  at.plan = &plan;
+
+  const size_t cap = stage_cap_ != 0 ? stage_cap_ : staged::stage_queue_capacity();
+  // Stage-by-stage fission needs queue depth = trip on every channel; refuse
+  // upfront rather than demote mid-flight.
+  if (!plan.channels.empty() && static_cast<size_t>(trip) > cap) {
+    at.ineligible = "trip count " + std::to_string(trip) +
+                    " exceeds stage queue capacity " + std::to_string(cap);
+    stage_ctl_->on_attempt(at);
+    return false;
+  }
+  at.attempted = true;
+
+  StageSnapshot snap = stage_snapshot(f);
+  // deque, not vector: StageQueue holds atomics and is immovable.
+  std::deque<staged::StageQueue> queues;
+  for (size_t i = 0; i < plan.channels.size(); ++i) queues.emplace_back(cap);
+
+  stage_active_ = true;
+  bool ok = true;
+  std::string why;
+  try {
+    for (size_t si = 0; si < plan.stages.size() && ok; ++si) {
+      const staged::Stage& st = plan.stages[si];
+      for (long k = 0; k < trip && ok; ++k) {
+        long iv = lb + k * step;
+        // Iteration hooks fire once per iteration, on the first pass.
+        if (si == 0) {
+          for (ExecHooks* h : hooks_) h->on_loop_iter(s, iv);
+        }
+        // Every stage replays the serial induction sequence.
+        if (islot != nullptr) {
+          *islot = static_cast<double>(iv);
+        } else {
+          store(iaddr, static_cast<double>(iv));
+        }
+        // Pop this stage's inbound channels: the queued value is exactly the
+        // serial value of the variable after producer iteration k.
+        for (size_t ci = 0; ci < plan.channels.size() && ok; ++ci) {
+          if (plan.channels[ci].consumer_stage != static_cast<int>(si)) continue;
+          double v = 0.0;
+          if (!queues[ci].pop(&v)) {
+            ok = false;
+            why = "channel underrun on " + plan.channels[ci].var->qualified_name();
+            break;
+          }
+          write_scalar_var(plan.channels[ci].var, f, v);
+        }
+        if (!ok) break;
+        for (const ir::Stmt* stx : st.stmts) exec_stmt(stx, f);
+        // Push outbound channels with the variable's current (serial) value.
+        for (size_t ci = 0; ci < plan.channels.size() && ok; ++ci) {
+          if (plan.channels[ci].producer_stage != static_cast<int>(si)) continue;
+          try {
+            SUIFX_FAULT_POINT("pipeline.queue");
+          } catch (const fault::InjectedFault&) {
+            ok = false;
+            why = "injected stage queue fault";
+            break;
+          }
+          if (!queues[ci].push(read_scalar_var(plan.channels[ci].var, f))) {
+            ok = false;
+            why = "stage queue full on " + plan.channels[ci].var->qualified_name();
+            break;
+          }
+        }
+      }
+    }
+  } catch (const AbortExec&) {
+    // In-flight failure (bounds, budget): demote and let the serial
+    // re-execution reproduce the identical failure against identical state.
+    ok = false;
+    why = "execution aborted under staging";
+  }
+  stage_active_ = false;
+  for (const staged::StageQueue& q : queues) {
+    at.queued_values += q.total_pushed();
+    at.max_queue_depth = std::max<uint64_t>(at.max_queue_depth, q.max_depth());
+  }
+  if (ok && stage_ctl_->force_abort(s)) {
+    ok = false;
+    why = "forced abort (drill)";
+  }
+  if (ok) {
+    at.committed = true;
+    stage_ctl_->on_attempt(at);
+    return true;
+  }
+  stage_restore(std::move(snap), f);
+  at.abort_reason = why;
+  stage_ctl_->on_attempt(at);
+  return false;
+}
+
+bool Interpreter::exec_do_doacross(const ir::Stmt* s, Frame& f, double* islot,
+                                   const Addr& iaddr, long lb, long step,
+                                   long trip,
+                                   const runtime::staged::StagedLoopPlan& plan) {
+  namespace fault = support::fault;
+  namespace staged = runtime::staged;
+  StageController::Attempt at;
+  at.loop = s;
+  at.trip = trip;
+  at.plan = &plan;
+
+  const long d = plan.sync_distance;
+  if (d < 2) {
+    at.ineligible = "sync distance " + std::to_string(d) + " < 2";
+    stage_ctl_->on_attempt(at);
+    return false;
+  }
+  at.attempted = true;
+
+  StageSnapshot snap = stage_snapshot(f);
+  staged::SyncCellArray cells(static_cast<size_t>(trip));
+  std::vector<double> fixvals(plan.fixups.size(), 0.0);
+  bool have_fixvals = false;
+
+  stage_active_ = true;
+  bool ok = true;
+  std::string why;
+  try {
+    // Residue-class order: every carried dependence distance is a multiple
+    // of d, so a dependent pair lands in the same class, in source order.
+    for (long r = 0; r < d && ok; ++r) {
+      for (long k = r; k < trip && ok; k += d) {
+        if (k >= d) {
+          try {
+            SUIFX_FAULT_POINT("doacross.sync");
+          } catch (const fault::InjectedFault&) {
+            ok = false;
+            why = "injected sync fault";
+            break;
+          }
+          if (!cells.wait(static_cast<size_t>(k - d))) {
+            ok = false;
+            why = "sync deadlock: iteration " + std::to_string(k - d) +
+                  " not posted";
+            break;
+          }
+          ++at.syncs;
+        }
+        long iv = lb + k * step;
+        for (ExecHooks* h : hooks_) h->on_loop_iter(s, iv);
+        if (islot != nullptr) {
+          *islot = static_cast<double>(iv);
+        } else {
+          store(iaddr, static_cast<double>(iv));
+        }
+        exec_body(s->body, f);
+        if (k == trip - 1) {
+          // The serially-last iteration: capture the last-iteration
+          // finalization values before later residue classes overwrite them.
+          for (size_t i = 0; i < plan.fixups.size(); ++i) {
+            fixvals[i] = read_scalar_var(plan.fixups[i], f);
+          }
+          have_fixvals = true;
+        }
+        cells.post(static_cast<size_t>(k));
+      }
+    }
+  } catch (const AbortExec&) {
+    ok = false;
+    why = "execution aborted under staging";
+  }
+  stage_active_ = false;
+  if (ok && stage_ctl_->force_abort(s)) {
+    ok = false;
+    why = "forced abort (drill)";
+  }
+  if (ok) {
+    // Restore the serial exit state: finalized scalars hold their iteration
+    // trip-1 values and the induction variable its serial final value.
+    if (have_fixvals) {
+      for (size_t i = 0; i < plan.fixups.size(); ++i) {
+        write_scalar_var(plan.fixups[i], f, fixvals[i]);
+      }
+    }
+    long last_iv = lb + (trip - 1) * step;
+    if (islot != nullptr) {
+      *islot = static_cast<double>(last_iv);
+    } else {
+      store(iaddr, static_cast<double>(last_iv));
+    }
+    at.committed = true;
+    stage_ctl_->on_attempt(at);
+    return true;
+  }
+  stage_restore(std::move(snap), f);
+  at.abort_reason = why;
+  stage_ctl_->on_attempt(at);
   return false;
 }
 

@@ -21,6 +21,7 @@
 
 #include "ir/ir.h"
 #include "runtime/specmem.h"
+#include "runtime/stagequeue.h"
 
 namespace suifx::dynamic {
 
@@ -99,6 +100,51 @@ class SpecController {
   virtual void on_attempt(const Attempt& a) { (void)a; }
 };
 
+/// Controls the staged executives (docs/pdg_planning.md). When installed
+/// with set_stage_controller(), each Do loop the controller hands a
+/// StagedLoopPlan for runs DSWP-style stage-by-stage fission (Pipeline) or
+/// residue-class execution with post/wait sync (Doacross). Both replay the
+/// exact serial value chains, so a committed staged run is byte-identical to
+/// serial; any failure (queue backpressure, sync deadlock, injected fault,
+/// forced drill) restores the pre-loop state and demotes to the plain serial
+/// loop. Staging does not nest, and speculation is off inside a staged
+/// region.
+class StageController {
+ public:
+  virtual ~StageController() = default;
+
+  /// Everything that happened in one staged attempt (or refusal).
+  struct Attempt {
+    const ir::Stmt* loop = nullptr;
+    long trip = 0;
+    const runtime::staged::StagedLoopPlan* plan = nullptr;
+    /// False when the executive refused before doing staged work;
+    /// `ineligible` then says why.
+    bool attempted = false;
+    bool committed = false;
+    std::string ineligible;
+    /// Why a started attempt demoted to serial ("" when committed).
+    std::string abort_reason;
+    uint64_t queued_values = 0;   // total channel pushes (pipeline)
+    uint64_t max_queue_depth = 0; // high-water mark over all channels
+    uint64_t syncs = 0;           // post/wait pairs observed (doacross)
+  };
+
+  /// The staged recipe for this loop, or null to run it normally. Called
+  /// once per dynamic loop entry (outside any active staged region).
+  virtual const runtime::staged::StagedLoopPlan* staged_plan(const ir::Stmt* loop) {
+    (void)loop;
+    return nullptr;
+  }
+  /// Force a demotion even when the staged run succeeds (fault drills).
+  virtual bool force_abort(const ir::Stmt* loop) {
+    (void)loop;
+    return false;
+  }
+  /// Outcome report, once per staged_plan()!=null loop entry.
+  virtual void on_attempt(const Attempt& a) { (void)a; }
+};
+
 /// Inputs for `input`-flagged variables and SymParam overrides. Variables
 /// without explicit data get a deterministic seeded fill.
 struct Inputs {
@@ -134,6 +180,14 @@ class Interpreter {
   /// Worker threads commit-time validation shards over (results are
   /// byte-identical at any count; >1 exercises the concurrent scan).
   void set_spec_workers(int n) { spec_workers_ = n < 1 ? 1 : n; }
+
+  /// Install the staged executives' controller (null = off). The controller
+  /// must outlive run().
+  void set_stage_controller(StageController* c) { stage_ctl_ = c; }
+  /// Per-channel stage queue capacity (0 = SUIFX_STAGE_QUEUE_CAP or the
+  /// built-in default). Loops whose trip count exceeds this are refused —
+  /// stage-by-stage fission needs queue depth = trip.
+  void set_stage_queue_capacity(size_t cap) { stage_cap_ = cap; }
 
   /// Execute main() to completion (or until `max_cost` units).
   RunResult run(uint64_t max_cost = 2'000'000'000ULL);
@@ -186,6 +240,32 @@ class Interpreter {
   /// Address of a storage-backed scalar (local/global/common); fails for
   /// formals (which are frame-private).
   Addr scalar_addr(const ir::Variable* v, Frame& f);
+  /// Staged executives (docs/pdg_planning.md). True = the staged run
+  /// committed (caller skips the plain loop); false = refused or demoted
+  /// with pre-loop state restored (caller runs the loop serially).
+  bool exec_do_pipeline(const ir::Stmt* s, Frame& f, double* islot,
+                        const Addr& iaddr, long lb, long step, long trip,
+                        const runtime::staged::StagedLoopPlan& plan);
+  bool exec_do_doacross(const ir::Stmt* s, Frame& f, double* islot,
+                        const Addr& iaddr, long lb, long step, long trip,
+                        const runtime::staged::StagedLoopPlan& plan);
+  /// Bookkeeping access to a scalar's current value (no hooks fired): the
+  /// channel push/pop and fixup paths of the staged executives.
+  double read_scalar_var(const ir::Variable* v, Frame& f);
+  void write_scalar_var(const ir::Variable* v, Frame& f, double val);
+  /// Pre-loop state a demoted staged attempt restores. Scalar values are
+  /// restored in place (node identity preserved — the caller holds a pointer
+  /// into f.scalars for the induction slot).
+  struct StageSnapshot {
+    uint64_t fuel = 0;
+    uint64_t cost = 0;
+    size_t printed = 0;
+    std::vector<Storage> storages;
+    std::map<const ir::Variable*, double> scalars;
+    std::map<const ir::Variable*, Addr> scalar_addrs;
+  };
+  StageSnapshot stage_snapshot(const Frame& f) const;
+  void stage_restore(StageSnapshot&& snap, Frame& f);
   void fail(const ir::Stmt* s, const std::string& msg);
   uint64_t expr_cost(const ir::Expr* e) const;
   double default_fill(const ir::Variable* v, long index) const;
@@ -225,6 +305,10 @@ class Interpreter {
   SpecController* spec_ctl_ = nullptr;
   int spec_workers_ = 1;
   std::unique_ptr<SpecState> spec_;
+
+  StageController* stage_ctl_ = nullptr;
+  size_t stage_cap_ = 0;   // 0 = env/default (stage_queue_capacity())
+  bool stage_active_ = false;
 };
 
 }  // namespace suifx::dynamic

@@ -1,0 +1,126 @@
+#include "dynamic/stagedexec.h"
+
+#include "support/metrics.h"
+#include "support/provenance.h"
+
+namespace suifx::dynamic {
+
+namespace prov = support::provenance;
+
+namespace {
+
+/// Interpreter-side controller backed by a ParallelPlan: stage exactly the
+/// Pipeline/Doacross loops, and account every outcome into Metrics, the
+/// global ledger, and the run's per-loop report. Degradation ladder: after a
+/// loop's first abort it is demoted for the rest of the run — the staged
+/// plan is no longer offered and subsequent entries run plain serial.
+class PlanStageController : public StageController {
+ public:
+  PlanStageController(const parallelizer::ParallelPlan& plan,
+                      const StagedExecOptions& opts, StagedRunResult& out)
+      : plan_(plan), opts_(opts), out_(out) {}
+
+  const runtime::staged::StagedLoopPlan* staged_plan(const ir::Stmt* loop) override {
+    const parallelizer::LoopPlan* lp = plan_.find(loop);
+    if (lp == nullptr || lp->staging == nullptr) return nullptr;
+    if (lp->strategy != parallelizer::Strategy::Pipeline &&
+        lp->strategy != parallelizer::Strategy::Doacross) {
+      return nullptr;
+    }
+    if (demoted_.count(loop) != 0) {
+      support::Metrics::global().count("stage.demoted_skip");
+      return nullptr;
+    }
+    return lp->staging.get();
+  }
+
+  bool force_abort(const ir::Stmt* loop) override {
+    (void)loop;
+    return opts_.force_abort;
+  }
+
+  void on_attempt(const Attempt& a) override {
+    support::Metrics& m = support::Metrics::global();
+    const std::string name = a.loop->loop_name();
+    StagedLoopOutcome& o = out_.loops[name];
+    o.loop_name = name;
+    if (const parallelizer::LoopPlan* lp = plan_.find(a.loop)) {
+      o.strategy = lp->strategy;
+    }
+
+    if (!a.attempted) {
+      ++o.refusals;
+      o.last_detail = a.ineligible;
+      m.count("stage.refused");
+      return;
+    }
+    ++o.attempts;
+    o.queued_values += a.queued_values;
+    o.max_queue_depth = std::max(o.max_queue_depth, a.max_queue_depth);
+    o.syncs += a.syncs;
+    m.count("stage.attempt");
+
+    if (a.committed) {
+      ++o.commits;
+      o.last_detail.clear();
+      m.count("stage.commit");
+      return;
+    }
+    ++o.demotions;
+    o.last_detail = a.abort_reason;
+    m.count("stage.demotion");
+    prov::event(prov::Kind::Rollback, name, "",
+                "staged state discarded (" + a.abort_reason + ") after " +
+                    std::to_string(a.trip) +
+                    " iteration(s); serial re-execution");
+    if (demoted_.insert(a.loop).second) {
+      o.demoted = true;
+      m.count("stage.demoted");
+      prov::event(prov::Kind::Degraded, name, "",
+                  "staged execution demoted to serial after an abort (" +
+                      a.abort_reason + ")");
+    }
+  }
+
+ private:
+  const parallelizer::ParallelPlan& plan_;
+  const StagedExecOptions& opts_;
+  StagedRunResult& out_;
+  std::set<const ir::Stmt*> demoted_;
+};
+
+}  // namespace
+
+uint64_t StagedRunResult::attempts() const {
+  uint64_t n = 0;
+  for (const auto& [name, o] : loops) n += o.attempts;
+  return n;
+}
+
+uint64_t StagedRunResult::commits() const {
+  uint64_t n = 0;
+  for (const auto& [name, o] : loops) n += o.commits;
+  return n;
+}
+
+uint64_t StagedRunResult::demotions() const {
+  uint64_t n = 0;
+  for (const auto& [name, o] : loops) n += o.demotions;
+  return n;
+}
+
+StagedRunResult run_staged(const ir::Program& prog,
+                           const parallelizer::ParallelPlan& plan,
+                           const Inputs& inputs,
+                           const StagedExecOptions& opts) {
+  StagedRunResult out;
+  PlanStageController ctl(plan, opts, out);
+  Interpreter interp(prog);
+  interp.set_inputs(inputs);
+  interp.set_stage_controller(&ctl);
+  interp.set_stage_queue_capacity(opts.queue_capacity);
+  out.run = interp.run(opts.max_cost);
+  return out;
+}
+
+}  // namespace suifx::dynamic

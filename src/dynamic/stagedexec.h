@@ -1,0 +1,67 @@
+// The staged parallelization executive (docs/pdg_planning.md): runs a
+// program whose ParallelPlan carries Pipeline/Doacross loops (promoted by
+// the parallelizer::StrategyPlanner), driving the Interpreter's staged
+// executives per promoted loop — DSWP stage-by-stage fission with bounded
+// stage queues, or residue-class DOACROSS with post/wait sync cells — and
+// accounting every outcome into Metrics, the provenance ledger, and a
+// per-loop report. Output is byte-identical to a plain serial run whether
+// loops commit or demote: a demoted attempt restores the pre-loop state and
+// re-executes serially (the last rung of the degradation ladder,
+// docs/robustness.md).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "dynamic/interp.h"
+#include "parallelizer/parallelizer.h"
+
+namespace suifx::dynamic {
+
+struct StagedExecOptions {
+  /// Interpreter execution budget.
+  uint64_t max_cost = 2'000'000'000ULL;
+  /// Per-channel stage queue capacity (0 = SUIFX_STAGE_QUEUE_CAP or the
+  /// built-in default). Loops with channels and trip > capacity are refused.
+  size_t queue_capacity = 0;
+  /// Force every staged attempt to demote to serial (fault drills; the fuzz
+  /// oracle's forced-abort leg).
+  bool force_abort = false;
+};
+
+/// Per-loop staging accounting, keyed by loop name in StagedRunResult.
+struct StagedLoopOutcome {
+  std::string loop_name;
+  parallelizer::Strategy strategy = parallelizer::Strategy::Serial;
+  uint64_t attempts = 0;       // staged executions started
+  uint64_t commits = 0;        // ran staged to completion
+  uint64_t demotions = 0;      // fell back to the plain serial loop
+  uint64_t refusals = 0;       // executive declined before staging
+  uint64_t queued_values = 0;  // channel pushes (pipeline)
+  uint64_t max_queue_depth = 0;
+  uint64_t syncs = 0;          // post/wait pairs (doacross)
+  /// The degradation ladder stopped offering this loop's staged plan after
+  /// its first abort.
+  bool demoted = false;
+  /// Last abort/ineligibility reason ("" when clean).
+  std::string last_detail;
+};
+
+struct StagedRunResult {
+  RunResult run;
+  std::map<std::string, StagedLoopOutcome> loops;
+
+  uint64_t attempts() const;
+  uint64_t commits() const;
+  uint64_t demotions() const;
+};
+
+/// Execute the program, running every Pipeline/Doacross loop of `plan` under
+/// the staged executives.
+StagedRunResult run_staged(const ir::Program& prog,
+                           const parallelizer::ParallelPlan& plan,
+                           const Inputs& inputs,
+                           const StagedExecOptions& opts = {});
+
+}  // namespace suifx::dynamic

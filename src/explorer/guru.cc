@@ -121,6 +121,7 @@ void Guru::analyze() {
     r.dep_vars = lp.verdict.dependent_vars();
     r.dynamic_dep = dyndep_->observed_carried(loop);
     r.blocked_reason = lp.reason;
+    r.strategy = lp.strategy;
     r.speculative = lp.strategy == parallelizer::Strategy::Speculative;
     if (r.speculative) {
       auto so = spec_result_.loops.find(loop->loop_name());
@@ -172,6 +173,19 @@ std::string Guru::planning_profile() const {
   for (const std::string& d : wb_.degradations()) {
     os << "degraded: " << d << "\n";
   }
+  // Staged strategies (docs/pdg_planning.md): loops the classic ladder left
+  // serial that the StrategyPlanner promoted off their PDGs.
+  {
+    int pipelines = 0, doacrosses = 0;
+    for (const parallelizer::LoopPlan* lp : plan_.ordered()) {
+      pipelines += lp->strategy == parallelizer::Strategy::Pipeline ? 1 : 0;
+      doacrosses += lp->strategy == parallelizer::Strategy::Doacross ? 1 : 0;
+    }
+    if (pipelines + doacrosses != 0) {
+      os << "staged strategies: " << pipelines << " pipeline, " << doacrosses
+         << " doacross\n";
+    }
+  }
   if (cfg_.speculate) {
     int promoted = 0;
     for (const parallelizer::SpecDecision& d : spec_decisions_) {
@@ -212,6 +226,27 @@ std::string Guru::explain(const ir::Stmt* loop) const {
   // user still sees when the verdict rests on lowered fidelity.
   for (const std::string& d : wb_.degradations()) {
     out += "  ! build degradation: " + d + "\n";
+  }
+  // Staged strategy shape: the provenance record above says why the
+  // promotion was legal (the pipeline-staged/doacross-synced entry); this is
+  // the executable recipe the interpreter follows.
+  if (lp->staging != nullptr) {
+    const runtime::staged::StagedLoopPlan& sp = *lp->staging;
+    if (lp->strategy == parallelizer::Strategy::Pipeline) {
+      out += "  staged: pipeline, " + std::to_string(sp.stages.size()) +
+             " stage(s) (" + std::to_string(sp.num_sequential_stages()) +
+             " sequential), " + std::to_string(sp.channels.size()) +
+             " channel(s)";
+      for (const runtime::staged::Channel& c : sp.channels) {
+        out += " " + c.var->name + ":" + std::to_string(c.producer_stage) +
+               ">" + std::to_string(c.consumer_stage);
+      }
+      out += "\n";
+    } else {
+      out += "  staged: doacross, sync distance " +
+             std::to_string(sp.sync_distance) + ", " +
+             std::to_string(sp.fixups.size()) + " finalization fixup(s)\n";
+    }
   }
   // Speculation outcome: why the loop was promoted is in the record above
   // (speculation-attempted entry); whether it paid off comes from the

@@ -47,6 +47,9 @@ struct LoopReport {
   std::string blocked_reason;
   bool speculative = false;    // promoted by the SpeculationPlanner
   double misspec_rate = 0;     // observed under the executive this round
+  /// Execution strategy under the current plan — Pipeline/Doacross mark
+  /// loops the StrategyPlanner staged (docs/pdg_planning.md).
+  parallelizer::Strategy strategy = parallelizer::Strategy::Serial;
 };
 
 /// Aggregate counters matching Fig 4-7's rows.

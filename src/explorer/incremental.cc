@@ -299,6 +299,16 @@ translate_plan(const Translator& t, const ir::Procedure* old_proc,
                const parallelizer::Driver::CachedPlan& e,
                const ir::Stmt* new_loop) {
   if (e.plan.degraded) return std::nullopt;  // never memoized; belt-and-braces
+  // Staged plans hold statement/variable pointers of the old program inside
+  // StagedLoopPlan; rather than translating those, drop the entry so the
+  // loop is replanned. The StrategyPlanner is deterministic, so the replan
+  // reproduces the identical staged plan and the cold/incremental
+  // signatures still match.
+  if (e.plan.staging != nullptr ||
+      e.plan.strategy == parallelizer::Strategy::Pipeline ||
+      e.plan.strategy == parallelizer::Strategy::Doacross) {
+    return std::nullopt;
+  }
 
   poly::SymMap m;
   for (const auto& [v, vv] : e.plan.verdict.vars) {
@@ -312,6 +322,8 @@ translate_plan(const Translator& t, const ir::Procedure* old_proc,
   parallelizer::LoopPlan out;
   out.loop = new_loop;
   out.parallelizable = e.plan.parallelizable;
+  out.strategy = e.plan.parallelizable ? parallelizer::Strategy::Doall
+                                       : parallelizer::Strategy::Serial;
   out.reason = e.plan.reason;
   out.used_liveness = e.plan.used_liveness;
   out.used_assertion = e.plan.used_assertion;

@@ -1,0 +1,138 @@
+#include "graph/pdg.h"
+
+#include <algorithm>
+
+namespace suifx::graph {
+
+const char* to_string(PdgEdgeKind k) {
+  switch (k) {
+    case PdgEdgeKind::Control: return "control";
+    case PdgEdgeKind::Flow: return "flow";
+    case PdgEdgeKind::Anti: return "anti";
+    case PdgEdgeKind::Output: return "output";
+  }
+  return "?";
+}
+
+int Pdg::add_node(const ir::Stmt* s) {
+  auto [it, inserted] = index_.emplace(s, static_cast<int>(nodes_.size()));
+  if (inserted) nodes_.push_back(s);
+  return it->second;
+}
+
+int Pdg::node_of(const ir::Stmt* s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void Pdg::add_edge(int src, int dst, PdgEdgeKind kind, bool carried) {
+  edges_.push_back({src, dst, kind, carried});
+}
+
+Pdg::Condensation Pdg::condense() const {
+  const int n = num_nodes();
+  Pdg::Condensation out;
+  out.scc_of.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return out;
+
+  // Sorted, deduplicated adjacency — the traversal order (and therefore the
+  // SCC numbering) is a pure function of the node/edge lists.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (const PdgEdge& e : edges_) adj[static_cast<size_t>(e.src)].push_back(e.dst);
+  for (std::vector<int>& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  // Iterative Tarjan. SCCs are emitted in reverse topological order; the
+  // final reversal makes lower SCC indices come first in program order.
+  std::vector<int> idx(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> emitted;
+  int next_idx = 0;
+
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+  for (int root = 0; root < n; ++root) {
+    if (idx[static_cast<size_t>(root)] != -1) continue;
+    frames.push_back({root, 0});
+    idx[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = next_idx++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::vector<int>& succ = adj[static_cast<size_t>(f.v)];
+      if (f.child < succ.size()) {
+        int w = succ[f.child++];
+        if (idx[static_cast<size_t>(w)] == -1) {
+          idx[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] = next_idx++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(f.v)] =
+              std::min(low[static_cast<size_t>(f.v)], idx[static_cast<size_t>(w)]);
+        }
+        continue;
+      }
+      int v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int p = frames.back().v;
+        low[static_cast<size_t>(p)] =
+            std::min(low[static_cast<size_t>(p)], low[static_cast<size_t>(v)]);
+      }
+      if (low[static_cast<size_t>(v)] == idx[static_cast<size_t>(v)]) {
+        std::vector<int> comp;
+        while (true) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(comp.begin(), comp.end());
+        emitted.push_back(std::move(comp));
+      }
+    }
+  }
+
+  std::reverse(emitted.begin(), emitted.end());
+  out.sccs.resize(emitted.size());
+  for (size_t i = 0; i < emitted.size(); ++i) {
+    out.sccs[i].nodes = std::move(emitted[i]);
+    for (int v : out.sccs[i].nodes) {
+      out.scc_of[static_cast<size_t>(v)] = static_cast<int>(i);
+    }
+  }
+
+  for (const PdgEdge& e : edges_) {
+    int s = out.scc_of[static_cast<size_t>(e.src)];
+    int d = out.scc_of[static_cast<size_t>(e.dst)];
+    if (s == d) {
+      out.sccs[static_cast<size_t>(s)].cross_iteration |= e.carried;
+    } else {
+      out.edges.emplace_back(s, d);
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+
+  out.level.assign(out.sccs.size(), 0);
+  for (const auto& [s, d] : out.edges) {
+    // Topological numbering guarantees s < d, so one pass settles levels.
+    out.level[static_cast<size_t>(d)] =
+        std::max(out.level[static_cast<size_t>(d)],
+                 out.level[static_cast<size_t>(s)] + 1);
+  }
+  for (int lv : out.level) out.num_levels = std::max(out.num_levels, lv + 1);
+  return out;
+}
+
+}  // namespace suifx::graph

@@ -1,0 +1,89 @@
+// Per-loop program dependence graph (PDG) with SCC condensation — the
+// substrate for strategy planning beyond the DOALL/serial binary (ROADMAP:
+// PDG-based planning; CPF's liberty/lib/PDG is the shape exemplar).
+//
+// Nodes are the statements of one loop body. Edges are typed:
+//
+//   Control — a structured control region (If/Do) and each statement it
+//             guards, in BOTH directions, so a region and its members always
+//             condense into one SCC and a stage never splits a guard from
+//             its guarded statements.
+//   Flow / Anti / Output — data dependences between top-level body
+//             statements, from the array-dataflow section summaries. Each
+//             data edge is either loop-independent (same iteration, source
+//             textually first) or `carried` (crosses iterations in the
+//             forward direction: source at iteration i, sink at i' > i).
+//
+// The condensation collapses SCCs, numbers them topologically (a pure
+// function of node indices and edge lists — byte-deterministic across runs
+// and worker counts), and assigns each SCC a pipeline level: level 0 has no
+// condensation predecessors, level k+1 depends only on levels <= k. The
+// levels are the DSWP stage partition the StrategyPlanner consumes; an SCC
+// whose internal edges include a carried one is `cross_iteration` and makes
+// its stage sequential.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace suifx::graph {
+
+enum class PdgEdgeKind : uint8_t { Control, Flow, Anti, Output };
+
+const char* to_string(PdgEdgeKind k);
+
+struct PdgEdge {
+  int src = 0;
+  int dst = 0;
+  PdgEdgeKind kind = PdgEdgeKind::Flow;
+  /// True when the dependence crosses iterations (source at iteration i,
+  /// sink at some later iteration). Loop-independent edges are false.
+  bool carried = false;
+};
+
+class Pdg {
+ public:
+  /// Insert a statement node; returns its dense index. Idempotent — a
+  /// statement already present keeps its first index, so insertion order
+  /// (the builder uses source pre-order) defines the canonical numbering.
+  int add_node(const ir::Stmt* s);
+  /// Index of `s`, or -1 when it is not a node.
+  int node_of(const ir::Stmt* s) const;
+  void add_edge(int src, int dst, PdgEdgeKind kind, bool carried);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const ir::Stmt* stmt(int idx) const { return nodes_[static_cast<size_t>(idx)]; }
+  const std::vector<PdgEdge>& edges() const { return edges_; }
+
+  struct Scc {
+    std::vector<int> nodes;        // ascending node indices
+    bool cross_iteration = false;  // an internal edge is carried
+  };
+  struct Condensation {
+    /// SCCs in topological order: every condensation edge goes from a
+    /// lower-numbered SCC to a higher-numbered one.
+    std::vector<Scc> sccs;
+    std::vector<int> scc_of;  // node index -> scc index
+    /// Deduplicated inter-SCC edges (src < dst scc indices), sorted.
+    std::vector<std::pair<int, int>> edges;
+    /// Pipeline level per SCC: 0 = no predecessors, else 1 + max over
+    /// predecessor levels. Equal-level SCCs are mutually independent.
+    std::vector<int> level;
+    int num_levels = 0;
+  };
+  /// Deterministic: identical node/edge insertion sequences condense to
+  /// byte-identical results (Tarjan over index-ordered roots and sorted
+  /// adjacency, emission order reversed into topological numbering).
+  Condensation condense() const;
+
+ private:
+  std::vector<const ir::Stmt*> nodes_;
+  std::map<const ir::Stmt*, int> index_;
+  std::vector<PdgEdge> edges_;
+};
+
+}  // namespace suifx::graph

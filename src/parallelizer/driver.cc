@@ -403,6 +403,31 @@ std::string plan_signature(const ParallelPlan& plan) {
       for (const ir::Variable* v : lp.watch) os << v->qualified_name() << ",";
       os << "]";
     }
+    // Staged sections, same only-when-promoted convention. Everything
+    // rendered is a pure function of the loop and the analyses — no worker
+    // counts, pointers, or timestamps — so the signature is identical at any
+    // driver worker count (the fuzz oracle's Staging property diffs it).
+    if (lp.strategy == Strategy::Pipeline && lp.staging != nullptr) {
+      os << " stages[";
+      for (const runtime::staged::Stage& st : lp.staging->stages) {
+        os << (st.sequential ? "S{" : "P{");
+        for (const ir::Stmt* s : st.stmts) os << s->id << ",";
+        os << "}";
+      }
+      os << "] chan[";
+      for (const runtime::staged::Channel& ch : lp.staging->channels) {
+        os << ch.var->qualified_name() << ":" << ch.producer_stage << ">"
+           << ch.consumer_stage << ",";
+      }
+      os << "]";
+    }
+    if (lp.strategy == Strategy::Doacross && lp.staging != nullptr) {
+      os << " sync[d=" << lp.staging->sync_distance << " fix[";
+      for (const ir::Variable* v : lp.staging->fixups) {
+        os << v->qualified_name() << ",";
+      }
+      os << "]]";
+    }
     rows.push_back({loop->id, os.str()});
   }
   std::sort(rows.begin(), rows.end());

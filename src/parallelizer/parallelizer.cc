@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallelizer/strategy.h"
+
 namespace suifx::parallelizer {
 
 namespace prov = support::provenance;
@@ -11,9 +13,23 @@ const char* to_string(Strategy s) {
     case Strategy::Serial: return "serial";
     case Strategy::Doall: return "doall";
     case Strategy::Speculative: return "speculative";
+    case Strategy::Pipeline: return "pipeline";
+    case Strategy::Doacross: return "doacross";
   }
   return "?";
 }
+
+Parallelizer::Parallelizer(const analysis::ArrayDataflow& df,
+                           const graph::RegionTree& regions,
+                           const analysis::ArrayLiveness* live,
+                           bool enable_reductions)
+    : df_(df),
+      regions_(regions),
+      live_(live),
+      dep_(df, enable_reductions),
+      strategy_(std::make_unique<StrategyPlanner>(df_, dep_)) {}
+
+Parallelizer::~Parallelizer() = default;
 
 int ParallelPlan::num_parallel() const {
   int n = 0;
@@ -193,7 +209,15 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
   out.parallelizable = ok;
   out.strategy = ok ? Strategy::Doall : Strategy::Serial;
   if (ok) out.reason.clear();
-  out.why = pscope.finish(ok ? "parallel" : "serial", out.reason);
+  // Last rung of the ladder: a clean automatic serial verdict may still
+  // stage as a pipeline or a synced DOACROSS (docs/pdg_planning.md). The
+  // reason text is kept — it documents why DOALL was refused.
+  if (!ok) strategy_->choose(loop, out);
+  const char* verdict = ok                                   ? "parallel"
+                        : out.strategy == Strategy::Pipeline ? "pipeline"
+                        : out.strategy == Strategy::Doacross ? "doacross"
+                                                             : "serial";
+  out.why = pscope.finish(verdict, out.reason);
   return out;
 }
 

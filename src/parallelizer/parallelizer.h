@@ -10,9 +10,12 @@
 
 #include "analysis/depend.h"
 #include "analysis/liveness.h"
+#include "runtime/stagequeue.h"
 #include "support/provenance.h"
 
 namespace suifx::parallelizer {
+
+class StrategyPlanner;
 
 namespace analysis = suifx::analysis;
 
@@ -35,10 +38,16 @@ struct Assertions {
 /// the SpeculationPlanner promoted on dynamic evidence: it runs under the
 /// speculative executive (versioned shadow memory, commit-time validation,
 /// serial rollback — docs/speculation.md) instead of being proven safe.
+/// `Pipeline` and `Doacross` mark loops the StrategyPlanner promoted from
+/// the loop's PDG (docs/pdg_planning.md): DSWP-style staged fission, or
+/// residue-class execution synced at a constant dependence distance. Both
+/// execute byte-identically to serial by construction.
 enum class Strategy : uint8_t {
   Serial,
   Doall,
   Speculative,
+  Pipeline,
+  Doacross,
 };
 
 const char* to_string(Strategy s);
@@ -85,6 +94,10 @@ struct LoopPlan {
   std::vector<const ir::Variable*> watch;
   /// Speculative only: the planner's estimated misspeculation probability.
   double spec_risk = 0.0;
+  /// Pipeline/Doacross only: the staged execution recipe (stages, channels,
+  /// sync distance, finalization fixups). Shared and immutable, memoized
+  /// with the plan like `why`. Null for every other strategy.
+  std::shared_ptr<const runtime::staged::StagedLoopPlan> staging;
   /// Causal record of how this verdict was reached (docs/provenance.md).
   /// Null when provenance is disabled. Shared and immutable: the Driver
   /// memoizes it with the plan, cache hits replay the identical record, and
@@ -105,13 +118,13 @@ struct ParallelPlan {
     return p != nullptr && p->parallelizable;
   }
   /// True when the loop executes concurrently under this plan — proven
-  /// parallel (Doall) or promoted to speculative execution. The simulator's
-  /// outermost-parallel selection uses this so speculative loops count
-  /// toward coverage once promoted.
+  /// parallel (Doall), promoted to speculative execution, or promoted to a
+  /// staged strategy (Pipeline/Doacross). The simulator's outermost-parallel
+  /// selection uses this so promoted loops count toward coverage.
   bool runs_concurrently(const ir::Stmt* loop) const {
     const LoopPlan* p = find(loop);
     return p != nullptr &&
-           (p->parallelizable || p->strategy == Strategy::Speculative);
+           (p->parallelizable || p->strategy != Strategy::Serial);
   }
   int num_parallel() const;
   /// Plans in source order (synthetic line, then statement id). The `loops`
@@ -128,8 +141,8 @@ class Parallelizer {
   /// Chapter 6 no-reduction baseline.
   Parallelizer(const analysis::ArrayDataflow& df, const graph::RegionTree& regions,
                const analysis::ArrayLiveness* live = nullptr,
-               bool enable_reductions = true)
-      : df_(df), regions_(regions), live_(live), dep_(df, enable_reductions) {}
+               bool enable_reductions = true);
+  ~Parallelizer();
 
   /// Plan every loop of the program reachable from main.
   ParallelPlan plan(const ir::Program& prog, const Assertions& asserts = {}) const;
@@ -148,6 +161,10 @@ class Parallelizer {
   const graph::RegionTree& regions_;
   const analysis::ArrayLiveness* live_;
   analysis::DependenceAnalysis dep_;
+  /// PDG-based staged-strategy promotion (strategy.h); consulted for loops
+  /// the classic ladder leaves serial. unique_ptr: strategy.h includes this
+  /// header, so only a forward declaration is visible here.
+  std::unique_ptr<StrategyPlanner> strategy_;
 };
 
 }  // namespace suifx::parallelizer

@@ -51,7 +51,9 @@ std::vector<const ir::Stmt*> SpeculationPlanner::candidates(const ParallelPlan& 
   std::vector<const ir::Stmt*> out;
   for (const LoopPlan* lp : plan.ordered()) {
     if (lp->parallelizable || lp->degraded || lp->verdict.has_io) continue;
-    if (lp->strategy == Strategy::Speculative) continue;  // already promoted
+    // Already promoted — speculative, or staged by the StrategyPlanner
+    // (pipeline/doacross loops run byte-identical without speculation).
+    if (lp->strategy != Strategy::Serial) continue;
     bool has_reduction = false;
     for (const auto& [v, vv] : lp->verdict.vars) {
       (void)v;

@@ -1,0 +1,472 @@
+#include "parallelizer/strategy.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace suifx::parallelizer {
+
+namespace prov = support::provenance;
+
+namespace {
+
+/// Conservative read/write sections of one variable within one node.
+struct Acc {
+  poly::SectionList reads;
+  poly::SectionList writes;
+};
+
+Acc acc_of(const analysis::VarAccess& va) {
+  Acc a;
+  a.reads = va.sec.R;
+  a.reads.unite(va.sec.E);
+  a.writes = va.sec.W;
+  a.writes.unite(va.sec.M);
+  // Reduction regions are BOTH read and write here: keeping the update chain
+  // ordered is what preserves FP byte-identity under staging.
+  for (const auto& [op, sl] : va.red) {
+    (void)op;
+    a.reads.unite(sl);
+    a.writes.unite(sl);
+  }
+  return a;
+}
+
+bool may_overlap(const poly::SectionList& a, const poly::SectionList& b) {
+  return !a.empty() && !b.empty() && !a.disjoint_from(b);
+}
+
+/// Subscript of the form ivar, ivar+c, c+ivar, or ivar-c; fills the offset.
+bool match_index_affine(const ir::Expr* ix, const ir::Variable* iv, long* c) {
+  if (ix->is_var_ref() && ix->var == iv) {
+    *c = 0;
+    return true;
+  }
+  if (ix->kind != ir::ExprKind::Binary) return false;
+  const ir::Expr* a = ix->a;
+  const ir::Expr* b = ix->b;
+  if (ix->bop == ir::BinOp::Add) {
+    if (a->is_var_ref() && a->var == iv && b->is_const_int()) {
+      *c = b->ival;
+      return true;
+    }
+    if (b->is_var_ref() && b->var == iv && a->is_const_int()) {
+      *c = a->ival;
+      return true;
+    }
+  } else if (ix->bop == ir::BinOp::Sub) {
+    if (a->is_var_ref() && a->var == iv && b->is_const_int()) {
+      *c = -b->ival;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool mentions_any_var(const ir::Expr* e) {
+  bool found = false;
+  ir::for_each_expr(e, [&](const ir::Expr* x) {
+    if (x->is_var_ref() || x->is_array_ref()) found = true;
+  });
+  return found;
+}
+
+/// One access of the DOACROSS candidate variable, syntactically decomposed:
+/// the loop-index dimension's offset (subscript ivar+offset) plus the
+/// constant values of every other dimension.
+struct SubAcc {
+  long offset = 0;
+  std::vector<long> other_dims;
+  bool is_write = false;
+};
+
+}  // namespace
+
+bool StrategyPlanner::body_writes_index(const ir::Stmt* loop) const {
+  const ir::Variable* civ = df_.alias().canonical(loop->ivar);
+  for (const ir::Stmt* s : loop->body) {
+    const analysis::VarAccess* va = df_.node_info(s).find(civ);
+    if (va == nullptr) continue;
+    if (!va->sec.W.empty() || !va->sec.M.empty() || !va->red.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+graph::Pdg StrategyPlanner::build_pdg(const ir::Stmt* loop, const LoopPlan& lp,
+                                      std::vector<ChannelCand>* channels) const {
+  (void)lp;
+  graph::Pdg pdg;
+  // Nodes in source pre-order: node index + 1 is the canonical statement
+  // ordinal the provenance notes print ("s3").
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) { pdg.add_node(s); });
+  // Structured control regions are atomic for staging: tie every nested
+  // statement to its parent in both directions so a guard and its guarded
+  // statements always condense into one SCC.
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
+    if (s->parent == loop) return;
+    int p = pdg.node_of(s->parent);
+    int c = pdg.node_of(s);
+    if (p < 0 || c < 0) return;
+    pdg.add_edge(p, c, graph::PdgEdgeKind::Control, false);
+    pdg.add_edge(c, p, graph::PdgEdgeKind::Control, false);
+  });
+
+  const std::vector<ir::Stmt*>& tops = loop->body;
+  const int ntop = static_cast<int>(tops.size());
+  const ir::Variable* civ = df_.alias().canonical(loop->ivar);
+
+  // Per-variable access lists over the top-level nodes (node summaries close
+  // inner loops and map calls, so compound statements participate whole).
+  std::map<const ir::Variable*, std::vector<std::pair<int, Acc>>> acc;
+  for (int i = 0; i < ntop; ++i) {
+    for (const auto& [v, va] : df_.node_info(tops[i]).vars) {
+      if (v == civ) continue;  // the executive replays the index sequence
+      if (v->kind == ir::VarKind::SymParam) continue;  // never written
+      Acc a = acc_of(va);
+      if (a.reads.empty() && a.writes.empty()) continue;
+      acc[v].emplace_back(i, std::move(a));
+    }
+  }
+
+  std::vector<const ir::Variable*> vars;
+  vars.reserve(acc.size());
+  for (const auto& [v, nodes] : acc) vars.push_back(v);
+  std::sort(vars.begin(), vars.end(),
+            [](const ir::Variable* a, const ir::Variable* b) {
+              return a->id < b->id;
+            });
+
+  for (const ir::Variable* v : vars) {
+    const std::vector<std::pair<int, Acc>>& nodes = acc[v];
+
+    // Queueable scalar (the DSWP decoupling): all writes in one node, every
+    // other accessing node only reads and sits after the writer. The serial
+    // value chain then crosses stages through a StageQueue, so the carried
+    // anti/output pairs that would merge consumer and producer into one SCC
+    // are deliberately NOT emitted — only the producer's own recurrence
+    // edges (keeping its stage sequential) and forward flow edges (keeping
+    // producer stages no later than consumer stages).
+    bool queueable = false;
+    int writer = -1;
+    if (channels != nullptr && v->is_scalar() && !df_.alias().is_blob(v) &&
+        (v->kind == ir::VarKind::Global ||
+         ((v->kind == ir::VarKind::Local || v->kind == ir::VarKind::Formal) &&
+          v->owner == loop->proc))) {
+      int nwriters = 0;
+      for (const auto& [i, a] : nodes) {
+        if (!a.writes.empty()) {
+          writer = i;
+          ++nwriters;
+        }
+      }
+      if (nwriters == 1) {
+        queueable = true;
+        for (const auto& [i, a] : nodes) {
+          (void)a;
+          if (i < writer) queueable = false;
+        }
+      }
+    }
+
+    if (queueable) {
+      int u = pdg.node_of(tops[static_cast<size_t>(writer)]);
+      const Acc* wa = nullptr;
+      for (const auto& [i, a] : nodes) {
+        if (i == writer) wa = &a;
+      }
+      if (dep_.cross_iteration_overlap_directed(loop, wa->writes, wa->reads)) {
+        pdg.add_edge(u, u, graph::PdgEdgeKind::Flow, true);
+      }
+      if (dep_.cross_iteration_overlap_directed(loop, wa->writes, wa->writes)) {
+        pdg.add_edge(u, u, graph::PdgEdgeKind::Output, true);
+      }
+      ChannelCand cand;
+      cand.var = v;
+      cand.producer = u;
+      for (const auto& [i, a] : nodes) {
+        (void)a;
+        if (i == writer) continue;
+        int w = pdg.node_of(tops[static_cast<size_t>(i)]);
+        pdg.add_edge(u, w, graph::PdgEdgeKind::Flow, false);
+        cand.readers.push_back(w);
+      }
+      channels->push_back(std::move(cand));
+      continue;
+    }
+
+    for (const auto& [i, a] : nodes) {
+      for (const auto& [j, b] : nodes) {
+        int u = pdg.node_of(tops[static_cast<size_t>(i)]);
+        int w = pdg.node_of(tops[static_cast<size_t>(j)]);
+        // Loop-independent: within one iteration the source executes first,
+        // so only textually-forward pairs are dependences.
+        if (i < j) {
+          if (may_overlap(a.writes, b.reads)) {
+            pdg.add_edge(u, w, graph::PdgEdgeKind::Flow, false);
+          }
+          if (may_overlap(a.reads, b.writes)) {
+            pdg.add_edge(u, w, graph::PdgEdgeKind::Anti, false);
+          }
+          if (may_overlap(a.writes, b.writes)) {
+            pdg.add_edge(u, w, graph::PdgEdgeKind::Output, false);
+          }
+        }
+        // Carried: source at iteration i, sink at a later iteration, any
+        // textual order (including the self edges that make a stage
+        // sequential).
+        if (dep_.cross_iteration_overlap_directed(loop, a.writes, b.reads)) {
+          pdg.add_edge(u, w, graph::PdgEdgeKind::Flow, true);
+        }
+        if (dep_.cross_iteration_overlap_directed(loop, a.reads, b.writes)) {
+          pdg.add_edge(u, w, graph::PdgEdgeKind::Anti, true);
+        }
+        if (dep_.cross_iteration_overlap_directed(loop, a.writes, b.writes)) {
+          pdg.add_edge(u, w, graph::PdgEdgeKind::Output, true);
+        }
+      }
+    }
+  }
+  return pdg;
+}
+
+bool StrategyPlanner::try_pipeline(const ir::Stmt* loop, LoopPlan& lp) const {
+  std::vector<ChannelCand> cands;
+  graph::Pdg pdg = build_pdg(loop, lp, &cands);
+  graph::Pdg::Condensation cond = pdg.condense();
+  if (cond.num_levels < 2) return false;
+
+  auto plan = std::make_shared<runtime::staged::StagedLoopPlan>();
+  plan->kind = runtime::staged::StagedKind::Pipeline;
+  plan->stages.resize(static_cast<size_t>(cond.num_levels));
+  plan->num_sccs = static_cast<int>(cond.sccs.size());
+  for (const graph::Pdg::Scc& scc : cond.sccs) {
+    plan->num_carried_sccs += scc.cross_iteration ? 1 : 0;
+  }
+  std::map<const ir::Stmt*, int> stage_of;
+  for (const ir::Stmt* s : loop->body) {
+    int node = pdg.node_of(s);
+    int scc = cond.scc_of[static_cast<size_t>(node)];
+    int lv = cond.level[static_cast<size_t>(scc)];
+    plan->stages[static_cast<size_t>(lv)].stmts.push_back(s);
+    plan->stages[static_cast<size_t>(lv)].sequential |=
+        cond.sccs[static_cast<size_t>(scc)].cross_iteration;
+    stage_of[s] = lv;
+  }
+
+  // One channel per (variable, later consumer stage); a same-stage reader
+  // sees the value directly in storage.
+  for (const ChannelCand& c : cands) {
+    int ps = stage_of.at(pdg.stmt(c.producer));
+    std::set<int> consumer_stages;
+    for (int r : c.readers) {
+      int cs = stage_of.at(pdg.stmt(r));
+      if (cs > ps) consumer_stages.insert(cs);
+    }
+    for (int cs : consumer_stages) {
+      plan->channels.push_back({c.var, ps, cs});
+    }
+  }
+
+  lp.strategy = Strategy::Pipeline;
+  lp.staging = plan;
+  if (prov::noting()) {
+    auto ordinal = [&](const ir::Stmt* s) {
+      return "s" + std::to_string(pdg.node_of(s) + 1);
+    };
+    std::string d = "SCC condensation: " + std::to_string(pdg.num_nodes()) +
+                    " node(s), " + std::to_string(plan->num_sccs) +
+                    " SCC(s), " + std::to_string(plan->stages.size()) +
+                    " stage(s)";
+    for (size_t i = 0; i < plan->stages.size(); ++i) {
+      d += "; stage " + std::to_string(i + 1) +
+           (plan->stages[i].sequential ? " [sequential]:" : ":");
+      for (const ir::Stmt* s : plan->stages[i].stmts) d += " " + ordinal(s);
+    }
+    for (const runtime::staged::Channel& ch : plan->channels) {
+      d += "; channel " + ch.var->qualified_name() + ": stage " +
+           std::to_string(ch.producer_stage + 1) + " -> stage " +
+           std::to_string(ch.consumer_stage + 1);
+    }
+    prov::note(prov::Kind::PipelineStaged, "", d);
+  }
+  return true;
+}
+
+namespace {
+
+bool collect_distances(const analysis::ArrayDataflow& df, const ir::Stmt* loop,
+                       const ir::Variable* v, std::vector<long>* dists) {
+  bool ok = true;
+  int index_dim = -1;
+  std::vector<SubAcc> accs;
+  ir::for_each_nested(loop, [&](const ir::Stmt* s) {
+    if (!ok) return;
+    // An access under an inner loop varies with the inner index too — its
+    // outer-iteration footprint has no single constant offset.
+    for (const ir::Stmt* p = s->parent; p != nullptr && p != loop; p = p->parent) {
+      if (p->kind == ir::StmtKind::Do) {
+        for (const ir::Access& a : ir::direct_accesses(s)) {
+          if (df.alias().canonical(a.var) == v) ok = false;
+        }
+        return;
+      }
+    }
+    for (const ir::Access& a : ir::direct_accesses(s)) {
+      if (df.alias().canonical(a.var) != v) continue;
+      // Only direct accesses through the canonical variable itself: an
+      // aliased view (overlay reshape) has incomparable subscripts.
+      if (a.var != v || !a.ref->is_array_ref()) {
+        ok = false;  // scalar recurrence or aliased access: no fixed distance
+        return;
+      }
+      SubAcc sa;
+      sa.is_write = a.is_write;
+      int my_index_dim = -1;
+      for (size_t k = 0; k < a.ref->idx.size(); ++k) {
+        const ir::Expr* ix = a.ref->idx[k];
+        long c = 0;
+        if (match_index_affine(ix, loop->ivar, &c)) {
+          if (my_index_dim != -1) {
+            ok = false;  // index in two dimensions: coupled subscripts
+            return;
+          }
+          my_index_dim = static_cast<int>(k);
+          sa.offset = c;
+          continue;
+        }
+        // Literal-constant dimension only: a symbolic value could differ
+        // from its default at run time, so it cannot disambiguate pairs.
+        if (mentions_any_var(ix) || !ir::eval_const_with_params(ix, &c)) {
+          ok = false;
+          return;
+        }
+        sa.other_dims.push_back(c);
+      }
+      if (my_index_dim == -1) {
+        ok = false;  // loop-invariant cell written/read every iteration
+        return;
+      }
+      if (index_dim == -1) index_dim = my_index_dim;
+      if (my_index_dim != index_dim) {
+        ok = false;
+        return;
+      }
+      accs.push_back(std::move(sa));
+    }
+  });
+  if (!ok) return false;
+
+  bool found = false;
+  for (size_t x = 0; x < accs.size(); ++x) {
+    for (size_t y = 0; y < accs.size(); ++y) {
+      if (!accs[x].is_write && !accs[y].is_write) continue;
+      if (accs[x].other_dims != accs[y].other_dims) continue;
+      long d = accs[x].offset - accs[y].offset;
+      if (d < 0) d = -d;
+      if (d > 0) {
+        dists->push_back(d);
+        found = true;
+      }
+    }
+  }
+  // A Dependent verdict with no explaining syntactic distance means the
+  // sections see something this decomposition cannot — refuse.
+  return found;
+}
+
+}  // namespace
+
+long StrategyPlanner::sync_distance(const ir::Stmt* loop,
+                                    const LoopPlan& lp) const {
+  long step = 0;
+  if (!ir::eval_const_with_params(loop->step, &step) || step != 1) return 0;
+  if (df_.loop_has_call(loop)) return 0;
+  if (body_writes_index(loop)) return 0;
+
+  std::vector<std::pair<const ir::Variable*, const analysis::VarVerdict*>> by_id;
+  by_id.reserve(lp.verdict.vars.size());
+  for (const auto& [v, vv] : lp.verdict.vars) by_id.push_back({v, &vv});
+  std::sort(by_id.begin(), by_id.end(),
+            [](const auto& a, const auto& b) { return a.first->id < b.first->id; });
+
+  std::vector<long> dists;
+  for (const auto& [v, vv] : by_id) {
+    switch (vv->cls) {
+      case analysis::VarClass::ReadOnly:
+      case analysis::VarClass::Parallel:
+      case analysis::VarClass::LoopIndex:
+        break;
+      case analysis::VarClass::Reduction:
+        // Residue order would reorder the FP update chain.
+        return 0;
+      case analysis::VarClass::Privatizable: {
+        const PrivateVar* pv = nullptr;
+        for (const PrivateVar& p : lp.privatized) {
+          if (p.var == v) pv = &p;
+        }
+        if (pv == nullptr) return 0;  // finalization blocked
+        if (pv->finalize == Finalize::None) break;  // dead at exit: any order
+        // Last-iteration finalization survives the residue reorder only via
+        // the scalar fixup (capture after iteration trip-1).
+        if (!v->is_scalar()) return 0;
+        break;
+      }
+      case analysis::VarClass::Dependent:
+        if (!collect_distances(df_, loop, v, &dists)) return 0;
+        break;
+    }
+  }
+  if (dists.empty()) return 0;
+  long g = 0;
+  for (long d : dists) g = std::gcd(g, d);
+  return g;
+}
+
+bool StrategyPlanner::try_doacross(const ir::Stmt* loop, LoopPlan& lp) const {
+  long g = sync_distance(loop, lp);
+  if (g < 2) return false;
+
+  auto plan = std::make_shared<runtime::staged::StagedLoopPlan>();
+  plan->kind = runtime::staged::StagedKind::Doacross;
+  plan->sync_distance = g;
+  plan->num_sccs = 1;
+  plan->num_carried_sccs = 1;
+  for (const PrivateVar& pv : lp.privatized) {
+    if (pv.finalize == Finalize::LastIteration && pv.var->is_scalar()) {
+      plan->fixups.push_back(pv.var);
+    }
+  }
+
+  lp.strategy = Strategy::Doacross;
+  lp.staging = plan;
+  if (prov::noting()) {
+    std::string d = "every carried dependence has a constant distance; "
+                    "post/wait sync distance " + std::to_string(g) +
+                    ": iterations run by residue class, dependent pairs stay "
+                    "in source order";
+    if (!plan->fixups.empty()) {
+      d += "; finalized from iteration trip-1:";
+      for (const ir::Variable* v : plan->fixups) d += " " + v->qualified_name();
+    }
+    prov::note(prov::Kind::DoacrossSynced, "", d);
+  }
+  return true;
+}
+
+void StrategyPlanner::choose(const ir::Stmt* loop, LoopPlan& lp) const {
+  // Only clean automatic serial verdicts: assertion-driven, degraded, and
+  // I/O loops keep the classic ladder, and DOALL/Reduction stay untouched.
+  if (lp.parallelizable || lp.degraded || lp.used_assertion) return;
+  if (lp.verdict.has_io) return;
+  if (loop->body.empty()) return;
+  if (body_writes_index(loop)) return;
+  if (try_pipeline(loop, lp)) return;
+  try_doacross(loop, lp);
+}
+
+}  // namespace suifx::parallelizer

@@ -1,0 +1,79 @@
+// PDG-based strategy planning (docs/pdg_planning.md): when the classic
+// analyses leave a loop serial, the StrategyPlanner builds the loop's
+// program dependence graph and tries to promote it to a staged strategy —
+//
+//   Pipeline  — the SCC condensation has >= 2 levels: fission the body
+//               DSWP-style into stages (each stage runs its statement subset
+//               for every iteration before the next stage starts; scalar
+//               recurrence values cross stages through bounded SPSC queues).
+//   Doacross  — the condensation is a single cross-iteration cluster but
+//               every carried dependence has a constant syntactic distance:
+//               run iterations by residue class modulo d = gcd(distances),
+//               with post/wait sync cells observing the distance.
+//
+// Both strategies execute in the interpreter byte-identically to serial by
+// construction: every pairwise dependence the PDG records (conservatively)
+// is preserved by the staged schedule. DOALL and Reduction planning are
+// untouched — this runs only on loops they rejected.
+#pragma once
+
+#include <vector>
+
+#include "analysis/depend.h"
+#include "graph/pdg.h"
+#include "parallelizer/parallelizer.h"
+#include "runtime/stagequeue.h"
+
+namespace suifx::parallelizer {
+
+class StrategyPlanner {
+ public:
+  StrategyPlanner(const analysis::ArrayDataflow& df,
+                  const analysis::DependenceAnalysis& dep)
+      : df_(df), dep_(dep) {}
+
+  /// Scalar whose serial value chain can cross stages through a queue: all
+  /// writes in one top-level node, every other accessing node only reads it
+  /// and sits textually after the writer.
+  struct ChannelCand {
+    const ir::Variable* var = nullptr;
+    int producer = 0;            // PDG node index of the writing statement
+    std::vector<int> readers;    // PDG node indices of the reading statements
+  };
+
+  /// Build `loop`'s PDG: one node per nested statement (pre-order indices),
+  /// bidirectional Control edges binding structured regions into one SCC,
+  /// typed data edges between top-level statements from the section
+  /// summaries (loop-independent forward, carried via the directed
+  /// cross-iteration test). Queueable scalars contribute only their
+  /// producer's self edges plus forward flow edges (the queue replaces the
+  /// carried anti/output pairs — the DSWP decoupling); the candidates are
+  /// returned through `channels`.
+  graph::Pdg build_pdg(const ir::Stmt* loop, const LoopPlan& lp,
+                       std::vector<ChannelCand>* channels = nullptr) const;
+
+  /// Try to promote a statically-serial plan in place: sets `lp.strategy`,
+  /// attaches `lp.staging`, and records a pipeline-staged/doacross-synced
+  /// provenance note. No-op unless the plan is a clean automatic serial
+  /// verdict (not parallel/degraded/asserted/IO). Deterministic: a pure
+  /// function of the loop and the analyses.
+  void choose(const ir::Stmt* loop, LoopPlan& lp) const;
+
+  /// The DOACROSS sync distance for `loop`: gcd of every carried
+  /// dependence's constant syntactic distance, or 0 when some dependence has
+  /// no computable constant distance (irregular subscript, scalar
+  /// recurrence, inner-loop access, call). Exposed for tests.
+  long sync_distance(const ir::Stmt* loop, const LoopPlan& lp) const;
+
+ private:
+  bool try_pipeline(const ir::Stmt* loop, LoopPlan& lp) const;
+  bool try_doacross(const ir::Stmt* loop, LoopPlan& lp) const;
+  /// Any top-level node writes the loop index (through any alias) — staging
+  /// cannot replicate the serial index sequence, refuse.
+  bool body_writes_index(const ir::Stmt* loop) const;
+
+  const analysis::ArrayDataflow& df_;
+  const analysis::DependenceAnalysis& dep_;
+};
+
+}  // namespace suifx::parallelizer

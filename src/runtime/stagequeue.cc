@@ -1,0 +1,78 @@
+#include "runtime/stagequeue.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace suifx::runtime::staged {
+
+StageQueue::StageQueue(size_t capacity)
+    : buf_(std::max<size_t>(1, capacity)) {}
+
+bool StageQueue::push(double v) {
+  uint64_t tail = tail_.load(std::memory_order_relaxed);
+  uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= buf_.size()) return false;  // full: backpressure
+  buf_[tail % buf_.size()] = v;
+  tail_.store(tail + 1, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  size_t depth = static_cast<size_t>(tail + 1 - head);
+  size_t prev = max_depth_.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !max_depth_.compare_exchange_weak(prev, depth,
+                                           std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+bool StageQueue::pop(double* out) {
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return false;  // empty
+  *out = buf_[head % buf_.size()];
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+size_t StageQueue::size() const {
+  uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t tail = tail_.load(std::memory_order_acquire);
+  return static_cast<size_t>(tail - head);
+}
+
+SyncCellArray::SyncCellArray(long n) : n_(std::max<long>(0, n)) {
+  cells_ = std::make_unique<std::atomic<uint8_t>[]>(static_cast<size_t>(n_));
+  for (long i = 0; i < n_; ++i) {
+    cells_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+void SyncCellArray::post(long i) {
+  if (i < 0 || i >= n_) return;
+  cells_[static_cast<size_t>(i)].store(1, std::memory_order_release);
+  posts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SyncCellArray::wait(long i) const {
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  if (i < 0 || i >= n_) return false;
+  return cells_[static_cast<size_t>(i)].load(std::memory_order_acquire) != 0;
+}
+
+const char* to_string(StagedKind k) {
+  switch (k) {
+    case StagedKind::Pipeline: return "pipeline";
+    case StagedKind::Doacross: return "doacross";
+  }
+  return "?";
+}
+
+size_t stage_queue_capacity(size_t fallback) {
+  if (const char* env = std::getenv("SUIFX_STAGE_QUEUE_CAP");
+      env != nullptr && *env != '\0') {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace suifx::runtime::staged

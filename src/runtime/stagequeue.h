@@ -1,0 +1,127 @@
+// Runtime support for staged loop execution (docs/pdg_planning.md): the
+// bounded SPSC value queues that decouple pipeline stages (DSWP-style) and
+// the post/wait synchronization cells DOACROSS iterations use to observe the
+// fixed carried-dependence distance. The StagedLoopPlan the StrategyPlanner
+// attaches to a LoopPlan lives here too, so the dynamic layer can execute a
+// staged plan without the parallelizer headers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace suifx::ir {
+struct Stmt;
+struct Variable;
+}  // namespace suifx::ir
+
+namespace suifx::runtime::staged {
+
+/// Bounded single-producer/single-consumer ring of scalar values. `push`
+/// refuses (returns false) when full — backpressure, never blocking — and
+/// `pop` refuses when empty. Safe for one producer thread and one consumer
+/// thread concurrently (acquire/release on the indices); the interpreter's
+/// staged executive also uses it single-threaded.
+class StageQueue {
+ public:
+  explicit StageQueue(size_t capacity);
+
+  bool push(double v);
+  bool pop(double* out);
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const;
+  uint64_t total_pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  /// High-water mark of queued values (producer-side estimate).
+  size_t max_depth() const { return max_depth_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> buf_;
+  std::atomic<uint64_t> head_{0};  // next pop slot (consumer-owned)
+  std::atomic<uint64_t> tail_{0};  // next push slot (producer-owned)
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<size_t> max_depth_{0};
+};
+
+/// One flag per iteration: iteration k posts its cell when its body is done;
+/// iteration k' waits on cell k'-d before running. `wait` is a non-blocking
+/// check — under a schedule that honors the sync distance it always finds the
+/// cell posted, and a miss means the schedule is wrong (the executive treats
+/// it as a deadlock and demotes to serial).
+class SyncCellArray {
+ public:
+  explicit SyncCellArray(long n);
+
+  void post(long i);
+  bool wait(long i) const;
+
+  long size() const { return n_; }
+  uint64_t posts() const { return posts_.load(std::memory_order_relaxed); }
+  uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+
+ private:
+  long n_ = 0;
+  std::unique_ptr<std::atomic<uint8_t>[]> cells_;
+  std::atomic<uint64_t> posts_{0};
+  mutable std::atomic<uint64_t> waits_{0};
+};
+
+/// How a promoted loop is staged. Pipeline fissions the body: each stage
+/// runs its statement subset for every iteration before the next stage
+/// starts (legal because condensation edges are forward-only), with scalar
+/// recurrence values crossing stages through StageQueues. Doacross keeps the
+/// body whole but executes iterations by residue class modulo the sync
+/// distance d (all carried distances are multiples of d, so every dependent
+/// pair stays in source order). Both are byte-identical to serial execution.
+enum class StagedKind : uint8_t { Pipeline, Doacross };
+
+const char* to_string(StagedKind k);
+
+struct Stage {
+  /// Top-level body statements of this stage, in source order.
+  std::vector<const ir::Stmt*> stmts;
+  /// True when a member SCC carries a cross-iteration dependence — the
+  /// stage must run its iterations in order (DSWP "sequential" stage).
+  bool sequential = false;
+};
+
+/// A scalar whose serial value chain flows producer-stage -> consumer-stage
+/// through a StageQueue: the producer pushes the value after each of its
+/// iterations, the consumer pops it before each of its own.
+struct Channel {
+  const ir::Variable* var = nullptr;
+  int producer_stage = 0;
+  int consumer_stage = 0;
+};
+
+struct StagedLoopPlan {
+  StagedKind kind = StagedKind::Pipeline;
+
+  // Pipeline only.
+  std::vector<Stage> stages;
+  std::vector<Channel> channels;
+
+  // Doacross only.
+  long sync_distance = 0;
+  /// Privatizable must-write scalars whose final value the executive
+  /// restores from iteration trip-1 after the residue-reordered run.
+  std::vector<const ir::Variable*> fixups;
+
+  // Diagnostics (Guru explain / simulator cost model).
+  int num_sccs = 0;
+  int num_carried_sccs = 0;
+
+  int num_sequential_stages() const {
+    int n = 0;
+    for (const Stage& s : stages) n += s.sequential ? 1 : 0;
+    return n;
+  }
+};
+
+/// Stage-queue capacity for the interpreter's pipeline executive: the
+/// SUIFX_STAGE_QUEUE_CAP environment override, else `fallback`. A loop whose
+/// trip count exceeds the capacity is refused (executes serially).
+size_t stage_queue_capacity(size_t fallback = 4096);
+
+}  // namespace suifx::runtime::staged

@@ -464,7 +464,11 @@ Response AnalysisService::explain(Request& req, Session& s) {
     auto rec = std::make_shared<support::provenance::LoopRecord>();
     rec->loop = lp.loop->loop_name();
     rec->verdict =
-        lp.degraded ? "degraded" : (lp.parallelizable ? "parallel" : "serial");
+        lp.degraded         ? "degraded"
+        : lp.parallelizable ? "parallel"
+        : lp.strategy == parallelizer::Strategy::Pipeline ? "pipeline"
+        : lp.strategy == parallelizer::Strategy::Doacross ? "doacross"
+                                                          : "serial";
     rec->reason = lp.reason;
     return std::shared_ptr<const support::provenance::LoopRecord>(rec);
   };

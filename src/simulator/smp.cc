@@ -217,6 +217,24 @@ SimResult SmpSimulator::simulate(const parallelizer::ParallelPlan& plan,
             ? m.spawn_overhead + iters_per_inv * opts.spec_validate_cost
             : m.spawn_overhead +
                   reduction_overhead(*lp, opts, st->iterations, st->invocations);
+    // Staged loops don't split iterations across every processor: pipeline
+    // parallelism is capped by the stage count, doacross by the sync
+    // distance, and each pays its decoupling traffic (queue pushes per
+    // channel / post-wait pairs per iteration).
+    if (lp->staging != nullptr) {
+      const runtime::staged::StagedLoopPlan& stp = *lp->staging;
+      double ways =
+          stp.kind == runtime::staged::StagedKind::Pipeline
+              ? static_cast<double>(std::max<size_t>(stp.stages.size(), 1))
+              : static_cast<double>(std::max<long>(stp.sync_distance, 1));
+      chunk = cost / std::min(static_cast<double>(nproc), ways);
+      overhead =
+          m.spawn_overhead +
+          (stp.kind == runtime::staged::StagedKind::Pipeline
+               ? iters_per_inv * static_cast<double>(stp.channels.size()) *
+                     opts.stage_queue_cost
+               : iters_per_inv * opts.sync_cost);
+    }
     auto rs = opts.reshuffle_elems.find(loop);
     if (rs != opts.reshuffle_elems.end()) {
       overhead += rs->second * m.reshuffle_elem_cost / static_cast<double>(nproc);
@@ -254,6 +272,7 @@ SimResult SmpSimulator::simulate(const parallelizer::ParallelPlan& plan,
     ls.loop = loop;
     ls.ran_parallel = ran_parallel;
     ls.speculative = speculative;
+    ls.staged = lp->staging != nullptr;
     ls.seq_cost = seq_cost_adjusted;
     ls.par_cost = par_cost;
     ls.overhead = static_cast<double>(st->invocations) * overhead;

@@ -50,12 +50,19 @@ struct SimOptions {
   /// loop name (each misspeculation pays a full serial re-execution).
   double spec_validate_cost = 0.25;
   std::map<std::string, double> spec_misspec_rate;
+  /// Staged loops (docs/pdg_planning.md): decoupling-queue transfer cost per
+  /// pushed value and channel (pipeline), and post/wait cost per iteration
+  /// (doacross). Their parallelism is capped by the stage count / sync
+  /// distance rather than the processor count.
+  double stage_queue_cost = 0.05;
+  double sync_cost = 0.2;
 };
 
 struct LoopSim {
   const ir::Stmt* loop = nullptr;
   bool ran_parallel = false;
   bool speculative = false;  // ran under the speculative executive
+  bool staged = false;       // ran under a staged strategy (pipeline/doacross)
   double seq_cost = 0;
   double par_cost = 0;
   double overhead = 0;

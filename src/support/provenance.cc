@@ -64,6 +64,8 @@ const char* to_string(Kind k) {
     case Kind::SpeculationAttempted: return "speculation-attempted";
     case Kind::Misspeculation: return "misspeculation";
     case Kind::Rollback: return "rollback";
+    case Kind::PipelineStaged: return "pipeline-staged";
+    case Kind::DoacrossSynced: return "doacross-synced";
   }
   return "?";
 }

@@ -63,6 +63,8 @@ enum class Kind : uint8_t {
   SpeculationAttempted,  // a statically-rejected loop ran speculatively
   Misspeculation,        // commit-time validation found a conflict
   Rollback,              // speculative state discarded; serial re-execution
+  PipelineStaged,        // SCC condensation split the loop into DSWP stages
+  DoacrossSynced,        // carried deps have a fixed distance: synced DOACROSS
 };
 
 const char* to_string(Kind k);

@@ -8,6 +8,7 @@
 #include "dynamic/dyndep.h"
 #include "dynamic/profile.h"
 #include "dynamic/specexec.h"
+#include "dynamic/stagedexec.h"
 #include "dynamic/validate.h"
 #include "explorer/workbench.h"
 #include "parallelizer/driver.h"
@@ -65,9 +66,39 @@ const char* to_string(Property p) {
     case Property::Consistency: return "consistency";
     case Property::Determinism: return "determinism";
     case Property::Speculation: return "speculation";
+    case Property::Staging: return "staging";
   }
   return "?";
 }
+
+namespace {
+
+/// "first divergence at print 3: staged x vs serial y" (or a count
+/// mismatch), shared by the Speculation and Staging legs.
+std::string printed_diff(const std::vector<double>& got,
+                         const std::vector<double>& want,
+                         const char* got_name) {
+  size_t n = std::min(got.size(), want.size());
+  size_t at = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (got[i] != want[i]) {
+      at = i;
+      break;
+    }
+  }
+  char buf[160];
+  if (at < n) {
+    std::snprintf(buf, sizeof(buf),
+                  "first divergence at print %zu: %s %.17g vs serial %.17g", at,
+                  got_name, got[at], want[at]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "print counts differ: %s %zu vs serial %zu",
+                  got_name, got.size(), want.size());
+  }
+  return buf;
+}
+
+}  // namespace
 
 OracleResult check_source(const std::string& src, const OracleOptions& opts) {
   OracleResult out;
@@ -130,10 +161,21 @@ OracleResult check_source(const std::string& src, const OracleOptions& opts) {
 
   out.loops = static_cast<int>(plan.loops.size());
   out.parallel = plan.num_parallel();
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    if (lp->strategy == parallelizer::Strategy::Pipeline) ++out.pipeline_loops;
+    if (lp->strategy == parallelizer::Strategy::Doacross) ++out.doacross_loops;
+  }
 
   // --- Soundness: reverse-order execution of the chosen parallel loops. ---
   sim::SmpSimulator simulator(prog, wb->dataflow(), wb->regions());
   std::vector<const ir::Stmt*> chosen = simulator.outermost_parallel(plan);
+  // Staged loops run concurrently but carry real dependences: they are
+  // byte-identical through staging, not order-insensitive, so the
+  // reverse-order validator only sees the proven-parallel subset.
+  chosen.erase(std::remove_if(
+                   chosen.begin(), chosen.end(),
+                   [&](const ir::Stmt* l) { return !plan.is_parallel(l); }),
+               chosen.end());
   dynamic::ValidationResult vr =
       dynamic::validate_plan(prog, chosen, opts.inputs, opts.rel_tolerance);
   if (!vr.ok) {
@@ -222,26 +264,82 @@ OracleResult check_source(const std::string& src, const OracleOptions& opts) {
         }
         if (sr.run.printed != baseline.printed) {
           out.violation = Property::Speculation;
-          size_t n = std::min(sr.run.printed.size(), baseline.printed.size());
-          size_t at = n;
-          for (size_t i = 0; i < n; ++i) {
-            if (sr.run.printed[i] != baseline.printed[i]) { at = i; break; }
-          }
-          char buf[160];
-          if (at < n) {
-            std::snprintf(buf, sizeof(buf),
-                          "first divergence at print %zu: speculative %.17g "
-                          "vs serial %.17g",
-                          at, sr.run.printed[at], baseline.printed[at]);
-          } else {
-            std::snprintf(buf, sizeof(buf),
-                          "print counts differ: speculative %zu vs serial %zu",
-                          sr.run.printed.size(), baseline.printed.size());
-          }
           out.detail = std::string(name) +
-                       " leg output diverges from the serial run; " + buf;
+                       " leg output diverges from the serial run; " +
+                       printed_diff(sr.run.printed, baseline.printed,
+                                    "speculative");
           return out;
         }
+      }
+    }
+  }
+
+  // --- Staging: staged executives' output ≡ serial, exactly. --------------
+  // The invariant is stronger than Soundness's tolerance comparison: staged
+  // execution replays the exact serial value chains, so the printed stream
+  // must be bit-identical — once letting clean attempts commit, once forcing
+  // every attempt to abort so the demotion path restores pre-loop state and
+  // re-executes serially. Skipped under an injected bug (the canary mutates
+  // the plan). Also the worker-count leg: the plan's stage/sync sections and
+  // the provenance ledger must not depend on how many driver workers planned.
+  if (opts.check_staging && !out.injected &&
+      out.pipeline_loops + out.doacross_loops > 0) {
+    dynamic::RunResult baseline;
+    {
+      dynamic::Interpreter interp(prog);
+      interp.set_inputs(opts.inputs);
+      baseline = interp.run(opts.max_cost);
+      if (!baseline.ok) {
+        out.violation = Property::PipelineError;
+        out.detail = "staging baseline run failed: " + baseline.error;
+        return out;
+      }
+    }
+    for (int leg = 0; leg < 2; ++leg) {
+      dynamic::StagedExecOptions so;
+      so.max_cost = opts.max_cost;
+      so.force_abort = leg == 1;
+      const char* name = leg == 0 ? "staged-commit" : "forced-abort";
+      dynamic::StagedRunResult sr =
+          dynamic::run_staged(prog, plan, opts.inputs, so);
+      if (!sr.run.ok) {
+        out.violation = Property::Staging;
+        out.detail = std::string(name) +
+                     " leg failed where the serial run succeeded: " +
+                     sr.run.error;
+        return out;
+      }
+      if (leg == 1 && sr.commits() != 0) {
+        out.violation = Property::Staging;
+        out.detail = "forced abort still committed " +
+                     std::to_string(sr.commits()) + " staged attempt(s)";
+        return out;
+      }
+      if (sr.run.printed != baseline.printed) {
+        out.violation = Property::Staging;
+        out.detail = std::string(name) +
+                     " leg output diverges from the serial run; " +
+                     printed_diff(sr.run.printed, baseline.printed, "staged");
+        return out;
+      }
+    }
+    std::string sig1, led1;
+    for (int w : {1, 4, 8}) {
+      parallelizer::Driver::Options dopts;
+      dopts.workers = w;
+      dopts.memoize = false;
+      parallelizer::Driver driver(wb->parallelizer(), dopts);
+      parallelizer::ParallelPlan p = driver.plan(prog);
+      std::string sig = parallelizer::plan_signature(p);
+      std::string led = parallelizer::ledger_signature(p);
+      if (w == 1) {
+        sig1 = sig;
+        led1 = led;
+      } else if (sig != sig1 || led != led1) {
+        out.violation = Property::Staging;
+        out.detail = "staged plan or ledger differs between 1 and " +
+                     std::to_string(w) + " driver workers";
+        return out;
       }
     }
   }

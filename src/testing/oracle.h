@@ -16,6 +16,12 @@
 //    executive (docs/speculation.md) must leave the printed output exactly
 //    equal to the serial run's — both when attempts commit and when every
 //    attempt is forced to misspeculate and roll back to serial re-execution.
+//  - Staging: loops the StrategyPlanner promoted to Pipeline/Doacross
+//    (docs/pdg_planning.md) must print exactly the serial output under the
+//    staged executives — both when attempts commit and when every attempt is
+//    forced to abort and demote to serial — and the plan's stage/sync
+//    sections plus the provenance ledger must be byte-identical when the
+//    Driver plans with 1, 4, and 8 workers.
 //
 // `inject_dependence_bug` force-parallelizes one loop with an observed
 // dynamic carried dependence — the canary proving the oracle catches an
@@ -36,6 +42,7 @@ enum class Property : uint8_t {
   Consistency,
   Determinism,
   Speculation,
+  Staging,
 };
 
 const char* to_string(Property p);
@@ -58,6 +65,9 @@ struct OracleOptions {
   bool check_speculation = true;
   /// Validation workers for the speculative executive.
   int spec_workers = 1;
+  /// Check the Staging property (staged execution ≡ serial output, commit
+  /// and forced-abort legs, plus worker-count plan/ledger determinism).
+  bool check_staging = true;
 };
 
 struct OracleResult {
@@ -71,13 +81,16 @@ struct OracleResult {
   std::string injected_loop;
   /// Loops the Speculation check promoted to the executive.
   int speculative = 0;
+  /// Loops the StrategyPlanner promoted to staged strategies.
+  int pipeline_loops = 0;
+  int doacross_loops = 0;
 
   bool ok() const { return violation == Property::None; }
 };
 
 /// Run the full pipeline over `src` and check the properties, in the order
-/// Determinism, Soundness, Consistency, Speculation; the first violation
-/// wins.
+/// Determinism, Soundness, Consistency, Speculation, Staging; the first
+/// violation wins.
 OracleResult check_source(const std::string& src, const OracleOptions& opts = {});
 
 }  // namespace suifx::testing

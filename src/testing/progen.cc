@@ -80,6 +80,8 @@ class Gen {
   void p_call_reduction();
   void p_common_overlay();
   void p_zero_trip();
+  void p_stage_producer_consumer();
+  void p_doacross_skewed_recurrence();
 
   void epilogue();
 
@@ -357,6 +359,46 @@ void Gen::p_common_overlay() {
   patterns_.push_back("common_overlay");
 }
 
+// Producer/consumer chain behind a queueable scalar recurrence: the scalar
+// running value is a genuine carried dependence (never DOALL), but every
+// downstream statement only reads it — the DSWP shape the StrategyPlanner
+// splits into pipeline stages connected by a decoupling queue.
+void Gen::p_stage_producer_consumer() {
+  std::string s = scal();
+  std::string src = arr();
+  std::string mid = arr_not(src);
+  std::string dst = arr_not(mid);
+  main_ << "  do i = 1, N label " << lab() << " {\n"
+        << "    " << s << " = " << s << " * " << rc01() << " + " << src
+        << "[i];\n"
+        << "    " << mid << "[i] = " << s << " * " << rc01() << " + " << mid
+        << "[i];\n";
+  if (rng_.chance(50)) {
+    main_ << "    " << dst << "[i] = " << mid << "[i] * " << rc01() << " + "
+          << s << ";\n";
+  } else {
+    main_ << "    " << dst << "[i] = " << dst << "[i] + " << s << " * "
+          << rc01() << ";\n";
+  }
+  main_ << "  }\n";
+  patterns_.push_back("stage_producer_consumer");
+}
+
+// Skewed recurrence a[i] = f(a[i - D]) with constant distance D >= 2: the
+// carried dependence is real but every chain only couples iterations D
+// apart, so the planner's DOACROSS leg runs the D residue classes with
+// post/wait synchronization at distance D.
+void Gen::p_doacross_skewed_recurrence() {
+  std::string a = arr();
+  std::string b = arr_not(a);
+  long d = rng_.range(2, 4);
+  main_ << "  do i = " << (d + 1) << ", N label " << lab() << " {\n"
+        << "    " << a << "[i] = " << a << "[i - " << d << "] * " << rc01()
+        << " + " << b << "[i];\n"
+        << "  }\n";
+  patterns_.push_back("doacross_skewed_recurrence");
+}
+
 // A loop whose trip count is zero under the Fortran DO rule.
 void Gen::p_zero_trip() {
   std::string a = arr();
@@ -417,6 +459,8 @@ GeneratedProgram Gen::run() {
       {5, &Gen::p_call_reduction, opts_.allow_calls},
       {6, &Gen::p_common_overlay, opts_.allow_commons},
       {4, &Gen::p_zero_trip, true},
+      {7, &Gen::p_stage_producer_consumer, true},
+      {7, &Gen::p_doacross_skewed_recurrence, opts_.allow_recurrences},
   };
   int total = 0;
   for (const Entry& e : table) total += e.enabled ? e.weight : 0;

@@ -63,7 +63,27 @@ std::string snapshot(const benchsuite::BenchProgram& bp) {
   os << "# outermost-parallel loops of " << bp.name
      << " (automatic plan, no assertions)\n";
   for (const ir::Stmt* loop : chosen) {
-    os << loop->loop_name() << " @line " << loop->line << "\n";
+    os << loop->loop_name() << " @line " << loop->line;
+    const parallelizer::LoopPlan* lp = plan.find(loop);
+    if (lp != nullptr && lp->strategy != parallelizer::Strategy::Doall) {
+      os << " [" << parallelizer::to_string(lp->strategy) << "]";
+    }
+    os << "\n";
+  }
+  // Staged strategies (docs/pdg_planning.md): every loop the StrategyPlanner
+  // promoted, with the stage/sync shape — pins the PDG pipeline too.
+  os << "# staged strategies\n";
+  for (const parallelizer::LoopPlan* lp : plan.ordered()) {
+    if (lp->staging == nullptr) continue;
+    os << lp->loop->loop_name() << " @line " << lp->loop->line << " ";
+    if (lp->strategy == parallelizer::Strategy::Pipeline) {
+      os << "pipeline stages=" << lp->staging->stages.size()
+         << " sequential=" << lp->staging->num_sequential_stages()
+         << " channels=" << lp->staging->channels.size() << "\n";
+    } else {
+      os << "doacross d=" << lp->staging->sync_distance
+         << " fixups=" << lp->staging->fixups.size() << "\n";
+    }
   }
   return os.str();
 }

@@ -1,0 +1,196 @@
+// Tests for the per-loop program dependence graph (src/graph/pdg.h): node
+// numbering, SCC condensation via hand-built graphs, topological ordering,
+// pipeline levels, cross-iteration marking, and byte-determinism of the
+// condensation — the invariant the StrategyPlanner's stage partition rests
+// on (docs/pdg_planning.md).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "graph/pdg.h"
+#include "ir/ir.h"
+
+namespace suifx {
+namespace {
+
+using graph::Pdg;
+using graph::PdgEdgeKind;
+
+/// Distinct statement identities for hand-built graphs; the Pdg only uses
+/// the pointers as node keys.
+struct FakeStmts {
+  std::array<ir::Stmt, 8> s;
+  const ir::Stmt* at(int i) const { return &s[static_cast<size_t>(i)]; }
+};
+
+TEST(Pdg, AddNodeIsIdempotentAndOrdered) {
+  FakeStmts f;
+  Pdg g;
+  EXPECT_EQ(g.add_node(f.at(0)), 0);
+  EXPECT_EQ(g.add_node(f.at(1)), 1);
+  EXPECT_EQ(g.add_node(f.at(0)), 0);  // re-insert keeps the first index
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.node_of(f.at(1)), 1);
+  EXPECT_EQ(g.node_of(f.at(7)), -1);
+  EXPECT_EQ(g.stmt(0), f.at(0));
+}
+
+TEST(Pdg, SingleNodeCondensesToOneLevel) {
+  FakeStmts f;
+  Pdg g;
+  g.add_node(f.at(0));
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 1u);
+  EXPECT_FALSE(c.sccs[0].cross_iteration);
+  EXPECT_EQ(c.num_levels, 1);
+  EXPECT_EQ(c.level[0], 0);
+  EXPECT_TRUE(c.edges.empty());
+}
+
+TEST(Pdg, AcyclicChainGetsOneSccPerNodeInTopologicalOrder) {
+  FakeStmts f;
+  Pdg g;
+  for (int i = 0; i < 3; ++i) g.add_node(f.at(i));
+  g.add_edge(0, 1, PdgEdgeKind::Flow, false);
+  g.add_edge(1, 2, PdgEdgeKind::Flow, false);
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 3u);
+  // Topological: every condensation edge src < dst, and the chain's order
+  // matches node order.
+  EXPECT_EQ(c.scc_of[0], 0);
+  EXPECT_EQ(c.scc_of[1], 1);
+  EXPECT_EQ(c.scc_of[2], 2);
+  ASSERT_EQ(c.edges.size(), 2u);
+  EXPECT_EQ(c.edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(c.edges[1], std::make_pair(1, 2));
+  EXPECT_EQ(c.num_levels, 3);
+  EXPECT_EQ(c.level[0], 0);
+  EXPECT_EQ(c.level[1], 1);
+  EXPECT_EQ(c.level[2], 2);
+}
+
+TEST(Pdg, CycleCollapsesIntoOneScc) {
+  FakeStmts f;
+  Pdg g;
+  for (int i = 0; i < 3; ++i) g.add_node(f.at(i));
+  g.add_edge(0, 1, PdgEdgeKind::Flow, false);
+  g.add_edge(1, 0, PdgEdgeKind::Anti, false);
+  g.add_edge(1, 2, PdgEdgeKind::Flow, false);
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 2u);
+  EXPECT_EQ(c.scc_of[0], c.scc_of[1]);
+  EXPECT_NE(c.scc_of[0], c.scc_of[2]);
+  // Member node indices are ascending.
+  const Pdg::Scc& cyc = c.sccs[static_cast<size_t>(c.scc_of[0])];
+  ASSERT_EQ(cyc.nodes.size(), 2u);
+  EXPECT_LT(cyc.nodes[0], cyc.nodes[1]);
+  // No carried edge inside the cycle: not cross-iteration.
+  EXPECT_FALSE(cyc.cross_iteration);
+  EXPECT_EQ(c.num_levels, 2);
+}
+
+TEST(Pdg, CarriedSelfEdgeMarksCrossIteration) {
+  FakeStmts f;
+  Pdg g;
+  g.add_node(f.at(0));
+  g.add_node(f.at(1));
+  g.add_edge(0, 0, PdgEdgeKind::Flow, true);   // scalar recurrence shape
+  g.add_edge(0, 1, PdgEdgeKind::Flow, false);
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 2u);
+  EXPECT_TRUE(c.sccs[static_cast<size_t>(c.scc_of[0])].cross_iteration);
+  EXPECT_FALSE(c.sccs[static_cast<size_t>(c.scc_of[1])].cross_iteration);
+}
+
+TEST(Pdg, CarriedEdgeBetweenSccsDoesNotMarkEither) {
+  FakeStmts f;
+  Pdg g;
+  g.add_node(f.at(0));
+  g.add_node(f.at(1));
+  // Forward-carried dependence across distinct statements: an inter-SCC
+  // edge, so neither stage becomes sequential.
+  g.add_edge(0, 1, PdgEdgeKind::Flow, true);
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 2u);
+  EXPECT_FALSE(c.sccs[0].cross_iteration);
+  EXPECT_FALSE(c.sccs[1].cross_iteration);
+  EXPECT_EQ(c.num_levels, 2);
+}
+
+TEST(Pdg, BidirectionalControlEdgesBindRegionAndMembers) {
+  FakeStmts f;
+  Pdg g;
+  for (int i = 0; i < 4; ++i) g.add_node(f.at(i));
+  // Node 1 is an If region guarding nodes 2 and 3 (the builder's shape):
+  // parent<->child edges both ways force one SCC.
+  g.add_edge(1, 2, PdgEdgeKind::Control, false);
+  g.add_edge(2, 1, PdgEdgeKind::Control, false);
+  g.add_edge(1, 3, PdgEdgeKind::Control, false);
+  g.add_edge(3, 1, PdgEdgeKind::Control, false);
+  g.add_edge(0, 1, PdgEdgeKind::Flow, false);
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 2u);
+  EXPECT_EQ(c.scc_of[1], c.scc_of[2]);
+  EXPECT_EQ(c.scc_of[1], c.scc_of[3]);
+  EXPECT_NE(c.scc_of[0], c.scc_of[1]);
+  const Pdg::Scc& region = c.sccs[static_cast<size_t>(c.scc_of[1])];
+  EXPECT_EQ(region.nodes, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Pdg, DiamondLevelsAndDeduplicatedEdges) {
+  FakeStmts f;
+  Pdg g;
+  for (int i = 0; i < 4; ++i) g.add_node(f.at(i));
+  g.add_edge(0, 1, PdgEdgeKind::Flow, false);
+  g.add_edge(0, 2, PdgEdgeKind::Anti, false);
+  g.add_edge(1, 3, PdgEdgeKind::Flow, false);
+  g.add_edge(2, 3, PdgEdgeKind::Output, false);
+  g.add_edge(2, 3, PdgEdgeKind::Flow, false);  // duplicate pair, distinct kind
+  Pdg::Condensation c = g.condense();
+  ASSERT_EQ(c.sccs.size(), 4u);
+  EXPECT_EQ(c.level[static_cast<size_t>(c.scc_of[0])], 0);
+  EXPECT_EQ(c.level[static_cast<size_t>(c.scc_of[1])], 1);
+  EXPECT_EQ(c.level[static_cast<size_t>(c.scc_of[2])], 1);
+  EXPECT_EQ(c.level[static_cast<size_t>(c.scc_of[3])], 2);
+  EXPECT_EQ(c.num_levels, 3);
+  // (2,3) appears once despite two parallel edges.
+  ASSERT_EQ(c.edges.size(), 4u);
+  for (size_t i = 1; i < c.edges.size(); ++i) EXPECT_LT(c.edges[i - 1], c.edges[i]);
+}
+
+TEST(Pdg, CondensationIsByteDeterministic) {
+  auto build = [] {
+    static FakeStmts f;  // same addresses both times
+    Pdg g;
+    for (int i = 0; i < 6; ++i) g.add_node(f.at(i));
+    g.add_edge(0, 1, PdgEdgeKind::Flow, false);
+    g.add_edge(1, 2, PdgEdgeKind::Flow, false);
+    g.add_edge(2, 1, PdgEdgeKind::Anti, true);
+    g.add_edge(2, 3, PdgEdgeKind::Flow, false);
+    g.add_edge(4, 5, PdgEdgeKind::Output, false);
+    g.add_edge(3, 3, PdgEdgeKind::Flow, true);
+    return g.condense();
+  };
+  Pdg::Condensation a = build();
+  Pdg::Condensation b = build();
+  ASSERT_EQ(a.sccs.size(), b.sccs.size());
+  for (size_t i = 0; i < a.sccs.size(); ++i) {
+    EXPECT_EQ(a.sccs[i].nodes, b.sccs[i].nodes);
+    EXPECT_EQ(a.sccs[i].cross_iteration, b.sccs[i].cross_iteration);
+  }
+  EXPECT_EQ(a.scc_of, b.scc_of);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_EQ(a.num_levels, b.num_levels);
+}
+
+TEST(Pdg, EdgeKindNames) {
+  EXPECT_STREQ(graph::to_string(PdgEdgeKind::Control), "control");
+  EXPECT_STREQ(graph::to_string(PdgEdgeKind::Flow), "flow");
+  EXPECT_STREQ(graph::to_string(PdgEdgeKind::Anti), "anti");
+  EXPECT_STREQ(graph::to_string(PdgEdgeKind::Output), "output");
+}
+
+}  // namespace
+}  // namespace suifx

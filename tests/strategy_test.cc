@@ -1,0 +1,488 @@
+// Tests for PDG-based strategy planning and the staged executives
+// (docs/pdg_planning.md): pipeline promotion of producer/consumer scalar
+// chains, DOACROSS promotion of constant-distance recurrences (gcd of the
+// distances), planner refusals (distance 1, irregular subscripts, calls,
+// I/O), determinism of the staged plan_signature sections across planning
+// worker counts, byte-identical commit and forced-abort execution, queue
+// backpressure refusal, injected pipeline.queue / doacross.sync faults, and
+// the demotion ladder (first abort stops the staged offer for the run).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/depend.h"
+#include "dynamic/interp.h"
+#include "dynamic/stagedexec.h"
+#include "explorer/workbench.h"
+#include "parallelizer/driver.h"
+#include "parallelizer/strategy.h"
+#include "support/fault.h"
+#include "support/metrics.h"
+#include "support/provenance.h"
+
+namespace suifx {
+namespace {
+
+using explorer::Workbench;
+using parallelizer::Strategy;
+namespace prov = support::provenance;
+
+std::unique_ptr<Workbench> build(const std::string& src) {
+  Diag diag;
+  auto wb = Workbench::from_source(src, diag);
+  EXPECT_NE(wb, nullptr) << diag.str();
+  return wb;
+}
+
+std::vector<double> serial_printed(const ir::Program& prog) {
+  dynamic::Interpreter interp(prog);
+  dynamic::RunResult rr = interp.run();
+  EXPECT_TRUE(rr.ok) << rr.error;
+  return rr.printed;
+}
+
+uint64_t counter(const char* key) {
+  auto m = support::Metrics::global().counters();
+  auto it = m.find(key);
+  return it == m.end() ? 0 : it->second;
+}
+
+/// Scalar-recurrence producer feeding read-only consumers: the canonical
+/// DSWP pipeline candidate (never DOALL — the running value is carried).
+const char* kPipeline = R"(
+program pipe;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+global real c[16] input;
+global real s;
+proc main() {
+  real chk;
+  s = 0.5;
+  do i = 1, N label 20 {
+    s = s * 0.7 + a[i];
+    b[i] = s * 0.3 + b[i];
+    c[i] = b[i] * 0.5 + s;
+  }
+  chk = 0.0;
+  do i = 1, N label 30 {
+    chk = chk + b[i] * real(i) + c[i];
+  }
+  print chk;
+  print s;
+}
+)";
+
+/// Skewed recurrence at constant distance 3: the carried chains only couple
+/// iterations 3 apart, so residue-class DOACROSS execution is legal.
+const char* kDoacross = R"(
+program doac;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+proc main() {
+  real chk;
+  do i = 4, N label 20 {
+    a[i] = a[i - 3] * 0.5 + b[i];
+  }
+  chk = 0.0;
+  do i = 1, N label 30 {
+    chk = chk + a[i] * real(i);
+  }
+  print chk;
+}
+)";
+
+const ir::Stmt* staged_loop(Workbench& wb, const parallelizer::ParallelPlan& plan,
+                            const std::string& name, Strategy want) {
+  const ir::Stmt* loop = wb.loop(name);
+  EXPECT_NE(loop, nullptr) << name;
+  const parallelizer::LoopPlan* lp = plan.find(loop);
+  EXPECT_NE(lp, nullptr) << name;
+  if (lp != nullptr) {
+    EXPECT_EQ(lp->strategy, want) << lp->reason;
+    EXPECT_FALSE(lp->parallelizable);
+    EXPECT_NE(lp->staging, nullptr);
+  }
+  return loop;
+}
+
+// ---------------------------------------------------------------------------
+// Planner promotions
+// ---------------------------------------------------------------------------
+
+TEST(StrategyPlanner, PromotesProducerConsumerChainToPipeline) {
+  auto wb = build(kPipeline);
+  parallelizer::ParallelPlan plan = wb->plan();
+  const ir::Stmt* loop = staged_loop(*wb, plan, "main/20", Strategy::Pipeline);
+  const parallelizer::LoopPlan* lp = plan.find(loop);
+  ASSERT_NE(lp->staging, nullptr);
+  EXPECT_EQ(lp->staging->kind, runtime::staged::StagedKind::Pipeline);
+  EXPECT_GE(lp->staging->stages.size(), 2u);
+  ASSERT_FALSE(lp->staging->channels.empty());
+  EXPECT_EQ(lp->staging->channels[0].var->name, "s");
+  EXPECT_LT(lp->staging->channels[0].producer_stage,
+            lp->staging->channels[0].consumer_stage);
+  // Every body statement lands in exactly one stage.
+  size_t staged = 0;
+  for (const auto& st : lp->staging->stages) staged += st.stmts.size();
+  EXPECT_EQ(staged, loop->body.size());
+  // The signature grows a stages/chan section for the promoted loop.
+  std::string sig = parallelizer::plan_signature(plan);
+  EXPECT_NE(sig.find("stages["), std::string::npos) << sig;
+  EXPECT_NE(sig.find("chan["), std::string::npos) << sig;
+}
+
+TEST(StrategyPlanner, PromotesSkewedRecurrenceToDoacross) {
+  auto wb = build(kDoacross);
+  parallelizer::ParallelPlan plan = wb->plan();
+  const ir::Stmt* loop = staged_loop(*wb, plan, "main/20", Strategy::Doacross);
+  const parallelizer::LoopPlan* lp = plan.find(loop);
+  ASSERT_NE(lp->staging, nullptr);
+  EXPECT_EQ(lp->staging->kind, runtime::staged::StagedKind::Doacross);
+  EXPECT_EQ(lp->staging->sync_distance, 3);
+  std::string sig = parallelizer::plan_signature(plan);
+  EXPECT_NE(sig.find("sync[d=3"), std::string::npos) << sig;
+}
+
+TEST(StrategyPlanner, SyncDistanceIsGcdOfCarriedDistances) {
+  auto wb = build(R"(
+program gcd;
+param N = 24;
+global real a[24] input;
+global real b[24] input;
+proc main() {
+  do i = 5, N label 20 {
+    a[i] = a[i - 2] * 0.5 + a[i - 4] * 0.25 + b[i];
+  }
+  print a[24];
+}
+)");
+  parallelizer::ParallelPlan plan = wb->plan();
+  const ir::Stmt* loop = staged_loop(*wb, plan, "main/20", Strategy::Doacross);
+  EXPECT_EQ(plan.find(loop)->staging->sync_distance, 2);  // gcd(2, 4)
+
+  // The exposed helper agrees.
+  analysis::DependenceAnalysis dep(wb->dataflow());
+  parallelizer::StrategyPlanner sp(wb->dataflow(), dep);
+  EXPECT_EQ(sp.sync_distance(loop, *plan.find(loop)), 2);
+}
+
+TEST(StrategyPlanner, RecordsStagedProvenance) {
+  auto wb = build(kPipeline);
+  parallelizer::ParallelPlan plan = wb->plan();
+  const ir::Stmt* loop = wb->loop("main/20");
+  const parallelizer::LoopPlan* lp = plan.find(loop);
+  ASSERT_NE(lp, nullptr);
+  ASSERT_NE(lp->why, nullptr);
+  EXPECT_EQ(lp->why->verdict, "pipeline");
+  bool saw = false;
+  for (const prov::LoopEntry& e : lp->why->entries) {
+    if (e.kind == prov::Kind::PipelineStaged) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------------------
+// Planner refusals
+// ---------------------------------------------------------------------------
+
+TEST(StrategyPlanner, RefusesDistanceOneRecurrence) {
+  auto wb = build(R"(
+program r1;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+proc main() {
+  do i = 2, N label 20 {
+    a[i] = a[i - 1] * 0.5 + b[i];
+  }
+  print a[16];
+}
+)");
+  parallelizer::ParallelPlan plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("main/20"));
+  ASSERT_NE(lp, nullptr);
+  // d = 1 means every iteration depends on its predecessor: no residue
+  // classes, no stages — the loop stays serial.
+  EXPECT_EQ(lp->strategy, Strategy::Serial);
+  EXPECT_EQ(lp->staging, nullptr);
+}
+
+TEST(StrategyPlanner, RefusesIrregularSubscript) {
+  auto wb = build(R"(
+program irr;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+global int gix[16];
+proc main() {
+  do i = 1, N label 10 {
+    gix[i] = 1 + (i * 5) % N;
+  }
+  do i = 2, N label 20 {
+    a[i] = a[gix[i]] * 0.5 + b[i];
+  }
+  print a[16];
+}
+)");
+  parallelizer::ParallelPlan plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("main/20"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_EQ(lp->strategy, Strategy::Serial);
+}
+
+TEST(StrategyPlanner, RefusesLoopWithCallForDoacross) {
+  // The callee reads and writes the whole array, so the call and the
+  // recurrence statement form a dependence cycle (one SCC: no pipeline), and
+  // the doacross leg refuses any loop containing a call.
+  auto wb = build(R"(
+program wc;
+param N = 16;
+global real a[16] input;
+global real b[16] input;
+proc bump(real x[m], int m) {
+  do j = 1, m label 50 {
+    x[j] = x[j] + 0.125;
+  }
+}
+proc main() {
+  do i = 3, N label 20 {
+    a[i] = a[i - 2] * 0.5 + b[i];
+    call bump(a, N);
+  }
+  print a[16];
+}
+)");
+  parallelizer::ParallelPlan plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("main/20"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_EQ(lp->strategy, Strategy::Serial);
+  EXPECT_EQ(lp->staging, nullptr);
+  analysis::DependenceAnalysis dep(wb->dataflow());
+  parallelizer::StrategyPlanner sp(wb->dataflow(), dep);
+  EXPECT_EQ(sp.sync_distance(wb->loop("main/20"), *lp), 0);
+}
+
+TEST(StrategyPlanner, RefusesLoopWithIO) {
+  auto wb = build(R"(
+program io;
+param N = 16;
+global real a[16] input;
+global real s;
+proc main() {
+  do i = 1, N label 20 {
+    s = s * 0.5 + a[i];
+    a[i] = s * 0.25;
+    print s;
+  }
+}
+)");
+  parallelizer::ParallelPlan plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("main/20"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_EQ(lp->strategy, Strategy::Serial);
+}
+
+TEST(StrategyPlanner, StagedSectionsDeterministicAcrossWorkerCounts) {
+  auto wb = build(kPipeline);
+  std::string sig1, led1;
+  for (int workers : {1, 4, 8}) {
+    parallelizer::Driver::Options opts;
+    opts.workers = workers;
+    opts.memoize = false;
+    parallelizer::Driver driver(wb->parallelizer(), opts);
+    parallelizer::ParallelPlan plan = driver.plan(wb->program());
+    std::string sig = parallelizer::plan_signature(plan);
+    std::string led = parallelizer::ledger_signature(plan);
+    if (workers == 1) {
+      sig1 = sig;
+      led1 = led;
+      EXPECT_NE(sig.find("stages["), std::string::npos);
+    } else {
+      EXPECT_EQ(sig, sig1) << "workers=" << workers;
+      EXPECT_EQ(led, led1) << "workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Staged executives
+// ---------------------------------------------------------------------------
+
+TEST(StagedExec, PipelineCommitMatchesSerial) {
+  auto wb = build(kPipeline);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+  staged_loop(*wb, plan, "main/20", Strategy::Pipeline);
+
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{});
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);  // exactly, not within tolerance
+  EXPECT_GE(sr.commits(), 1u);
+  EXPECT_EQ(sr.demotions(), 0u);
+  const auto& o = sr.loops.at("main/20");
+  EXPECT_EQ(o.strategy, Strategy::Pipeline);
+  EXPECT_GT(o.queued_values, 0u);
+  EXPECT_GT(o.max_queue_depth, 0u);
+}
+
+TEST(StagedExec, PipelineForcedAbortMatchesSerial) {
+  auto wb = build(kPipeline);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+
+  dynamic::StagedExecOptions opts;
+  opts.force_abort = true;
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{}, opts);
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);  // the demotion is invisible
+  EXPECT_EQ(sr.commits(), 0u);
+  EXPECT_GE(sr.demotions(), 1u);
+  EXPECT_TRUE(sr.loops.at("main/20").demoted);
+}
+
+TEST(StagedExec, DoacrossCommitMatchesSerial) {
+  auto wb = build(kDoacross);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+  staged_loop(*wb, plan, "main/20", Strategy::Doacross);
+
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{});
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);
+  EXPECT_GE(sr.commits(), 1u);
+  const auto& o = sr.loops.at("main/20");
+  EXPECT_EQ(o.strategy, Strategy::Doacross);
+  EXPECT_GT(o.syncs, 0u);
+}
+
+TEST(StagedExec, DoacrossForcedAbortMatchesSerial) {
+  auto wb = build(kDoacross);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+
+  dynamic::StagedExecOptions opts;
+  opts.force_abort = true;
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{}, opts);
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);
+  EXPECT_EQ(sr.commits(), 0u);
+  EXPECT_GE(sr.demotions(), 1u);
+}
+
+TEST(StagedExec, QueueBackpressureRefusesOversizedTrip) {
+  auto wb = build(kPipeline);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+
+  dynamic::StagedExecOptions opts;
+  opts.queue_capacity = 4;  // trip is 16: stage fission can't buffer it
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{}, opts);
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);  // refusal falls back to plain serial
+  const auto& o = sr.loops.at("main/20");
+  EXPECT_EQ(o.attempts, 0u);
+  EXPECT_GE(o.refusals, 1u);
+  EXPECT_NE(o.last_detail.find("capacity"), std::string::npos) << o.last_detail;
+}
+
+TEST(StagedExec, InjectedQueueFaultDemotesPipeline) {
+  support::fault::Registry::global().configure("pipeline.queue");
+  auto wb = build(kPipeline);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{});
+  support::fault::Registry::global().clear();
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);
+  EXPECT_GE(sr.demotions(), 1u);
+  const auto& o = sr.loops.at("main/20");
+  EXPECT_NE(o.last_detail.find("fault"), std::string::npos) << o.last_detail;
+}
+
+TEST(StagedExec, InjectedSyncFaultDemotesDoacross) {
+  support::fault::Registry::global().configure("doacross.sync");
+  auto wb = build(kDoacross);
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{});
+  support::fault::Registry::global().clear();
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);
+  EXPECT_GE(sr.demotions(), 1u);
+}
+
+TEST(StagedExec, DemotionLadderStopsOfferingAfterFirstAbort) {
+  support::Metrics::global().reset();
+  // The staged loop sits inside a serial outer loop (the print keeps the
+  // outer loop off the planner's table), so it is entered three times.
+  auto wb = build(R"(
+program ladder;
+param N = 12;
+global real a[12] input;
+global real b[12] input;
+global real s;
+proc main() {
+  do k = 1, 3 label 10 {
+    do i = 1, N label 20 {
+      s = s * 0.5 + a[i];
+      b[i] = b[i] + s * 0.25;
+    }
+    print s;
+  }
+}
+)");
+  std::vector<double> serial = serial_printed(wb->program());
+  parallelizer::ParallelPlan plan = wb->plan();
+  staged_loop(*wb, plan, "main/20", Strategy::Pipeline);
+  const parallelizer::LoopPlan* outer = plan.find(wb->loop("main/10"));
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->strategy, Strategy::Serial);
+
+  dynamic::StagedExecOptions opts;
+  opts.force_abort = true;
+  dynamic::StagedRunResult sr =
+      dynamic::run_staged(wb->program(), plan, dynamic::Inputs{}, opts);
+  ASSERT_TRUE(sr.run.ok) << sr.run.error;
+  EXPECT_EQ(sr.run.printed, serial);
+  const auto& o = sr.loops.at("main/20");
+  // First entry attempts and aborts; the ladder then stops offering the
+  // staged plan, so entries two and three run plain serial.
+  EXPECT_EQ(o.attempts, 1u);
+  EXPECT_EQ(o.demotions, 1u);
+  EXPECT_TRUE(o.demoted);
+  EXPECT_GE(counter("stage.demoted_skip"), 2u);
+}
+
+TEST(StagedExec, DemotionRecordsProvenance) {
+  prov::Ledger::global().clear();
+  auto wb = build(kPipeline);
+  parallelizer::ParallelPlan plan = wb->plan();
+  dynamic::StagedExecOptions opts;
+  opts.force_abort = true;
+  dynamic::run_staged(wb->program(), plan, dynamic::Inputs{}, opts);
+
+  bool saw_rollback = false, saw_degraded = false;
+  for (const prov::Event& e : prov::Ledger::global().snapshot()) {
+    if (e.kind == prov::Kind::Rollback && e.loop == "main/20") saw_rollback = true;
+    if (e.kind == prov::Kind::Degraded && e.loop == "main/20") saw_degraded = true;
+  }
+  EXPECT_TRUE(saw_rollback);
+  EXPECT_TRUE(saw_degraded);
+  prov::Ledger::global().clear();
+}
+
+}  // namespace
+}  // namespace suifx
