@@ -1,0 +1,178 @@
+// Extension: unified sparse parallel mono-solver throughput. Builds the full
+// interprocedural analysis stack (alias, callgraph, regions, modref,
+// symbolic, array dataflow, liveness, iSSA) for the whole benchsuite (the 17
+// golden-plan programs) at 1, 4, and 8 engine workers, cold (polyhedral memo
+// cache cleared before every measured pass) and warm (cache retained),
+// best-of-R per configuration. The analysis-phase number is the sum of the
+// Workbench's per-pass clocks, so parsing is excluded and the measurement is
+// comparable with the pre-port baseline recorded in
+// bench/baselines/ext_dataflow.json (`pre_port_cold_ms`, captured on the
+// bespoke-fixpoint implementation this engine replaced).
+//
+// Also reports the mono engine's per-pass solver counters
+// (dataflow.<pass>.iterations / .sparse_skips) and exits nonzero if any
+// pass's iteration count varies with the worker count — the determinism half
+// of the sealing guarantee, checked on every CI run; the perf-smoke step
+// gates the wall budget and iteration regressions against the baseline.
+//
+// Usage: ext_dataflow [--reps N] [--json PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dataflow/mono.h"
+#include "polyhedra/polycache.h"
+#include "support/metrics.h"
+
+using namespace suifx;
+using namespace suifx::bench;
+
+namespace {
+
+// The engine-backed passes whose solver counters the JSON reports.
+const char* kPasses[] = {"liveness", "modref", "array_dataflow"};
+
+/// One whole-suite analysis build; returns the summed per-pass wall ms.
+double build_suite_ms() {
+  double total = 0;
+  for (const benchsuite::BenchProgram* bp : benchsuite::full_suite()) {
+    Diag diag;
+    auto wb = explorer::Workbench::from_source(bp->source, diag);
+    if (wb == nullptr) {
+      std::fprintf(stderr, "FATAL: %s failed to build:\n%s\n",
+                   bp->name.c_str(), diag.str().c_str());
+      std::exit(1);
+    }
+    for (const auto& [pass, ms] : wb->pass_times_ms()) total += ms;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: ext_dataflow [--reps N] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  const int n_programs =
+      static_cast<int>(benchsuite::full_suite().size());
+  std::printf("Extension: unified sparse parallel mono-solver\n");
+  std::printf("%d programs, best of %d rep(s) per configuration\n\n",
+              n_programs, reps);
+
+  const int kWorkers[] = {1, 4, 8};
+  std::map<int, double> cold_ms, warm_ms;
+  // dataflow.<pass>.iterations per worker count, for the determinism gate.
+  std::map<int, std::map<std::string, uint64_t>> iters;
+  std::map<std::string, uint64_t> skips;  // at 1 worker
+
+  int saved = dataflow::default_workers();
+  for (int w : kWorkers) {
+    dataflow::set_default_workers(w);
+    // Cold: the polyhedral memo cache is wiped before every measured build.
+    double best_cold = 0;
+    for (int r = 0; r < reps; ++r) {
+      poly::cache::reset();
+      support::Metrics::global().reset();
+      double ms = build_suite_ms();
+      if (r == 0 || ms < best_cold) best_cold = ms;
+      if (r == 0) {
+        for (const char* p : kPasses) {
+          std::string key = std::string("dataflow.") + p;
+          iters[w][p] =
+              support::Metrics::global().counter(key + ".iterations");
+          if (w == 1) {
+            skips[p] =
+                support::Metrics::global().counter(key + ".sparse_skips");
+          }
+        }
+      }
+    }
+    cold_ms[w] = best_cold;
+    // Warm: the cache keeps everything the cold reps interned.
+    double best_warm = 0;
+    for (int r = 0; r < reps; ++r) {
+      double ms = build_suite_ms();
+      if (r == 0 || ms < best_warm) best_warm = ms;
+    }
+    warm_ms[w] = best_warm;
+  }
+  dataflow::set_default_workers(saved);
+
+  rule(62);
+  std::printf("%s%s%s\n", cell("workers", 10).c_str(),
+              cell("cold ms", 14).c_str(), cell("warm ms", 14).c_str());
+  rule(62);
+  for (int w : kWorkers) {
+    std::printf("%s%s%s\n", cell(static_cast<long>(w), 10).c_str(),
+                cell(cold_ms[w], 14).c_str(), cell(warm_ms[w], 14).c_str());
+  }
+  rule(62);
+  double parallel_speedup = cold_ms[8] > 0 ? cold_ms[1] / cold_ms[8] : 0;
+  std::printf("\nparallel speedup (cold, 1 -> 8 workers): %.2fx\n",
+              parallel_speedup);
+  std::printf("\nsolver iterations (identical at every worker count):\n");
+  for (const char* p : kPasses) {
+    std::printf("  %-16s %8llu iterations, %8llu sparse skips\n", p,
+                static_cast<unsigned long long>(iters[1][p]),
+                static_cast<unsigned long long>(skips[p]));
+  }
+
+  // Determinism gate: per-SCC sealing promises the iteration counts do not
+  // depend on the worker count.
+  bool deterministic = true;
+  for (const char* p : kPasses) {
+    if (iters[4][p] != iters[1][p] || iters[8][p] != iters[1][p]) {
+      std::printf("FAIL: %s iteration count varies with workers "
+                  "(w1 %llu, w4 %llu, w8 %llu)\n",
+                  p, static_cast<unsigned long long>(iters[1][p]),
+                  static_cast<unsigned long long>(iters[4][p]),
+                  static_cast<unsigned long long>(iters[8][p]));
+      deterministic = false;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"programs\": " << n_programs << ",\n  \"reps\": " << reps;
+    for (int w : kWorkers) {
+      out << ",\n  \"cold_w" << w << "_ms\": " << cold_ms[w]
+          << ",\n  \"warm_w" << w << "_ms\": " << warm_ms[w];
+    }
+    out << ",\n  \"parallel_speedup\": " << parallel_speedup
+        << ",\n  \"iterations\": {";
+    bool first = true;
+    for (const char* p : kPasses) {
+      out << (first ? "" : ", ") << "\"" << p << "\": " << iters[1][p];
+      first = false;
+    }
+    out << "},\n  \"sparse_skips\": {";
+    first = true;
+    for (const char* p : kPasses) {
+      out << (first ? "" : ", ") << "\"" << p << "\": " << skips[p];
+      first = false;
+    }
+    out << "}\n}\n";
+    std::printf("\nJSON -> %s\n", json_path.c_str());
+  }
+
+  if (!deterministic) return 1;
+  std::printf("OK\n");
+  return 0;
+}

@@ -39,6 +39,7 @@ struct Args {
   std::string repro_dir = "fuzz_repros";
   int max_stmts = 30;       // a reduced repro larger than this fails the run
   int max_reductions = 3;   // bound reduction wall time per sweep
+  int alias_tier = -1;      // -1 defers to SUIFX_ALIAS_TIER; 1 arms Andersen
 };
 
 struct Violation {
@@ -85,11 +86,13 @@ int main(int argc, char** argv) {
     else if (a == "--repro-dir") args.repro_dir = next();
     else if (a == "--max-stmts") args.max_stmts = std::atoi(next());
     else if (a == "--max-reductions") args.max_reductions = std::atoi(next());
+    else if (a == "--alias-tier") args.alias_tier = std::atoi(next());
     else {
       std::fprintf(stderr,
                    "usage: ext_fuzz [--programs N] [--seed S] [--inject]\n"
                    "                [--tolerance X] [--repro-dir DIR]\n"
-                   "                [--max-stmts K] [--max-reductions R]\n");
+                   "                [--max-stmts K] [--max-reductions R]\n"
+                   "                [--alias-tier T]\n");
       return 2;
     }
   }
@@ -106,6 +109,7 @@ int main(int argc, char** argv) {
     testing::OracleOptions oo;
     oo.rel_tolerance = args.tolerance;
     oo.inject_dependence_bug = args.inject;
+    oo.alias_tier = args.alias_tier;
     testing::OracleResult r = testing::check_source(gp.source, oo);
     std::printf("loops %d, parallel %d, speculative %d, pipeline %d, "
                 "doacross %d%s\n",
@@ -119,13 +123,15 @@ int main(int argc, char** argv) {
   }
 
   std::printf("Extension: differential fuzzing oracle\n");
-  std::printf("programs %d, base seed %llu%s, tolerance %g\n\n", args.programs,
-              static_cast<unsigned long long>(args.seed),
-              args.inject ? ", INJECTING dependence bugs" : "", args.tolerance);
+  std::printf("programs %d, base seed %llu%s, tolerance %g%s\n\n",
+              args.programs, static_cast<unsigned long long>(args.seed),
+              args.inject ? ", INJECTING dependence bugs" : "", args.tolerance,
+              args.alias_tier >= 1 ? ", alias tier 1 (Andersen)" : "");
 
   testing::OracleOptions oo;
   oo.rel_tolerance = args.tolerance;
   oo.inject_dependence_bug = args.inject;
+  oo.alias_tier = args.alias_tier;
 
   std::map<testing::Property, int> tally;
   std::vector<Violation> violations;

@@ -24,13 +24,23 @@ long AliasAnalysis::footprint_elems(const ir::Variable* v) const {
 
 AliasAnalysis::AliasAnalysis(const ir::Program& prog, bool unify_overlays)
     : prog_(prog) {
+  build(unify_overlays, nullptr);
+}
+
+AliasAnalysis::AliasAnalysis(const ir::Program& prog, const AliasRefinement& refine,
+                             bool unify_overlays)
+    : prog_(prog) {
+  build(unify_overlays, &refine);
+}
+
+void AliasAnalysis::build(bool unify_overlays, const AliasRefinement* refine) {
   support::trace::TraceSpan span("pass/alias");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "alias.build");
   SUIFX_FAULT_POINT("pass.alias.entry");
   support::Budget::charge_current();
   // Group common members per block.
   std::map<const ir::CommonBlock*, std::vector<const ir::Variable*>> by_block;
-  for (const ir::Variable& v : prog.variables()) {
+  for (const ir::Variable& v : prog_.variables()) {
     if (v.kind == ir::VarKind::CommonMember) by_block[v.common].push_back(&v);
   }
   for (auto& [blk, members] : by_block) {
@@ -69,8 +79,34 @@ AliasAnalysis::AliasAnalysis(const ir::Program& prog, bool unify_overlays)
       canon_[m] = blob ? members.front() : (unify_overlays ? it->second : nit->second);
       blob_[m] = blob;
     }
-    if (blob) {
-      for (const ir::Variable* m : members) canon_[m] = members.front();
+    if (!blob) continue;
+    // Tier-1 carve-out: members the Andersen oracle proved untouchable keep
+    // precise classes (per-offset reps among themselves); the rest of the
+    // block collapses onto its first non-precise member.
+    auto precise = [&](const ir::Variable* m) {
+      return refine != nullptr && refine->precise.count(m) != 0;
+    };
+    const ir::Variable* blob_rep = nullptr;
+    for (const ir::Variable* m : members) {
+      if (!precise(m)) {
+        blob_rep = m;
+        break;
+      }
+    }
+    if (blob_rep == nullptr) blob_rep = members.front();
+    std::map<long, const ir::Variable*> prep_at;
+    std::map<std::pair<long, std::string>, const ir::Variable*> prep_named;
+    for (const ir::Variable* m : members) {
+      if (precise(m)) {
+        auto [it, inserted] = prep_at.insert({m->common_offset, m});
+        auto [nit, ninserted] =
+            prep_named.insert({{m->common_offset, m->name}, m});
+        canon_[m] = unify_overlays ? it->second : nit->second;
+        blob_[m] = false;
+      } else {
+        canon_[m] = blob_rep;
+        blob_[m] = true;
+      }
     }
   }
 }
@@ -85,7 +121,10 @@ bool AliasAnalysis::may_alias(const ir::Variable* a, const ir::Variable* b) cons
   if (a->kind == ir::VarKind::CommonMember && b->kind == ir::VarKind::CommonMember &&
       a->common == b->common) {
     if (canonical(a) == canonical(b)) return true;
-    if (is_blob(a) || is_blob(b)) return true;
+    // A carved-out precise member vs a blob member falls through to the
+    // interval check: the refinement already proved the precise member's
+    // declared storage disjoint from every other view of the block.
+    if (is_blob(a) && is_blob(b)) return true;
     // Distinct offsets with disjoint footprints: no alias.
     long fa = footprint_elems(a);
     long fb = footprint_elems(b);

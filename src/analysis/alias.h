@@ -10,11 +10,23 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "ir/ir.h"
 
 namespace suifx::analysis {
+
+/// Tier-1 refinement of the Steensgaard classes (produced by the
+/// inclusion-based Andersen oracle, analysis/andersen.h): blob-block members
+/// whose storage has been proven untouchable by any other view of the block.
+/// Such members get back a precise class of their own; the rest of the block
+/// stays collapsed.
+struct AliasRefinement {
+  std::set<const ir::Variable*> precise;
+
+  bool empty() const { return precise.empty(); }
+};
 
 class AliasAnalysis {
  public:
@@ -22,6 +34,11 @@ class AliasAnalysis {
   /// hypothesis mode used by the common-block splitting check (§5.5), which
   /// asks "if these views had separate storage, would the program notice?".
   explicit AliasAnalysis(const ir::Program& prog, bool unify_overlays = true);
+
+  /// Tier-1 construction: Steensgaard classes with `refine.precise` members
+  /// carved back out of their blob blocks (docs/dataflow.md).
+  AliasAnalysis(const ir::Program& prog, const AliasRefinement& refine,
+                bool unify_overlays = true);
 
   /// The canonical representative of `v`'s storage class. Identity for
   /// non-common variables.
@@ -45,6 +62,7 @@ class AliasAnalysis {
       const;
 
  private:
+  void build(bool unify_overlays, const AliasRefinement* refine);
   long footprint_elems(const ir::Variable* v) const;
 
   const ir::Program& prog_;

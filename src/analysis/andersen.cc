@@ -1,0 +1,216 @@
+#include "analysis/andersen.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "dataflow/mono.h"
+#include "support/fault.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::analysis {
+
+long declared_footprint_elems(const ir::Variable* v) {
+  long n = 1;
+  for (const ir::Dim& d : v->dims) {
+    long lo = 0, hi = 0;
+    if (!ir::eval_const_with_params(d.lower, &lo) ||
+        !ir::eval_const_with_params(d.upper, &hi)) {
+      return -1;  // unknown extent
+    }
+    n *= std::max<long>(0, hi - lo + 1);
+  }
+  return n;
+}
+
+namespace {
+
+/// Column-major linearized 0-based element offset of an array-ref with
+/// compile-time-constant subscripts; nullopt when any subscript or bound is
+/// not a constant.
+std::optional<long> const_elem_offset(const ir::Expr* ref) {
+  long off = 0;
+  long stride = 1;
+  const ir::Variable* v = ref->var;
+  for (size_t d = 0; d < ref->idx.size() && d < v->dims.size(); ++d) {
+    long k = 0, lo = 0, hi = 0;
+    if (!ir::eval_const_with_params(ref->idx[d], &k) ||
+        !ir::eval_const_with_params(v->dims[d].lower, &lo)) {
+      return std::nullopt;
+    }
+    off += (k - lo) * stride;
+    if (!ir::eval_const_with_params(v->dims[d].upper, &hi)) return std::nullopt;
+    stride *= std::max<long>(0, hi - lo + 1);
+  }
+  return off;
+}
+
+/// One way a formal can receive block storage at a callsite.
+struct Binding {
+  const ir::Expr* arg = nullptr;  // VarRef or ArrayRef actual
+};
+
+bool intervals_intersect(long alo, long ahi, long blo, long bhi) {
+  const long inf = std::numeric_limits<long>::max();
+  if (ahi < 0) ahi = inf;
+  if (bhi < 0) bhi = inf;
+  return alo < bhi && blo < ahi;
+}
+
+}  // namespace
+
+Andersen::Andersen(const ir::Program& prog) : prog_(prog) {
+  support::trace::TraceSpan span("pass/andersen");
+  support::Metrics::ScopedTimer timer(support::Metrics::global(), "andersen.build");
+  SUIFX_FAULT_POINT("alias.andersen");
+
+  // Nodes: every array formal, in program order (determinism). Edges: a
+  // chained binding caller-formal -> callee-formal; direct COMMON-member
+  // bindings are seeds recomputed by the transfer.
+  std::vector<const ir::Variable*> formals;
+  std::map<const ir::Variable*, int> node_of;
+  for (const ir::Procedure& p : prog.procedures()) {
+    for (const ir::Variable* f : p.formals) {
+      if (!f->is_array()) continue;
+      node_of[f] = static_cast<int>(formals.size());
+      formals.push_back(f);
+    }
+  }
+  const int n = static_cast<int>(formals.size());
+  for (const ir::Variable* f : formals) views_[f];  // stable fact slots
+
+  std::vector<std::vector<Binding>> bindings(static_cast<size_t>(n));
+  dataflow::DepGraph g(n);
+  for (const ir::Procedure& p : prog.procedures()) {
+    p.for_each([&](const ir::Stmt* s) {
+      if (s->kind != ir::StmtKind::Call) return;
+      for (size_t i = 0; i < s->args.size(); ++i) {
+        const ir::Variable* f = s->callee->formals[i];
+        if (!f->is_array()) continue;
+        const ir::Expr* a = s->args[i];
+        if (!a->is_var_ref() && !a->is_array_ref()) continue;
+        const ir::Variable* av = a->var;
+        int dst = node_of.at(f);
+        if (av->kind == ir::VarKind::CommonMember) {
+          bindings[static_cast<size_t>(dst)].push_back({a});
+        } else if (av->kind == ir::VarKind::Formal && av->is_array()) {
+          bindings[static_cast<size_t>(dst)].push_back({a});
+          g.add_edge(node_of.at(av), dst);
+        }
+      }
+    });
+  }
+
+  struct Client {
+    Andersen* self;
+    const std::vector<const ir::Variable*>* formals;
+    const std::vector<std::vector<Binding>>* bindings;
+    bool transfer(int i) {
+      const ir::Variable* f = (*formals)[static_cast<size_t>(i)];
+      long ff = declared_footprint_elems(f);
+      std::set<LocInterval>& mine = self->views_[f];
+      bool changed = false;
+      auto add = [&](const LocInterval& v) { changed |= mine.insert(v).second; };
+      for (const Binding& b : (*bindings)[static_cast<size_t>(i)]) {
+        const ir::Expr* a = b.arg;
+        const ir::Variable* av = a->var;
+        auto eo = a->is_array_ref() ? const_elem_offset(a)
+                                    : std::optional<long>(0);
+        if (av->kind == ir::VarKind::CommonMember) {
+          if (eo) {
+            long lo = av->common_offset + *eo;
+            add({av->common, lo, ff < 0 ? -1 : lo + ff, true});
+          } else {
+            long fa = declared_footprint_elems(av);
+            long lo = av->common_offset;
+            long hi = (fa >= 0 && ff >= 0) ? lo + fa - 1 + ff : -1;
+            add({av->common, lo, hi, false});
+          }
+        } else {  // chained caller formal
+          for (const LocInterval& v : self->views_.at(av)) {
+            if (eo && v.exact) {
+              long lo = v.lo + *eo;
+              add({v.block, lo, ff < 0 ? -1 : lo + ff, true});
+            } else if (eo) {
+              // Start somewhere in [v.lo, v.hi): shift the whole range.
+              long lo = v.lo + *eo;
+              long hi = (v.hi >= 0 && ff >= 0) ? v.hi - 1 + *eo + ff : -1;
+              add({v.block, lo, hi, false});
+            } else {
+              // Unknown subscript: the new start stays inside the parent's
+              // touched region, extended by this formal's footprint.
+              long hi = (v.hi >= 0 && ff >= 0) ? v.hi - 1 + ff : -1;
+              add({v.block, v.lo, hi, false});
+            }
+          }
+        }
+      }
+      return changed;
+    }
+    uint64_t cost(int) const { return 1; }
+  };
+  Client client{this, &formals, &bindings};
+  dataflow::SolveOptions opts;
+  opts.pass = "andersen";
+  dataflow::SolveStats stats = dataflow::solve(client, g, opts);
+  iterations_ = stats.iterations;
+}
+
+const std::set<LocInterval>& Andersen::views_of(const ir::Variable* formal) const {
+  static const std::set<LocInterval> kEmpty;
+  auto it = views_.find(formal);
+  return it != views_.end() ? it->second : kEmpty;
+}
+
+AliasRefinement Andersen::refine(const AliasAnalysis& tier0) const {
+  AliasRefinement out;
+  std::map<const ir::CommonBlock*, std::vector<const ir::Variable*>> by_block;
+  for (const ir::Variable& v : prog_.variables()) {
+    if (v.kind == ir::VarKind::CommonMember && tier0.is_blob(&v)) {
+      by_block[v.common].push_back(&v);
+    }
+  }
+  if (by_block.empty()) return out;
+  std::map<const ir::CommonBlock*, std::vector<std::pair<long, long>>> fviews;
+  for (const auto& [f, vs] : views_) {
+    for (const LocInterval& v : vs) fviews[v.block].push_back({v.lo, v.hi});
+  }
+  for (const auto& [blk, members] : by_block) {
+    const auto& views = fviews[blk];
+    for (const ir::Variable* m : members) {
+      long fm = declared_footprint_elems(m);
+      if (fm < 0) continue;  // unknown extent: stays in the blob
+      long mlo = m->common_offset, mhi = m->common_offset + fm;
+      bool ok = true;
+      for (const ir::Variable* w : members) {
+        if (w == m) continue;
+        long fw = declared_footprint_elems(w);
+        // The same view re-declared by another procedure (same offset, same
+        // footprint, same shape) is the same storage — the carve-out unifies
+        // them into one precise class — so it does not veto.
+        if (w->common_offset == m->common_offset && fw == fm &&
+            w->rank() == m->rank()) {
+          continue;
+        }
+        if (intervals_intersect(w->common_offset,
+                                fw < 0 ? -1 : w->common_offset + fw, mlo, mhi)) {
+          ok = false;  // declared views overlap: both stay collapsed
+          break;
+        }
+      }
+      for (const auto& [vlo, vhi] : views) {
+        if (!ok) break;
+        if (!intervals_intersect(vlo, vhi, mlo, mhi)) continue;
+        // A view fully inside m can only have originated from m itself; a
+        // straddling view could route another class's accesses into m.
+        if (!(vlo >= mlo && vhi >= 0 && vhi <= mhi)) ok = false;
+      }
+      if (ok) out.precise.insert(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace suifx::analysis

@@ -1,0 +1,81 @@
+// Tier-1 alias oracle: an inclusion-based ("Andersen-style") location-set
+// analysis over COMMON storage, consulted lazily when the Steensgaard tier
+// (analysis/alias.h) has collapsed a block into a blob that blocks a loop
+// verdict. Where Steensgaard unifies — one partial overlap anywhere poisons
+// the whole block — this tier keeps a directional view: every variable that
+// can denote block storage (common members, and array formals bound to them
+// through arbitrarily deep call chains) gets a SET of element intervals it
+// may touch, propagated along subset constraints formal ⊇ shift(actual)
+// until fixpoint. The constraint graph is solved by the shared mono engine
+// (dataflow/mono.h) as its one genuinely iterative client.
+//
+// Refinement rule (v1, docs/dataflow.md): a member `m` of a blob block is
+// carved back out as a precise class iff its own extent is known and every
+// other view of the block — other members' declared intervals and every
+// formal's propagated view — either misses m's interval entirely or lies
+// fully inside it (a view fully inside m can only have originated from m,
+// so it is just an access to m; a straddling view could smuggle accesses
+// recorded under another class into m's storage, which would be unsound).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "analysis/alias.h"
+#include "ir/ir.h"
+
+namespace suifx::analysis {
+
+/// Compile-time element footprint of a variable's declared dimensions; -1
+/// when any bound is not a constant (shared by the tiered alias oracle and
+/// the escalation payoff model).
+long declared_footprint_elems(const ir::Variable* v);
+
+/// A contiguous element interval of one COMMON block that some variable may
+/// view: [lo, hi) in block-element units; hi == -1 means the extent is
+/// unknown (the view reaches to the end of the block, conservatively).
+struct LocInterval {
+  const ir::CommonBlock* block = nullptr;
+  long lo = 0;
+  long hi = 0;
+  /// True when the view's start position is exactly `lo` (a direct binding
+  /// with constant subscripts, propagated through exact chains). Inexact
+  /// views widen per hop: the start may be anywhere inside [lo, hi).
+  bool exact = true;
+
+  bool operator<(const LocInterval& o) const {
+    if (block != o.block) {
+      return std::less<const ir::CommonBlock*>()(block, o.block);
+    }
+    if (lo != o.lo) return lo < o.lo;
+    if (hi != o.hi) return hi < o.hi;
+    return exact < o.exact;
+  }
+  bool operator==(const LocInterval& o) const {
+    return block == o.block && lo == o.lo && hi == o.hi && exact == o.exact;
+  }
+};
+
+class Andersen {
+ public:
+  explicit Andersen(const ir::Program& prog);
+
+  /// The block intervals `formal` may view through any call chain. Empty for
+  /// formals never bound to COMMON storage.
+  const std::set<LocInterval>& views_of(const ir::Variable* formal) const;
+
+  /// Members of tier-0 blob blocks whose storage no other view can touch.
+  AliasRefinement refine(const AliasAnalysis& tier0) const;
+
+  /// Solver iterations taken to reach the inclusion fixpoint (the mono
+  /// engine's `dataflow.andersen.iterations`).
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  const ir::Program& prog_;
+  std::map<const ir::Variable*, std::set<LocInterval>> views_;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace suifx::analysis

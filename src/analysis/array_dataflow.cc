@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dataflow/mono.h"
 #include "polyhedra/polycache.h"
-#include "support/budget.h"
 #include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -74,39 +74,94 @@ void demote_conflicting_reductions(VarAccess* a, VarAccess* b) {
 }  // namespace
 
 AccessInfo AccessInfo::meet(const AccessInfo& a, const AccessInfo& b) {
+  // Merged in key order; a variable absent from one side meets the empty
+  // summary, which only demotes its must-writes (no path through the other
+  // side writes it), so the one-sided cases skip the section algebra.
   AccessInfo out;
-  std::set<const ir::Variable*> keys;
-  for (const auto& [v, x] : a.vars) keys.insert(v);
-  for (const auto& [v, x] : b.vars) keys.insert(v);
-  for (const ir::Variable* v : keys) {
-    static const VarAccess kEmpty;
-    VarAccess va = a.find(v) != nullptr ? *a.find(v) : kEmpty;
-    VarAccess vb = b.find(v) != nullptr ? *b.find(v) : kEmpty;
+  auto ia = a.vars.begin();
+  auto ib = b.vars.begin();
+  while (ia != a.vars.end() || ib != b.vars.end()) {
+    const bool only_a =
+        ib == b.vars.end() || (ia != a.vars.end() && ia->first < ib->first);
+    const bool only_b =
+        ia == a.vars.end() || (ib != b.vars.end() && ib->first < ia->first);
+    if (only_a || only_b) {
+      VarAccess m = only_a ? ia->second : ib->second;
+      m.sec.W.unite(std::move(m.sec.M));
+      m.sec.M = poly::SectionList();
+      out.vars.emplace_hint(out.vars.end(), only_a ? ia->first : ib->first,
+                            std::move(m));
+      if (only_a) ++ia;
+      else ++ib;
+      continue;
+    }
+    if (ia->second.red.empty() && ib->second.red.empty()) {
+      // No reductions on either side: nothing to demote, so meet the
+      // summaries in place without copying the VarAccess pair.
+      VarAccess m;
+      m.sec = ArraySummary::meet(ia->second.sec, ib->second.sec);
+      out.vars.emplace_hint(out.vars.end(), ia->first, std::move(m));
+      ++ia;
+      ++ib;
+      continue;
+    }
+    VarAccess va = ia->second;
+    VarAccess vb = ib->second;
     demote_conflicting_reductions(&va, &vb);
     VarAccess m;
     m.sec = ArraySummary::meet(va.sec, vb.sec);
     m.red = std::move(va.red);  // va is this iteration's local copy
     for (auto& [op, list] : vb.red) m.red[op].unite(std::move(list));
-    out.vars[v] = std::move(m);
+    out.vars.emplace_hint(out.vars.end(), ia->first, std::move(m));
+    ++ia;
+    ++ib;
   }
   return out;
 }
 
 AccessInfo AccessInfo::compose(const AccessInfo& node, const AccessInfo& after) {
+  // Sequencing against the empty summary is the identity on both sides, so
+  // variables mentioned by only one operand carry over unchanged and the
+  // section algebra runs only on the overlap.
+  if (node.vars.empty()) return after;
+  if (after.vars.empty()) return node;
   AccessInfo out;
-  std::set<const ir::Variable*> keys;
-  for (const auto& [v, x] : node.vars) keys.insert(v);
-  for (const auto& [v, x] : after.vars) keys.insert(v);
-  for (const ir::Variable* v : keys) {
-    static const VarAccess kEmpty;
-    VarAccess vn = node.find(v) != nullptr ? *node.find(v) : kEmpty;
-    VarAccess va = after.find(v) != nullptr ? *after.find(v) : kEmpty;
+  auto in = node.vars.begin();
+  auto ia = after.vars.begin();
+  while (in != node.vars.end() || ia != after.vars.end()) {
+    const bool only_n =
+        ia == after.vars.end() ||
+        (in != node.vars.end() && in->first < ia->first);
+    const bool only_a =
+        in == node.vars.end() ||
+        (ia != after.vars.end() && ia->first < in->first);
+    if (only_n || only_a) {
+      const auto& it = only_n ? in : ia;
+      out.vars.emplace_hint(out.vars.end(), it->first, it->second);
+      if (only_n) ++in;
+      else ++ia;
+      continue;
+    }
+    if (in->second.red.empty() && ia->second.red.empty()) {
+      // No reductions on either side: nothing to demote, so compose the
+      // summaries in place without copying the VarAccess pair.
+      VarAccess c;
+      c.sec = ArraySummary::compose(in->second.sec, ia->second.sec);
+      out.vars.emplace_hint(out.vars.end(), in->first, std::move(c));
+      ++in;
+      ++ia;
+      continue;
+    }
+    VarAccess vn = in->second;
+    VarAccess va = ia->second;
     demote_conflicting_reductions(&vn, &va);
     VarAccess c;
     c.sec = ArraySummary::compose(vn.sec, va.sec);
     c.red = std::move(vn.red);  // vn is this iteration's local copy
     for (auto& [op, list] : va.red) c.red[op].unite(std::move(list));
-    out.vars[v] = std::move(c);
+    out.vars.emplace_hint(out.vars.end(), in->first, std::move(c));
+    ++in;
+    ++ia;
   }
   return out;
 }
@@ -165,20 +220,65 @@ ArrayDataflow::ArrayDataflow(const ir::Program& prog, const AliasAnalysis& alias
   support::trace::TraceSpan span("pass/array_dataflow");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "dataflow.build");
   SUIFX_FAULT_POINT("pass.array_dataflow.entry");
-  for (ir::Procedure* p : cg.bottom_up()) {
-    support::trace::TraceSpan proc_span("pass/array_dataflow/proc", p->name);
-    support::Metrics::global().count("dataflow.procs");
-    support::Budget::charge_current();
-    AccessInfo info = summarize_body(p->body);
-    region_info_[regions.of_proc(p)] = info;
-    call_summary_[p] = localize(p, info);
-    bool io = false;
-    p->for_each([&](ir::Stmt* s) {
-      if (s->kind == ir::StmtKind::Print) io = true;
-      if (s->kind == ir::StmtKind::Call) io = io || proc_io_.at(s->callee);
+
+  // Mono-solver client (docs/dataflow.md): one node per procedure, an edge
+  // callee -> caller so a procedure is summarized only after every callee's
+  // bundle is sealed. No recursion, so each transfer seals its node in one
+  // application; independent procedures summarize on pool workers.
+  const std::vector<ir::Procedure*>& procs = cg.bottom_up();
+  const int n = static_cast<int>(procs.size());
+  for (int i = 0; i < n; ++i) node_of_[procs[static_cast<size_t>(i)]] = i;
+
+  dataflow::DepGraph g(n);
+  std::vector<uint64_t> costs(static_cast<size_t>(n), 1);
+  for (int i = 0; i < n; ++i) {
+    procs[static_cast<size_t>(i)]->for_each([&](const ir::Stmt* s) {
+      ++costs[static_cast<size_t>(i)];  // pre-port charge: one per node
+      if (s->kind == ir::StmtKind::Call) g.add_edge(node_of_.at(s->callee), i);
     });
-    proc_io_[p] = io;
   }
+
+  solve_facts_.assign(static_cast<size_t>(n), ProcFacts{});
+  solving_ = true;
+  struct Client {
+    ArrayDataflow* self;
+    const std::vector<ir::Procedure*>* procs;
+    const std::vector<uint64_t>* costs;
+    bool transfer(int i) {
+      ir::Procedure* p = (*procs)[static_cast<size_t>(i)];
+      support::trace::TraceSpan proc_span("pass/array_dataflow/proc", p->name);
+      support::Metrics::global().count("dataflow.procs");
+      ProcFacts& f = self->solve_facts_[static_cast<size_t>(i)];
+      AccessInfo info = self->summarize_body(p->body, f);
+      f.region_info[self->regions_.of_proc(p)] = info;
+      f.call_summary = self->localize(p, info);
+      p->for_each([&](ir::Stmt* s) {
+        if (s->kind == ir::StmtKind::Print) f.io = true;
+        if (s->kind == ir::StmtKind::Call) {
+          f.io = f.io ||
+                 self->solve_facts_[static_cast<size_t>(self->node_of_.at(s->callee))].io;
+        }
+      });
+      return true;  // acyclic graph: each node runs exactly once
+    }
+    uint64_t cost(int i) const { return (*costs)[static_cast<size_t>(i)]; }
+  };
+  Client client{this, &procs, &costs};
+  dataflow::SolveOptions opts;
+  opts.pass = "array_dataflow";
+  dataflow::solve(client, g, opts);
+  solving_ = false;
+
+  for (int i = 0; i < n; ++i) {
+    ir::Procedure* p = procs[static_cast<size_t>(i)];
+    ProcFacts& f = solve_facts_[static_cast<size_t>(i)];
+    region_info_.merge(std::move(f.region_info));
+    body_info_.merge(std::move(f.body_info));
+    node_info_.merge(std::move(f.node_info));
+    call_summary_[p] = std::move(f.call_summary);
+    proc_io_[p] = f.io;
+  }
+  solve_facts_.clear();
 }
 
 bool ArrayDataflow::proc_has_io(const ir::Procedure* p) const {
@@ -369,14 +469,15 @@ bool ArrayDataflow::match_reduction_minmax_if(const ir::Stmt* s, AccessInfo* out
   return true;
 }
 
-AccessInfo ArrayDataflow::summarize_stmt(const ir::Stmt* s) {
-  support::Budget::charge_current();  // one step per summarized node
-  AccessInfo result = summarize_stmt_impl(s);
-  node_info_[s] = result;
+AccessInfo ArrayDataflow::summarize_stmt(const ir::Stmt* s, ProcFacts& f) {
+  // Budget steps for the walk are charged by the mono solver when this
+  // procedure's node is popped (cost = number of summarized nodes).
+  AccessInfo result = summarize_stmt_impl(s, f);
+  f.node_info[s] = result;
   return result;
 }
 
-AccessInfo ArrayDataflow::summarize_stmt_impl(const ir::Stmt* s) {
+AccessInfo ArrayDataflow::summarize_stmt_impl(const ir::Stmt* s, ProcFacts& f) {
   AccessInfo out;
   switch (s->kind) {
     case ir::StmtKind::Assign: {
@@ -398,13 +499,13 @@ AccessInfo ArrayDataflow::summarize_stmt_impl(const ir::Stmt* s) {
       ir::for_each_expr(s->cond, [&](const ir::Expr* n) {
         if (n->is_var_ref() || n->is_array_ref()) record_read(&cond, n, s);
       });
-      AccessInfo tb = summarize_body(s->then_body);
-      AccessInfo eb = summarize_body(s->else_body);
+      AccessInfo tb = summarize_body(s->then_body, f);
+      AccessInfo eb = summarize_body(s->else_body, f);
       return AccessInfo::compose(cond, AccessInfo::meet(tb, eb));
     }
     case ir::StmtKind::Do: {
-      AccessInfo body = summarize_body(s->body);
-      body_info_[s] = body;
+      AccessInfo body = summarize_body(s->body, f);
+      f.body_info[s] = body;
       AccessInfo closed = close_loop(s, std::move(body));
       // Bound expressions are read once at entry; the index is written.
       AccessInfo pre;
@@ -415,7 +516,7 @@ AccessInfo ArrayDataflow::summarize_stmt_impl(const ir::Stmt* s) {
       }
       pre.at(s->ivar).sec.M.add(LinSystem::universe());
       AccessInfo node = AccessInfo::compose(pre, closed);
-      region_info_[regions_.loop_region(s)] = node;
+      f.region_info[regions_.loop_region(s)] = node;
       return node;
     }
     case ir::StmtKind::Call: {
@@ -452,10 +553,11 @@ AccessInfo ArrayDataflow::summarize_stmt_impl(const ir::Stmt* s) {
   return out;
 }
 
-AccessInfo ArrayDataflow::summarize_body(const std::vector<ir::Stmt*>& body) {
+AccessInfo ArrayDataflow::summarize_body(const std::vector<ir::Stmt*>& body,
+                                         ProcFacts& f) {
   AccessInfo after;
   for (auto it = body.rbegin(); it != body.rend(); ++it) {
-    after = AccessInfo::compose(summarize_stmt(*it), after);
+    after = AccessInfo::compose(summarize_stmt(*it, f), after);
   }
   return after;
 }
@@ -666,9 +768,16 @@ AccessInfo ArrayDataflow::localize(const ir::Procedure* p, const AccessInfo& inf
   return out;
 }
 
+const AccessInfo& ArrayDataflow::callee_summary(const ir::Procedure* p) const {
+  if (solving_) {
+    return solve_facts_[static_cast<size_t>(node_of_.at(p))].call_summary;
+  }
+  return call_summary_.at(p);
+}
+
 AccessInfo ArrayDataflow::map_call(const ir::Stmt* call) const {
   const ir::Procedure* callee = call->callee;
-  const AccessInfo& cs = call_summary_.at(callee);
+  const AccessInfo& cs = callee_summary(callee);
   auto caller_resolver = symbolic_.resolver_at(call);
 
   // Build the symbol substitutions for the callee's scalar formals.

@@ -83,12 +83,33 @@ class ArrayDataflow {
 
   const Symbolic& symbolic() const { return symbolic_; }
   const AliasAnalysis& alias() const { return alias_; }
+  /// The inputs this analysis was built from — the alias-tier escalator
+  /// (parallelizer/alias_tier.h) rebuilds a refined stack from them.
+  const ir::Program& program() const { return prog_; }
+  const ModRef& modref() const { return modref_; }
+  const graph::CallGraph& callgraph() const { return cg_; }
+  const graph::RegionTree& regions() const { return regions_; }
 
  private:
-  AccessInfo summarize_body(const std::vector<ir::Stmt*>& body);
-  AccessInfo summarize_stmt(const ir::Stmt* s);
-  AccessInfo summarize_stmt_impl(const ir::Stmt* s);
+  /// Per-procedure fact bundle while the mono solver runs (docs/dataflow.md):
+  /// a transfer writes only its own procedure's bundle and reads the sealed
+  /// bundles of callees, so independent procedures summarize concurrently.
+  /// Merged into the query maps after the solve.
+  struct ProcFacts {
+    std::map<const graph::Region*, AccessInfo> region_info;
+    std::map<const ir::Stmt*, AccessInfo> body_info;
+    std::map<const ir::Stmt*, AccessInfo> node_info;
+    AccessInfo call_summary;
+    bool io = false;
+  };
+
+  AccessInfo summarize_body(const std::vector<ir::Stmt*>& body, ProcFacts& f);
+  AccessInfo summarize_stmt(const ir::Stmt* s, ProcFacts& f);
+  AccessInfo summarize_stmt_impl(const ir::Stmt* s, ProcFacts& f);
   AccessInfo close_loop(const ir::Stmt* loop, AccessInfo body);
+  /// The callee's localized summary: the sealed solve-time bundle while the
+  /// solver runs, the merged map afterwards.
+  const AccessInfo& callee_summary(const ir::Procedure* p) const;
   AccessInfo localize(const ir::Procedure* p, const AccessInfo& info) const;
   void record_read(AccessInfo* out, const ir::Expr* ref, const ir::Stmt* s);
   void record_write(AccessInfo* out, const ir::Expr* ref, const ir::Stmt* s,
@@ -110,6 +131,11 @@ class ArrayDataflow {
   std::map<const ir::Stmt*, AccessInfo> node_info_;
   std::map<const ir::Procedure*, AccessInfo> call_summary_;
   std::map<const ir::Procedure*, bool> proc_io_;
+
+  // Solve-time state (empty once construction finishes).
+  std::vector<ProcFacts> solve_facts_;
+  std::map<const ir::Procedure*, int> node_of_;
+  bool solving_ = false;
 };
 
 /// Structural expression equality (same shape, same variables/constants).

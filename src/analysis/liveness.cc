@@ -1,6 +1,8 @@
 #include "analysis/liveness.h"
 
-#include "support/budget.h"
+#include <functional>
+
+#include "dataflow/mono.h"
 #include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -28,17 +30,67 @@ ArrayLiveness::ArrayLiveness(const ir::Program& prog, const ArrayDataflow& df,
   support::trace::TraceSpan span("pass/liveness", to_string(mode));
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "liveness.build");
   SUIFX_FAULT_POINT("pass.liveness.entry");
-  switch (mode) {
-    case LivenessMode::Full:
-      run_full();
-      break;
-    case LivenessMode::OneBit:
-      run_onebit();
-      break;
-    case LivenessMode::FlowInsensitive:
-      run_flow_insensitive();
-      break;
+
+  // Mono-solver client (docs/dataflow.md): one node per procedure, an edge
+  // caller -> callee (top-down flow): a procedure's continuation is the meet
+  // over its callsites, which live in already-sealed caller bundles. No
+  // recursion, so each transfer seals its node in one application.
+  const std::vector<ir::Procedure*>& procs = cg.top_down();
+  const int n = static_cast<int>(procs.size());
+  for (int i = 0; i < n; ++i) node_of_[procs[static_cast<size_t>(i)]] = i;
+
+  dataflow::DepGraph g(n);
+  std::vector<uint64_t> costs(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    procs[static_cast<size_t>(i)]->for_each([&](const ir::Stmt* s) {
+      // Pre-port charges: one per walked node (Full/OneBit); one per region
+      // walked (FlowInsensitive: the procedure region plus each loop body).
+      if (mode == LivenessMode::FlowInsensitive) {
+        if (s->kind == ir::StmtKind::Do) ++costs[static_cast<size_t>(i)];
+      } else {
+        ++costs[static_cast<size_t>(i)];
+      }
+      if (s->kind == ir::StmtKind::Call) g.add_edge(i, node_of_.at(s->callee));
+    });
+    if (mode == LivenessMode::FlowInsensitive) ++costs[static_cast<size_t>(i)];
   }
+
+  solve_facts_.assign(static_cast<size_t>(n), ProcFacts{});
+  struct Client {
+    ArrayLiveness* self;
+    const std::vector<ir::Procedure*>* procs;
+    const std::vector<uint64_t>* costs;
+    bool transfer(int i) {
+      const ir::Procedure* p = (*procs)[static_cast<size_t>(i)];
+      ProcFacts& f = self->solve_facts_[static_cast<size_t>(i)];
+      switch (self->mode_) {
+        case LivenessMode::Full:
+          self->transfer_full(p, f);
+          break;
+        case LivenessMode::OneBit:
+          self->transfer_onebit(p, f);
+          break;
+        case LivenessMode::FlowInsensitive:
+          self->transfer_flow_insensitive(p, f);
+          break;
+      }
+      return true;  // acyclic graph: each node runs exactly once
+    }
+    uint64_t cost(int i) const { return (*costs)[static_cast<size_t>(i)]; }
+  };
+  Client client{this, &procs, &costs};
+  dataflow::SolveOptions opts;
+  opts.pass = "liveness";
+  dataflow::solve(client, g, opts);
+
+  for (int i = 0; i < n; ++i) {
+    ProcFacts& f = solve_facts_[static_cast<size_t>(i)];
+    after_.merge(std::move(f.after));
+    after_call_.merge(std::move(f.after_call));
+    after_bits_.merge(std::move(f.after_bits));
+    after_call_bits_.merge(std::move(f.after_call_bits));
+  }
+  solve_facts_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -92,27 +144,28 @@ bool involves_only_params(const LinSystem& sys, const ir::Program& prog) {
 
 void ArrayLiveness::walk_body_full(const std::vector<ir::Stmt*>& body,
                                    const AccessInfo& cont,
-                                   const graph::Region* region) {
+                                   const graph::Region* region, ProcFacts& f) {
+  // Budget steps for the walk are charged by the mono solver when this
+  // procedure's node is popped (cost = number of walked nodes).
   AccessInfo after = cont;
   for (auto it = body.rbegin(); it != body.rend(); ++it) {
-    support::Budget::charge_current();  // one step per walked node
     ir::Stmt* s = *it;
     switch (s->kind) {
       case ir::StmtKind::Do: {
         const graph::Region* lr = regions_.loop_region(s);
-        after_[lr] = after;
+        f.after[lr] = after;
         AccessInfo body_cont =
             loop_body_continuation(after, df_.region_info(lr));
-        after_[regions_.body_region(s)] = body_cont;
-        walk_body_full(s->body, body_cont, regions_.body_region(s));
+        f.after[regions_.body_region(s)] = body_cont;
+        walk_body_full(s->body, body_cont, regions_.body_region(s), f);
         break;
       }
       case ir::StmtKind::If:
-        walk_body_full(s->then_body, after, region);
-        walk_body_full(s->else_body, after, region);
+        walk_body_full(s->then_body, after, region, f);
+        walk_body_full(s->else_body, after, region, f);
         break;
       case ir::StmtKind::Call:
-        after_call_[s] = after;
+        f.after_call[s] = after;
         break;
       default:
         break;
@@ -191,27 +244,27 @@ AccessInfo ArrayLiveness::map_to_callee(const ir::Stmt* call,
   return out;
 }
 
-void ArrayLiveness::run_full() {
-  for (ir::Procedure* p : cg_.top_down()) {
-    AccessInfo cont;
-    const auto& sites = cg_.callsites_of(p);
-    if (p != prog_.main() && !sites.empty()) {
-      bool first = true;
-      for (const ir::Stmt* c : sites) {
-        auto it = after_call_.find(c);
-        AccessInfo mapped =
-            it != after_call_.end() ? map_to_callee(c, it->second) : AccessInfo{};
-        if (first) {
-          cont = std::move(mapped);
-          first = false;
-        } else {
-          cont = AccessInfo::meet(cont, mapped);
-        }
+void ArrayLiveness::transfer_full(const ir::Procedure* p, ProcFacts& f) {
+  AccessInfo cont;
+  const auto& sites = cg_.callsites_of(p);
+  if (p != prog_.main() && !sites.empty()) {
+    bool first = true;
+    for (const ir::Stmt* c : sites) {
+      const ProcFacts& cf =
+          solve_facts_[static_cast<size_t>(node_of_.at(c->proc))];
+      auto it = cf.after_call.find(c);
+      AccessInfo mapped =
+          it != cf.after_call.end() ? map_to_callee(c, it->second) : AccessInfo{};
+      if (first) {
+        cont = std::move(mapped);
+        first = false;
+      } else {
+        cont = AccessInfo::meet(cont, mapped);
       }
     }
-    after_[regions_.of_proc(p)] = cont;
-    walk_body_full(p->body, cont, regions_.of_proc(p));
   }
+  f.after[regions_.of_proc(p)] = cont;
+  walk_body_full(p->body, cont, regions_.of_proc(p), f);
 }
 
 // ---------------------------------------------------------------------------
@@ -246,28 +299,29 @@ std::set<const ir::Variable*> ArrayLiveness::map_vars_to_callee(
 
 void ArrayLiveness::walk_body_bits(const std::vector<ir::Stmt*>& body,
                                    std::set<const ir::Variable*> after,
-                                   const graph::Region* region) {
+                                   const graph::Region* region, ProcFacts& f) {
+  // Budget steps for the walk are charged by the mono solver when this
+  // procedure's node is popped (cost = number of walked nodes).
   for (auto it = body.rbegin(); it != body.rend(); ++it) {
-    support::Budget::charge_current();  // one step per walked node
     ir::Stmt* s = *it;
     switch (s->kind) {
       case ir::StmtKind::Do: {
         const graph::Region* lr = regions_.loop_region(s);
-        after_bits_[lr] = after;
+        f.after_bits[lr] = after;
         std::set<const ir::Variable*> body_after = after;
         for (const ir::Variable* v : exposed_vars(df_.region_info(lr))) {
           body_after.insert(v);
         }
-        after_bits_[regions_.body_region(s)] = body_after;
-        walk_body_bits(s->body, body_after, regions_.body_region(s));
+        f.after_bits[regions_.body_region(s)] = body_after;
+        walk_body_bits(s->body, body_after, regions_.body_region(s), f);
         break;
       }
       case ir::StmtKind::If:
-        walk_body_bits(s->then_body, after, region);
-        walk_body_bits(s->else_body, after, region);
+        walk_body_bits(s->then_body, after, region, f);
+        walk_body_bits(s->else_body, after, region, f);
         break;
       case ir::StmtKind::Call:
-        after_call_bits_[s] = after;
+        f.after_call_bits[s] = after;
         break;
       default:
         break;
@@ -277,19 +331,19 @@ void ArrayLiveness::walk_body_bits(const std::vector<ir::Stmt*>& body,
   }
 }
 
-void ArrayLiveness::run_onebit() {
-  for (ir::Procedure* p : cg_.top_down()) {
-    std::set<const ir::Variable*> cont;
-    if (p != prog_.main()) {
-      for (const ir::Stmt* c : cg_.callsites_of(p)) {
-        auto it = after_call_bits_.find(c);
-        if (it == after_call_bits_.end()) continue;
-        for (const ir::Variable* v : map_vars_to_callee(c, it->second)) cont.insert(v);
-      }
+void ArrayLiveness::transfer_onebit(const ir::Procedure* p, ProcFacts& f) {
+  std::set<const ir::Variable*> cont;
+  if (p != prog_.main()) {
+    for (const ir::Stmt* c : cg_.callsites_of(p)) {
+      const ProcFacts& cf =
+          solve_facts_[static_cast<size_t>(node_of_.at(c->proc))];
+      auto it = cf.after_call_bits.find(c);
+      if (it == cf.after_call_bits.end()) continue;
+      for (const ir::Variable* v : map_vars_to_callee(c, it->second)) cont.insert(v);
     }
-    after_bits_[regions_.of_proc(p)] = cont;
-    walk_body_bits(p->body, cont, regions_.of_proc(p));
   }
+  f.after_bits[regions_.of_proc(p)] = cont;
+  walk_body_bits(p->body, cont, regions_.of_proc(p), f);
 }
 
 std::set<const ir::Variable*> ArrayLiveness::sibling_exposure(
@@ -306,45 +360,46 @@ std::set<const ir::Variable*> ArrayLiveness::sibling_exposure(
   return out;
 }
 
-void ArrayLiveness::run_flow_insensitive() {
+void ArrayLiveness::transfer_flow_insensitive(const ir::Procedure* p,
+                                              ProcFacts& f) {
   // live(r) = live(parent) ∪ exposed(any sibling of r, including itself).
+  // Budget steps (one per region walked) are charged at the solver pop.
   auto region_of_stmt = [&](const ir::Stmt* s) -> const graph::Region* {
     const ir::Stmt* encl = s->enclosing_loop();
     return encl != nullptr ? regions_.body_region(encl) : regions_.of_proc(s->proc);
   };
-  for (ir::Procedure* p : cg_.top_down()) {
-    std::set<const ir::Variable*> cont;
-    if (p != prog_.main()) {
-      for (const ir::Stmt* c : cg_.callsites_of(p)) {
-        const graph::Region* r = region_of_stmt(c);
-        std::set<const ir::Variable*> live_here;
-        auto it = after_bits_.find(r);
-        if (it != after_bits_.end()) live_here = it->second;
-        for (const ir::Variable* v : sibling_exposure(r)) live_here.insert(v);
-        for (const ir::Variable* v : map_vars_to_callee(c, live_here)) cont.insert(v);
+  std::set<const ir::Variable*> cont;
+  if (p != prog_.main()) {
+    for (const ir::Stmt* c : cg_.callsites_of(p)) {
+      const graph::Region* r = region_of_stmt(c);
+      const ProcFacts& cf =
+          solve_facts_[static_cast<size_t>(node_of_.at(c->proc))];
+      std::set<const ir::Variable*> live_here;
+      auto it = cf.after_bits.find(r);
+      if (it != cf.after_bits.end()) live_here = it->second;
+      for (const ir::Variable* v : sibling_exposure(r)) live_here.insert(v);
+      for (const ir::Variable* v : map_vars_to_callee(c, live_here)) cont.insert(v);
+    }
+  }
+  f.after_bits[regions_.of_proc(p)] = cont;
+  std::function<void(const graph::Region*)> walk = [&](const graph::Region* r) {
+    std::set<const ir::Variable*> live = f.after_bits[r];
+    for (const ir::Variable* v : sibling_exposure(r)) live.insert(v);
+    for (graph::Region* c : r->children) {
+      if (c->kind == graph::RegionKind::Loop) {
+        f.after_bits[c] = live;
+        // The loop body additionally sees the loop's own exposure (later
+        // iterations).
+        std::set<const ir::Variable*> body_live = live;
+        for (const ir::Variable* v : exposed_vars(df_.region_info(c))) {
+          body_live.insert(v);
+        }
+        f.after_bits[c->children.front()] = body_live;
+        walk(c->children.front());
       }
     }
-    after_bits_[regions_.of_proc(p)] = cont;
-    std::function<void(const graph::Region*)> walk = [&](const graph::Region* r) {
-      support::Budget::charge_current();  // one step per region
-      std::set<const ir::Variable*> live = after_bits_[r];
-      for (const ir::Variable* v : sibling_exposure(r)) live.insert(v);
-      for (graph::Region* c : r->children) {
-        if (c->kind == graph::RegionKind::Loop) {
-          after_bits_[c] = live;
-          // The loop body additionally sees the loop's own exposure (later
-          // iterations).
-          std::set<const ir::Variable*> body_live = live;
-          for (const ir::Variable* v : exposed_vars(df_.region_info(c))) {
-            body_live.insert(v);
-          }
-          after_bits_[c->children.front()] = body_live;
-          walk(c->children.front());
-        }
-      }
-    };
-    walk(regions_.of_proc(p));
-  }
+  };
+  walk(regions_.of_proc(p));
 }
 
 // ---------------------------------------------------------------------------

@@ -51,19 +51,30 @@ class ArrayLiveness {
   std::vector<const ir::Variable*> modified_vars(const graph::Region* r) const;
 
  private:
-  void run_full();
-  void run_onebit();
-  void run_flow_insensitive();
+  /// Per-procedure fact bundle while the mono solver runs (docs/dataflow.md):
+  /// a transfer writes only its own procedure's bundle and reads the sealed
+  /// bundles of callers (top-down flow), so independent procedures walk
+  /// concurrently. Merged into the query maps after the solve.
+  struct ProcFacts {
+    std::map<const graph::Region*, AccessInfo> after;
+    std::map<const ir::Stmt*, AccessInfo> after_call;
+    std::map<const graph::Region*, std::set<const ir::Variable*>> after_bits;
+    std::map<const ir::Stmt*, std::set<const ir::Variable*>> after_call_bits;
+  };
+
+  void transfer_full(const ir::Procedure* p, ProcFacts& f);
+  void transfer_onebit(const ir::Procedure* p, ProcFacts& f);
+  void transfer_flow_insensitive(const ir::Procedure* p, ProcFacts& f);
 
   // Full mode: S_{r0,r} per region / per call node, as an AccessInfo.
   void walk_body_full(const std::vector<ir::Stmt*>& body, const AccessInfo& cont,
-                      const graph::Region* region);
+                      const graph::Region* region, ProcFacts& f);
   AccessInfo map_to_callee(const ir::Stmt* call, const AccessInfo& after) const;
 
   // Bit modes: live variable sets per region.
   void walk_body_bits(const std::vector<ir::Stmt*>& body,
                       std::set<const ir::Variable*> after,
-                      const graph::Region* region);
+                      const graph::Region* region, ProcFacts& f);
   std::set<const ir::Variable*> exposed_vars(const AccessInfo& info) const;
   std::set<const ir::Variable*> sibling_exposure(const graph::Region* r) const;
   std::set<const ir::Variable*> map_vars_to_callee(
@@ -82,6 +93,10 @@ class ArrayLiveness {
   // Bit modes: live-after variable sets.
   std::map<const graph::Region*, std::set<const ir::Variable*>> after_bits_;
   std::map<const ir::Stmt*, std::set<const ir::Variable*>> after_call_bits_;
+
+  // Solve-time state (empty once construction finishes).
+  std::vector<ProcFacts> solve_facts_;
+  std::map<const ir::Procedure*, int> node_of_;
 };
 
 }  // namespace suifx::analysis

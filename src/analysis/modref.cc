@@ -1,6 +1,6 @@
 #include "analysis/modref.h"
 
-#include "support/budget.h"
+#include "dataflow/mono.h"
 #include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -20,6 +20,63 @@ int formal_index(const ir::Procedure* p, const ir::Variable* v) {
   return -1;
 }
 
+/// One procedure's transfer: recompute its effects from the body plus the
+/// (sealed) effects of its callees.
+ProcEffects compute_effects(ir::Procedure* p, const AliasAnalysis& alias,
+                            const std::vector<ProcEffects>& facts,
+                            const std::map<const ir::Procedure*, int>& node_of) {
+  ProcEffects fx;
+  fx.formal_mod.assign(p->formals.size(), false);
+  fx.formal_ref.assign(p->formals.size(), false);
+
+  auto record = [&](const ir::Variable* v, bool is_write) {
+    if (is_global_storage(v)) {
+      const ir::Variable* c = alias.canonical(v);
+      (is_write ? fx.mod : fx.ref).insert(c);
+      return;
+    }
+    int fi = formal_index(p, v);
+    if (fi >= 0) {
+      (is_write ? fx.formal_mod : fx.formal_ref)[static_cast<size_t>(fi)] = true;
+    }
+  };
+
+  p->for_each([&](ir::Stmt* s) {
+    if (s->kind == ir::StmtKind::Call) {
+      // Map the callee's (already sealed) effects into this procedure.
+      const ProcEffects& ce = facts[static_cast<size_t>(node_of.at(s->callee))];
+      for (const ir::Variable* g : ce.mod) fx.mod.insert(g);
+      for (const ir::Variable* g : ce.ref) fx.ref.insert(g);
+      for (size_t i = 0; i < s->args.size(); ++i) {
+        const ir::Variable* av = ModRef::actual_var(s, i);
+        if (av == nullptr) continue;  // non-lvalue actual: copy-in only
+        if (ce.formal_mod[i]) record(av, /*is_write=*/true);
+        if (ce.formal_ref[i]) record(av, /*is_write=*/false);
+      }
+      // Subscripts of actuals and non-lvalue actual expressions are plain
+      // reads inside this procedure.
+      for (const ir::Expr* a : s->args) {
+        if (a->is_array_ref()) {
+          for (const ir::Expr* ix : a->idx) {
+            ir::for_each_expr(ix, [&](const ir::Expr* n) {
+              if (n->is_var_ref() || n->is_array_ref()) record(n->var, false);
+            });
+          }
+        } else if (!a->is_var_ref()) {
+          ir::for_each_expr(a, [&](const ir::Expr* n) {
+            if (n->is_var_ref() || n->is_array_ref()) record(n->var, false);
+          });
+        }
+      }
+      return;
+    }
+    for (const ir::Access& acc : ir::direct_accesses(s)) {
+      record(acc.var, acc.is_write);
+    }
+  });
+  return fx;
+}
+
 }  // namespace
 
 const ir::Variable* ModRef::actual_var(const ir::Stmt* call, size_t formal_ix) {
@@ -34,58 +91,42 @@ ModRef::ModRef(const ir::Program& prog, const AliasAnalysis& alias,
   support::trace::TraceSpan span("pass/modref");
   support::Metrics::ScopedTimer timer(support::Metrics::global(), "modref.build");
   SUIFX_FAULT_POINT("pass.modref.entry");
-  for (ir::Procedure* p : cg.bottom_up()) {
-    support::Budget::charge_current();
-    ProcEffects fx;
-    fx.formal_mod.assign(p->formals.size(), false);
-    fx.formal_ref.assign(p->formals.size(), false);
 
-    auto record = [&](const ir::Variable* v, bool is_write) {
-      if (is_global_storage(v)) {
-        const ir::Variable* c = alias.canonical(v);
-        (is_write ? fx.mod : fx.ref).insert(c);
-        return;
-      }
-      int fi = formal_index(p, v);
-      if (fi >= 0) {
-        (is_write ? fx.formal_mod : fx.formal_ref)[static_cast<size_t>(fi)] = true;
-      }
-    };
+  // Mono-solver client (docs/dataflow.md): one node per procedure, an edge
+  // callee -> caller (bottom-up flow). No recursion, so every transfer seals
+  // its node in one application.
+  const std::vector<ir::Procedure*>& procs = cg.bottom_up();
+  const int n = static_cast<int>(procs.size());
+  std::map<const ir::Procedure*, int> node_of;
+  for (int i = 0; i < n; ++i) node_of[procs[static_cast<size_t>(i)]] = i;
 
-    p->for_each([&](ir::Stmt* s) {
-      if (s->kind == ir::StmtKind::Call) {
-        // Map the callee's (already computed) effects into this procedure.
-        const ProcEffects& ce = effects_.at(s->callee);
-        for (const ir::Variable* g : ce.mod) fx.mod.insert(g);
-        for (const ir::Variable* g : ce.ref) fx.ref.insert(g);
-        for (size_t i = 0; i < s->args.size(); ++i) {
-          const ir::Variable* av = actual_var(s, i);
-          if (av == nullptr) continue;  // non-lvalue actual: copy-in only
-          if (ce.formal_mod[i]) record(av, /*is_write=*/true);
-          if (ce.formal_ref[i]) record(av, /*is_write=*/false);
-        }
-        // Subscripts of actuals and non-lvalue actual expressions are plain
-        // reads inside this procedure.
-        for (const ir::Expr* a : s->args) {
-          if (a->is_array_ref()) {
-            for (const ir::Expr* ix : a->idx) {
-              ir::for_each_expr(ix, [&](const ir::Expr* n) {
-                if (n->is_var_ref() || n->is_array_ref()) record(n->var, false);
-              });
-            }
-          } else if (!a->is_var_ref()) {
-            ir::for_each_expr(a, [&](const ir::Expr* n) {
-              if (n->is_var_ref() || n->is_array_ref()) record(n->var, false);
-            });
-          }
-        }
-        return;
-      }
-      for (const ir::Access& acc : ir::direct_accesses(s)) {
-        record(acc.var, acc.is_write);
-      }
+  dataflow::DepGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    procs[static_cast<size_t>(i)]->for_each([&](const ir::Stmt* s) {
+      if (s->kind == ir::StmtKind::Call) g.add_edge(node_of.at(s->callee), i);
     });
-    effects_[p] = std::move(fx);
+  }
+
+  std::vector<ProcEffects> facts(static_cast<size_t>(n));
+  struct Client {
+    const std::vector<ir::Procedure*>* procs;
+    const AliasAnalysis* alias;
+    const std::map<const ir::Procedure*, int>* node_of;
+    std::vector<ProcEffects>* facts;
+    bool transfer(int i) {
+      (*facts)[static_cast<size_t>(i)] = compute_effects(
+          (*procs)[static_cast<size_t>(i)], *alias, *facts, *node_of);
+      return true;  // acyclic graph: each node runs exactly once
+    }
+    uint64_t cost(int) const { return 1; }  // pre-port charge: one per proc
+  };
+  Client client{&procs, &alias, &node_of, &facts};
+  dataflow::SolveOptions opts;
+  opts.pass = "modref";
+  dataflow::solve(client, g, opts);
+
+  for (int i = 0; i < n; ++i) {
+    effects_[procs[static_cast<size_t>(i)]] = std::move(facts[static_cast<size_t>(i)]);
   }
 }
 

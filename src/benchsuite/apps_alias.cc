@@ -1,0 +1,92 @@
+// The alias-tier study program (docs/dataflow.md): a COMMON block whose
+// overlaid scratch views force the Steensgaard tier to collapse the whole
+// block into one blob — taking down an innocent, storage-disjoint member
+// with them — which only the lazily-consulted Andersen tier can carve back
+// out. Modeled on the turb3d/spec77-style "one big COMMON, many views"
+// layout. Deliberately NOT part of full_suite(): the 17 golden-plan
+// snapshots stay tier-independent; ext_dataflow and the alias-tier tests
+// iterate alias_suite() instead.
+#include "benchsuite/suite.h"
+
+namespace suifx::benchsuite {
+
+namespace {
+
+// Block layout (element offsets):
+//   a @ 0,   120 elems  \ overlap: Steensgaard unifies the whole block,
+//   b @ 0,    80 elems  / so c joins the blob despite being disjoint
+//   c @ 200, 100 elems  — tier-1 carve-out target
+//
+// Loop relax/10 writes c[j] and reads a[j]: at tier 0 both sides land in the
+// blob class, so the write looks like a carried dependence on the class and
+// the loop stays serial. The Andersen tier proves c's storage disjoint from
+// every other view of the block (including the 3-deep formal chain below,
+// whose views are fully inside c), re-plans the loop, and gets a DOALL.
+const char* kCsplitSource = R"(
+program csplit;
+param N = 100;
+global real seed[100] input;
+
+proc stir() {
+  common turb @ 0 real a[120];
+  common turb @ 0 real b[80];
+  do i = 1, N label 20 {
+    a[i] = a[i] * 0.5 + b[i] * 0.25 + 0.001;
+  }
+}
+
+proc damp3(real z[100]) {
+  do k = 1, N label 43 {
+    z[k] = z[k] * 0.75 + 0.125;
+  }
+}
+
+proc damp2(real y[100]) {
+  call damp3(y);
+}
+
+proc damp1(real x[100]) {
+  call damp2(x);
+}
+
+proc relax() {
+  common turb @ 0 real a[120];
+  common turb @ 200 real c[100];
+  do j = 1, N label 10 {
+    c[j] = a[j] * 0.5 + seed[j];
+  }
+}
+
+proc main() {
+  common turb @ 0 real a[120];
+  common turb @ 200 real c[100];
+  do i = 1, N label 1 {
+    a[i] = seed[i] * 0.3;
+  }
+  call stir();
+  call relax();
+  call damp1(c);
+  print a[7] + c[7];
+}
+)";
+
+}  // namespace
+
+const BenchProgram& alias_csplit() {
+  static const BenchProgram prog = [] {
+    BenchProgram p;
+    p.name = "csplit";
+    p.description = "COMMON overlay blob with a storage-disjoint member (alias-tier study)";
+    p.source = kCsplitSource;
+    std::vector<double> seed;
+    for (int i = 0; i < 100; ++i) seed.push_back(0.5 + (i % 7) * 0.125);
+    p.inputs.arrays["seed"] = seed;
+    p.data_set = "synthetic";
+    return p;
+  }();
+  return prog;
+}
+
+std::vector<const BenchProgram*> alias_suite() { return {&alias_csplit()}; }
+
+}  // namespace suifx::benchsuite

@@ -68,4 +68,11 @@ std::vector<const BenchProgram*> reduction_suite();
 /// sweeps (the golden test, ext_poly_cache) iterate this.
 std::vector<const BenchProgram*> full_suite();
 
+/// The tiered-alias-oracle study program (docs/dataflow.md): a COMMON
+/// overlay blob blocking a storage-disjoint member's loop, which the lazy
+/// Andersen escalation unblocks. Deliberately NOT in full_suite() so the
+/// golden snapshots stay tier-independent.
+const BenchProgram& alias_csplit();
+std::vector<const BenchProgram*> alias_suite();
+
 }  // namespace suifx::benchsuite

@@ -1,0 +1,437 @@
+#include "dataflow/mono.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "runtime/parloop.h"
+#include "support/fault.h"
+#include "support/metrics.h"
+#include "support/provenance.h"
+#include "support/trace.h"
+
+namespace suifx::dataflow {
+
+namespace prov = support::provenance;
+
+// ---------------------------------------------------------------------------
+// Worker configuration + shared pool
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_default_workers{0};  // 0 = not yet resolved
+
+int resolve_default_workers() {
+  if (const char* env = std::getenv("SUIFX_DATAFLOW_WORKERS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 64);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  int cores = hw == 0 ? 4 : static_cast<int>(hw);
+  return std::clamp(cores, 1, 8);
+}
+
+/// One pool per worker count, kept for the life of the process: solves from
+/// different threads (daemon requests, the Driver's planning tasks) may be
+/// in flight with different counts at once, so pools are never torn down
+/// and handed-out references stay valid.
+runtime::ThreadPool& shared_pool(int workers) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<runtime::ThreadPool>>* pools =
+      new std::map<int, std::unique_ptr<runtime::ThreadPool>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*pools)[workers];
+  if (slot == nullptr) slot = std::make_unique<runtime::ThreadPool>(workers);
+  return *slot;
+}
+
+}  // namespace
+
+int default_workers() {
+  int v = g_default_workers.load(std::memory_order_acquire);
+  if (v > 0) return v;
+  int resolved = resolve_default_workers();
+  int expected = 0;
+  g_default_workers.compare_exchange_strong(expected, resolved,
+                                            std::memory_order_acq_rel);
+  return g_default_workers.load(std::memory_order_acquire);
+}
+
+void set_default_workers(int workers) {
+  g_default_workers.store(std::max(1, workers), std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Condensation: reverse post-order + Tarjan SCCs, all deterministic (roots
+// in node order, successors in insertion order)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Condensation {
+  std::vector<int> prio;                     // node -> RPO index
+  std::vector<int> comp;                     // node -> component id, topo order
+  std::vector<std::vector<int>> members;     // per comp, sorted by prio
+  std::vector<std::vector<int>> comp_succs;  // condensation edges, deduped
+  int num_comps = 0;
+};
+
+void compute_rpo(const DepGraph& g, std::vector<int>& prio) {
+  const int n = g.num_nodes();
+  prio.assign(static_cast<size_t>(n), 0);
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  std::vector<int> post;
+  post.reserve(static_cast<size_t>(n));
+  // Iterative DFS: frame = (node, next successor index).
+  std::vector<std::pair<int, size_t>> stack;
+  for (int root = 0; root < n; ++root) {
+    if (seen[static_cast<size_t>(root)]) continue;
+    seen[static_cast<size_t>(root)] = 1;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const std::vector<int>& succs = g.succs(node);
+      if (next < succs.size()) {
+        int s = succs[next++];
+        if (!seen[static_cast<size_t>(s)]) {
+          seen[static_cast<size_t>(s)] = 1;
+          stack.push_back({s, 0});
+        }
+      } else {
+        post.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  // Reverse post-order: earlier = closer to the roots of the dep graph.
+  for (size_t i = 0; i < post.size(); ++i) {
+    prio[static_cast<size_t>(post[post.size() - 1 - i])] = static_cast<int>(i);
+  }
+}
+
+Condensation condense(const DepGraph& g) {
+  Condensation c;
+  const int n = g.num_nodes();
+  compute_rpo(g, c.prio);
+
+  // Iterative Tarjan. Components complete sinks-first (reverse topological
+  // order of dep -> dependent), so emitted id k becomes comp num_comps-1-k.
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<size_t>(n), 0);
+  std::vector<int> scc_stack;
+  std::vector<int> emitted(static_cast<size_t>(n), -1);
+  int next_index = 0;
+  int num_emitted = 0;
+  struct Frame {
+    int node;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    stack.push_back({root});
+    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const std::vector<int>& succs = g.succs(f.node);
+      if (f.next < succs.size()) {
+        int s = succs[f.next++];
+        if (index[static_cast<size_t>(s)] == -1) {
+          index[static_cast<size_t>(s)] = low[static_cast<size_t>(s)] = next_index++;
+          scc_stack.push_back(s);
+          on_stack[static_cast<size_t>(s)] = 1;
+          stack.push_back({s});
+        } else if (on_stack[static_cast<size_t>(s)]) {
+          low[static_cast<size_t>(f.node)] =
+              std::min(low[static_cast<size_t>(f.node)], index[static_cast<size_t>(s)]);
+        }
+      } else {
+        int node = f.node;
+        stack.pop_back();
+        if (!stack.empty()) {
+          int parent = stack.back().node;
+          low[static_cast<size_t>(parent)] =
+              std::min(low[static_cast<size_t>(parent)], low[static_cast<size_t>(node)]);
+        }
+        if (low[static_cast<size_t>(node)] == index[static_cast<size_t>(node)]) {
+          while (true) {
+            int m = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[static_cast<size_t>(m)] = 0;
+            emitted[static_cast<size_t>(m)] = num_emitted;
+            if (m == node) break;
+          }
+          ++num_emitted;
+        }
+      }
+    }
+  }
+
+  c.num_comps = num_emitted;
+  c.comp.resize(static_cast<size_t>(n));
+  c.members.assign(static_cast<size_t>(num_emitted), {});
+  for (int v = 0; v < n; ++v) {
+    int id = num_emitted - 1 - emitted[static_cast<size_t>(v)];
+    c.comp[static_cast<size_t>(v)] = id;
+    c.members[static_cast<size_t>(id)].push_back(v);
+  }
+  for (auto& m : c.members) {
+    std::sort(m.begin(), m.end(), [&](int a, int b) {
+      return c.prio[static_cast<size_t>(a)] < c.prio[static_cast<size_t>(b)];
+    });
+  }
+  c.comp_succs.assign(static_cast<size_t>(num_emitted), {});
+  for (int v = 0; v < n; ++v) {
+    int cv = c.comp[static_cast<size_t>(v)];
+    for (int s : g.succs(v)) {
+      int cs = c.comp[static_cast<size_t>(s)];
+      if (cs != cv) c.comp_succs[static_cast<size_t>(cv)].push_back(cs);
+    }
+  }
+  for (auto& succs : c.comp_succs) {
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+  }
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The solve
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/// Iterate one component to its local fixpoint. Deterministic: the worklist
+/// is ordered by RPO priority, and everything read outside the component is
+/// sealed. Returns pops; adds avoided re-queues to `sparse_skips`.
+uint64_t solve_component(const ErasedClient& client, const DepGraph& g,
+                         const Condensation& c, int comp,
+                         uint64_t* sparse_skips) {
+  const std::vector<int>& members = c.members[static_cast<size_t>(comp)];
+  uint64_t pops = 0;
+  if (members.size() == 1 && [&] {
+        // Fast path: a singleton without a self-loop runs exactly once.
+        int v = members.front();
+        for (int s : g.succs(v)) {
+          if (s == v) return false;
+        }
+        return true;
+      }()) {
+    int v = members.front();
+    support::Budget::charge_current(client.cost(client.self, v));
+    ++pops;
+    bool changed = client.transfer(client.self, v);
+    if (!changed) *sparse_skips += g.succs(v).size();
+    return pops;
+  }
+  // (prio, node) ordered worklist; in_queue keyed by node.
+  std::set<std::pair<int, int>> worklist;
+  for (int v : members) worklist.insert({c.prio[static_cast<size_t>(v)], v});
+  while (!worklist.empty()) {
+    auto it = worklist.begin();
+    int v = it->second;
+    worklist.erase(it);
+    support::Budget::charge_current(client.cost(client.self, v));
+    ++pops;
+    bool changed = client.transfer(client.self, v);
+    for (int s : g.succs(v)) {
+      if (c.comp[static_cast<size_t>(s)] != comp) continue;  // sealed later
+      if (changed) {
+        worklist.insert({c.prio[static_cast<size_t>(s)], s});
+      } else {
+        ++*sparse_skips;
+      }
+    }
+  }
+  return pops;
+}
+
+}  // namespace
+
+SolveStats solve_erased(const ErasedClient& client, const DepGraph& g,
+                        const SolveOptions& opts) {
+  support::Metrics& metrics = support::Metrics::global();
+  const std::string prefix = std::string("dataflow.") + opts.pass;
+  support::trace::TraceSpan span("dataflow.solve", opts.pass);
+  SUIFX_FAULT_POINT("dataflow.solve");
+
+  SolveStats stats;
+  if (g.num_nodes() == 0) return stats;
+
+  Condensation c = condense(g);
+  stats.sccs = static_cast<uint64_t>(c.num_comps);
+
+  int workers = opts.workers > 0 ? opts.workers : default_workers();
+  workers = std::min(workers, c.num_comps);
+  stats.workers = std::max(1, workers);
+
+  // A pool helper only ever helps when the host has a spare core to run it;
+  // on a single-core host every component solves inline, so take the serial
+  // path outright and skip the scheduler mutex/condvar machinery.
+  unsigned hw_cores = std::thread::hardware_concurrency();
+  const int max_helpers =
+      std::min(workers - 1, std::max(0, static_cast<int>(hw_cores) - 1));
+
+  if (workers <= 1 || c.num_comps <= 1 || max_helpers == 0) {
+    // Serial: components in topological order, each sealed before the next.
+    for (int comp = 0; comp < c.num_comps; ++comp) {
+      stats.iterations += solve_component(client, g, c, comp, &stats.sparse_skips);
+    }
+  } else {
+    // Parallel: the calling thread drains a topologically-ordered ready set
+    // itself and enlists pool helpers only while there is backlog — more
+    // than one component ready at once. A chain-shaped condensation (the
+    // common case for the call-graph clients) therefore runs entirely
+    // inline, with no thread handoffs at all, and a wide condensation fans
+    // out to at most workers-1 helpers plus the caller. One mutex guards
+    // the scheduler state (ready set, indegrees, counters) and doubles as
+    // the happens-before edge from a sealed component's writes to its
+    // dependents' reads: the finisher publishes successors under the lock,
+    // and whoever pops them acquires the same lock first.
+    runtime::ThreadPool& pool = shared_pool(workers);
+    std::vector<int> indeg(static_cast<size_t>(c.num_comps), 0);
+    for (int comp = 0; comp < c.num_comps; ++comp) {
+      for (int s : c.comp_succs[static_cast<size_t>(comp)]) {
+        ++indeg[static_cast<size_t>(s)];
+      }
+    }
+
+    // The caller's cooperative-cancellation, request-attribution, and
+    // fault-suppression state are all thread-local; re-install them inside
+    // every pool helper (the Driver's planning tasks set the same
+    // precedent). The caller's own inline pops keep them for free.
+    support::Budget* budget = support::Budget::current();
+    const uint64_t corr = prov::current_corr();
+    const bool suppressed = support::fault::suppressed();
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::set<int> ready;          // topologically-ordered component ids
+    int remaining = c.num_comps;  // components not yet finished or abandoned
+    int helpers = 0;              // pool tasks alive (spawned, not exited)
+    bool abort = false;
+    uint64_t on_helpers = 0;  // components a helper (not the caller) solved
+    std::vector<std::exception_ptr> errors(static_cast<size_t>(c.num_comps));
+    for (int comp = 0; comp < c.num_comps; ++comp) {
+      if (indeg[static_cast<size_t>(comp)] == 0) ready.insert(comp);
+    }
+
+    // Mutually recursive via std::function: finishing a component releases
+    // successors, which may warrant more helpers, which solve components.
+    std::function<void(int, bool)> run_comp;
+    std::function<void()> maybe_spawn;  // requires mu held
+    std::function<void()> helper_body;
+
+    run_comp = [&](int comp, bool on_pool) {
+      uint64_t pops = 0, skips = 0;
+      std::exception_ptr err;
+      try {
+        pops = solve_component(client, g, c, comp, &skips);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (err != nullptr) {
+        errors[static_cast<size_t>(comp)] = err;
+        abort = true;
+      } else {
+        stats.iterations += pops;
+        stats.sparse_skips += skips;
+        if (on_pool) ++on_helpers;
+        for (int s : c.comp_succs[static_cast<size_t>(comp)]) {
+          if (--indeg[static_cast<size_t>(s)] == 0) ready.insert(s);
+        }
+        maybe_spawn();
+      }
+      --remaining;
+      cv.notify_all();
+    };
+
+    helper_body = [&] {
+      support::Budget::Scope bs(budget);
+      prov::CorrScope cs(corr);
+      std::optional<support::fault::SuppressScope> ss;
+      if (suppressed) ss.emplace();
+      while (true) {
+        int comp;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (abort || ready.empty()) {
+            --helpers;
+            cv.notify_all();
+            return;
+          }
+          comp = *ready.begin();
+          ready.erase(ready.begin());
+        }
+        run_comp(comp, /*on_pool=*/true);
+      }
+    };
+
+    maybe_spawn = [&] {
+      while (!abort && helpers < max_helpers &&
+             helpers < static_cast<int>(ready.size())) {
+        ++helpers;
+        pool.submit(helper_body);
+      }
+    };
+
+    while (true) {
+      int comp;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock,
+                [&] { return abort || remaining == 0 || !ready.empty(); });
+        if (abort || remaining == 0) break;
+        comp = *ready.begin();
+        ready.erase(ready.begin());
+        maybe_spawn();
+      }
+      run_comp(comp, /*on_pool=*/false);
+    }
+    {
+      // Helpers reference this frame's locals; they exit promptly once the
+      // ready set drains or abort is set.
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return helpers == 0; });
+      stats.scc_parallel = on_helpers;
+      if (abort) {
+        // First failed component in topological order, for a deterministic
+        // error surface regardless of scheduling.
+        for (auto& err : errors) {
+          if (err != nullptr) std::rethrow_exception(err);
+        }
+      }
+    }
+  }
+
+  metrics.count(prefix + ".iterations", stats.iterations);
+  if (stats.sparse_skips != 0) {
+    metrics.count(prefix + ".sparse_skips", stats.sparse_skips);
+  }
+  if (stats.scc_parallel != 0) {
+    metrics.count(prefix + ".scc_parallel", stats.scc_parallel);
+  }
+  return stats;
+}
+
+}  // namespace detail
+
+}  // namespace suifx::dataflow

@@ -1,0 +1,186 @@
+// Generic monotone-framework fixpoint engine (docs/dataflow.md): the one
+// solver behind every interprocedural dataflow pass. A client exposes its
+// problem as a dependency graph over integer nodes (an edge dep -> dependent
+// says the dependent's transfer reads the dep's fact) plus a transfer
+// function that recomputes one node's fact and reports whether it changed;
+// the engine supplies everything the passes used to hand-roll:
+//
+//  * a priority worklist seeded in reverse post-order, so facts flow in the
+//    direction of the graph and each node is visited as late as possible;
+//  * sparse change propagation — only the dependents of a fact that actually
+//    changed are re-queued (`dataflow.<pass>.sparse_skips` counts the
+//    re-queues avoided);
+//  * SCC condensation (Tarjan) with per-SCC sealing: a strongly connected
+//    component is iterated to its local fixpoint before any dependent
+//    component starts, so a transfer only ever reads facts that are either
+//    final (sealed predecessor SCCs) or owned by its own component's
+//    deterministic worklist. That is what makes the solution byte-identical
+//    at any worker count;
+//  * a parallel interprocedural scheduler: the calling thread drains a
+//    topologically-ordered ready set and enlists shared-pool helpers only
+//    while more than one component is ready, so a chain-shaped condensation
+//    runs inline with zero thread handoffs and a wide one fans out to the
+//    worker count (the scheduler mutex is the happens-before edge for the
+//    sealed facts);
+//  * cooperative cancellation — the single `support::Budget` charge site for
+//    all clients is the worklist pop, weighted by the client's per-node
+//    cost, so SUIFX_BUDGET_STEPS trips the same degradation ladders the
+//    bespoke per-statement charges did;
+//  * observability: a `dataflow.solve` trace span and the Metrics counters
+//    `dataflow.<pass>.iterations` / `.sparse_skips` / `.scc_parallel`.
+//
+// SF forbids recursion, so the call-graph clients (modref, array dataflow,
+// liveness) see singleton SCCs and every transfer runs exactly once; the
+// iteration machinery exists for clients whose graphs do cycle (the Andersen
+// constraint graph under future language growth, synthetic tests) and costs
+// the acyclic clients nothing.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/budget.h"
+
+namespace suifx::dataflow {
+
+// ---------------------------------------------------------------------------
+// Lattice + client concepts
+// ---------------------------------------------------------------------------
+
+/// A join-semilattice presented statically: a bottom element and a
+/// destructive join that reports whether the target grew. Clients are free
+/// to keep richer fact types (the array-dataflow port joins whole
+/// section-algebra summaries); the concept is the contract the engine's
+/// termination argument rests on — transfer must be monotone and the fact
+/// height finite.
+template <typename L>
+concept Lattice = requires(typename L::Value& a, const typename L::Value& b) {
+  { L::bottom() } -> std::same_as<typename L::Value>;
+  { L::join_into(a, b) } -> std::same_as<bool>;
+};
+
+/// The canonical finite set lattice (bottom = {}, join = union).
+template <typename T>
+struct SetLattice {
+  using Value = std::set<T>;
+  static Value bottom() { return {}; }
+  /// Union `b` into `a`; true when `a` grew.
+  static bool join_into(Value& a, const Value& b) {
+    bool changed = false;
+    for (const T& x : b) changed |= a.insert(x).second;
+    return changed;
+  }
+};
+
+/// One boolean fact per node (bottom = false, join = or).
+struct FlagLattice {
+  using Value = bool;
+  static Value bottom() { return false; }
+  static bool join_into(Value& a, const Value& b) {
+    bool changed = b && !a;
+    a |= b;
+    return changed;
+  }
+};
+
+/// What a pass plugs into the engine. `transfer(n)` recomputes node n's fact
+/// from the facts of its dependency-graph predecessors (all sealed or
+/// same-SCC, see above) and returns true when the fact changed; it runs
+/// concurrently with transfers of nodes in OTHER components, so it must only
+/// touch node-local state plus read-only shared structure. `cost(n)` is the
+/// budget weight charged when n is popped (the ported passes use the node's
+/// statement count so SUIFX_BUDGET_STEPS keeps its old meaning).
+template <typename C>
+concept MonoClient = requires(C c, int n) {
+  { c.transfer(n) } -> std::convertible_to<bool>;
+  { c.cost(n) } -> std::convertible_to<uint64_t>;
+};
+
+// ---------------------------------------------------------------------------
+// Dependency graph
+// ---------------------------------------------------------------------------
+
+/// Edge dep -> dependent: the dependent's transfer reads the dep's fact, so
+/// the dep solves first (or, inside one SCC, a change to the dep re-queues
+/// the dependent). Self-edges and duplicate edges are fine.
+class DepGraph {
+ public:
+  explicit DepGraph(int num_nodes) : succs_(static_cast<size_t>(num_nodes)) {}
+
+  void add_edge(int dep, int dependent) {
+    succs_[static_cast<size_t>(dep)].push_back(dependent);
+  }
+
+  int num_nodes() const { return static_cast<int>(succs_.size()); }
+  const std::vector<int>& succs(int n) const {
+    return succs_[static_cast<size_t>(n)];
+  }
+
+ private:
+  std::vector<std::vector<int>> succs_;
+};
+
+// ---------------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------------
+
+struct SolveOptions {
+  /// Metrics key infix: counters land in `dataflow.<pass>.*`.
+  const char* pass = "mono";
+  /// Worker threads for independent SCCs; 0 = default_workers(). Any value
+  /// yields the identical solution — workers only change wall time.
+  int workers = 0;
+};
+
+struct SolveStats {
+  uint64_t iterations = 0;    // worklist pops = transfer applications
+  uint64_t sparse_skips = 0;  // dependent re-queues avoided (fact unchanged)
+  uint64_t sccs = 0;          // components in the condensation
+  uint64_t scc_parallel = 0;  // components solved by pool helpers, not caller
+  int workers = 1;            // effective worker count used
+};
+
+/// The engine-wide worker default: SUIFX_DATAFLOW_WORKERS if set, else
+/// min(hardware_concurrency, 8). set_default_workers overrides both (the
+/// bench sweeps 1/4/8 with it); thread-safe.
+int default_workers();
+void set_default_workers(int workers);
+
+namespace detail {
+
+/// Everything about the solve that does not depend on the client type:
+/// priorities, condensation, scheduling, budget, metrics. The client enters
+/// type-erased through two function refs.
+struct ErasedClient {
+  void* self = nullptr;
+  bool (*transfer)(void* self, int node) = nullptr;
+  uint64_t (*cost)(void* self, int node) = nullptr;
+};
+
+SolveStats solve_erased(const ErasedClient& client, const DepGraph& g,
+                        const SolveOptions& opts);
+
+}  // namespace detail
+
+/// Solve the client's problem over `g` to a fixpoint. Every node's transfer
+/// runs at least once (facts start at the client's initial state). Throws
+/// the client's exceptions, `support::BudgetExceeded`, and injected faults;
+/// on throw the client's facts are partial and must be discarded (the
+/// degradation ladders rebuild the whole pass object).
+template <MonoClient C>
+SolveStats solve(C& client, const DepGraph& g, const SolveOptions& opts = {}) {
+  detail::ErasedClient ec;
+  ec.self = &client;
+  ec.transfer = [](void* self, int node) {
+    return static_cast<bool>(static_cast<C*>(self)->transfer(node));
+  };
+  ec.cost = [](void* self, int node) {
+    return static_cast<uint64_t>(static_cast<C*>(self)->cost(node));
+  };
+  return detail::solve_erased(ec, g, opts);
+}
+
+}  // namespace suifx::dataflow

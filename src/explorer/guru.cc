@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "support/trace.h"
@@ -122,6 +123,10 @@ void Guru::analyze() {
     r.dynamic_dep = dyndep_->observed_carried(loop);
     r.blocked_reason = lp.reason;
     r.strategy = lp.strategy;
+    r.alias_refined = lp.alias_refined;
+    for (const parallelizer::AliasPayoff& ap : lp.alias_payoffs) {
+      r.alias_payoff = std::max(r.alias_payoff, ap.score);
+    }
     r.speculative = lp.strategy == parallelizer::Strategy::Speculative;
     if (r.speculative) {
       auto so = spec_result_.loops.find(loop->loop_name());
@@ -164,6 +169,18 @@ std::string Guru::planning_profile() const {
      << (wb_.liveness() != nullptr ? analysis::to_string(wb_.liveness()->mode())
                                    : "disabled")
      << "\n";
+  // Tiered alias oracle (docs/dataflow.md). Printed only when armed, so the
+  // tier-0 profile is byte-identical to builds that predate the tier.
+  if (wb_.alias_tier() >= 1) {
+    int refined = 0, scored = 0;
+    for (const parallelizer::LoopPlan* lp : plan_.ordered()) {
+      refined += lp->alias_refined ? 1 : 0;
+      scored += lp->alias_payoffs.empty() ? 0 : 1;
+    }
+    os << "alias tier: " << wb_.alias_tier()
+       << " (lazy Andersen escalation; " << refined << " loop(s) refined, "
+       << scored << " blob-blocked)\n";
+  }
   // The robustness report (docs/robustness.md): which parts of this profile
   // ran at a degraded tier, so the user knows the plan may be conservative.
   if (drv.degraded_loops() != 0) {
@@ -227,6 +244,18 @@ std::string Guru::explain(const ir::Stmt* loop) const {
   for (const std::string& d : wb_.degradations()) {
     out += "  ! build degradation: " + d + "\n";
   }
+  // Tier-1 escalation surface: the alias-refined entries in the record above
+  // say which members were carved out; the payoff scores say how promising
+  // escalation looked per blocking class (for still-serial loops they are
+  // the Guru's suggestion ranking).
+  if (!lp->alias_payoffs.empty()) {
+    for (const parallelizer::AliasPayoff& ap : lp->alias_payoffs) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", ap.score);
+      out += "  alias payoff: " + ap.var->name + " " + buf +
+             " (fraction of the blob class declared disjoint)\n";
+    }
+  }
   // Staged strategy shape: the provenance record above says why the
   // promotion was legal (the pipeline-staged/doacross-synced entry); this is
   // the executable recipe the interpreter follows.
@@ -277,6 +306,13 @@ std::vector<const LoopReport*> Guru::targets() const {
   for (const LoopReport& r : reports_) {
     if (r.important) out.push_back(&r);
   }
+  // Tier >= 1: suggestions the Andersen oracle is likelier to unblock float
+  // up. Stable, and every tier-0 score is 0, so tier 0 keeps the pure
+  // coverage order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LoopReport* a, const LoopReport* b) {
+                     return a->alias_payoff > b->alias_payoff;
+                   });
   return out;
 }
 

@@ -47,6 +47,12 @@ struct LoopReport {
   std::string blocked_reason;
   bool speculative = false;    // promoted by the SpeculationPlanner
   double misspec_rate = 0;     // observed under the executive this round
+  /// Alias tier >= 1 only: the best tier-1 payoff score among the blob
+  /// classes blocking this loop (0 when none) — targets() ranks equally
+  /// covered suggestions by it — and whether the verdict was obtained after
+  /// the Andersen oracle carved the blockers out of their blobs.
+  double alias_payoff = 0;
+  bool alias_refined = false;
   /// Execution strategy under the current plan — Pipeline/Doacross mark
   /// loops the StrategyPlanner staged (docs/pdg_planning.md).
   parallelizer::Strategy strategy = parallelizer::Strategy::Serial;
@@ -84,7 +90,9 @@ class Guru {
   /// Every executed loop's report.
   const std::vector<LoopReport>& loops() const { return reports_; }
   /// The worklist presented to the programmer: important sequential loops
-  /// sorted by decreasing execution time (§2.6).
+  /// sorted by decreasing execution time (§2.6). At alias tier >= 1, loops
+  /// are additionally ranked by their tier-1 payoff score (stable, so the
+  /// coverage order is the tie-break and tier 0 is unchanged).
   std::vector<const LoopReport*> targets() const;
 
   /// §2.8 Assertion Checker. Returns false and sets *warning when the

@@ -1,6 +1,7 @@
 #include "explorer/workbench.h"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "support/budget.h"
 #include "support/fault.h"
@@ -62,7 +63,8 @@ void guarded(std::vector<std::string>& degradations, Diag& diag,
 
 std::unique_ptr<Workbench> Workbench::from_source(
     std::string_view src, Diag& diag,
-    std::optional<analysis::LivenessMode> liveness_mode, bool enable_reductions) {
+    std::optional<analysis::LivenessMode> liveness_mode, bool enable_reductions,
+    int alias_tier) {
   support::trace::init_from_env();  // SUIFX_TRACE=<path> activates tracing
   support::fault::Registry::global().init_from_env();  // SUIFX_FAULT=<spec>
   support::provenance::init_from_env();  // SUIFX_PROVENANCE / _JSON
@@ -147,8 +149,19 @@ std::unique_ptr<Workbench> Workbench::from_source(
     // compiler configuration) rather than dying.
   }
 
+  // Alias tier: explicit argument wins; -1 defers to SUIFX_ALIAS_TIER
+  // (unset/invalid -> 0, so default builds and goldens stay tier-0).
+  if (alias_tier < 0) {
+    alias_tier = 0;
+    if (const char* s = std::getenv("SUIFX_ALIAS_TIER")) {
+      char* end = nullptr;
+      long v = std::strtol(s, &end, 10);
+      if (end != s && *end == '\0' && v > 0) alias_tier = static_cast<int>(v);
+    }
+  }
+  wb->alias_tier_ = alias_tier;
   wb->par_ = std::make_unique<parallelizer::Parallelizer>(
-      *wb->df_, *wb->regions_, wb->live_.get(), enable_reductions);
+      *wb->df_, *wb->regions_, wb->live_.get(), enable_reductions, alias_tier);
   wb->driver_ = std::make_unique<parallelizer::Driver>(*wb->par_);
   guarded(deg, diag, "issa", [&] {
     PassClock t(wb->pass_ms_, "issa");

@@ -24,12 +24,15 @@ class Workbench {
   /// Parse SF source and run the full interprocedural stack; null on parse
   /// error (details in `diag`). `liveness_mode` selects the Chapter 5
   /// precision variant; pass nullopt to skip array liveness (the base
-  /// compiler configuration).
+  /// compiler configuration). `alias_tier` >= 1 arms the lazy Steensgaard ->
+  /// Andersen escalation (docs/dataflow.md); -1 (the default) reads
+  /// SUIFX_ALIAS_TIER from the environment, so plans — and the 17 golden
+  /// snapshots — are tier-0 unless explicitly opted in.
   static std::unique_ptr<Workbench> from_source(
       std::string_view src, Diag& diag,
       std::optional<analysis::LivenessMode> liveness_mode =
           analysis::LivenessMode::Full,
-      bool enable_reductions = true);
+      bool enable_reductions = true, int alias_tier = -1);
 
   ir::Program& program() const { return *prog_; }
   const analysis::AliasAnalysis& alias() const { return *alias_; }
@@ -65,6 +68,10 @@ class Workbench {
   /// The most expensive pass recorded above ("" before from_source).
   std::string dominant_pass() const;
 
+  /// The resolved alias tier this stack planned with (0 = Steensgaard only,
+  /// >= 1 = lazy Andersen escalation armed). Guru::planning_profile prints it.
+  int alias_tier() const { return alias_tier_; }
+
   /// Human-readable record of every degradation the build absorbed (pass
   /// retries, liveness ladder falls), in sorted order so output is stable
   /// across runs. Empty on a clean build. Surfaced by
@@ -85,6 +92,7 @@ class Workbench {
   std::unique_ptr<ssa::Issa> issa_;
   std::map<std::string, double> pass_ms_;
   std::vector<std::string> degradations_;
+  int alias_tier_ = 0;
 };
 
 }  // namespace suifx::explorer

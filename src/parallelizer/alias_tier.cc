@@ -1,0 +1,155 @@
+#include "parallelizer/alias_tier.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "analysis/array_dataflow.h"
+#include "analysis/liveness.h"
+#include "analysis/modref.h"
+#include "analysis/symbolic.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace suifx::parallelizer {
+
+/// The refined analysis stack: everything downstream of the alias relation
+/// rebuilt over the tier-1 refinement. Symbolic value numbering reads alias
+/// and modref, so it must be rebuilt too; the CallGraph and RegionTree are
+/// pure program structure and are borrowed from the base stack.
+struct AliasTierEscalator::Stack {
+  analysis::AliasAnalysis alias;
+  analysis::ModRef modref;
+  analysis::Symbolic symbolic;
+  analysis::ArrayDataflow df;
+  std::optional<analysis::ArrayLiveness> live;
+  std::optional<Parallelizer> par;
+
+  Stack(const ir::Program& prog, const analysis::AliasRefinement& refine,
+        const graph::CallGraph& cg, const graph::RegionTree& regions,
+        const analysis::ArrayLiveness* base_live, bool enable_reductions)
+      : alias(prog, refine),
+        modref(prog, alias, cg),
+        symbolic(prog, alias, modref, cg),
+        df(prog, alias, modref, cg, regions, symbolic) {
+    if (base_live != nullptr) {
+      live.emplace(prog, df, cg, regions, alias, base_live->mode());
+    }
+    // Tier 0 inside the probe: no recursive escalation.
+    par.emplace(df, regions, live ? &*live : nullptr, enable_reductions);
+  }
+};
+
+AliasTierEscalator::AliasTierEscalator(const analysis::ArrayDataflow& base_df,
+                                       const graph::RegionTree& regions,
+                                       const analysis::ArrayLiveness* base_live,
+                                       bool enable_reductions)
+    : base_df_(base_df),
+      regions_(regions),
+      base_live_(base_live),
+      enable_reductions_(enable_reductions) {}
+
+AliasTierEscalator::~AliasTierEscalator() = default;
+
+std::vector<AliasPayoff> AliasTierEscalator::payoffs(
+    const analysis::LoopVerdict& verdict) const {
+  std::vector<AliasPayoff> out;
+  const analysis::AliasAnalysis& alias = base_df_.alias();
+  for (const ir::Variable* v : verdict.dependent_vars()) {
+    if (!alias.is_blob(v)) continue;
+    std::vector<const ir::Variable*> members = alias.class_members(v);
+    long pairs = 0, disjoint = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i]->kind != ir::VarKind::CommonMember) continue;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (members[j]->kind != ir::VarKind::CommonMember) continue;
+        ++pairs;
+        long fi = analysis::declared_footprint_elems(members[i]);
+        long fj = analysis::declared_footprint_elems(members[j]);
+        if (fi < 0 || fj < 0) continue;  // unknown extent: assume overlap
+        long ilo = members[i]->common_offset, ihi = ilo + fi;
+        long jlo = members[j]->common_offset, jhi = jlo + fj;
+        if (ihi <= jlo || jhi <= ilo) ++disjoint;
+      }
+    }
+    double score =
+        pairs > 0 ? static_cast<double>(disjoint) / static_cast<double>(pairs)
+                  : 0.0;
+    out.push_back({v, score});
+  }
+  return out;
+}
+
+bool AliasTierEscalator::ensure_stack_locked() {
+  if (attempted_) return stack_ != nullptr;
+  attempted_ = true;
+  support::trace::TraceSpan span("alias/escalate");
+  try {
+    analysis::Andersen oracle(base_df_.program());
+    refinement_ = oracle.refine(base_df_.alias());
+    if (refinement_.empty()) {
+      support::Metrics::global().count("alias.tier1.no_refinement");
+      return false;
+    }
+    stack_ = std::make_unique<Stack>(base_df_.program(), refinement_,
+                                     base_df_.callgraph(), regions_,
+                                     base_live_, enable_reductions_);
+    support::Metrics::global().count("alias.tier1.refined_members",
+                                     refinement_.precise.size());
+    return true;
+  } catch (...) {
+    // Injected fault (alias.andersen) or budget exhaustion during the oracle
+    // or refined-stack build: degrade to tier 0, the base verdict stands.
+    refinement_ = {};
+    stack_.reset();
+    support::Metrics::global().count("alias.tier1.degraded");
+    return false;
+  }
+}
+
+std::optional<LoopPlan> AliasTierEscalator::try_refine(const ir::Stmt* loop,
+                                                       const Assertions& asserts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(loop);
+  if (it != memo_.end()) return it->second;
+  std::optional<LoopPlan> result;
+  if (ensure_stack_locked()) {
+    try {
+      // The probe opens its own nested LoopScope; the caller discards the
+      // probe's `why` and re-finishes its outer scope ("innermost wins", so
+      // the caller's notes are unaffected while the probe runs).
+      result = stack_->par->plan_loop(loop, asserts);
+    } catch (...) {
+      result.reset();  // degraded probe: base verdict stands for this loop
+    }
+  }
+  memo_.emplace(loop, result);
+  return result;
+}
+
+std::vector<const ir::Variable*> AliasTierEscalator::refined_members_of(
+    const ir::Variable* blob_rep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const ir::Variable*> out;
+  for (const ir::Variable* m : refinement_.precise) {
+    if (m->common == blob_rep->common) out.push_back(m);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ir::Variable* a, const ir::Variable* b) {
+              if (a->common_offset != b->common_offset) {
+                return a->common_offset < b->common_offset;
+              }
+              return a->name < b->name;
+            });
+  // The same member re-declared by several procedures is one precise class
+  // (the carve-out unifies per offset) — note it once.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const ir::Variable* a, const ir::Variable* b) {
+                          return a->common_offset == b->common_offset &&
+                                 a->name == b->name;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace suifx::parallelizer

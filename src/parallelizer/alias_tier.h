@@ -1,0 +1,65 @@
+// Lazy Steensgaard -> Andersen alias escalation (the tiered alias oracle of
+// docs/dataflow.md): the Parallelizer consults this only when a loop's
+// verdict is blocked by a dependence on a blob alias class. The first probe
+// builds the tier-1 oracle (analysis/andersen.h) and — when it carves
+// anything out of a blob — a full refined analysis stack (AliasAnalysis with
+// the refinement, then ModRef, Symbolic, ArrayDataflow, ArrayLiveness, and a
+// tier-0 Parallelizer over them; CallGraph and RegionTree are
+// alias-independent and reused). Probe results are memoized per loop; the
+// stack build is single-flight. Any fault (`alias.andersen`) or budget
+// exhaustion during escalation degrades to tier 0: the base verdict stands.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "analysis/andersen.h"
+#include "parallelizer/parallelizer.h"
+
+namespace suifx::parallelizer {
+
+class AliasTierEscalator {
+ public:
+  AliasTierEscalator(const analysis::ArrayDataflow& base_df,
+                     const graph::RegionTree& regions,
+                     const analysis::ArrayLiveness* base_live,
+                     bool enable_reductions);
+  ~AliasTierEscalator();
+
+  /// Payoff scores for the blob-class variables blocking `verdict`: the
+  /// fraction of declared-disjoint member pairs in each blocking class —
+  /// an estimate of how much of the class tier 1 can untangle. Computed
+  /// from tier-0 data only (no oracle build).
+  std::vector<AliasPayoff> payoffs(const analysis::LoopVerdict& verdict) const;
+
+  /// Re-plan `loop` against the refined stack. nullopt when tier 1 has
+  /// nothing to offer (no carve-outs, degradation, or probe failure).
+  /// Memoized per loop; thread-safe.
+  std::optional<LoopPlan> try_refine(const ir::Stmt* loop,
+                                     const Assertions& asserts);
+
+  /// The carved-out members of `blob_rep`'s block, in declaration-offset
+  /// order (for canonical provenance notes). Empty before a successful
+  /// probe or when tier 1 degraded.
+  std::vector<const ir::Variable*> refined_members_of(const ir::Variable* blob_rep);
+
+ private:
+  struct Stack;
+  bool ensure_stack_locked();
+
+  const analysis::ArrayDataflow& base_df_;
+  const graph::RegionTree& regions_;
+  const analysis::ArrayLiveness* base_live_;
+  bool enable_reductions_;
+
+  std::mutex mu_;
+  bool attempted_ = false;
+  analysis::AliasRefinement refinement_;
+  std::unique_ptr<Stack> stack_;
+  std::map<const ir::Stmt*, std::optional<LoopPlan>> memo_;
+};
+
+}  // namespace suifx::parallelizer

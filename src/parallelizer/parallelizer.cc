@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallelizer/alias_tier.h"
 #include "parallelizer/strategy.h"
 
 namespace suifx::parallelizer {
@@ -22,12 +23,16 @@ const char* to_string(Strategy s) {
 Parallelizer::Parallelizer(const analysis::ArrayDataflow& df,
                            const graph::RegionTree& regions,
                            const analysis::ArrayLiveness* live,
-                           bool enable_reductions)
+                           bool enable_reductions, int alias_tier)
     : df_(df),
       regions_(regions),
       live_(live),
       dep_(df, enable_reductions),
-      strategy_(std::make_unique<StrategyPlanner>(df_, dep_)) {}
+      strategy_(std::make_unique<StrategyPlanner>(df_, dep_)),
+      escalator_(alias_tier >= 1
+                     ? std::make_unique<AliasTierEscalator>(df, regions, live,
+                                                            enable_reductions)
+                     : nullptr) {}
 
 Parallelizer::~Parallelizer() = default;
 
@@ -209,6 +214,43 @@ LoopPlan Parallelizer::plan_loop(const ir::Stmt* loop, const Assertions& asserts
   out.parallelizable = ok;
   out.strategy = ok ? Strategy::Doall : Strategy::Serial;
   if (ok) out.reason.clear();
+  // Tier-1 alias escalation: when the only thing between this loop and DOALL
+  // is a dependence on a blob-collapsed COMMON class, probe a refined stack
+  // (Andersen oracle, alias_tier.h). Runs before the staged-strategy ladder:
+  // a loop the oracle fully untangles is a plain DOALL, not a pipeline.
+  if (!ok && escalator_ != nullptr) {
+    out.alias_payoffs = escalator_->payoffs(out.verdict);
+    bool blob_blocked = false;
+    for (const ir::Variable* v : out.verdict.dependent_vars()) {
+      blob_blocked |= df_.alias().is_blob(v);
+    }
+    if (blob_blocked) {
+      std::optional<LoopPlan> refined = escalator_->try_refine(loop, asserts);
+      if (refined && refined->parallelizable) {
+        LoopPlan adopted = *refined;
+        // The probe's provenance record belongs to its nested scope; ours is
+        // the canonical one. Re-note and re-finish so `why` reflects both the
+        // escalation and the user assertions noted above.
+        adopted.alias_payoffs = out.alias_payoffs;
+        adopted.alias_refined = true;
+        adopted.used_assertion |= out.used_assertion;
+        if (prov::noting()) {
+          for (const ir::Variable* v : out.verdict.dependent_vars()) {
+            if (!df_.alias().is_blob(v)) continue;
+            for (const ir::Variable* m : escalator_->refined_members_of(v)) {
+              prov::note(prov::Kind::AliasRefined, m->name,
+                         "tier-1 inclusion analysis proved the member's "
+                         "storage disjoint from every other view of its "
+                         "COMMON block; carved out of the blob class and the "
+                         "assumed dependence dropped");
+            }
+          }
+        }
+        adopted.why = pscope.finish("parallel", "");
+        return adopted;
+      }
+    }
+  }
   // Last rung of the ladder: a clean automatic serial verdict may still
   // stage as a pipeline or a synced DOACROSS (docs/pdg_planning.md). The
   // reason text is kept — it documents why DOALL was refused.

@@ -16,6 +16,7 @@
 namespace suifx::parallelizer {
 
 class StrategyPlanner;
+class AliasTierEscalator;
 
 namespace analysis = suifx::analysis;
 
@@ -70,6 +71,15 @@ struct ReductionVar {
   poly::SectionList region;  // closed reduction region (minimization, §6.3.3)
 };
 
+/// Tier >= 1 only: one blob-class variable blocking a loop verdict, with the
+/// estimated probability that the tier-1 (Andersen) oracle resolves it —
+/// the fraction of its class whose declared storage is provably disjoint
+/// from it. The Guru ranks alias-escalation suggestions by this score.
+struct AliasPayoff {
+  const ir::Variable* var = nullptr;
+  double score = 0.0;
+};
+
 struct LoopPlan {
   const ir::Stmt* loop = nullptr;
   analysis::LoopVerdict verdict;
@@ -98,6 +108,14 @@ struct LoopPlan {
   /// sync distance, finalization fixups). Shared and immutable, memoized
   /// with the plan like `why`. Null for every other strategy.
   std::shared_ptr<const runtime::staged::StagedLoopPlan> staging;
+  /// Alias tier >= 1 only: blob-blocked variables with tier-1 payoff scores
+  /// (empty at tier 0 and for loops not blocked on a blob class). Not part
+  /// of the canonical plan rendering — goldens stay tier-independent.
+  std::vector<AliasPayoff> alias_payoffs;
+  /// Alias tier >= 1 only: the verdict was obtained after the tier-1 oracle
+  /// carved the blocking classes out of their blobs (an AliasRefined note in
+  /// `why` records which).
+  bool alias_refined = false;
   /// Causal record of how this verdict was reached (docs/provenance.md).
   /// Null when provenance is disabled. Shared and immutable: the Driver
   /// memoizes it with the plan, cache hits replay the identical record, and
@@ -138,10 +156,13 @@ class Parallelizer {
  public:
   /// `live` may be null: the base compiler without array liveness (the
   /// Chapter 5 ablation baseline). `enable_reductions=false` is the
-  /// Chapter 6 no-reduction baseline.
+  /// Chapter 6 no-reduction baseline. `alias_tier >= 1` arms the lazy
+  /// Steensgaard -> Andersen escalation (parallelizer/alias_tier.h): loops
+  /// left serial by a blob-blocked dependence are re-planned once against a
+  /// refined alias stack; tier 0 results and goldens are unaffected.
   Parallelizer(const analysis::ArrayDataflow& df, const graph::RegionTree& regions,
                const analysis::ArrayLiveness* live = nullptr,
-               bool enable_reductions = true);
+               bool enable_reductions = true, int alias_tier = 0);
   ~Parallelizer();
 
   /// Plan every loop of the program reachable from main.
@@ -165,6 +186,8 @@ class Parallelizer {
   /// the classic ladder leaves serial. unique_ptr: strategy.h includes this
   /// header, so only a forward declaration is visible here.
   std::unique_ptr<StrategyPlanner> strategy_;
+  /// Lazy tier-1 alias escalation (alias_tier.h); null at tier 0.
+  std::unique_ptr<AliasTierEscalator> escalator_;
 };
 
 }  // namespace suifx::parallelizer

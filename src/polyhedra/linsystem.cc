@@ -1,6 +1,7 @@
 #include "polyhedra/linsystem.h"
 
 #include <algorithm>
+#include <iterator>
 #include <numeric>
 #include <sstream>
 
@@ -344,9 +345,16 @@ LinSystem LinSystem::intersect(const LinSystem& a, const LinSystem& b) {
   if (a.trivially_true() || b.is_false()) return b;
   if (b.trivially_true() || a.is_false()) return a;
   if (a.rep_ == b.rep_) return a;
-  LinSystem out = a;
-  out.mut().cons.reserve(a.constraints().size() + b.constraints().size());
-  for (const Constraint& con : b.constraints()) out.add(con);
+  // Both operands hold canonical constraint lists, so the conjunction is a
+  // sorted merge + dedup — no per-constraint normalize/re-insertion.
+  LinSystem out;
+  Rep& r = out.mut();
+  r.cons.reserve(a.constraints().size() + b.constraints().size());
+  std::merge(a.constraints().begin(), a.constraints().end(),
+             b.constraints().begin(), b.constraints().end(),
+             std::back_inserter(r.cons), constraint_less);
+  r.cons.erase(std::unique(r.cons.begin(), r.cons.end(), constraint_equal),
+               r.cons.end());
   return out;
 }
 
@@ -481,7 +489,69 @@ bool quick_pair_contradiction(const std::vector<Constraint>& cons) {
   return false;
 }
 
+/// The Fourier–Motzkin elimination loop shared by is_empty() and the
+/// contains() refutation probes: true only when the system is provably
+/// integer-empty; any bail-out (work limit, overflow) returns false, the
+/// conservative direction. Operates on a scratch constraint vector so probe
+/// callers never pay for LinSystem node construction.
+bool fm_empty(std::vector<Constraint> work) {
+  // Per-symbol {positive ineqs, negative ineqs, in an equality} occurrence
+  // stats, kept sorted by SymId so the pivot scan visits symbols in the same
+  // ascending order the two-pass version did (determinism).
+  struct SymStat {
+    SymId sym;
+    int pos = 0, neg = 0;
+    bool eq = false;
+  };
+  std::vector<SymStat> stats;
+  for (;;) {
+    stats.clear();
+    for (const Constraint& con : work) {
+      for (const auto& [s, v] : con.expr.terms) {
+        auto it = std::lower_bound(
+            stats.begin(), stats.end(), s,
+            [](const SymStat& e, SymId sym) { return e.sym < sym; });
+        if (it == stats.end() || it->sym != s) it = stats.insert(it, {s});
+        if (con.is_eq) it->eq = true;
+        else if (v > 0) ++it->pos;
+        else ++it->neg;
+      }
+    }
+    if (stats.empty()) return ground_contradiction(work);
+    // Pick the symbol minimizing FM fan-out; an equality pivot (Gaussian
+    // elimination, cost 0) can't be beaten, so stop at the first one.
+    SymId best = stats[0].sym;
+    size_t best_cost = SIZE_MAX;
+    for (const SymStat& st : stats) {
+      size_t cost = st.eq ? 0
+                          : static_cast<size_t>(st.pos) *
+                                static_cast<size_t>(st.neg);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = st.sym;
+      }
+      if (cost == 0) break;
+    }
+    auto next = eliminate(std::move(work), best);
+    if (!next) return false;  // bail out: may be non-empty
+    work = std::move(*next);
+    if (ground_contradiction(work)) return true;
+    if (work.size() > kFmLimit) return false;
+  }
+}
+
 }  // namespace
+
+int8_t LinSystem::cached_empty() const {
+  if (!rep_ || rep_->cons.empty()) return 0;  // the universe is non-empty
+  return rep_->empty.load(std::memory_order_relaxed);
+}
+
+void LinSystem::seed_empty(bool empty) const {
+  if (rep_ != nullptr && !rep_->cons.empty()) {
+    rep_->empty.store(empty ? 1 : 0, std::memory_order_relaxed);
+  }
+}
 
 bool LinSystem::is_empty() const {
   if (!rep_ || rep_->cons.empty()) return false;  // the universe
@@ -494,41 +564,7 @@ bool LinSystem::is_empty() const {
     if (is_false()) return true;
     if (cons.size() == 1) return false;  // one normalized constraint: satisfiable
     if (quick_pair_contradiction(cons)) return true;
-    std::vector<Constraint> work = cons;
-    for (;;) {
-      // Collect remaining symbols.
-      std::vector<SymId> syms;
-      for (const Constraint& con : work) {
-        for (const auto& [s, v] : con.expr.terms) syms.push_back(s);
-      }
-      std::sort(syms.begin(), syms.end());
-      syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
-      if (syms.empty()) return ground_contradiction(work);
-      // Pick the symbol minimizing FM fan-out.
-      SymId best = syms[0];
-      size_t best_cost = SIZE_MAX;
-      for (SymId s : syms) {
-        size_t p = 0, n = 0;
-        bool has_eq = false;
-        for (const Constraint& con : work) {
-          long a = coef_of(con.expr, s);
-          if (a == 0) continue;
-          if (con.is_eq) has_eq = true;
-          else if (a > 0) ++p;
-          else ++n;
-        }
-        size_t cost = has_eq ? 0 : p * n;
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = s;
-        }
-      }
-      auto next = eliminate(std::move(work), best);
-      if (!next) return false;  // bail out: may be non-empty
-      work = std::move(*next);
-      if (ground_contradiction(work)) return true;
-      if (work.size() > kFmLimit) return false;
-    }
+    return fm_empty(cons);
   }();
   rep_->empty.store(result ? 1 : 0, std::memory_order_relaxed);
   return result;
@@ -540,14 +576,23 @@ LinSystem LinSystem::project_out(SymId s) const {
   LinSystem out;
   if (!next) {
     // Bail out: drop every constraint touching s. The result is a superset
-    // of the exact projection (conservative for access summaries).
+    // of the exact projection (conservative for access summaries). A subset
+    // of a canonical list is canonical, so build the node directly.
+    std::vector<Constraint> kept;
     for (const Constraint& con : constraints()) {
-      if (!con.expr.involves(s)) out.add(con);
+      if (!con.expr.involves(s)) kept.push_back(con);
     }
+    if (!kept.empty()) out.mut().cons = std::move(kept);
     return out;
   }
-  out.mut().cons.reserve(next->size());
-  for (Constraint& con : *next) out.add(std::move(con));
+  // eliminate() emits normalized, non-trivial constraints; canonical form is
+  // one sort + dedup away — no per-constraint add() re-insertion needed.
+  if (next->empty()) return out;  // the universe
+  if (ground_contradiction(*next)) return bottom();
+  std::sort(next->begin(), next->end(), constraint_less);
+  next->erase(std::unique(next->begin(), next->end(), constraint_equal),
+              next->end());
+  out.mut().cons = std::move(*next);
   return out;
 }
 
@@ -559,27 +604,70 @@ LinSystem LinSystem::project_out_if(const std::function<bool(SymId)>& pred) cons
   return out;
 }
 
+namespace {
+/// Does canonical constraint `have` syntactically imply `want`? Exact match
+/// for equalities; an inequality t+c >= 0 follows from t+c' (>=|=) 0 with
+/// c' <= c. Sufficient only — callers fall back to the refutation probe.
+bool implies_con(const Constraint& have, const Constraint& want) {
+  if (want.is_eq) {
+    return have.is_eq && have.expr.c == want.expr.c &&
+           have.expr.terms == want.expr.terms;
+  }
+  return have.expr.c <= want.expr.c && have.expr.terms == want.expr.terms;
+}
+}  // namespace
+
 bool LinSystem::contains(const LinSystem& other) const {
   if (!rep_ || rep_->cons.empty()) return true;  // the universe contains all
   if (rep_ == other.rep_) return true;           // identical node
+  // A probe conjoins the negated constraint onto `other` and asks for
+  // emptiness. It runs on a scratch constraint vector — no COW clone, no
+  // canonical re-insertion, no node allocation per probe.
+  auto refuted = [&other](LinearExpr e) {
+    Constraint nc{std::move(e), false};
+    switch (normalize(nc)) {
+      case Norm::TriviallyTrue:
+        return other.is_empty();  // probe is `other` itself
+      case Norm::Contradiction:
+        return true;
+      case Norm::Keep:
+        break;
+    }
+    const std::vector<Constraint>& base = other.constraints();
+    if (ground_contradiction(base)) return true;  // `other` is bottom
+    if (base.empty()) return false;  // universe: one constraint is satisfiable
+    std::vector<Constraint> work;
+    work.reserve(base.size() + 1);
+    work = base;
+    work.push_back(std::move(nc));
+    if (quick_pair_contradiction(work)) return true;
+    return fm_empty(std::move(work));
+  };
   for (const Constraint& con : constraints()) {
+    // `other` carrying the constraint (or a tighter one) verbatim settles it
+    // without any probe — the overwhelmingly common case is testing a system
+    // against itself-plus-extras (SectionList::add coverage checks).
+    bool implied = false;
+    for (const Constraint& have : other.constraints()) {
+      if (implies_con(have, con)) {
+        implied = true;
+        break;
+      }
+    }
+    if (implied) continue;
     // Refute: does any point of `other` violate `con`?
     if (con.is_eq) {
       for (long dir : {+1L, -1L}) {
-        LinSystem probe = other;
         LinearExpr e = con.expr;
         e *= dir;
         e.c -= 1;
-        probe.add_ge(std::move(e));  // dir*expr >= 1
-        if (!probe.is_empty()) return false;
+        if (!refuted(std::move(e))) return false;  // dir*expr >= 1 satisfiable
       }
     } else {
-      LinSystem probe = other;
       LinearExpr e = con.expr;
       e *= -1;
       e.c -= 1;
-      probe.add_ge(std::move(e));  // expr <= -1
-      if (!probe.is_empty()) return false;
+      if (!refuted(std::move(e))) return false;  // expr <= -1 satisfiable
     }
   }
   return true;

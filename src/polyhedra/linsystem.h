@@ -157,6 +157,13 @@ class LinSystem {
   /// single-constraint contradiction) run before any elimination.
   bool is_empty() const;
 
+  /// The node-cached emptiness verdict: -1 not yet decided, 0 non-empty,
+  /// 1 empty. The memoized cache (polycache) checks it before interning so a
+  /// repeat query on a shared node is one relaxed load, and seeds it via
+  /// seed_empty() when the cross-node memo table already knows the answer.
+  int8_t cached_empty() const;
+  void seed_empty(bool empty) const;
+
   /// Conjunction of the two systems.
   static LinSystem intersect(const LinSystem& a, const LinSystem& b);
 

@@ -299,12 +299,17 @@ bool is_empty(const LinSystem& s) {
   // Semantic fast paths (identical verdicts to the raw op, no locks).
   if (s.trivially_true()) return false;
   if (s.is_false()) return true;
+  // Repeat query on an already-decided node: one relaxed load — no
+  // interning, no memo-table lookup. The raw op stores its verdict in the
+  // shared node, and the memo-hit path below seeds it for twin nodes.
+  if (int8_t node = s.cached_empty(); node >= 0) return node != 0;
   if (!enabled()) return s.is_empty();
   static support::ShardedCounter& hit = counter("poly.is_empty.hit");
   static support::ShardedCounter& miss = counter("poly.is_empty.miss");
   uint64_t key = intern(s);
   if (auto v = empty_memo().find(key)) {
     hit.add();
+    s.seed_empty(*v != 0);
     return *v != 0;
   }
   miss.add();

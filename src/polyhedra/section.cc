@@ -9,6 +9,19 @@ namespace suifx::poly {
 namespace {
 /// Part budget per section list; beyond this, parts are merged by weakening.
 constexpr int kMaxParts = 10;
+
+/// Element-wise same-node equality. Lists built from the same shared nodes
+/// denote the same union, so uniting them is a no-op; the dataflow clients
+/// re-join unchanged summaries constantly, which made this the hottest
+/// SectionList path by far.
+bool same_parts(const std::vector<LinSystem>& a,
+                const std::vector<LinSystem>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].same_node(b[i])) return false;
+  }
+  return true;
+}
 }  // namespace
 
 SectionList SectionList::single(LinSystem s) {
@@ -59,11 +72,24 @@ void SectionList::add(LinSystem s) {
 }
 
 void SectionList::unite(const SectionList& o) {
+  if (o.parts_.empty() || same_parts(parts_, o.parts_)) return;
+  if (parts_.empty()) {
+    // Wholesale adoption preserves o's invariants (its parts went through
+    // its own add() calls) and skips every containment probe.
+    parts_ = o.parts_;
+    return;
+  }
   for (const LinSystem& p : o.parts_) add(p);
 }
 
 void SectionList::unite(SectionList&& o) {
-  for (LinSystem& p : o.parts_) add(std::move(p));
+  if (!o.parts_.empty() && !same_parts(parts_, o.parts_)) {
+    if (parts_.empty()) {
+      parts_ = std::move(o.parts_);
+    } else {
+      for (LinSystem& p : o.parts_) add(std::move(p));
+    }
+  }
   o.parts_.clear();
 }
 
@@ -88,6 +114,7 @@ bool SectionList::disjoint_from(const SectionList& o) const {
 }
 
 SectionList SectionList::minus_contained(const SectionList& must) const {
+  if (must.parts_.empty()) return *this;  // nothing can kill a part
   SectionList out;
   for (const LinSystem& p : parts_) {
     bool killed = false;

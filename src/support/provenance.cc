@@ -66,6 +66,7 @@ const char* to_string(Kind k) {
     case Kind::Rollback: return "rollback";
     case Kind::PipelineStaged: return "pipeline-staged";
     case Kind::DoacrossSynced: return "doacross-synced";
+    case Kind::AliasRefined: return "alias-refined";
   }
   return "?";
 }

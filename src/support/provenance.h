@@ -65,6 +65,7 @@ enum class Kind : uint8_t {
   Rollback,              // speculative state discarded; serial re-execution
   PipelineStaged,        // SCC condensation split the loop into DSWP stages
   DoacrossSynced,        // carried deps have a fixed distance: synced DOACROSS
+  AliasRefined,          // tier-1 alias oracle carved a class out of a blob
 };
 
 const char* to_string(Kind k);

@@ -104,7 +104,10 @@ OracleResult check_source(const std::string& src, const OracleOptions& opts) {
   OracleResult out;
 
   Diag diag;
-  auto wb = explorer::Workbench::from_source(src, diag);
+  auto wb = explorer::Workbench::from_source(src, diag,
+                                             analysis::LivenessMode::Full,
+                                             /*enable_reductions=*/true,
+                                             opts.alias_tier);
   if (wb == nullptr) {
     out.violation = Property::PipelineError;
     out.detail = "front end rejected the program:\n" + diag.str();

@@ -68,6 +68,11 @@ struct OracleOptions {
   /// Check the Staging property (staged execution ≡ serial output, commit
   /// and forced-abort legs, plus worker-count plan/ledger determinism).
   bool check_staging = true;
+  /// Alias tier for the planning stack (Workbench::from_source): 0 keeps the
+  /// Steensgaard-only relation, 1 arms the lazy Andersen escalation so every
+  /// tier-1-refined plan is held to the same dynamic properties, -1 defers
+  /// to SUIFX_ALIAS_TIER.
+  int alias_tier = -1;
 };
 
 struct OracleResult {

@@ -79,6 +79,7 @@ class Gen {
   void p_call_section();
   void p_call_reduction();
   void p_common_overlay();
+  void p_deep_call_alias_chain();
   void p_zero_trip();
   void p_stage_producer_consumer();
   void p_doacross_skewed_recurrence();
@@ -359,6 +360,62 @@ void Gen::p_common_overlay() {
   patterns_.push_back("common_overlay");
 }
 
+// COMMON block whose first two members overlay each other (tier-0 collapses
+// the whole block into one blob class) while a third member occupies provably
+// disjoint storage — and is threaded pointer-style through a 3-deep chain of
+// call-by-reference array sections, with a constant section offset at the
+// middle hop. The mixed loop (write the disjoint member, read an overlay
+// member) is serial under Steensgaard but DOALL once the Andersen tier carves
+// the disjoint member out, so fuzzing with OracleOptions::alias_tier = 1
+// exercises the whole escalation path against the dynamic oracle.
+void Gen::p_deep_call_alias_chain() {
+  std::string u = uniq();
+  std::string s = scal();
+  long rlen = rng_.range(8, 16);         // the disjoint member's extent
+  long soff = rng_.range(1, 3);          // section offset at the middle hop
+  long llen = rlen - soff;               // leaf formal extent (stays in bounds)
+  long plen = rng_.range(20, 32);        // overlay member 1
+  long qlen = plen - rng_.range(4, 12);  // same offset, smaller footprint
+  long roff = plen + rng_.range(0, 4);   // disjoint: starts past both overlays
+  procs_ << "proc dca" << u << "(real z[" << llen << "]) {\n"
+         << "  do j = 1, " << llen << " label " << lab() << " {\n"
+         << "    z[j] = z[j] * " << rc01() << " + " << rc01() << ";\n"
+         << "  }\n"
+         << "}\n\n"
+         << "proc dcb" << u << "(real y[" << rlen << "]) {\n"
+         << "  call dca" << u << "(y[" << (1 + soff) << "]);\n"
+         << "}\n\n"
+         << "proc dcc" << u << "(real x[" << rlen << "]) {\n"
+         << "  call dcb" << u << "(x);\n"
+         << "}\n\n";
+  procs_ << "proc dcs" << u << "() {\n"
+         << "  common dc" << u << " @ 0 real p[" << plen << "];\n"
+         << "  common dc" << u << " @ 0 real q[" << qlen << "];\n"
+         << "  common dc" << u << " @ " << roff << " real r[" << rlen << "];\n"
+         << "  do i = 1, " << qlen << " label " << lab() << " {\n"
+         << "    p[i] = real(i) * " << rc01() << ";\n"
+         << "  }\n"
+         << "  do i = 1, " << rlen << " label " << lab() << " {\n"
+         << "    r[i] = real(i) * " << rc01() << " + " << rc01() << ";\n"
+         << "  }\n"
+         << "  do i = 1, " << rlen << " label " << lab() << " {\n"
+         << "    r[i] = r[i] + p[i] * " << rc01() << ";\n"
+         << "  }\n"
+         << "  call dcc" << u << "(r);\n"
+         << "}\n\n"
+         << "proc dck" << u << "() {\n"
+         << "  common dc" << u << " @ 0 real p[" << plen << "];\n"
+         << "  common dc" << u << " @ " << roff << " real r[" << rlen << "];\n"
+         << "  do i = 1, " << rlen << " label " << lab() << " {\n"
+         << "    " << s << " = " << s << " + r[i] * real(i) + p[i];\n"
+         << "  }\n"
+         << "}\n\n";
+  main_ << "  call dcs" << u << "();\n"
+        << "  call dck" << u << "();\n"
+        << "  print " << s << ";\n";
+  patterns_.push_back("deep_call_alias_chain");
+}
+
 // Producer/consumer chain behind a queueable scalar recurrence: the scalar
 // running value is a genuine carried dependence (never DOALL), but every
 // downstream statement only reads it — the DSWP shape the StrategyPlanner
@@ -458,6 +515,8 @@ GeneratedProgram Gen::run() {
       {8, &Gen::p_call_section, opts_.allow_calls},
       {5, &Gen::p_call_reduction, opts_.allow_calls},
       {6, &Gen::p_common_overlay, opts_.allow_commons},
+      {6, &Gen::p_deep_call_alias_chain,
+       opts_.allow_calls && opts_.allow_commons},
       {4, &Gen::p_zero_trip, true},
       {7, &Gen::p_stage_producer_consumer, true},
       {7, &Gen::p_doacross_skewed_recurrence, opts_.allow_recurrences},

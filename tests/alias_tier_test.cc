@@ -1,0 +1,297 @@
+// Tests for the tiered alias oracle (docs/dataflow.md): the Andersen
+// location-set analysis, the refinement veto rule, the lazy escalation in
+// the Parallelizer, the SUIFX_ALIAS_TIER opt-in, Guru surfacing, and the
+// degrade-to-tier-0 paths (injected fault, budget exhaustion).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/andersen.h"
+#include "benchsuite/suite.h"
+#include "explorer/guru.h"
+#include "support/budget.h"
+#include "support/fault.h"
+#include "support/provenance.h"
+
+namespace suifx {
+namespace {
+
+using explorer::Workbench;
+
+std::unique_ptr<Workbench> build(int alias_tier) {
+  Diag diag;
+  auto wb = Workbench::from_source(benchsuite::alias_csplit().source, diag,
+                                   analysis::LivenessMode::Full,
+                                   /*enable_reductions=*/true, alias_tier);
+  EXPECT_NE(wb, nullptr) << diag.str();
+  return wb;
+}
+
+const ir::Variable* common_member(const Workbench& wb, const std::string& proc,
+                                  const std::string& name) {
+  const ir::Variable* v = wb.var(proc + "." + name);
+  EXPECT_NE(v, nullptr) << proc << "." << name;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// The Andersen oracle itself
+// ---------------------------------------------------------------------------
+
+TEST(Andersen, DeclaredFootprint) {
+  auto wb = build(0);
+  EXPECT_EQ(analysis::declared_footprint_elems(common_member(*wb, "relax", "c")),
+            100);
+  EXPECT_EQ(analysis::declared_footprint_elems(common_member(*wb, "stir", "a")),
+            120);
+}
+
+TEST(Andersen, ViewsPropagateThroughDeepCallChain) {
+  auto wb = build(0);
+  analysis::Andersen oracle(wb->program());
+  // main passes c (block offset 200, 100 elems) down damp1 -> damp2 -> damp3.
+  // The exact chain must not widen per hop: every formal sees [200, 300).
+  const std::pair<const char*, const char*> chain[] = {
+      {"damp1", "x"}, {"damp2", "y"}, {"damp3", "z"}};
+  for (const auto& [proc, formal] : chain) {
+    const ir::Variable* f = wb->var(std::string(proc) + "." + formal);
+    ASSERT_NE(f, nullptr) << proc;
+    const auto& views = oracle.views_of(f);
+    ASSERT_EQ(views.size(), 1u) << proc;
+    EXPECT_EQ(views.begin()->lo, 200) << proc;
+    EXPECT_EQ(views.begin()->hi, 300) << proc;
+    EXPECT_TRUE(views.begin()->exact) << proc;
+  }
+}
+
+TEST(Andersen, RefineCarvesDisjointMemberOnly) {
+  auto wb = build(0);
+  // Tier 0 collapses the whole turb block: a and b overlay offset 0 with
+  // different footprints, and c is dragged in despite disjoint storage.
+  EXPECT_TRUE(wb->alias().is_blob(common_member(*wb, "relax", "c")));
+  EXPECT_TRUE(wb->alias().is_blob(common_member(*wb, "stir", "a")));
+
+  analysis::Andersen oracle(wb->program());
+  analysis::AliasRefinement r = oracle.refine(wb->alias());
+  EXPECT_FALSE(r.empty());
+  // Every precise member is a c view; no a/b view can be carved out.
+  ASSERT_FALSE(r.precise.empty());
+  for (const ir::Variable* m : r.precise) {
+    EXPECT_EQ(m->name, "c");
+    EXPECT_EQ(m->common_offset, 200);
+  }
+
+  // The refined relation splits c from the blob and stays sound on a/b.
+  analysis::AliasAnalysis refined(wb->program(), r);
+  const ir::Variable* c = common_member(*wb, "relax", "c");
+  const ir::Variable* a = common_member(*wb, "relax", "a");
+  const ir::Variable* b = common_member(*wb, "stir", "b");
+  EXPECT_FALSE(refined.is_blob(c));
+  EXPECT_TRUE(refined.is_blob(a));
+  EXPECT_FALSE(refined.may_alias(c, a));
+  EXPECT_TRUE(refined.may_alias(a, b));
+  // Re-declarations of c unify into one precise class.
+  EXPECT_EQ(refined.canonical(common_member(*wb, "main", "c")),
+            refined.canonical(c));
+}
+
+TEST(Andersen, SolverIteratesToFixpoint) {
+  auto wb = build(0);
+  analysis::Andersen oracle(wb->program());
+  // The 3-deep chain needs at least one propagation round per hop.
+  EXPECT_GE(oracle.iterations(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Escalation in the Parallelizer
+// ---------------------------------------------------------------------------
+
+TEST(AliasTier, TierZeroLeavesLoopBlocked) {
+  auto wb = build(0);
+  auto plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("relax/10"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_FALSE(lp->parallelizable);
+  EXPECT_NE(lp->reason.find("dependence on"), std::string::npos) << lp->reason;
+  EXPECT_FALSE(lp->alias_refined);
+  EXPECT_TRUE(lp->alias_payoffs.empty());  // tier 0: no payoff model
+}
+
+TEST(AliasTier, EscalationUnblocksLoop) {
+  auto wb = build(1);
+  auto plan = wb->plan();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("relax/10"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_TRUE(lp->parallelizable);
+  EXPECT_TRUE(lp->alias_refined);
+  EXPECT_EQ(lp->strategy, parallelizer::Strategy::Doall);
+  // The payoff model scored the blocking blob class: some but not all of the
+  // class's declared member pairs are disjoint (a-c and b-c are, a-b is not).
+  ASSERT_EQ(lp->alias_payoffs.size(), 1u);
+  EXPECT_GT(lp->alias_payoffs[0].score, 0.0);
+  EXPECT_LT(lp->alias_payoffs[0].score, 1.0);
+  // The provenance record carries the carve-out, once per refined member.
+  ASSERT_NE(lp->why, nullptr);
+  std::string why = lp->why->text();
+  EXPECT_NE(why.find("alias-refined c"), std::string::npos) << why;
+  EXPECT_EQ(why.find("alias-refined c", why.find("alias-refined c") + 1),
+            std::string::npos)
+      << "duplicate carve-out note:\n"
+      << why;
+}
+
+TEST(AliasTier, RefinementDoesNotTouchOtherLoops) {
+  auto wb0 = build(0);
+  auto wb1 = build(1);
+  auto plan0 = wb0->plan();
+  auto plan1 = wb1->plan();
+  ASSERT_EQ(plan0.loops.size(), plan1.loops.size());
+  // Every loop except the escalated one keeps its tier-0 verdict and record;
+  // stir/20 genuinely touches overlapping storage and must stay blocked.
+  for (const parallelizer::LoopPlan* lp0 : plan0.ordered()) {
+    const ir::Stmt* l1 = wb1->loop(lp0->loop->loop_name());
+    ASSERT_NE(l1, nullptr);
+    const parallelizer::LoopPlan* lp1 = plan1.find(l1);
+    ASSERT_NE(lp1, nullptr);
+    if (lp0->loop->loop_name() == "relax/10") continue;
+    EXPECT_EQ(lp0->parallelizable, lp1->parallelizable)
+        << lp0->loop->loop_name();
+    EXPECT_FALSE(lp1->alias_refined) << lp0->loop->loop_name();
+  }
+  const parallelizer::LoopPlan* stir = plan1.find(wb1->loop("stir/20"));
+  ASSERT_NE(stir, nullptr);
+  EXPECT_FALSE(stir->parallelizable);
+}
+
+TEST(AliasTier, PlanDeterministicAcrossBuilds) {
+  auto a = build(1);
+  auto b = build(1);
+  auto pa = a->plan();
+  auto pb = b->plan();
+  auto la = pa.ordered();
+  auto lb = pb.ordered();
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    ASSERT_NE(la[i]->why, nullptr);
+    ASSERT_NE(lb[i]->why, nullptr);
+    EXPECT_EQ(la[i]->why->text(), lb[i]->why->text());
+  }
+}
+
+TEST(AliasTier, EnvOptIn) {
+  // Default (-1) resolves SUIFX_ALIAS_TIER; unset means tier 0.
+  ::unsetenv("SUIFX_ALIAS_TIER");
+  {
+    Diag diag;
+    auto wb = Workbench::from_source(benchsuite::alias_csplit().source, diag);
+    ASSERT_NE(wb, nullptr);
+    EXPECT_EQ(wb->alias_tier(), 0);
+    EXPECT_FALSE(wb->plan().is_parallel(wb->loop("relax/10")));
+  }
+  ::setenv("SUIFX_ALIAS_TIER", "1", 1);
+  {
+    Diag diag;
+    auto wb = Workbench::from_source(benchsuite::alias_csplit().source, diag);
+    ASSERT_NE(wb, nullptr);
+    EXPECT_EQ(wb->alias_tier(), 1);
+    EXPECT_TRUE(wb->plan().is_parallel(wb->loop("relax/10")));
+  }
+  ::unsetenv("SUIFX_ALIAS_TIER");
+  // An explicit argument beats the environment.
+  ::setenv("SUIFX_ALIAS_TIER", "1", 1);
+  {
+    auto wb = build(0);
+    EXPECT_EQ(wb->alias_tier(), 0);
+    EXPECT_FALSE(wb->plan().is_parallel(wb->loop("relax/10")));
+  }
+  ::unsetenv("SUIFX_ALIAS_TIER");
+}
+
+// ---------------------------------------------------------------------------
+// Degradation: the escalation must fail soft, never changing the base verdict
+// ---------------------------------------------------------------------------
+
+TEST(AliasTier, InjectedFaultDegradesToTierZero) {
+  auto wb = build(1);
+  support::fault::Registry::global().configure("alias.andersen");
+  auto plan = wb->plan();
+  support::fault::Registry::global().clear();
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("relax/10"));
+  ASSERT_NE(lp, nullptr);
+  // The oracle build died; the tier-0 verdict stands, undegraded elsewhere.
+  EXPECT_FALSE(lp->parallelizable);
+  EXPECT_FALSE(lp->alias_refined);
+  EXPECT_FALSE(lp->degraded);  // the base plan itself completed fine
+}
+
+TEST(AliasTier, BudgetExhaustionDuringEscalationDegrades) {
+  // Measure the whole tier-0 plan cost, then give the tier-1 plan just a
+  // hair more: the refined-stack rebuild inside the escalation probe is what
+  // exhausts it. Whatever degrades first, an exhausted budget must never
+  // yield a refined parallel plan (and must not escape as an exception —
+  // the escalator and the Driver both absorb BudgetExceeded).
+  uint64_t base_steps = 0;
+  {
+    auto wb0 = build(0);
+    support::Budget probe({/*max_steps=*/0, /*deadline_ms=*/0});
+    support::Budget::Scope scope(&probe);
+    wb0->plan();
+    base_steps = probe.steps();
+  }
+  auto wb = build(1);
+  support::Budget tiny({/*max_steps=*/base_steps + 5, /*deadline_ms=*/0});
+  parallelizer::ParallelPlan plan;
+  {
+    support::Budget::Scope scope(&tiny);
+    plan = wb->plan();
+  }
+  const parallelizer::LoopPlan* lp = plan.find(wb->loop("relax/10"));
+  ASSERT_NE(lp, nullptr);
+  EXPECT_FALSE(lp->parallelizable);
+  EXPECT_FALSE(lp->alias_refined);
+}
+
+TEST(AliasTier, ProbeResultMemoized) {
+  auto wb = build(1);
+  // Two plan rounds: the second reuses the memoized probe (and the refined
+  // stack is built once). Results must be identical.
+  auto p1 = wb->plan();
+  auto p2 = wb->plan();
+  const parallelizer::LoopPlan* l1 = p1.find(wb->loop("relax/10"));
+  const parallelizer::LoopPlan* l2 = p2.find(wb->loop("relax/10"));
+  ASSERT_NE(l1, nullptr);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_TRUE(l1->parallelizable);
+  EXPECT_TRUE(l2->parallelizable);
+  ASSERT_NE(l1->why, nullptr);
+  ASSERT_NE(l2->why, nullptr);
+  EXPECT_EQ(l1->why->text(), l2->why->text());
+}
+
+// ---------------------------------------------------------------------------
+// Guru surfacing
+// ---------------------------------------------------------------------------
+
+TEST(AliasTier, GuruSurfacesEscalation) {
+  auto wb = build(1);
+  explorer::GuruConfig cfg;
+  cfg.inputs = benchsuite::alias_csplit().inputs;
+  explorer::Guru guru(*wb, cfg);
+  std::string profile = guru.planning_profile();
+  EXPECT_NE(profile.find("alias tier: 1"), std::string::npos) << profile;
+  EXPECT_NE(profile.find("1 loop(s) refined"), std::string::npos) << profile;
+  std::string why = guru.explain(wb->loop("relax/10"));
+  EXPECT_NE(why.find("alias-refined c"), std::string::npos) << why;
+  EXPECT_NE(why.find("alias payoff: "), std::string::npos) << why;
+}
+
+TEST(AliasTier, GuruProfileSilentAtTierZero) {
+  auto wb = build(0);
+  explorer::GuruConfig cfg;
+  cfg.inputs = benchsuite::alias_csplit().inputs;
+  explorer::Guru guru(*wb, cfg);
+  EXPECT_EQ(guru.planning_profile().find("alias tier"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace suifx

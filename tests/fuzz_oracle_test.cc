@@ -36,6 +36,7 @@ TEST(ProGen, OptionsGateCallsCommonsRecurrences) {
     GeneratedProgram gp = generate_program(seed, opts);
     for (const std::string& p : gp.patterns) {
       EXPECT_TRUE(p.rfind("call_", 0) != 0 && p != "common_overlay" &&
+                  p != "deep_call_alias_chain" &&
                   p.rfind("recurrence", 0) != 0)
           << "seed " << seed << " emitted gated pattern " << p;
     }
@@ -53,12 +54,62 @@ TEST(ProGen, CorpusSurvivesTheFullPipeline) {
   }
 }
 
+TEST(ProGen, DeepCallAliasChainExercisesEscalation) {
+  // Find a seed that drew the pattern, then confirm the generated program
+  // really walks the whole Andersen path: at least one loop is blocked at
+  // tier 0 and refined to parallel at tier 1.
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 200 && !found; ++seed) {
+    GeneratedProgram gp = generate_program(seed);
+    bool has = false;
+    for (const std::string& p : gp.patterns) has |= p == "deep_call_alias_chain";
+    if (!has) continue;
+    found = true;
+    Diag d0, d1;
+    auto wb0 = explorer::Workbench::from_source(gp.source, d0,
+                                                analysis::LivenessMode::Full,
+                                                true, /*alias_tier=*/0);
+    auto wb1 = explorer::Workbench::from_source(gp.source, d1,
+                                                analysis::LivenessMode::Full,
+                                                true, /*alias_tier=*/1);
+    ASSERT_NE(wb0, nullptr) << gp.source;
+    ASSERT_NE(wb1, nullptr);
+    auto p0 = wb0->plan();
+    auto p1 = wb1->plan();
+    int refined = 0;
+    for (const parallelizer::LoopPlan* lp : p1.ordered()) {
+      if (!lp->alias_refined) continue;
+      ++refined;
+      EXPECT_TRUE(lp->parallelizable);
+      const ir::Stmt* l0 = wb0->loop(lp->loop->loop_name());
+      ASSERT_NE(l0, nullptr);
+      EXPECT_FALSE(p0.is_parallel(l0)) << lp->loop->loop_name();
+    }
+    EXPECT_GT(refined, 0) << "seed " << seed
+                          << " drew the pattern but nothing escalated:\n"
+                          << gp.source;
+  }
+  ASSERT_TRUE(found) << "no seed in 1..200 drew deep_call_alias_chain";
+}
+
 TEST(Oracle, CleanOnGeneratedCorpus) {
   for (uint64_t seed = 1; seed <= 25; ++seed) {
     OracleResult r = check_source(generate_program(seed).source);
     EXPECT_TRUE(r.ok()) << "seed " << seed << ": "
                         << to_string(r.violation) << " — " << r.detail;
     EXPECT_GT(r.loops, 0) << "seed " << seed;
+  }
+}
+
+TEST(Oracle, CleanOnGeneratedCorpusAtTierOne) {
+  // The same corpus with the Andersen escalation armed: every tier-1-refined
+  // plan is held to the dynamic soundness/consistency properties too.
+  OracleOptions oo;
+  oo.alias_tier = 1;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    OracleResult r = check_source(generate_program(seed).source, oo);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": "
+                        << to_string(r.violation) << " — " << r.detail;
   }
 }
 
